@@ -1,0 +1,6 @@
+#!/bin/sh
+# restore placeholder lib.rs for crates not yet implemented so the workspace loads
+cd /root/repo
+for c in chunks core transport baseline deser bench; do
+  [ -f crates/$c/src/lib.rs ] || echo "//! placeholder" > crates/$c/src/lib.rs
+done

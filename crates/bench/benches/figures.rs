@@ -1,0 +1,289 @@
+//! Criterion benches, one group per figure of the paper's §4.
+//!
+//! Each group's benchmark IDs name the figure's series; sizes cover the
+//! paper's sweep where runtime allows (`cargo bench -- --quick` style
+//! trimming is built in: 100 / 1K / 10K elements). The `figures` binary
+//! prints the full 1–100K sweep; these benches exist for statistically
+//! careful regression tracking of the same scenarios.
+
+use bsoap_baseline::{GSoapLike, XSoapLike};
+use bsoap_bench::scenarios::touch_percent;
+use bsoap_bench::workload::{grow_fraction, pinned, values, Kind, WidthClass};
+use bsoap_chunks::ChunkConfig;
+use bsoap_core::overlay::OverlaySender;
+use bsoap_core::{EngineConfig, MessageTemplate, WidthPolicy};
+use bsoap_transport::SinkTransport;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const SIZES: &[usize] = &[100, 1_000, 10_000];
+
+fn configure(c: &mut Criterion) -> Criterion {
+    let _ = c;
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+}
+
+/// Figures 1–3: content matches vs the toolkits.
+fn content_match(c: &mut Criterion, kind: Kind, fig: u32) {
+    let op = kind.op();
+    let mut group = c.benchmark_group(format!("fig{fig:02}_content_match_{}", kind.name()));
+    for &n in SIZES {
+        let args = vec![values(kind, n)];
+        if kind == Kind::Doubles {
+            let mut x = XSoapLike::new();
+            let mut sink = SinkTransport::new();
+            group.bench_function(BenchmarkId::new("xsoap_like", n), |b| {
+                b.iter(|| x.send(&op, &args, &mut sink).unwrap())
+            });
+        }
+        let mut g = GSoapLike::new();
+        let mut sink = SinkTransport::new();
+        group.bench_function(BenchmarkId::new("gsoap_like", n), |b| {
+            b.iter(|| g.send(&op, &args, &mut sink).unwrap())
+        });
+        let config = EngineConfig::paper_default();
+        group.bench_function(BenchmarkId::new("bsoap_full", n), |b| {
+            let mut sink = SinkTransport::new();
+            b.iter(|| {
+                let mut tpl = MessageTemplate::build(config, &op, &args).unwrap();
+                tpl.send(&mut sink).unwrap()
+            })
+        });
+        let mut tpl = MessageTemplate::build(config, &op, &args).unwrap();
+        let mut sink = SinkTransport::new();
+        group.bench_function(BenchmarkId::new("bsoap_content_match", n), |b| {
+            b.iter(|| tpl.send(&mut sink).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn fig01(c: &mut Criterion) {
+    content_match(c, Kind::Mios, 1);
+}
+fn fig02(c: &mut Criterion) {
+    content_match(c, Kind::Doubles, 2);
+}
+fn fig03(c: &mut Criterion) {
+    content_match(c, Kind::Ints, 3);
+}
+
+/// Figures 4–5: perfect structural matches by dirty fraction.
+fn psm(c: &mut Criterion, kind: Kind, fig: u32) {
+    let op = kind.op();
+    let config = EngineConfig::paper_default();
+    let mut group = c.benchmark_group(format!("fig{fig:02}_psm_{}", kind.name()));
+    for &n in SIZES {
+        let args = vec![values(kind, n)];
+        for percent in [25usize, 50, 75, 100] {
+            let mut tpl = MessageTemplate::build(config, &op, &args).unwrap();
+            let mut sink = SinkTransport::new();
+            group.bench_function(BenchmarkId::new(format!("dirty_{percent}pct"), n), |b| {
+                b.iter(|| {
+                    touch_percent(&mut tpl, kind, percent);
+                    tpl.send(&mut sink).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig04(c: &mut Criterion) {
+    psm(c, Kind::Mios, 4);
+}
+fn fig05(c: &mut Criterion) {
+    psm(c, Kind::Doubles, 5);
+}
+
+/// Figures 6–7: worst-case shifting under 8K and 32K chunks.
+fn shift_worst(c: &mut Criterion, kind: Kind, fig: u32) {
+    let op = kind.op();
+    let mut group = c.benchmark_group(format!("fig{fig:02}_shift_worst_{}", kind.name()));
+    for &n in SIZES {
+        let min_args = vec![pinned(kind, n, WidthClass::Min)];
+        let max_args = vec![pinned(kind, n, WidthClass::Max)];
+        for (label, chunk) in [("32K_chunks", ChunkConfig::k32()), ("8K_chunks", ChunkConfig::k8())] {
+            let config = EngineConfig::paper_default().with_chunk(chunk);
+            let mut sink = SinkTransport::new();
+            group.bench_function(BenchmarkId::new(label, n), |b| {
+                b.iter_batched(
+                    || MessageTemplate::build(config, &op, &min_args).unwrap(),
+                    |mut tpl| {
+                        tpl.update_args(&max_args).unwrap();
+                        tpl.send(&mut sink).unwrap()
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+        let config = EngineConfig::paper_default();
+        let mut tpl = MessageTemplate::build(config, &op, &max_args).unwrap();
+        let mut sink = SinkTransport::new();
+        group.bench_function(BenchmarkId::new("no_shift_reference", n), |b| {
+            b.iter(|| {
+                touch_percent(&mut tpl, kind, 100);
+                tpl.send(&mut sink).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig06(c: &mut Criterion) {
+    shift_worst(c, Kind::Mios, 6);
+}
+fn fig07(c: &mut Criterion) {
+    shift_worst(c, Kind::Doubles, 7);
+}
+
+/// Figures 8–9: partial shifting from intermediate to maximum widths.
+fn shift_partial(c: &mut Criterion, kind: Kind, fig: u32) {
+    let op = kind.op();
+    let config = EngineConfig::paper_default();
+    let mut group = c.benchmark_group(format!("fig{fig:02}_shift_partial_{}", kind.name()));
+    for &n in SIZES {
+        let mid_args = vec![pinned(kind, n, WidthClass::Mid)];
+        for percent in [25usize, 50, 75, 100] {
+            let grown = vec![grow_fraction(kind, &mid_args[0], percent, WidthClass::Max)];
+            let mut sink = SinkTransport::new();
+            group.bench_function(BenchmarkId::new(format!("grow_{percent}pct"), n), |b| {
+                b.iter_batched(
+                    || MessageTemplate::build(config, &op, &mid_args).unwrap(),
+                    |mut tpl| {
+                        tpl.update_args(&grown).unwrap();
+                        tpl.send(&mut sink).unwrap()
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig08(c: &mut Criterion) {
+    shift_partial(c, Kind::Mios, 8);
+}
+fn fig09(c: &mut Criterion) {
+    shift_partial(c, Kind::Doubles, 9);
+}
+
+/// Figures 10–11: stuffing widths and the closing-tag shift.
+fn stuffing(c: &mut Criterion, kind: Kind, fig: u32) {
+    let op = kind.op();
+    let mut group = c.benchmark_group(format!("fig{fig:02}_stuffing_{}", kind.name()));
+    for &n in SIZES {
+        let min_args = vec![pinned(kind, n, WidthClass::Min)];
+        let max_args = vec![pinned(kind, n, WidthClass::Max)];
+        {
+            let config = EngineConfig::paper_default().with_width(WidthPolicy::Max);
+            let mut sink = SinkTransport::new();
+            group.bench_function(BenchmarkId::new("max_width_full_tag_shift", n), |b| {
+                b.iter_batched(
+                    || MessageTemplate::build(config, &op, &max_args).unwrap(),
+                    |mut tpl| {
+                        tpl.update_args(&min_args).unwrap();
+                        tpl.send(&mut sink).unwrap()
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+        for (label, config) in [
+            ("max_width_no_shift", EngineConfig::paper_default().with_width(WidthPolicy::Max)),
+            (
+                "intermediate_width_no_shift",
+                EngineConfig::paper_default().with_width(WidthPolicy::Fixed {
+                    double: 18,
+                    int: 9,
+                    long: 20,
+                }),
+            ),
+            ("min_width_no_shift", EngineConfig::paper_default()),
+        ] {
+            let mut tpl = MessageTemplate::build(config, &op, &min_args).unwrap();
+            let mut sink = SinkTransport::new();
+            group.bench_function(BenchmarkId::new(label, n), |b| {
+                b.iter(|| {
+                    touch_percent(&mut tpl, kind, 100);
+                    tpl.send(&mut sink).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig10(c: &mut Criterion) {
+    stuffing(c, Kind::Mios, 10);
+}
+fn fig11(c: &mut Criterion) {
+    stuffing(c, Kind::Doubles, 11);
+}
+
+/// Figure 12: chunk overlaying vs full re-serialization.
+fn fig12(c: &mut Criterion) {
+    let config = EngineConfig::paper_default();
+    let mut group = c.benchmark_group("fig12_overlay");
+    for kind in [Kind::Doubles, Kind::Mios] {
+        let op = kind.op();
+        for &n in SIZES {
+            let args = vec![values(kind, n)];
+            let mut overlay = OverlaySender::auto_window(config, &op).unwrap();
+            let mut sink = SinkTransport::new();
+            group.bench_function(
+                BenchmarkId::new(format!("overlay_{}", kind.name()), n),
+                |b| b.iter(|| overlay.send(&args[0], &mut sink).unwrap()),
+            );
+            let mut tpl = MessageTemplate::build(config, &op, &args).unwrap();
+            let mut sink = SinkTransport::new();
+            group.bench_function(
+                BenchmarkId::new(format!("reserialize_{}", kind.name()), n),
+                |b| {
+                    b.iter(|| {
+                        touch_percent(&mut tpl, kind, 100);
+                        tpl.send(&mut sink).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// §2 ablation: conversion vs whole-message cost.
+fn ablation(c: &mut Criterion) {
+    let op = Kind::Doubles.op();
+    let mut group = c.benchmark_group("ablation_conversion_share");
+    for &n in SIZES {
+        let args = vec![values(Kind::Doubles, n)];
+        let bsoap_core::Value::DoubleArray(xs) = &args[0] else { unreachable!() };
+        let mut buf = [0u8; bsoap_convert::DOUBLE_MAX_WIDTH];
+        group.bench_function(BenchmarkId::new("convert_only", n), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &x in xs {
+                    acc = acc.wrapping_add(bsoap_convert::write_f64(&mut buf, x));
+                }
+                acc
+            })
+        });
+        let mut g = GSoapLike::new();
+        group.bench_function(BenchmarkId::new("full_serialize", n), |b| {
+            b.iter(|| g.serialize(&op, &args).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(&mut Criterion::default());
+    targets = fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09,
+              fig10, fig11, fig12, ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Terminal plots of figure tables.
+//!
+//! The paper presents its evaluation as log-log line charts; this module
+//! renders a [`Table`] the same way, as ASCII art — `figures --plot`
+//! shows each figure in the shape readers of the paper will recognize
+//! (straight, parallel lines for the content-match figures; converging
+//! fans for the dirty-fraction ones).
+
+use crate::scenarios::Table;
+use std::fmt::Write as _;
+
+/// Plot glyphs, one per series.
+const GLYPHS: &[char] = &['o', '+', 'x', '*', '#', '@', '%', '&'];
+
+/// Render `table` as a log-log ASCII chart of `width`×`height` cells.
+///
+/// Each data point lands on one cell; when several series collide on a
+/// cell the earliest series' glyph wins (mirroring overlapping lines in
+/// the paper's plots). Rows and sizes with non-positive values are
+/// skipped (log scale).
+pub fn render_loglog(table: &Table, width: usize, height: usize) -> String {
+    let width = width.max(20);
+    let height = height.max(8);
+
+    // Collect positive (x, y) points per series.
+    let mut xs: Vec<f64> = Vec::new();
+    let mut pts: Vec<Vec<(f64, f64)>> = vec![Vec::new(); table.series.len()];
+    for (n, cells) in &table.rows {
+        if *n == 0 {
+            continue;
+        }
+        let x = *n as f64;
+        xs.push(x);
+        for (s, &ms) in cells.iter().enumerate() {
+            if ms > 0.0 {
+                pts[s].push((x, ms));
+            }
+        }
+    }
+    let all_y: Vec<f64> = pts.iter().flatten().map(|&(_, y)| y).collect();
+    if xs.is_empty() || all_y.is_empty() {
+        return format!("{} — {} (no plottable points)\n", table.id, table.title);
+    }
+    let (x_min, x_max) = (
+        xs.iter().cloned().fold(f64::INFINITY, f64::min),
+        xs.iter().cloned().fold(0.0f64, f64::max),
+    );
+    let (y_min, y_max) = (
+        all_y.iter().cloned().fold(f64::INFINITY, f64::min),
+        all_y.iter().cloned().fold(0.0f64, f64::max),
+    );
+    let lx = |x: f64| x.log10();
+    let span = |lo: f64, hi: f64| if hi > lo { hi - lo } else { 1.0 };
+    let x_span = span(lx(x_min), lx(x_max));
+    let y_span = span(lx(y_min), lx(y_max));
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (s, series_pts) in pts.iter().enumerate() {
+        let glyph = GLYPHS[s % GLYPHS.len()];
+        for &(x, y) in series_pts {
+            let cx = ((lx(x) - lx(x_min)) / x_span * (width - 1) as f64).round() as usize;
+            let cy = ((lx(y) - lx(y_min)) / y_span * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            if grid[row][col] == ' ' {
+                grid[row][col] = glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {}  [log-log]", table.id, table.title);
+    let y_label_top = format!("{y_max:>9.3}");
+    let y_label_bot = format!("{y_min:>9.3}");
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            &y_label_top
+        } else if i == height - 1 {
+            &y_label_bot
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "{label:>9} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{:>9} +{}", "ms", "-".repeat(width));
+    let _ = writeln!(out, "{:>10}{:<w$}{:>8}  (n, log scale)", "", format!("{x_min}"), format!("{x_max}"), w = width - 7);
+    for (s, name) in table.series.iter().enumerate() {
+        let _ = writeln!(out, "{:>11} {}", GLYPHS[s % GLYPHS.len()], name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        Table {
+            id: "Figure T".into(),
+            title: "test".into(),
+            series: vec!["a".into(), "b".into()],
+            rows: vec![
+                (1, vec![0.001, 0.002]),
+                (100, vec![0.1, 0.25]),
+                (10_000, vec![10.0, 30.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_all_series_glyphs() {
+        let plot = render_loglog(&sample_table(), 60, 16);
+        assert!(plot.contains('o'), "{plot}");
+        assert!(plot.contains('+'), "{plot}");
+        assert!(plot.contains("Figure T"));
+        assert!(plot.contains("[log-log]"));
+    }
+
+    #[test]
+    fn monotone_series_descends_down_the_grid() {
+        // Larger n → larger ms → higher on the chart; the glyph column for
+        // n=1 must sit below the one for n=10000.
+        let plot = render_loglog(&sample_table(), 60, 16);
+        let lines: Vec<&str> = plot.lines().collect();
+        let first_o = lines.iter().position(|l| l.contains('o')).unwrap();
+        let last_o = lines.iter().rposition(|l| l.contains('o')).unwrap();
+        assert!(last_o > first_o, "points should span rows\n{plot}");
+    }
+
+    #[test]
+    fn empty_table_degrades_gracefully() {
+        let t = Table { id: "X".into(), title: "t".into(), series: vec!["a".into()], rows: vec![] };
+        let plot = render_loglog(&t, 40, 10);
+        assert!(plot.contains("no plottable points"));
+    }
+
+    #[test]
+    fn zero_and_negative_cells_skipped() {
+        let t = Table {
+            id: "X".into(),
+            title: "t".into(),
+            series: vec!["a".into()],
+            rows: vec![(0, vec![1.0]), (10, vec![0.0]), (100, vec![5.0])],
+        };
+        let plot = render_loglog(&t, 40, 10);
+        assert!(plot.matches('o').count() >= 1);
+    }
+
+    #[test]
+    fn tiny_dimensions_clamped() {
+        let plot = render_loglog(&sample_table(), 1, 1);
+        assert!(plot.lines().count() >= 8);
+    }
+}

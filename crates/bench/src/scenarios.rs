@@ -1,0 +1,541 @@
+//! One runnable scenario per figure of the paper's §4.
+//!
+//! Every public `fig_*` function reproduces the workload of the matching
+//! figure and returns a [`Table`]: rows are array sizes, columns are the
+//! figure's series, and cells are mean Send Time in milliseconds —
+//! exactly the quantity the paper plots. The `figures` binary renders
+//! these tables; EXPERIMENTS.md records them against the paper's claims.
+
+use crate::timing::{measure, measure_batched, Timing};
+use crate::workload::{grow_fraction, pinned, values, Kind, WidthClass};
+use bsoap_baseline::{GSoapLike, XSoapLike};
+use bsoap_core::{EngineConfig, MessageTemplate, Value, WidthPolicy};
+use bsoap_chunks::ChunkConfig;
+use bsoap_transport::SinkTransport;
+
+/// A regenerated figure: per-size rows of per-series mean milliseconds.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Figure identifier ("Figure 4").
+    pub id: String,
+    /// Title matching the paper's caption.
+    pub title: String,
+    /// Series (column) names.
+    pub series: Vec<String>,
+    /// `(array size, mean ms per series)` rows.
+    pub rows: Vec<(usize, Vec<f64>)>,
+}
+
+impl Table {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        let _ = write!(out, "{:>9}", "n");
+        for s in &self.series {
+            let _ = write!(out, "  {s:>26}");
+        }
+        let _ = writeln!(out);
+        for (n, cells) in &self.rows {
+            let _ = write!(out, "{n:>9}");
+            for c in cells {
+                let _ = write!(out, "  {c:>23.4} ms");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render as CSV (for plotting).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = write!(out, "n");
+        for s in &self.series {
+            let _ = write!(out, ",{s}");
+        }
+        let _ = writeln!(out);
+        for (n, cells) in &self.rows {
+            let _ = write!(out, "{n}");
+            for c in cells {
+                let _ = write!(out, ",{c:.6}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+fn ms(t: Timing) -> f64 {
+    t.mean_ms()
+}
+
+const WARMUP: usize = 2;
+
+/// Touch (mark dirty without changing) the re-serializable leaves of the
+/// first `percent`% of elements. For MIOs only the double field is
+/// touched — the paper's Figure 4 setup keeps "MIO integers" clean.
+pub fn touch_percent(tpl: &mut MessageTemplate, kind: Kind, percent: usize) {
+    let n = tpl.array_len(0);
+    let k = n * percent / 100;
+    match kind {
+        Kind::Mios => {
+            for e in 0..k {
+                tpl.touch(tpl.array_leaf(0, e, 2));
+            }
+        }
+        _ => {
+            for e in 0..k {
+                tpl.touch(tpl.array_leaf(0, e, 0));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 1–3: message content matches vs full serialization.
+// ---------------------------------------------------------------------
+
+/// Figures 1 (MIOs), 2 (doubles, + XSOAP), 3 (integers).
+pub fn fig_content_match(kind: Kind, sizes: &[usize], reps: usize) -> Table {
+    let op = kind.op();
+    let include_xsoap = kind == Kind::Doubles;
+    let mut series = Vec::new();
+    if include_xsoap {
+        series.push("XSOAP-like".to_owned());
+    }
+    series.extend(["gSOAP-like".to_owned(), "bSOAP full serialization".to_owned(), "bSOAP content match".to_owned()]);
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let args = vec![values(kind, n)];
+        let mut cells = Vec::new();
+
+        if include_xsoap {
+            let mut x = XSoapLike::new();
+            let mut sink = SinkTransport::new();
+            cells.push(ms(measure(WARMUP, reps, || {
+                x.send(&op, &args, &mut sink).unwrap();
+            })));
+        }
+        {
+            let mut g = GSoapLike::new();
+            let mut sink = SinkTransport::new();
+            cells.push(ms(measure(WARMUP, reps, || {
+                g.send(&op, &args, &mut sink).unwrap();
+            })));
+        }
+        {
+            // bSOAP with differential serialization off: build + send
+            // every time (the paper toggles the optimization off).
+            let config = EngineConfig::paper_default();
+            let mut sink = SinkTransport::new();
+            cells.push(ms(measure(WARMUP, reps, || {
+                let mut tpl = MessageTemplate::build(config, &op, &args).unwrap();
+                tpl.send(&mut sink).unwrap();
+            })));
+        }
+        {
+            // Content match: template saved, nothing dirty, resend as-is.
+            let config = EngineConfig::paper_default();
+            let mut tpl = MessageTemplate::build(config, &op, &args).unwrap();
+            let mut sink = SinkTransport::new();
+            cells.push(ms(measure(WARMUP, reps, || {
+                tpl.send(&mut sink).unwrap();
+            })));
+        }
+        rows.push((n, cells));
+    }
+    let fig_no = match kind {
+        Kind::Mios => 1,
+        Kind::Doubles => 2,
+        Kind::Ints => 3,
+    };
+    Table {
+        id: format!("Figure {fig_no}"),
+        title: format!("Message Content Matches: {}", kind.name()),
+        series,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 4–5: perfect structural matches.
+// ---------------------------------------------------------------------
+
+/// Figures 4 (MIOs) and 5 (doubles): 25–100% of values re-serialized.
+pub fn fig_psm(kind: Kind, sizes: &[usize], reps: usize) -> Table {
+    let op = kind.op();
+    let series = vec![
+        "bSOAP full serialization".to_owned(),
+        "100% value re-serialization".to_owned(),
+        "75% value re-serialization".to_owned(),
+        "50% value re-serialization".to_owned(),
+        "25% value re-serialization".to_owned(),
+        "content match".to_owned(),
+    ];
+    let config = EngineConfig::paper_default();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let args = vec![values(kind, n)];
+        let mut cells = Vec::new();
+        {
+            let mut sink = SinkTransport::new();
+            cells.push(ms(measure(WARMUP, reps, || {
+                let mut tpl = MessageTemplate::build(config, &op, &args).unwrap();
+                tpl.send(&mut sink).unwrap();
+            })));
+        }
+        for percent in [100usize, 75, 50, 25, 0] {
+            let mut tpl = MessageTemplate::build(config, &op, &args).unwrap();
+            let mut sink = SinkTransport::new();
+            cells.push(ms(measure(WARMUP, reps, || {
+                touch_percent(&mut tpl, kind, percent);
+                tpl.send(&mut sink).unwrap();
+            })));
+        }
+        rows.push((n, cells));
+    }
+    let fig_no = if kind == Kind::Mios { 4 } else { 5 };
+    Table {
+        id: format!("Figure {fig_no}"),
+        title: format!("Perfect Structural Matches: {}", kind.name()),
+        series,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 6–7: worst-case shifting.
+// ---------------------------------------------------------------------
+
+/// Figures 6 (MIOs) and 7 (doubles): every value grows from minimum to
+/// maximum width, with 32K and 8K chunks, vs shift-free re-serialization.
+pub fn fig_shift_worst(kind: Kind, sizes: &[usize], reps: usize) -> Table {
+    let op = kind.op();
+    let series = vec![
+        "worst-case shift, 32K chunks".to_owned(),
+        "worst-case shift, 8K chunks".to_owned(),
+        "100% re-serialization, no shift".to_owned(),
+    ];
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let min_args = vec![pinned(kind, n, WidthClass::Min)];
+        let max_args = vec![pinned(kind, n, WidthClass::Max)];
+        let mut cells = Vec::new();
+        for chunk in [ChunkConfig::k32(), ChunkConfig::k8()] {
+            let config = EngineConfig::paper_default().with_chunk(chunk);
+            let mut sink = SinkTransport::new();
+            cells.push(ms(measure_batched(
+                WARMUP,
+                reps,
+                || MessageTemplate::build(config, &op, &min_args).unwrap(),
+                |mut tpl| {
+                    tpl.update_args(&max_args).unwrap();
+                    tpl.send(&mut sink).unwrap();
+                },
+            )));
+        }
+        {
+            // Reference: same 100% of values rewritten, but the template
+            // was built at maximum widths so nothing ever shifts.
+            let config = EngineConfig::paper_default();
+            let mut tpl = MessageTemplate::build(config, &op, &max_args).unwrap();
+            let mut sink = SinkTransport::new();
+            cells.push(ms(measure(WARMUP, reps, || {
+                touch_percent(&mut tpl, kind, 100);
+                tpl.send(&mut sink).unwrap();
+            })));
+        }
+        rows.push((n, cells));
+    }
+    let fig_no = if kind == Kind::Mios { 6 } else { 7 };
+    Table {
+        id: format!("Figure {fig_no}"),
+        title: format!("Worst Case Shifting: {}", kind.name()),
+        series,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 8–9: partial shifting.
+// ---------------------------------------------------------------------
+
+/// Figures 8 (MIOs) and 9 (doubles): 25–100% of values grow from the
+/// intermediate width to the maximum width.
+pub fn fig_shift_partial(kind: Kind, sizes: &[usize], reps: usize) -> Table {
+    let op = kind.op();
+    let series = vec![
+        "100% re-serialization + shift".to_owned(),
+        "75% re-serialization + shift".to_owned(),
+        "50% re-serialization + shift".to_owned(),
+        "25% re-serialization + shift".to_owned(),
+        "100% re-serialization, no shift".to_owned(),
+    ];
+    let config = EngineConfig::paper_default();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mid_args = vec![pinned(kind, n, WidthClass::Mid)];
+        let mut cells = Vec::new();
+        for percent in [100usize, 75, 50, 25] {
+            let grown = vec![grow_fraction(kind, &mid_args[0], percent, WidthClass::Max)];
+            let mut sink = SinkTransport::new();
+            cells.push(ms(measure_batched(
+                WARMUP,
+                reps,
+                || MessageTemplate::build(config, &op, &mid_args).unwrap(),
+                |mut tpl| {
+                    tpl.update_args(&grown).unwrap();
+                    tpl.send(&mut sink).unwrap();
+                },
+            )));
+        }
+        {
+            let max_args = vec![pinned(kind, n, WidthClass::Max)];
+            let mut tpl = MessageTemplate::build(config, &op, &max_args).unwrap();
+            let mut sink = SinkTransport::new();
+            cells.push(ms(measure(WARMUP, reps, || {
+                touch_percent(&mut tpl, kind, 100);
+                tpl.send(&mut sink).unwrap();
+            })));
+        }
+        rows.push((n, cells));
+    }
+    let fig_no = if kind == Kind::Mios { 8 } else { 9 };
+    Table {
+        id: format!("Figure {fig_no}"),
+        title: format!("Shifting Performance: {}", kind.name()),
+        series,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 10–11: stuffing.
+// ---------------------------------------------------------------------
+
+/// Figures 10 (MIOs) and 11 (doubles): minimum-width values stuffed to
+/// min / intermediate / max field widths, plus the worst-case closing-tag
+/// shift (writing minimum values over maximum ones).
+pub fn fig_stuffing(kind: Kind, sizes: &[usize], reps: usize) -> Table {
+    let op = kind.op();
+    let series = vec![
+        "max width: full closing-tag shift".to_owned(),
+        "max width: no closing-tag shift".to_owned(),
+        "intermediate width: no closing-tag shift".to_owned(),
+        "min width: no closing-tag shift".to_owned(),
+    ];
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let min_args = vec![pinned(kind, n, WidthClass::Min)];
+        let max_args = vec![pinned(kind, n, WidthClass::Max)];
+        let mut cells = Vec::new();
+        {
+            // Full closing-tag shift: template holds max-width values in
+            // max-width fields; each send writes min values over them,
+            // moving every closing tag as far left as possible.
+            let config = EngineConfig::paper_default().with_width(WidthPolicy::Max);
+            let mut sink = SinkTransport::new();
+            cells.push(ms(measure_batched(
+                WARMUP,
+                reps,
+                || MessageTemplate::build(config, &op, &max_args).unwrap(),
+                |mut tpl| {
+                    tpl.update_args(&min_args).unwrap();
+                    tpl.send(&mut sink).unwrap();
+                },
+            )));
+        }
+        let width_configs = [
+            EngineConfig::paper_default().with_width(WidthPolicy::Max),
+            EngineConfig::paper_default().with_width(WidthPolicy::Fixed {
+                double: 18,
+                int: 9,
+                long: 20,
+            }),
+            EngineConfig::paper_default(), // exact = min, values are min-width
+        ];
+        for config in width_configs {
+            // No closing-tag shift: min-width values re-serialized into
+            // fields of the configured width (value length unchanged, so
+            // tags never move; the cost difference is message size).
+            let mut tpl = MessageTemplate::build(config, &op, &min_args).unwrap();
+            let mut sink = SinkTransport::new();
+            cells.push(ms(measure(WARMUP, reps, || {
+                touch_percent(&mut tpl, kind, 100);
+                tpl.send(&mut sink).unwrap();
+            })));
+        }
+        rows.push((n, cells));
+    }
+    let fig_no = if kind == Kind::Mios { 10 } else { 11 };
+    Table {
+        id: format!("Figure {fig_no}"),
+        title: format!("Stuffing Performance: {}", kind.name()),
+        series,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 12: chunk overlaying.
+// ---------------------------------------------------------------------
+
+/// Figure 12: sending from a single overlaid 32K chunk vs re-serializing
+/// a full multi-chunk template, for doubles and MIOs.
+pub fn fig_overlay(sizes: &[usize], reps: usize) -> Table {
+    use bsoap_core::overlay::OverlaySender;
+    let series = vec![
+        "chunk overlay, doubles".to_owned(),
+        "100% re-serialization, doubles".to_owned(),
+        "chunk overlay, MIOs".to_owned(),
+        "100% re-serialization, MIOs".to_owned(),
+    ];
+    let config = EngineConfig::paper_default();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut cells = Vec::new();
+        for kind in [Kind::Doubles, Kind::Mios] {
+            let op = kind.op();
+            let args = vec![values(kind, n)];
+            {
+                let mut overlay = OverlaySender::auto_window(config, &op).unwrap();
+                let mut sink = SinkTransport::new();
+                cells.push(ms(measure(WARMUP, reps, || {
+                    overlay.send(&args[0], &mut sink).unwrap();
+                })));
+            }
+            {
+                let mut tpl = MessageTemplate::build(config, &op, &args).unwrap();
+                let mut sink = SinkTransport::new();
+                cells.push(ms(measure(WARMUP, reps, || {
+                    touch_percent(&mut tpl, kind, 100);
+                    tpl.send(&mut sink).unwrap();
+                })));
+            }
+        }
+        rows.push((n, cells));
+    }
+    Table {
+        id: "Figure 12".to_owned(),
+        title: "Chunk Overlaying Performance".to_owned(),
+        series,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// §2 ablation: where does serialization time go?
+// ---------------------------------------------------------------------
+
+/// The §2 claim: conversion dominates end-to-end cost. Splits full
+/// serialization into conversion-only, serialize (convert + tags), and
+/// serialize + send.
+pub fn fig_ablation(sizes: &[usize], reps: usize) -> Table {
+    let op = Kind::Doubles.op();
+    let series = vec![
+        "conversion only".to_owned(),
+        "full serialization".to_owned(),
+        "serialization + send".to_owned(),
+        "conversion share (%)".to_owned(),
+    ];
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let Value::DoubleArray(xs) = values(Kind::Doubles, n) else { unreachable!() };
+        let args = vec![Value::DoubleArray(xs.clone())];
+        let mut cells = Vec::new();
+        {
+            let mut buf = [0u8; bsoap_convert::DOUBLE_MAX_WIDTH];
+            let mut acc = 0usize;
+            cells.push(ms(measure(WARMUP, reps, || {
+                for &x in &xs {
+                    acc = acc.wrapping_add(bsoap_convert::write_f64(&mut buf, x));
+                }
+                std::hint::black_box(acc);
+            })));
+        }
+        {
+            let mut g = GSoapLike::new();
+            cells.push(ms(measure(WARMUP, reps, || {
+                g.serialize(&op, &args).unwrap();
+            })));
+        }
+        {
+            let mut g = GSoapLike::new();
+            let mut sink = SinkTransport::new();
+            cells.push(ms(measure(WARMUP, reps, || {
+                g.send(&op, &args, &mut sink).unwrap();
+            })));
+        }
+        let share = 100.0 * cells[0] / cells[2].max(1e-12);
+        cells.push(share);
+        rows.push((n, cells));
+    }
+    Table {
+        id: "Ablation (§2)".to_owned(),
+        title: "Conversion share of end-to-end Send Time (doubles)".to_owned(),
+        series,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &[usize] = &[1, 64];
+
+    #[test]
+    fn all_figures_produce_tables() {
+        let tables = [
+            fig_content_match(Kind::Mios, TINY, 2),
+            fig_content_match(Kind::Doubles, TINY, 2),
+            fig_content_match(Kind::Ints, TINY, 2),
+            fig_psm(Kind::Mios, TINY, 2),
+            fig_psm(Kind::Doubles, TINY, 2),
+            fig_shift_worst(Kind::Mios, TINY, 2),
+            fig_shift_worst(Kind::Doubles, TINY, 2),
+            fig_shift_partial(Kind::Mios, TINY, 2),
+            fig_shift_partial(Kind::Doubles, TINY, 2),
+            fig_stuffing(Kind::Mios, TINY, 2),
+            fig_stuffing(Kind::Doubles, TINY, 2),
+            fig_overlay(TINY, 2),
+            fig_ablation(TINY, 2),
+        ];
+        for t in &tables {
+            assert_eq!(t.rows.len(), TINY.len(), "{}", t.id);
+            for (_, cells) in &t.rows {
+                assert_eq!(cells.len(), t.series.len(), "{}", t.id);
+                assert!(cells.iter().all(|c| c.is_finite() && *c >= 0.0), "{}", t.id);
+            }
+            assert!(!t.render().is_empty());
+            assert!(t.to_csv().lines().count() == t.rows.len() + 1);
+        }
+    }
+
+    #[test]
+    fn content_match_is_fastest_series_at_scale() {
+        // Shape check on a mid-size row: content match beats full
+        // serialization by a wide margin.
+        let t = fig_content_match(Kind::Doubles, &[10_000], 3);
+        let row = &t.rows[0].1;
+        // Series: XSOAP, gSOAP, bSOAP full, bSOAP content.
+        let (xsoap, gsoap, full, content) = (row[0], row[1], row[2], row[3]);
+        assert!(content < full, "content {content} !< full {full}");
+        assert!(content * 2.0 < gsoap, "expected ≥2x over gSOAP-like, got {gsoap}/{content}");
+        assert!(gsoap < xsoap, "DOM serializer should be slowest");
+    }
+
+    #[test]
+    fn psm_orders_by_dirty_fraction() {
+        let t = fig_psm(Kind::Doubles, &[10_000], 3);
+        let row = &t.rows[0].1;
+        // full ≥ 100% ≥ 75% ≥ 50% ≥ 25% ≥ content, with slack for noise.
+        let slack = 1.35;
+        assert!(row[1] <= row[0] * slack, "100% {} vs full {}", row[1], row[0]);
+        assert!(row[4] <= row[1] * slack, "25% {} vs 100% {}", row[4], row[1]);
+        assert!(row[5] <= row[4] * slack, "content {} vs 25% {}", row[5], row[4]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal measurement harness for the `figures` binary.
+//!
+//! The paper reports "the average of 100 measurements for each reported
+//! data point" of Send Time. [`measure`] reproduces that protocol:
+//! warm-up iterations, then `reps` timed iterations, reporting mean and
+//! min. (The Criterion benches in `benches/` provide the statistically
+//! rigorous variant; this harness exists so one binary can print every
+//! figure in seconds.)
+
+use std::time::{Duration, Instant};
+
+/// Aggregate of repeated timings.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Fastest observation.
+    pub min: Duration,
+    /// Slowest observation.
+    pub max: Duration,
+    /// Number of timed repetitions.
+    pub reps: usize,
+}
+
+impl Timing {
+    /// Mean in milliseconds (the paper's unit).
+    pub fn mean_ms(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e3
+    }
+}
+
+/// Time `reps` runs of `timed`, preceded by `warmup` untimed runs.
+pub fn measure(warmup: usize, reps: usize, mut timed: impl FnMut()) -> Timing {
+    for _ in 0..warmup {
+        timed();
+    }
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    for _ in 0..reps {
+        let t = Instant::now();
+        timed();
+        let d = t.elapsed();
+        total += d;
+        min = min.min(d);
+        max = max.max(d);
+    }
+    Timing { mean: total / reps as u32, min, max, reps }
+}
+
+/// Time `reps` runs of `timed`, with an untimed `setup` before every run
+/// (for scenarios that consume fresh state, e.g. worst-case shifting,
+/// which needs a pristine minimum-width template per iteration).
+pub fn measure_batched<S>(
+    warmup: usize,
+    reps: usize,
+    mut setup: impl FnMut() -> S,
+    mut timed: impl FnMut(S),
+) -> Timing {
+    for _ in 0..warmup {
+        let s = setup();
+        timed(s);
+    }
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    for _ in 0..reps {
+        let s = setup();
+        let t = Instant::now();
+        timed(s);
+        let d = t.elapsed();
+        total += d;
+        min = min.min(d);
+        max = max.max(d);
+    }
+    Timing { mean: total / reps as u32, min, max, reps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_reps() {
+        let mut calls = 0usize;
+        let t = measure(2, 5, || calls += 1);
+        assert_eq!(calls, 7);
+        assert_eq!(t.reps, 5);
+        assert!(t.min <= t.mean && t.mean <= t.max);
+    }
+
+    #[test]
+    fn measure_batched_runs_setup_per_rep() {
+        let mut setups = 0usize;
+        let mut timed_calls = 0usize;
+        measure_batched(1, 4, || setups += 1, |_| timed_calls += 1);
+        assert_eq!(setups, 5);
+        assert_eq!(timed_calls, 5);
+    }
+
+    #[test]
+    fn mean_ms_scales() {
+        let t = Timing {
+            mean: Duration::from_micros(1500),
+            min: Duration::ZERO,
+            max: Duration::ZERO,
+            reps: 1,
+        };
+        assert!((t.mean_ms() - 1.5).abs() < 1e-9);
+    }
+}

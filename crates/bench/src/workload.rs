@@ -1,0 +1,287 @@
+//! Workload generators matching the paper's §4 experiments.
+//!
+//! The evaluation sends single arrays of integers, IEEE-754 doubles, and
+//! MIOs (`[int, int, double]` mesh interface objects) of 1 … 100K
+//! elements. The shifting/stuffing experiments additionally need values
+//! whose *serialized width* is pinned: smallest (1-char double, 3-char
+//! MIO), intermediate (18-char double, 36-char MIO), and largest (24-char
+//! double, 46-char MIO). The constants here are width-pinned and verified
+//! by unit tests against the conversion layer.
+
+use bsoap_core::{value::mio, OpDesc, TypeDesc, Value};
+use bsoap_convert::ScalarKind;
+
+/// The paper's message-size sweep (§4.1).
+pub const PAPER_SIZES: &[usize] = &[1, 100, 500, 1_000, 10_000, 50_000, 100_000];
+
+/// A reduced sweep for quick runs.
+pub const QUICK_SIZES: &[usize] = &[1, 100, 1_000, 10_000];
+
+/// Element type under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// `xsd:int` arrays (Figure 3).
+    Ints,
+    /// `xsd:double` arrays (Figures 2, 5, 7, 9, 11, 12).
+    Doubles,
+    /// MIO arrays (Figures 1, 4, 6, 8, 10, 12).
+    Mios,
+}
+
+impl Kind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Ints => "integers",
+            Kind::Doubles => "doubles",
+            Kind::Mios => "MIOs",
+        }
+    }
+
+    /// The single-array operation for this kind.
+    pub fn op(self) -> OpDesc {
+        match self {
+            Kind::Ints => OpDesc::single(
+                "sendInts",
+                "urn:bench",
+                "arr",
+                TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)),
+            ),
+            Kind::Doubles => OpDesc::single(
+                "sendDoubles",
+                "urn:bench",
+                "arr",
+                TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+            ),
+            Kind::Mios => OpDesc::single(
+                "sendMios",
+                "urn:bench",
+                "arr",
+                TypeDesc::array_of(TypeDesc::mio()),
+            ),
+        }
+    }
+
+    /// DUT leaves per array element.
+    pub fn leaves_per_elem(self) -> usize {
+        match self {
+            Kind::Mios => 3,
+            _ => 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Width-pinned scalars (verified in tests).
+// ---------------------------------------------------------------------
+
+/// Serializes as `"1"` — the smallest possible double (1 char).
+pub const DOUBLE_MIN_W: f64 = 1.0;
+/// Serializes as `"12.345678901234567"` — 18 chars (the paper's
+/// intermediate double width, §4.4). Plain-decimal form, so conversion
+/// cost is typical rather than pathological.
+pub const DOUBLE_MID_W: f64 = 12.345678901234567;
+/// Serializes as `"-1.6054609345651112E-109"` — 24 chars (maximum).
+///
+/// Any 24-character double necessarily has a three-digit negative decimal
+/// exponent (17 significant digits + `E-1xx`). This specimen sits near
+/// `1e-109`, where the exact-digit conversion is ~5× cheaper than at the
+/// `E-308` extreme — the max-width workloads should measure *field-width*
+/// effects (shifting, stuffing), not the tail of the conversion routine's
+/// own cost curve.
+pub const DOUBLE_MAX_W: f64 = f64::from_bits(0xA958_2193_8AD3_D9F0);
+
+/// Serializes as `"0"` — 1 char.
+pub const INT_MIN_W: i32 = 0;
+/// Serializes as `"-10000000"` — 9 chars (MIO-intermediate component).
+pub const INT_MID_W: i32 = -10_000_000;
+/// Serializes as `"-2000000000"` — 11 chars (maximum).
+pub const INT_MAX_W: i32 = -2_000_000_000;
+
+/// Smallest possible MIO: 3 characters total.
+pub fn mio_min_w() -> Value {
+    mio(INT_MIN_W, INT_MIN_W, DOUBLE_MIN_W)
+}
+
+/// Intermediate MIO: 9 + 9 + 18 = 36 characters (Figure 8's start size).
+pub fn mio_mid_w() -> Value {
+    mio(INT_MID_W, INT_MID_W, DOUBLE_MID_W)
+}
+
+/// Largest possible MIO: 11 + 11 + 24 = 46 characters.
+pub fn mio_max_w() -> Value {
+    mio(INT_MAX_W, INT_MAX_W, DOUBLE_MAX_W)
+}
+
+// ---------------------------------------------------------------------
+// Array builders.
+// ---------------------------------------------------------------------
+
+/// "Realistic" array values: varied magnitudes, deterministic.
+pub fn values(kind: Kind, n: usize) -> Value {
+    match kind {
+        Kind::Ints => Value::IntArray((0..n).map(|i| (i as i32).wrapping_mul(2_654_435_761u32 as i32)).collect()),
+        Kind::Doubles => Value::DoubleArray(
+            (0..n).map(|i| (i as f64 + 0.5) * 1.001f64.powi((i % 600) as i32 - 300)).collect(),
+        ),
+        Kind::Mios => Value::Array(
+            (0..n)
+                .map(|i| {
+                    mio(
+                        i as i32,
+                        -(i as i32),
+                        (i as f64 + 0.5) * 1.001f64.powi((i % 600) as i32 - 300),
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Array of `n` width-pinned elements: every element serializes to
+/// exactly the width class requested.
+pub fn pinned(kind: Kind, n: usize, class: WidthClass) -> Value {
+    match (kind, class) {
+        (Kind::Ints, WidthClass::Min) => Value::IntArray(vec![INT_MIN_W; n]),
+        (Kind::Ints, WidthClass::Mid) => Value::IntArray(vec![INT_MID_W; n]),
+        (Kind::Ints, WidthClass::Max) => Value::IntArray(vec![INT_MAX_W; n]),
+        (Kind::Doubles, WidthClass::Min) => Value::DoubleArray(vec![DOUBLE_MIN_W; n]),
+        (Kind::Doubles, WidthClass::Mid) => Value::DoubleArray(vec![DOUBLE_MID_W; n]),
+        (Kind::Doubles, WidthClass::Max) => Value::DoubleArray(vec![DOUBLE_MAX_W; n]),
+        (Kind::Mios, WidthClass::Min) => Value::Array((0..n).map(|_| mio_min_w()).collect()),
+        (Kind::Mios, WidthClass::Mid) => Value::Array((0..n).map(|_| mio_mid_w()).collect()),
+        (Kind::Mios, WidthClass::Max) => Value::Array((0..n).map(|_| mio_max_w()).collect()),
+    }
+}
+
+/// Width class of pinned workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WidthClass {
+    /// Smallest serialized form (1-char double / 3-char MIO).
+    Min,
+    /// Intermediate (18-char double / 36-char MIO).
+    Mid,
+    /// Largest possible (24-char double / 46-char MIO).
+    Max,
+}
+
+/// Replace the first `percent`% of elements of a pinned array with the
+/// `to` class (used by the partial-shifting figures).
+pub fn grow_fraction(kind: Kind, base: &Value, percent: usize, to: WidthClass) -> Value {
+    let n = base.array_len().expect("array workload");
+    let k = n * percent / 100;
+    match (kind, base) {
+        (Kind::Doubles, Value::DoubleArray(v)) => {
+            let mut v = v.clone();
+            let target = match to {
+                WidthClass::Min => DOUBLE_MIN_W,
+                WidthClass::Mid => DOUBLE_MID_W,
+                WidthClass::Max => DOUBLE_MAX_W,
+            };
+            for x in v.iter_mut().take(k) {
+                *x = target;
+            }
+            Value::DoubleArray(v)
+        }
+        (Kind::Mios, Value::Array(elems)) => {
+            let mut elems = elems.clone();
+            let target = match to {
+                WidthClass::Min => mio_min_w(),
+                WidthClass::Mid => mio_mid_w(),
+                WidthClass::Max => mio_max_w(),
+            };
+            for e in elems.iter_mut().take(k) {
+                *e = target.clone();
+            }
+            Value::Array(elems)
+        }
+        (Kind::Ints, Value::IntArray(v)) => {
+            let mut v = v.clone();
+            let target = match to {
+                WidthClass::Min => INT_MIN_W,
+                WidthClass::Mid => INT_MID_W,
+                WidthClass::Max => INT_MAX_W,
+            };
+            for x in v.iter_mut().take(k) {
+                *x = target;
+            }
+            Value::IntArray(v)
+        }
+        _ => panic!("kind/value mismatch"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsoap_convert::{format_f64, format_i32};
+
+    #[test]
+    fn pinned_double_widths() {
+        assert_eq!(format_f64(DOUBLE_MIN_W).len(), 1);
+        assert_eq!(format_f64(DOUBLE_MID_W).len(), 18);
+        assert_eq!(format_f64(DOUBLE_MAX_W).len(), 24);
+    }
+
+    #[test]
+    fn pinned_int_widths() {
+        assert_eq!(format_i32(INT_MIN_W).len(), 1);
+        assert_eq!(format_i32(INT_MID_W).len(), 9);
+        assert_eq!(format_i32(INT_MAX_W).len(), 11);
+    }
+
+    #[test]
+    fn mio_total_widths() {
+        // 3, 36 and 46 chars — the exact numbers in Figures 6, 8, 10.
+        let total = |v: &Value| -> usize {
+            let Value::Struct(fields) = v else { panic!() };
+            fields
+                .iter()
+                .map(|f| match f {
+                    Value::Int(x) => format_i32(*x).len(),
+                    Value::Double(x) => format_f64(*x).len(),
+                    _ => panic!(),
+                })
+                .sum()
+        };
+        assert_eq!(total(&mio_min_w()), 3);
+        assert_eq!(total(&mio_mid_w()), 36);
+        assert_eq!(total(&mio_max_w()), 46);
+    }
+
+    #[test]
+    fn values_generate_requested_sizes() {
+        for kind in [Kind::Ints, Kind::Doubles, Kind::Mios] {
+            for n in [0usize, 1, 7, 100] {
+                assert_eq!(values(kind, n).array_len(), Some(n), "{kind:?} {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn values_are_finite_and_varied() {
+        let Value::DoubleArray(v) = values(Kind::Doubles, 1000) else { panic!() };
+        assert!(v.iter().all(|x| x.is_finite()));
+        let lens: std::collections::HashSet<usize> =
+            v.iter().map(|x| format_f64(*x).len()).collect();
+        assert!(lens.len() > 3, "workload should span several serialized widths");
+    }
+
+    #[test]
+    fn grow_fraction_touches_prefix_only() {
+        let base = pinned(Kind::Doubles, 100, WidthClass::Mid);
+        let grown = grow_fraction(Kind::Doubles, &base, 25, WidthClass::Max);
+        let Value::DoubleArray(v) = grown else { panic!() };
+        assert!(v[..25].iter().all(|&x| x == DOUBLE_MAX_W));
+        assert!(v[25..].iter().all(|&x| x == DOUBLE_MID_W));
+    }
+
+    #[test]
+    fn ops_have_single_array_param() {
+        for kind in [Kind::Ints, Kind::Doubles, Kind::Mios] {
+            let op = kind.op();
+            assert_eq!(op.params.len(), 1);
+            assert!(matches!(op.params[0].desc, TypeDesc::Array { .. }));
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! The chunk store: mechanics of non-contiguous message storage.
+
+use std::io::IoSlice;
+
+/// The paper's three chunking knobs (§3.2): "Configurable parameters
+/// determine the default initial chunk size, the threshold at which chunks
+/// are split into two, and the space that is initially left empty at the
+/// end of a chunk (to allow for shifting without reallocation)."
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkConfig {
+    /// Default capacity of a freshly opened chunk, in bytes.
+    pub initial_size: usize,
+    /// A chunk asked to grow beyond this capacity splits instead.
+    pub split_threshold: usize,
+    /// Space left empty at the end of a chunk when sequential appends move
+    /// on to a new chunk, and when a split creates a new chunk.
+    pub reserve: usize,
+}
+
+impl ChunkConfig {
+    /// The paper's common configuration: 32 KiB chunks (§4.3 tests both
+    /// 8 KiB and 32 KiB; 32 KiB matches the socket send-buffer size used).
+    pub fn k32() -> Self {
+        ChunkConfig { initial_size: 32 * 1024, split_threshold: 64 * 1024, reserve: 512 }
+    }
+
+    /// The paper's 8 KiB chunk configuration.
+    pub fn k8() -> Self {
+        ChunkConfig { initial_size: 8 * 1024, split_threshold: 16 * 1024, reserve: 512 }
+    }
+
+    /// Usable bytes of a default chunk during sequential building.
+    pub fn fill_limit(&self) -> usize {
+        self.initial_size.saturating_sub(self.reserve).max(1)
+    }
+}
+
+impl Default for ChunkConfig {
+    fn default() -> Self {
+        Self::k32()
+    }
+}
+
+/// Address of a byte inside a [`ChunkStore`]: `(chunk index, byte offset)`.
+///
+/// This is the "pointer to its current location in the serialized message"
+/// a DUT entry holds (§3.1). Chunk-relative addressing is what keeps DUT
+/// fix-up after shifting bounded to one chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc {
+    /// Index of the chunk in the store.
+    pub chunk: u32,
+    /// Byte offset within that chunk.
+    pub offset: u32,
+}
+
+impl Loc {
+    /// Construct a location.
+    pub fn new(chunk: usize, offset: usize) -> Self {
+        Loc { chunk: chunk as u32, offset: offset as u32 }
+    }
+}
+
+/// One contiguous memory region of the message.
+#[derive(Clone, Debug, Default)]
+pub struct Chunk {
+    buf: Vec<u8>,
+}
+
+impl Chunk {
+    /// New empty chunk with the given capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Chunk { buf: Vec::with_capacity(cap) }
+    }
+
+    /// The used bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Used length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no bytes are used.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Allocated capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Unused trailing space (capacity − len) — shifting headroom.
+    pub fn spare(&self) -> usize {
+        self.buf.capacity() - self.buf.len()
+    }
+}
+
+/// An ordered sequence of chunks holding one serialized message.
+#[derive(Clone, Debug)]
+pub struct ChunkStore {
+    chunks: Vec<Chunk>,
+    config: ChunkConfig,
+    total_len: usize,
+}
+
+impl ChunkStore {
+    /// New empty store.
+    pub fn new(config: ChunkConfig) -> Self {
+        ChunkStore { chunks: Vec::new(), config, total_len: 0 }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> ChunkConfig {
+        self.config
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total used bytes across all chunks.
+    pub fn total_len(&self) -> usize {
+        self.total_len
+    }
+
+    /// Borrow a chunk.
+    pub fn chunk(&self, idx: usize) -> &Chunk {
+        &self.chunks[idx]
+    }
+
+    /// Iterate over the chunks in message order.
+    pub fn chunks(&self) -> impl Iterator<Item = &Chunk> {
+        self.chunks.iter()
+    }
+
+    // ------------------------------------------------------------------
+    // Sequential building (first-time send)
+    // ------------------------------------------------------------------
+
+    /// Append `bytes` as one *region* guaranteed to be contiguous within a
+    /// single chunk; returns its location.
+    ///
+    /// During template building, a region is a value field or a tag run —
+    /// keeping each within one chunk is what lets a DUT entry be a single
+    /// `(chunk, offset)` pointer.
+    pub fn append_region(&mut self, bytes: &[u8]) -> Loc {
+        let fill_limit = self.config.fill_limit();
+        let need_new = match self.chunks.last() {
+            None => true,
+            Some(last) => last.len() + bytes.len() > fill_limit.max(last.len()),
+        };
+        if need_new {
+            let cap = self.config.initial_size.max(bytes.len() + self.config.reserve);
+            self.chunks.push(Chunk::with_capacity(cap));
+        }
+        let idx = self.chunks.len() - 1;
+        let chunk = &mut self.chunks[idx];
+        let offset = chunk.len();
+        chunk.buf.extend_from_slice(bytes);
+        self.total_len += bytes.len();
+        Loc::new(idx, offset)
+    }
+
+    /// Force subsequent appends to open a new chunk (used by the engine to
+    /// align structural boundaries, e.g. the start of an overlaid array).
+    pub fn break_chunk(&mut self) {
+        if self.chunks.last().is_some_and(|c| !c.is_empty()) {
+            self.chunks.push(Chunk::with_capacity(self.config.initial_size));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // In-place access (perfect structural matches)
+    // ------------------------------------------------------------------
+
+    /// Overwrite `bytes.len()` bytes at `loc`. The range must be in-bounds.
+    pub fn write_at(&mut self, loc: Loc, bytes: &[u8]) {
+        let chunk = &mut self.chunks[loc.chunk as usize];
+        let start = loc.offset as usize;
+        chunk.buf[start..start + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Read `len` bytes at `loc`.
+    pub fn read_at(&self, loc: Loc, len: usize) -> &[u8] {
+        let chunk = &self.chunks[loc.chunk as usize];
+        let start = loc.offset as usize;
+        &chunk.buf[start..start + len]
+    }
+
+    // ------------------------------------------------------------------
+    // Expansion / contraction (partial structural matches, shifting)
+    // ------------------------------------------------------------------
+
+    /// Ensure chunk `idx` has at least `delta` bytes of spare capacity,
+    /// growing the allocation if permitted by the split threshold.
+    ///
+    /// Returns `true` if the spare is now available, `false` if growing
+    /// would exceed `split_threshold` (the caller should split instead).
+    pub fn try_grow(&mut self, idx: usize, delta: usize) -> bool {
+        let chunk = &mut self.chunks[idx];
+        if chunk.spare() >= delta {
+            return true;
+        }
+        let needed = chunk.len() + delta;
+        if needed > self.config.split_threshold {
+            return false;
+        }
+        // Grow to the next power-of-two-ish step bounded by the threshold.
+        let target = needed.max(chunk.capacity() * 2).min(self.config.split_threshold);
+        chunk.buf.reserve_exact(target - chunk.len());
+        true
+    }
+
+    /// Move the bytes of chunk `idx` from `offset` to the end right by
+    /// `delta`, leaving a writable gap `[offset, offset+delta)`.
+    ///
+    /// Requires spare capacity ≥ `delta` (call [`Self::try_grow`] first).
+    /// This is the paper's *shifting* primitive: "all the bytes of the
+    /// message are shifted to the right to make room for the new value".
+    pub fn shift_tail_right(&mut self, idx: usize, offset: usize, delta: usize) {
+        if delta == 0 {
+            return;
+        }
+        let chunk = &mut self.chunks[idx];
+        assert!(chunk.spare() >= delta, "shift without spare capacity");
+        let old_len = chunk.len();
+        chunk.buf.resize(old_len + delta, 0);
+        chunk.buf.copy_within(offset..old_len, offset + delta);
+        self.total_len += delta;
+    }
+
+    /// Delete `len` bytes at `offset` in chunk `idx`, moving the tail left
+    /// (array contraction on a partial structural match).
+    pub fn delete_range(&mut self, idx: usize, offset: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let chunk = &mut self.chunks[idx];
+        chunk.buf.drain(offset..offset + len);
+        self.total_len -= len;
+    }
+
+    /// Grow chunk `idx` by at least `delta` spare bytes regardless of the
+    /// split threshold — the correctness fallback for a single field region
+    /// larger than the threshold.
+    pub fn grow_unbounded(&mut self, idx: usize, delta: usize) {
+        let chunk = &mut self.chunks[idx];
+        if chunk.spare() < delta {
+            chunk.buf.reserve_exact(delta);
+        }
+    }
+
+    /// Move the bytes `[start, end)` of chunk `idx` right by `delta`,
+    /// within the chunk's current length (the *stealing* primitive: the
+    /// destination overlaps a neighbor's padding, so `end + delta` must be
+    /// ≤ the chunk length).
+    pub fn move_range_right(&mut self, idx: usize, start: usize, end: usize, delta: usize) {
+        if delta == 0 || start == end {
+            return;
+        }
+        let chunk = &mut self.chunks[idx];
+        assert!(end + delta <= chunk.len(), "move_range_right past chunk end");
+        chunk.buf.copy_within(start..end, start + delta);
+    }
+
+    /// Insert an empty chunk at position `at` with the given capacity
+    /// (array growth inserts fresh chunks between existing ones).
+    pub fn insert_empty_chunk(&mut self, at: usize, cap: usize) {
+        self.chunks.insert(at, Chunk::with_capacity(cap));
+    }
+
+    /// Append `bytes` to the end of chunk `idx`; returns the offset they
+    /// were written at. Panics if the chunk's capacity cannot hold them
+    /// (the caller sizes inserted chunks).
+    pub fn append_into(&mut self, idx: usize, bytes: &[u8]) -> usize {
+        let chunk = &mut self.chunks[idx];
+        assert!(chunk.spare() >= bytes.len(), "append_into without capacity");
+        let offset = chunk.len();
+        chunk.buf.extend_from_slice(bytes);
+        self.total_len += bytes.len();
+        offset
+    }
+
+    /// Split chunk `idx` at byte `at`: the bytes `[at, len)` move to a new
+    /// chunk inserted at `idx + 1`, created with the configured reserve.
+    ///
+    /// The caller picks `at` on a field boundary so no DUT region straddles
+    /// the cut; afterwards it must rehome DUT pointers with
+    /// `chunk' = idx+1, offset' = offset - at` for entries past the cut and
+    /// bump the chunk index of all entries in later chunks by one.
+    pub fn split_chunk(&mut self, idx: usize, at: usize) {
+        let tail: Vec<u8> = {
+            let chunk = &mut self.chunks[idx];
+            assert!(at <= chunk.len(), "split point out of range");
+            chunk.buf.split_off(at)
+        };
+        let mut new_chunk = Chunk::with_capacity(
+            (tail.len() + self.config.reserve).max(self.config.initial_size),
+        );
+        new_chunk.buf.extend_from_slice(&tail);
+        self.chunks.insert(idx + 1, new_chunk);
+    }
+
+    /// Insert all chunks of `other` at position `at`, preserving their
+    /// order. Returns the number of chunks inserted. Used when array growth
+    /// grafts freshly serialized elements into an existing message.
+    pub fn graft(&mut self, at: usize, other: ChunkStore) -> usize {
+        let n = other.chunks.len();
+        self.total_len += other.total_len;
+        // Vec::splice keeps relative order of the inserted chunks.
+        self.chunks.splice(at..at, other.chunks);
+        n
+    }
+
+    /// Remove a chunk that has become empty (after contraction).
+    pub fn remove_empty_chunk(&mut self, idx: usize) {
+        assert!(self.chunks[idx].is_empty(), "removing non-empty chunk");
+        self.chunks.remove(idx);
+    }
+
+    // ------------------------------------------------------------------
+    // Egress
+    // ------------------------------------------------------------------
+
+    /// Gather view for vectored I/O: one `IoSlice` per non-empty chunk.
+    pub fn io_slices(&self) -> Vec<IoSlice<'_>> {
+        self.chunks
+            .iter()
+            .filter(|c| !c.is_empty())
+            .map(|c| IoSlice::new(c.bytes()))
+            .collect()
+    }
+
+    /// Copy all chunks into one flat buffer (tests, content comparison).
+    pub fn flatten(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_len);
+        for c in &self.chunks {
+            out.extend_from_slice(c.bytes());
+        }
+        out
+    }
+
+    /// Recompute and verify internal accounting (test support).
+    ///
+    /// Panics if `total_len` disagrees with the chunk contents.
+    pub fn assert_consistent(&self) {
+        let sum: usize = self.chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(sum, self.total_len, "total_len accounting drifted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ChunkConfig {
+        ChunkConfig { initial_size: 64, split_threshold: 128, reserve: 8 }
+    }
+
+    #[test]
+    fn sequential_append_fills_and_rolls_over() {
+        let mut store = ChunkStore::new(small_config());
+        // fill limit = 56: 30 won't fit after 30, but 20 will.
+        let a = store.append_region(&[b'a'; 30]);
+        let b = store.append_region(&[b'b'; 30]);
+        let c = store.append_region(&[b'c'; 20]);
+        assert_eq!(a, Loc::new(0, 0));
+        assert_eq!(b, Loc::new(1, 0), "second region must not straddle");
+        assert_eq!(c, Loc::new(1, 30), "third region fits in chunk 1");
+        assert_eq!(store.chunk_count(), 2);
+        assert_eq!(store.total_len(), 80);
+        store.assert_consistent();
+    }
+
+    #[test]
+    fn oversized_region_gets_dedicated_chunk() {
+        let mut store = ChunkStore::new(small_config());
+        let big = vec![b'x'; 200];
+        let loc = store.append_region(&big);
+        assert_eq!(loc, Loc::new(0, 0));
+        assert_eq!(store.chunk(0).len(), 200);
+        assert!(store.chunk(0).spare() >= small_config().reserve);
+    }
+
+    #[test]
+    fn write_and_read_at() {
+        let mut store = ChunkStore::new(small_config());
+        let loc = store.append_region(b"hello world");
+        store.write_at(Loc { offset: 6, ..loc }, b"WORLD");
+        assert_eq!(store.read_at(loc, 11), b"hello WORLD");
+    }
+
+    #[test]
+    fn shift_tail_right_makes_gap() {
+        let mut store = ChunkStore::new(small_config());
+        let loc = store.append_region(b"abcdef");
+        assert!(store.try_grow(0, 3));
+        store.shift_tail_right(0, 2, 3);
+        store.write_at(Loc { offset: 2, ..loc }, b"XYZ");
+        assert_eq!(store.flatten(), b"abXYZcdef");
+        store.assert_consistent();
+    }
+
+    #[test]
+    fn shift_at_end_extends() {
+        let mut store = ChunkStore::new(small_config());
+        store.append_region(b"abc");
+        assert!(store.try_grow(0, 2));
+        store.shift_tail_right(0, 3, 2);
+        store.write_at(Loc::new(0, 3), b"de");
+        assert_eq!(store.flatten(), b"abcde");
+    }
+
+    #[test]
+    fn grow_respects_split_threshold() {
+        let mut store = ChunkStore::new(small_config());
+        store.append_region(&[0u8; 60]);
+        // Growing by 200 would exceed split_threshold (128).
+        assert!(!store.try_grow(0, 200));
+        // Growing by 40 is fine (60 + 40 ≤ 128).
+        assert!(store.try_grow(0, 40));
+        assert!(store.chunk(0).spare() >= 40);
+    }
+
+    #[test]
+    fn split_chunk_moves_tail() {
+        let mut store = ChunkStore::new(small_config());
+        store.append_region(b"0123456789");
+        store.split_chunk(0, 4);
+        assert_eq!(store.chunk_count(), 2);
+        assert_eq!(store.chunk(0).bytes(), b"0123");
+        assert_eq!(store.chunk(1).bytes(), b"456789");
+        assert_eq!(store.flatten(), b"0123456789");
+        assert!(store.chunk(1).spare() >= small_config().reserve);
+        store.assert_consistent();
+    }
+
+    #[test]
+    fn split_at_end_makes_empty_tail_chunk() {
+        let mut store = ChunkStore::new(small_config());
+        store.append_region(b"abc");
+        store.split_chunk(0, 3);
+        assert_eq!(store.chunk_count(), 2);
+        assert!(store.chunk(1).is_empty());
+        store.remove_empty_chunk(1);
+        assert_eq!(store.chunk_count(), 1);
+    }
+
+    #[test]
+    fn delete_range_contracts() {
+        let mut store = ChunkStore::new(small_config());
+        store.append_region(b"0123456789");
+        store.delete_range(0, 2, 5);
+        assert_eq!(store.flatten(), b"01789");
+        assert_eq!(store.total_len(), 5);
+        store.assert_consistent();
+    }
+
+    #[test]
+    fn move_range_right_overlapping() {
+        let mut store = ChunkStore::new(small_config());
+        store.append_region(b"abcdef....");
+        store.move_range_right(0, 2, 6, 3);
+        // bytes [2..6) = "cdef" moved to [5..9)
+        assert_eq!(&store.flatten()[5..9], b"cdef");
+        assert_eq!(store.total_len(), 10, "length unchanged");
+    }
+
+    #[test]
+    fn grow_unbounded_ignores_threshold() {
+        let mut store = ChunkStore::new(small_config());
+        store.append_region(&[0u8; 60]);
+        store.grow_unbounded(0, 500);
+        assert!(store.chunk(0).spare() >= 500);
+    }
+
+    #[test]
+    fn insert_and_append_into() {
+        let mut store = ChunkStore::new(small_config());
+        store.append_region(b"head");
+        store.break_chunk();
+        store.append_region(b"tail");
+        store.insert_empty_chunk(1, 32);
+        let off = store.append_into(1, b"mid");
+        assert_eq!(off, 0);
+        assert_eq!(store.flatten(), b"headmidtail");
+        store.assert_consistent();
+    }
+
+    #[test]
+    fn io_slices_match_flatten() {
+        let mut store = ChunkStore::new(small_config());
+        store.append_region(&[b'a'; 40]);
+        store.append_region(&[b'b'; 40]);
+        store.append_region(&[b'c'; 40]);
+        let slices = store.io_slices();
+        assert!(slices.len() >= 2);
+        let gathered: Vec<u8> = slices.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(gathered, store.flatten());
+    }
+
+    #[test]
+    fn break_chunk_opens_boundary() {
+        let mut store = ChunkStore::new(small_config());
+        store.append_region(b"head");
+        store.break_chunk();
+        let loc = store.append_region(b"tail");
+        assert_eq!(loc.chunk, 1);
+        // One break opens a fresh empty chunk; a second break on the
+        // already-empty tail is a no-op.
+        store.break_chunk();
+        store.break_chunk();
+        assert_eq!(store.chunk_count(), 3);
+    }
+}

@@ -1,0 +1,249 @@
+//! ASCII → number conversion: the deserialization direction.
+//!
+//! The server-side substrate (crate `bsoap-deser`) slices text content out
+//! of incoming SOAP messages and hands the byte ranges here. Integer and
+//! boolean parsing are implemented from scratch with explicit overflow
+//! checks; `f64` parsing delegates to the standard library's correctly
+//! rounded parser after lexical validation (writing a correctly rounded
+//! strtod is out of scope for the paper, which never measures the parse
+//! direction of the client).
+
+/// Errors produced when a lexical form does not belong to the target type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Input was empty after trimming XML whitespace.
+    Empty,
+    /// A character outside the lexical space was found.
+    InvalidChar { at: usize },
+    /// The value does not fit in the target integer type.
+    Overflow,
+    /// The floating-point lexical form was malformed.
+    BadFloat,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty lexical value"),
+            ParseError::InvalidChar { at } => write!(f, "invalid character at byte {at}"),
+            ParseError::Overflow => write!(f, "integer overflow"),
+            ParseError::BadFloat => write!(f, "malformed floating-point value"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Strip leading/trailing XML whitespace (space, tab, CR, LF).
+///
+/// The stuffing technique pads fields with spaces, so every parse must
+/// tolerate surrounding whitespace — this is what makes stuffing legal.
+pub fn trim_xml_ws(mut s: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = s {
+        if matches!(first, b' ' | b'\t' | b'\r' | b'\n') {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., last] = s {
+        if matches!(last, b' ' | b'\t' | b'\r' | b'\n') {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// Parse an `xsd:int` lexical form into an `i32`.
+pub fn parse_i32(s: &[u8]) -> Result<i32, ParseError> {
+    let v = parse_i64(s)?;
+    i32::try_from(v).map_err(|_| ParseError::Overflow)
+}
+
+/// Parse an `xsd:long` lexical form into an `i64`.
+pub fn parse_i64(s: &[u8]) -> Result<i64, ParseError> {
+    let s = trim_xml_ws(s);
+    if s.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let (neg, body) = match s[0] {
+        b'-' => (true, &s[1..]),
+        b'+' => (false, &s[1..]),
+        _ => (false, s),
+    };
+    if body.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    // Accumulate negative to cover i64::MIN.
+    let mut acc: i64 = 0;
+    for (i, &c) in body.iter().enumerate() {
+        if !c.is_ascii_digit() {
+            return Err(ParseError::InvalidChar { at: i });
+        }
+        acc = acc
+            .checked_mul(10)
+            .and_then(|a| a.checked_sub((c - b'0') as i64))
+            .ok_or(ParseError::Overflow)?;
+    }
+    if neg {
+        Ok(acc)
+    } else {
+        acc.checked_neg().ok_or(ParseError::Overflow)
+    }
+}
+
+/// Parse an `xsd:boolean` lexical form (`true`/`false`/`1`/`0`).
+pub fn parse_bool(s: &[u8]) -> Result<bool, ParseError> {
+    match trim_xml_ws(s) {
+        b"true" | b"1" => Ok(true),
+        b"false" | b"0" => Ok(false),
+        b"" => Err(ParseError::Empty),
+        _ => Err(ParseError::InvalidChar { at: 0 }),
+    }
+}
+
+/// Parse an `xsd:double` lexical form into an `f64`.
+///
+/// Accepts the schema specials `INF`, `-INF`, `NaN` and decimal/scientific
+/// forms (with `e` or `E`). Correct rounding is delegated to the standard
+/// library parser after validation.
+pub fn parse_f64(s: &[u8]) -> Result<f64, ParseError> {
+    let s = trim_xml_ws(s);
+    match s {
+        b"" => return Err(ParseError::Empty),
+        b"INF" | b"+INF" => return Ok(f64::INFINITY),
+        b"-INF" => return Ok(f64::NEG_INFINITY),
+        b"NaN" => return Ok(f64::NAN),
+        _ => {}
+    }
+    let text = std::str::from_utf8(s).map_err(|_| ParseError::BadFloat)?;
+    // Validate lexical space: optional sign, digits, optional fraction,
+    // optional exponent. (std's parser accepts forms like "inf" and
+    // "1_000"? — it does not, but we validate anyway so the lexical space
+    // matches xsd:double exactly.)
+    validate_double_lexical(s)?;
+    text.parse::<f64>().map_err(|_| ParseError::BadFloat)
+}
+
+fn validate_double_lexical(s: &[u8]) -> Result<(), ParseError> {
+    let mut i = 0;
+    let n = s.len();
+    if i < n && (s[i] == b'+' || s[i] == b'-') {
+        i += 1;
+    }
+    let int_start = i;
+    while i < n && s[i].is_ascii_digit() {
+        i += 1;
+    }
+    let int_digits = i - int_start;
+    let mut frac_digits = 0;
+    if i < n && s[i] == b'.' {
+        i += 1;
+        let frac_start = i;
+        while i < n && s[i].is_ascii_digit() {
+            i += 1;
+        }
+        frac_digits = i - frac_start;
+    }
+    if int_digits == 0 && frac_digits == 0 {
+        return Err(ParseError::BadFloat);
+    }
+    if i < n && (s[i] == b'e' || s[i] == b'E') {
+        i += 1;
+        if i < n && (s[i] == b'+' || s[i] == b'-') {
+            i += 1;
+        }
+        let exp_start = i;
+        while i < n && s[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == exp_start {
+            return Err(ParseError::BadFloat);
+        }
+    }
+    if i != n {
+        return Err(ParseError::InvalidChar { at: i });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trims_stuffing_whitespace() {
+        assert_eq!(trim_xml_ws(b"   42   "), b"42");
+        assert_eq!(trim_xml_ws(b"\t\r\n5\n"), b"5");
+        assert_eq!(trim_xml_ws(b"    "), b"");
+    }
+
+    #[test]
+    fn int_parsing() {
+        assert_eq!(parse_i32(b"0"), Ok(0));
+        assert_eq!(parse_i32(b"13902"), Ok(13902));
+        assert_eq!(parse_i32(b"-2147483648"), Ok(i32::MIN));
+        assert_eq!(parse_i32(b"2147483647"), Ok(i32::MAX));
+        assert_eq!(parse_i32(b"2147483648"), Err(ParseError::Overflow));
+        assert_eq!(parse_i32(b"  7 "), Ok(7));
+        assert_eq!(parse_i32(b"+7"), Ok(7));
+        assert!(parse_i32(b"").is_err());
+        assert!(parse_i32(b"1x").is_err());
+        assert!(parse_i32(b"-").is_err());
+    }
+
+    #[test]
+    fn long_extremes() {
+        assert_eq!(parse_i64(b"-9223372036854775808"), Ok(i64::MIN));
+        assert_eq!(parse_i64(b"9223372036854775807"), Ok(i64::MAX));
+        assert_eq!(parse_i64(b"9223372036854775808"), Err(ParseError::Overflow));
+    }
+
+    #[test]
+    fn bool_forms() {
+        assert_eq!(parse_bool(b"true"), Ok(true));
+        assert_eq!(parse_bool(b"false"), Ok(false));
+        assert_eq!(parse_bool(b"1"), Ok(true));
+        assert_eq!(parse_bool(b"0"), Ok(false));
+        assert_eq!(parse_bool(b" true "), Ok(true));
+        assert!(parse_bool(b"TRUE").is_err());
+    }
+
+    #[test]
+    fn double_specials() {
+        assert_eq!(parse_f64(b"INF").unwrap(), f64::INFINITY);
+        assert_eq!(parse_f64(b"-INF").unwrap(), f64::NEG_INFINITY);
+        assert!(parse_f64(b"NaN").unwrap().is_nan());
+    }
+
+    #[test]
+    fn double_forms() {
+        assert_eq!(parse_f64(b"1").unwrap(), 1.0);
+        assert_eq!(parse_f64(b"-0.5").unwrap(), -0.5);
+        assert_eq!(parse_f64(b"2.5E-10").unwrap(), 2.5e-10);
+        assert_eq!(parse_f64(b"1e3").unwrap(), 1000.0);
+        assert_eq!(parse_f64(b".5").unwrap(), 0.5);
+        assert_eq!(parse_f64(b"5.").unwrap(), 5.0);
+        assert_eq!(parse_f64(b"  3.14  ").unwrap(), 3.14);
+    }
+
+    #[test]
+    fn double_rejections() {
+        assert!(parse_f64(b"").is_err());
+        assert!(parse_f64(b".").is_err());
+        assert!(parse_f64(b"1e").is_err());
+        assert!(parse_f64(b"1.2.3").is_err());
+        assert!(parse_f64(b"abc").is_err());
+        assert!(parse_f64(b"inf").is_err(), "xsd:double requires uppercase INF");
+    }
+
+    #[test]
+    fn dtoa_parse_round_trip() {
+        for v in [0.1, -7.25, 1e300, 5e-324, 123456.789] {
+            let s = crate::dtoa::format_f64(v);
+            assert_eq!(parse_f64(s.as_bytes()).unwrap().to_bits(), v.to_bits());
+        }
+    }
+}

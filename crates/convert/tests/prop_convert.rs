@@ -1,0 +1,116 @@
+//! Property tests for the conversion substrate.
+//!
+//! The differential-serialization engine's correctness rests on these
+//! conversions being exact: a value written into a template and later
+//! parsed by a server must round-trip bit-for-bit.
+
+use bsoap_convert::{dtoa, itoa, parse};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Every finite f64 bit pattern formats within 24 bytes and re-parses
+    /// to the identical bit pattern.
+    #[test]
+    fn dtoa_round_trips_all_finite(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        prop_assume!(v.is_finite());
+        let s = dtoa::format_f64(v);
+        prop_assert!(s.len() <= dtoa::MAX_LEN, "{} is {} bytes", s, s.len());
+        let back: f64 = s.parse().unwrap();
+        prop_assert_eq!(back.to_bits(), v.to_bits(), "{}", s);
+    }
+
+    /// Our own xsd:double parser agrees with the formatter.
+    #[test]
+    fn own_parser_round_trips(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        prop_assume!(v.is_finite());
+        let s = dtoa::format_f64(v);
+        let back = parse::parse_f64(s.as_bytes()).unwrap();
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    /// Formatting is shortest: dropping the last significant digit must NOT
+    /// round-trip (otherwise we would have chosen the shorter form).
+    #[test]
+    fn dtoa_is_minimal(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        prop_assume!(v.is_finite() && v != 0.0);
+        let (_, digits, k) = dtoa::shortest_digits(v);
+        prop_assume!(digits.len() > 1);
+        // Re-round the shortest digits to one fewer digit, every way
+        // (truncate and truncate+increment), and check neither recovers v.
+        let shorter = &digits[..digits.len() - 1];
+        for bump in [0u8, 1] {
+            let mut d = shorter.to_vec();
+            if bump == 1 {
+                // increment with carry
+                let mut i = d.len();
+                loop {
+                    if i == 0 { d.insert(0, b'1'); d.pop(); break; }
+                    i -= 1;
+                    if d[i] == b'9' { d[i] = b'0'; } else { d[i] += 1; break; }
+                }
+            }
+            let text = format!(
+                "{}{}e{}",
+                if v < 0.0 { "-" } else { "" },
+                std::str::from_utf8(&d).unwrap(),
+                k - d.len() as i32
+            );
+            if let Ok(back) = text.parse::<f64>() {
+                prop_assert_ne!(
+                    back.to_bits(), v.to_bits(),
+                    "shorter digits {} recover {}", text, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn itoa_i32_matches_display(v in any::<i32>()) {
+        prop_assert_eq!(itoa::format_i32(v), v.to_string());
+        prop_assert!(itoa::format_i32(v).len() <= bsoap_convert::INT_MAX_WIDTH);
+        prop_assert_eq!(itoa::i32_width(v), v.to_string().len());
+    }
+
+    #[test]
+    fn itoa_i64_matches_display(v in any::<i64>()) {
+        prop_assert_eq!(itoa::format_i64(v), v.to_string());
+        prop_assert!(itoa::format_i64(v).len() <= bsoap_convert::LONG_MAX_WIDTH);
+    }
+
+    #[test]
+    fn parse_i32_round_trips(v in any::<i32>()) {
+        prop_assert_eq!(parse::parse_i32(itoa::format_i32(v).as_bytes()), Ok(v));
+    }
+
+    #[test]
+    fn parse_i64_round_trips(v in any::<i64>()) {
+        prop_assert_eq!(parse::parse_i64(itoa::format_i64(v).as_bytes()), Ok(v));
+    }
+
+    /// Parsing tolerates the whitespace stuffing the engine emits.
+    #[test]
+    fn parse_tolerates_stuffing(v in any::<i32>(), pad_left in 0usize..6, pad_right in 0usize..6) {
+        let padded = format!(
+            "{}{}{}",
+            " ".repeat(pad_left),
+            itoa::format_i32(v),
+            " ".repeat(pad_right)
+        );
+        prop_assert_eq!(parse::parse_i32(padded.as_bytes()), Ok(v));
+    }
+
+    /// "Nice" decimal literals with few digits format back to themselves.
+    #[test]
+    fn short_decimals_are_stable(int_part in 0u32..10_000, frac in 1u32..1000) {
+        let text = format!("{int_part}.{frac:03}");
+        let text = text.trim_end_matches('0');
+        prop_assume!(!text.ends_with('.'));
+        let v: f64 = text.parse().unwrap();
+        prop_assert_eq!(dtoa::format_f64(v), text);
+    }
+}

@@ -1,0 +1,247 @@
+//! The client stub: automatic four-tier differential sends.
+//!
+//! "When called upon to make an outcall, the client stub determines
+//! whether parts or all of the last copy of the same message type can be
+//! reused" (§3.1). [`Client::call`] is that stub: it consults the template
+//! cache, diffs the new arguments against the saved copy, resizes on a
+//! length mismatch, and sends through the cheapest tier.
+//!
+//! Two §6 ("Future Work") refinements are opt-in:
+//!
+//! * [`Client::set_templates_per_key`] keeps up to *k* templates per
+//!   `(endpoint, structure)` and serves the one whose array lengths match
+//!   the outgoing call — alternating message shapes stop paying for
+//!   resizes;
+//! * [`Client::set_endpoint_sharing`] lets a first call to a *new*
+//!   endpoint clone a same-structure template saved for another service
+//!   and merely diff it, amortizing serialization across services.
+
+use crate::cache::{TemplateCache, TemplateKey};
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+use crate::schema::OpDesc;
+use crate::sendv::write_all_vectored;
+use crate::template::{MessageTemplate, SendReport, SendTier};
+use crate::value::Value;
+use std::io::Write;
+
+/// Cumulative client statistics across all templates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Calls that built a new template from scratch.
+    pub first_time: u64,
+    /// Calls resent verbatim.
+    pub content_match: u64,
+    /// Calls that patched values in place.
+    pub perfect_structural: u64,
+    /// Calls that resized the template.
+    pub partial_structural: u64,
+    /// Calls that bootstrapped a new endpoint by cloning a sibling
+    /// template (§6 cross-endpoint sharing). Also counted under the tier
+    /// the post-clone diff realized.
+    pub shared_clones: u64,
+    /// Total bytes handed to transports.
+    pub bytes_sent: u64,
+}
+
+impl ClientStats {
+    /// Total call count.
+    pub fn calls(&self) -> u64 {
+        self.first_time + self.content_match + self.perfect_structural + self.partial_structural
+    }
+
+    fn record(&mut self, report: &SendReport) {
+        match report.tier {
+            SendTier::FirstTime => self.first_time += 1,
+            SendTier::ContentMatch => self.content_match += 1,
+            SendTier::PerfectStructural => self.perfect_structural += 1,
+            SendTier::PartialStructural => self.partial_structural += 1,
+        }
+        self.bytes_sent += report.bytes as u64;
+    }
+}
+
+/// A differential-serialization SOAP client.
+#[derive(Debug)]
+pub struct Client {
+    config: EngineConfig,
+    cache: TemplateCache,
+    stats: ClientStats,
+    templates_per_key: usize,
+    share_across_endpoints: bool,
+}
+
+impl Client {
+    /// Client with the given engine configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Client {
+            config,
+            cache: TemplateCache::new(),
+            stats: ClientStats::default(),
+            templates_per_key: 1,
+            share_across_endpoints: false,
+        }
+    }
+
+    /// Client with the paper-default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::paper_default())
+    }
+
+    /// The engine configuration in force.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// The template cache (for memory accounting / eviction).
+    pub fn cache(&self) -> &TemplateCache {
+        &self.cache
+    }
+
+    /// Keep up to `k` templates per `(endpoint, structure)` key (§6).
+    /// Values are clamped to at least 1. With `k > 1`, a call whose array
+    /// lengths match no cached template builds a new variant instead of
+    /// resizing, up to the cap; the least recently used variant is
+    /// evicted.
+    pub fn set_templates_per_key(&mut self, k: usize) {
+        self.templates_per_key = k.max(1);
+    }
+
+    /// Enable cross-endpoint template sharing (§6): first calls to a new
+    /// endpoint clone a same-structure sibling template and diff it
+    /// rather than serializing from scratch.
+    pub fn set_endpoint_sharing(&mut self, on: bool) {
+        self.share_across_endpoints = on;
+    }
+
+    /// Invoke `op` on `endpoint` with `args`, sending the message to
+    /// `sink`. Selects the cheapest of the four matching tiers.
+    pub fn call(
+        &mut self,
+        endpoint: &str,
+        op: &OpDesc,
+        args: &[Value],
+        sink: &mut impl Write,
+    ) -> Result<SendReport, EngineError> {
+        self.call_via(endpoint, op, args, |slices| {
+            let mut w = sink;
+            write_all_vectored(&mut w, slices)
+        })
+    }
+
+    /// Like [`Client::call`], but hands the serialized message (as its
+    /// chunk gather list) to `send` — the hook for framed transports
+    /// (e.g. an HTTP POST per message) that need to see whole-message
+    /// boundaries rather than a byte stream.
+    pub fn call_via<F>(
+        &mut self,
+        endpoint: &str,
+        op: &OpDesc,
+        args: &[Value],
+        send: F,
+    ) -> Result<SendReport, EngineError>
+    where
+        F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
+    {
+        let key = TemplateKey::new(endpoint, op);
+        let cap = self.templates_per_key;
+
+        // Can an existing template for this key serve the call? With a
+        // multi-template set, a nonzero distance means a resize; prefer
+        // building a new variant while the set has room.
+        let matched = self.cache.match_for(&key, args);
+        let use_existing = matches!(matched, Some((_, dist, len)) if dist == 0 || len >= cap);
+
+        let report = if use_existing {
+            let (idx, _, _) = matched.expect("checked above");
+            let tpl = self.cache.set_mut(&key).promote(idx);
+            tpl.update_args(args)?;
+            let mut report = tpl.flush();
+            report.bytes = send(&tpl.io_slices())?;
+            report
+        } else if self.share_across_endpoints && matched.is_none() {
+            if let Some(sibling) = self.cache.find_shareable(&key) {
+                // §6 sharing: clone the sibling's serialized bytes + DUT
+                // and diff — the conversion work done for the other
+                // endpoint is reused wholesale.
+                let mut tpl = sibling.clone();
+                tpl.update_args(args)?;
+                let mut report = tpl.flush();
+                report.bytes = send(&tpl.io_slices())?;
+                self.stats.shared_clones += 1;
+                self.cache.insert_with_cap(key, tpl, cap);
+                report
+            } else {
+                self.first_time(key, op, args, send)?
+            }
+        } else {
+            self.first_time(key, op, args, send)?
+        };
+        self.stats.record(&report);
+        Ok(report)
+    }
+
+    /// First-Time Send: full serialization, then save the template — "the
+    /// negligible overhead of checking to see if a stored copy exists and
+    /// saving a pointer to it after it has been created" (§3).
+    fn first_time<F>(
+        &mut self,
+        key: TemplateKey,
+        op: &OpDesc,
+        args: &[Value],
+        send: F,
+    ) -> Result<SendReport, EngineError>
+    where
+        F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
+    {
+        let tpl = MessageTemplate::build(self.config, op, args)?;
+        let bytes = send(&tpl.io_slices())?;
+        let report = SendReport {
+            tier: SendTier::FirstTime,
+            bytes,
+            values_written: tpl.leaf_count(),
+            shifts: 0,
+            steals: 0,
+            splits: 0,
+        };
+        self.cache.insert_with_cap(key, tpl, self.templates_per_key);
+        Ok(report)
+    }
+
+    /// Get (building if necessary) the template for `(endpoint, op)` — the
+    /// manual fast path: mutate leaves directly with `set_*`, then
+    /// [`MessageTemplate::send`].
+    ///
+    /// Note: sends made directly on the returned template are counted in
+    /// the template's own stats, not the client's.
+    pub fn prepare(
+        &mut self,
+        endpoint: &str,
+        op: &OpDesc,
+        args: &[Value],
+    ) -> Result<&mut MessageTemplate, EngineError> {
+        let key = TemplateKey::new(endpoint, op);
+        if !self.cache.contains(&key) {
+            let tpl = MessageTemplate::build(self.config, op, args)?;
+            self.cache.insert_with_cap(key.clone(), tpl, self.templates_per_key);
+        }
+        Ok(self.cache.get_mut(&key).expect("just inserted"))
+    }
+
+    /// Look up an existing template without building (the most recently
+    /// used one, when several variants are kept).
+    pub fn template_mut(&mut self, endpoint: &str, op: &OpDesc) -> Option<&mut MessageTemplate> {
+        self.cache.get_mut(&TemplateKey::new(endpoint, op))
+    }
+
+    /// Drop the saved template(s) for `(endpoint, op)` (memory
+    /// reclamation).
+    pub fn evict(&mut self, endpoint: &str, op: &OpDesc) -> bool {
+        self.cache.remove(&TemplateKey::new(endpoint, op)).is_some()
+    }
+}

@@ -1,0 +1,159 @@
+//! Engine configuration: the paper's design-space knobs.
+
+pub use bsoap_chunks::ChunkConfig;
+use bsoap_convert::ScalarKind;
+
+/// Initial field-width policy — the *stuffing* knob (§3.2, §4.4).
+///
+/// The field width is the number of characters allocated to a value in the
+/// template; it "must always match or exceed the serialized length" (§3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WidthPolicy {
+    /// Allocate exactly the serialized length (no stuffing). Growth later
+    /// requires stealing/shifting.
+    Exact,
+    /// Stuff every bounded field to its type's maximum width: "setting
+    /// field widths to maximum values can help avoid shifting altogether,
+    /// at the expense of larger messages" (§3.2).
+    Max,
+    /// Stuff to a fixed intermediate width per kind (clamped up to the
+    /// actual serialized length when the value is already longer). The
+    /// paper's §4.4 intermediate widths are 18 chars for doubles and
+    /// implicitly 36 for whole MIOs.
+    Fixed {
+        /// Width for `xsd:double` fields.
+        double: usize,
+        /// Width for `xsd:int` fields.
+        int: usize,
+        /// Width for `xsd:long` fields.
+        long: usize,
+    },
+}
+
+impl WidthPolicy {
+    /// Initial field width for a value of `kind` whose serialized form is
+    /// `ser_len` bytes. Strings are unbounded and never stuffed.
+    pub fn initial_width(self, kind: ScalarKind, ser_len: usize) -> usize {
+        let target = match (self, kind) {
+            (_, ScalarKind::Str) => ser_len,
+            (WidthPolicy::Exact, _) => ser_len,
+            (WidthPolicy::Max, k) => k.max_width().unwrap_or(ser_len),
+            (WidthPolicy::Fixed { double, .. }, ScalarKind::Double) => double,
+            (WidthPolicy::Fixed { int, .. }, ScalarKind::Int) => int,
+            (WidthPolicy::Fixed { long, .. }, ScalarKind::Long) => long,
+            (WidthPolicy::Fixed { .. }, ScalarKind::Bool) => bsoap_convert::BOOL_MAX_WIDTH,
+        };
+        target.max(ser_len)
+    }
+}
+
+/// What width a field gets after an expansion forced it to shift (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GrowthPolicy {
+    /// Grow to exactly the new serialized length (minimal message size;
+    /// the next growth shifts again).
+    #[default]
+    Exact,
+    /// Grow straight to the type's maximum width so this field never
+    /// shifts again.
+    ToMax,
+}
+
+/// Full engine configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Chunk store parameters (initial size / split threshold / reserve).
+    pub chunk: ChunkConfig,
+    /// Initial stuffing policy.
+    pub width: WidthPolicy,
+    /// Post-shift growth policy.
+    pub growth: GrowthPolicy,
+    /// Enable stealing slack from the right neighbor before shifting.
+    pub steal: bool,
+}
+
+impl EngineConfig {
+    /// Paper-default configuration: 32 KiB chunks, exact widths, stealing on.
+    pub fn paper_default() -> Self {
+        EngineConfig {
+            chunk: ChunkConfig::k32(),
+            width: WidthPolicy::Exact,
+            growth: GrowthPolicy::Exact,
+            steal: true,
+        }
+    }
+
+    /// Configuration with maximum stuffing (the shift-free operating point).
+    pub fn stuffed_max() -> Self {
+        EngineConfig { width: WidthPolicy::Max, ..Self::paper_default() }
+    }
+
+    /// Builder-style chunk override.
+    pub fn with_chunk(mut self, chunk: ChunkConfig) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Builder-style width override.
+    pub fn with_width(mut self, width: WidthPolicy) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Builder-style growth override.
+    pub fn with_growth(mut self, growth: GrowthPolicy) -> Self {
+        self.growth = growth;
+        self
+    }
+
+    /// Builder-style steal toggle.
+    pub fn with_steal(mut self, steal: bool) -> Self {
+        self.steal = steal;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_policy_exact() {
+        assert_eq!(WidthPolicy::Exact.initial_width(ScalarKind::Double, 5), 5);
+    }
+
+    #[test]
+    fn width_policy_max() {
+        assert_eq!(WidthPolicy::Max.initial_width(ScalarKind::Double, 5), 24);
+        assert_eq!(WidthPolicy::Max.initial_width(ScalarKind::Int, 2), 11);
+        // Strings have no max — width stays at the serialized length.
+        assert_eq!(WidthPolicy::Max.initial_width(ScalarKind::Str, 7), 7);
+    }
+
+    #[test]
+    fn width_policy_fixed_clamps_up() {
+        let p = WidthPolicy::Fixed { double: 18, int: 6, long: 12 };
+        assert_eq!(p.initial_width(ScalarKind::Double, 5), 18);
+        assert_eq!(p.initial_width(ScalarKind::Double, 22), 22, "never below ser_len");
+        assert_eq!(p.initial_width(ScalarKind::Int, 2), 6);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = EngineConfig::paper_default()
+            .with_chunk(ChunkConfig::k8())
+            .with_width(WidthPolicy::Max)
+            .with_growth(GrowthPolicy::ToMax)
+            .with_steal(false);
+        assert_eq!(c.chunk, ChunkConfig::k8());
+        assert_eq!(c.width, WidthPolicy::Max);
+        assert_eq!(c.growth, GrowthPolicy::ToMax);
+        assert!(!c.steal);
+    }
+}

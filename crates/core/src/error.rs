@@ -1,0 +1,92 @@
+//! Engine error type.
+
+/// Errors surfaced by the differential serialization engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// An argument value does not match the operation's declared type.
+    TypeMismatch {
+        /// Human-readable location, e.g. `param 0 / field "x"`.
+        at: String,
+        /// What the schema expected.
+        expected: &'static str,
+        /// What was supplied.
+        found: &'static str,
+    },
+    /// A leaf index is out of range for this template.
+    BadLeafIndex {
+        /// The offending index.
+        index: usize,
+        /// Number of leaves in the template.
+        leaf_count: usize,
+    },
+    /// A leaf was updated with a scalar of the wrong kind.
+    KindMismatch {
+        /// The leaf index.
+        index: usize,
+        /// The leaf's declared kind.
+        expected: bsoap_convert::ScalarKind,
+    },
+    /// An array index addressed by a bulk update is out of range.
+    BadArrayIndex {
+        /// Which array parameter.
+        array: usize,
+        /// The offending element index.
+        index: usize,
+        /// Current array length.
+        len: usize,
+    },
+    /// Argument count differs from the operation's parameter count.
+    ArityMismatch {
+        /// Parameters declared.
+        expected: usize,
+        /// Arguments supplied.
+        found: usize,
+    },
+    /// The structure of supplied arguments differs from the template in a
+    /// way that is not a pure array-length change (no structural match).
+    StructureMismatch {
+        /// Human-readable explanation.
+        why: String,
+    },
+    /// I/O failure while sending.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::TypeMismatch { at, expected, found } => {
+                write!(f, "type mismatch at {at}: expected {expected}, found {found}")
+            }
+            EngineError::BadLeafIndex { index, leaf_count } => {
+                write!(f, "leaf index {index} out of range (template has {leaf_count} leaves)")
+            }
+            EngineError::KindMismatch { index, expected } => {
+                write!(f, "leaf {index} update has wrong kind (leaf is {expected:?})")
+            }
+            EngineError::BadArrayIndex { array, index, len } => {
+                write!(f, "array {array} element {index} out of range (len {len})")
+            }
+            EngineError::ArityMismatch { expected, found } => {
+                write!(f, "operation takes {expected} parameter(s), {found} supplied")
+            }
+            EngineError::StructureMismatch { why } => write!(f, "structure mismatch: {why}"),
+            EngineError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}

@@ -1,0 +1,108 @@
+//! Vectored send helper.
+//!
+//! The chunk store hands out one `IoSlice` per chunk; this module drains
+//! them through any `Write` using `write_vectored`, handling partial
+//! writes. This is the "scatter-gather sends" consideration of §3.2 — the
+//! non-contiguous template is sent without ever being flattened.
+
+use std::io::{IoSlice, Result, Write};
+
+/// Write all bytes of all `slices` to `w`, using vectored writes.
+///
+/// Returns the total byte count on success.
+pub fn write_all_vectored(w: &mut impl Write, slices: &[IoSlice<'_>]) -> Result<usize> {
+    let total: usize = slices.iter().map(|s| s.len()).sum();
+    // Position: first unconsumed slice and byte offset within it.
+    let mut idx = 0usize;
+    let mut off = 0usize;
+    let mut view: Vec<IoSlice<'_>> = Vec::with_capacity(slices.len());
+    // Skip leading empty slices.
+    while idx < slices.len() && slices[idx].is_empty() {
+        idx += 1;
+    }
+    while idx < slices.len() {
+        // Rebuild the remaining view (partial writes are rare; sockets
+        // normally take the whole gather list in one call).
+        view.clear();
+        view.push(IoSlice::new(&slices[idx][off..]));
+        view.extend(slices[idx + 1..].iter().map(|s| IoSlice::new(s)));
+        let n = w.write_vectored(&view)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "vectored write returned zero",
+            ));
+        }
+        // Advance the (idx, off) position by n bytes.
+        let mut remaining = n + off;
+        off = 0;
+        while idx < slices.len() && remaining >= slices[idx].len() {
+            remaining -= slices[idx].len();
+            idx += 1;
+        }
+        if idx < slices.len() {
+            off = remaining;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Writer that accepts at most `cap` bytes per call, exercising the
+    /// partial-write resumption logic.
+    struct Dribble {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> Result<usize> {
+            let mut room = self.cap;
+            let mut n = 0;
+            for b in bufs {
+                if room == 0 {
+                    break;
+                }
+                let take = b.len().min(room);
+                self.out.extend_from_slice(&b[..take]);
+                room -= take;
+                n += take;
+            }
+            Ok(n)
+        }
+        fn flush(&mut self) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn writes_everything_across_partial_writes() {
+        let a = b"hello ".to_vec();
+        let b = b"vectored ".to_vec();
+        let c = b"world".to_vec();
+        let slices = [IoSlice::new(&a), IoSlice::new(&b), IoSlice::new(&c)];
+        for cap in [1, 2, 3, 5, 7, 100] {
+            let mut w = Dribble { out: Vec::new(), cap };
+            let n = write_all_vectored(&mut w, &slices).unwrap();
+            assert_eq!(n, 20);
+            assert_eq!(w.out, b"hello vectored world", "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn empty_slices_ok() {
+        let mut w = Dribble { out: Vec::new(), cap: 10 };
+        assert_eq!(write_all_vectored(&mut w, &[]).unwrap(), 0);
+        let empty = Vec::new();
+        let slices = [IoSlice::new(&empty)];
+        assert_eq!(write_all_vectored(&mut w, &slices).unwrap(), 0);
+    }
+}

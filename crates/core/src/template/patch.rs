@@ -1,0 +1,254 @@
+//! Differential flush: rewrite only dirty values, expanding fields on
+//! demand via stealing and shifting (§3.2).
+
+use super::{MessageTemplate, SendReport, SendTier};
+use crate::config::GrowthPolicy;
+
+/// Counters for one flush (folded into the report and lifetime stats).
+#[derive(Default)]
+struct PatchCounters {
+    values_written: usize,
+    shifts: usize,
+    steals: usize,
+    splits: usize,
+    shifted_bytes: u64,
+}
+
+impl MessageTemplate {
+    /// Re-serialize all dirty leaves into the stored message.
+    pub(crate) fn flush_dirty(&mut self) -> SendReport {
+        let tier = self.pending_tier();
+        let mut counters = PatchCounters::default();
+
+        if self.dut.dirty_count() > 0 {
+            // Serialize into a detached scratch to sidestep borrow overlap
+            // with the DUT entry we read the value from.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let n = self.dut.len();
+            for i in 0..n {
+                if !self.dut.entry(i).dirty {
+                    continue;
+                }
+                self.dut.entry(i).value.serialize_into(&mut scratch);
+                self.patch_entry(i, &scratch, &mut counters);
+                self.dut.clear_dirty(i);
+            }
+            self.scratch = scratch;
+        }
+
+        self.structure_changed = false;
+        match tier {
+            SendTier::ContentMatch => self.stats.content += 1,
+            SendTier::PerfectStructural => self.stats.perfect += 1,
+            SendTier::PartialStructural => self.stats.partial += 1,
+            SendTier::FirstTime => unreachable!("flush never reports first-time"),
+        }
+        self.stats.values_written += counters.values_written as u64;
+        self.stats.shifts += counters.shifts as u64;
+        self.stats.steals += counters.steals as u64;
+        self.stats.splits += counters.splits as u64;
+        self.stats.shifted_bytes += counters.shifted_bytes;
+
+        SendReport {
+            tier,
+            bytes: self.store.total_len(),
+            values_written: counters.values_written,
+            shifts: counters.shifts,
+            steals: counters.steals,
+            splits: counters.splits,
+        }
+    }
+
+    /// Write the (already serialized) bytes of leaf `i` into its field,
+    /// expanding the field if required.
+    fn patch_entry(&mut self, i: usize, bytes: &[u8], counters: &mut PatchCounters) {
+        counters.values_written += 1;
+        let e = self.dut.entry(i);
+        let new_len = bytes.len() as u32;
+
+        if new_len == e.ser_len {
+            // Same length: overwrite the value bytes only; tags and padding
+            // are untouched (the cheapest dirty-write path).
+            self.store.write_at(e.loc, bytes);
+            return;
+        }
+
+        if new_len <= e.width {
+            // Fits in the allocated field: rewrite value + closing tag +
+            // whitespace pad (§3.2's "closing tag shift").
+            self.rewrite_region(i, bytes, None);
+            return;
+        }
+
+        // Expansion required: the new serialized form exceeds field width.
+        let target_width = match self.config.growth {
+            GrowthPolicy::Exact => new_len,
+            GrowthPolicy::ToMax => e
+                .kind
+                .max_width()
+                .map(|m| (m as u32).max(new_len))
+                .unwrap_or(new_len),
+        };
+        let delta = target_width - e.width;
+
+        if self.config.steal && self.try_steal(i, delta) {
+            counters.steals += 1;
+            self.rewrite_region(i, bytes, Some(target_width));
+            return;
+        }
+
+        self.make_gap_at_region_end(i, delta, counters);
+        counters.shifts += 1;
+        self.rewrite_region(i, bytes, Some(target_width));
+    }
+
+    /// Compose and write the full field region `[value][suffix][pad]`.
+    ///
+    /// `new_width` updates the field width first (after a steal/shift made
+    /// room); `None` keeps the current width.
+    fn rewrite_region(&mut self, i: usize, bytes: &[u8], new_width: Option<u32>) {
+        let e = self.dut.entry(i);
+        let (loc, old_ser, suffix_len) = (e.loc, e.ser_len, e.suffix_len);
+        let width = new_width.unwrap_or(e.width);
+        debug_assert!(bytes.len() as u32 <= width);
+
+        let mut region = std::mem::take(&mut self.region_scratch);
+        region.clear();
+        region.extend_from_slice(bytes);
+        // The closing tag still sits after the OLD value length; carry it over.
+        let suffix_loc = bsoap_chunks::Loc { chunk: loc.chunk, offset: loc.offset + old_ser };
+        region.extend_from_slice(self.store.read_at(suffix_loc, suffix_len as usize));
+        region.resize((width + suffix_len) as usize, b' ');
+        self.store.write_at(loc, &region);
+        self.region_scratch = region;
+
+        let e = self.dut.entry_mut_raw(i);
+        e.ser_len = bytes.len() as u32;
+        e.width = width;
+    }
+
+    /// Try to satisfy a `delta`-byte expansion of leaf `i` by stealing
+    /// padding from the next leaf in the same chunk (§3.2: "stealing extra
+    /// space from neighboring fields, instead of shifting entire portions
+    /// of message chunks").
+    ///
+    /// On success the span between this field's region end and the
+    /// neighbor's value+suffix end is moved right by `delta` (a handful of
+    /// tag bytes), the neighbor's width shrinks, and this field's region
+    /// gains `delta` bytes.
+    fn try_steal(&mut self, i: usize, delta: u32) -> bool {
+        let j = i + 1;
+        if j >= self.dut.len() {
+            return false;
+        }
+        let e = self.dut.entry(i);
+        let n = self.dut.entry(j);
+        if n.loc.chunk != e.loc.chunk {
+            return false;
+        }
+        if n.pad() < delta || n.width - delta < n.ser_len {
+            return false;
+        }
+        let span_start = e.region_end();
+        let span_end = n.loc.offset + n.ser_len + n.suffix_len;
+        debug_assert!(span_start <= n.loc.offset);
+        let chunk = e.loc.chunk;
+
+        self.store.move_range_right(
+            chunk as usize,
+            span_start as usize,
+            span_end as usize,
+            delta as usize,
+        );
+
+        // Fix the neighbor's geometry.
+        {
+            let n = self.dut.entry_mut_raw(j);
+            n.loc.offset += delta;
+            n.width -= delta;
+        }
+        // Markers inside or at the start of the moved span ride along.
+        for a in &mut self.arrays {
+            for m in [&mut a.content_start, &mut a.content_end] {
+                if m.chunk == chunk && m.offset >= span_start && m.offset < span_end {
+                    m.offset += delta;
+                }
+            }
+        }
+        true
+    }
+
+    /// Open a `delta`-byte gap at the end of leaf `i`'s field region by
+    /// shifting the chunk tail, growing or splitting the chunk as the
+    /// config allows. Fixes all downstream DUT pointers and markers.
+    fn make_gap_at_region_end(&mut self, i: usize, delta: u32, counters: &mut PatchCounters) {
+        let e = self.dut.entry(i);
+        let chunk = e.loc.chunk as usize;
+        let gap_at = e.region_end();
+
+        if !self.store.try_grow(chunk, delta as usize) {
+            // Split at this field's region end: the whole tail moves to a
+            // fresh chunk; this bounds future shifting to the chunk size.
+            self.store.split_chunk(chunk, gap_at as usize);
+            counters.splits += 1;
+            self.apply_split_fixups(i, chunk as u32, gap_at);
+            if !self.store.try_grow(chunk, delta as usize) {
+                // A single region larger than the threshold: correctness
+                // over policy.
+                self.store.grow_unbounded(chunk, delta as usize);
+            }
+        }
+
+        let tail = self.store.chunk(chunk).len() as u32 - gap_at;
+        counters.shifted_bytes += tail as u64;
+        self.store.shift_tail_right(chunk, gap_at as usize, delta as usize);
+        self.apply_shift_fixups(i, chunk as u32, gap_at, delta);
+    }
+
+    /// After inserting `delta` bytes at `(chunk, from)`: move every later
+    /// entry and marker at-or-past the insertion point right by `delta`.
+    fn apply_shift_fixups(&mut self, after_entry: usize, chunk: u32, from: u32, delta: u32) {
+        let entries = self.dut.entries_mut_raw();
+        for e in entries.iter_mut().skip(after_entry + 1) {
+            if e.loc.chunk != chunk {
+                break; // document order: once past this chunk, done
+            }
+            if e.loc.offset >= from {
+                e.loc.offset += delta;
+            }
+        }
+        for a in &mut self.arrays {
+            for m in [&mut a.content_start, &mut a.content_end] {
+                if m.chunk == chunk && m.offset >= from {
+                    m.offset += delta;
+                }
+            }
+        }
+    }
+
+    /// After splitting `chunk` at `split_at`: rehome entries and markers in
+    /// the moved tail to `(chunk+1, offset−split_at)` and bump the chunk
+    /// index of everything in later chunks.
+    fn apply_split_fixups(&mut self, after_entry: usize, chunk: u32, split_at: u32) {
+        let entries = self.dut.entries_mut_raw();
+        for e in entries.iter_mut().skip(after_entry + 1) {
+            if e.loc.chunk == chunk {
+                debug_assert!(e.loc.offset >= split_at, "entry left of split after pivot");
+                e.loc.chunk = chunk + 1;
+                e.loc.offset -= split_at;
+            } else if e.loc.chunk > chunk {
+                e.loc.chunk += 1;
+            }
+        }
+        for a in &mut self.arrays {
+            for m in [&mut a.content_start, &mut a.content_end] {
+                if m.chunk == chunk && m.offset >= split_at {
+                    m.chunk = chunk + 1;
+                    m.offset -= split_at;
+                } else if m.chunk > chunk {
+                    m.chunk += 1;
+                }
+            }
+        }
+    }
+}

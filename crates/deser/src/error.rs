@@ -1,0 +1,57 @@
+//! Deserialization error type.
+
+use bsoap_convert::parse::ParseError;
+use bsoap_xml::{EscapeError, PullError};
+use std::fmt;
+
+/// Anything that can go wrong turning envelope bytes into values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeserError {
+    /// The XML tokenizer rejected the input.
+    Xml(PullError),
+    /// A lexical value failed to parse.
+    Lexical {
+        /// What was being parsed (element name or context).
+        at: String,
+        /// The conversion failure.
+        err: ParseError,
+    },
+    /// An entity reference failed to resolve.
+    Escape(EscapeError),
+    /// The document does not match the expected operation shape.
+    Shape {
+        /// Human-readable description of the mismatch.
+        why: String,
+    },
+}
+
+impl DeserError {
+    pub(crate) fn shape(why: impl Into<String>) -> Self {
+        DeserError::Shape { why: why.into() }
+    }
+}
+
+impl fmt::Display for DeserError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeserError::Xml(e) => write!(f, "XML error: {e}"),
+            DeserError::Lexical { at, err } => write!(f, "bad lexical value at {at}: {err:?}"),
+            DeserError::Escape(e) => write!(f, "bad entity reference: {e:?}"),
+            DeserError::Shape { why } => write!(f, "message shape mismatch: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DeserError {}
+
+impl From<PullError> for DeserError {
+    fn from(e: PullError) -> Self {
+        DeserError::Xml(e)
+    }
+}
+
+impl From<EscapeError> for DeserError {
+    fn from(e: EscapeError) -> Self {
+        DeserError::Escape(e)
+    }
+}

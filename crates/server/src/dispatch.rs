@@ -1,0 +1,342 @@
+//! Operation registry and the per-message dispatch pipeline.
+
+use bsoap_core::{EngineConfig, MessageTemplate, OpDesc, SendTier, Value};
+use bsoap_deser::{DeserError, DiffDeserializer, DiffOutcome};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error produced by an operation handler or the dispatch pipeline.
+#[derive(Debug)]
+pub enum HandlerError {
+    /// No operation with the requested name is registered.
+    UnknownOperation(String),
+    /// Request body failed to deserialize.
+    BadRequest(DeserError),
+    /// The handler itself failed (becomes a SOAP fault).
+    Fault(String),
+    /// Response serialization failed.
+    Response(bsoap_core::EngineError),
+}
+
+impl fmt::Display for HandlerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandlerError::UnknownOperation(n) => write!(f, "unknown operation {n}"),
+            HandlerError::BadRequest(e) => write!(f, "bad request: {e}"),
+            HandlerError::Fault(m) => write!(f, "fault: {m}"),
+            HandlerError::Response(e) => write!(f, "response serialization: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HandlerError {}
+
+/// Handler: request argument values in, response argument values out.
+pub type Handler = dyn Fn(&[Value]) -> Result<Vec<Value>, String> + Send + Sync;
+
+struct Operation {
+    request: OpDesc,
+    response: OpDesc,
+    handler: Box<Handler>,
+    deser: Mutex<DiffDeserializer>,
+    /// The shared response template (§3: one template serves "multiple
+    /// separate clients").
+    response_tpl: Mutex<Option<MessageTemplate>>,
+}
+
+/// Cumulative service statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests dispatched successfully.
+    pub requests: u64,
+    /// Requests that arrived byte-identical to the previous one.
+    pub requests_identical: u64,
+    /// Requests parsed differentially (leaf-level).
+    pub requests_differential: u64,
+    /// Requests fully parsed.
+    pub requests_full_parse: u64,
+    /// Responses resent verbatim (content matches).
+    pub responses_content: u64,
+    /// Responses patched in place (perfect structural).
+    pub responses_perfect: u64,
+    /// Responses resized (partial structural).
+    pub responses_partial: u64,
+    /// Responses serialized from scratch.
+    pub responses_first: u64,
+    /// Handler faults returned.
+    pub faults: u64,
+}
+
+/// A SOAP service: registered operations plus both differential engines.
+pub struct Service {
+    namespace: String,
+    config: EngineConfig,
+    ops: HashMap<String, Arc<Operation>>,
+    stats: Mutex<ServiceStats>,
+}
+
+impl Service {
+    /// Empty service for `namespace` using `config` for response
+    /// templates.
+    pub fn new(namespace: &str, config: EngineConfig) -> Self {
+        Service {
+            namespace: namespace.to_owned(),
+            config,
+            ops: HashMap::new(),
+            stats: Mutex::new(ServiceStats::default()),
+        }
+    }
+
+    /// The service namespace.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// Register `op` with a handler producing values for `response_params`
+    /// (the response operation is conventionally named `{op}Response`).
+    pub fn register(
+        &mut self,
+        request: OpDesc,
+        response_params: Vec<bsoap_core::ParamDesc>,
+        handler: impl Fn(&[Value]) -> Result<Vec<Value>, String> + Send + Sync + 'static,
+    ) {
+        let response =
+            OpDesc::new(&format!("{}Response", request.name), &request.namespace, response_params);
+        let name = request.name.clone();
+        let deser = DiffDeserializer::new(request.clone());
+        self.ops.insert(
+            name,
+            Arc::new(Operation {
+                request,
+                response,
+                handler: Box::new(handler),
+                deser: Mutex::new(deser),
+                response_tpl: Mutex::new(None),
+            }),
+        );
+    }
+
+    /// Registered operation names (sorted).
+    pub fn operation_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.ops.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The request descriptor of an operation.
+    pub fn request_desc(&self, op: &str) -> Option<OpDesc> {
+        self.ops.get(op).map(|o| o.request.clone())
+    }
+
+    /// The response descriptor of an operation.
+    pub fn response_desc(&self, op: &str) -> Option<OpDesc> {
+        self.ops.get(op).map(|o| o.response.clone())
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> ServiceStats {
+        *self.stats.lock()
+    }
+
+    /// Dispatch one request body addressed to `op_name`; returns the
+    /// serialized response envelope.
+    pub fn dispatch(&self, op_name: &str, body: &[u8]) -> Result<Vec<u8>, HandlerError> {
+        let op = self
+            .ops
+            .get(op_name)
+            .ok_or_else(|| HandlerError::UnknownOperation(op_name.to_owned()))?;
+
+        // 1. Differential deserialization of the request.
+        let (result, outcome) = {
+            let mut deser = op.deser.lock();
+            let (args, outcome) = deser.deserialize(body).map_err(HandlerError::BadRequest)?;
+            // Handler runs under the lock: args borrow the deserializer's
+            // retained state. Handlers are expected to be short.
+            let result = (op.handler)(args);
+            (result, outcome)
+        };
+        {
+            let mut stats = self.stats.lock();
+            match outcome {
+                DiffOutcome::Identical => stats.requests_identical += 1,
+                DiffOutcome::Differential { .. } => stats.requests_differential += 1,
+                DiffOutcome::FullParse => stats.requests_full_parse += 1,
+            }
+        }
+        let result = match result {
+            Ok(values) => values,
+            Err(msg) => {
+                self.stats.lock().faults += 1;
+                return Err(HandlerError::Fault(msg));
+            }
+        };
+
+        // 2. Differential serialization of the response.
+        let mut tpl_slot = op.response_tpl.lock();
+        let (bytes, tier) = match tpl_slot.as_mut() {
+            Some(tpl) => {
+                tpl.update_args(&result).map_err(HandlerError::Response)?;
+                let report = tpl.flush();
+                (tpl.to_bytes(), report.tier)
+            }
+            None => {
+                let tpl = MessageTemplate::build(self.config, &op.response, &result)
+                    .map_err(HandlerError::Response)?;
+                let bytes = tpl.to_bytes();
+                *tpl_slot = Some(tpl);
+                (bytes, SendTier::FirstTime)
+            }
+        };
+        drop(tpl_slot);
+        {
+            let mut stats = self.stats.lock();
+            stats.requests += 1;
+            match tier {
+                SendTier::FirstTime => stats.responses_first += 1,
+                SendTier::ContentMatch => stats.responses_content += 1,
+                SendTier::PerfectStructural => stats.responses_perfect += 1,
+                SendTier::PartialStructural => stats.responses_partial += 1,
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// Render a minimal SOAP 1.1 fault envelope.
+    pub fn fault_envelope(code: &str, message: &str) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(bsoap_core::soap::XML_DECL.as_bytes());
+        out.extend_from_slice(bsoap_core::soap::envelope_open("urn:fault").as_bytes());
+        out.extend_from_slice(bsoap_core::soap::BODY_OPEN.as_bytes());
+        out.extend_from_slice(b"<SOAP-ENV:Fault><faultcode>");
+        bsoap_xml::escape_text_into(&mut out, code);
+        out.extend_from_slice(b"</faultcode><faultstring>");
+        bsoap_xml::escape_text_into(&mut out, message);
+        out.extend_from_slice(b"</faultstring></SOAP-ENV:Fault>\n");
+        out.extend_from_slice(bsoap_core::soap::CLOSES.as_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsoap_core::{ParamDesc, TypeDesc};
+    use bsoap_convert::ScalarKind;
+
+    fn echo_service() -> Service {
+        let mut svc = Service::new("urn:echo", EngineConfig::paper_default());
+        let op = OpDesc::single(
+            "echo",
+            "urn:echo",
+            "xs",
+            TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+        );
+        svc.register(
+            op,
+            vec![ParamDesc {
+                name: "xs".into(),
+                desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+            }],
+            |args| Ok(args.to_vec()),
+        );
+        svc
+    }
+
+    fn request_bytes(xs: &[f64]) -> Vec<u8> {
+        let op = OpDesc::single(
+            "echo",
+            "urn:echo",
+            "xs",
+            TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+        );
+        MessageTemplate::build(
+            EngineConfig::paper_default(),
+            &op,
+            &[Value::DoubleArray(xs.to_vec())],
+        )
+        .unwrap()
+        .to_bytes()
+    }
+
+    #[test]
+    fn dispatch_round_trip() {
+        let svc = echo_service();
+        let resp = svc.dispatch("echo", &request_bytes(&[1.5, 2.5])).unwrap();
+        let resp_op = svc.response_desc("echo").unwrap();
+        let parsed = bsoap_deser::parse_envelope(&resp, &resp_op).unwrap();
+        assert_eq!(parsed, vec![Value::DoubleArray(vec![1.5, 2.5])]);
+    }
+
+    #[test]
+    fn response_tiers_progress() {
+        let svc = echo_service();
+        svc.dispatch("echo", &request_bytes(&[1.5, 2.5])).unwrap();
+        svc.dispatch("echo", &request_bytes(&[1.5, 2.5])).unwrap();
+        svc.dispatch("echo", &request_bytes(&[9.5, 2.5])).unwrap();
+        svc.dispatch("echo", &request_bytes(&[9.5, 2.5, 3.5])).unwrap();
+        let s = svc.stats();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.responses_first, 1);
+        assert_eq!(s.responses_content, 1);
+        assert_eq!(s.responses_perfect, 1);
+        assert_eq!(s.responses_partial, 1);
+        // Request side: identical second request skipped parsing.
+        assert_eq!(s.requests_identical, 1);
+    }
+
+    #[test]
+    fn unknown_operation_rejected() {
+        let svc = echo_service();
+        assert!(matches!(
+            svc.dispatch("ghost", b"<x/>"),
+            Err(HandlerError::UnknownOperation(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_body_rejected() {
+        let svc = echo_service();
+        assert!(matches!(
+            svc.dispatch("echo", b"not xml"),
+            Err(HandlerError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn handler_fault_counted() {
+        let mut svc = Service::new("urn:f", EngineConfig::paper_default());
+        let op = OpDesc::single("f", "urn:f", "v", TypeDesc::Scalar(ScalarKind::Int));
+        svc.register(
+            op.clone(),
+            vec![ParamDesc { name: "r".into(), desc: TypeDesc::Scalar(ScalarKind::Int) }],
+            |_| Err("nope".to_owned()),
+        );
+        let body = MessageTemplate::build(EngineConfig::paper_default(), &op, &[Value::Int(1)])
+            .unwrap()
+            .to_bytes();
+        assert!(matches!(svc.dispatch("f", &body), Err(HandlerError::Fault(_))));
+        assert_eq!(svc.stats().faults, 1);
+    }
+
+    #[test]
+    fn fault_envelope_escapes() {
+        let env = Service::fault_envelope("SOAP-ENV:Server", "boom <&>");
+        let text = String::from_utf8(env).unwrap();
+        assert!(text.contains("boom &lt;&amp;&gt;"));
+        assert!(text.contains("<SOAP-ENV:Fault>"));
+    }
+
+    #[test]
+    fn shared_template_across_distinct_callers() {
+        // Two "clients" sending the same query get the content-match
+        // response path — the §3.4 heavily-used-server effect.
+        let svc = echo_service();
+        let req = request_bytes(&[42.5]);
+        svc.dispatch("echo", &req).unwrap();
+        let before = svc.stats().responses_content;
+        svc.dispatch("echo", &req).unwrap(); // "another client"
+        assert_eq!(svc.stats().responses_content, before + 1);
+    }
+}

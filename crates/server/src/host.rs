@@ -1,0 +1,298 @@
+//! Loopback HTTP host for a [`Service`].
+//!
+//! One accept thread plus one thread per connection — the shape of the
+//! paper's measurement servers — parsing SOAP POSTs (`Content-Length` or
+//! chunked) and routing by `SOAPAction` (`"namespace#operation"`), with
+//! fallback to the first operation for action-less callers.
+
+use crate::dispatch::{HandlerError, Service, ServiceStats};
+use bsoap_transport::http::{render_response, RequestReader};
+use parking_lot::Mutex;
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running HTTP SOAP server.
+pub struct HttpServer {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind an ephemeral loopback port and serve `service`.
+    pub fn spawn(service: Service) -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let service = Arc::new(service);
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conn_service = Arc::clone(&service);
+        let conn_stop = Arc::clone(&stop);
+        let conn_registry = Arc::clone(&conns);
+        let accept_thread = std::thread::spawn(move || {
+            let mut conn_threads = Vec::new();
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        if let Ok(clone) = stream.try_clone() {
+                            conn_registry.lock().push(clone);
+                        }
+                        let svc = Arc::clone(&conn_service);
+                        conn_threads.push(std::thread::spawn(move || serve_connection(stream, &svc)));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if conn_stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Past this point no further connections are accepted. Shut
+            // down every handler's stream so reads on connections the
+            // client left open unblock — then joining cannot deadlock.
+            for conn in conn_registry.lock().drain(..) {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+            for t in conn_threads {
+                let _ = t.join();
+            }
+        });
+        let _ = conns; // registry is owned by the accept thread
+        Ok(HttpServer { addr, service, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// Address clients should POST to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live statistics view.
+    pub fn stats(&self) -> ServiceStats {
+        self.service.stats()
+    }
+
+    /// Stop accepting, join all connections, return final statistics.
+    pub fn stop(mut self) -> ServiceStats {
+        self.shutdown();
+        self.service.stats()
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Operation name from a `SOAPAction` header value
+/// (`"urn:ns#operation"`, quotes optional).
+fn operation_from_action(action: &str) -> Option<&str> {
+    let unquoted = action.trim().trim_matches('"');
+    unquoted.rsplit_once('#').map(|(_, op)| op)
+}
+
+fn serve_connection(mut stream: TcpStream, service: &Service) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = RequestReader::new(read_half);
+    let mut response_buf = Vec::new();
+    while let Ok(Some((head, body))) = reader.next_request() {
+        let op_name = head
+            .header("soapaction")
+            .and_then(operation_from_action)
+            .map(str::to_owned)
+            .or_else(|| service.operation_names().first().cloned());
+        let reply = match op_name {
+            Some(op) => service.dispatch(&op, &body),
+            None => Err(HandlerError::UnknownOperation("<none>".to_owned())),
+        };
+        let (status, reason, payload) = match reply {
+            Ok(bytes) => (200, "OK", bytes),
+            Err(HandlerError::Fault(msg)) => {
+                // Application faults are HTTP 500 with a Fault body per
+                // SOAP 1.1 §6.2.
+                (500, "Internal Server Error", Service::fault_envelope("SOAP-ENV:Server", &msg))
+            }
+            Err(HandlerError::UnknownOperation(op)) => (
+                404,
+                "Not Found",
+                Service::fault_envelope("SOAP-ENV:Client", &format!("no operation {op}")),
+            ),
+            Err(e) => (
+                400,
+                "Bad Request",
+                Service::fault_envelope("SOAP-ENV:Client", &e.to_string()),
+            ),
+        };
+        render_response(&mut response_buf, status, reason, &payload);
+        if stream.write_all(&response_buf).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsoap_core::{EngineConfig, MessageTemplate, OpDesc, ParamDesc, TypeDesc, Value};
+    use bsoap_convert::ScalarKind;
+    use bsoap_transport::http::{post_gather, read_response, HttpVersion, RequestConfig};
+    use std::io::IoSlice;
+
+    fn sum_service() -> Service {
+        let mut svc = Service::new("urn:sum", EngineConfig::paper_default());
+        let op = OpDesc::single(
+            "sum",
+            "urn:sum",
+            "xs",
+            TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+        );
+        svc.register(
+            op,
+            vec![ParamDesc { name: "total".into(), desc: TypeDesc::Scalar(ScalarKind::Double) }],
+            |args| {
+                let Value::DoubleArray(v) = &args[0] else { return Err("type".into()) };
+                Ok(vec![Value::Double(v.iter().sum())])
+            },
+        );
+        svc
+    }
+
+    fn request_bytes(xs: &[f64]) -> Vec<u8> {
+        let op = OpDesc::single(
+            "sum",
+            "urn:sum",
+            "xs",
+            TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+        );
+        MessageTemplate::build(
+            EngineConfig::paper_default(),
+            &op,
+            &[Value::DoubleArray(xs.to_vec())],
+        )
+        .unwrap()
+        .to_bytes()
+    }
+
+    fn post(addr: std::net::SocketAddr, action: &str, body: &[u8]) -> (u16, Vec<u8>) {
+        let mut c = TcpStream::connect(addr).unwrap();
+        let cfg = RequestConfig {
+            path: "/svc".into(),
+            host: "localhost".into(),
+            soap_action: action.into(),
+            version: HttpVersion::Http11Length,
+        };
+        let mut scratch = Vec::new();
+        post_gather(&mut c, &cfg, &[IoSlice::new(body)], &mut scratch).unwrap();
+        read_response(&mut c).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_sum() {
+        let server = HttpServer::spawn(sum_service()).unwrap();
+        let (status, resp) = post(server.addr(), "urn:sum#sum", &request_bytes(&[1.5, 2.5, 3.0]));
+        assert_eq!(status, 200);
+        let resp_op = OpDesc::new(
+            "sumResponse",
+            "urn:sum",
+            vec![ParamDesc { name: "total".into(), desc: TypeDesc::Scalar(ScalarKind::Double) }],
+        );
+        let parsed = bsoap_deser::parse_envelope(&resp, &resp_op).unwrap();
+        assert_eq!(parsed, vec![Value::Double(7.0)]);
+        let stats = server.stop();
+        assert_eq!(stats.requests, 1);
+    }
+
+    #[test]
+    fn repeat_queries_hit_content_match_responses() {
+        let server = HttpServer::spawn(sum_service()).unwrap();
+        let body = request_bytes(&[4.0, 4.0]);
+        for _ in 0..3 {
+            let (status, _) = post(server.addr(), "urn:sum#sum", &body);
+            assert_eq!(status, 200);
+        }
+        let stats = server.stop();
+        assert_eq!(stats.responses_first, 1);
+        assert_eq!(stats.responses_content, 2);
+        assert_eq!(stats.requests_identical, 2);
+    }
+
+    #[test]
+    fn unknown_action_is_404() {
+        let server = HttpServer::spawn(sum_service()).unwrap();
+        let (status, body) = post(server.addr(), "urn:sum#ghost", &request_bytes(&[1.0]));
+        assert_eq!(status, 404);
+        assert!(String::from_utf8(body).unwrap().contains("SOAP-ENV:Fault"));
+        server.stop();
+    }
+
+    #[test]
+    fn malformed_body_is_400() {
+        let server = HttpServer::spawn(sum_service()).unwrap();
+        let (status, _) = post(server.addr(), "urn:sum#sum", b"junk");
+        assert_eq!(status, 400);
+        server.stop();
+    }
+
+    #[test]
+    fn handler_fault_is_500_fault_envelope() {
+        let mut svc = Service::new("urn:f", EngineConfig::paper_default());
+        let op = OpDesc::single("f", "urn:f", "v", TypeDesc::Scalar(ScalarKind::Int));
+        svc.register(
+            op.clone(),
+            vec![ParamDesc { name: "r".into(), desc: TypeDesc::Scalar(ScalarKind::Int) }],
+            |_| Err("deliberate".into()),
+        );
+        let server = HttpServer::spawn(svc).unwrap();
+        let body = MessageTemplate::build(EngineConfig::paper_default(), &op, &[Value::Int(1)])
+            .unwrap()
+            .to_bytes();
+        let (status, resp) = post(server.addr(), "urn:f#f", &body);
+        assert_eq!(status, 500);
+        assert!(String::from_utf8(resp).unwrap().contains("deliberate"));
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = HttpServer::spawn(sum_service()).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let body = request_bytes(&[i as f64, 1.0]);
+                    let (status, _) = post(addr, "urn:sum#sum", &body);
+                    assert_eq!(status, 200);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = server.stop();
+        assert_eq!(stats.requests, 4);
+    }
+
+    #[test]
+    fn action_parsing() {
+        assert_eq!(operation_from_action("\"urn:x#op\""), Some("op"));
+        assert_eq!(operation_from_action("urn:x#op"), Some("op"));
+        assert_eq!(operation_from_action("opaque"), None);
+    }
+}

@@ -1,0 +1,605 @@
+//! HTTP framing for SOAP payloads.
+//!
+//! SOAP 1.1 over HTTP is a `POST` with `Content-Type: text/xml` and a
+//! `SOAPAction` header. The framing choice matters to the paper (§2): with
+//! HTTP/1.0 the full `Content-Length` must be known before the first byte
+//! goes out, so the whole message must exist in memory; HTTP/1.1
+//! `Transfer-Encoding: chunked` lets "data structures … be sent over the
+//! network as soon as they are serialized" — the property chunk overlaying
+//! (§3.3) relies on.
+//!
+//! Everything here is synchronous and allocation-frugal: request heads are
+//! rendered into reusable buffers, and the chunked encoder frames a gather
+//! list without copying the payload.
+
+use std::fmt;
+use std::io::{self, IoSlice, Read, Write};
+
+/// HTTP version / framing strategy for the SOAP POST.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HttpVersion {
+    /// `HTTP/1.0` with `Content-Length` (whole message framed up front).
+    Http10,
+    /// `HTTP/1.1` with `Transfer-Encoding: chunked` (streamable).
+    Http11Chunked,
+    /// `HTTP/1.1` with `Content-Length` (persistent connection, one frame).
+    Http11Length,
+}
+
+impl HttpVersion {
+    /// The version token on the request line.
+    pub fn token(self) -> &'static str {
+        match self {
+            HttpVersion::Http10 => "HTTP/1.0",
+            HttpVersion::Http11Chunked | HttpVersion::Http11Length => "HTTP/1.1",
+        }
+    }
+
+    /// Whether this framing streams without a known total length.
+    pub fn is_chunked(self) -> bool {
+        matches!(self, HttpVersion::Http11Chunked)
+    }
+}
+
+/// Static description of the SOAP POST target.
+#[derive(Clone, Debug)]
+pub struct RequestConfig {
+    /// Request path, e.g. `/service`.
+    pub path: String,
+    /// `Host` header value.
+    pub host: String,
+    /// `SOAPAction` header value (quoted per SOAP 1.1).
+    pub soap_action: String,
+    /// Framing strategy.
+    pub version: HttpVersion,
+}
+
+impl RequestConfig {
+    /// Conventional configuration for a loopback service.
+    pub fn loopback(version: HttpVersion) -> Self {
+        RequestConfig {
+            path: "/service".to_owned(),
+            host: "localhost".to_owned(),
+            soap_action: "urn:bench#send".to_owned(),
+            version,
+        }
+    }
+
+    /// Render the request head (request line + headers + blank line) into
+    /// `out` (cleared first). `content_len` must be `Some` for
+    /// length-framed versions and is ignored for chunked framing.
+    pub fn render_head(&self, out: &mut Vec<u8>, content_len: Option<usize>) {
+        out.clear();
+        out.extend_from_slice(b"POST ");
+        out.extend_from_slice(self.path.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.version.token().as_bytes());
+        out.extend_from_slice(b"\r\nHost: ");
+        out.extend_from_slice(self.host.as_bytes());
+        out.extend_from_slice(b"\r\nContent-Type: text/xml; charset=utf-8\r\nSOAPAction: \"");
+        out.extend_from_slice(self.soap_action.as_bytes());
+        out.extend_from_slice(b"\"\r\n");
+        match (self.version, content_len) {
+            (HttpVersion::Http11Chunked, _) => {
+                out.extend_from_slice(b"Transfer-Encoding: chunked\r\n");
+            }
+            (_, Some(n)) => {
+                out.extend_from_slice(b"Content-Length: ");
+                out.extend_from_slice(n.to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            (_, None) => panic!("length-framed request without content length"),
+        }
+        if self.version == HttpVersion::Http10 {
+            // 1.0 defaults to close; ask for reuse like gSOAP's keep-alive.
+            out.extend_from_slice(b"Connection: keep-alive\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+    }
+}
+
+/// Framing/parsing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request/response head.
+    BadHead(&'static str),
+    /// Chunked body was malformed.
+    BadChunk(&'static str),
+    /// Body framing headers missing or contradictory.
+    BadFraming(&'static str),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadHead(w) => write!(f, "malformed HTTP head: {w}"),
+            HttpError::BadChunk(w) => write!(f, "malformed chunked body: {w}"),
+            HttpError::BadFraming(w) => write!(f, "bad body framing: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<HttpError> for io::Error {
+    fn from(e: HttpError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Write one SOAP POST: head, then the body gather list, framed per
+/// `cfg.version`. Returns total bytes written (head + framing + payload).
+///
+/// `head_scratch` is reused across calls so repeated sends (the paper's
+/// workload) allocate nothing.
+pub fn post_gather(
+    stream: &mut impl Write,
+    cfg: &RequestConfig,
+    body: &[IoSlice<'_>],
+    head_scratch: &mut Vec<u8>,
+) -> io::Result<usize> {
+    let payload: usize = body.iter().map(|s| s.len()).sum();
+    let mut written = 0usize;
+    if cfg.version.is_chunked() {
+        cfg.render_head(head_scratch, None);
+        stream.write_all(head_scratch)?;
+        written += head_scratch.len();
+        // One HTTP chunk per message chunk: the store's natural gather
+        // granularity maps 1:1 onto wire chunks, so a template chunk hits
+        // the network the moment it is serialized.
+        let mut size_line = [0u8; 18];
+        for s in body {
+            if s.is_empty() {
+                continue;
+            }
+            let n = render_chunk_size(&mut size_line, s.len());
+            stream.write_all(&size_line[..n])?;
+            stream.write_all(s)?;
+            stream.write_all(b"\r\n")?;
+            written += n + s.len() + 2;
+        }
+        stream.write_all(b"0\r\n\r\n")?;
+        written += 5;
+    } else {
+        cfg.render_head(head_scratch, Some(payload));
+        stream.write_all(head_scratch)?;
+        written += head_scratch.len();
+        written += crate::write_gather(stream, body)?;
+    }
+    stream.flush()?;
+    Ok(written)
+}
+
+/// Render `{len:x}\r\n` into `buf`; returns byte count.
+fn render_chunk_size(buf: &mut [u8; 18], len: usize) -> usize {
+    let s = format!("{len:x}\r\n");
+    buf[..s.len()].copy_from_slice(s.as_bytes());
+    s.len()
+}
+
+/// A parsed request head.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestHead {
+    /// Request method (`POST` for SOAP).
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Version token (`HTTP/1.0` / `HTTP/1.1`).
+    pub version: String,
+    /// Lower-cased header name/value pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl RequestHead {
+    /// First value of a header (name compared case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body framing declared by the head.
+    pub fn framing(&self) -> Result<BodyFraming, HttpError> {
+        if let Some(te) = self.header("transfer-encoding") {
+            if te.eq_ignore_ascii_case("chunked") {
+                return Ok(BodyFraming::Chunked);
+            }
+            return Err(HttpError::BadFraming("unsupported transfer-encoding"));
+        }
+        if let Some(cl) = self.header("content-length") {
+            let n: usize = cl
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::BadFraming("non-numeric content-length"))?;
+            return Ok(BodyFraming::Length(n));
+        }
+        Err(HttpError::BadFraming("neither content-length nor chunked"))
+    }
+}
+
+/// How the body after a head is delimited.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BodyFraming {
+    /// Exactly `n` body bytes follow.
+    Length(usize),
+    /// Chunked transfer coding follows.
+    Chunked,
+}
+
+/// Incremental reader of HTTP requests off a stream.
+///
+/// Owns a buffer; reads repeatedly until a full head + body is available.
+/// Suited to the loopback servers (one connection per thread).
+pub struct RequestReader<R> {
+    stream: R,
+    buf: Vec<u8>,
+    /// Bytes of `buf` that are valid.
+    filled: usize,
+    /// Consumed prefix (start of the next request).
+    consumed: usize,
+}
+
+impl<R: Read> RequestReader<R> {
+    /// Wrap a stream.
+    pub fn new(stream: R) -> Self {
+        RequestReader { stream, buf: vec![0; 64 * 1024], filled: 0, consumed: 0 }
+    }
+
+    /// Read one full request. Returns `Ok(None)` on clean EOF before any
+    /// bytes of a next request.
+    pub fn next_request(&mut self) -> io::Result<Option<(RequestHead, Vec<u8>)>> {
+        // Find the head terminator, reading as needed.
+        let head_end = loop {
+            if let Some(p) = find(&self.buf[self.consumed..self.filled], b"\r\n\r\n") {
+                break self.consumed + p + 4;
+            }
+            if !self.fill()? {
+                if self.consumed == self.filled {
+                    return Ok(None);
+                }
+                return Err(HttpError::BadHead("EOF inside request head").into());
+            }
+        };
+        let head = parse_request_head(&self.buf[self.consumed..head_end])?;
+        self.consumed = head_end;
+        let body = match head.framing()? {
+            BodyFraming::Length(n) => self.read_exact_body(n)?,
+            BodyFraming::Chunked => self.read_chunked_body()?,
+        };
+        Ok(Some((head, body)))
+    }
+
+    fn fill(&mut self) -> io::Result<bool> {
+        if self.filled == self.buf.len() {
+            if self.consumed > 0 {
+                self.buf.copy_within(self.consumed..self.filled, 0);
+                self.filled -= self.consumed;
+                self.consumed = 0;
+            } else {
+                self.buf.resize(self.buf.len() * 2, 0);
+            }
+        }
+        let n = self.stream.read(&mut self.buf[self.filled..])?;
+        self.filled += n;
+        Ok(n > 0)
+    }
+
+    fn read_exact_body(&mut self, n: usize) -> io::Result<Vec<u8>> {
+        let mut body = Vec::with_capacity(n);
+        while body.len() < n {
+            if self.consumed == self.filled && !self.fill()? {
+                return Err(HttpError::BadFraming("EOF inside length-framed body").into());
+            }
+            let take = (n - body.len()).min(self.filled - self.consumed);
+            body.extend_from_slice(&self.buf[self.consumed..self.consumed + take]);
+            self.consumed += take;
+        }
+        Ok(body)
+    }
+
+    fn read_chunked_body(&mut self) -> io::Result<Vec<u8>> {
+        let mut body = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let size_text = line.split(|&b| b == b';').next().unwrap_or(&line);
+            let size = parse_hex(size_text)
+                .ok_or(HttpError::BadChunk("bad chunk size line"))?;
+            if size == 0 {
+                // Trailer section: skip lines until the blank one.
+                loop {
+                    let l = self.read_line()?;
+                    if l.is_empty() {
+                        break;
+                    }
+                }
+                return Ok(body);
+            }
+            let chunk = self.read_exact_body(size)?;
+            body.extend_from_slice(&chunk);
+            let crlf = self.read_line()?;
+            if !crlf.is_empty() {
+                return Err(HttpError::BadChunk("missing CRLF after chunk data").into());
+            }
+        }
+    }
+
+    /// Read one CRLF-terminated line (excluding the CRLF).
+    fn read_line(&mut self) -> io::Result<Vec<u8>> {
+        loop {
+            if let Some(p) = find(&self.buf[self.consumed..self.filled], b"\r\n") {
+                let line = self.buf[self.consumed..self.consumed + p].to_vec();
+                self.consumed += p + 2;
+                return Ok(line);
+            }
+            if !self.fill()? {
+                return Err(HttpError::BadChunk("EOF inside chunked body").into());
+            }
+        }
+    }
+}
+
+/// Parse the bytes of a request head (through the blank line).
+pub fn parse_request_head(head: &[u8]) -> Result<RequestHead, HttpError> {
+    let text = std::str::from_utf8(head).map_err(|_| HttpError::BadHead("non-UTF-8 head"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::BadHead("empty head"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or(HttpError::BadHead("missing method"))?;
+    let path = parts.next().ok_or(HttpError::BadHead("missing path"))?;
+    let version = parts.next().ok_or(HttpError::BadHead("missing version"))?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadHead("extra tokens on request line"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHead("header missing colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    Ok(RequestHead {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        version: version.to_owned(),
+        headers,
+    })
+}
+
+/// Render a minimal response with a body (used by the collecting server to
+/// acknowledge requests).
+pub fn render_response(out: &mut Vec<u8>, status: u16, reason: &str, body: &[u8]) {
+    out.clear();
+    out.extend_from_slice(b"HTTP/1.1 ");
+    out.extend_from_slice(status.to_string().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(reason.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Type: text/xml; charset=utf-8\r\nContent-Length: ");
+    out.extend_from_slice(body.len().to_string().as_bytes());
+    out.extend_from_slice(b"\r\n\r\n");
+    out.extend_from_slice(body);
+}
+
+/// Read one length-framed HTTP response off a stream; returns the body.
+pub fn read_response(stream: &mut impl Read) -> io::Result<(u16, Vec<u8>)> {
+    let mut reader = RequestReader::new(stream);
+    let head_end = loop {
+        if let Some(p) = find(&reader.buf[..reader.filled], b"\r\n\r\n") {
+            break p + 4;
+        }
+        if !reader.fill()? {
+            return Err(HttpError::BadHead("EOF inside response head").into());
+        }
+    };
+    let text = std::str::from_utf8(&reader.buf[..head_end])
+        .map_err(|_| HttpError::BadHead("non-UTF-8 head"))?;
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or(HttpError::BadHead("bad status line"))?;
+    let cl = text
+        .lines()
+        .find_map(|l| {
+            let (n, v) = l.split_once(':')?;
+            n.trim().eq_ignore_ascii_case("content-length").then(|| v.trim().parse::<usize>())
+        })
+        .transpose()
+        .map_err(|_| HttpError::BadFraming("non-numeric content-length"))?
+        .ok_or(HttpError::BadFraming("response missing content-length"))?;
+    reader.consumed = head_end;
+    let body = reader.read_exact_body(cl)?;
+    Ok((status, body))
+}
+
+fn parse_hex(s: &[u8]) -> Option<usize> {
+    if s.is_empty() {
+        return None;
+    }
+    let mut n: usize = 0;
+    for &b in s {
+        let d = match b {
+            b'0'..=b'9' => b - b'0',
+            b'a'..=b'f' => b - b'a' + 10,
+            b'A'..=b'F' => b - b'A' + 10,
+            _ => return None,
+        };
+        n = n.checked_mul(16)?.checked_add(d as usize)?;
+    }
+    Some(n)
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.len() > haystack.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(version: HttpVersion, body_parts: &[&[u8]]) -> (RequestHead, Vec<u8>) {
+        let cfg = RequestConfig::loopback(version);
+        let mut wire = Vec::new();
+        let slices: Vec<IoSlice<'_>> = body_parts.iter().map(|p| IoSlice::new(p)).collect();
+        let mut scratch = Vec::new();
+        let n = post_gather(&mut wire, &cfg, &slices, &mut scratch).unwrap();
+        assert_eq!(n, wire.len());
+        let mut reader = RequestReader::new(&wire[..]);
+        let got = reader.next_request().unwrap().expect("one request");
+        assert!(reader.next_request().unwrap().is_none(), "exactly one request");
+        got
+    }
+
+    #[test]
+    fn length_framed_round_trip_10() {
+        let (head, body) = round_trip(HttpVersion::Http10, &[b"<a>", b"1", b"</a>"]);
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.version, "HTTP/1.0");
+        assert_eq!(head.header("content-length"), Some("8"));
+        assert_eq!(body, b"<a>1</a>");
+    }
+
+    #[test]
+    fn length_framed_round_trip_11() {
+        let (head, body) = round_trip(HttpVersion::Http11Length, &[b"payload"]);
+        assert_eq!(head.version, "HTTP/1.1");
+        assert_eq!(body, b"payload");
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        let parts: Vec<Vec<u8>> = (0..5).map(|i| vec![b'a' + i as u8; 100 * (i + 1)]).collect();
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        let (head, body) = round_trip(HttpVersion::Http11Chunked, &refs);
+        assert_eq!(head.header("transfer-encoding"), Some("chunked"));
+        let expect: Vec<u8> = parts.concat();
+        assert_eq!(body, expect);
+    }
+
+    #[test]
+    fn chunked_skips_empty_slices() {
+        let (_, body) = round_trip(HttpVersion::Http11Chunked, &[b"", b"x", b""]);
+        assert_eq!(body, b"x");
+    }
+
+    #[test]
+    fn empty_body_length_framed() {
+        let (head, body) = round_trip(HttpVersion::Http10, &[]);
+        assert_eq!(head.header("content-length"), Some("0"));
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn soap_action_header_present_and_quoted() {
+        let (head, _) = round_trip(HttpVersion::Http10, &[b"x"]);
+        assert_eq!(head.header("soapaction"), Some("\"urn:bench#send\""));
+        assert_eq!(head.header("content-type"), Some("text/xml; charset=utf-8"));
+    }
+
+    #[test]
+    fn pipelined_requests_on_one_connection() {
+        let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        for i in 0..3 {
+            let body = format!("<n>{i}</n>").into_bytes();
+            let slices = [IoSlice::new(&body)];
+            post_gather(&mut wire, &cfg, &slices, &mut scratch).unwrap();
+        }
+        let mut reader = RequestReader::new(&wire[..]);
+        for i in 0..3 {
+            let (_, body) = reader.next_request().unwrap().expect("request present");
+            assert_eq!(body, format!("<n>{i}</n>").into_bytes());
+        }
+        assert!(reader.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn parse_head_rejects_garbage() {
+        assert!(parse_request_head(b"garbage").is_err());
+        assert!(parse_request_head(b"POST /x HTTP/1.1 extra\r\n\r\n").is_err());
+        assert!(parse_request_head(b"POST /x HTTP/1.1\r\nNoColonHere\r\n\r\n").is_err());
+        assert!(parse_request_head(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn framing_detection() {
+        let head = parse_request_head(
+            b"POST / HTTP/1.1\r\nContent-Length: 12\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(head.framing().unwrap(), BodyFraming::Length(12));
+        let head = parse_request_head(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(head.framing().unwrap(), BodyFraming::Chunked);
+        let head = parse_request_head(b"POST / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(head.framing().is_err());
+        let head = parse_request_head(b"POST / HTTP/1.1\r\nContent-Length: pony\r\n\r\n").unwrap();
+        assert!(head.framing().is_err());
+    }
+
+    #[test]
+    fn truncated_bodies_error() {
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        let mut reader = RequestReader::new(&wire[..]);
+        assert!(reader.next_request().is_err());
+
+        let wire = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nab";
+        let mut reader = RequestReader::new(&wire[..]);
+        assert!(reader.next_request().is_err());
+    }
+
+    #[test]
+    fn bad_chunk_sizes_error() {
+        let wire = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\nabc\r\n0\r\n\r\n";
+        let mut reader = RequestReader::new(&wire[..]);
+        assert!(reader.next_request().is_err());
+    }
+
+    #[test]
+    fn chunk_extension_tolerated() {
+        let wire =
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3;ext=1\r\nabc\r\n0\r\n\r\n";
+        let mut reader = RequestReader::new(&wire[..]);
+        let (_, body) = reader.next_request().unwrap().unwrap();
+        assert_eq!(body, b"abc");
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut wire = Vec::new();
+        render_response(&mut wire, 200, "OK", b"<ok/>");
+        let (status, body) = read_response(&mut &wire[..]).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"<ok/>");
+    }
+
+    #[test]
+    fn hex_parsing() {
+        assert_eq!(parse_hex(b"0"), Some(0));
+        assert_eq!(parse_hex(b"ff"), Some(255));
+        assert_eq!(parse_hex(b"1A"), Some(26));
+        assert_eq!(parse_hex(b""), None);
+        assert_eq!(parse_hex(b"xyz"), None);
+    }
+
+    #[test]
+    fn heads_grow_buffer_when_needed() {
+        // A head larger than the initial buffer still parses.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"POST / HTTP/1.1\r\n");
+        let big = "x".repeat(100_000);
+        wire.extend_from_slice(format!("X-Pad: {big}\r\n").as_bytes());
+        wire.extend_from_slice(b"Content-Length: 2\r\n\r\nhi");
+        let mut reader = RequestReader::new(&wire[..]);
+        let (head, body) = reader.next_request().unwrap().unwrap();
+        assert_eq!(head.header("x-pad").map(str::len), Some(100_000));
+        assert_eq!(body, b"hi");
+    }
+}

@@ -1,0 +1,158 @@
+//! # bsoap-transport — measurement rig and wire transports for bSOAP
+//!
+//! The paper measures **Send Time**: "starting a timer before preparing
+//! the message for sending, and stopping the timer right after the final
+//! `send()` system call on the socket" (§4), against "a dummy SOAP server
+//! … \[that\] does not deserialize or parse the incoming SOAP packet".
+//! This crate is that rig, plus the HTTP framing a real deployment needs:
+//!
+//! * [`sink`] — [`sink::SinkTransport`], an in-process
+//!   counting discard sink. Deterministic (no kernel, no scheduler), it is
+//!   the default target for the benchmark figures: Send Time becomes pure
+//!   serialization + buffer-walk cost, which is what the paper's
+//!   client-side measurements isolate.
+//! * [`http`] — HTTP/1.0 (`Content-Length`) and HTTP/1.1
+//!   (`Transfer-Encoding: chunked`) request framing, header parsing, and
+//!   chunked encode/decode. HTTP 1.1 chunking is what makes chunk
+//!   overlaying stream-as-you-serialize (§3.3).
+//! * [`tcp`] — a real TCP client with the paper's socket options
+//!   (`TCP_NODELAY`, keep-alive) and a [`Transport`] implementation.
+//! * [`server`] — loopback servers: the paper's discard server plus a
+//!   collecting server that hands complete request bodies to tests.
+//!
+//! The [`Transport`] trait is the seam between the serialization engine
+//! and the wire: one SOAP message (as a gather list of chunk slices) in,
+//! bytes-on-the-wire count out.
+
+pub mod http;
+pub mod server;
+pub mod sink;
+pub mod tcp;
+
+pub use http::{HttpError, HttpVersion, RequestConfig};
+pub use server::{CollectedRequest, ServerMode, ServerStats, TestServer};
+pub use sink::SinkTransport;
+pub use tcp::TcpTransport;
+
+use std::io::{self, IoSlice};
+
+/// A place a serialized SOAP message can be sent.
+///
+/// Implementations receive the message as the chunk store's gather list so
+/// non-contiguous templates are sent without flattening (§3.2's
+/// "scatter-gather sends" consideration).
+pub trait Transport {
+    /// Send one complete SOAP message; returns total bytes written to the
+    /// underlying medium (including any framing overhead).
+    fn send_message(&mut self, message: &[IoSlice<'_>]) -> io::Result<usize>;
+
+    /// Total bytes accepted over this transport's lifetime.
+    fn bytes_sent(&self) -> u64;
+}
+
+/// Sum of a gather list's lengths.
+pub fn gather_len(slices: &[IoSlice<'_>]) -> usize {
+    slices.iter().map(|s| s.len()).sum()
+}
+
+/// Drain a gather list into a plain `Write`, handling partial vectored
+/// writes. (Kept local so this crate sits below the engine in the crate
+/// graph.)
+pub fn write_gather(w: &mut impl io::Write, slices: &[IoSlice<'_>]) -> io::Result<usize> {
+    let total = gather_len(slices);
+    let mut idx = 0usize;
+    let mut off = 0usize;
+    let mut view: Vec<IoSlice<'_>> = Vec::with_capacity(slices.len());
+    while idx < slices.len() && slices[idx].is_empty() {
+        idx += 1;
+    }
+    while idx < slices.len() {
+        view.clear();
+        view.push(IoSlice::new(&slices[idx][off..]));
+        view.extend(slices[idx + 1..].iter().map(|s| IoSlice::new(s)));
+        let n = w.write_vectored(&view)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::WriteZero, "vectored write returned zero"));
+        }
+        let mut remaining = n + off;
+        off = 0;
+        while idx < slices.len() && remaining >= slices[idx].len() {
+            remaining -= slices[idx].len();
+            idx += 1;
+        }
+        if idx < slices.len() {
+            off = remaining;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn gather_len_sums() {
+        let a = b"ab".to_vec();
+        let b = b"cde".to_vec();
+        let slices = [IoSlice::new(&a), IoSlice::new(&b)];
+        assert_eq!(gather_len(&slices), 5);
+        assert_eq!(gather_len(&[]), 0);
+    }
+
+    #[test]
+    fn write_gather_whole() {
+        let a = b"hello ".to_vec();
+        let b = b"world".to_vec();
+        let mut out = Vec::new();
+        let n = write_gather(&mut out, &[IoSlice::new(&a), IoSlice::new(&b)]).unwrap();
+        assert_eq!(n, 11);
+        assert_eq!(out, b"hello world");
+    }
+
+    /// Writer accepting at most `cap` bytes per call.
+    struct Dribble {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            let mut room = self.cap;
+            let mut n = 0;
+            for b in bufs {
+                if room == 0 {
+                    break;
+                }
+                let take = b.len().min(room);
+                self.out.extend_from_slice(&b[..take]);
+                room -= take;
+                n += take;
+            }
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_gather_partial_writes() {
+        let a = b"abcdefg".to_vec();
+        let b = b"hij".to_vec();
+        let c = b"klmnop".to_vec();
+        for cap in [1, 2, 4, 5, 16] {
+            let mut w = Dribble { out: Vec::new(), cap };
+            let slices = [IoSlice::new(&a), IoSlice::new(&b), IoSlice::new(&c)];
+            let n = write_gather(&mut w, &slices).unwrap();
+            assert_eq!(n, 16);
+            assert_eq!(w.out, b"abcdefghijklmnop", "cap {cap}");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Loopback servers for tests, examples and measurements.
+//!
+//! [`TestServer`] reproduces the paper's measurement endpoint — "a dummy
+//! SOAP server … \[that\] does not deserialize or parse the incoming SOAP
+//! packet" — and adds a collecting mode that parses HTTP framing and hands
+//! complete request bodies back to the test, so integration tests can
+//! assert exact bytes-on-the-wire.
+
+use crate::http::{render_response, RequestReader};
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What the server does with connections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Drain and discard all bytes (the paper's dummy server; no HTTP).
+    Discard,
+    /// Parse HTTP requests, record them, respond `200 OK` to each.
+    Collect,
+}
+
+/// Counters published by a stopped server.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Total bytes drained off all connections (Discard mode) or body
+    /// bytes collected (Collect mode).
+    pub bytes_received: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Complete requests parsed (Collect mode only).
+    pub requests: u64,
+}
+
+/// One collected request (Collect mode).
+#[derive(Clone, Debug)]
+pub struct CollectedRequest {
+    /// Parsed request head.
+    pub head: crate::http::RequestHead,
+    /// Complete (de-chunked) body bytes.
+    pub body: Vec<u8>,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    bytes: AtomicU64,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    collected: Mutex<Vec<CollectedRequest>>,
+    /// Clones of accepted streams so shutdown can unblock handler threads
+    /// parked in `read()` on connections clients left open.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A loopback server running on its own accept thread (one extra thread
+/// per connection).
+pub struct TestServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TestServer {
+    /// Bind an ephemeral loopback port and start serving.
+    pub fn spawn(mode: ServerMode) -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            bytes: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            collected: Mutex::new(Vec::new()),
+            conns: Mutex::new(Vec::new()),
+        });
+        listener.set_nonblocking(true)?;
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            let mut conn_threads = Vec::new();
+            // Nonblocking accept + stop-flag poll: every connection made
+            // before stop() is accepted and fully drained, so counters are
+            // exact (no sentinel "poke" connection to mis-count).
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        if let Ok(clone) = stream.try_clone() {
+                            accept_shared.conns.lock().push(clone);
+                        }
+                        accept_shared.connections.fetch_add(1, Ordering::Relaxed);
+                        let conn_shared = Arc::clone(&accept_shared);
+                        conn_threads.push(std::thread::spawn(move || match mode {
+                            ServerMode::Discard => drain(stream, &conn_shared),
+                            ServerMode::Collect => collect(stream, &conn_shared),
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if accept_shared.stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Past this point no further connections are accepted. Shut
+            // down every handler's stream so reads on connections the
+            // client left open unblock — then joining cannot deadlock.
+            for conn in accept_shared.conns.lock().drain(..) {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+            for t in conn_threads {
+                let _ = t.join();
+            }
+        });
+        Ok(TestServer { addr, shared, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Bytes drained so far (live view).
+    pub fn bytes_received(&self) -> u64 {
+        self.shared.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Stop the server and return its counters.
+    pub fn stop(mut self) -> ServerStats {
+        self.shutdown();
+        ServerStats {
+            bytes_received: self.shared.bytes.load(Ordering::Relaxed),
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            requests: self.shared.requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop the server and return everything it collected (Collect mode).
+    pub fn stop_collecting(mut self) -> Vec<CollectedRequest> {
+        self.shutdown();
+        std::mem::take(&mut *self.shared.collected.lock())
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Discard mode: read until EOF, counting bytes — never parsing, exactly
+/// like the paper's measurement server.
+fn drain(mut stream: TcpStream, shared: &Shared) {
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                shared.bytes.fetch_add(n as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Collect mode: parse framed requests, stash them, 200 each.
+fn collect(mut stream: TcpStream, shared: &Shared) {
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = RequestReader::new(read_half);
+    let mut response = Vec::new();
+    while let Ok(Some((head, body))) = reader.next_request() {
+        shared.bytes.fetch_add(body.len() as u64, Ordering::Relaxed);
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        shared.collected.lock().push(CollectedRequest { head, body });
+        render_response(&mut response, 200, "OK", b"<ack/>");
+        if stream.write_all(&response).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{post_gather, HttpVersion, RequestConfig};
+    use std::io::IoSlice;
+
+    #[test]
+    fn discard_server_counts_bytes() {
+        let server = TestServer::spawn(ServerMode::Discard).unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        c.write_all(b"0123456789abcdef").unwrap();
+        c.shutdown(std::net::Shutdown::Write).unwrap();
+        drop(c);
+        // Drain happens on another thread; spin briefly for the count.
+        for _ in 0..200 {
+            if server.bytes_received() == 16 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let stats = server.stop();
+        assert_eq!(stats.bytes_received, 16);
+        assert_eq!(stats.connections, 1);
+    }
+
+    #[test]
+    fn collect_server_parses_and_acks() {
+        let server = TestServer::spawn(ServerMode::Collect).unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+        let body = b"<m>7</m>".to_vec();
+        let mut scratch = Vec::new();
+        post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
+        let (status, resp) = crate::http::read_response(&mut c).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(resp, b"<ack/>");
+        drop(c);
+        let reqs = server.stop_collecting();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].body, body);
+    }
+
+    #[test]
+    fn multiple_connections() {
+        let server = TestServer::spawn(ServerMode::Discard).unwrap();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let addr = server.addr();
+            handles.push(std::thread::spawn(move || {
+                let mut c = TcpStream::connect(addr).unwrap();
+                c.write_all(&vec![b'a'; (i + 1) * 100]).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for _ in 0..500 {
+            if server.bytes_received() == 1000 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let stats = server.stop();
+        assert_eq!(stats.bytes_received, 1000);
+        assert_eq!(stats.connections, 4);
+    }
+
+    #[test]
+    fn stop_without_traffic() {
+        let server = TestServer::spawn(ServerMode::Discard).unwrap();
+        let stats = server.stop();
+        assert_eq!(stats.bytes_received, 0);
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let server = TestServer::spawn(ServerMode::Collect).unwrap();
+        let addr = server.addr();
+        drop(server);
+        // Port should be released promptly; a new bind may or may not get
+        // the same port, but connecting to the old one must not hang.
+        let _ = TcpStream::connect(addr);
+    }
+}

@@ -1,0 +1,44 @@
+//! # bsoap-wsdl — service descriptions for the bSOAP stack
+//!
+//! "WSDL provides a precise description of a Web Service interface and of
+//! the communication protocols it supports" (paper §1). This crate reads
+//! and writes the **WSDL 1.1 rpc/encoded subset** that 2004-era SOAP
+//! toolkits (gSOAP, XSOAP, Axis) exchanged, mapping it onto the engine's
+//! [`OpDesc`](bsoap_core::OpDesc)/[`TypeDesc`](bsoap_core::TypeDesc)
+//! schema model:
+//!
+//! * `xsd:int | long | double | boolean | string` → scalar leaves,
+//! * `complexType` with a `sequence` of elements → structs,
+//! * the classic SOAP-encoded array pattern (`complexType` restricting
+//!   `SOAP-ENC:Array` with a `wsdl:arrayType="T[]"` attribute) → arrays,
+//! * `message`/`portType`/`binding`/`service` → operations, SOAPAction
+//!   values and the endpoint address.
+//!
+//! [`parse_wsdl`] and [`write_wsdl`] round-trip: for any
+//! [`ServiceDesc`], `parse(write(svc)) == svc` (property-tested).
+//!
+//! ```
+//! use bsoap_core::{OpDesc, TypeDesc};
+//! use bsoap_convert::ScalarKind;
+//! use bsoap_wsdl::{parse_wsdl, write_wsdl, ServiceDesc};
+//!
+//! let svc = ServiceDesc {
+//!     name: "Solver".into(),
+//!     namespace: "urn:solver".into(),
+//!     endpoint: "http://localhost:8000/solver".into(),
+//!     operations: vec![OpDesc::single(
+//!         "updateSolution", "urn:solver", "x",
+//!         TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+//!     )],
+//! };
+//! let xml = write_wsdl(&svc);
+//! assert_eq!(parse_wsdl(xml.as_bytes()).unwrap(), svc);
+//! ```
+
+pub mod model;
+pub mod parse;
+pub mod write;
+
+pub use model::{ServiceDesc, WsdlError};
+pub use parse::parse_wsdl;
+pub use write::write_wsdl;

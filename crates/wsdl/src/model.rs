@@ -1,0 +1,146 @@
+//! The service model WSDL documents map onto.
+
+use bsoap_core::{OpDesc, TypeDesc};
+use bsoap_convert::ScalarKind;
+use std::fmt;
+
+/// A described service: what a WSDL `definitions` document names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceDesc {
+    /// Service name (`<service name=…>`, also used for the port type).
+    pub name: String,
+    /// Target namespace; becomes each operation's `ns1` binding.
+    pub namespace: String,
+    /// SOAP endpoint address (`<soap:address location=…>`).
+    pub endpoint: String,
+    /// Operations in declaration order.
+    pub operations: Vec<OpDesc>,
+}
+
+impl ServiceDesc {
+    /// Look up an operation by name.
+    pub fn operation(&self, name: &str) -> Option<&OpDesc> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+
+    /// The conventional SOAPAction for an operation of this service.
+    pub fn soap_action(&self, op: &str) -> String {
+        format!("{}#{}", self.namespace, op)
+    }
+}
+
+/// WSDL reading/validation error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WsdlError {
+    /// XML-level failure.
+    Xml(String),
+    /// Document structure outside the supported subset.
+    Unsupported(String),
+    /// Reference to an undefined type or message.
+    Undefined(String),
+    /// Document is missing a required section.
+    Missing(&'static str),
+}
+
+impl fmt::Display for WsdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WsdlError::Xml(e) => write!(f, "XML error: {e}"),
+            WsdlError::Unsupported(w) => write!(f, "unsupported WSDL construct: {w}"),
+            WsdlError::Undefined(n) => write!(f, "undefined reference: {n}"),
+            WsdlError::Missing(s) => write!(f, "missing WSDL section: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for WsdlError {}
+
+/// XSD qname for a scalar kind.
+pub(crate) fn scalar_qname(kind: ScalarKind) -> &'static str {
+    match kind {
+        ScalarKind::Int => "xsd:int",
+        ScalarKind::Long => "xsd:long",
+        ScalarKind::Double => "xsd:double",
+        ScalarKind::Bool => "xsd:boolean",
+        ScalarKind::Str => "xsd:string",
+    }
+}
+
+/// Scalar kind for an XSD qname.
+pub(crate) fn qname_scalar(qname: &str) -> Option<ScalarKind> {
+    Some(match qname {
+        "xsd:int" => ScalarKind::Int,
+        "xsd:long" => ScalarKind::Long,
+        "xsd:double" => ScalarKind::Double,
+        "xsd:boolean" => ScalarKind::Bool,
+        "xsd:string" => ScalarKind::Str,
+        _ => return None,
+    })
+}
+
+/// The WSDL type name a `TypeDesc` is declared under.
+///
+/// Scalars use their XSD names; structs use `tns:<name>`; arrays use
+/// `tns:ArrayOf<item>` (the rpc/encoded convention).
+pub(crate) fn type_ref(desc: &TypeDesc) -> String {
+    match desc {
+        TypeDesc::Scalar(k) => scalar_qname(*k).to_owned(),
+        TypeDesc::Struct { name, .. } => format!("tns:{name}"),
+        TypeDesc::Array { item } => format!("tns:ArrayOf{}", array_item_token(item)),
+    }
+}
+
+/// CamelCase token naming an array's element type.
+pub(crate) fn array_item_token(item: &TypeDesc) -> String {
+    match item {
+        TypeDesc::Scalar(ScalarKind::Int) => "Int".to_owned(),
+        TypeDesc::Scalar(ScalarKind::Long) => "Long".to_owned(),
+        TypeDesc::Scalar(ScalarKind::Double) => "Double".to_owned(),
+        TypeDesc::Scalar(ScalarKind::Bool) => "Boolean".to_owned(),
+        TypeDesc::Scalar(ScalarKind::Str) => "String".to_owned(),
+        TypeDesc::Struct { name, .. } => {
+            let mut c = name.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        }
+        TypeDesc::Array { .. } => "Array".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_qnames_round_trip() {
+        for k in [ScalarKind::Int, ScalarKind::Long, ScalarKind::Double, ScalarKind::Bool, ScalarKind::Str] {
+            assert_eq!(qname_scalar(scalar_qname(k)), Some(k));
+        }
+        assert_eq!(qname_scalar("xsd:decimal"), None);
+    }
+
+    #[test]
+    fn type_refs() {
+        assert_eq!(type_ref(&TypeDesc::Scalar(ScalarKind::Double)), "xsd:double");
+        assert_eq!(type_ref(&TypeDesc::mio()), "tns:mio");
+        assert_eq!(
+            type_ref(&TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double))),
+            "tns:ArrayOfDouble"
+        );
+        assert_eq!(type_ref(&TypeDesc::array_of(TypeDesc::mio())), "tns:ArrayOfMio");
+    }
+
+    #[test]
+    fn soap_action_convention() {
+        let svc = ServiceDesc {
+            name: "S".into(),
+            namespace: "urn:x".into(),
+            endpoint: "http://h/p".into(),
+            operations: vec![],
+        };
+        assert_eq!(svc.soap_action("f"), "urn:x#f");
+        assert!(svc.operation("f").is_none());
+    }
+}

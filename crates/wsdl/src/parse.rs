@@ -1,0 +1,423 @@
+//! WSDL 1.1 reading (rpc/encoded subset).
+//!
+//! WSDL documents are small (they describe interfaces, not data), so the
+//! reader first loads the document into a lightweight element tree, then
+//! interprets the sections:
+//!
+//! * `types/schema/complexType` — struct (`sequence` of `element`s) or
+//!   SOAP-encoded array (`complexContent/restriction base="SOAP-ENC:Array"`
+//!   with a `wsdl:arrayType` attribute),
+//! * `message` — named part lists,
+//! * `portType/operation/input` — the operation list and order,
+//! * `service/port/address` — the endpoint location.
+//!
+//! Names are matched by *local* name so any prefix convention is
+//! accepted (`wsdl:message`, `message`, `w:message`, …).
+
+use crate::model::{qname_scalar, ServiceDesc, WsdlError};
+use bsoap_core::{OpDesc, ParamDesc, TypeDesc};
+use bsoap_xml::{Event, PullParser};
+use std::collections::HashMap;
+
+/// Parse a WSDL document into a [`ServiceDesc`].
+pub fn parse_wsdl(bytes: &[u8]) -> Result<ServiceDesc, WsdlError> {
+    let root = read_tree(bytes)?;
+    if root.local != "definitions" {
+        return Err(WsdlError::Unsupported(format!(
+            "root element is <{}>, expected <definitions>",
+            root.local
+        )));
+    }
+    let namespace = root
+        .attr("targetNamespace")
+        .ok_or(WsdlError::Missing("definitions/@targetNamespace"))?
+        .to_owned();
+    let name = root.attr("name").unwrap_or("Service").to_owned();
+
+    // --- raw type declarations ---
+    let mut raw_types: HashMap<String, RawType> = HashMap::new();
+    for types in root.children_named("types") {
+        for schema in types.children_named("schema") {
+            for ct in schema.children_named("complexType") {
+                let (tname, raw) = read_complex_type(ct)?;
+                raw_types.insert(tname, raw);
+            }
+        }
+    }
+
+    // --- messages ---
+    let mut messages: HashMap<String, Vec<(String, String)>> = HashMap::new();
+    for msg in root.children_named("message") {
+        let mname = msg
+            .attr("name")
+            .ok_or(WsdlError::Missing("message/@name"))?
+            .to_owned();
+        let mut parts = Vec::new();
+        for part in msg.children_named("part") {
+            let pname = part.attr("name").ok_or(WsdlError::Missing("part/@name"))?;
+            let ptype = part.attr("type").ok_or(WsdlError::Missing("part/@type"))?;
+            parts.push((pname.to_owned(), ptype.to_owned()));
+        }
+        messages.insert(mname, parts);
+    }
+
+    // --- portType: operation order and input messages ---
+    let port_type = root
+        .children_named("portType")
+        .next()
+        .ok_or(WsdlError::Missing("portType"))?;
+    let mut operations = Vec::new();
+    for op in port_type.children_named("operation") {
+        let oname = op.attr("name").ok_or(WsdlError::Missing("operation/@name"))?;
+        let input = op
+            .children_named("input")
+            .next()
+            .ok_or(WsdlError::Missing("operation/input"))?;
+        let msg_ref = input.attr("message").ok_or(WsdlError::Missing("input/@message"))?;
+        let msg_local = local_of(msg_ref);
+        let parts = messages
+            .get(msg_local)
+            .ok_or_else(|| WsdlError::Undefined(format!("message {msg_ref}")))?;
+        let mut params = Vec::with_capacity(parts.len());
+        for (pname, ptype) in parts {
+            params.push(ParamDesc {
+                name: pname.clone(),
+                desc: resolve(ptype, &raw_types, &mut Vec::new())?,
+            });
+        }
+        operations.push(OpDesc::new(oname, &namespace, params));
+    }
+
+    // --- service endpoint ---
+    let endpoint = root
+        .children_named("service")
+        .next()
+        .and_then(|svc| svc.children_named("port").next())
+        .and_then(|port| port.children_named("address").next())
+        .and_then(|addr| addr.attr("location"))
+        .ok_or(WsdlError::Missing("service/port/address/@location"))?
+        .to_owned();
+
+    Ok(ServiceDesc { name, namespace, endpoint, operations })
+}
+
+// ---------------------------------------------------------------------
+// Element tree
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Elem {
+    local: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Elem>,
+}
+
+impl Elem {
+    /// Attribute value by local name.
+    fn attr(&self, local: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| local_of(n) == local)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements with a given local name.
+    fn children_named<'a>(&'a self, local: &'a str) -> impl Iterator<Item = &'a Elem> + 'a {
+        self.children.iter().filter(move |c| c.local == local)
+    }
+}
+
+fn local_of(qname: &str) -> &str {
+    qname.rsplit(':').next().unwrap_or(qname)
+}
+
+fn read_tree(bytes: &[u8]) -> Result<Elem, WsdlError> {
+    let mut p = PullParser::new(bytes);
+    let mut stack: Vec<Elem> = Vec::new();
+    loop {
+        let event = p.next_event().map_err(|e| WsdlError::Xml(e.to_string()))?;
+        match event {
+            Event::Decl { .. } | Event::Comment { .. } => {}
+            Event::Text { range } => {
+                let t = &bytes[range];
+                if !t.iter().all(|b| b.is_ascii_whitespace()) {
+                    return Err(WsdlError::Unsupported(
+                        "character data inside WSDL structure".to_owned(),
+                    ));
+                }
+            }
+            Event::Start { name, attrs, .. } => {
+                let local = local_of(std::str::from_utf8(&bytes[name]).map_err(utf8_err)?)
+                    .to_owned();
+                let attrs = attrs
+                    .into_iter()
+                    .map(|a| {
+                        let n = std::str::from_utf8(&bytes[a.name]).map_err(utf8_err)?;
+                        let v_raw = bsoap_xml::unescape(&bytes[a.value])
+                            .map_err(|e| WsdlError::Xml(format!("{e:?}")))?;
+                        let v = std::str::from_utf8(&v_raw).map_err(utf8_err)?.to_owned();
+                        Ok((n.to_owned(), v))
+                    })
+                    .collect::<Result<Vec<_>, WsdlError>>()?;
+                stack.push(Elem { local, attrs, children: Vec::new() });
+            }
+            Event::End { .. } => {
+                let done = stack.pop().expect("parser guarantees balance");
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(done),
+                    None => {
+                        // Root closed: confirm nothing but whitespace follows.
+                        loop {
+                            match p.next_event().map_err(|e| WsdlError::Xml(e.to_string()))? {
+                                Event::Eof => return Ok(done),
+                                Event::Text { range }
+                                    if bytes[range.clone()]
+                                        .iter()
+                                        .all(|b| b.is_ascii_whitespace()) => {}
+                                Event::Comment { .. } => {}
+                                other => {
+                                    return Err(WsdlError::Unsupported(format!(
+                                        "trailing content after root: {other:?}"
+                                    )))
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Event::Eof => return Err(WsdlError::Missing("root element")),
+        }
+    }
+}
+
+fn utf8_err(_: std::str::Utf8Error) -> WsdlError {
+    WsdlError::Xml("non-UTF-8 content".to_owned())
+}
+
+// ---------------------------------------------------------------------
+// Type interpretation
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum RawType {
+    Struct { fields: Vec<(String, String)> },
+    Array { item_ref: String },
+}
+
+fn read_complex_type(ct: &Elem) -> Result<(String, RawType), WsdlError> {
+    let name = ct
+        .attr("name")
+        .ok_or(WsdlError::Missing("complexType/@name"))?
+        .to_owned();
+    // Array pattern: complexContent/restriction base="SOAP-ENC:Array".
+    if let Some(content) = ct.children_named("complexContent").next() {
+        let restriction = content
+            .children_named("restriction")
+            .next()
+            .ok_or(WsdlError::Missing("complexContent/restriction"))?;
+        let base = restriction.attr("base").unwrap_or("");
+        if local_of(base) != "Array" {
+            return Err(WsdlError::Unsupported(format!(
+                "complexContent restriction base {base:?} (only SOAP-ENC:Array)"
+            )));
+        }
+        let attr_decl = restriction
+            .children_named("attribute")
+            .next()
+            .ok_or(WsdlError::Missing("restriction/attribute (arrayType)"))?;
+        let array_type = attr_decl
+            .attr("arrayType")
+            .ok_or(WsdlError::Missing("attribute/@wsdl:arrayType"))?;
+        let item_ref = array_type
+            .strip_suffix("[]")
+            .ok_or_else(|| WsdlError::Unsupported(format!("arrayType {array_type:?}")))?;
+        return Ok((name, RawType::Array { item_ref: item_ref.to_owned() }));
+    }
+    // Struct pattern: sequence of elements.
+    if let Some(seq) = ct.children_named("sequence").next() {
+        let mut fields = Vec::new();
+        for e in seq.children_named("element") {
+            let fname = e.attr("name").ok_or(WsdlError::Missing("element/@name"))?;
+            let ftype = e.attr("type").ok_or(WsdlError::Missing("element/@type"))?;
+            fields.push((fname.to_owned(), ftype.to_owned()));
+        }
+        return Ok((name, RawType::Struct { fields }));
+    }
+    Err(WsdlError::Unsupported(format!(
+        "complexType {name} is neither a sequence struct nor a SOAP-ENC array"
+    )))
+}
+
+/// Resolve a type reference (`xsd:double`, `tns:mio`, `tns:ArrayOfMio`)
+/// to a [`TypeDesc`], guarding against reference cycles.
+fn resolve(
+    type_ref: &str,
+    raw: &HashMap<String, RawType>,
+    in_progress: &mut Vec<String>,
+) -> Result<TypeDesc, WsdlError> {
+    if let Some(kind) = qname_scalar(type_ref) {
+        return Ok(TypeDesc::Scalar(kind));
+    }
+    // Also accept scalar references spelled with any prefix.
+    if let Some(kind) = qname_scalar(&format!("xsd:{}", local_of(type_ref))) {
+        return Ok(TypeDesc::Scalar(kind));
+    }
+    let local = local_of(type_ref).to_owned();
+    if in_progress.contains(&local) {
+        return Err(WsdlError::Unsupported(format!("recursive type {local}")));
+    }
+    let decl = raw
+        .get(&local)
+        .ok_or_else(|| WsdlError::Undefined(format!("type {type_ref}")))?;
+    in_progress.push(local.clone());
+    let result = match decl {
+        RawType::Struct { fields } => {
+            let mut resolved = Vec::with_capacity(fields.len());
+            for (fname, ftype) in fields {
+                resolved.push((fname.clone(), resolve(ftype, raw, in_progress)?));
+            }
+            Ok(TypeDesc::Struct { name: local.clone(), fields: resolved })
+        }
+        RawType::Array { item_ref } => {
+            Ok(TypeDesc::array_of(resolve(item_ref, raw, in_progress)?))
+        }
+    };
+    in_progress.pop();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write::write_wsdl;
+    use bsoap_convert::ScalarKind;
+
+    fn sample() -> ServiceDesc {
+        ServiceDesc {
+            name: "Mesh".into(),
+            namespace: "urn:mesh".into(),
+            endpoint: "http://localhost:9000/mesh".into(),
+            operations: vec![
+                OpDesc::single(
+                    "exchange",
+                    "urn:mesh",
+                    "interface",
+                    TypeDesc::array_of(TypeDesc::mio()),
+                ),
+                OpDesc::new(
+                    "register",
+                    "urn:mesh",
+                    vec![
+                        ParamDesc {
+                            name: "id".into(),
+                            desc: TypeDesc::Scalar(ScalarKind::Int),
+                        },
+                        ParamDesc {
+                            name: "label".into(),
+                            desc: TypeDesc::Scalar(ScalarKind::Str),
+                        },
+                    ],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let svc = sample();
+        let xml = write_wsdl(&svc);
+        let parsed = parse_wsdl(xml.as_bytes()).unwrap();
+        assert_eq!(parsed, svc);
+    }
+
+    #[test]
+    fn accepts_foreign_prefixes() {
+        // Same document with different prefix conventions.
+        let xml = write_wsdl(&sample())
+            .replace("wsdl:", "w:")
+            .replace("xsd:complexType", "s:complexType")
+            .replace("xsd:sequence", "s:sequence")
+            .replace("xsd:element", "s:element")
+            .replace("xsd:schema", "s:schema")
+            .replace("xsd:attribute", "s:attribute")
+            .replace("xsd:restriction", "s:restriction")
+            .replace("xsd:complexContent", "s:complexContent");
+        let parsed = parse_wsdl(xml.as_bytes()).unwrap();
+        assert_eq!(parsed.operations.len(), 2);
+    }
+
+    #[test]
+    fn missing_sections_error() {
+        assert!(matches!(parse_wsdl(b"<definitions/>"), Err(WsdlError::Missing(_))));
+        let no_porttype = br#"<definitions targetNamespace="urn:x"></definitions>"#;
+        assert!(matches!(parse_wsdl(no_porttype), Err(WsdlError::Missing("portType"))));
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        assert!(matches!(
+            parse_wsdl(b"<html></html>"),
+            Err(WsdlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn undefined_message_reference() {
+        let xml = br#"<definitions targetNamespace="urn:x">
+            <portType name="P">
+              <operation name="f"><input message="tns:ghost"/></operation>
+            </portType>
+        </definitions>"#;
+        assert!(matches!(parse_wsdl(xml), Err(WsdlError::Undefined(_))));
+    }
+
+    #[test]
+    fn undefined_type_reference() {
+        let xml = br#"<definitions targetNamespace="urn:x">
+            <message name="fRequest"><part name="v" type="tns:ghost"/></message>
+            <portType name="P">
+              <operation name="f"><input message="tns:fRequest"/></operation>
+            </portType>
+            <service name="S"><port name="p" binding="tns:B">
+              <address location="http://h/p"/>
+            </port></service>
+        </definitions>"#;
+        assert!(matches!(parse_wsdl(xml), Err(WsdlError::Undefined(_))));
+    }
+
+    #[test]
+    fn recursive_type_rejected() {
+        let xml = br#"<definitions targetNamespace="urn:x">
+            <types><schema>
+              <complexType name="node">
+                <sequence><element name="next" type="tns:node"/></sequence>
+              </complexType>
+            </schema></types>
+            <message name="fRequest"><part name="v" type="tns:node"/></message>
+            <portType name="P">
+              <operation name="f"><input message="tns:fRequest"/></operation>
+            </portType>
+            <service name="S"><port name="p" binding="tns:B">
+              <address location="http://h/p"/>
+            </port></service>
+        </definitions>"#;
+        assert!(matches!(parse_wsdl(xml), Err(WsdlError::Unsupported(_))));
+    }
+
+    #[test]
+    fn malformed_xml_reported() {
+        assert!(matches!(parse_wsdl(b"<definitions"), Err(WsdlError::Xml(_))));
+        assert!(matches!(parse_wsdl(b""), Err(WsdlError::Missing(_) | WsdlError::Xml(_))));
+    }
+
+    #[test]
+    fn parsed_ops_drive_the_engine() {
+        // The WSDL-derived OpDesc must be usable for template building.
+        use bsoap_core::{EngineConfig, MessageTemplate, Value};
+        let svc = parse_wsdl(write_wsdl(&sample()).as_bytes()).unwrap();
+        let op = svc.operation("exchange").unwrap();
+        let args = vec![Value::Array(vec![bsoap_core::value::mio(1, 2, 3.5)])];
+        let tpl = MessageTemplate::build(EngineConfig::paper_default(), op, &args).unwrap();
+        assert!(tpl.message_len() > 0);
+    }
+}

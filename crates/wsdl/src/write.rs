@@ -1,0 +1,261 @@
+//! WSDL 1.1 generation (rpc/encoded style).
+//!
+//! Produces exactly the subset [`crate::parse`] reads, in the layout
+//! 2004-era toolkits emitted: `types` (XSD complex types for every struct
+//! and array used), `message` per operation, one `portType`, one
+//! rpc/encoded `binding`, and a `service` with the SOAP address.
+
+use crate::model::{array_item_token, scalar_qname, type_ref, ServiceDesc};
+use bsoap_core::TypeDesc;
+use bsoap_xml::escape_attr_into;
+use std::collections::BTreeMap;
+
+/// Render `svc` as a WSDL 1.1 document.
+pub fn write_wsdl(svc: &ServiceDesc) -> String {
+    let mut w = Writer { out: String::new(), scratch: Vec::new() };
+    w.raw("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    w.raw("<wsdl:definitions xmlns:wsdl=\"http://schemas.xmlsoap.org/wsdl/\" \
+           xmlns:soap=\"http://schemas.xmlsoap.org/wsdl/soap/\" \
+           xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\" \
+           xmlns:SOAP-ENC=\"http://schemas.xmlsoap.org/soap/encoding/\" \
+           xmlns:tns=\"");
+    w.attr_text(&svc.namespace);
+    w.raw("\" targetNamespace=\"");
+    w.attr_text(&svc.namespace);
+    w.raw("\" name=\"");
+    w.attr_text(&svc.name);
+    w.raw("\">\n");
+
+    write_types(&mut w, svc);
+    write_messages(&mut w, svc);
+    write_port_type(&mut w, svc);
+    write_binding(&mut w, svc);
+    write_service(&mut w, svc);
+
+    w.raw("</wsdl:definitions>\n");
+    w.out
+}
+
+struct Writer {
+    out: String,
+    scratch: Vec<u8>,
+}
+
+impl Writer {
+    fn raw(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    fn attr_text(&mut self, s: &str) {
+        self.scratch.clear();
+        escape_attr_into(&mut self.scratch, s);
+        self.out.push_str(std::str::from_utf8(&self.scratch).expect("escaped ASCII-safe"));
+    }
+}
+
+/// Collect every named type used by the service, deduplicated, in a
+/// deterministic order.
+fn collect_types(svc: &ServiceDesc) -> BTreeMap<String, TypeDesc> {
+    let mut out = BTreeMap::new();
+    fn visit(desc: &TypeDesc, out: &mut BTreeMap<String, TypeDesc>) {
+        match desc {
+            TypeDesc::Scalar(_) => {}
+            TypeDesc::Struct { name, fields } => {
+                out.entry(name.clone()).or_insert_with(|| desc.clone());
+                for (_, f) in fields {
+                    visit(f, out);
+                }
+            }
+            TypeDesc::Array { item } => {
+                out.entry(format!("ArrayOf{}", array_item_token(item)))
+                    .or_insert_with(|| desc.clone());
+                visit(item, out);
+            }
+        }
+    }
+    for op in &svc.operations {
+        for p in &op.params {
+            visit(&p.desc, &mut out);
+        }
+    }
+    out
+}
+
+fn write_types(w: &mut Writer, svc: &ServiceDesc) {
+    let types = collect_types(svc);
+    if types.is_empty() {
+        return;
+    }
+    w.raw("  <wsdl:types>\n    <xsd:schema targetNamespace=\"");
+    w.attr_text(&svc.namespace);
+    w.raw("\">\n");
+    for (name, desc) in &types {
+        match desc {
+            TypeDesc::Struct { fields, .. } => {
+                w.raw("      <xsd:complexType name=\"");
+                w.attr_text(name);
+                w.raw("\">\n        <xsd:sequence>\n");
+                for (fname, fdesc) in fields {
+                    w.raw("          <xsd:element name=\"");
+                    w.attr_text(fname);
+                    w.raw("\" type=\"");
+                    w.attr_text(&type_ref(fdesc));
+                    w.raw("\"/>\n");
+                }
+                w.raw("        </xsd:sequence>\n      </xsd:complexType>\n");
+            }
+            TypeDesc::Array { item } => {
+                // The classic rpc/encoded SOAP array declaration.
+                w.raw("      <xsd:complexType name=\"");
+                w.attr_text(name);
+                w.raw("\">\n        <xsd:complexContent>\n          \
+                       <xsd:restriction base=\"SOAP-ENC:Array\">\n            \
+                       <xsd:attribute ref=\"SOAP-ENC:arrayType\" wsdl:arrayType=\"");
+                let item_ref = match item.as_ref() {
+                    TypeDesc::Scalar(k) => scalar_qname(*k).to_owned(),
+                    other => type_ref(other),
+                };
+                w.attr_text(&format!("{item_ref}[]"));
+                w.raw("\"/>\n          </xsd:restriction>\n        \
+                       </xsd:complexContent>\n      </xsd:complexType>\n");
+            }
+            TypeDesc::Scalar(_) => unreachable!("scalars are not named types"),
+        }
+    }
+    w.raw("    </xsd:schema>\n  </wsdl:types>\n");
+}
+
+fn write_messages(w: &mut Writer, svc: &ServiceDesc) {
+    for op in &svc.operations {
+        w.raw("  <wsdl:message name=\"");
+        w.attr_text(&format!("{}Request", op.name));
+        w.raw("\">\n");
+        for p in &op.params {
+            w.raw("    <wsdl:part name=\"");
+            w.attr_text(&p.name);
+            w.raw("\" type=\"");
+            w.attr_text(&type_ref(&p.desc));
+            w.raw("\"/>\n");
+        }
+        w.raw("  </wsdl:message>\n");
+    }
+}
+
+fn write_port_type(w: &mut Writer, svc: &ServiceDesc) {
+    w.raw("  <wsdl:portType name=\"");
+    w.attr_text(&format!("{}PortType", svc.name));
+    w.raw("\">\n");
+    for op in &svc.operations {
+        w.raw("    <wsdl:operation name=\"");
+        w.attr_text(&op.name);
+        w.raw("\">\n      <wsdl:input message=\"");
+        w.attr_text(&format!("tns:{}Request", op.name));
+        w.raw("\"/>\n    </wsdl:operation>\n");
+    }
+    w.raw("  </wsdl:portType>\n");
+}
+
+fn write_binding(w: &mut Writer, svc: &ServiceDesc) {
+    w.raw("  <wsdl:binding name=\"");
+    w.attr_text(&format!("{}Binding", svc.name));
+    w.raw("\" type=\"");
+    w.attr_text(&format!("tns:{}PortType", svc.name));
+    w.raw("\">\n    <soap:binding style=\"rpc\" \
+           transport=\"http://schemas.xmlsoap.org/soap/http\"/>\n");
+    for op in &svc.operations {
+        w.raw("    <wsdl:operation name=\"");
+        w.attr_text(&op.name);
+        w.raw("\">\n      <soap:operation soapAction=\"");
+        w.attr_text(&svc.soap_action(&op.name));
+        w.raw("\"/>\n      <wsdl:input>\n        <soap:body use=\"encoded\" \
+               encodingStyle=\"http://schemas.xmlsoap.org/soap/encoding/\" namespace=\"");
+        w.attr_text(&svc.namespace);
+        w.raw("\"/>\n      </wsdl:input>\n    </wsdl:operation>\n");
+    }
+    w.raw("  </wsdl:binding>\n");
+}
+
+fn write_service(w: &mut Writer, svc: &ServiceDesc) {
+    w.raw("  <wsdl:service name=\"");
+    w.attr_text(&svc.name);
+    w.raw("\">\n    <wsdl:port name=\"");
+    w.attr_text(&format!("{}Port", svc.name));
+    w.raw("\" binding=\"");
+    w.attr_text(&format!("tns:{}Binding", svc.name));
+    w.raw("\">\n      <soap:address location=\"");
+    w.attr_text(&svc.endpoint);
+    w.raw("\"/>\n    </wsdl:port>\n  </wsdl:service>\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsoap_core::OpDesc;
+    use bsoap_convert::ScalarKind;
+
+    fn sample() -> ServiceDesc {
+        ServiceDesc {
+            name: "Mesh".into(),
+            namespace: "urn:mesh".into(),
+            endpoint: "http://localhost:9000/mesh".into(),
+            operations: vec![
+                OpDesc::single(
+                    "exchange",
+                    "urn:mesh",
+                    "interface",
+                    TypeDesc::array_of(TypeDesc::mio()),
+                ),
+                OpDesc::single("ping", "urn:mesh", "token", TypeDesc::Scalar(ScalarKind::Int)),
+            ],
+        }
+    }
+
+    #[test]
+    fn emits_all_sections() {
+        let xml = write_wsdl(&sample());
+        for needle in [
+            "<wsdl:definitions",
+            "<wsdl:types>",
+            "complexType name=\"mio\"",
+            "complexType name=\"ArrayOfMio\"",
+            "wsdl:arrayType=\"tns:mio[]\"",
+            "<wsdl:message name=\"exchangeRequest\"",
+            "<wsdl:portType name=\"MeshPortType\"",
+            "soapAction=\"urn:mesh#exchange\"",
+            "<soap:address location=\"http://localhost:9000/mesh\"",
+        ] {
+            assert!(xml.contains(needle), "missing {needle} in\n{xml}");
+        }
+    }
+
+    #[test]
+    fn types_are_deduplicated() {
+        let mut svc = sample();
+        svc.operations.push(OpDesc::single(
+            "exchange2",
+            "urn:mesh",
+            "boundary",
+            TypeDesc::array_of(TypeDesc::mio()),
+        ));
+        let xml = write_wsdl(&svc);
+        assert_eq!(xml.matches("complexType name=\"ArrayOfMio\"").count(), 1);
+        assert_eq!(xml.matches("complexType name=\"mio\"").count(), 1);
+    }
+
+    #[test]
+    fn output_is_well_formed() {
+        let xml = write_wsdl(&sample());
+        let mut p = bsoap_xml::PullParser::new(xml.as_bytes());
+        loop {
+            if p.next_event().expect("well-formed") == bsoap_xml::Event::Eof { break }
+        }
+    }
+
+    #[test]
+    fn attr_escaping_in_names() {
+        let mut svc = sample();
+        svc.namespace = "urn:a\"<&b".into();
+        let xml = write_wsdl(&svc);
+        assert!(xml.contains("urn:a&quot;&lt;&amp;b"));
+    }
+}

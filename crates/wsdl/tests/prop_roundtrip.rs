@@ -1,0 +1,117 @@
+//! Property test: `parse_wsdl(write_wsdl(svc)) == svc` for arbitrary
+//! services in the supported subset.
+
+use bsoap_core::{OpDesc, ParamDesc, TypeDesc};
+use bsoap_convert::ScalarKind;
+use bsoap_wsdl::{parse_wsdl, write_wsdl, ServiceDesc};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9]{0,12}"
+}
+
+fn scalar_kind() -> impl Strategy<Value = ScalarKind> {
+    prop_oneof![
+        Just(ScalarKind::Int),
+        Just(ScalarKind::Long),
+        Just(ScalarKind::Double),
+        Just(ScalarKind::Bool),
+        Just(ScalarKind::Str),
+    ]
+}
+
+/// Struct of scalars with unique field names (the engine's supported
+/// nesting; deeper structs work too but named-type collisions between
+/// random structs make equality comparison ambiguous, so keep one level).
+fn struct_desc(tag: usize) -> impl Strategy<Value = TypeDesc> {
+    prop::collection::vec((ident(), scalar_kind()), 1..5).prop_map(move |fields| {
+        let mut seen = std::collections::HashSet::new();
+        let fields = fields
+            .into_iter()
+            .enumerate()
+            .map(|(i, (mut n, k))| {
+                if !seen.insert(n.clone()) {
+                    n = format!("{n}{i}");
+                    seen.insert(n.clone());
+                }
+                (n, TypeDesc::Scalar(k))
+            })
+            .collect();
+        TypeDesc::Struct { name: format!("t{tag}"), fields }
+    })
+}
+
+fn param_desc(tag: usize) -> impl Strategy<Value = TypeDesc> {
+    prop_oneof![
+        scalar_kind().prop_map(TypeDesc::Scalar),
+        struct_desc(tag),
+        scalar_kind().prop_map(|k| TypeDesc::array_of(TypeDesc::Scalar(k))),
+        struct_desc(tag).prop_map(TypeDesc::array_of),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wsdl_round_trips(
+        svc_name in ident(),
+        ns_tail in ident(),
+        op_names in prop::collection::hash_set(ident(), 1..4),
+        param_counts in prop::collection::vec(1usize..4, 3),
+    ) {
+        let namespace = format!("urn:{ns_tail}");
+        let mut operations = Vec::new();
+        for (oi, name) in op_names.iter().enumerate() {
+            let n_params = param_counts[oi % param_counts.len()];
+            let mut params = Vec::new();
+            for pi in 0..n_params {
+                // Deterministic type choice per (op, param) via a tagged
+                // strategy sample (kept simple: rotate through shapes).
+                let tag = oi * 10 + pi;
+                let desc = match tag % 4 {
+                    0 => TypeDesc::Scalar(ScalarKind::Double),
+                    1 => TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)),
+                    2 => TypeDesc::Struct {
+                        name: format!("t{tag}"),
+                        fields: vec![
+                            ("a".to_owned(), TypeDesc::Scalar(ScalarKind::Int)),
+                            ("b".to_owned(), TypeDesc::Scalar(ScalarKind::Str)),
+                        ],
+                    },
+                    _ => TypeDesc::array_of(TypeDesc::Struct {
+                        name: format!("t{tag}"),
+                        fields: vec![("v".to_owned(), TypeDesc::Scalar(ScalarKind::Double))],
+                    }),
+                };
+                params.push(ParamDesc { name: format!("p{pi}"), desc });
+            }
+            operations.push(OpDesc::new(name, &namespace, params));
+        }
+        let svc = ServiceDesc {
+            name: svc_name,
+            namespace,
+            endpoint: "http://localhost:1/svc".to_owned(),
+            operations,
+        };
+        let xml = write_wsdl(&svc);
+        let parsed = parse_wsdl(xml.as_bytes()).unwrap();
+        prop_assert_eq!(parsed, svc);
+    }
+
+    #[test]
+    fn random_param_shapes_round_trip(desc in param_desc(0), pname in ident()) {
+        let svc = ServiceDesc {
+            name: "S".to_owned(),
+            namespace: "urn:x".to_owned(),
+            endpoint: "http://h/p".to_owned(),
+            operations: vec![OpDesc::new(
+                "f",
+                "urn:x",
+                vec![ParamDesc { name: pname, desc }],
+            )],
+        };
+        let parsed = parse_wsdl(write_wsdl(&svc).as_bytes()).unwrap();
+        prop_assert_eq!(parsed, svc);
+    }
+}

@@ -1,0 +1,108 @@
+//! Pad-stripping canonicalization.
+//!
+//! Differential serialization deliberately leaves whitespace padding
+//! between a field's close tag and the next open tag (stuffing, and the
+//! close-tag shift that follows writing a shorter value). The XML spec and
+//! SOAP both declare this inter-element whitespace insignificant, so two
+//! messages are equivalent iff they are byte-identical after stripping it.
+//! [`strip_pad`] performs exactly that stripping and nothing else, so the
+//! core correctness theorem — differential flush ≡ from-scratch full
+//! serialization — can be asserted as `strip_pad(a) == strip_pad(b)`.
+
+/// Remove padding spaces from whitespace-only spans between a `>` and the
+/// following `<`.
+///
+/// Only ASCII spaces in spans containing nothing but spaces and newlines
+/// are removed (padding is always written as `b' '`); newlines and all
+/// non-whitespace text content are preserved. Caveat: a string *value*
+/// consisting entirely of spaces is indistinguishable from padding and is
+/// also stripped — callers comparing messages with such values must fall
+/// back to parsing. Detecting spans is safe because the
+/// [`escape`](crate::escape) module always escapes `>` in character data,
+/// and attribute values written by this stack never contain a raw `>`.
+pub fn strip_pad(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        out.push(b);
+        i += 1;
+        if b != b'>' {
+            continue;
+        }
+        // Inter-tag span: bytes up to the next '<' (or end of input).
+        let span_end = bytes[i..]
+            .iter()
+            .position(|&c| c == b'<')
+            .map_or(bytes.len(), |p| i + p);
+        let span = &bytes[i..span_end];
+        if span.iter().all(|&c| c == b' ' || c == b'\n') {
+            // Whitespace-only span: padding. Drop the spaces, keep the
+            // newlines (pretty-print structure written identically by the
+            // full and differential paths).
+            out.extend(span.iter().copied().filter(|&c| c == b'\n'));
+        } else {
+            // Real character data — preserved verbatim.
+            out.extend_from_slice(span);
+        }
+        i = span_end;
+    }
+    out
+}
+
+/// `strip_pad` equality — the canonical message-equivalence predicate.
+pub fn pad_equivalent(a: &[u8], b: &[u8]) -> bool {
+    strip_pad(a) == strip_pad(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_pad_after_close_tag() {
+        assert_eq!(strip_pad(b"<a>1</a>   <b>2</b>"), b"<a>1</a><b>2</b>");
+    }
+
+    #[test]
+    fn preserves_text_spaces() {
+        assert_eq!(strip_pad(b"<a>1 2 3</a>"), b"<a>1 2 3</a>");
+    }
+
+    #[test]
+    fn preserves_attr_spaces_inside_tags() {
+        assert_eq!(
+            strip_pad(br#"<a x="p q" y="r">v</a>"#),
+            br#"<a x="p q" y="r">v</a>"#
+        );
+    }
+
+    #[test]
+    fn preserves_newlines_between_tags() {
+        assert_eq!(strip_pad(b"<a>1</a>  \n  <b>"), b"<a>1</a>\n<b>");
+    }
+
+    #[test]
+    fn leading_prolog_untouched() {
+        let doc = b"<?xml version=\"1.0\"?>\n<r>  </r>";
+        assert_eq!(strip_pad(doc), b"<?xml version=\"1.0\"?>\n<r></r>");
+    }
+
+    #[test]
+    fn pad_equivalent_symmetric() {
+        assert!(pad_equivalent(b"<a>1</a>  <b/>", b"<a>1</a><b/>"));
+        assert!(!pad_equivalent(b"<a>1</a>", b"<a>2</a>"));
+    }
+
+    #[test]
+    fn escaped_gt_in_text_not_a_tag_end() {
+        // `>` in text is always written as `&gt;` by this stack, so a raw
+        // one never appears; the entity form must not trigger stripping.
+        assert_eq!(strip_pad(b"<a>x&gt; y</a>"), b"<a>x&gt; y</a>");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(strip_pad(b""), b"");
+    }
+}

@@ -1,0 +1,193 @@
+//! XML character escaping and entity resolution.
+//!
+//! Numeric leaf values (the hot path of the paper) never need escaping —
+//! the engine writes them raw. Escaping is only on the string path and in
+//! the baseline serializers, but it must still be correct and allocation
+//! conscious: both escape directions work into caller-provided buffers.
+
+/// Error from [`unescape`]: a malformed or unknown entity reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EscapeError {
+    /// Byte offset of the offending `&`.
+    pub at: usize,
+}
+
+impl std::fmt::Display for EscapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed entity reference at byte {}", self.at)
+    }
+}
+
+impl std::error::Error for EscapeError {}
+
+/// Append `text` to `out`, escaping `&`, `<` and `>`.
+///
+/// `>` only strictly needs escaping in the `]]>` sequence but escaping it
+/// unconditionally is the norm for SOAP toolkits and costs nothing here.
+pub fn escape_text_into(out: &mut Vec<u8>, text: &str) {
+    let bytes = text.as_bytes();
+    let mut flushed = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let rep: &[u8] = match b {
+            b'&' => b"&amp;",
+            b'<' => b"&lt;",
+            b'>' => b"&gt;",
+            _ => continue,
+        };
+        out.extend_from_slice(&bytes[flushed..i]);
+        out.extend_from_slice(rep);
+        flushed = i + 1;
+    }
+    out.extend_from_slice(&bytes[flushed..]);
+}
+
+/// Append `value` to `out`, escaped for a double-quoted attribute.
+pub fn escape_attr_into(out: &mut Vec<u8>, value: &str) {
+    let bytes = value.as_bytes();
+    let mut flushed = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let rep: &[u8] = match b {
+            b'&' => b"&amp;",
+            b'<' => b"&lt;",
+            b'"' => b"&quot;",
+            b'\t' => b"&#9;",
+            b'\n' => b"&#10;",
+            b'\r' => b"&#13;",
+            _ => continue,
+        };
+        out.extend_from_slice(&bytes[flushed..i]);
+        out.extend_from_slice(rep);
+        flushed = i + 1;
+    }
+    out.extend_from_slice(&bytes[flushed..]);
+}
+
+/// Resolve entity and character references in raw character data.
+///
+/// Returns `Cow::Borrowed` when no references are present (the common case
+/// for numeric content, keeping the differential deserializer copy-free).
+pub fn unescape(raw: &[u8]) -> Result<std::borrow::Cow<'_, [u8]>, EscapeError> {
+    let Some(first_amp) = raw.iter().position(|&b| b == b'&') else {
+        return Ok(std::borrow::Cow::Borrowed(raw));
+    };
+    let mut out = Vec::with_capacity(raw.len());
+    out.extend_from_slice(&raw[..first_amp]);
+    let mut i = first_amp;
+    while i < raw.len() {
+        if raw[i] != b'&' {
+            out.push(raw[i]);
+            i += 1;
+            continue;
+        }
+        let semi = raw[i..]
+            .iter()
+            .position(|&b| b == b';')
+            .ok_or(EscapeError { at: i })?;
+        let entity = &raw[i + 1..i + semi];
+        match entity {
+            b"amp" => out.push(b'&'),
+            b"lt" => out.push(b'<'),
+            b"gt" => out.push(b'>'),
+            b"quot" => out.push(b'"'),
+            b"apos" => out.push(b'\''),
+            _ if entity.first() == Some(&b'#') => {
+                let code = parse_char_ref(&entity[1..]).ok_or(EscapeError { at: i })?;
+                let ch = char::from_u32(code).ok_or(EscapeError { at: i })?;
+                let mut buf = [0u8; 4];
+                out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+            }
+            _ => return Err(EscapeError { at: i }),
+        }
+        i += semi + 1;
+    }
+    Ok(std::borrow::Cow::Owned(out))
+}
+
+fn parse_char_ref(body: &[u8]) -> Option<u32> {
+    if let Some(hex) = body.strip_prefix(b"x") {
+        if hex.is_empty() || hex.len() > 6 {
+            return None;
+        }
+        let mut code: u32 = 0;
+        for &b in hex {
+            code = code * 16 + (b as char).to_digit(16)?;
+        }
+        Some(code)
+    } else {
+        if body.is_empty() || body.len() > 7 {
+            return None;
+        }
+        let mut code: u32 = 0;
+        for &b in body {
+            code = code * 10 + (b as char).to_digit(10)?;
+        }
+        Some(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn escape_text(s: &str) -> String {
+        let mut out = Vec::new();
+        escape_text_into(&mut out, s);
+        String::from_utf8(out).unwrap()
+    }
+
+    fn escape_attr(s: &str) -> String {
+        let mut out = Vec::new();
+        escape_attr_into(&mut out, s);
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn text_escaping() {
+        assert_eq!(escape_text("plain"), "plain");
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(escape_text(""), "");
+        assert_eq!(escape_text("<<>>"), "&lt;&lt;&gt;&gt;");
+        assert_eq!(escape_text("quotes \" stay"), "quotes \" stay");
+    }
+
+    #[test]
+    fn attr_escaping() {
+        assert_eq!(escape_attr("a\"b"), "a&quot;b");
+        assert_eq!(escape_attr("tab\there"), "tab&#9;here");
+        assert_eq!(escape_attr("<&"), "&lt;&amp;");
+        assert_eq!(escape_attr("line\nbreak"), "line&#10;break");
+    }
+
+    #[test]
+    fn unescape_borrows_when_clean() {
+        let clean = b"12345.678";
+        assert!(matches!(unescape(clean).unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescape_entities() {
+        assert_eq!(unescape(b"a&amp;b").unwrap().as_ref(), b"a&b");
+        assert_eq!(unescape(b"&lt;&gt;&quot;&apos;").unwrap().as_ref(), b"<>\"'");
+        assert_eq!(unescape(b"&#65;&#x42;").unwrap().as_ref(), b"AB");
+        assert_eq!(unescape(b"&#x1F600;").unwrap().as_ref(), "😀".as_bytes());
+    }
+
+    #[test]
+    fn unescape_rejects_malformed() {
+        assert!(unescape(b"&bogus;").is_err());
+        assert!(unescape(b"&amp").is_err());
+        assert!(unescape(b"&#;").is_err());
+        assert!(unescape(b"&#xZZ;").is_err());
+        assert!(unescape(b"&#x110000;").is_err(), "above Unicode range");
+    }
+
+    #[test]
+    fn escape_unescape_round_trip() {
+        for s in ["a<b&c>d", "\"quoted\"", "no specials", "&&&", "mixed <tag> & \"attr\""] {
+            let escaped = escape_text(s);
+            let back = unescape(escaped.as_bytes()).unwrap();
+            assert_eq!(back.as_ref(), s.as_bytes());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Qualified names (`prefix:local`) and `NCName` validation.
+//!
+//! SOAP messages are namespace-heavy (`SOAP-ENV:Envelope`,
+//! `SOAP-ENC:arrayType`, `xsi:type`…). The engine compares names as raw
+//! prefixed strings — templates always emit the same prefixes, so full
+//! namespace resolution is only needed at the parse boundary, where
+//! [`split_qname`] is enough for the fixed prefix vocabulary SOAP 1.1 uses.
+
+/// Error from [`validate_ncname`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NameError {
+    /// The name was empty.
+    Empty,
+    /// An invalid character at the given byte offset.
+    InvalidChar { at: usize },
+    /// More than one `:` found in a qualified name.
+    ExtraColon { at: usize },
+}
+
+impl std::fmt::Display for NameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NameError::Empty => write!(f, "empty name"),
+            NameError::InvalidChar { at } => write!(f, "invalid name character at byte {at}"),
+            NameError::ExtraColon { at } => write!(f, "unexpected ':' at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+/// Validate an `NCName` (a name with no colon).
+///
+/// ASCII-strict for the start/continue classes plus a blanket allowance for
+/// multi-byte UTF-8 — SOAP vocabularies are ASCII in practice.
+pub fn validate_ncname(name: &[u8]) -> Result<(), NameError> {
+    let Some(&first) = name.first() else {
+        return Err(NameError::Empty);
+    };
+    if !is_name_start(first) {
+        return Err(NameError::InvalidChar { at: 0 });
+    }
+    for (i, &b) in name.iter().enumerate().skip(1) {
+        if b == b':' {
+            return Err(NameError::ExtraColon { at: i });
+        }
+        if !is_name_char(b) {
+            return Err(NameError::InvalidChar { at: i });
+        }
+    }
+    Ok(())
+}
+
+/// Split a qualified name into `(prefix, local)`; prefix is empty when the
+/// name is unprefixed. Validates both parts as `NCName`s.
+pub fn split_qname(qname: &[u8]) -> Result<(&[u8], &[u8]), NameError> {
+    match qname.iter().position(|&b| b == b':') {
+        None => {
+            validate_ncname(qname)?;
+            Ok((b"", qname))
+        }
+        Some(pos) => {
+            let (prefix, rest) = qname.split_at(pos);
+            let local = &rest[1..];
+            validate_ncname(prefix)?;
+            validate_ncname(local).map_err(|e| match e {
+                NameError::InvalidChar { at } => NameError::InvalidChar { at: at + pos + 1 },
+                NameError::ExtraColon { at } => NameError::ExtraColon { at: at + pos + 1 },
+                NameError::Empty => NameError::Empty,
+            })?;
+            Ok((prefix, local))
+        }
+    }
+}
+
+/// The well-known SOAP 1.1 namespace prefixes the stack emits.
+pub mod prefixes {
+    /// SOAP envelope namespace prefix.
+    pub const SOAP_ENV: &str = "SOAP-ENV";
+    /// SOAP encoding namespace prefix.
+    pub const SOAP_ENC: &str = "SOAP-ENC";
+    /// XML Schema instance prefix.
+    pub const XSI: &str = "xsi";
+    /// XML Schema datatypes prefix.
+    pub const XSD: &str = "xsd";
+}
+
+/// The namespace URIs matching [`prefixes`].
+pub mod uris {
+    /// SOAP 1.1 envelope namespace.
+    pub const SOAP_ENV: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+    /// SOAP 1.1 encoding namespace.
+    pub const SOAP_ENC: &str = "http://schemas.xmlsoap.org/soap/encoding/";
+    /// XML Schema instance namespace.
+    pub const XSI: &str = "http://www.w3.org/2001/XMLSchema-instance";
+    /// XML Schema datatypes namespace.
+    pub const XSD: &str = "http://www.w3.org/2001/XMLSchema";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_ncnames() {
+        for n in ["Envelope", "arrayType", "_x", "a-b.c", "item2", "SOAP-ENV"] {
+            assert_eq!(validate_ncname(n.as_bytes()), Ok(()), "{n}");
+        }
+    }
+
+    #[test]
+    fn invalid_ncnames() {
+        assert_eq!(validate_ncname(b""), Err(NameError::Empty));
+        assert_eq!(validate_ncname(b"1abc"), Err(NameError::InvalidChar { at: 0 }));
+        assert_eq!(validate_ncname(b"-abc"), Err(NameError::InvalidChar { at: 0 }));
+        assert_eq!(validate_ncname(b"a b"), Err(NameError::InvalidChar { at: 1 }));
+        assert_eq!(validate_ncname(b"a:b"), Err(NameError::ExtraColon { at: 1 }));
+    }
+
+    #[test]
+    fn qname_splitting() {
+        assert_eq!(split_qname(b"SOAP-ENV:Envelope").unwrap(), (&b"SOAP-ENV"[..], &b"Envelope"[..]));
+        assert_eq!(split_qname(b"item").unwrap(), (&b""[..], &b"item"[..]));
+        assert!(split_qname(b"a:b:c").is_err());
+        assert!(split_qname(b":b").is_err());
+        assert!(split_qname(b"a:").is_err());
+    }
+
+    #[test]
+    fn soap_vocabulary_is_valid() {
+        for p in [prefixes::SOAP_ENV, prefixes::SOAP_ENC, prefixes::XSI, prefixes::XSD] {
+            assert!(validate_ncname(p.as_bytes()).is_ok());
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Pull-style XML tokenizer producing byte-range events.
+//!
+//! Every event carries `Range<usize>` offsets into the original input
+//! rather than copied strings. The differential **de**serialization
+//! extension (paper §6) depends on this: the server records each leaf's
+//! byte range in the previous message, and on the next arrival compares
+//! ranges with `memcmp` to skip re-parsing unchanged values.
+//!
+//! Supported: XML declaration, elements, attributes, character data,
+//! comments, the five predefined entities (resolved lazily by
+//! [`crate::escape::unescape`], not here). Rejected by design: DTDs
+//! (forbidden by SOAP 1.1), processing instructions, and CDATA sections.
+
+use std::ops::Range;
+
+/// One attribute within a start tag; ranges exclude the quotes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attr {
+    /// Byte range of the (possibly prefixed) attribute name.
+    pub name: Range<usize>,
+    /// Byte range of the raw attribute value (entities unresolved).
+    pub value: Range<usize>,
+}
+
+/// A tokenizer event. All ranges index the input passed to [`PullParser::new`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// `<?xml …?>` declaration (full range including delimiters).
+    Decl { range: Range<usize> },
+    /// Start tag. `range` spans `<` to `>` inclusive.
+    Start {
+        /// Byte range of the (possibly prefixed) element name.
+        name: Range<usize>,
+        /// Attributes in document order.
+        attrs: Vec<Attr>,
+        /// True for `<name …/>`; a matching [`Event::End`] is still emitted.
+        self_closing: bool,
+        /// Full tag range.
+        range: Range<usize>,
+    },
+    /// End tag (explicit `</name>` or synthesized after a self-closing tag,
+    /// in which case the range is empty and sits at the tag end).
+    End {
+        /// Byte range of the element name (the start tag's name for
+        /// synthesized ends).
+        name: Range<usize>,
+        /// Full tag range (empty for synthesized ends).
+        range: Range<usize>,
+    },
+    /// Character data between tags (raw; may contain entities, may be
+    /// whitespace-only — stuffing produces exactly such runs).
+    Text { range: Range<usize> },
+    /// A comment (full range).
+    Comment { range: Range<usize> },
+    /// End of input with all elements balanced.
+    Eof,
+}
+
+/// Tokenizer error with the byte offset where it was detected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PullError {
+    /// Input ended inside a construct.
+    UnexpectedEof { at: usize },
+    /// Malformed syntax.
+    BadSyntax { at: usize, what: &'static str },
+    /// End tag does not match the open element.
+    MismatchedTag { at: usize },
+    /// DTD / PI / CDATA — outside the supported SOAP subset.
+    Unsupported { at: usize, what: &'static str },
+    /// Input ended with elements still open.
+    UnclosedAtEof { open_depth: usize },
+}
+
+impl std::fmt::Display for PullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PullError::UnexpectedEof { at } => write!(f, "unexpected end of input at byte {at}"),
+            PullError::BadSyntax { at, what } => write!(f, "bad XML syntax at byte {at}: {what}"),
+            PullError::MismatchedTag { at } => write!(f, "mismatched end tag at byte {at}"),
+            PullError::Unsupported { at, what } => write!(f, "unsupported construct at byte {at}: {what}"),
+            PullError::UnclosedAtEof { open_depth } => {
+                write!(f, "input ended with {open_depth} unclosed element(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PullError {}
+
+/// Pull tokenizer over a byte buffer.
+pub struct PullParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    /// Name ranges of currently open elements.
+    stack: Vec<Range<usize>>,
+    /// Synthesized end event pending after a self-closing start tag.
+    pending_end: Option<Range<usize>>,
+    eof_emitted: bool,
+}
+
+impl<'a> PullParser<'a> {
+    /// Create a tokenizer over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        PullParser { input, pos: 0, stack: Vec::new(), pending_end: None, eof_emitted: false }
+    }
+
+    /// The input buffer the event ranges index into.
+    pub fn input(&self) -> &'a [u8] {
+        self.input
+    }
+
+    /// Resolve a range to its bytes.
+    pub fn slice(&self, range: &Range<usize>) -> &'a [u8] {
+        &self.input[range.clone()]
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Produce the next event.
+    pub fn next_event(&mut self) -> Result<Event, PullError> {
+        if let Some(name) = self.pending_end.take() {
+            self.stack.pop();
+            return Ok(Event::End { name, range: self.pos..self.pos });
+        }
+        if self.pos >= self.input.len() {
+            if !self.stack.is_empty() {
+                return Err(PullError::UnclosedAtEof { open_depth: self.stack.len() });
+            }
+            self.eof_emitted = true;
+            return Ok(Event::Eof);
+        }
+        if self.input[self.pos] != b'<' {
+            let start = self.pos;
+            while self.pos < self.input.len() && self.input[self.pos] != b'<' {
+                self.pos += 1;
+            }
+            return Ok(Event::Text { range: start..self.pos });
+        }
+        // self.input[self.pos] == b'<'
+        let tag_start = self.pos;
+        let next = *self
+            .input
+            .get(self.pos + 1)
+            .ok_or(PullError::UnexpectedEof { at: self.pos })?;
+        match next {
+            b'?' => self.read_decl(tag_start),
+            b'!' => self.read_bang(tag_start),
+            b'/' => self.read_end_tag(tag_start),
+            _ => self.read_start_tag(tag_start),
+        }
+    }
+
+    fn read_decl(&mut self, start: usize) -> Result<Event, PullError> {
+        // `<?xml … ?>` — only the declaration form is accepted.
+        if !self.input[start..].starts_with(b"<?xml") {
+            return Err(PullError::Unsupported { at: start, what: "processing instruction" });
+        }
+        let close = find(self.input, start, b"?>")
+            .ok_or(PullError::UnexpectedEof { at: start })?;
+        self.pos = close + 2;
+        Ok(Event::Decl { range: start..self.pos })
+    }
+
+    fn read_bang(&mut self, start: usize) -> Result<Event, PullError> {
+        if self.input[start..].starts_with(b"<!--") {
+            let close = find(self.input, start + 4, b"-->")
+                .ok_or(PullError::UnexpectedEof { at: start })?;
+            self.pos = close + 3;
+            return Ok(Event::Comment { range: start..self.pos });
+        }
+        if self.input[start..].starts_with(b"<![CDATA[") {
+            return Err(PullError::Unsupported { at: start, what: "CDATA section" });
+        }
+        Err(PullError::Unsupported { at: start, what: "DTD (forbidden by SOAP 1.1)" })
+    }
+
+    fn read_end_tag(&mut self, start: usize) -> Result<Event, PullError> {
+        let name_start = start + 2;
+        let mut i = name_start;
+        while i < self.input.len() && is_name_byte(self.input[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            return Err(PullError::BadSyntax { at: i, what: "empty end-tag name" });
+        }
+        let name = name_start..i;
+        i = skip_ws(self.input, i);
+        if self.input.get(i) != Some(&b'>') {
+            return Err(PullError::BadSyntax { at: i, what: "expected '>' in end tag" });
+        }
+        let open = self
+            .stack
+            .pop()
+            .ok_or(PullError::MismatchedTag { at: start })?;
+        if self.input[open.clone()] != self.input[name.clone()] {
+            return Err(PullError::MismatchedTag { at: start });
+        }
+        self.pos = i + 1;
+        Ok(Event::End { name, range: start..self.pos })
+    }
+
+    fn read_start_tag(&mut self, start: usize) -> Result<Event, PullError> {
+        let name_start = start + 1;
+        let mut i = name_start;
+        while i < self.input.len() && is_name_byte(self.input[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            return Err(PullError::BadSyntax { at: i, what: "empty start-tag name" });
+        }
+        let name = name_start..i;
+        let mut attrs = Vec::new();
+        loop {
+            i = skip_ws(self.input, i);
+            match self.input.get(i) {
+                None => return Err(PullError::UnexpectedEof { at: i }),
+                Some(b'>') => {
+                    self.pos = i + 1;
+                    self.stack.push(name.clone());
+                    return Ok(Event::Start { name, attrs, self_closing: false, range: start..self.pos });
+                }
+                Some(b'/') => {
+                    if self.input.get(i + 1) != Some(&b'>') {
+                        return Err(PullError::BadSyntax { at: i, what: "expected '/>'" });
+                    }
+                    self.pos = i + 2;
+                    self.stack.push(name.clone());
+                    self.pending_end = Some(name.clone());
+                    return Ok(Event::Start { name, attrs, self_closing: true, range: start..self.pos });
+                }
+                Some(_) => {
+                    let attr = self.read_attr(&mut i)?;
+                    attrs.push(attr);
+                }
+            }
+        }
+    }
+
+    fn read_attr(&mut self, i: &mut usize) -> Result<Attr, PullError> {
+        let name_start = *i;
+        while *i < self.input.len() && is_name_byte(self.input[*i]) {
+            *i += 1;
+        }
+        if *i == name_start {
+            return Err(PullError::BadSyntax { at: *i, what: "expected attribute name" });
+        }
+        let name = name_start..*i;
+        *i = skip_ws(self.input, *i);
+        if self.input.get(*i) != Some(&b'=') {
+            return Err(PullError::BadSyntax { at: *i, what: "expected '=' after attribute name" });
+        }
+        *i = skip_ws(self.input, *i + 1);
+        let quote = match self.input.get(*i) {
+            Some(&q @ (b'"' | b'\'')) => q,
+            _ => return Err(PullError::BadSyntax { at: *i, what: "expected quoted attribute value" }),
+        };
+        let value_start = *i + 1;
+        let mut j = value_start;
+        while j < self.input.len() && self.input[j] != quote {
+            j += 1;
+        }
+        if j >= self.input.len() {
+            return Err(PullError::UnexpectedEof { at: value_start });
+        }
+        *i = j + 1;
+        Ok(Attr { name, value: value_start..j })
+    }
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b':' | b'_' | b'-' | b'.') || b >= 0x80
+}
+
+fn skip_ws(input: &[u8], mut i: usize) -> usize {
+    while i < input.len() && matches!(input[i], b' ' | b'\t' | b'\r' | b'\n') {
+        i += 1;
+    }
+    i
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(input: &[u8]) -> Vec<Event> {
+        let mut p = PullParser::new(input);
+        let mut events = Vec::new();
+        loop {
+            let e = p.next_event().unwrap();
+            let done = e == Event::Eof;
+            events.push(e);
+            if done {
+                break;
+            }
+        }
+        events
+    }
+
+    fn text_of<'a>(input: &'a [u8], e: &Event) -> &'a [u8] {
+        match e {
+            Event::Text { range } => &input[range.clone()],
+            _ => panic!("not text: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_document() {
+        let doc = b"<a><b>hello</b></a>";
+        let events = collect(doc);
+        assert_eq!(events.len(), 6); // start a, start b, text, end b, end a, eof
+        assert_eq!(text_of(doc, &events[2]), b"hello");
+    }
+
+    #[test]
+    fn declaration_and_attrs() {
+        let doc = br#"<?xml version="1.0"?><e a="1" b='two'>x</e>"#;
+        let events = collect(doc);
+        assert!(matches!(events[0], Event::Decl { .. }));
+        let Event::Start { attrs, .. } = &events[1] else { panic!() };
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(&doc[attrs[0].name.clone()], b"a");
+        assert_eq!(&doc[attrs[0].value.clone()], b"1");
+        assert_eq!(&doc[attrs[1].value.clone()], b"two");
+    }
+
+    #[test]
+    fn self_closing_synthesizes_end() {
+        let doc = b"<a><b/></a>";
+        let events = collect(doc);
+        assert!(matches!(&events[1], Event::Start { self_closing: true, .. }));
+        assert!(matches!(&events[2], Event::End { .. }));
+        assert!(matches!(&events[3], Event::End { .. }));
+    }
+
+    #[test]
+    fn comments_are_events() {
+        let doc = b"<a><!-- note --></a>";
+        let events = collect(doc);
+        assert!(matches!(&events[1], Event::Comment { .. }));
+    }
+
+    #[test]
+    fn whitespace_stuffing_text_preserved() {
+        // The exact byte range of padded values must be recoverable.
+        let doc = b"<v>42   </v>";
+        let events = collect(doc);
+        assert_eq!(text_of(doc, &events[1]), b"42   ");
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let mut p = PullParser::new(b"<a></b>");
+        p.next_event().unwrap();
+        assert!(matches!(p.next_event(), Err(PullError::MismatchedTag { .. })));
+    }
+
+    #[test]
+    fn unclosed_at_eof_rejected() {
+        let mut p = PullParser::new(b"<a>");
+        p.next_event().unwrap();
+        assert!(matches!(p.next_event(), Err(PullError::UnclosedAtEof { open_depth: 1 })));
+    }
+
+    #[test]
+    fn dtd_rejected() {
+        let mut p = PullParser::new(b"<!DOCTYPE html><a/>");
+        assert!(matches!(p.next_event(), Err(PullError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn cdata_rejected() {
+        let mut p = PullParser::new(b"<a><![CDATA[x]]></a>");
+        p.next_event().unwrap();
+        assert!(matches!(p.next_event(), Err(PullError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn pi_rejected() {
+        let mut p = PullParser::new(b"<?php echo ?><a/>");
+        assert!(matches!(p.next_event(), Err(PullError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn prefixed_names() {
+        let doc = b"<SOAP-ENV:Envelope xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/soap/envelope/\"></SOAP-ENV:Envelope>";
+        let events = collect(doc);
+        let Event::Start { name, attrs, .. } = &events[0] else { panic!() };
+        assert_eq!(&doc[name.clone()], b"SOAP-ENV:Envelope");
+        assert_eq!(&doc[attrs[0].name.clone()], b"xmlns:SOAP-ENV");
+    }
+
+    #[test]
+    fn truncated_inputs_error_not_panic() {
+        for doc in [&b"<"[..], b"<a", b"<a href", b"<a href=", b"<a href=\"x", b"</", b"<a><!--"] {
+            let mut p = PullParser::new(doc);
+            let mut guard = 0;
+            loop {
+                match p.next_event() {
+                    Err(_) => break,
+                    Ok(Event::Eof) => break,
+                    Ok(_) => {}
+                }
+                guard += 1;
+                assert!(guard < 100, "parser loop on {doc:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Streaming XML writer.
+//!
+//! Used by the baseline serializers (which rebuild every message from
+//! scratch — exactly what the paper's differential technique avoids) and by
+//! the template builder to lay down envelope skeletons. Writes into a
+//! caller-owned `Vec<u8>`; well-formedness (tag balance) is tracked with an
+//! element stack and enforced with debug assertions plus a fallible
+//! `finish`.
+
+use crate::escape::{escape_attr_into, escape_text_into};
+
+/// A streaming XML writer over a byte buffer.
+///
+/// ```
+/// use bsoap_xml::XmlWriter;
+/// let mut w = XmlWriter::new();
+/// w.declaration();
+/// w.start("root");
+/// w.attr("id", "1");
+/// w.close_start_tag();
+/// w.text("hi & bye");
+/// w.end("root");
+/// assert_eq!(
+///     w.finish().unwrap(),
+///     b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<root id=\"1\">hi &amp; bye</root>"
+/// );
+/// ```
+#[derive(Debug, Default)]
+pub struct XmlWriter {
+    out: Vec<u8>,
+    stack: Vec<String>,
+    /// True when a start tag is open (`<name` written, `>` pending).
+    tag_open: bool,
+}
+
+impl XmlWriter {
+    /// New writer with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New writer reusing `buf` (cleared) — the workhorse-buffer pattern
+    /// baseline serializers use per send.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        XmlWriter { out: buf, stack: Vec::new(), tag_open: false }
+    }
+
+    /// Emit the XML declaration. Call first.
+    pub fn declaration(&mut self) {
+        debug_assert!(self.out.is_empty());
+        self.out.extend_from_slice(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    }
+
+    /// Open a start tag: `<name`. Follow with [`attr`](Self::attr) calls and
+    /// a [`close_start_tag`](Self::close_start_tag), or let the next content
+    /// call close it implicitly.
+    pub fn start(&mut self, name: &str) {
+        self.seal_tag();
+        self.out.push(b'<');
+        self.out.extend_from_slice(name.as_bytes());
+        self.stack.push(name.to_owned());
+        self.tag_open = true;
+    }
+
+    /// Add an attribute to the currently open start tag.
+    pub fn attr(&mut self, name: &str, value: &str) {
+        debug_assert!(self.tag_open, "attr() outside an open start tag");
+        self.out.push(b' ');
+        self.out.extend_from_slice(name.as_bytes());
+        self.out.extend_from_slice(b"=\"");
+        escape_attr_into(&mut self.out, value);
+        self.out.push(b'"');
+    }
+
+    /// Explicitly close the open start tag with `>`.
+    pub fn close_start_tag(&mut self) {
+        self.seal_tag();
+    }
+
+    fn seal_tag(&mut self) {
+        if self.tag_open {
+            self.out.push(b'>');
+            self.tag_open = false;
+        }
+    }
+
+    /// Write escaped character data.
+    pub fn text(&mut self, text: &str) {
+        self.seal_tag();
+        escape_text_into(&mut self.out, text);
+    }
+
+    /// Write raw, pre-escaped bytes (numeric conversions are already clean).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.seal_tag();
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Close the current element. `name` must match the open element.
+    pub fn end(&mut self, name: &str) {
+        let top = self.stack.pop().expect("end() with no open element");
+        debug_assert_eq!(top, name, "mismatched end tag");
+        if self.tag_open {
+            // <name/> — empty element form.
+            self.out.extend_from_slice(b"/>");
+            self.tag_open = false;
+        } else {
+            self.out.extend_from_slice(b"</");
+            self.out.extend_from_slice(name.as_bytes());
+            self.out.push(b'>');
+        }
+    }
+
+    /// Convenience: `<name>text</name>`.
+    pub fn leaf(&mut self, name: &str, text: &str) {
+        self.start(name);
+        self.text(text);
+        self.end(name);
+    }
+
+    /// Bytes written so far (elements may still be open).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Current output length in bytes.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Finish writing, returning the buffer.
+    ///
+    /// Fails if any element is still open — the well-formedness guarantee.
+    pub fn finish(mut self) -> Result<Vec<u8>, UnclosedElements> {
+        self.seal_tag();
+        if self.stack.is_empty() {
+            Ok(self.out)
+        } else {
+            Err(UnclosedElements { open: self.stack })
+        }
+    }
+}
+
+/// Error from [`XmlWriter::finish`]: elements left open.
+#[derive(Debug)]
+pub struct UnclosedElements {
+    /// Names of the still-open elements, outermost first.
+    pub open: Vec<String>,
+}
+
+impl std::fmt::Display for UnclosedElements {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unclosed elements: {}", self.open.join(" > "))
+    }
+}
+
+impl std::error::Error for UnclosedElements {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finish_str(w: XmlWriter) -> String {
+        String::from_utf8(w.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn simple_document() {
+        let mut w = XmlWriter::new();
+        w.start("a");
+        w.start("b");
+        w.text("x");
+        w.end("b");
+        w.end("a");
+        assert_eq!(finish_str(w), "<a><b>x</b></a>");
+    }
+
+    #[test]
+    fn attributes_and_escaping() {
+        let mut w = XmlWriter::new();
+        w.start("e");
+        w.attr("k", "a\"b<c");
+        w.text("1 < 2");
+        w.end("e");
+        assert_eq!(finish_str(w), "<e k=\"a&quot;b&lt;c\">1 &lt; 2</e>");
+    }
+
+    #[test]
+    fn empty_element_form() {
+        let mut w = XmlWriter::new();
+        w.start("empty");
+        w.attr("a", "1");
+        w.end("empty");
+        assert_eq!(finish_str(w), "<empty a=\"1\"/>");
+    }
+
+    #[test]
+    fn leaf_helper() {
+        let mut w = XmlWriter::new();
+        w.start("root");
+        w.leaf("item", "42");
+        w.leaf("item", "43");
+        w.end("root");
+        assert_eq!(finish_str(w), "<root><item>42</item><item>43</item></root>");
+    }
+
+    #[test]
+    fn unclosed_detection() {
+        let mut w = XmlWriter::new();
+        w.start("open");
+        let err = w.finish().unwrap_err();
+        assert_eq!(err.open, vec!["open".to_owned()]);
+    }
+
+    #[test]
+    fn raw_bypasses_escaping() {
+        let mut w = XmlWriter::new();
+        w.start("n");
+        w.raw(b"3.14");
+        w.end("n");
+        assert_eq!(finish_str(w), "<n>3.14</n>");
+    }
+
+    #[test]
+    fn buffer_reuse() {
+        let mut w = XmlWriter::new();
+        w.start("x");
+        w.end("x");
+        let buf = w.finish().unwrap();
+        let cap = buf.capacity();
+        let mut w2 = XmlWriter::with_buffer(buf);
+        w2.start("y");
+        w2.end("y");
+        let buf2 = w2.finish().unwrap();
+        assert_eq!(buf2, b"<y/>");
+        assert!(buf2.capacity() >= cap.min(4));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the XML substrate: escaping is invertible, the
+//! writer's output tokenizes back to the same structure, and the pad
+//! canonicalizer is idempotent and padding-insensitive.
+
+use bsoap_xml::{escape_attr_into, escape_text_into, strip_pad, unescape, Event, PullParser, XmlWriter};
+use proptest::prelude::*;
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Printable ASCII plus the characters escaping must handle.
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range(' ', '~'),
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\''),
+            Just('\n'),
+        ],
+        0..80,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9._-]{0,10}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn unescape_inverts_text_escape(text in text_strategy()) {
+        let mut escaped = Vec::new();
+        escape_text_into(&mut escaped, &text);
+        let back = unescape(&escaped).unwrap();
+        prop_assert_eq!(back.as_ref(), text.as_bytes());
+    }
+
+    #[test]
+    fn unescape_inverts_attr_escape(text in text_strategy()) {
+        let mut escaped = Vec::new();
+        escape_attr_into(&mut escaped, &text);
+        // Escaped attribute values never contain raw quotes or angle
+        // brackets or ampersands-not-starting-entities.
+        prop_assert!(!escaped.contains(&b'"'));
+        prop_assert!(!escaped.contains(&b'<'));
+        let back = unescape(&escaped).unwrap();
+        prop_assert_eq!(back.as_ref(), text.as_bytes());
+    }
+
+    #[test]
+    fn writer_output_tokenizes_back(
+        names in proptest::collection::vec(name_strategy(), 1..8),
+        texts in proptest::collection::vec(text_strategy(), 1..8),
+        attr_val in text_strategy(),
+    ) {
+        // Build a nested document: each name wraps the next; innermost
+        // holds the first text.
+        let mut w = XmlWriter::new();
+        w.declaration();
+        for (i, n) in names.iter().enumerate() {
+            w.start(n);
+            if i == 0 {
+                w.attr("a", &attr_val);
+            }
+            w.close_start_tag();
+            if let Some(t) = texts.get(i) {
+                w.text(t);
+            }
+        }
+        for n in names.iter().rev() {
+            w.end(n);
+        }
+        let bytes = w.finish().unwrap();
+
+        // Tokenize and compare structure.
+        let mut p = PullParser::new(&bytes);
+        let mut starts = Vec::new();
+        let mut ends = 0usize;
+        let mut attr_seen = None;
+        loop {
+            match p.next_event().unwrap() {
+                Event::Eof => break,
+                Event::Start { name, attrs, .. } => {
+                    starts.push(String::from_utf8(bytes[name].to_vec()).unwrap());
+                    if let Some(a) = attrs.first() {
+                        let raw = &bytes[a.value.clone()];
+                        attr_seen = Some(unescape(raw).unwrap().into_owned());
+                    }
+                }
+                Event::End { .. } => ends += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(&starts, &names);
+        prop_assert_eq!(ends, names.len());
+        prop_assert_eq!(attr_seen.as_deref(), Some(attr_val.as_bytes()));
+    }
+
+    #[test]
+    fn strip_pad_is_idempotent(
+        names in proptest::collection::vec(name_strategy(), 1..6),
+        texts in proptest::collection::vec(text_strategy(), 1..6),
+    ) {
+        let mut w = XmlWriter::new();
+        for (n, t) in names.iter().zip(&texts) {
+            w.start(n);
+            w.close_start_tag();
+            w.text(t);
+            w.end(n);
+        }
+        for _ in 0..names.len().min(texts.len()) {
+            // leftover opens? none: every started element was ended.
+        }
+        let bytes = match w.finish() {
+            Ok(b) => b,
+            Err(_) => return Ok(()),
+        };
+        let once = strip_pad(&bytes);
+        let twice = strip_pad(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn strip_pad_ignores_injected_padding(
+        pad_lens in proptest::collection::vec(0usize..10, 1..6),
+    ) {
+        // A fixed document with variable padding runs between elements
+        // must canonicalize to the same bytes.
+        let mut doc = String::from("<r>");
+        for (i, &p) in pad_lens.iter().enumerate() {
+            doc.push_str(&format!("<v>{i}</v>"));
+            doc.push_str(&" ".repeat(p));
+        }
+        doc.push_str("</r>");
+        let reference = {
+            let mut d = String::from("<r>");
+            for i in 0..pad_lens.len() {
+                d.push_str(&format!("<v>{i}</v>"));
+            }
+            d.push_str("</r>");
+            d
+        };
+        prop_assert_eq!(strip_pad(doc.as_bytes()), reference.into_bytes());
+    }
+}

@@ -1,0 +1,155 @@
+//! Linear System Analyzer scenario (paper §3.4).
+//!
+//! "Scientists can connect various components in a cycle to repeatedly
+//! refine and re-calculate the solution vector until the required
+//! convergence condition is met. Since the size and form of the array does
+//! not change over different iterations, consecutive messages exhibit
+//! perfect structural matches."
+//!
+//! This example runs a Jacobi iteration on a diagonally dominant system
+//! `Ax = b` and ships the full solution vector to a (sink) component after
+//! every sweep — once through bSOAP's differential client and once through
+//! the gSOAP-like baseline — then compares cumulative Send Time.
+//!
+//! Run with: `cargo run --release --example lsa_solver`
+
+use bsoap::baseline::GSoapLike;
+use bsoap::convert::ScalarKind;
+use bsoap::transport::SinkTransport;
+use bsoap::{Client, EngineConfig, OpDesc, TypeDesc, Value, WidthPolicy};
+use std::time::{Duration, Instant};
+
+const N: usize = 4_000;
+const SWEEPS: usize = 40;
+
+/// Dense diagonally dominant test system.
+struct System {
+    a: Vec<f64>, // row-major N×N
+    b: Vec<f64>,
+}
+
+fn build_system() -> System {
+    // Deterministic pseudo-random entries; diagonal dominance guarantees
+    // Jacobi convergence.
+    let mut seed = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut a = vec![0.0; N * N];
+    let mut b = vec![0.0; N];
+    for i in 0..N {
+        let mut row_sum = 0.0;
+        for j in 0..N {
+            if i != j {
+                let v = next() * 0.001;
+                a[i * N + j] = v;
+                row_sum += v.abs();
+            }
+        }
+        a[i * N + i] = row_sum + 1.0;
+        b[i] = next();
+    }
+    System { a, b }
+}
+
+fn jacobi_sweep(sys: &System, x: &[f64], out: &mut [f64]) -> f64 {
+    let mut max_delta = 0.0f64;
+    for i in 0..N {
+        let row = &sys.a[i * N..(i + 1) * N];
+        let mut sigma = 0.0;
+        for j in 0..N {
+            if j != i {
+                sigma += row[j] * x[j];
+            }
+        }
+        let next = (sys.b[i] - sigma) / row[i];
+        let delta = (next - x[i]).abs();
+        // Component-wise convergence freeze: once an entry stops moving
+        // beyond relative tolerance, keep its bits stable. This is what
+        // iterative refinement looks like on the wire: the dirty set
+        // shrinks sweep over sweep, and bSOAP re-serializes only the
+        // entries still in motion.
+        if delta <= 1e-10 * x[i].abs().max(1e-300) {
+            out[i] = x[i];
+        } else {
+            out[i] = next;
+            max_delta = max_delta.max(delta);
+        }
+    }
+    max_delta
+}
+
+fn main() {
+    println!("building {N}x{N} system…");
+    let sys = build_system();
+    let op = OpDesc::single(
+        "updateSolution",
+        "urn:lsa",
+        "x",
+        TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+    );
+
+    // --- bSOAP run ---
+    // Stuffed widths: Jacobi rewrites every value each sweep with varying
+    // serialized lengths, so exact widths would shift constantly (§4.3's
+    // worst case). Stuffing trades message size for shift-free updates —
+    // exactly the operating point §4.4 recommends for this workload.
+    let mut client = Client::new(EngineConfig::paper_default().with_width(WidthPolicy::Max));
+    let mut sink = SinkTransport::new();
+    let mut x = vec![0.0f64; N];
+    let mut x_next = vec![0.0f64; N];
+    let mut bsoap_send_time = Duration::ZERO;
+    let mut converged_at = SWEEPS;
+    let mut total_rewritten = 0u64;
+    for sweep in 0..SWEEPS {
+        let delta = jacobi_sweep(&sys, &x, &mut x_next);
+        std::mem::swap(&mut x, &mut x_next);
+        let t = Instant::now();
+        let r = client
+            .call("http://lsa/solver", &op, &[Value::DoubleArray(x.clone())], &mut sink)
+            .unwrap();
+        bsoap_send_time += t.elapsed();
+        total_rewritten += r.values_written as u64;
+        if sweep % 8 == 0 {
+            println!("  sweep {sweep:>3}: {:>6} of {N} entries re-serialized", r.values_written);
+        }
+        if delta < 1e-15 {
+            converged_at = sweep + 1;
+            break;
+        }
+    }
+    let stats = client.stats();
+
+    // --- gSOAP-like baseline run (same math, full serialization each time) ---
+    let mut g = GSoapLike::new();
+    let mut gsink = SinkTransport::new();
+    let mut x = vec![0.0f64; N];
+    let mut gsoap_send_time = Duration::ZERO;
+    for _ in 0..converged_at {
+        let delta = jacobi_sweep(&sys, &x, &mut x_next);
+        std::mem::swap(&mut x, &mut x_next);
+        let t = Instant::now();
+        g.send(&op, &[Value::DoubleArray(x.clone())], &mut gsink).unwrap();
+        gsoap_send_time += t.elapsed();
+        if delta < 1e-15 {
+            break;
+        }
+    }
+
+    println!("converged after {converged_at} sweeps (vector of {N} doubles per message)");
+    println!("entries re-serialized: {total_rewritten} of {}\n", converged_at as u64 * N as u64);
+    println!("tier histogram (bSOAP): first={} content={} perfect={} partial={}",
+        stats.first_time, stats.content_match, stats.perfect_structural, stats.partial_structural);
+    println!("cumulative Send Time, bSOAP differential: {bsoap_send_time:>10.2?}");
+    println!("cumulative Send Time, gSOAP-like full:    {gsoap_send_time:>10.2?}");
+    let speedup = gsoap_send_time.as_secs_f64() / bsoap_send_time.as_secs_f64().max(1e-12);
+    println!("speedup: {speedup:.2}x");
+    println!(
+        "\nnote: early sweeps are ~100% dirty (differential ≈ full serialization);\n\
+         as components converge the dirty set shrinks and differential sends\n\
+         approach content-match cost — the paper's Figures 4-5 gradient, live."
+    );
+}

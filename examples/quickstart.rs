@@ -1,0 +1,78 @@
+//! 60-second tour of differential serialization.
+//!
+//! Builds a client, makes the same SOAP call four ways, and prints which
+//! of the paper's four matching tiers each send used and what it cost.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bsoap::convert::ScalarKind;
+use bsoap::transport::SinkTransport;
+use bsoap::{Client, OpDesc, TypeDesc, Value};
+use std::time::Instant;
+
+fn main() {
+    let op = OpDesc::single(
+        "sendVector",
+        "urn:quickstart",
+        "x",
+        TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+    );
+    let endpoint = "http://localhost/quickstart";
+    let mut client = Client::with_defaults();
+    let mut sink = SinkTransport::new();
+
+    let mut x: Vec<f64> = (0..10_000).map(|i| i as f64 * 0.25).collect();
+
+    println!("{:<28} {:>10} {:>14} {:>10}", "send", "tier", "values written", "time");
+    println!("{}", "-".repeat(68));
+
+    // 1. First-time send: full serialization, template saved.
+    let t = Instant::now();
+    let r = client.call(endpoint, &op, &[Value::DoubleArray(x.clone())], &mut sink).unwrap();
+    report("first send", &r, t);
+
+    // 2. Identical data: message content match — no serialization at all.
+    let t = Instant::now();
+    let r = client.call(endpoint, &op, &[Value::DoubleArray(x.clone())], &mut sink).unwrap();
+    report("unchanged resend", &r, t);
+
+    // 3. A handful of values change: perfect structural match.
+    for i in (0..x.len()).step_by(1000) {
+        x[i] += 1.0;
+    }
+    let t = Instant::now();
+    let r = client.call(endpoint, &op, &[Value::DoubleArray(x.clone())], &mut sink).unwrap();
+    report("10 values changed", &r, t);
+
+    // 4. The array grows: partial structural match (in-place resize).
+    x.extend_from_slice(&[1.0, 2.0, 3.0]);
+    let t = Instant::now();
+    let r = client.call(endpoint, &op, &[Value::DoubleArray(x)], &mut sink).unwrap();
+    report("array grew by 3", &r, t);
+
+    let stats = client.stats();
+    println!("\nclient totals: {} calls, {} bytes shipped", stats.calls(), stats.bytes_sent);
+    println!(
+        "tiers: first={} content={} perfect={} partial={}",
+        stats.first_time, stats.content_match, stats.perfect_structural, stats.partial_structural
+    );
+}
+
+fn report(label: &str, r: &bsoap::SendReport, t: Instant) {
+    println!(
+        "{:<28} {:>10} {:>14} {:>9.2?}",
+        label,
+        tier_short(r.tier),
+        r.values_written,
+        t.elapsed()
+    );
+}
+
+fn tier_short(t: bsoap::SendTier) -> &'static str {
+    match t {
+        bsoap::SendTier::FirstTime => "first",
+        bsoap::SendTier::ContentMatch => "content",
+        bsoap::SendTier::PerfectStructural => "perfect",
+        bsoap::SendTier::PartialStructural => "partial",
+    }
+}

@@ -1,0 +1,252 @@
+//! High-level RPC: the whole stack behind one call.
+//!
+//! [`RpcClient`] connects the pieces a downstream user would otherwise
+//! wire by hand: a WSDL-derived service description, the differential
+//! serialization client, HTTP framing over TCP, and response
+//! deserialization. Every request rides the cheapest matching tier; every
+//! response is parsed against the operation's `{name}Response` schema.
+
+use crate::deser::{parse_envelope, DeserError};
+use crate::transport::http::{read_response, HttpVersion, RequestConfig};
+use crate::transport::tcp::{Framing, TcpTransport};
+use crate::transport::Transport;
+use crate::wsdl::ServiceDesc;
+use crate::{Client, EngineConfig, EngineError, OpDesc, ParamDesc, SendReport, Value};
+use std::fmt;
+use std::net::SocketAddr;
+
+/// RPC-level error.
+#[derive(Debug)]
+pub enum RpcError {
+    /// The service description has no such operation.
+    UnknownOperation(String),
+    /// Request serialization or transport failure.
+    Send(EngineError),
+    /// Transport-level response failure.
+    Io(std::io::Error),
+    /// The server answered with a non-200 status (body included).
+    Status(u16, Vec<u8>),
+    /// The response body did not match the expected schema.
+    Response(DeserError),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::UnknownOperation(n) => write!(f, "unknown operation {n}"),
+            RpcError::Send(e) => write!(f, "send failed: {e}"),
+            RpcError::Io(e) => write!(f, "response I/O failed: {e}"),
+            RpcError::Status(s, _) => write!(f, "server returned HTTP {s}"),
+            RpcError::Response(e) => write!(f, "response parse failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// A connected RPC client for one service.
+pub struct RpcClient {
+    service: ServiceDesc,
+    client: Client,
+    transport: TcpTransport,
+    /// Response descriptors supplied per operation (the WSDL subset in
+    /// this stack describes requests; responses follow the
+    /// `{op}Response` convention and are registered explicitly).
+    response_descs: Vec<OpDesc>,
+}
+
+impl RpcClient {
+    /// Connect to `addr` and speak `service`'s operations over
+    /// HTTP/1.1 (`Content-Length` framing, persistent connection).
+    pub fn connect(
+        service: ServiceDesc,
+        addr: SocketAddr,
+        config: EngineConfig,
+    ) -> std::io::Result<Self> {
+        let cfg = RequestConfig {
+            path: "/".to_owned(),
+            host: addr.ip().to_string(),
+            // Rewritten per call with the operation's action.
+            soap_action: String::new(),
+            version: HttpVersion::Http11Length,
+        };
+        let transport = TcpTransport::connect(addr, Framing::Http(cfg))?;
+        Ok(RpcClient { service, client: Client::new(config), transport, response_descs: Vec::new() })
+    }
+
+    /// Declare the response parameters of `op` so [`RpcClient::call`] can
+    /// parse replies (defaults to an empty response otherwise).
+    pub fn declare_response(&mut self, op: &str, params: Vec<ParamDesc>) {
+        let desc = OpDesc::new(&format!("{op}Response"), &self.service.namespace, params);
+        self.response_descs.retain(|d| d.name != desc.name);
+        self.response_descs.push(desc);
+    }
+
+    /// The differential client's statistics (tier histogram).
+    pub fn stats(&self) -> crate::ClientStats {
+        self.client.stats()
+    }
+
+    /// The service description this client was built from.
+    pub fn service(&self) -> &ServiceDesc {
+        &self.service
+    }
+
+    /// Invoke `op_name(args)` and parse the response.
+    pub fn call(&mut self, op_name: &str, args: &[Value]) -> Result<Vec<Value>, RpcError> {
+        let op = self
+            .service
+            .operation(op_name)
+            .ok_or_else(|| RpcError::UnknownOperation(op_name.to_owned()))?
+            .clone();
+        self.call_op(&op, args).map(|(values, _)| values)
+    }
+
+    /// Invoke with the full send report (tier, bytes, patch counters).
+    pub fn call_op(
+        &mut self,
+        op: &OpDesc,
+        args: &[Value],
+    ) -> Result<(Vec<Value>, SendReport), RpcError> {
+        let action = self.service.soap_action(&op.name);
+        let endpoint = self.service.endpoint.clone();
+        let transport = &mut self.transport;
+        transport.set_soap_action(&action);
+        let report = self
+            .client
+            .call_via(&endpoint, op, args, |slices| transport.send_message(slices))
+            .map_err(RpcError::Send)?;
+        let (status, body) = read_response(self.transport.stream()).map_err(RpcError::Io)?;
+        if status != 200 {
+            return Err(RpcError::Status(status, body));
+        }
+        let resp_name = format!("{}Response", op.name);
+        let values = match self.response_descs.iter().find(|d| d.name == resp_name) {
+            Some(desc) => parse_envelope(&body, desc).map_err(RpcError::Response)?,
+            None => Vec::new(),
+        };
+        Ok((values, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::ScalarKind;
+    use crate::server::{HttpServer, Service};
+    use crate::wsdl::{parse_wsdl, write_wsdl};
+    use crate::{SendTier, TypeDesc};
+
+    fn scale_service() -> (ServiceDesc, Service) {
+        let op = OpDesc::single(
+            "scale",
+            "urn:vec",
+            "xs",
+            TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+        );
+        let desc = ServiceDesc {
+            name: "Vec".into(),
+            namespace: "urn:vec".into(),
+            endpoint: "http://svc/vec".into(),
+            operations: vec![op.clone()],
+        };
+        let mut svc = Service::new("urn:vec", EngineConfig::paper_default());
+        svc.register(
+            op,
+            vec![ParamDesc {
+                name: "ys".into(),
+                desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+            }],
+            |args| {
+                let Value::DoubleArray(v) = &args[0] else { return Err("type".into()) };
+                Ok(vec![Value::DoubleArray(v.iter().map(|x| x * 2.0).collect())])
+            },
+        );
+        (desc, svc)
+    }
+
+    #[test]
+    fn end_to_end_rpc_round_trip() {
+        let (desc, svc) = scale_service();
+        let server = HttpServer::spawn(svc).unwrap();
+        // The client side bootstraps from the published WSDL document.
+        let parsed = parse_wsdl(write_wsdl(&desc).as_bytes()).unwrap();
+        let mut rpc =
+            RpcClient::connect(parsed, server.addr(), EngineConfig::paper_default()).unwrap();
+        rpc.declare_response(
+            "scale",
+            vec![ParamDesc {
+                name: "ys".into(),
+                desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+            }],
+        );
+
+        let got = rpc.call("scale", &[Value::DoubleArray(vec![1.5, 2.5])]).unwrap();
+        assert_eq!(got, vec![Value::DoubleArray(vec![3.0, 5.0])]);
+
+        // Second identical call: content match on the wire.
+        let (got, report) =
+            rpc.call_op(
+                &rpc.service().operation("scale").unwrap().clone(),
+                &[Value::DoubleArray(vec![1.5, 2.5])],
+            )
+            .unwrap();
+        assert_eq!(got, vec![Value::DoubleArray(vec![3.0, 5.0])]);
+        assert_eq!(report.tier, SendTier::ContentMatch);
+        let stats = rpc.stats();
+        assert_eq!(stats.first_time, 1);
+        assert_eq!(stats.content_match, 1);
+        server.stop();
+    }
+
+    #[test]
+    fn unknown_operation_rejected_client_side() {
+        let (desc, svc) = scale_service();
+        let server = HttpServer::spawn(svc).unwrap();
+        let mut rpc =
+            RpcClient::connect(desc, server.addr(), EngineConfig::paper_default()).unwrap();
+        assert!(matches!(
+            rpc.call("ghost", &[]),
+            Err(RpcError::UnknownOperation(_))
+        ));
+        server.stop();
+    }
+
+    #[test]
+    fn handler_fault_becomes_status_error() {
+        let op = OpDesc::single("f", "urn:x", "v", TypeDesc::Scalar(ScalarKind::Int));
+        let desc = ServiceDesc {
+            name: "F".into(),
+            namespace: "urn:x".into(),
+            endpoint: "http://svc/f".into(),
+            operations: vec![op.clone()],
+        };
+        let mut svc = Service::new("urn:x", EngineConfig::paper_default());
+        svc.register(
+            op,
+            vec![ParamDesc { name: "r".into(), desc: TypeDesc::Scalar(ScalarKind::Int) }],
+            |_| Err("boom".into()),
+        );
+        let server = HttpServer::spawn(svc).unwrap();
+        let mut rpc =
+            RpcClient::connect(desc, server.addr(), EngineConfig::paper_default()).unwrap();
+        match rpc.call("f", &[Value::Int(1)]) {
+            Err(RpcError::Status(500, body)) => {
+                assert!(String::from_utf8(body).unwrap().contains("boom"));
+            }
+            other => panic!("expected 500 fault, got {other:?}"),
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn missing_response_decl_yields_empty_values() {
+        let (desc, svc) = scale_service();
+        let server = HttpServer::spawn(svc).unwrap();
+        let mut rpc =
+            RpcClient::connect(desc, server.addr(), EngineConfig::paper_default()).unwrap();
+        let got = rpc.call("scale", &[Value::DoubleArray(vec![1.0])]).unwrap();
+        assert!(got.is_empty(), "no declared response schema → values skipped");
+        server.stop();
+    }
+}

@@ -1,0 +1,228 @@
+//! Cross-crate integration: client → transport → server → deserializer.
+//!
+//! These tests exercise the full stack the way the paper's measurement
+//! harness does — real sockets, real framing — and assert *byte-level*
+//! agreement between what the differential client ships and what a fresh
+//! serialization would have shipped, then close the loop by parsing the
+//! collected wire bytes back into values.
+
+use bsoap::baseline::GSoapLike;
+use bsoap::convert::ScalarKind;
+use bsoap::deser::{parse_envelope, DiffDeserializer, DiffOutcome};
+use bsoap::transport::http::{HttpVersion, RequestConfig};
+use bsoap::transport::tcp::{Framing, TcpTransport};
+use bsoap::transport::{ServerMode, TestServer, Transport};
+use bsoap::xml::strip_pad;
+use bsoap::{mio, Client, EngineConfig, OpDesc, SendTier, TypeDesc, Value, WidthPolicy};
+
+fn doubles_op() -> OpDesc {
+    OpDesc::single(
+        "send",
+        "urn:bench",
+        "arr",
+        TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+    )
+}
+
+#[test]
+fn raw_tcp_bytes_match_fresh_serialization() {
+    let server = TestServer::spawn(ServerMode::Discard).unwrap();
+    let mut t = TcpTransport::connect(server.addr(), Framing::Raw).unwrap();
+    let op = doubles_op();
+    let mut client = Client::with_defaults();
+
+    let mut xs = vec![1.5, 2.5, 3.5];
+    let mut expected_total = 0u64;
+    let mut g = GSoapLike::new();
+    for step in 0..5 {
+        xs[step % 3] += 1.0;
+        let r = client
+            .call("tcp://peer", &op, &[Value::DoubleArray(xs.clone())], &mut t)
+            .unwrap();
+        expected_total += r.bytes as u64;
+        // The differential message must parse to the same values a full
+        // serializer would produce.
+        let full = g.serialize(&op, &[Value::DoubleArray(xs.clone())]).unwrap().to_vec();
+        assert_eq!(
+            parse_envelope(&full, &op).unwrap(),
+            vec![Value::DoubleArray(xs.clone())]
+        );
+    }
+    t.finish().unwrap();
+    drop(t);
+    let stats = server.stop();
+    assert_eq!(stats.bytes_received, expected_total);
+}
+
+#[test]
+fn http_collect_round_trip_all_tiers() {
+    let server = TestServer::spawn(ServerMode::Collect).unwrap();
+    let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+    let mut t = TcpTransport::connect(server.addr(), Framing::Http(cfg)).unwrap();
+    let op = doubles_op();
+    let mut client = Client::with_defaults();
+
+    let sequences: Vec<Vec<f64>> = vec![
+        vec![1.5, 2.5, 3.5],       // first-time
+        vec![1.5, 2.5, 3.5],       // content match
+        vec![9.5, 2.5, 3.5],       // perfect structural
+        vec![9.5, 2.5, 3.5, 4.5],  // partial structural (grow)
+        vec![9.5, 2.5],            // partial structural (shrink)
+    ];
+    let expected_tiers = [
+        SendTier::FirstTime,
+        SendTier::ContentMatch,
+        SendTier::PerfectStructural,
+        SendTier::PartialStructural,
+        SendTier::PartialStructural,
+    ];
+    for (xs, want) in sequences.iter().zip(expected_tiers) {
+        let r = client
+            .call_via("http://svc", &op, &[Value::DoubleArray(xs.clone())], |s| {
+                t.send_message(s)
+            })
+            .unwrap();
+        assert_eq!(r.tier, want);
+        let (status, _) = bsoap::transport::http::read_response(t.stream()).unwrap();
+        assert_eq!(status, 200);
+    }
+    t.finish().unwrap();
+    drop(t);
+
+    let requests = server.stop_collecting();
+    assert_eq!(requests.len(), sequences.len());
+    for (req, xs) in requests.iter().zip(&sequences) {
+        assert_eq!(req.head.method, "POST");
+        let args = parse_envelope(&req.body, &op).unwrap();
+        assert_eq!(args, vec![Value::DoubleArray(xs.clone())]);
+    }
+}
+
+#[test]
+fn chunked_http_streams_multi_chunk_templates() {
+    // Small chunks force a multi-chunk template; HTTP/1.1 chunked framing
+    // maps each template chunk onto a wire chunk.
+    let server = TestServer::spawn(ServerMode::Collect).unwrap();
+    let cfg = RequestConfig::loopback(HttpVersion::Http11Chunked);
+    let mut t = TcpTransport::connect(server.addr(), Framing::Http(cfg)).unwrap();
+    let config = EngineConfig::paper_default().with_chunk(bsoap::ChunkConfig {
+        initial_size: 1024,
+        split_threshold: 2048,
+        reserve: 64,
+    });
+    let op = doubles_op();
+    let mut client = Client::new(config);
+
+    let xs: Vec<f64> = (0..2000).map(|i| i as f64 + 0.5).collect();
+    client
+        .call_via("http://svc", &op, &[Value::DoubleArray(xs.clone())], |s| {
+            assert!(s.len() > 1, "template should be multi-chunk, got {} slices", s.len());
+            t.send_message(s)
+        })
+        .unwrap();
+    let (status, _) = bsoap::transport::http::read_response(t.stream()).unwrap();
+    assert_eq!(status, 200);
+    t.finish().unwrap();
+    drop(t);
+
+    let requests = server.stop_collecting();
+    assert_eq!(requests.len(), 1);
+    let args = parse_envelope(&requests[0].body, &op).unwrap();
+    assert_eq!(args, vec![Value::DoubleArray(xs)]);
+}
+
+#[test]
+fn client_server_differential_deserialization_pipeline() {
+    // The full paper pipeline: differential client on one end,
+    // differential deserializer on the other.
+    let server = TestServer::spawn(ServerMode::Collect).unwrap();
+    let cfg = RequestConfig::loopback(HttpVersion::Http10);
+    let mut t = TcpTransport::connect(server.addr(), Framing::Http(cfg)).unwrap();
+    let op = OpDesc::single("m", "urn:x", "a", TypeDesc::array_of(TypeDesc::mio()));
+    let mut client =
+        Client::new(EngineConfig::paper_default().with_width(WidthPolicy::Max));
+
+    let mut elems: Vec<(i32, i32, f64)> = (0..50).map(|i| (i, -i, i as f64 * 0.5)).collect();
+    let as_value = |e: &[(i32, i32, f64)]| {
+        Value::Array(e.iter().map(|&(x, y, v)| mio(x, y, v)).collect())
+    };
+    for step in 0..6 {
+        if step > 0 {
+            elems[step * 7 % 50].2 += 1.0;
+        }
+        client
+            .call_via("http://svc", &op, &[as_value(&elems)], |s| t.send_message(s))
+            .unwrap();
+        let (status, _) = bsoap::transport::http::read_response(t.stream()).unwrap();
+        assert_eq!(status, 200);
+    }
+    t.finish().unwrap();
+    drop(t);
+
+    let requests = server.stop_collecting();
+    let mut deser = DiffDeserializer::new(op);
+    let mut outcomes = Vec::new();
+    for req in &requests {
+        let (_, outcome) = deser.deserialize(&req.body).unwrap();
+        outcomes.push(outcome);
+    }
+    assert_eq!(outcomes[0], DiffOutcome::FullParse);
+    for o in &outcomes[1..] {
+        assert!(
+            matches!(o, DiffOutcome::Differential { reparsed: 1, .. }),
+            "expected 1-leaf differential parse, got {o:?}"
+        );
+    }
+    // Final values agree with the client's final state.
+    let (args, _) = deser.deserialize(&requests.last().unwrap().body).unwrap();
+    assert_eq!(args, &[as_value(&elems)][..]);
+}
+
+#[test]
+fn overlay_wire_bytes_equal_template_bytes() {
+    use bsoap::OverlaySender;
+    let op = doubles_op();
+    let config = EngineConfig::paper_default();
+    let xs: Vec<f64> = (0..5000).map(|i| (i as f64).sin()).collect();
+    let value = Value::DoubleArray(xs);
+
+    // Overlay path: bounded memory, streamed.
+    let mut overlay = OverlaySender::auto_window(config, &op).unwrap();
+    let mut overlay_out = Vec::new();
+    let report = overlay.send(&value, &mut overlay_out).unwrap();
+    assert!(report.portions > 1, "workload must span several windows");
+    assert!(
+        report.window_bytes < overlay_out.len() / 2,
+        "overlay memory ({}) must be far below message size ({})",
+        report.window_bytes,
+        overlay_out.len()
+    );
+
+    // Whole-template path.
+    let tpl = bsoap::MessageTemplate::build(config, &op, &[value]).unwrap();
+    assert_eq!(
+        strip_pad(&overlay_out),
+        strip_pad(&tpl.to_bytes()),
+        "overlaid stream must be pad-equivalent to the stored template"
+    );
+    // And it parses back.
+    assert!(parse_envelope(&overlay_out, &op).is_ok());
+}
+
+#[test]
+fn two_endpoints_get_independent_templates() {
+    let op = doubles_op();
+    let mut client = Client::with_defaults();
+    let mut sink_a = bsoap::transport::SinkTransport::new();
+    let mut sink_b = bsoap::transport::SinkTransport::new();
+
+    let xs = vec![1.5; 10];
+    client.call("http://a", &op, &[Value::DoubleArray(xs.clone())], &mut sink_a).unwrap();
+    // Same payload to a different endpoint: its own first-time send.
+    let r = client.call("http://b", &op, &[Value::DoubleArray(xs.clone())], &mut sink_b).unwrap();
+    assert_eq!(r.tier, SendTier::FirstTime);
+    assert_eq!(client.cache().len(), 2);
+    // Back to endpoint A unchanged: content match survives interleaving.
+    let r = client.call("http://a", &op, &[Value::DoubleArray(xs)], &mut sink_a).unwrap();
+    assert_eq!(r.tier, SendTier::ContentMatch);
+}

@@ -1,0 +1,204 @@
+//! The four-tier matching logic as a state machine (paper §3).
+//!
+//! Drives a client through crafted call sequences and asserts the exact
+//! tier each send takes, that tier costs are ordered the way the paper
+//! claims (content ≤ perfect ≤ partial ≤ first in values written), and
+//! that statistics account for every call.
+
+use bsoap::convert::ScalarKind;
+use bsoap::transport::SinkTransport;
+use bsoap::{mio, Client, EngineConfig, OpDesc, SendTier, TypeDesc, Value, WidthPolicy};
+
+fn doubles_op() -> OpDesc {
+    OpDesc::single(
+        "send",
+        "urn:bench",
+        "arr",
+        TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+    )
+}
+
+fn call(
+    client: &mut Client,
+    sink: &mut SinkTransport,
+    op: &OpDesc,
+    xs: &[f64],
+) -> bsoap::SendReport {
+    client
+        .call("ep", op, &[Value::DoubleArray(xs.to_vec())], sink)
+        .expect("call")
+}
+
+#[test]
+fn canonical_tier_sequence() {
+    let op = doubles_op();
+    let mut client = Client::with_defaults();
+    let mut sink = SinkTransport::new();
+
+    let r = call(&mut client, &mut sink, &op, &[1.5, 2.5, 3.5]);
+    assert_eq!(r.tier, SendTier::FirstTime);
+
+    let r = call(&mut client, &mut sink, &op, &[1.5, 2.5, 3.5]);
+    assert_eq!(r.tier, SendTier::ContentMatch);
+    assert_eq!(r.values_written, 0, "content match writes nothing");
+
+    let r = call(&mut client, &mut sink, &op, &[1.5, 9.5, 3.5]);
+    assert_eq!(r.tier, SendTier::PerfectStructural);
+    assert_eq!(r.values_written, 1, "only the changed value is written");
+
+    let r = call(&mut client, &mut sink, &op, &[1.5, 9.5, 3.5, 4.5]);
+    assert_eq!(r.tier, SendTier::PartialStructural);
+
+    let r = call(&mut client, &mut sink, &op, &[1.5, 9.5, 3.5, 4.5]);
+    assert_eq!(r.tier, SendTier::ContentMatch, "resize settles back to content matches");
+
+    let stats = client.stats();
+    assert_eq!(stats.calls(), 5);
+    assert_eq!(
+        (stats.first_time, stats.content_match, stats.perfect_structural, stats.partial_structural),
+        (1, 2, 1, 1)
+    );
+}
+
+#[test]
+fn same_bits_rewrite_is_content_match() {
+    // Writing the same f64 bits must not dirty the leaf (the DUT's
+    // bitwise comparison), including the NaN == NaN case.
+    let op = doubles_op();
+    let mut client = Client::with_defaults();
+    let mut sink = SinkTransport::new();
+    call(&mut client, &mut sink, &op, &[f64::NAN, 1.5]);
+    let r = call(&mut client, &mut sink, &op, &[f64::NAN, 1.5]);
+    assert_eq!(r.tier, SendTier::ContentMatch);
+
+    // 0.0 vs -0.0 have different bits AND different lexical forms.
+    let r = call(&mut client, &mut sink, &op, &[f64::NAN, -0.0]);
+    assert_eq!(r.tier, SendTier::PerfectStructural);
+    assert_eq!(r.values_written, 1);
+}
+
+#[test]
+fn zero_length_boundary_cases() {
+    let op = doubles_op();
+    let mut client = Client::with_defaults();
+    let mut sink = SinkTransport::new();
+
+    let r = call(&mut client, &mut sink, &op, &[]);
+    assert_eq!(r.tier, SendTier::FirstTime);
+    let r = call(&mut client, &mut sink, &op, &[]);
+    assert_eq!(r.tier, SendTier::ContentMatch);
+    let r = call(&mut client, &mut sink, &op, &[1.5]);
+    assert_eq!(r.tier, SendTier::PartialStructural);
+    let r = call(&mut client, &mut sink, &op, &[]);
+    assert_eq!(r.tier, SendTier::PartialStructural);
+    let r = call(&mut client, &mut sink, &op, &[]);
+    assert_eq!(r.tier, SendTier::ContentMatch);
+}
+
+#[test]
+fn multi_param_dirty_tracking_spans_params() {
+    let op = OpDesc::new(
+        "f",
+        "urn:x",
+        vec![
+            bsoap::ParamDesc { name: "id".into(), desc: TypeDesc::Scalar(ScalarKind::Int) },
+            bsoap::ParamDesc {
+                name: "xs".into(),
+                desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+            },
+            bsoap::ParamDesc { name: "tag".into(), desc: TypeDesc::Scalar(ScalarKind::Str) },
+        ],
+    );
+    let mut client = Client::with_defaults();
+    let mut sink = SinkTransport::new();
+    let args = |id: i32, xs: Vec<f64>, s: &str| {
+        vec![Value::Int(id), Value::DoubleArray(xs), Value::Str(s.into())]
+    };
+
+    client.call("ep", &op, &args(1, vec![1.5, 2.5], "abc"), &mut sink).unwrap();
+    // Change only the trailing string (same length → no shift).
+    let r = client.call("ep", &op, &args(1, vec![1.5, 2.5], "xyz"), &mut sink).unwrap();
+    assert_eq!(r.tier, SendTier::PerfectStructural);
+    assert_eq!(r.values_written, 1);
+    // Change the leading int and one array element.
+    let r = client.call("ep", &op, &args(2, vec![9.5, 2.5], "xyz"), &mut sink).unwrap();
+    assert_eq!(r.tier, SendTier::PerfectStructural);
+    assert_eq!(r.values_written, 2);
+}
+
+#[test]
+fn mio_partial_dirty_percentages() {
+    // The Figure 4 setup: vary what fraction of MIO doubles are dirty and
+    // confirm values_written tracks it exactly.
+    let op = OpDesc::single("m", "urn:x", "a", TypeDesc::array_of(TypeDesc::mio()));
+    let mut client = Client::with_defaults();
+    let mut sink = SinkTransport::new();
+    let n = 100usize;
+    let build = |bump: usize, round: f64| {
+        Value::Array(
+            (0..n)
+                .map(|i| mio(i as i32, -(i as i32), if i < bump { round } else { 0.5 }))
+                .collect(),
+        )
+    };
+
+    client.call("ep", &op, &[build(0, 0.5)], &mut sink).unwrap();
+    for (frac, expect) in [(25usize, 25usize), (50, 50), (75, 75), (100, 100)] {
+        // Use a fresh value per round so exactly `frac` doubles change.
+        let round = frac as f64 + 0.25;
+        let r = client.call("ep", &op, &[build(frac, round)], &mut sink).unwrap();
+        assert_eq!(r.tier, SendTier::PerfectStructural);
+        assert_eq!(r.values_written, expect, "at {frac}%");
+    }
+}
+
+#[test]
+fn shift_and_steal_counters_surface() {
+    // Exact widths + growing values: expansion must happen and be counted.
+    let op = doubles_op();
+    let config = EngineConfig::paper_default().with_width(WidthPolicy::Exact);
+    let mut client = Client::new(config);
+    let mut sink = SinkTransport::new();
+
+    call(&mut client, &mut sink, &op, &[1.0, 2.0, 3.0]);
+    // Every value grows from 1 char to many chars.
+    let r = call(&mut client, &mut sink, &op, &[1.0625, 2.0625, 3.0625]);
+    assert_eq!(r.tier, SendTier::PerfectStructural);
+    assert_eq!(r.values_written, 3);
+    assert!(
+        r.shifts + r.steals > 0,
+        "growth beyond exact width must shift or steal (got {r:?})"
+    );
+
+    // With max stuffing the same growth is free of both.
+    let mut client = Client::new(config.with_width(WidthPolicy::Max));
+    call(&mut client, &mut sink, &op, &[1.0, 2.0, 3.0]);
+    let r = call(&mut client, &mut sink, &op, &[1.0625, 2.0625, 3.0625]);
+    assert_eq!(r.shifts, 0);
+    assert_eq!(r.steals, 0);
+}
+
+#[test]
+fn evicting_forgets_the_template() {
+    let op = doubles_op();
+    let mut client = Client::with_defaults();
+    let mut sink = SinkTransport::new();
+    call(&mut client, &mut sink, &op, &[1.5]);
+    assert!(client.evict("ep", &op));
+    assert!(!client.evict("ep", &op), "double evict is a no-op");
+    let r = call(&mut client, &mut sink, &op, &[1.5]);
+    assert_eq!(r.tier, SendTier::FirstTime, "evicted template forces re-serialization");
+}
+
+#[test]
+fn errors_do_not_poison_the_template() {
+    let op = doubles_op();
+    let mut client = Client::with_defaults();
+    let mut sink = SinkTransport::new();
+    call(&mut client, &mut sink, &op, &[1.5, 2.5]);
+    // Wrong arity errors out…
+    assert!(client.call("ep", &op, &[], &mut sink).is_err());
+    // …but the saved template still serves content matches.
+    let r = call(&mut client, &mut sink, &op, &[1.5, 2.5]);
+    assert_eq!(r.tier, SendTier::ContentMatch);
+}
