@@ -13,20 +13,44 @@ fn configure() -> Criterion {
         .measurement_time(Duration::from_millis(600))
 }
 
+const DTOA_CLASSES: &[(&str, f64)] = &[
+    ("small_integer", 7.0),
+    ("plain_decimal", 1234.5678),
+    ("seventeen_digits", 12.345678901234567),
+    ("large_exponent_pos", 1.2345678912345678e300),
+    ("large_exponent_neg", -1.6054609345651112e-109),
+    ("subnormal", -1.2345678912345594e-308),
+];
+
 fn dtoa_by_magnitude(c: &mut Criterion) {
-    let classes: &[(&str, f64)] = &[
-        ("small_integer", 7.0),
-        ("plain_decimal", 1234.5678),
-        ("seventeen_digits", 12.345678901234567),
-        ("large_exponent_pos", 1.2345678912345678e300),
-        ("large_exponent_neg", -1.6054609345651112e-109),
-        ("subnormal", -1.2345678912345594e-308),
-    ];
     let mut group = c.benchmark_group("dtoa");
     let mut buf = [0u8; bsoap_convert::DOUBLE_MAX_WIDTH];
-    for &(label, v) in classes {
+    for &(label, v) in DTOA_CLASSES {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| bsoap_convert::write_f64(&mut buf, std::hint::black_box(v)))
+        });
+    }
+    group.finish();
+}
+
+/// Fast (Grisu3) vs exact (Dragon) kernel on the same magnitude classes —
+/// both through the `FloatFormatter` dispatch the engine uses, so the
+/// comparison includes dispatch cost. The acceptance bar for the fast
+/// kernel is ≥ 5× on `plain_decimal` and `seventeen_digits`.
+fn dtoa_fast_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtoa_kernel");
+    let mut buf = [0u8; bsoap_convert::DOUBLE_MAX_WIDTH];
+    for &(label, v) in DTOA_CLASSES {
+        group.bench_function(BenchmarkId::new("exact", label), |b| {
+            b.iter(|| {
+                bsoap_convert::FloatFormatter::Exact2004
+                    .write_f64(&mut buf, std::hint::black_box(v))
+            })
+        });
+        group.bench_function(BenchmarkId::new("fast", label), |b| {
+            b.iter(|| {
+                bsoap_convert::FloatFormatter::Fast.write_f64(&mut buf, std::hint::black_box(v))
+            })
         });
     }
     group.finish();
@@ -90,6 +114,6 @@ fn escape_bench(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = configure();
-    targets = dtoa_by_magnitude, itoa_bench, parse_bench, escape_bench
+    targets = dtoa_by_magnitude, dtoa_fast_vs_exact, itoa_bench, parse_bench, escape_bench
 }
 criterion_main!(benches);

@@ -13,8 +13,8 @@ use bsoap_bench::ablations::{
     ablation_pipelined, ablation_reserve, ablation_server_dispatch, ablation_stealing,
 };
 use bsoap_bench::scenarios::{
-    fig_ablation, fig_content_match, fig_overlay, fig_psm, fig_shift_partial, fig_shift_worst,
-    fig_stuffing, Table,
+    fig_ablation, fig_content_match, fig_kernel_parallel, fig_overlay, fig_psm,
+    fig_shift_partial, fig_shift_worst, fig_stuffing, Table,
 };
 use bsoap_bench::plot::render_loglog;
 use bsoap_bench::workload::{Kind, PAPER_SIZES, QUICK_SIZES};
@@ -37,7 +37,7 @@ fn parse_args() -> Result<Opts, String> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--all" => figs = (0..=12).collect(),
-            "--ablations" => figs.extend(13..=20),
+            "--ablations" => figs.extend(13..=21),
             "--fig" => {
                 let v = args.next().ok_or("--fig needs a number")?;
                 figs.push(v.parse().map_err(|_| format!("bad figure number {v}"))?);
@@ -61,9 +61,10 @@ fn parse_args() -> Result<Opts, String> {
                     "usage: figures [--all] [--fig N]... [--reps N] \
                      [--sizes a,b,c] [--quick] [--csv] [--plot] [--ablations]\n\
                      figures: 0 = §2 ablation, 1-12 = the paper's figures,\n\
-                     13-20 = design-space ablations (chunk size, stealing,\n\
+                     13-21 = design-space ablations (chunk size, stealing,\n\
                      reserve, growth policy, differential deser, HTTP framing,\n\
-                     pipelined send, server dispatch)"
+                     pipelined send, server dispatch, conversion kernel +\n\
+                     parallel flush)"
                 );
                 std::process::exit(0);
             }
@@ -106,6 +107,7 @@ fn run_figure(fig: u32, sizes: &[usize], reps: usize) -> Option<Table> {
         18 => ablation_http_framing(sizes, reps),
         19 => ablation_pipelined(sizes, reps),
         20 => ablation_server_dispatch(sizes, reps),
+        21 => fig_kernel_parallel(Kind::Doubles, sizes, reps),
         _ => return None,
     })
 }

@@ -10,10 +10,13 @@
 //!   are the value's digits with the decimal point shifted `|e|` places.
 //!
 //! The exact digit string is then rounded (half-to-even) to `p` significant
-//! digits, and the smallest `p ∈ 1..=17` whose rounding re-parses to the
-//! original bit pattern is selected by binary search (17 significant digits
-//! always round-trip an IEEE-754 double, so the search is well-founded; a
-//! final verification step guards against any non-monotonicity).
+//! digits, and the smallest `p ∈ 1..=17` with a round-tripping `p`-digit
+//! decimal is selected by binary search (17 significant digits always
+//! round-trip an IEEE-754 double, so the search is well-founded; a final
+//! verification step guards against any non-monotonicity). At each `p` the
+//! nearest rounding is tried first, then its ulp neighbors — the rounding
+//! interval of a power of two is asymmetric, so the shortest form is
+//! occasionally *not* the nearest rounding (see [`best_at_precision`]).
 //!
 //! This is a Dragon-style fixed-point scheme rather than Grisu/Ryu: it
 //! trades speed for unconditional exactness with no precomputed power
@@ -38,46 +41,56 @@ pub const MAX_LEN: usize = crate::widths::DOUBLE_MAX_WIDTH;
 ///
 /// `buf` must be at least [`MAX_LEN`] (24) bytes.
 pub fn write_f64(buf: &mut [u8], v: f64) -> usize {
+    if let Some(n) = write_fixed_forms(buf, v) {
+        return n;
+    }
+    let neg = v < 0.0;
+    let pos = v.abs();
+    let (digits, k) = shortest_digits_abs(pos);
+    format_parts(buf, neg, &digits, k)
+}
+
+/// Handle the lexical forms shared verbatim by the exact and fast kernels:
+/// specials (`NaN`/`INF`/`-INF`), signed zero, and exact small integers
+/// (which print via itoa and coincide byte-for-byte with the general path —
+/// trailing zeros collapse into the same plain-integer form).
+///
+/// Returns `None` when general shortest-digit generation is required.
+pub(crate) fn write_fixed_forms(buf: &mut [u8], v: f64) -> Option<usize> {
     if v.is_nan() {
         buf[..3].copy_from_slice(b"NaN");
-        return 3;
+        return Some(3);
     }
     if v.is_infinite() {
-        return if v > 0.0 {
+        return Some(if v > 0.0 {
             buf[..3].copy_from_slice(b"INF");
             3
         } else {
             buf[..4].copy_from_slice(b"-INF");
             4
-        };
+        });
     }
     if v == 0.0 {
-        return if v.is_sign_negative() {
+        return Some(if v.is_sign_negative() {
             buf[..2].copy_from_slice(b"-0");
             2
         } else {
             buf[0] = b'0';
             1
-        };
+        });
     }
 
     let neg = v < 0.0;
     let pos = v.abs();
-
-    // Fast integral path: exact small integers print via itoa and coincide
-    // byte-for-byte with the general path (trailing zeros collapse into the
-    // same plain-integer form).
     if pos < 9_007_199_254_740_992.0 /* 2^53 */ && pos.trunc() == pos {
         let mut n = 0;
         if neg {
             buf[0] = b'-';
             n = 1;
         }
-        return n + crate::itoa::write_u64(&mut buf[n..], pos as u64);
+        return Some(n + crate::itoa::write_u64(&mut buf[n..], pos as u64));
     }
-
-    let (digits, k) = shortest_digits_abs(pos);
-    format_parts(buf, neg, &digits, k)
+    None
 }
 
 /// Format `v` into a fresh `String` (convenience wrapper over [`write_f64`]).
@@ -102,7 +115,7 @@ pub fn shortest_digits(v: f64) -> (bool, Vec<u8>, i32) {
 
 /// Exact decimal expansion of `|v|` rounded to the shortest round-tripping
 /// digit count. Returns `(digits, k)` with the value `0.digits × 10^k`.
-fn shortest_digits_abs(pos: f64) -> (Vec<u8>, i32) {
+pub(crate) fn shortest_digits_abs(pos: f64) -> (Vec<u8>, i32) {
     let (m, e) = decompose(pos);
 
     // Exact decimal digits of the value (with the decimal exponent k such
@@ -124,7 +137,7 @@ fn shortest_digits_abs(pos: f64) -> (Vec<u8>, i32) {
 
 /// Split a finite positive double into `(mantissa, binary_exponent)` with
 /// `value = m × 2^e`.
-fn decompose(v: f64) -> (u64, i32) {
+pub(crate) fn decompose(v: f64) -> (u64, i32) {
     let bits = v.to_bits();
     let exp_field = ((bits >> 52) & 0x7FF) as i32;
     let frac = bits & ((1u64 << 52) - 1);
@@ -152,19 +165,98 @@ fn round_shortest(pos: f64, exact: Vec<u8>, k: i32) -> (Vec<u8>, i32) {
     }
     while lo < hi {
         let mid = (lo + hi) / 2;
-        if candidate_round_trips(pos, &exact, k, mid) {
+        if best_at_precision(pos, &exact, k, mid).is_some() {
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
     let mut p = lo;
-    while !candidate_round_trips(pos, &exact, k, p) {
+    loop {
+        if let Some(best) = best_at_precision(pos, &exact, k, p) {
+            return best;
+        }
         p += 1;
         assert!(p <= 17, "no 17-digit rounding round-trips {pos:?} — impossible for IEEE-754");
     }
-    let (digits, k) = rounded_prefix(&exact, k, p);
-    (digits, k)
+}
+
+/// The `p`-significant-digit decimal `pos` prints as, if any round-trips.
+///
+/// The nearest `p`-digit decimal (half-to-even against the exact tail) is
+/// preferred. At a binade boundary the rounding interval is *asymmetric*
+/// (the gap below a power of two is half the gap above), so the nearest
+/// decimal can fall outside the interval while one of its
+/// unit-in-the-last-place neighbors lies inside — e.g. `2^-1017` is
+/// `7.1202363472230444…E-307` but its shortest form is the 16-digit
+/// `7.120236347223045E-307`, one ulp *above* the nearest 16-digit
+/// rounding. At most one neighbor can round-trip when the nearest fails
+/// (the interval is contiguous and contains `pos`).
+fn best_at_precision(pos: f64, exact: &[u8], k: i32, p: usize) -> Option<(Vec<u8>, i32)> {
+    let (digits, kk) = rounded_prefix(exact, k, p);
+    if reparses_to(pos, &digits, kk) {
+        return Some((digits, kk));
+    }
+    ulp_neighbors(&digits, kk, p).into_iter().find(|(d, nk)| reparses_to(pos, d, *nk))
+}
+
+/// The decimals one unit-in-the-last-place (at `p` significant digits)
+/// above and below `digits` (value `0.digits × 10^k`), trailing zeros
+/// trimmed. The lower neighbor is omitted when it would be zero.
+fn ulp_neighbors(digits: &[u8], k: i32, p: usize) -> Vec<(Vec<u8>, i32)> {
+    let mut base = digits.to_vec();
+    base.resize(p, b'0');
+    let trim = |d: &mut Vec<u8>| {
+        while d.last() == Some(&b'0') {
+            d.pop();
+        }
+    };
+    let mut out = Vec::with_capacity(2);
+
+    let mut up = base.clone();
+    let mut up_k = k;
+    let mut i = p;
+    loop {
+        if i == 0 {
+            // Carry out of the most significant digit: 999→1000.
+            up.insert(0, b'1');
+            up.truncate(p);
+            up_k += 1;
+            break;
+        }
+        i -= 1;
+        if up[i] == b'9' {
+            up[i] = b'0';
+        } else {
+            up[i] += 1;
+            break;
+        }
+    }
+    trim(&mut up);
+    out.push((up, up_k));
+
+    let mut down = base;
+    let mut down_k = k;
+    let mut i = p;
+    while i > 0 {
+        i -= 1;
+        if down[i] == b'0' {
+            down[i] = b'9';
+        } else {
+            down[i] -= 1;
+            break;
+        }
+    }
+    if down[0] == b'0' {
+        // Borrow across the decade: 1000→0999, i.e. 999 one place lower.
+        down.remove(0);
+        down_k -= 1;
+    }
+    if down.iter().any(|&c| c != b'0') {
+        trim(&mut down);
+        out.push((down, down_k));
+    }
+    out
 }
 
 /// Round `exact` to `p` significant digits (half-to-even against the exact
@@ -210,13 +302,12 @@ fn rounded_prefix(exact: &[u8], k: i32, p: usize) -> (Vec<u8>, i32) {
     (digits, k)
 }
 
-/// Check whether rounding `exact` to `p` digits re-parses to `pos`.
-fn candidate_round_trips(pos: f64, exact: &[u8], k: i32, p: usize) -> bool {
-    let (digits, k) = rounded_prefix(exact, k, p);
+/// Check whether `0.digits × 10^k` re-parses to `pos` exactly.
+fn reparses_to(pos: f64, digits: &[u8], k: i32) -> bool {
     // Reconstruct as DIGITSe(k - len) and parse with the (correctly
     // rounded) standard library parser.
     let mut s = String::with_capacity(digits.len() + 8);
-    s.push_str(std::str::from_utf8(&digits).expect("ASCII digits"));
+    s.push_str(std::str::from_utf8(digits).expect("ASCII digits"));
     s.push('e');
     let exp10 = k - digits.len() as i32;
     s.push_str(&exp10.to_string());
@@ -227,7 +318,7 @@ fn candidate_round_trips(pos: f64, exact: &[u8], k: i32, p: usize) -> bool {
 }
 
 /// Render `(neg, digits, k)` — value `±0.digits × 10^k` — into `buf`.
-fn format_parts(buf: &mut [u8], neg: bool, digits: &[u8], k: i32) -> usize {
+pub(crate) fn format_parts(buf: &mut [u8], neg: bool, digits: &[u8], k: i32) -> usize {
     let n = digits.len();
     let mut pos = 0;
     if neg {
@@ -311,6 +402,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::approx_constant)] // 3.14 is a formatting case, not pi
     fn simple_decimals() {
         assert_eq!(format_f64(0.5), "0.5");
         assert_eq!(format_f64(3.14), "3.14");

@@ -8,6 +8,9 @@
 //! * [`itoa`] — integer → ASCII with a two-digit lookup table,
 //! * [`dtoa`] — `f64` → shortest round-trip decimal using exact big-integer
 //!   digit generation (a Dragon-style algorithm; see module docs),
+//! * [`grisu`] — the fast-path `f64` kernel: Grisu3 over a precomputed
+//!   power-of-ten table, byte-identical to [`dtoa`] with an exact fallback
+//!   on the rare uncertain cases; selected via [`FloatFormatter`],
 //! * [`widths`] — the *maximum serialized width* metadata the paper's
 //!   stuffing technique depends on (int = 11 chars, double = 24 chars,
 //!   MIO = 46 chars), plus field-padding helpers,
@@ -26,11 +29,13 @@
 
 pub mod bignum;
 pub mod dtoa;
+pub mod grisu;
 pub mod itoa;
 pub mod parse;
 pub mod widths;
 
 pub use dtoa::{format_f64, write_f64};
+pub use grisu::{format_f64_fast, write_f64_fast, FloatFormatter};
 pub use itoa::{format_i32, format_i64, format_u64, write_i32, write_i64, write_u64};
 pub use widths::{
     pad_spaces, ScalarKind, BOOL_MAX_WIDTH, DOUBLE_MAX_WIDTH, INT_MAX_WIDTH, LONG_MAX_WIDTH,

@@ -219,6 +219,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::approx_constant)] // 3.14 is a parsing case, not pi
     fn double_forms() {
         assert_eq!(parse_f64(b"1").unwrap(), 1.0);
         assert_eq!(parse_f64(b"-0.5").unwrap(), -0.5);

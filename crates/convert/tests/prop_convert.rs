@@ -4,7 +4,7 @@
 //! conversions being exact: a value written into a template and later
 //! parsed by a server must round-trip bit-for-bit.
 
-use bsoap_convert::{dtoa, itoa, parse};
+use bsoap_convert::{dtoa, grisu, itoa, parse};
 use proptest::prelude::*;
 
 proptest! {
@@ -112,5 +112,89 @@ proptest! {
         prop_assume!(!text.ends_with('.'));
         let v: f64 = text.parse().unwrap();
         prop_assert_eq!(dtoa::format_f64(v), text);
+    }
+
+    /// Differential: the Grisu3 fast kernel is byte-identical to the exact
+    /// Dragon kernel on every bit pattern (including NaN payloads and
+    /// infinities — the full u64 domain, no finiteness assumption).
+    #[test]
+    fn fast_kernel_matches_exact_all_bits(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        prop_assert_eq!(grisu::format_f64_fast(v), dtoa::format_f64(v), "bits 0x{:016X}", bits);
+    }
+
+    /// Differential, biased toward the subnormal range where Grisu's
+    /// unnormalized boundaries are widest.
+    #[test]
+    fn fast_kernel_matches_exact_subnormals(bits in 0u64..(1u64 << 52), neg in any::<bool>()) {
+        let v = f64::from_bits(bits | if neg { 1 << 63 } else { 0 });
+        prop_assert_eq!(grisu::format_f64_fast(v), dtoa::format_f64(v), "bits 0x{:016X}", bits);
+    }
+
+    /// Differential over "round" decimal literals: the inputs most likely
+    /// to exercise trailing-zero / shortest-form edge handling.
+    #[test]
+    fn fast_kernel_matches_exact_short_decimals(
+        mantissa in 1u64..100_000_000,
+        exp in -30i32..30,
+        neg in any::<bool>(),
+    ) {
+        let v = mantissa as f64 * 10f64.powi(exp) * if neg { -1.0 } else { 1.0 };
+        prop_assert_eq!(grisu::format_f64_fast(v), dtoa::format_f64(v), "{:?}", v);
+    }
+}
+
+/// Deterministic hard cases for the fast kernel: exact half-ulp ties (the
+/// cases Grisu3 must *fail* on and defer to the exact path), binade
+/// boundaries where the lower rounding interval halves, subnormal
+/// extremes, and the largest/smallest magnitudes.
+#[test]
+fn fast_kernel_hard_cases() {
+    let mut cases: Vec<f64> = vec![
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        0.0,
+        -0.0,
+        f64::MAX,
+        f64::MIN_POSITIVE,          // smallest normal
+        5e-324,                     // smallest subnormal
+        2.225_073_858_507_201e-308, // largest subnormal
+        1e300,
+        1e-300,
+        1.2345678912345678e300,
+        -1.6054609345651112e-109,
+        #[allow(clippy::excessive_precision)] // exact shortest form of 2 ulp
+        9.881312916824931e-324,
+        0.1,
+        2.0f64.powi(-1),
+        1.0 / 3.0,
+        // Half-ulp tie family: 2^k + 0.5 ulp neighborhoods.
+        f64::from_bits(0x3FF0000000000001), // 1.0 + 1 ulp
+        f64::from_bits(0x4340000000000001), // 2^53 + 1 ulp
+        f64::from_bits(0x0010000000000001),
+        f64::from_bits(0x7FEFFFFFFFFFFFFF), // MAX
+        f64::from_bits(0x0000000000000001), // min subnormal
+        f64::from_bits(0x000FFFFFFFFFFFFF), // max subnormal
+    ];
+    // Powers of two sweep both binade-boundary branches of the lower
+    // rounding interval.
+    for k in -1074..=1023 {
+        cases.push(2.0f64.powi(k));
+    }
+    // Powers of ten hit the cached-power grid alignment.
+    for k in -308..=308 {
+        cases.push(10.0f64.powi(k));
+    }
+    for v in cases {
+        for s in [1.0, -1.0] {
+            let v = v * s;
+            assert_eq!(
+                grisu::format_f64_fast(v),
+                dtoa::format_f64(v),
+                "value {v:?} bits 0x{:016X}",
+                v.to_bits()
+            );
+        }
     }
 }

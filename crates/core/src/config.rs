@@ -1,6 +1,7 @@
 //! Engine configuration: the paper's design-space knobs.
 
 pub use bsoap_chunks::ChunkConfig;
+pub use bsoap_convert::FloatFormatter;
 use bsoap_convert::ScalarKind;
 
 /// Initial field-width policy — the *stuffing* knob (§3.2, §4.4).
@@ -70,16 +71,29 @@ pub struct EngineConfig {
     pub growth: GrowthPolicy,
     /// Enable stealing slack from the right neighbor before shifting.
     pub steal: bool,
+    /// `f64` → ASCII conversion kernel. Both settings produce identical
+    /// bytes; [`FloatFormatter::Exact2004`] reproduces the paper's
+    /// conversion cost model, [`FloatFormatter::Fast`] is the Grisu3
+    /// fast path (see `bsoap-convert::grisu`).
+    pub float: FloatFormatter,
+    /// Worker threads for the dirty-field flush. `0` (and `1`) keep the
+    /// sequential path; `≥ 2` rewrites in-width dirty values concurrently,
+    /// sharded by chunk boundary, with byte-identical output.
+    pub parallel_workers: usize,
 }
 
 impl EngineConfig {
-    /// Paper-default configuration: 32 KiB chunks, exact widths, stealing on.
+    /// Paper-default configuration: 32 KiB chunks, exact widths, stealing
+    /// on, the 2004-era exact conversion kernel, sequential flush. This is
+    /// the operating point the figure reproductions pin.
     pub fn paper_default() -> Self {
         EngineConfig {
             chunk: ChunkConfig::k32(),
             width: WidthPolicy::Exact,
             growth: GrowthPolicy::Exact,
             steal: true,
+            float: FloatFormatter::Exact2004,
+            parallel_workers: 0,
         }
     }
 
@@ -111,11 +125,26 @@ impl EngineConfig {
         self.steal = steal;
         self
     }
+
+    /// Builder-style float-kernel override.
+    pub fn with_float(mut self, float: FloatFormatter) -> Self {
+        self.float = float;
+        self
+    }
+
+    /// Builder-style flush-parallelism override.
+    pub fn with_parallel_workers(mut self, workers: usize) -> Self {
+        self.parallel_workers = workers;
+        self
+    }
 }
 
 impl Default for EngineConfig {
+    /// Like [`EngineConfig::paper_default`] but with the fast float kernel:
+    /// the output bytes are identical, only the conversion cost differs, so
+    /// this is the right default everywhere except cost-model figures.
     fn default() -> Self {
-        Self::paper_default()
+        Self::paper_default().with_float(FloatFormatter::Fast)
     }
 }
 
@@ -155,5 +184,25 @@ mod tests {
         assert_eq!(c.width, WidthPolicy::Max);
         assert_eq!(c.growth, GrowthPolicy::ToMax);
         assert!(!c.steal);
+    }
+
+    #[test]
+    fn paper_default_pins_exact_kernel_and_sequential_flush() {
+        let p = EngineConfig::paper_default();
+        assert_eq!(p.float, FloatFormatter::Exact2004);
+        assert_eq!(p.parallel_workers, 0);
+        // Default differs only in the (byte-identical) conversion kernel.
+        let d = EngineConfig::default();
+        assert_eq!(d.float, FloatFormatter::Fast);
+        assert_eq!(d.with_float(FloatFormatter::Exact2004), p);
+    }
+
+    #[test]
+    fn builder_float_and_workers() {
+        let c = EngineConfig::paper_default()
+            .with_float(FloatFormatter::Fast)
+            .with_parallel_workers(4);
+        assert_eq!(c.float, FloatFormatter::Fast);
+        assert_eq!(c.parallel_workers, 4);
     }
 }

@@ -160,6 +160,14 @@ impl DutTable {
         }
     }
 
+    /// Settle the aggregate count after `n` dirty bits were cleared
+    /// directly on entries obtained via [`Self::entries_mut_raw`] (the
+    /// parallel flush workers do this on their disjoint slices).
+    pub(crate) fn note_bits_cleared(&mut self, n: usize) {
+        debug_assert!(n <= self.dirty_count);
+        self.dirty_count -= n;
+    }
+
     /// Clear one dirty bit after the value has been written to the buffer.
     pub(crate) fn clear_dirty(&mut self, idx: usize) {
         let entry = &mut self.entries[idx];

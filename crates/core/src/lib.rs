@@ -47,7 +47,7 @@ pub mod value;
 
 pub use cache::{TemplateCache, TemplateKey};
 pub use client::{Client, ClientStats};
-pub use config::{EngineConfig, GrowthPolicy, WidthPolicy};
+pub use config::{EngineConfig, FloatFormatter, GrowthPolicy, WidthPolicy};
 pub use dut::{DutEntry, DutTable};
 pub use error::EngineError;
 pub use pipeline::{PipelineReport, PipelinedSender};

@@ -12,21 +12,19 @@ use std::io::{IoSlice, Result, Write};
 /// Returns the total byte count on success.
 pub fn write_all_vectored(w: &mut impl Write, slices: &[IoSlice<'_>]) -> Result<usize> {
     let total: usize = slices.iter().map(|s| s.len()).sum();
+    // One up-front copy of the gather list; after a partial write only the
+    // first unconsumed entry is re-sliced, so draining is O(n) overall
+    // instead of O(n²) view rebuilds on dribbling writers.
+    let mut view: Vec<IoSlice<'_>> = slices.iter().map(|s| IoSlice::new(s)).collect();
     // Position: first unconsumed slice and byte offset within it.
     let mut idx = 0usize;
     let mut off = 0usize;
-    let mut view: Vec<IoSlice<'_>> = Vec::with_capacity(slices.len());
     // Skip leading empty slices.
     while idx < slices.len() && slices[idx].is_empty() {
         idx += 1;
     }
     while idx < slices.len() {
-        // Rebuild the remaining view (partial writes are rare; sockets
-        // normally take the whole gather list in one call).
-        view.clear();
-        view.push(IoSlice::new(&slices[idx][off..]));
-        view.extend(slices[idx + 1..].iter().map(|s| IoSlice::new(s)));
-        let n = w.write_vectored(&view)?;
+        let n = w.write_vectored(&view[idx..])?;
         if n == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::WriteZero,
@@ -42,6 +40,7 @@ pub fn write_all_vectored(w: &mut impl Write, slices: &[IoSlice<'_>]) -> Result<
         }
         if idx < slices.len() {
             off = remaining;
+            view[idx] = IoSlice::new(&slices[idx][off..]);
         }
     }
     Ok(total)

@@ -1,8 +1,32 @@
 //! Differential flush: rewrite only dirty values, expanding fields on
 //! demand via stealing and shifting (§3.2).
+//!
+//! ## Parallel flush
+//!
+//! With [`crate::EngineConfig::parallel_workers`] ≥ 2 the flush shards
+//! work by *chunk boundary*: each chunk's dirty entries form a run, runs
+//! are distributed over scoped worker threads, and every worker rewrites
+//! the in-width dirty values of its chunks concurrently. This is safe —
+//! and byte-identical to the sequential flush — because an in-width
+//! rewrite only touches bytes inside its own field region of its own
+//! chunk and never changes the chunk's length or any field's location.
+//!
+//! Entries whose new value exceeds the field width need stealing or
+//! shifting, which rearranges chunk bytes and downstream DUT locations;
+//! those are *deferred* and replayed sequentially, in ascending entry
+//! order, after the workers join — exactly the order and state the
+//! sequential path would have seen. One subtlety: stealing from entry `i`
+//! inspects entry `i+1`'s pre-patch geometry, so when stealing is enabled
+//! an entry directly following a deferred entry in the same chunk is
+//! deferred too (contagion) rather than rewritten concurrently.
 
 use super::{MessageTemplate, SendReport, SendTier};
 use crate::config::GrowthPolicy;
+use crate::dut::DutEntry;
+
+/// One parallel-flush work unit: the global index of the run's first
+/// entry, the run's DUT entries, and the chunk buffer they live in.
+type FlushRun<'a> = (usize, &'a mut [DutEntry], &'a mut [u8]);
 
 /// Counters for one flush (folded into the report and lifetime stats).
 #[derive(Default)]
@@ -20,20 +44,8 @@ impl MessageTemplate {
         let tier = self.pending_tier();
         let mut counters = PatchCounters::default();
 
-        if self.dut.dirty_count() > 0 {
-            // Serialize into a detached scratch to sidestep borrow overlap
-            // with the DUT entry we read the value from.
-            let mut scratch = std::mem::take(&mut self.scratch);
-            let n = self.dut.len();
-            for i in 0..n {
-                if !self.dut.entry(i).dirty {
-                    continue;
-                }
-                self.dut.entry(i).value.serialize_into(&mut scratch);
-                self.patch_entry(i, &scratch, &mut counters);
-                self.dut.clear_dirty(i);
-            }
-            self.scratch = scratch;
+        if self.dut.dirty_count() > 0 && !self.try_flush_parallel(&mut counters) {
+            self.flush_sequential(&mut counters);
         }
 
         self.structure_changed = false;
@@ -57,6 +69,159 @@ impl MessageTemplate {
             steals: counters.steals,
             splits: counters.splits,
         }
+    }
+
+    /// The classic sequential flush: serialize and patch each dirty leaf
+    /// in ascending entry order.
+    fn flush_sequential(&mut self, counters: &mut PatchCounters) {
+        // Serialize into a detached scratch to sidestep borrow overlap
+        // with the DUT entry we read the value from.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let float = self.config.float;
+        let n = self.dut.len();
+        for i in 0..n {
+            if !self.dut.entry(i).dirty {
+                continue;
+            }
+            self.dut.entry(i).value.serialize_into_with(&mut scratch, float);
+            self.patch_entry(i, &scratch, counters);
+            self.dut.clear_dirty(i);
+        }
+        self.scratch = scratch;
+    }
+
+    /// Chunk-sharded parallel flush. Returns `false` (without touching
+    /// anything) when the configuration or dirty-set shape does not
+    /// warrant threads; the caller then runs the sequential path.
+    fn try_flush_parallel(&mut self, counters: &mut PatchCounters) -> bool {
+        if self.config.parallel_workers < 2 {
+            return false;
+        }
+
+        // Find per-chunk runs of dirty work. Entries are stored in
+        // document order, so each chunk's entries occupy one contiguous
+        // index range; a run is the `first_dirty..=last_dirty` span of a
+        // chunk that has any dirt (clean entries inside are skipped by the
+        // worker). Ranges instead of index lists keep this pre-pass
+        // allocation-light and let workers own their entries mutably.
+        let mut runs: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        for (i, e) in self.dut.entries().iter().enumerate() {
+            if !e.dirty {
+                continue;
+            }
+            let chunk = e.loc.chunk as usize;
+            match runs.last_mut() {
+                Some((c, r)) if *c == chunk => r.end = i + 1,
+                other => {
+                    debug_assert!(other.is_none_or(|(c, _)| *c < chunk), "document order");
+                    runs.push((chunk, i..i + 1));
+                }
+            }
+        }
+        if runs.len() < 2 {
+            return false; // all dirt in one chunk: threads cannot help
+        }
+
+        let nworkers = self.config.parallel_workers.min(runs.len());
+        let float = self.config.float;
+        let steal = self.config.steal;
+
+        // Split the borrow: each worker owns disjoint slices of the DUT
+        // table and disjoint chunk buffers; `self` is untouched until they
+        // join. Slicing the table mutably lets workers commit `ser_len`
+        // and dirty bits themselves, so the post-join pass is O(deferred)
+        // rather than O(dirty).
+        let MessageTemplate { store, dut, .. } = &mut *self;
+        let mut bufs: Vec<Option<&mut [u8]>> =
+            store.chunk_bufs_mut().into_iter().map(Some).collect();
+        let mut tail: &mut [DutEntry] = dut.entries_mut_raw();
+        let mut consumed = 0usize;
+        // (global index of run start, the run's entries, its chunk buffer)
+        let mut sliced: Vec<FlushRun> = Vec::with_capacity(runs.len());
+        for (chunk, r) in runs {
+            let (_, rest) = std::mem::take(&mut tail).split_at_mut(r.start - consumed);
+            let (run, rest) = rest.split_at_mut(r.end - r.start);
+            tail = rest;
+            consumed = r.end;
+            let buf = bufs[chunk].take().expect("one run per chunk");
+            sliced.push((r.start, run, buf));
+        }
+
+        // Greedy least-loaded assignment of runs (largest first) so one
+        // hot chunk does not serialize the whole flush behind it.
+        sliced.sort_by_key(|(_, run, _)| std::cmp::Reverse(run.len()));
+        let mut buckets: Vec<Vec<FlushRun>> = (0..nworkers).map(|_| Vec::new()).collect();
+        let mut load = vec![0usize; nworkers];
+        for item in sliced {
+            let w = (0..nworkers).min_by_key(|&w| load[w]).expect("nworkers >= 2");
+            load[w] += item.1.len();
+            buckets[w].push(item);
+        }
+
+        // Each worker returns (entries written, deferred global indices).
+        let results: Vec<(usize, Vec<usize>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move || {
+                        let mut scratch: Vec<u8> = Vec::with_capacity(64);
+                        let mut cleared = 0usize;
+                        let mut deferred: Vec<usize> = Vec::new();
+                        for (start, run, buf) in bucket {
+                            let mut prev_deferred = false;
+                            for (i, e) in run.iter_mut().enumerate() {
+                                if !e.dirty {
+                                    prev_deferred = false;
+                                    continue;
+                                }
+                                // Contagion: a steal by the deferred
+                                // predecessor will read this entry's
+                                // pre-patch geometry — keep it pristine.
+                                if steal && prev_deferred {
+                                    deferred.push(start + i);
+                                    continue;
+                                }
+                                e.value.serialize_into_with(&mut scratch, float);
+                                if scratch.len() as u32 > e.width {
+                                    deferred.push(start + i);
+                                    prev_deferred = true;
+                                    continue;
+                                }
+                                write_in_width(buf, e, &scratch);
+                                e.ser_len = scratch.len() as u32;
+                                e.dirty = false;
+                                cleared += 1;
+                                prev_deferred = false;
+                            }
+                        }
+                        (cleared, deferred)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("flush worker panicked")).collect()
+        });
+
+        // Workers cleared dirty bits directly; settle the aggregate count,
+        // then replay deferred (expanding) entries in ascending order —
+        // sequential semantics.
+        let mut deferred_all: Vec<usize> = Vec::new();
+        for (cleared, deferred) in results {
+            counters.values_written += cleared;
+            self.dut.note_bits_cleared(cleared);
+            deferred_all.extend(deferred);
+        }
+        deferred_all.sort_unstable();
+        if !deferred_all.is_empty() {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let float = self.config.float;
+            for idx in deferred_all {
+                self.dut.entry(idx).value.serialize_into_with(&mut scratch, float);
+                self.patch_entry(idx, &scratch, counters);
+                self.dut.clear_dirty(idx);
+            }
+            self.scratch = scratch;
+        }
+        true
     }
 
     /// Write the (already serialized) bytes of leaf `i` into its field,
@@ -251,4 +416,28 @@ impl MessageTemplate {
             }
         }
     }
+}
+
+/// In-place region rewrite on a raw chunk buffer: the thread-safe subset
+/// of [`MessageTemplate::rewrite_region`] for values that fit their field.
+///
+/// Produces the identical `[value][suffix][pad]` layout: the closing tag
+/// is slid from its old position (after `ser_len` bytes) to the new value
+/// end, then the remainder of the region is padded with spaces. The
+/// suffix move runs first because the regions may overlap.
+fn write_in_width(buf: &mut [u8], e: &DutEntry, bytes: &[u8]) {
+    let off = e.loc.offset as usize;
+    let old_ser = e.ser_len as usize;
+    let sfx = e.suffix_len as usize;
+    let width = e.width as usize;
+    let new_len = bytes.len();
+    debug_assert!(new_len <= width);
+    if new_len == old_ser {
+        // Same length: value bytes only, tags and padding untouched.
+        buf[off..off + new_len].copy_from_slice(bytes);
+        return;
+    }
+    buf.copy_within(off + old_ser..off + old_ser + sfx, off + new_len);
+    buf[off..off + new_len].copy_from_slice(bytes);
+    buf[off + new_len + sfx..off + width + sfx].fill(b' ');
 }

@@ -13,7 +13,7 @@
 //! Arrays of `f64`/`i32` have dedicated variants so scientific workloads
 //! (the paper's target) avoid per-element boxing.
 
-use bsoap_convert::ScalarKind;
+use bsoap_convert::{FloatFormatter, ScalarKind};
 
 /// A single leaf value as stored in the DUT table.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,10 +51,18 @@ impl Scalar {
         }
     }
 
-    /// Serialize this scalar's lexical form into `out` (cleared first).
+    /// Serialize this scalar's lexical form into `out` (cleared first)
+    /// using the paper's exact conversion kernel.
     ///
     /// Strings are XML-escaped here; numeric forms never need escaping.
     pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        self.serialize_into_with(out, FloatFormatter::Exact2004);
+    }
+
+    /// Serialize this scalar's lexical form into `out` (cleared first),
+    /// converting doubles with the given kernel. Both kernels emit the same
+    /// bytes; only the conversion cost differs.
+    pub fn serialize_into_with(&self, out: &mut Vec<u8>, float: FloatFormatter) {
         out.clear();
         match self {
             Scalar::Int(v) => {
@@ -69,7 +77,7 @@ impl Scalar {
             }
             Scalar::Double(v) => {
                 let mut buf = [0u8; bsoap_convert::DOUBLE_MAX_WIDTH];
-                let n = bsoap_convert::write_f64(&mut buf, *v);
+                let n = float.write_f64(&mut buf, *v);
                 out.extend_from_slice(&buf[..n]);
             }
             Scalar::Bool(v) => out.extend_from_slice(bsoap_convert::format_bool(*v).as_bytes()),

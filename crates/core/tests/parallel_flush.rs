@@ -1,0 +1,209 @@
+//! Byte-identity of the chunk-sharded parallel dirty flush.
+//!
+//! The contract (`EngineConfig::parallel_workers`): for every workload,
+//! every dirty pattern, and every width/growth/steal configuration, a
+//! parallel flush must produce exactly the bytes — and the same DUT
+//! geometry — a sequential flush produces. These tests drive matched
+//! template pairs through identical update sequences, one flushed
+//! sequentially (`parallel_workers = 0`) and one in parallel, and compare
+//! the full serialized message after every flush.
+
+use bsoap_core::{
+    EngineConfig, GrowthPolicy, MessageTemplate, OpDesc, TypeDesc, Value, WidthPolicy,
+};
+use bsoap_chunks::ChunkConfig;
+use bsoap_convert::ScalarKind;
+use proptest::prelude::*;
+
+fn doubles_op() -> OpDesc {
+    OpDesc::single(
+        "send",
+        "urn:bench",
+        "arr",
+        TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+    )
+}
+
+/// Small chunks so even modest arrays span many chunks (and therefore many
+/// parallel shards).
+fn small_chunks() -> ChunkConfig {
+    ChunkConfig { initial_size: 512, split_threshold: 1024, reserve: 64 }
+}
+
+/// Drive sequential and parallel templates through the same updates and
+/// assert byte identity after every flush.
+fn assert_parallel_matches_sequential(
+    base: EngineConfig,
+    workers: usize,
+    rounds: &[Vec<f64>],
+) {
+    let n = rounds.first().map_or(0, Vec::len);
+    let init = Value::DoubleArray(vec![1.0; n]);
+    let op = doubles_op();
+    let mut seq =
+        MessageTemplate::build(base.with_parallel_workers(0), &op, std::slice::from_ref(&init))
+            .unwrap();
+    let mut par =
+        MessageTemplate::build(base.with_parallel_workers(workers), &op, &[init]).unwrap();
+    assert_eq!(seq.to_bytes(), par.to_bytes(), "initial build must match");
+
+    for (round, vals) in rounds.iter().enumerate() {
+        seq.update_args(&[Value::DoubleArray(vals.clone())]).unwrap();
+        par.update_args(&[Value::DoubleArray(vals.clone())]).unwrap();
+        let rs = seq.flush();
+        let rp = par.flush();
+        assert_eq!(
+            seq.to_bytes(),
+            par.to_bytes(),
+            "round {round}: parallel flush diverged (workers={workers})"
+        );
+        assert_eq!(rs.values_written, rp.values_written, "round {round}");
+        assert_eq!(rs.shifts, rp.shifts, "round {round}");
+        assert_eq!(rs.steals, rp.steals, "round {round}");
+        assert_eq!(rs.splits, rp.splits, "round {round}");
+        seq.assert_invariants();
+        par.assert_invariants();
+    }
+}
+
+/// Value classes of distinct serialized lengths: 1 char ("1"), 8 chars
+/// ("3.141592"-ish), 17 chars, 24 chars (forces growth under Exact widths).
+fn value_of_class(class: u8, salt: usize) -> f64 {
+    match class % 4 {
+        0 => 1.0 + (salt % 9) as f64,
+        1 => 3.25 + salt as f64,
+        2 => 1.234567890123456 * (1.0 + salt as f64),
+        _ => -2.2250738585072014e-308 * (1.0 + salt as f64),
+    }
+}
+
+#[test]
+fn all_dirty_in_width_many_chunks() {
+    // 100% dirty, all rewrites in-width (Max stuffing): the pure parallel
+    // fast path, no deferred entries.
+    let n = 400;
+    let base = EngineConfig::stuffed_max().with_chunk(small_chunks());
+    let rounds: Vec<Vec<f64>> = (0..4)
+        .map(|r| (0..n).map(|i| (i as f64 + 1.0) * 1.234567 * (r + 1) as f64).collect())
+        .collect();
+    for workers in [2, 3, 8] {
+        assert_parallel_matches_sequential(base, workers, &rounds);
+    }
+}
+
+#[test]
+fn growth_mix_defers_and_replays() {
+    // Mixed in-width rewrites and width-growing values (Exact widths):
+    // exercises the deferred sequential replay with shifts and splits.
+    let n = 300;
+    let base = EngineConfig::paper_default().with_chunk(small_chunks());
+    let rounds: Vec<Vec<f64>> = (0..3)
+        .map(|r| (0..n).map(|i| value_of_class((i % 4) as u8, i + r * n)).collect())
+        .collect();
+    for workers in [2, 4] {
+        assert_parallel_matches_sequential(base, workers, &rounds);
+    }
+}
+
+#[test]
+fn steal_contagion_adjacent_dirty_neighbors() {
+    // Adjacent dirty entries where the left one grows (steals from the
+    // right neighbor's pad) and the right one is an in-width rewrite — the
+    // exact pattern the contagion rule defends.
+    let n = 200;
+    let base = EngineConfig::paper_default()
+        .with_chunk(small_chunks())
+        .with_width(WidthPolicy::Fixed { double: 18, int: 11, long: 20 })
+        .with_steal(true);
+    let rounds: Vec<Vec<f64>> = vec![
+        // Every even field grows past 18 chars; every odd field shrinks.
+        (0..n)
+            .map(|i| if i % 2 == 0 { value_of_class(3, i) } else { 1.0 })
+            .collect(),
+        // Then flip the pattern.
+        (0..n)
+            .map(|i| if i % 2 == 1 { value_of_class(3, i) } else { 2.0 })
+            .collect(),
+    ];
+    for workers in [2, 4] {
+        assert_parallel_matches_sequential(base, workers, &rounds);
+    }
+}
+
+#[test]
+fn sparse_dirty_subset() {
+    // Only a scattered subset dirty per round: runs of very different
+    // sizes across chunks (exercises the greedy run assignment).
+    let n = 500;
+    let base = EngineConfig::stuffed_max().with_chunk(small_chunks());
+    let rounds: Vec<Vec<f64>> = (0..5)
+        .map(|r| {
+            (0..n)
+                .map(|i| {
+                    if (i * 7 + r * 13) % 11 == 0 {
+                        value_of_class((i % 3) as u8, i + r)
+                    } else {
+                        1.0 // unchanged → clean
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    assert_parallel_matches_sequential(base, 3, &rounds);
+}
+
+#[test]
+fn single_chunk_falls_back_to_sequential() {
+    // Everything in one chunk: the parallel path must decline (one run)
+    // and behave exactly as sequential.
+    let base = EngineConfig::paper_default(); // 32 KiB chunks
+    let rounds = vec![vec![3.25; 20], vec![1.0; 20]];
+    assert_parallel_matches_sequential(base, 8, &rounds);
+}
+
+#[test]
+fn workers_exceed_chunks() {
+    // More workers than runs: worker count must clamp, not panic or idle.
+    let n = 60;
+    let base = EngineConfig::stuffed_max().with_chunk(small_chunks());
+    let rounds = vec![(0..n).map(|i| i as f64 * 0.5 + 0.25).collect()];
+    assert_parallel_matches_sequential(base, 64, &rounds);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized mixed scenario: arbitrary dirty subsets, value classes
+    /// (including width growth), steal on/off, growth policy, and worker
+    /// counts — parallel flush must stay byte-identical throughout.
+    #[test]
+    fn parallel_flush_byte_identical(
+        classes in proptest::collection::vec((0u8..4, 0u8..3), 40..160),
+        steal in any::<bool>(),
+        to_max in any::<bool>(),
+        workers in 2usize..6,
+        rounds in 1usize..4,
+    ) {
+        let base = EngineConfig::paper_default()
+            .with_chunk(ChunkConfig { initial_size: 256, split_threshold: 512, reserve: 48 })
+            .with_steal(steal)
+            .with_growth(if to_max { GrowthPolicy::ToMax } else { GrowthPolicy::Exact });
+        let n = classes.len();
+        let rounds: Vec<Vec<f64>> = (0..rounds)
+            .map(|r| {
+                classes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(class, dirty_mod))| {
+                        if (i + r) % (dirty_mod as usize + 1) == 0 {
+                            value_of_class(class, i + r * n + 1)
+                        } else {
+                            1.0 // stays clean after round 0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_parallel_matches_sequential(base, workers, &rounds);
+    }
+}

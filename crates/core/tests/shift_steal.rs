@@ -1,6 +1,9 @@
 //! On-the-fly expansion mechanics: shifting, stealing, splitting, growth
 //! policies (§3.2, §4.3, §4.4).
 
+// 3.14159 below is a 7-character growth payload, not an approximation of pi.
+#![allow(clippy::approx_constant)]
+
 use bsoap_chunks::ChunkConfig;
 use bsoap_core::{EngineConfig, GrowthPolicy, MessageTemplate, OpDesc, TypeDesc, Value, WidthPolicy};
 use bsoap_convert::ScalarKind;

@@ -61,9 +61,9 @@
 pub mod rpc;
 
 pub use bsoap_core::{
-    soap, Client, ClientStats, DutEntry, DutTable, EngineConfig, EngineError, GrowthPolicy,
-    MessageTemplate, OpDesc, ParamDesc, Scalar, SendReport, SendTier, TemplateCache, TemplateKey,
-    TypeDesc, Value, WidthPolicy,
+    soap, Client, ClientStats, DutEntry, DutTable, EngineConfig, EngineError, FloatFormatter,
+    GrowthPolicy, MessageTemplate, OpDesc, ParamDesc, Scalar, SendReport, SendTier, TemplateCache,
+    TemplateKey, TypeDesc, Value, WidthPolicy,
 };
 
 pub use bsoap_core::overlay::{OverlayReport, OverlaySender};

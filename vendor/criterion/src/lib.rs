@@ -1,0 +1,316 @@
+//! Offline subset of the `criterion` crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so
+//! this vendored crate implements the slice of criterion's API the bench
+//! targets use: `Criterion`, `benchmark_group`/`bench_function`,
+//! `BenchmarkId`, `Bencher::iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Differences from real criterion:
+//!
+//! * measurement is a plain warm-up + timed-loop mean (no outlier
+//!   analysis, no plots, no saved baselines);
+//! * every run appends a machine-readable summary to
+//!   `BENCH_<bench-name>.json` in the working directory (criterion's
+//!   `target/criterion` tree is not produced) — this is what the repo's
+//!   perf-trajectory tooling consumes;
+//! * command-line flags are accepted and ignored (so `cargo bench`
+//!   filter arguments do not error).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded measurement.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Full benchmark path `group/id`.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// Top-level harness state (subset of criterion's `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    results: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(500),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the nominal number of samples (kept for API compatibility; the
+    /// subset uses it only to bound the timed loop).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into() }
+    }
+
+    /// Run a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().label;
+        self.run_one(id, f);
+    }
+
+    /// All samples recorded so far.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    fn run_one<F>(&mut self, id: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        eprintln!("{id:<60} {:>12.1} ns/iter ({} iters)", b.mean_ns, b.iters);
+        self.results.push(Sample { id, mean_ns: b.mean_ns, iters: b.iters });
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().label);
+        self.c.run_one(full, f);
+        self
+    }
+
+    /// Finish the group (no-op in the subset; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost (accepted and ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: discover a per-call cost estimate while warming caches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_call = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        // Measure in batches sized so clock reads do not dominate.
+        let batch = ((1000.0 / per_call.max(0.5)) as u64).clamp(1, 10_000);
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement_time {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_ns += t.elapsed().as_nanos();
+            total_iters += batch;
+        }
+        self.mean_ns = total_ns as f64 / total_iters.max(1) as f64;
+        self.iters = total_iters;
+    }
+
+    /// Measure `routine` on fresh inputs produced by `setup` (setup time
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement_time {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total_ns += t.elapsed().as_nanos();
+            total_iters += 1;
+        }
+        self.mean_ns = total_ns as f64 / total_iters.max(1) as f64;
+        self.iters = total_iters;
+    }
+}
+
+/// Write all recorded samples as a JSON summary: `BENCH_<name>.json`.
+///
+/// Called by `criterion_main!` after every group has run. The file lands
+/// in the working directory (the workspace root under `cargo bench`).
+pub fn write_summary_json(bench_name: &str, results: &[Sample]) {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"bench\": \"{bench_name}\",\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.2}, \"iters\": {}}}{}\n",
+            s.id.replace('"', "'"),
+            s.mean_ns,
+            s.iters,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = format!("BENCH_{bench_name}.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Best-effort bench name from the executable path (strips the trailing
+/// `-<hash>` cargo appends to bench binaries).
+pub fn bench_name_from_exe() -> String {
+    let exe = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&exe)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_owned();
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            name.to_owned()
+        }
+        _ => stem,
+    }
+}
+
+/// Declare a benchmark group function (subset: `name`/`config`/`targets`
+/// form and the positional form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() -> $crate::Criterion {
+            let mut c = $config;
+            $($target(&mut c);)+
+            c
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the given groups and writing the JSON summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let name = $crate::bench_name_from_exe();
+            let mut all: Vec<$crate::Sample> = Vec::new();
+            $(
+                let c = $group();
+                all.extend(c.results().iter().cloned());
+            )+
+            $crate::write_summary_json(&name, &all);
+        }
+    };
+}

@@ -1,0 +1,726 @@
+//! Offline subset of the `proptest` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so this vendored crate implements the slice of proptest's API the
+//! workspace's property tests actually use: the [`proptest!`] macro,
+//! strategies ([`Strategy`], ranges, tuples, [`strategy::Just`],
+//! `prop_oneof!`, `prop_map`/`prop_filter`, [`collection::vec`],
+//! [`collection::hash_set`], [`char::range`], regex-subset string
+//! strategies) and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case reports its per-case seed instead, and
+//!   generation is deterministic (seeded from the test name), so a failure
+//!   reproduces by rerunning the test;
+//! * no persistence — `.proptest-regressions` files are ignored;
+//! * `PROPTEST_CASES` in the environment overrides every test's case
+//!   count (used by CI to trade coverage for wall-clock time).
+
+pub mod test_runner {
+    /// Result carrier for one generated case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was vacuous (`prop_assume!` failed) — try another.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    /// Per-test configuration (subset: case count only).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Construct from a seed.
+        pub fn seeded(seed: u64) -> Self {
+            TestRng(seed)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Modulo bias is irrelevant for test generation purposes.
+            self.next_u64() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn seed_from_name(name: &str) -> u64 {
+        // FNV-1a over the test name keeps runs deterministic per test.
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+        h
+    }
+
+    /// Drive one property test: generate cases until `config.cases`
+    /// succeed, skipping rejected (assumed-away) cases, panicking with the
+    /// per-case seed on the first failure.
+    pub fn run<F>(name: &str, config: &Config, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let cases = match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(config.cases),
+            Err(_) => config.cases,
+        };
+        let mut seeder = TestRng::seeded(seed_from_name(name));
+        let mut done = 0u32;
+        let mut rejects = 0u64;
+        let max_rejects = cases as u64 * 50 + 1000;
+        while done < cases {
+            let case_seed = seeder.next_u64();
+            let mut rng = TestRng::seeded(case_seed);
+            match f(&mut rng) {
+                Ok(()) => done += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= max_rejects,
+                        "{name}: too many rejected cases ({rejects}) — \
+                         prop_assume/filter conditions are too strict"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest case failed: {name} (after {done} passing cases, \
+                     case seed {case_seed:#018x}):\n{msg}"
+                ),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of one type.
+    ///
+    /// Unlike real proptest there is no value tree: `new_value` yields the
+    /// final value directly (no shrinking).
+    pub trait Strategy {
+        /// The value type produced.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values satisfying `f` (resampling on rejection).
+        fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, reason: reason.into(), f }
+        }
+
+        /// Type-erase this strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe strategy facade behind [`BoxedStrategy`].
+    trait DynStrategy<V> {
+        fn new_value_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn new_value_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            self.0.new_value_dyn(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.new_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({}) rejected 10000 samples in a row", self.reason);
+        }
+    }
+
+    /// Equal-weight union of same-valued strategies (`prop_oneof!`).
+    pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+    impl<V> Union<V> {
+        /// Union over the given arms (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.0.len() as u64) as usize;
+            self.0[i].new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// `&str` regex-subset strategies: a sequence of character classes
+    /// (`[a-z0-9._-]`) or literal characters, each optionally repeated by
+    /// `{lo,hi}`. This covers the name/identifier patterns the tests use.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            gen_from_pattern(self, rng)
+        }
+    }
+
+    fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a class or a literal char.
+            let class: Vec<(char, char)>;
+            if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unterminated [class] in pattern")
+                    + i;
+                class = parse_class(&chars[i + 1..close]);
+                i = close + 1;
+            } else {
+                class = vec![(chars[i], chars[i])];
+                i += 1;
+            }
+            // Optional {lo,hi} repetition.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated {rep} in pattern")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                    None => {
+                        let n: usize = body.parse().unwrap();
+                        (n, n)
+                    }
+                }
+            } else {
+                (1usize, 1usize)
+            };
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            let total: u64 = class.iter().map(|&(a, b)| b as u64 - a as u64 + 1).sum();
+            for _ in 0..n {
+                let mut pick = rng.below(total);
+                for &(a, b) in &class {
+                    let span = b as u64 - a as u64 + 1;
+                    if pick < span {
+                        out.push(char::from_u32(a as u32 + pick as u32).expect("ascii class"));
+                        break;
+                    }
+                    pick -= span;
+                }
+            }
+        }
+        out
+    }
+
+    fn parse_class(body: &[char]) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                ranges.push((body[i], body[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((body[i], body[i]));
+                i += 1;
+            }
+        }
+        ranges
+    }
+
+    /// `any::<T>()` support trait (subset of proptest's `Arbitrary`).
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary_value(rng: &mut TestRng) -> u128 {
+            (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary_value(rng: &mut TestRng) -> i128 {
+            u128::arbitrary_value(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_value(rng: &mut TestRng) -> char {
+            loop {
+                if let Some(c) = char::from_u32((rng.next_u64() % 0x11_0000) as u32) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary_value(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct ArbitraryStrategy<A>(std::marker::PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for ArbitraryStrategy<A> {
+        type Value = A;
+        fn new_value(&self, rng: &mut TestRng) -> A {
+            A::arbitrary_value(rng)
+        }
+    }
+
+    /// Unconstrained values of `A` — proptest's `any::<A>()`.
+    pub fn any<A: Arbitrary>() -> ArbitraryStrategy<A> {
+        ArbitraryStrategy(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Element-count specification for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+
+    /// `Vec` strategy over an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `size` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+
+    /// `HashSet` strategy over an element strategy.
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Hash sets of `size` distinct elements drawn from `elem`.
+    pub fn hash_set<S>(elem: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { elem, size: size.into() }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = self.size.pick(rng);
+            let mut out = HashSet::with_capacity(n);
+            let mut tries = 0;
+            while out.len() < n {
+                out.insert(self.elem.new_value(rng));
+                tries += 1;
+                if tries > 1000 + n * 100 {
+                    // Element domain smaller than requested size; return
+                    // what we have (still within the size range's intent).
+                    break;
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod char {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy over an inclusive character range.
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    /// Characters in `[lo, hi]` inclusive.
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi);
+        CharRange { lo: lo as u32, hi: hi as u32 }
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn new_value(&self, rng: &mut TestRng) -> char {
+            loop {
+                let v = self.lo + rng.below((self.hi - self.lo + 1) as u64) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests. Subset of proptest's macro: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// parameters are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::test_runner::run(stringify!($name), &config, |rng| {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), rng);)+
+                    let run_case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    run_case()
+                });
+            }
+        )*
+    };
+}
+
+/// Equal-weight choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Skip this case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail this case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+/// Fail this case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    l, r, format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fail this case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `left != right`\n  both: `{:?}`", l),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `left != right`\n  both: `{:?}`: {}",
+                    l, format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
