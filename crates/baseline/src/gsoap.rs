@@ -11,9 +11,9 @@
 //! 1–3), so the interesting delta — template reuse — is isolated from
 //! incidental differences in number formatting speed.
 
+use bsoap_convert::ScalarKind;
 use bsoap_core::soap;
 use bsoap_core::{EngineError, OpDesc, TypeDesc, Value};
-use bsoap_convert::ScalarKind;
 use std::io::Write;
 
 /// Streaming full serializer (one reusable buffer, rewritten every send).
@@ -35,9 +35,11 @@ impl GSoapLike {
         op.check_args(args)?;
         self.buf.clear();
         self.buf.extend_from_slice(soap::XML_DECL.as_bytes());
-        self.buf.extend_from_slice(soap::envelope_open(&op.namespace).as_bytes());
+        self.buf
+            .extend_from_slice(soap::envelope_open(&op.namespace).as_bytes());
         self.buf.extend_from_slice(soap::BODY_OPEN.as_bytes());
-        self.buf.extend_from_slice(soap::op_open(&op.name).as_bytes());
+        self.buf
+            .extend_from_slice(soap::op_open(&op.name).as_bytes());
         for (param, arg) in op.params.iter().zip(args) {
             match &param.desc {
                 TypeDesc::Array { item } => self.array(&param.name, item, arg)?,
@@ -47,7 +49,8 @@ impl GSoapLike {
                 }
             }
         }
-        self.buf.extend_from_slice(soap::op_close(&op.name).as_bytes());
+        self.buf
+            .extend_from_slice(soap::op_close(&op.name).as_bytes());
         self.buf.extend_from_slice(soap::CLOSES.as_bytes());
         Ok(&self.buf)
     }
@@ -88,7 +91,8 @@ impl GSoapLike {
                 self.buf.extend_from_slice(&b[..n]);
             }
             (ScalarKind::Bool, Value::Bool(x)) => {
-                self.buf.extend_from_slice(bsoap_convert::format_bool(*x).as_bytes());
+                self.buf
+                    .extend_from_slice(bsoap_convert::format_bool(*x).as_bytes());
             }
             (ScalarKind::Str, Value::Str(s)) => {
                 bsoap_xml::escape_text_into(&mut self.scratch, s);
@@ -102,9 +106,11 @@ impl GSoapLike {
     fn plain(&mut self, name: &str, desc: &TypeDesc, value: &Value) -> Result<(), EngineError> {
         match (desc, value) {
             (TypeDesc::Scalar(kind), v) => {
-                self.buf.extend_from_slice(soap::scalar_open(name, kind.xsi_type()).as_bytes());
+                self.buf
+                    .extend_from_slice(soap::scalar_open(name, kind.xsi_type()).as_bytes());
                 self.scalar_text(v, *kind)?;
-                self.buf.extend_from_slice(soap::elem_close(name).as_bytes());
+                self.buf
+                    .extend_from_slice(soap::elem_close(name).as_bytes());
                 Ok(())
             }
             (TypeDesc::Struct { fields, .. }, Value::Struct(vals)) => {
@@ -114,7 +120,8 @@ impl GSoapLike {
                 for ((fname, fdesc), fval) in fields.iter().zip(vals) {
                     self.plain(fname, fdesc, fval)?;
                 }
-                self.buf.extend_from_slice(soap::elem_close(name).as_bytes());
+                self.buf
+                    .extend_from_slice(soap::elem_close(name).as_bytes());
                 Ok(())
             }
             (d, v) => Err(EngineError::TypeMismatch {
@@ -137,7 +144,8 @@ impl GSoapLike {
         })?;
         let (prefix, suffix) = soap::array_open_parts(name, &item.xsi_type());
         self.buf.extend_from_slice(prefix.as_bytes());
-        self.buf.extend_from_slice(bsoap_convert::format_u64(len as u64).as_bytes());
+        self.buf
+            .extend_from_slice(bsoap_convert::format_u64(len as u64).as_bytes());
         self.buf.extend_from_slice(suffix.as_bytes());
         self.buf.push(b'\n');
         match (value, item) {
@@ -183,12 +191,8 @@ impl GSoapLike {
                                 });
                             };
                             self.buf.extend_from_slice(
-                                format!(
-                                    "<{} xsi:type=\"{}\">",
-                                    soap::ITEM_NAME,
-                                    item.xsi_type()
-                                )
-                                .as_bytes(),
+                                format!("<{} xsi:type=\"{}\">", soap::ITEM_NAME, item.xsi_type())
+                                    .as_bytes(),
                             );
                             for ((fname, fdesc), fval) in fields.iter().zip(vals) {
                                 self.plain(fname, fdesc, fval)?;
@@ -212,7 +216,8 @@ impl GSoapLike {
                 })
             }
         }
-        self.buf.extend_from_slice(soap::elem_close(name).as_bytes());
+        self.buf
+            .extend_from_slice(soap::elem_close(name).as_bytes());
         self.buf.push(b'\n');
         Ok(())
     }
@@ -232,7 +237,9 @@ mod tests {
             TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
         );
         let text = String::from_utf8(
-            g.serialize(&op, &[Value::DoubleArray(vec![1.5, 2.5])]).unwrap().to_vec(),
+            g.serialize(&op, &[Value::DoubleArray(vec![1.5, 2.5])])
+                .unwrap()
+                .to_vec(),
         )
         .unwrap();
         assert!(text.starts_with("<?xml"));

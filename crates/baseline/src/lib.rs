@@ -44,9 +44,9 @@ pub use xsoap::XSoapLike;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bsoap_convert::ScalarKind;
     use bsoap_core::value::mio;
     use bsoap_core::{EngineConfig, MessageTemplate, OpDesc, TypeDesc, Value};
-    use bsoap_convert::ScalarKind;
     use bsoap_xml::strip_pad;
 
     fn ops_and_args() -> Vec<(OpDesc, Vec<Value>)> {
@@ -58,7 +58,12 @@ mod tests {
                     "arr",
                     TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
                 ),
-                vec![Value::DoubleArray(vec![0.25, -1.5, 3e300, f64::MIN_POSITIVE])],
+                vec![Value::DoubleArray(vec![
+                    0.25,
+                    -1.5,
+                    3e300,
+                    f64::MIN_POSITIVE,
+                ])],
             ),
             (
                 OpDesc::single(

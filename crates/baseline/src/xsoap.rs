@@ -9,9 +9,9 @@
 //! *is* the architectural difference Figures 1–3 measure (XSOAP sits a
 //! constant factor above the C-style serializers at every message size).
 
+use bsoap_convert::ScalarKind;
 use bsoap_core::soap;
 use bsoap_core::{EngineError, OpDesc, TypeDesc, Value};
-use bsoap_convert::ScalarKind;
 use std::io::Write;
 
 /// One element of the DOM built per send.
@@ -124,17 +124,24 @@ impl XSoapLike {
             .attr("xmlns:xsi", bsoap_xml::name::uris::XSI.to_owned())
             .attr("xmlns:xsd", bsoap_xml::name::uris::XSD.to_owned())
             .attr("xmlns:ns1", op.namespace.clone())
-            .attr("SOAP-ENV:encodingStyle", bsoap_xml::name::uris::SOAP_ENC.to_owned());
-        let mut body = Node::elem("SOAP-ENV:Body").with_open_newline().with_newline();
-        let mut call =
-            Node::elem(&format!("ns1:{}", op.name)).with_open_newline().with_newline();
+            .attr(
+                "SOAP-ENV:encodingStyle",
+                bsoap_xml::name::uris::SOAP_ENC.to_owned(),
+            );
+        let mut body = Node::elem("SOAP-ENV:Body")
+            .with_open_newline()
+            .with_newline();
+        let mut call = Node::elem(&format!("ns1:{}", op.name))
+            .with_open_newline()
+            .with_newline();
         for (param, arg) in op.params.iter().zip(args) {
             match &param.desc {
                 TypeDesc::Array { item } => {
                     call.children.push(array_node(&param.name, item, arg)?);
                 }
                 desc => {
-                    call.children.push(plain_node(&param.name, desc, arg)?.with_newline());
+                    call.children
+                        .push(plain_node(&param.name, desc, arg)?.with_newline());
                 }
             }
         }
@@ -217,7 +224,10 @@ fn array_node(name: &str, item: &TypeDesc, value: &Value) -> Result<Node, Engine
     })?;
     let mut arr = Node::elem(name)
         .attr("xsi:type", "SOAP-ENC:Array".to_owned())
-        .attr("SOAP-ENC:arrayType", format!("{}[{}]", item.xsi_type(), len))
+        .attr(
+            "SOAP-ENC:arrayType",
+            format!("{}[{}]", item.xsi_type(), len),
+        )
         .with_open_newline()
         .with_newline();
     match value {
@@ -257,8 +267,7 @@ fn array_node(name: &str, item: &TypeDesc, value: &Value) -> Result<Node, Engine
                                 found: elem.variant_name(),
                             });
                         };
-                        let mut n =
-                            Node::elem(soap::ITEM_NAME).attr("xsi:type", item.xsi_type());
+                        let mut n = Node::elem(soap::ITEM_NAME).attr("xsi:type", item.xsi_type());
                         for ((fname, fdesc), fval) in fields.iter().zip(vals) {
                             n.children.push(plain_node(fname, fdesc, fval)?);
                         }
@@ -296,7 +305,9 @@ mod tests {
             "arr",
             TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)),
         );
-        let tree = x.build_tree(&op, &[Value::IntArray(vec![1, 2, 3])]).unwrap();
+        let tree = x
+            .build_tree(&op, &[Value::IntArray(vec![1, 2, 3])])
+            .unwrap();
         assert_eq!(tree.name, "SOAP-ENV:Envelope");
         // envelope + body + call + array + 3 items
         assert_eq!(tree.size(), 7);
@@ -311,7 +322,9 @@ mod tests {
             "arr",
             TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
         );
-        let tree = x.build_tree(&op, &[Value::DoubleArray(vec![0.5, 1.5])]).unwrap();
+        let tree = x
+            .build_tree(&op, &[Value::DoubleArray(vec![0.5, 1.5])])
+            .unwrap();
         let arr = &tree.children[0].children[0].children[0];
         assert_eq!(arr.children[0].text.as_deref(), Some("0.5"));
         assert_eq!(arr.children[1].text.as_deref(), Some("1.5"));

@@ -59,7 +59,11 @@ fn dtoa_fast_vs_exact(c: &mut Criterion) {
 fn itoa_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("itoa");
     let mut buf = [0u8; 20];
-    for &(label, v) in &[("one_digit", 7i32), ("five_digits", 13902), ("eleven_chars", -2_000_000_000)] {
+    for &(label, v) in &[
+        ("one_digit", 7i32),
+        ("five_digits", 13902),
+        ("eleven_chars", -2_000_000_000),
+    ] {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| bsoap_convert::write_i32(&mut buf, std::hint::black_box(v)))
         });

@@ -106,7 +106,10 @@ fn shift_worst(c: &mut Criterion, kind: Kind, fig: u32) {
     for &n in SIZES {
         let min_args = vec![pinned(kind, n, WidthClass::Min)];
         let max_args = vec![pinned(kind, n, WidthClass::Max)];
-        for (label, chunk) in [("32K_chunks", ChunkConfig::k32()), ("8K_chunks", ChunkConfig::k8())] {
+        for (label, chunk) in [
+            ("32K_chunks", ChunkConfig::k32()),
+            ("8K_chunks", ChunkConfig::k8()),
+        ] {
             let config = EngineConfig::paper_default().with_chunk(chunk);
             let mut sink = SinkTransport::new();
             group.bench_function(BenchmarkId::new(label, n), |b| {
@@ -194,7 +197,10 @@ fn stuffing(c: &mut Criterion, kind: Kind, fig: u32) {
             });
         }
         for (label, config) in [
-            ("max_width_no_shift", EngineConfig::paper_default().with_width(WidthPolicy::Max)),
+            (
+                "max_width_no_shift",
+                EngineConfig::paper_default().with_width(WidthPolicy::Max),
+            ),
             (
                 "intermediate_width_no_shift",
                 EngineConfig::paper_default().with_width(WidthPolicy::Fixed {
@@ -261,7 +267,9 @@ fn ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_conversion_share");
     for &n in SIZES {
         let args = vec![values(Kind::Doubles, n)];
-        let bsoap_core::Value::DoubleArray(xs) = &args[0] else { unreachable!() };
+        let bsoap_core::Value::DoubleArray(xs) = &args[0] else {
+            unreachable!()
+        };
         let mut buf = [0u8; bsoap_convert::DOUBLE_MAX_WIDTH];
         group.bench_function(BenchmarkId::new("convert_only", n), |b| {
             b.iter(|| {

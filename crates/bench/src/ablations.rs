@@ -33,7 +33,11 @@ pub fn ablation_chunk_size(kind: Kind, sizes: &[usize], reps: usize) -> Table {
         let max_args = vec![pinned(kind, n, WidthClass::Max)];
         let mut cells = Vec::new();
         for &(cs, _) in chunk_sizes {
-            let chunk = ChunkConfig { initial_size: cs, split_threshold: cs * 2, reserve: cs / 16 };
+            let chunk = ChunkConfig {
+                initial_size: cs,
+                split_threshold: cs * 2,
+                reserve: cs / 16,
+            };
             let config = EngineConfig::paper_default().with_chunk(chunk);
             let mut sink = SinkTransport::new();
             let t = measure_batched(
@@ -74,7 +78,9 @@ pub fn ablation_stealing(sizes: &[usize], reps: usize) -> Table {
     for &n in sizes {
         let min_args = vec![pinned(kind, n, WidthClass::Min)];
         let grown = {
-            let Value::DoubleArray(v) = &min_args[0] else { unreachable!() };
+            let Value::DoubleArray(v) = &min_args[0] else {
+                unreachable!()
+            };
             let mut v = v.clone();
             for x in v.iter_mut().step_by(2) {
                 *x = crate::workload::DOUBLE_MAX_W;
@@ -84,7 +90,11 @@ pub fn ablation_stealing(sizes: &[usize], reps: usize) -> Table {
         let mut cells = Vec::new();
         for steal in [true, false] {
             let config = EngineConfig::paper_default()
-                .with_width(WidthPolicy::Fixed { double: 18, int: 9, long: 20 })
+                .with_width(WidthPolicy::Fixed {
+                    double: 18,
+                    int: 9,
+                    long: 20,
+                })
                 .with_steal(steal);
             let mut sink = SinkTransport::new();
             let mut steals_seen = 0usize;
@@ -126,14 +136,23 @@ pub fn ablation_stealing(sizes: &[usize], reps: usize) -> Table {
 pub fn ablation_reserve(sizes: &[usize], reps: usize) -> Table {
     let kind = Kind::Doubles;
     let op = kind.op();
-    let reserves: &[(usize, &str)] = &[(0, "reserve 0"), (512, "reserve 512"), (4096, "reserve 4K"), (16384, "reserve 16K")];
+    let reserves: &[(usize, &str)] = &[
+        (0, "reserve 0"),
+        (512, "reserve 512"),
+        (4096, "reserve 4K"),
+        (16384, "reserve 16K"),
+    ];
     let mut rows = Vec::new();
     for &n in sizes {
         let mid_args = vec![pinned(kind, n, WidthClass::Mid)];
         let max_args = vec![pinned(kind, n, WidthClass::Max)];
         let mut cells = Vec::new();
         for &(reserve, _) in reserves {
-            let chunk = ChunkConfig { initial_size: 32 * 1024, split_threshold: 64 * 1024, reserve };
+            let chunk = ChunkConfig {
+                initial_size: 32 * 1024,
+                split_threshold: 64 * 1024,
+                reserve,
+            };
             let config = EngineConfig::paper_default().with_chunk(chunk);
             let mut sink = SinkTransport::new();
             let t = measure_batched(
@@ -381,8 +400,8 @@ pub fn ablation_http_framing(sizes: &[usize], reps: usize) -> Table {
 /// request and full-serializes every response.
 pub fn ablation_server_dispatch(sizes: &[usize], reps: usize) -> Table {
     use bsoap_baseline::GSoapLike;
-    use bsoap_core::{OpDesc, ParamDesc, TypeDesc, Value};
     use bsoap_convert::ScalarKind;
+    use bsoap_core::{OpDesc, ParamDesc, TypeDesc, Value};
     use bsoap_server::Service;
 
     let op = || {
@@ -405,7 +424,9 @@ pub fn ablation_server_dispatch(sizes: &[usize], reps: usize) -> Table {
     let mut rows = Vec::new();
     for &n in sizes {
         let handler = move |args: &[Value]| -> Result<Vec<Value>, String> {
-            let Value::Int(k) = args[0] else { return Err("type".into()) };
+            let Value::Int(k) = args[0] else {
+                return Err("type".into());
+            };
             // Result pages share almost all content across queries (the
             // §3.4 observation: "only the values stored in the XML Schema
             // instance change" — and between popular queries, few do):
@@ -425,13 +446,9 @@ pub fn ablation_server_dispatch(sizes: &[usize], reps: usize) -> Table {
         // Pre-serialized request stream (4 hot keys, repeated).
         let requests: Vec<Vec<u8>> = (0..8)
             .map(|k| {
-                MessageTemplate::build(
-                    EngineConfig::paper_default(),
-                    &op(),
-                    &[Value::Int(k % 4)],
-                )
-                .unwrap()
-                .to_bytes()
+                MessageTemplate::build(EngineConfig::paper_default(), &op(), &[Value::Int(k % 4)])
+                    .unwrap()
+                    .to_bytes()
             })
             .collect();
 
@@ -443,7 +460,8 @@ pub fn ablation_server_dispatch(sizes: &[usize], reps: usize) -> Table {
             let mut i = 0usize;
             let t = measure(WARMUP, reps, || {
                 for _ in 0..requests.len() {
-                    svc.dispatch("lookup", &requests[i % requests.len()]).unwrap();
+                    svc.dispatch("lookup", &requests[i % requests.len()])
+                        .unwrap();
                     i += 1;
                 }
             });
@@ -457,8 +475,7 @@ pub fn ablation_server_dispatch(sizes: &[usize], reps: usize) -> Table {
             let mut i = 0usize;
             let t = measure(WARMUP, reps, || {
                 for _ in 0..requests.len() {
-                    let args =
-                        parse_envelope(&requests[i % requests.len()], &req_op).unwrap();
+                    let args = parse_envelope(&requests[i % requests.len()], &req_op).unwrap();
                     let result = handler(&args).unwrap();
                     let bytes = g.serialize(&resp_op, &result).unwrap();
                     std::hint::black_box(bytes.len());

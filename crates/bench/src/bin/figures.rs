@@ -12,11 +12,11 @@ use bsoap_bench::ablations::{
     ablation_chunk_size, ablation_diff_deser, ablation_growth_policy, ablation_http_framing,
     ablation_pipelined, ablation_reserve, ablation_server_dispatch, ablation_stealing,
 };
-use bsoap_bench::scenarios::{
-    fig_ablation, fig_content_match, fig_kernel_parallel, fig_overlay, fig_psm,
-    fig_shift_partial, fig_shift_worst, fig_stuffing, Table,
-};
 use bsoap_bench::plot::render_loglog;
+use bsoap_bench::scenarios::{
+    fig_ablation, fig_content_match, fig_kernel_parallel, fig_overlay, fig_psm, fig_shift_partial,
+    fig_shift_worst, fig_stuffing, Table,
+};
 use bsoap_bench::workload::{Kind, PAPER_SIZES, QUICK_SIZES};
 
 struct Opts {
@@ -76,14 +76,24 @@ fn parse_args() -> Result<Opts, String> {
     }
     figs.sort_unstable();
     figs.dedup();
-    Ok(Opts { figs, reps, sizes, csv, plot })
+    Ok(Opts {
+        figs,
+        reps,
+        sizes,
+        csv,
+        plot,
+    })
 }
 
 fn run_figure(fig: u32, sizes: &[usize], reps: usize) -> Option<Table> {
     // The linear-axis figures (4, 5, 12) only show their shape at larger
     // sizes; drop the tiny points the paper also omits there.
     let linear: Vec<usize> = sizes.iter().copied().filter(|&n| n >= 100).collect();
-    let linear = if linear.is_empty() { sizes.to_vec() } else { linear };
+    let linear = if linear.is_empty() {
+        sizes.to_vec()
+    } else {
+        linear
+    };
     Some(match fig {
         0 => fig_ablation(sizes, reps),
         1 => fig_content_match(Kind::Mios, sizes, reps),

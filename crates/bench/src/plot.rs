@@ -83,7 +83,14 @@ pub fn render_loglog(table: &Table, width: usize, height: usize) -> String {
         let _ = writeln!(out, "{label:>9} |{}", row.iter().collect::<String>());
     }
     let _ = writeln!(out, "{:>9} +{}", "ms", "-".repeat(width));
-    let _ = writeln!(out, "{:>10}{:<w$}{:>8}  (n, log scale)", "", format!("{x_min}"), format!("{x_max}"), w = width - 7);
+    let _ = writeln!(
+        out,
+        "{:>10}{:<w$}{:>8}  (n, log scale)",
+        "",
+        format!("{x_min}"),
+        format!("{x_max}"),
+        w = width - 7
+    );
     for (s, name) in table.series.iter().enumerate() {
         let _ = writeln!(out, "{:>11} {}", GLYPHS[s % GLYPHS.len()], name);
     }
@@ -129,7 +136,12 @@ mod tests {
 
     #[test]
     fn empty_table_degrades_gracefully() {
-        let t = Table { id: "X".into(), title: "t".into(), series: vec!["a".into()], rows: vec![] };
+        let t = Table {
+            id: "X".into(),
+            title: "t".into(),
+            series: vec!["a".into()],
+            rows: vec![],
+        };
         let plot = render_loglog(&t, 40, 10);
         assert!(plot.contains("no plottable points"));
     }

@@ -9,8 +9,8 @@
 use crate::timing::{measure, measure_batched, Timing};
 use crate::workload::{grow_fraction, pinned, values, Kind, WidthClass};
 use bsoap_baseline::{GSoapLike, XSoapLike};
-use bsoap_core::{EngineConfig, MessageTemplate, Value, WidthPolicy};
 use bsoap_chunks::ChunkConfig;
+use bsoap_core::{EngineConfig, MessageTemplate, Value, WidthPolicy};
 use bsoap_transport::SinkTransport;
 
 /// A regenerated figure: per-size rows of per-series mean milliseconds.
@@ -105,7 +105,11 @@ pub fn fig_content_match(kind: Kind, sizes: &[usize], reps: usize) -> Table {
     if include_xsoap {
         series.push("XSOAP-like".to_owned());
     }
-    series.extend(["gSOAP-like".to_owned(), "bSOAP full serialization".to_owned(), "bSOAP content match".to_owned()]);
+    series.extend([
+        "gSOAP-like".to_owned(),
+        "bSOAP full serialization".to_owned(),
+        "bSOAP content match".to_owned(),
+    ]);
 
     let mut rows = Vec::new();
     for &n in sizes {
@@ -448,8 +452,12 @@ pub fn fig_kernel_parallel(kind: Kind, sizes: &[usize], reps: usize) -> Table {
     let configs = [
         EngineConfig::paper_default(),
         EngineConfig::paper_default().with_float(FloatFormatter::Fast),
-        EngineConfig::paper_default().with_float(FloatFormatter::Fast).with_parallel_workers(2),
-        EngineConfig::paper_default().with_float(FloatFormatter::Fast).with_parallel_workers(4),
+        EngineConfig::paper_default()
+            .with_float(FloatFormatter::Fast)
+            .with_parallel_workers(2),
+        EngineConfig::paper_default()
+            .with_float(FloatFormatter::Fast)
+            .with_parallel_workers(4),
     ];
     let mut rows = Vec::new();
     for &n in sizes {
@@ -493,7 +501,9 @@ pub fn fig_ablation(sizes: &[usize], reps: usize) -> Table {
     ];
     let mut rows = Vec::new();
     for &n in sizes {
-        let Value::DoubleArray(xs) = values(Kind::Doubles, n) else { unreachable!() };
+        let Value::DoubleArray(xs) = values(Kind::Doubles, n) else {
+            unreachable!()
+        };
         let args = vec![Value::DoubleArray(xs.clone())];
         let mut cells = Vec::new();
         {
@@ -575,7 +585,10 @@ mod tests {
         // Series: XSOAP, gSOAP, bSOAP full, bSOAP content.
         let (xsoap, gsoap, full, content) = (row[0], row[1], row[2], row[3]);
         assert!(content < full, "content {content} !< full {full}");
-        assert!(content * 2.0 < gsoap, "expected ≥2x over gSOAP-like, got {gsoap}/{content}");
+        assert!(
+            content * 2.0 < gsoap,
+            "expected ≥2x over gSOAP-like, got {gsoap}/{content}"
+        );
         assert!(gsoap < xsoap, "DOM serializer should be slowest");
     }
 
@@ -585,8 +598,23 @@ mod tests {
         let row = &t.rows[0].1;
         // full ≥ 100% ≥ 75% ≥ 50% ≥ 25% ≥ content, with slack for noise.
         let slack = 1.35;
-        assert!(row[1] <= row[0] * slack, "100% {} vs full {}", row[1], row[0]);
-        assert!(row[4] <= row[1] * slack, "25% {} vs 100% {}", row[4], row[1]);
-        assert!(row[5] <= row[4] * slack, "content {} vs 25% {}", row[5], row[4]);
+        assert!(
+            row[1] <= row[0] * slack,
+            "100% {} vs full {}",
+            row[1],
+            row[0]
+        );
+        assert!(
+            row[4] <= row[1] * slack,
+            "25% {} vs 100% {}",
+            row[4],
+            row[1]
+        );
+        assert!(
+            row[5] <= row[4] * slack,
+            "content {} vs 25% {}",
+            row[5],
+            row[4]
+        );
     }
 }

@@ -45,7 +45,12 @@ pub fn measure(warmup: usize, reps: usize, mut timed: impl FnMut()) -> Timing {
         min = min.min(d);
         max = max.max(d);
     }
-    Timing { mean: total / reps as u32, min, max, reps }
+    Timing {
+        mean: total / reps as u32,
+        min,
+        max,
+        reps,
+    }
 }
 
 /// Time `reps` runs of `timed`, with an untimed `setup` before every run
@@ -73,7 +78,12 @@ pub fn measure_batched<S>(
         min = min.min(d);
         max = max.max(d);
     }
-    Timing { mean: total / reps as u32, min, max, reps }
+    Timing {
+        mean: total / reps as u32,
+        min,
+        max,
+        reps,
+    }
 }
 
 #[cfg(test)]

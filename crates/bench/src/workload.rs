@@ -8,8 +8,8 @@
 //! double, 46-char MIO). The constants here are width-pinned and verified
 //! by unit tests against the conversion layer.
 
-use bsoap_core::{value::mio, OpDesc, TypeDesc, Value};
 use bsoap_convert::ScalarKind;
+use bsoap_core::{value::mio, OpDesc, TypeDesc, Value};
 
 /// The paper's message-size sweep (§4.1).
 pub const PAPER_SIZES: &[usize] = &[1, 100, 500, 1_000, 10_000, 50_000, 100_000];
@@ -120,9 +120,15 @@ pub fn mio_max_w() -> Value {
 /// "Realistic" array values: varied magnitudes, deterministic.
 pub fn values(kind: Kind, n: usize) -> Value {
     match kind {
-        Kind::Ints => Value::IntArray((0..n).map(|i| (i as i32).wrapping_mul(2_654_435_761u32 as i32)).collect()),
+        Kind::Ints => Value::IntArray(
+            (0..n)
+                .map(|i| (i as i32).wrapping_mul(2_654_435_761u32 as i32))
+                .collect(),
+        ),
         Kind::Doubles => Value::DoubleArray(
-            (0..n).map(|i| (i as f64 + 0.5) * 1.001f64.powi((i % 600) as i32 - 300)).collect(),
+            (0..n)
+                .map(|i| (i as f64 + 0.5) * 1.001f64.powi((i % 600) as i32 - 300))
+                .collect(),
         ),
         Kind::Mios => Value::Array(
             (0..n)
@@ -260,18 +266,25 @@ mod tests {
 
     #[test]
     fn values_are_finite_and_varied() {
-        let Value::DoubleArray(v) = values(Kind::Doubles, 1000) else { panic!() };
+        let Value::DoubleArray(v) = values(Kind::Doubles, 1000) else {
+            panic!()
+        };
         assert!(v.iter().all(|x| x.is_finite()));
         let lens: std::collections::HashSet<usize> =
             v.iter().map(|x| format_f64(*x).len()).collect();
-        assert!(lens.len() > 3, "workload should span several serialized widths");
+        assert!(
+            lens.len() > 3,
+            "workload should span several serialized widths"
+        );
     }
 
     #[test]
     fn grow_fraction_touches_prefix_only() {
         let base = pinned(Kind::Doubles, 100, WidthClass::Mid);
         let grown = grow_fraction(Kind::Doubles, &base, 25, WidthClass::Max);
-        let Value::DoubleArray(v) = grown else { panic!() };
+        let Value::DoubleArray(v) = grown else {
+            panic!()
+        };
         assert!(v[..25].iter().all(|&x| x == DOUBLE_MAX_W));
         assert!(v[25..].iter().all(|&x| x == DOUBLE_MID_W));
     }

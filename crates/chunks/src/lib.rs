@@ -32,7 +32,10 @@ mod tests {
     fn reexports_compile() {
         let store = ChunkStore::new(ChunkConfig::default());
         assert_eq!(store.total_len(), 0);
-        let _ = Loc { chunk: 0, offset: 0 };
+        let _ = Loc {
+            chunk: 0,
+            offset: 0,
+        };
         let _ = Chunk::with_capacity(16);
     }
 }

@@ -21,12 +21,20 @@ impl ChunkConfig {
     /// The paper's common configuration: 32 KiB chunks (§4.3 tests both
     /// 8 KiB and 32 KiB; 32 KiB matches the socket send-buffer size used).
     pub fn k32() -> Self {
-        ChunkConfig { initial_size: 32 * 1024, split_threshold: 64 * 1024, reserve: 512 }
+        ChunkConfig {
+            initial_size: 32 * 1024,
+            split_threshold: 64 * 1024,
+            reserve: 512,
+        }
     }
 
     /// The paper's 8 KiB chunk configuration.
     pub fn k8() -> Self {
-        ChunkConfig { initial_size: 8 * 1024, split_threshold: 16 * 1024, reserve: 512 }
+        ChunkConfig {
+            initial_size: 8 * 1024,
+            split_threshold: 16 * 1024,
+            reserve: 512,
+        }
     }
 
     /// Usable bytes of a default chunk during sequential building.
@@ -57,7 +65,10 @@ pub struct Loc {
 impl Loc {
     /// Construct a location.
     pub fn new(chunk: usize, offset: usize) -> Self {
-        Loc { chunk: chunk as u32, offset: offset as u32 }
+        Loc {
+            chunk: chunk as u32,
+            offset: offset as u32,
+        }
     }
 }
 
@@ -70,7 +81,9 @@ pub struct Chunk {
 impl Chunk {
     /// New empty chunk with the given capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Chunk { buf: Vec::with_capacity(cap) }
+        Chunk {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// The used bytes.
@@ -110,7 +123,11 @@ pub struct ChunkStore {
 impl ChunkStore {
     /// New empty store.
     pub fn new(config: ChunkConfig) -> Self {
-        ChunkStore { chunks: Vec::new(), config, total_len: 0 }
+        ChunkStore {
+            chunks: Vec::new(),
+            config,
+            total_len: 0,
+        }
     }
 
     /// The configuration in effect.
@@ -146,7 +163,10 @@ impl ChunkStore {
     /// these views, which is exactly the invariant that keeps concurrent
     /// in-width rewrites byte-equivalent to sequential ones.
     pub fn chunk_bufs_mut(&mut self) -> Vec<&mut [u8]> {
-        self.chunks.iter_mut().map(|c| c.buf.as_mut_slice()).collect()
+        self.chunks
+            .iter_mut()
+            .map(|c| c.buf.as_mut_slice())
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -166,7 +186,10 @@ impl ChunkStore {
             Some(last) => last.len() + bytes.len() > fill_limit.max(last.len()),
         };
         if need_new {
-            let cap = self.config.initial_size.max(bytes.len() + self.config.reserve);
+            let cap = self
+                .config
+                .initial_size
+                .max(bytes.len() + self.config.reserve);
             self.chunks.push(Chunk::with_capacity(cap));
         }
         let idx = self.chunks.len() - 1;
@@ -181,7 +204,8 @@ impl ChunkStore {
     /// align structural boundaries, e.g. the start of an overlaid array).
     pub fn break_chunk(&mut self) {
         if self.chunks.last().is_some_and(|c| !c.is_empty()) {
-            self.chunks.push(Chunk::with_capacity(self.config.initial_size));
+            self.chunks
+                .push(Chunk::with_capacity(self.config.initial_size));
         }
     }
 
@@ -222,7 +246,9 @@ impl ChunkStore {
             return false;
         }
         // Grow to the next power-of-two-ish step bounded by the threshold.
-        let target = needed.max(chunk.capacity() * 2).min(self.config.split_threshold);
+        let target = needed
+            .max(chunk.capacity() * 2)
+            .min(self.config.split_threshold);
         chunk.buf.reserve_exact(target - chunk.len());
         true
     }
@@ -275,7 +301,10 @@ impl ChunkStore {
             return;
         }
         let chunk = &mut self.chunks[idx];
-        assert!(end + delta <= chunk.len(), "move_range_right past chunk end");
+        assert!(
+            end + delta <= chunk.len(),
+            "move_range_right past chunk end"
+        );
         chunk.buf.copy_within(start..end, start + delta);
     }
 
@@ -310,9 +339,8 @@ impl ChunkStore {
             assert!(at <= chunk.len(), "split point out of range");
             chunk.buf.split_off(at)
         };
-        let mut new_chunk = Chunk::with_capacity(
-            (tail.len() + self.config.reserve).max(self.config.initial_size),
-        );
+        let mut new_chunk =
+            Chunk::with_capacity((tail.len() + self.config.reserve).max(self.config.initial_size));
         new_chunk.buf.extend_from_slice(&tail);
         self.chunks.insert(idx + 1, new_chunk);
     }
@@ -370,7 +398,11 @@ mod tests {
     use super::*;
 
     fn small_config() -> ChunkConfig {
-        ChunkConfig { initial_size: 64, split_threshold: 128, reserve: 8 }
+        ChunkConfig {
+            initial_size: 64,
+            split_threshold: 128,
+            reserve: 8,
+        }
     }
 
     #[test]

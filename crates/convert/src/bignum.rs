@@ -182,8 +182,14 @@ mod tests {
     fn small_values_to_decimal() {
         assert_eq!(digits_string(BigUint::from_u64(1)), "1");
         assert_eq!(digits_string(BigUint::from_u64(42)), "42");
-        assert_eq!(digits_string(BigUint::from_u64(u64::MAX)), "18446744073709551615");
-        assert_eq!(digits_string(BigUint::from_u64(1_000_000_000)), "1000000000");
+        assert_eq!(
+            digits_string(BigUint::from_u64(u64::MAX)),
+            "18446744073709551615"
+        );
+        assert_eq!(
+            digits_string(BigUint::from_u64(1_000_000_000)),
+            "1000000000"
+        );
         assert_eq!(
             digits_string(BigUint::from_u64(1_000_000_001)),
             "1000000001"
@@ -261,6 +267,10 @@ mod tests {
         b.mul_pow5(1074);
         let digits = b.to_decimal_digits();
         // 5^1074 has 751 digits; times ~9e15 gives 766-767 digits.
-        assert!(digits.len() >= 760 && digits.len() <= 770, "{}", digits.len());
+        assert!(
+            digits.len() >= 760 && digits.len() <= 770,
+            "{}",
+            digits.len()
+        );
     }
 }

@@ -108,7 +108,10 @@ pub fn format_f64(v: f64) -> String {
 /// craft values of specific serialized lengths (the paper's intermediate
 /// field-width experiments).
 pub fn shortest_digits(v: f64) -> (bool, Vec<u8>, i32) {
-    assert!(v.is_finite() && v != 0.0, "shortest_digits needs finite non-zero input");
+    assert!(
+        v.is_finite() && v != 0.0,
+        "shortest_digits needs finite non-zero input"
+    );
     let (digits, k) = shortest_digits_abs(v.abs());
     (v < 0.0, digits, k)
 }
@@ -177,7 +180,10 @@ fn round_shortest(pos: f64, exact: Vec<u8>, k: i32) -> (Vec<u8>, i32) {
             return best;
         }
         p += 1;
-        assert!(p <= 17, "no 17-digit rounding round-trips {pos:?} — impossible for IEEE-754");
+        assert!(
+            p <= 17,
+            "no 17-digit rounding round-trips {pos:?} — impossible for IEEE-754"
+        );
     }
 }
 
@@ -197,7 +203,9 @@ fn best_at_precision(pos: f64, exact: &[u8], k: i32, p: usize) -> Option<(Vec<u8
     if reparses_to(pos, &digits, kk) {
         return Some((digits, kk));
     }
-    ulp_neighbors(&digits, kk, p).into_iter().find(|(d, nk)| reparses_to(pos, d, *nk))
+    ulp_neighbors(&digits, kk, p)
+        .into_iter()
+        .find(|(d, nk)| reparses_to(pos, d, *nk))
 }
 
 /// The decimals one unit-in-the-last-place (at `p` significant digits)
@@ -420,7 +428,7 @@ mod tests {
             f64::MIN,
             f64::MIN_POSITIVE,
             -f64::MIN_POSITIVE,
-            5e-324,          // smallest subnormal
+            5e-324, // smallest subnormal
             -5e-324,
             2.225_073_858_507_201e-308, // largest subnormal
             1.7976931348623157e308,
@@ -456,7 +464,9 @@ mod tests {
         let mut found_24 = false;
         let mut state = 0x9E3779B97F4A7C15u64;
         for _ in 0..5000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Force sign bit on, pick exponent field in the subnormal/small
             // normal range so the decimal exponent has three digits.
             let bits = (state & 0x000F_FFFF_FFFF_FFFF) | (1u64 << 63) | (0x010u64 << 52);
@@ -467,7 +477,10 @@ mod tests {
                 found_24 = true;
             }
         }
-        assert!(found_24, "no 24-char double found in sample — width bound untested");
+        assert!(
+            found_24,
+            "no 24-char double found in sample — width bound untested"
+        );
     }
 
     #[test]
@@ -476,7 +489,9 @@ mod tests {
         let mut state = 0x243F6A8885A308D3u64;
         let mut tested = 0;
         while tested < 2000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = f64::from_bits(state);
             if v.is_finite() {
                 roundtrip(v);

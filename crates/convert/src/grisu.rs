@@ -121,7 +121,10 @@ impl DiyFp {
     fn mul(self, rhs: DiyFp) -> DiyFp {
         let p = self.f as u128 * rhs.f as u128;
         let f = ((p >> 64) as u64) + (((p >> 63) & 1) as u64);
-        DiyFp { f, e: self.e + rhs.e + 64 }
+        DiyFp {
+            f,
+            e: self.e + rhs.e + 64,
+        }
     }
 }
 
@@ -130,7 +133,10 @@ impl DiyFp {
 fn normalize(m: u64, e: i32) -> DiyFp {
     debug_assert!(m != 0);
     let shift = m.leading_zeros() as i32;
-    DiyFp { f: m << shift, e: e - shift }
+    DiyFp {
+        f: m << shift,
+        e: e - shift,
+    }
 }
 
 /// The rounding boundaries of `v = m × 2^e`, both normalized to the same
@@ -140,15 +146,24 @@ fn normalize(m: u64, e: i32) -> DiyFp {
 /// below has half the spacing) — except at the smallest exponent, where
 /// subnormal spacing continues unchanged.
 fn normalized_boundaries(m: u64, e: i32) -> (DiyFp, DiyFp) {
-    let plus_raw = DiyFp { f: (m << 1) + 1, e: e - 1 };
+    let plus_raw = DiyFp {
+        f: (m << 1) + 1,
+        e: e - 1,
+    };
     let shift = plus_raw.f.leading_zeros() as i32;
-    let plus = DiyFp { f: plus_raw.f << shift, e: plus_raw.e - shift };
+    let plus = DiyFp {
+        f: plus_raw.f << shift,
+        e: plus_raw.e - shift,
+    };
     let (mf, me) = if m == (1u64 << 52) && e > -1074 {
         ((m << 2) - 1, e - 2)
     } else {
         ((m << 1) - 1, e - 1)
     };
-    let minus = DiyFp { f: mf << (me - plus.e), e: plus.e };
+    let minus = DiyFp {
+        f: mf << (me - plus.e),
+        e: plus.e,
+    };
     (minus, plus)
 }
 
@@ -210,11 +225,19 @@ fn compute_pow10(k: i32) -> CachedPow {
         if m <= 64 {
             // Small powers are exactly representable: shift into place.
             let v = d.iter().rev().fold(0u64, |acc, &l| (acc << 63) << 1 | l);
-            CachedPow { f: v << (64 - m), e: m as i32 - 64, k }
+            CachedPow {
+                f: v << (64 - m),
+                e: m as i32 - 64,
+                k,
+            }
         } else {
             let (top65, sticky) = top_bits_65(&d, m);
             let (f, carry) = round_65_to_64(top65, sticky);
-            CachedPow { f, e: m as i32 - 64 + carry, k }
+            CachedPow {
+                f,
+                e: m as i32 - 64 + carry,
+                k,
+            }
         }
     } else {
         // 10^k = 2^(m+63) / 10^|k| × 2^-(m+63) with 2^(m-1) ≤ 10^|k| < 2^m,
@@ -223,7 +246,11 @@ fn compute_pow10(k: i32) -> CachedPow {
         let m = bit_len(&d);
         let (q, rem_nonzero) = div_pow2_by(&d, m as u32 + 64);
         let (f, carry) = round_65_to_64(q, rem_nonzero);
-        CachedPow { f, e: -(m as i32 + 63) + carry, k }
+        CachedPow {
+            f,
+            e: -(m as i32 + 63) + carry,
+            k,
+        }
     }
 }
 
@@ -369,8 +396,18 @@ fn grisu3_shortest(pos: f64, out: &mut [u8; 20]) -> Option<(usize, i32)> {
 /// Largest `(10^x, x)` with `10^x ≤ n` (`n ≥ 1`).
 fn biggest_pow10(n: u32) -> (u32, i32) {
     debug_assert!(n >= 1);
-    const POW10: [u32; 10] =
-        [1, 10, 100, 1000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000];
+    const POW10: [u32; 10] = [
+        1,
+        10,
+        100,
+        1000,
+        10_000,
+        100_000,
+        1_000_000,
+        10_000_000,
+        100_000_000,
+        1_000_000_000,
+    ];
     let mut x = 9;
     while POW10[x] > n {
         x -= 1;
@@ -444,7 +481,14 @@ fn digit_gen(low: DiyFp, w: DiyFp, high: DiyFp, buf: &mut [u8; 20]) -> Option<(u
         kappa -= 1;
         if fractionals < unsafe_f {
             // `wp_w_f * unit ≤ unsafe_f < 2^64`: no overflow.
-            let ok = round_weed(&mut buf[..len], wp_w_f * unit, unsafe_f, fractionals, one_f, unit);
+            let ok = round_weed(
+                &mut buf[..len],
+                wp_w_f * unit,
+                unsafe_f,
+                fractionals,
+                one_f,
+                unit,
+            );
             return ok.then_some((len, kappa));
         }
     }
@@ -576,7 +620,9 @@ mod tests {
         let mut state = 0x5DEECE66Du64;
         let mut tested = 0;
         while tested < 20_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = f64::from_bits(state);
             if v.is_finite() {
                 assert_eq!(

@@ -237,7 +237,10 @@ mod tests {
         assert!(parse_f64(b"1e").is_err());
         assert!(parse_f64(b"1.2.3").is_err());
         assert!(parse_f64(b"abc").is_err());
-        assert!(parse_f64(b"inf").is_err(), "xsd:double requires uppercase INF");
+        assert!(
+            parse_f64(b"inf").is_err(),
+            "xsd:double requires uppercase INF"
+        );
     }
 
     #[test]

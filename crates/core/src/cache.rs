@@ -38,7 +38,10 @@ pub struct TemplateKey {
 impl TemplateKey {
     /// Build the key for an operation on an endpoint.
     pub fn new(endpoint: &str, op: &OpDesc) -> Self {
-        TemplateKey { endpoint: endpoint.to_owned(), signature: op.signature() }
+        TemplateKey {
+            endpoint: endpoint.to_owned(),
+            signature: op.signature(),
+        }
     }
 }
 
@@ -216,7 +219,12 @@ mod tests {
     }
 
     fn arr_op() -> OpDesc {
-        OpDesc::single("f", "urn:t", "a", TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)))
+        OpDesc::single(
+            "f",
+            "urn:t",
+            "a",
+            TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+        )
     }
 
     fn arr_tpl(n: usize) -> MessageTemplate {
@@ -244,7 +252,8 @@ mod tests {
         let o = op("f");
         let key = TemplateKey::new("ep", &o);
         assert!(!cache.contains(&key));
-        let t = MessageTemplate::build(EngineConfig::paper_default(), &o, &[Value::Int(7)]).unwrap();
+        let t =
+            MessageTemplate::build(EngineConfig::paper_default(), &o, &[Value::Int(7)]).unwrap();
         let bytes = t.message_len();
         cache.insert(key.clone(), t);
         assert_eq!(cache.len(), 1);
@@ -262,8 +271,7 @@ mod tests {
         assert_eq!(set.len(), 2);
         set.insert(arr_tpl(9), 2); // evicts the n=1 template
         assert_eq!(set.len(), 2);
-        let lens: Vec<usize> =
-            set.templates.iter().map(|t| t.array_len(0)).collect();
+        let lens: Vec<usize> = set.templates.iter().map(|t| t.array_len(0)).collect();
         assert_eq!(lens, vec![9, 5]);
     }
 
@@ -273,10 +281,14 @@ mod tests {
         set.insert(arr_tpl(10), 3);
         set.insert(arr_tpl(100), 3);
         set.insert(arr_tpl(1000), 3);
-        let (idx, dist) = set.best_match(&[Value::DoubleArray(vec![0.5; 100])]).unwrap();
+        let (idx, dist) = set
+            .best_match(&[Value::DoubleArray(vec![0.5; 100])])
+            .unwrap();
         assert_eq!(dist, 0);
         assert_eq!(set.templates[idx].array_len(0), 100);
-        let (idx, dist) = set.best_match(&[Value::DoubleArray(vec![0.5; 90])]).unwrap();
+        let (idx, dist) = set
+            .best_match(&[Value::DoubleArray(vec![0.5; 90])])
+            .unwrap();
         assert_eq!(dist, 10);
         assert_eq!(set.templates[idx].array_len(0), 100);
     }

@@ -228,7 +228,8 @@ impl Client {
         let key = TemplateKey::new(endpoint, op);
         if !self.cache.contains(&key) {
             let tpl = MessageTemplate::build(self.config, op, args)?;
-            self.cache.insert_with_cap(key.clone(), tpl, self.templates_per_key);
+            self.cache
+                .insert_with_cap(key.clone(), tpl, self.templates_per_key);
         }
         Ok(self.cache.get_mut(&key).expect("just inserted"))
     }

@@ -99,7 +99,10 @@ impl EngineConfig {
 
     /// Configuration with maximum stuffing (the shift-free operating point).
     pub fn stuffed_max() -> Self {
-        EngineConfig { width: WidthPolicy::Max, ..Self::paper_default() }
+        EngineConfig {
+            width: WidthPolicy::Max,
+            ..Self::paper_default()
+        }
     }
 
     /// Builder-style chunk override.
@@ -167,9 +170,17 @@ mod tests {
 
     #[test]
     fn width_policy_fixed_clamps_up() {
-        let p = WidthPolicy::Fixed { double: 18, int: 6, long: 12 };
+        let p = WidthPolicy::Fixed {
+            double: 18,
+            int: 6,
+            long: 12,
+        };
         assert_eq!(p.initial_width(ScalarKind::Double, 5), 18);
-        assert_eq!(p.initial_width(ScalarKind::Double, 22), 22, "never below ser_len");
+        assert_eq!(
+            p.initial_width(ScalarKind::Double, 22),
+            22,
+            "never below ser_len"
+        );
         assert_eq!(p.initial_width(ScalarKind::Int, 2), 6);
     }
 

@@ -83,7 +83,10 @@ pub struct DutTable {
 impl DutTable {
     /// Empty table with capacity for `n` leaves.
     pub fn with_capacity(n: usize) -> Self {
-        DutTable { entries: Vec::with_capacity(n), dirty_count: 0 }
+        DutTable {
+            entries: Vec::with_capacity(n),
+            dirty_count: 0,
+        }
     }
 
     /// Number of tracked leaves.
@@ -185,7 +188,10 @@ impl DutTable {
 
     /// Remove entries `range` (array contraction), fixing dirty accounting.
     pub(crate) fn remove_range(&mut self, range: std::ops::Range<usize>) {
-        let removed_dirty = self.entries[range.clone()].iter().filter(|e| e.dirty).count();
+        let removed_dirty = self.entries[range.clone()]
+            .iter()
+            .filter(|e| e.dirty)
+            .count();
         self.dirty_count -= removed_dirty;
         self.entries.drain(range);
     }
@@ -201,7 +207,12 @@ impl DutTable {
         let mut dirty = 0;
         let mut prev: Option<&DutEntry> = None;
         for (i, e) in self.entries.iter().enumerate() {
-            assert!(e.width >= e.ser_len, "entry {i}: width {} < ser_len {}", e.width, e.ser_len);
+            assert!(
+                e.width >= e.ser_len,
+                "entry {i}: width {} < ser_len {}",
+                e.width,
+                e.ser_len
+            );
             if e.dirty {
                 dirty += 1;
             }

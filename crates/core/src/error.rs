@@ -55,20 +55,36 @@ pub enum EngineError {
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EngineError::TypeMismatch { at, expected, found } => {
-                write!(f, "type mismatch at {at}: expected {expected}, found {found}")
+            EngineError::TypeMismatch {
+                at,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "type mismatch at {at}: expected {expected}, found {found}"
+                )
             }
             EngineError::BadLeafIndex { index, leaf_count } => {
-                write!(f, "leaf index {index} out of range (template has {leaf_count} leaves)")
+                write!(
+                    f,
+                    "leaf index {index} out of range (template has {leaf_count} leaves)"
+                )
             }
             EngineError::KindMismatch { index, expected } => {
-                write!(f, "leaf {index} update has wrong kind (leaf is {expected:?})")
+                write!(
+                    f,
+                    "leaf {index} update has wrong kind (leaf is {expected:?})"
+                )
             }
             EngineError::BadArrayIndex { array, index, len } => {
                 write!(f, "array {array} element {index} out of range (len {len})")
             }
             EngineError::ArityMismatch { expected, found } => {
-                write!(f, "operation takes {expected} parameter(s), {found} supplied")
+                write!(
+                    f,
+                    "operation takes {expected} parameter(s), {found} supplied"
+                )
             }
             EngineError::StructureMismatch { why } => write!(f, "structure mismatch: {why}"),
             EngineError::Io(e) => write!(f, "i/o error: {e}"),

@@ -55,7 +55,11 @@ impl OverlaySender {
     /// Create an overlay sender for `op`, which must have exactly one
     /// array parameter. `window_elems` portions the array; use
     /// [`OverlaySender::auto_window`] to derive it from the chunk size.
-    pub fn new(config: EngineConfig, op: &OpDesc, window_elems: usize) -> Result<Self, EngineError> {
+    pub fn new(
+        config: EngineConfig,
+        op: &OpDesc,
+        window_elems: usize,
+    ) -> Result<Self, EngineError> {
         if op.params.len() != 1 {
             return Err(EngineError::StructureMismatch {
                 why: "overlay requires a single-parameter operation".into(),
@@ -68,7 +72,9 @@ impl OverlaySender {
             });
         };
         if window_elems == 0 {
-            return Err(EngineError::StructureMismatch { why: "window must hold ≥ 1 element".into() });
+            return Err(EngineError::StructureMismatch {
+                why: "window must hold ≥ 1 element".into(),
+            });
         }
         Ok(OverlaySender {
             config,
@@ -85,9 +91,12 @@ impl OverlaySender {
     /// Create a sender whose window fills (but never exceeds) one chunk,
     /// assuming worst-case element widths.
     pub fn auto_window(config: EngineConfig, op: &OpDesc) -> Result<Self, EngineError> {
-        let param = op.params.first().ok_or_else(|| EngineError::StructureMismatch {
-            why: "overlay requires a single-parameter operation".into(),
-        })?;
+        let param = op
+            .params
+            .first()
+            .ok_or_else(|| EngineError::StructureMismatch {
+                why: "overlay requires a single-parameter operation".into(),
+            })?;
         let TypeDesc::Array { item } = &param.desc else {
             return Err(EngineError::StructureMismatch {
                 why: "overlay requires an array parameter".into(),
@@ -104,7 +113,11 @@ impl OverlaySender {
     }
 
     /// Stream `value` (the array argument) to `sink` as one SOAP message.
-    pub fn send(&mut self, value: &Value, sink: &mut impl Write) -> Result<OverlayReport, EngineError> {
+    pub fn send(
+        &mut self,
+        value: &Value,
+        sink: &mut impl Write,
+    ) -> Result<OverlayReport, EngineError> {
         let n = value.array_len().ok_or_else(|| EngineError::TypeMismatch {
             at: "overlay send".into(),
             expected: "array value",
@@ -122,7 +135,8 @@ impl OverlaySender {
             p.extend_from_slice(soap::envelope_open(&self.op.namespace).as_bytes());
             p.extend_from_slice(soap::BODY_OPEN.as_bytes());
             p.extend_from_slice(soap::op_open(&self.op.name).as_bytes());
-            let (prefix, suffix) = soap::array_open_parts(&self.param_name, &self.item_desc.xsi_type());
+            let (prefix, suffix) =
+                soap::array_open_parts(&self.param_name, &self.item_desc.xsi_type());
             p.extend_from_slice(prefix.as_bytes());
             p.extend_from_slice(bsoap_convert::format_u64(n as u64).as_bytes());
             p.extend_from_slice(suffix.as_bytes());
@@ -186,7 +200,12 @@ impl OverlaySender {
         sink.write_all(&epilogue)?;
         bytes += epilogue.len();
 
-        Ok(OverlayReport { bytes, portions, values_written, window_bytes })
+        Ok(OverlayReport {
+            bytes,
+            portions,
+            values_written,
+            window_bytes,
+        })
     }
 }
 

@@ -32,7 +32,9 @@ pub enum TypeDesc {
 impl TypeDesc {
     /// Array-of-scalar convenience.
     pub fn array_of(item: TypeDesc) -> TypeDesc {
-        TypeDesc::Array { item: Box::new(item) }
+        TypeDesc::Array {
+            item: Box::new(item),
+        }
     }
 
     /// The paper's mesh interface object: `[int, int, double]` (§4.1).
@@ -190,13 +192,24 @@ pub struct OpDesc {
 impl OpDesc {
     /// Construct an operation description.
     pub fn new(name: &str, namespace: &str, params: Vec<ParamDesc>) -> Self {
-        OpDesc { name: name.to_owned(), namespace: namespace.to_owned(), params }
+        OpDesc {
+            name: name.to_owned(),
+            namespace: namespace.to_owned(),
+            params,
+        }
     }
 
     /// Single-parameter convenience used throughout the paper's benchmarks
     /// ("sending a single array containing 1 … 100K doubles", §4.1).
     pub fn single(name: &str, namespace: &str, param_name: &str, desc: TypeDesc) -> Self {
-        OpDesc::new(name, namespace, vec![ParamDesc { name: param_name.to_owned(), desc }])
+        OpDesc::new(
+            name,
+            namespace,
+            vec![ParamDesc {
+                name: param_name.to_owned(),
+                desc,
+            }],
+        )
     }
 
     /// Canonical structural signature of the whole operation.
@@ -236,15 +249,28 @@ mod tests {
 
     #[test]
     fn leaves_per_instance() {
-        assert_eq!(TypeDesc::Scalar(ScalarKind::Double).leaves_per_instance(), 1);
+        assert_eq!(
+            TypeDesc::Scalar(ScalarKind::Double).leaves_per_instance(),
+            1
+        );
         assert_eq!(TypeDesc::mio().leaves_per_instance(), 3);
         assert_eq!(TypeDesc::array_of(TypeDesc::mio()).leaves_per_instance(), 3);
     }
 
     #[test]
     fn signatures_distinguish_structure_not_length() {
-        let op_a = OpDesc::single("send", "urn:x", "arr", TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)));
-        let op_b = OpDesc::single("send", "urn:x", "arr", TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)));
+        let op_a = OpDesc::single(
+            "send",
+            "urn:x",
+            "arr",
+            TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+        );
+        let op_b = OpDesc::single(
+            "send",
+            "urn:x",
+            "arr",
+            TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)),
+        );
         assert_ne!(op_a.signature(), op_b.signature());
         // Same op, any array length → same signature (length is dynamic).
         assert_eq!(op_a.signature(), op_a.signature());
@@ -252,14 +278,18 @@ mod tests {
 
     #[test]
     fn mio_signature_mentions_fields() {
-        let sig = OpDesc::single("m", "urn:x", "a", TypeDesc::array_of(TypeDesc::mio())).signature();
+        let sig =
+            OpDesc::single("m", "urn:x", "a", TypeDesc::array_of(TypeDesc::mio())).signature();
         assert!(sig.contains("x=i"), "{sig}");
         assert!(sig.contains("value=d"), "{sig}");
     }
 
     #[test]
     fn xsi_types() {
-        assert_eq!(TypeDesc::Scalar(ScalarKind::Double).xsi_type(), "xsd:double");
+        assert_eq!(
+            TypeDesc::Scalar(ScalarKind::Double).xsi_type(),
+            "xsd:double"
+        );
         assert_eq!(TypeDesc::mio().xsi_type(), "ns1:mio");
         assert_eq!(
             TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)).xsi_type(),
@@ -281,9 +311,11 @@ mod tests {
         let arr = TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double));
         assert!(arr.check(&Value::IntArray(vec![1]), "root").is_err());
         let st = TypeDesc::mio();
-        assert!(st
-            .check(&Value::Struct(vec![Value::Int(1), Value::Int(2)]), "root")
-            .is_err(), "wrong field count");
+        assert!(
+            st.check(&Value::Struct(vec![Value::Int(1), Value::Int(2)]), "root")
+                .is_err(),
+            "wrong field count"
+        );
     }
 
     #[test]

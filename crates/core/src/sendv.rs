@@ -89,7 +89,10 @@ mod tests {
         let c = b"world".to_vec();
         let slices = [IoSlice::new(&a), IoSlice::new(&b), IoSlice::new(&c)];
         for cap in [1, 2, 3, 5, 7, 100] {
-            let mut w = Dribble { out: Vec::new(), cap };
+            let mut w = Dribble {
+                out: Vec::new(),
+                cap,
+            };
             let n = write_all_vectored(&mut w, &slices).unwrap();
             assert_eq!(n, 20);
             assert_eq!(w.out, b"hello vectored world", "cap {cap}");
@@ -98,7 +101,10 @@ mod tests {
 
     #[test]
     fn empty_slices_ok() {
-        let mut w = Dribble { out: Vec::new(), cap: 10 };
+        let mut w = Dribble {
+            out: Vec::new(),
+            cap: 10,
+        };
         assert_eq!(write_all_vectored(&mut w, &[]).unwrap(), 0);
         let empty = Vec::new();
         let slices = [IoSlice::new(&empty)];

@@ -65,9 +65,7 @@ pub fn plain_open(name: &str) -> String {
 /// `<name xsi:type="SOAP-ENC:Array" SOAP-ENC:arrayType="xsd:double[N]">`.
 pub fn array_open_parts(name: &str, item_xsi_type: &str) -> (String, &'static str) {
     (
-        format!(
-            "<{name} xsi:type=\"SOAP-ENC:Array\" SOAP-ENC:arrayType=\"{item_xsi_type}["
-        ),
+        format!("<{name} xsi:type=\"SOAP-ENC:Array\" SOAP-ENC:arrayType=\"{item_xsi_type}["),
         "]\">",
     )
 }
@@ -82,7 +80,14 @@ mod tests {
     #[test]
     fn envelope_open_declares_all_namespaces() {
         let e = envelope_open("urn:bench");
-        for needle in ["SOAP-ENV", "SOAP-ENC", "xmlns:xsi", "xmlns:xsd", "urn:bench", "encodingStyle"] {
+        for needle in [
+            "SOAP-ENV",
+            "SOAP-ENC",
+            "xmlns:xsi",
+            "xmlns:xsd",
+            "urn:bench",
+            "encodingStyle",
+        ] {
             assert!(e.contains(needle), "missing {needle} in {e}");
         }
         assert!(e.starts_with("<SOAP-ENV:Envelope "));
@@ -93,7 +98,10 @@ mod tests {
     fn tag_builders() {
         assert_eq!(op_open("sendDoubles"), "<ns1:sendDoubles>\n");
         assert_eq!(op_close("sendDoubles"), "</ns1:sendDoubles>\n");
-        assert_eq!(scalar_open("item", "xsd:int"), "<item xsi:type=\"xsd:int\">");
+        assert_eq!(
+            scalar_open("item", "xsd:int"),
+            "<item xsi:type=\"xsd:int\">"
+        );
         assert_eq!(elem_close("item"), "</item>");
         assert_eq!(plain_open("mio"), "<mio>");
     }

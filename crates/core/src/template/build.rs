@@ -352,7 +352,10 @@ impl MessageTemplate {
         b.raw(&soap::op_close(&op.name));
         b.raw(soap::CLOSES);
 
-        let stats = TemplateStats { first_time: 1, ..TemplateStats::default() };
+        let stats = TemplateStats {
+            first_time: 1,
+            ..TemplateStats::default()
+        };
         Ok(MessageTemplate {
             config,
             op: op.clone(),

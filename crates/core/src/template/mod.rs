@@ -205,7 +205,10 @@ impl MessageTemplate {
 
     fn set_scalar(&mut self, idx: usize, value: Scalar) -> Result<(), EngineError> {
         if idx >= self.dut.len() {
-            return Err(EngineError::BadLeafIndex { index: idx, leaf_count: self.dut.len() });
+            return Err(EngineError::BadLeafIndex {
+                index: idx,
+                leaf_count: self.dut.len(),
+            });
         }
         if self.is_internal_leaf(idx) {
             return Err(EngineError::KindMismatch {
@@ -214,7 +217,10 @@ impl MessageTemplate {
             });
         }
         if self.dut.entry(idx).kind != value.kind() {
-            return Err(EngineError::KindMismatch { index: idx, expected: self.dut.entry(idx).kind });
+            return Err(EngineError::KindMismatch {
+                index: idx,
+                expected: self.dut.entry(idx).kind,
+            });
         }
         self.dut.set_value(idx, value);
         Ok(())

@@ -83,7 +83,10 @@ impl MessageTemplate {
             if !self.dut.entry(i).dirty {
                 continue;
             }
-            self.dut.entry(i).value.serialize_into_with(&mut scratch, float);
+            self.dut
+                .entry(i)
+                .value
+                .serialize_into_with(&mut scratch, float);
             self.patch_entry(i, &scratch, counters);
             self.dut.clear_dirty(i);
         }
@@ -153,7 +156,9 @@ impl MessageTemplate {
         let mut buckets: Vec<Vec<FlushRun>> = (0..nworkers).map(|_| Vec::new()).collect();
         let mut load = vec![0usize; nworkers];
         for item in sliced {
-            let w = (0..nworkers).min_by_key(|&w| load[w]).expect("nworkers >= 2");
+            let w = (0..nworkers)
+                .min_by_key(|&w| load[w])
+                .expect("nworkers >= 2");
             load[w] += item.1.len();
             buckets[w].push(item);
         }
@@ -198,7 +203,10 @@ impl MessageTemplate {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("flush worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("flush worker panicked"))
+                .collect()
         });
 
         // Workers cleared dirty bits directly; settle the aggregate count,
@@ -215,7 +223,10 @@ impl MessageTemplate {
             let mut scratch = std::mem::take(&mut self.scratch);
             let float = self.config.float;
             for idx in deferred_all {
-                self.dut.entry(idx).value.serialize_into_with(&mut scratch, float);
+                self.dut
+                    .entry(idx)
+                    .value
+                    .serialize_into_with(&mut scratch, float);
                 self.patch_entry(idx, &scratch, counters);
                 self.dut.clear_dirty(idx);
             }
@@ -281,7 +292,10 @@ impl MessageTemplate {
         region.clear();
         region.extend_from_slice(bytes);
         // The closing tag still sits after the OLD value length; carry it over.
-        let suffix_loc = bsoap_chunks::Loc { chunk: loc.chunk, offset: loc.offset + old_ser };
+        let suffix_loc = bsoap_chunks::Loc {
+            chunk: loc.chunk,
+            offset: loc.offset + old_ser,
+        };
         region.extend_from_slice(self.store.read_at(suffix_loc, suffix_len as usize));
         region.resize((width + suffix_len) as usize, b' ');
         self.store.write_at(loc, &region);
@@ -366,7 +380,8 @@ impl MessageTemplate {
 
         let tail = self.store.chunk(chunk).len() as u32 - gap_at;
         counters.shifted_bytes += tail as u64;
-        self.store.shift_tail_right(chunk, gap_at as usize, delta as usize);
+        self.store
+            .shift_tail_right(chunk, gap_at as usize, delta as usize);
         self.apply_shift_fixups(i, chunk as u32, gap_at, delta);
     }
 

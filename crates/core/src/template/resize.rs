@@ -75,7 +75,10 @@ impl MessageTemplate {
         } else {
             let last_kept = self.dut.entry(new_leaf_end - 1);
             self.advance_pos(
-                Loc { chunk: last_kept.loc.chunk, offset: last_kept.region_end() },
+                Loc {
+                    chunk: last_kept.loc.chunk,
+                    offset: last_kept.region_end(),
+                },
                 close_run,
             )
         };
@@ -93,7 +96,11 @@ impl MessageTemplate {
         let (c2, o2) = (del_end.chunk as usize, del_end.offset as usize);
         for c in (c1..=c2).rev() {
             let from = if c == c1 { o1 } else { 0 };
-            let to = if c == c2 { o2 } else { self.store.chunk(c).len() };
+            let to = if c == c2 {
+                o2
+            } else {
+                self.store.chunk(c).len()
+            };
             if to > from {
                 self.store.delete_range(c, from, to - from);
                 self.fixup_delete(c as u32, to as u32, (to - from) as u32);

@@ -1,8 +1,8 @@
 //! The §6 ("Future Work") extensions: multi-template sets and
 //! cross-endpoint template sharing.
 
-use bsoap_core::{Client, EngineConfig, OpDesc, SendTier, TypeDesc, Value};
 use bsoap_convert::ScalarKind;
+use bsoap_core::{Client, EngineConfig, OpDesc, SendTier, TypeDesc, Value};
 use std::io::sink;
 
 fn doubles_op() -> OpDesc {
@@ -50,11 +50,23 @@ fn multi_template_set_eliminates_resizes() {
 
     let a = xs(10);
     let b = xs(100);
-    assert_eq!(client.call("ep", &op, &a, &mut out).unwrap().tier, SendTier::FirstTime);
-    assert_eq!(client.call("ep", &op, &b, &mut out).unwrap().tier, SendTier::FirstTime);
+    assert_eq!(
+        client.call("ep", &op, &a, &mut out).unwrap().tier,
+        SendTier::FirstTime
+    );
+    assert_eq!(
+        client.call("ep", &op, &b, &mut out).unwrap().tier,
+        SendTier::FirstTime
+    );
     for _ in 0..3 {
-        assert_eq!(client.call("ep", &op, &a, &mut out).unwrap().tier, SendTier::ContentMatch);
-        assert_eq!(client.call("ep", &op, &b, &mut out).unwrap().tier, SendTier::ContentMatch);
+        assert_eq!(
+            client.call("ep", &op, &a, &mut out).unwrap().tier,
+            SendTier::ContentMatch
+        );
+        assert_eq!(
+            client.call("ep", &op, &b, &mut out).unwrap().tier,
+            SendTier::ContentMatch
+        );
     }
     assert_eq!(client.cache().template_count(), 2);
 }
@@ -68,12 +80,18 @@ fn multi_template_set_builds_variants_until_cap() {
 
     // Three distinct shapes each get their own template…
     for n in [1usize, 50, 2000] {
-        assert_eq!(client.call("ep", &op, &xs(n), &mut out).unwrap().tier, SendTier::FirstTime);
+        assert_eq!(
+            client.call("ep", &op, &xs(n), &mut out).unwrap().tier,
+            SendTier::FirstTime
+        );
     }
     assert_eq!(client.cache().template_count(), 3);
     // …and all three now serve content matches.
     for n in [1usize, 50, 2000] {
-        assert_eq!(client.call("ep", &op, &xs(n), &mut out).unwrap().tier, SendTier::ContentMatch);
+        assert_eq!(
+            client.call("ep", &op, &xs(n), &mut out).unwrap().tier,
+            SendTier::ContentMatch
+        );
     }
     // A fourth shape cannot add a template (cap reached): it resizes the
     // nearest variant (n=1 → n=3) in place.
@@ -96,9 +114,15 @@ fn multi_template_full_set_resizes_nearest() {
     assert_eq!(r.tier, SendTier::PartialStructural);
     assert_eq!(client.cache().template_count(), 2, "cap respected");
     // The resized variant (now n=12) serves n=12 directly.
-    assert_eq!(client.call("ep", &op, &xs(12), &mut out).unwrap().tier, SendTier::ContentMatch);
+    assert_eq!(
+        client.call("ep", &op, &xs(12), &mut out).unwrap().tier,
+        SendTier::ContentMatch
+    );
     // And the n=1000 variant is still intact.
-    assert_eq!(client.call("ep", &op, &xs(1000), &mut out).unwrap().tier, SendTier::ContentMatch);
+    assert_eq!(
+        client.call("ep", &op, &xs(1000), &mut out).unwrap().tier,
+        SendTier::ContentMatch
+    );
 }
 
 #[test]
@@ -112,15 +136,28 @@ fn endpoint_sharing_skips_full_serialization() {
     let mut out = sink();
 
     let args = xs(500);
-    assert_eq!(client.call("http://a", &op, &args, &mut out).unwrap().tier, SendTier::FirstTime);
+    assert_eq!(
+        client.call("http://a", &op, &args, &mut out).unwrap().tier,
+        SendTier::FirstTime
+    );
     let r = client.call("http://b", &op, &args, &mut out).unwrap();
-    assert_eq!(r.tier, SendTier::ContentMatch, "clone + diff of identical args");
+    assert_eq!(
+        r.tier,
+        SendTier::ContentMatch,
+        "clone + diff of identical args"
+    );
     assert_eq!(client.stats().shared_clones, 1);
-    assert_eq!(client.stats().first_time, 1, "endpoint B never fully serialized");
+    assert_eq!(
+        client.stats().first_time,
+        1,
+        "endpoint B never fully serialized"
+    );
 
     // Similar-but-not-identical data: clone + perfect structural match.
     let mut changed = args.clone();
-    let Value::DoubleArray(v) = &mut changed[0] else { panic!() };
+    let Value::DoubleArray(v) = &mut changed[0] else {
+        panic!()
+    };
     v[7] = 9.5;
     let r = client.call("http://c", &op, &changed, &mut out).unwrap();
     assert_eq!(r.tier, SendTier::PerfectStructural);
@@ -143,7 +180,12 @@ fn endpoint_sharing_respects_structure() {
     client.call("http://a", &op_d, &xs(5), &mut out).unwrap();
     // Different structure on a new endpoint: no shareable sibling.
     let r = client
-        .call("http://b", &op_i, &[Value::IntArray(vec![1, 2, 3])], &mut out)
+        .call(
+            "http://b",
+            &op_i,
+            &[Value::IntArray(vec![1, 2, 3])],
+            &mut out,
+        )
         .unwrap();
     assert_eq!(r.tier, SendTier::FirstTime);
     assert_eq!(client.stats().shared_clones, 0);
@@ -159,8 +201,11 @@ fn sharing_clones_are_independent() {
     let args = xs(50);
     client.call("http://a", &op, &args, &mut out).unwrap();
     client.call("http://b", &op, &xs(80), &mut out).unwrap(); // clone + resize
-    // A's template is untouched: identical resend is a content match.
-    assert_eq!(client.call("http://a", &op, &args, &mut out).unwrap().tier, SendTier::ContentMatch);
+                                                              // A's template is untouched: identical resend is a content match.
+    assert_eq!(
+        client.call("http://a", &op, &args, &mut out).unwrap().tier,
+        SendTier::ContentMatch
+    );
 }
 
 #[test]

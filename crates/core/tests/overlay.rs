@@ -1,9 +1,9 @@
 //! Chunk overlaying (§3.3): bounded memory, tags written once,
 //! stream equals the whole-template serialization.
 
+use bsoap_convert::ScalarKind;
 use bsoap_core::overlay::OverlaySender;
 use bsoap_core::{EngineConfig, MessageTemplate, OpDesc, TypeDesc, Value};
-use bsoap_convert::ScalarKind;
 use bsoap_xml::strip_pad;
 
 fn doubles_op() -> OpDesc {
@@ -16,7 +16,12 @@ fn doubles_op() -> OpDesc {
 }
 
 fn mios_op() -> OpDesc {
-    OpDesc::single("sendM", "urn:bench", "arr", TypeDesc::array_of(TypeDesc::mio()))
+    OpDesc::single(
+        "sendM",
+        "urn:bench",
+        "arr",
+        TypeDesc::array_of(TypeDesc::mio()),
+    )
 }
 
 fn dvals(n: usize) -> Value {
@@ -73,7 +78,11 @@ fn tags_written_once_values_every_portion() {
     let r1 = sender.send(&dvals(n), &mut out).unwrap();
     assert_eq!(r1.portions, 10);
     // First send serializes every value at least once (builds the window).
-    assert!(r1.values_written >= n - 32, "first send: {}", r1.values_written);
+    assert!(
+        r1.values_written >= n - 32,
+        "first send: {}",
+        r1.values_written
+    );
     out.clear();
     let r2 = sender.send(&dvals(n), &mut out).unwrap();
     // Subsequent sends also re-serialize all values (that is the overlay
@@ -91,7 +100,9 @@ fn changing_data_between_sends() {
     sender.send(&dvals(100), &mut out1).unwrap();
 
     let mut changed = dvals(100);
-    let Value::DoubleArray(v) = &mut changed else { unreachable!() };
+    let Value::DoubleArray(v) = &mut changed else {
+        unreachable!()
+    };
     for x in v.iter_mut() {
         *x += 1.0;
     }
@@ -123,7 +134,9 @@ fn mio_overlay_round_trips() {
     let op = mios_op();
     let config = EngineConfig::paper_default();
     let value = Value::Array(
-        (0..200).map(|i| bsoap_core::value::mio(i, -i, i as f64 * 1.5)).collect(),
+        (0..200)
+            .map(|i| bsoap_core::value::mio(i, -i, i as f64 * 1.5))
+            .collect(),
     );
     let mut sender = OverlaySender::auto_window(config, &op).unwrap();
     let mut out = Vec::new();
@@ -161,7 +174,10 @@ fn invalid_shapes_rejected() {
                 name: "a".into(),
                 desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)),
             },
-            bsoap_core::ParamDesc { name: "b".into(), desc: TypeDesc::Scalar(ScalarKind::Int) },
+            bsoap_core::ParamDesc {
+                name: "b".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Int),
+            },
         ],
     );
     assert!(OverlaySender::new(config, &multi, 8).is_err());

@@ -8,11 +8,11 @@
 //! sequentially (`parallel_workers = 0`) and one in parallel, and compare
 //! the full serialized message after every flush.
 
+use bsoap_chunks::ChunkConfig;
+use bsoap_convert::ScalarKind;
 use bsoap_core::{
     EngineConfig, GrowthPolicy, MessageTemplate, OpDesc, TypeDesc, Value, WidthPolicy,
 };
-use bsoap_chunks::ChunkConfig;
-use bsoap_convert::ScalarKind;
 use proptest::prelude::*;
 
 fn doubles_op() -> OpDesc {
@@ -27,29 +27,34 @@ fn doubles_op() -> OpDesc {
 /// Small chunks so even modest arrays span many chunks (and therefore many
 /// parallel shards).
 fn small_chunks() -> ChunkConfig {
-    ChunkConfig { initial_size: 512, split_threshold: 1024, reserve: 64 }
+    ChunkConfig {
+        initial_size: 512,
+        split_threshold: 1024,
+        reserve: 64,
+    }
 }
 
 /// Drive sequential and parallel templates through the same updates and
 /// assert byte identity after every flush.
-fn assert_parallel_matches_sequential(
-    base: EngineConfig,
-    workers: usize,
-    rounds: &[Vec<f64>],
-) {
+fn assert_parallel_matches_sequential(base: EngineConfig, workers: usize, rounds: &[Vec<f64>]) {
     let n = rounds.first().map_or(0, Vec::len);
     let init = Value::DoubleArray(vec![1.0; n]);
     let op = doubles_op();
-    let mut seq =
-        MessageTemplate::build(base.with_parallel_workers(0), &op, std::slice::from_ref(&init))
-            .unwrap();
+    let mut seq = MessageTemplate::build(
+        base.with_parallel_workers(0),
+        &op,
+        std::slice::from_ref(&init),
+    )
+    .unwrap();
     let mut par =
         MessageTemplate::build(base.with_parallel_workers(workers), &op, &[init]).unwrap();
     assert_eq!(seq.to_bytes(), par.to_bytes(), "initial build must match");
 
     for (round, vals) in rounds.iter().enumerate() {
-        seq.update_args(&[Value::DoubleArray(vals.clone())]).unwrap();
-        par.update_args(&[Value::DoubleArray(vals.clone())]).unwrap();
+        seq.update_args(&[Value::DoubleArray(vals.clone())])
+            .unwrap();
+        par.update_args(&[Value::DoubleArray(vals.clone())])
+            .unwrap();
         let rs = seq.flush();
         let rp = par.flush();
         assert_eq!(
@@ -84,7 +89,11 @@ fn all_dirty_in_width_many_chunks() {
     let n = 400;
     let base = EngineConfig::stuffed_max().with_chunk(small_chunks());
     let rounds: Vec<Vec<f64>> = (0..4)
-        .map(|r| (0..n).map(|i| (i as f64 + 1.0) * 1.234567 * (r + 1) as f64).collect())
+        .map(|r| {
+            (0..n)
+                .map(|i| (i as f64 + 1.0) * 1.234567 * (r + 1) as f64)
+                .collect()
+        })
         .collect();
     for workers in [2, 3, 8] {
         assert_parallel_matches_sequential(base, workers, &rounds);
@@ -98,7 +107,11 @@ fn growth_mix_defers_and_replays() {
     let n = 300;
     let base = EngineConfig::paper_default().with_chunk(small_chunks());
     let rounds: Vec<Vec<f64>> = (0..3)
-        .map(|r| (0..n).map(|i| value_of_class((i % 4) as u8, i + r * n)).collect())
+        .map(|r| {
+            (0..n)
+                .map(|i| value_of_class((i % 4) as u8, i + r * n))
+                .collect()
+        })
         .collect();
     for workers in [2, 4] {
         assert_parallel_matches_sequential(base, workers, &rounds);
@@ -113,16 +126,32 @@ fn steal_contagion_adjacent_dirty_neighbors() {
     let n = 200;
     let base = EngineConfig::paper_default()
         .with_chunk(small_chunks())
-        .with_width(WidthPolicy::Fixed { double: 18, int: 11, long: 20 })
+        .with_width(WidthPolicy::Fixed {
+            double: 18,
+            int: 11,
+            long: 20,
+        })
         .with_steal(true);
     let rounds: Vec<Vec<f64>> = vec![
         // Every even field grows past 18 chars; every odd field shrinks.
         (0..n)
-            .map(|i| if i % 2 == 0 { value_of_class(3, i) } else { 1.0 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    value_of_class(3, i)
+                } else {
+                    1.0
+                }
+            })
             .collect(),
         // Then flip the pattern.
         (0..n)
-            .map(|i| if i % 2 == 1 { value_of_class(3, i) } else { 2.0 })
+            .map(|i| {
+                if i % 2 == 1 {
+                    value_of_class(3, i)
+                } else {
+                    2.0
+                }
+            })
             .collect(),
     ];
     for workers in [2, 4] {

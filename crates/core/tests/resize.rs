@@ -6,22 +6,36 @@
 //! widths and value-stable updates).
 
 use bsoap_chunks::ChunkConfig;
-use bsoap_xml::strip_pad;
+use bsoap_convert::ScalarKind;
 use bsoap_core::{
     value::mio, EngineConfig, MessageTemplate, OpDesc, ParamDesc, SendTier, TypeDesc, Value,
 };
-use bsoap_convert::ScalarKind;
+use bsoap_xml::strip_pad;
 
 fn doubles_op() -> OpDesc {
-    OpDesc::single("send", "urn:bench", "arr", TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)))
+    OpDesc::single(
+        "send",
+        "urn:bench",
+        "arr",
+        TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+    )
 }
 
 fn mios_op() -> OpDesc {
-    OpDesc::single("sendM", "urn:bench", "arr", TypeDesc::array_of(TypeDesc::mio()))
+    OpDesc::single(
+        "sendM",
+        "urn:bench",
+        "arr",
+        TypeDesc::array_of(TypeDesc::mio()),
+    )
 }
 
 fn small_chunks() -> ChunkConfig {
-    ChunkConfig { initial_size: 256, split_threshold: 512, reserve: 32 }
+    ChunkConfig {
+        initial_size: 256,
+        split_threshold: 512,
+        reserve: 32,
+    }
 }
 
 fn dvals(n: usize) -> Value {
@@ -29,7 +43,11 @@ fn dvals(n: usize) -> Value {
 }
 
 fn mvals(n: usize) -> Value {
-    Value::Array((0..n).map(|i| mio(i as i32, -(i as i32), i as f64 * 1.5)).collect())
+    Value::Array(
+        (0..n)
+            .map(|i| mio(i as i32, -(i as i32), i as f64 * 1.5))
+            .collect(),
+    )
 }
 
 /// Resize via update_args and verify byte equality with a fresh build.
@@ -129,18 +147,22 @@ fn resize_with_params_after_array() {
         "mixed",
         "urn:bench",
         vec![
-            ParamDesc { name: "before".into(), desc: TypeDesc::Scalar(ScalarKind::Int) },
+            ParamDesc {
+                name: "before".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Int),
+            },
             ParamDesc {
                 name: "arr".into(),
                 desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
             },
-            ParamDesc { name: "after".into(), desc: TypeDesc::Scalar(ScalarKind::Str) },
+            ParamDesc {
+                name: "after".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Str),
+            },
         ],
     );
     let config = EngineConfig::paper_default().with_chunk(small_chunks());
-    let args = |n: usize, s: &str| {
-        vec![Value::Int(1), dvals(n), Value::Str(s.to_owned())]
-    };
+    let args = |n: usize, s: &str| vec![Value::Int(1), dvals(n), Value::Str(s.to_owned())];
     let mut tpl = MessageTemplate::build(config, &op, &args(8, "alpha")).unwrap();
 
     // Grow the array AND change the trailing scalar in one update.
@@ -166,15 +188,29 @@ fn two_arrays_resize_independently() {
         "pair",
         "urn:bench",
         vec![
-            ParamDesc { name: "a".into(), desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)) },
-            ParamDesc { name: "b".into(), desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)) },
+            ParamDesc {
+                name: "a".into(),
+                desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)),
+            },
+            ParamDesc {
+                name: "b".into(),
+                desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+            },
         ],
     );
     let ints = |n: usize| Value::IntArray((0..n as i32).collect());
     let config = EngineConfig::paper_default().with_chunk(small_chunks());
     let mut tpl = MessageTemplate::build(config, &op, &[ints(5), dvals(5)]).unwrap();
 
-    for (na, nb) in [(12usize, 5usize), (12, 40), (3, 40), (3, 2), (60, 60), (0, 1), (5, 5)] {
+    for (na, nb) in [
+        (12usize, 5usize),
+        (12, 40),
+        (3, 40),
+        (3, 2),
+        (60, 60),
+        (0, 1),
+        (5, 5),
+    ] {
         tpl.update_args(&[ints(na), dvals(nb)]).unwrap();
         tpl.flush();
         tpl.assert_invariants();

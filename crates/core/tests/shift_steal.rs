@@ -5,15 +5,26 @@
 #![allow(clippy::approx_constant)]
 
 use bsoap_chunks::ChunkConfig;
-use bsoap_core::{EngineConfig, GrowthPolicy, MessageTemplate, OpDesc, TypeDesc, Value, WidthPolicy};
 use bsoap_convert::ScalarKind;
+use bsoap_core::{
+    EngineConfig, GrowthPolicy, MessageTemplate, OpDesc, TypeDesc, Value, WidthPolicy,
+};
 
 fn doubles_op() -> OpDesc {
-    OpDesc::single("send", "urn:bench", "arr", TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)))
+    OpDesc::single(
+        "send",
+        "urn:bench",
+        "arr",
+        TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+    )
 }
 
 fn small_chunks() -> ChunkConfig {
-    ChunkConfig { initial_size: 512, split_threshold: 1024, reserve: 64 }
+    ChunkConfig {
+        initial_size: 512,
+        split_threshold: 1024,
+        reserve: 64,
+    }
 }
 
 /// Build with minimum-width values then rewrite every value to maximum
@@ -23,8 +34,14 @@ fn worst_case_expansion_all_values() {
     let n = 200;
     // Tight threshold: per-chunk growth (~23 bytes × ~12 items) exceeds the
     // headroom, forcing chunk splits.
-    let tight = ChunkConfig { initial_size: 512, split_threshold: 640, reserve: 64 };
-    let config = EngineConfig::paper_default().with_chunk(tight).with_steal(false);
+    let tight = ChunkConfig {
+        initial_size: 512,
+        split_threshold: 640,
+        reserve: 64,
+    };
+    let config = EngineConfig::paper_default()
+        .with_chunk(tight)
+        .with_steal(false);
     let min_vals = Value::DoubleArray(vec![1.0; n]); // "1": one char
     let mut tpl = MessageTemplate::build(config, &doubles_op(), &[min_vals]).unwrap();
     let before_len = tpl.message_len();
@@ -32,16 +49,21 @@ fn worst_case_expansion_all_values() {
     // −2.2250738585072014E−308-ish values: 24 characters each.
     let wide = -2.2250738585072014e-308;
     assert_eq!(bsoap_convert::format_f64(wide).len(), 24);
-    tpl.update_args(&[Value::DoubleArray(vec![wide; n])]).unwrap();
+    tpl.update_args(&[Value::DoubleArray(vec![wide; n])])
+        .unwrap();
     let report = tpl.flush();
     assert_eq!(report.values_written, n);
     assert_eq!(report.shifts, n, "every value must shift");
-    assert!(report.splits > 0, "growth beyond threshold must split chunks");
+    assert!(
+        report.splits > 0,
+        "growth beyond threshold must split chunks"
+    );
     assert_eq!(tpl.message_len(), before_len + n * 23);
     tpl.assert_invariants();
 
     // The patched message equals a fresh full serialization.
-    let fresh = MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![wide; n])]).unwrap();
+    let fresh = MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![wide; n])])
+        .unwrap();
     assert_eq!(tpl.to_bytes(), fresh.to_bytes());
 }
 
@@ -61,7 +83,9 @@ fn stealing_avoids_tail_shifts() {
     // making it long.
     drop(tpl);
 
-    let config = EngineConfig::paper_default().with_chunk(small_chunks()).with_steal(true);
+    let config = EngineConfig::paper_default()
+        .with_chunk(small_chunks())
+        .with_steal(true);
     // value0 short, value1 long (its field is wide), value2 short.
     let mut tpl = MessageTemplate::build(
         config,
@@ -71,12 +95,14 @@ fn stealing_avoids_tail_shifts() {
     .unwrap();
     // Now shrink value1's serialized form (its width stays 24: stuffing
     // keeps the pad), giving it 23 chars of slack.
-    tpl.update_args(&[Value::DoubleArray(vec![1.0, 1.0, 1.0])]).unwrap();
+    tpl.update_args(&[Value::DoubleArray(vec![1.0, 1.0, 1.0])])
+        .unwrap();
     tpl.flush();
     tpl.assert_invariants();
 
     // Grow value0 to 7 chars; the neighbor's pad absorbs it via stealing.
-    tpl.update_args(&[Value::DoubleArray(vec![3.14159, 1.0, 1.0])]).unwrap();
+    tpl.update_args(&[Value::DoubleArray(vec![3.14159, 1.0, 1.0])])
+        .unwrap();
     let report = tpl.flush();
     assert_eq!(report.steals, 1, "expected a steal, got {report:?}");
     assert_eq!(report.shifts, 0);
@@ -91,16 +117,20 @@ fn stealing_avoids_tail_shifts() {
 
 #[test]
 fn steal_disabled_forces_shift() {
-    let config = EngineConfig::paper_default().with_chunk(small_chunks()).with_steal(false);
+    let config = EngineConfig::paper_default()
+        .with_chunk(small_chunks())
+        .with_steal(false);
     let mut tpl = MessageTemplate::build(
         config,
         &doubles_op(),
         &[Value::DoubleArray(vec![1.0, -2.2250738585072014e-308])],
     )
     .unwrap();
-    tpl.update_args(&[Value::DoubleArray(vec![1.0, 1.0])]).unwrap();
+    tpl.update_args(&[Value::DoubleArray(vec![1.0, 1.0])])
+        .unwrap();
     tpl.flush();
-    tpl.update_args(&[Value::DoubleArray(vec![3.14159, 1.0])]).unwrap();
+    tpl.update_args(&[Value::DoubleArray(vec![3.14159, 1.0])])
+        .unwrap();
     let report = tpl.flush();
     assert_eq!(report.steals, 0);
     assert_eq!(report.shifts, 1);
@@ -114,14 +144,17 @@ fn growth_policy_to_max_prevents_second_shift() {
         .with_growth(GrowthPolicy::ToMax)
         .with_steal(false);
     let mut tpl =
-        MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![1.0, 1.0])]).unwrap();
+        MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![1.0, 1.0])])
+            .unwrap();
 
-    tpl.update_args(&[Value::DoubleArray(vec![3.75, 1.0])]).unwrap();
+    tpl.update_args(&[Value::DoubleArray(vec![3.75, 1.0])])
+        .unwrap();
     let r1 = tpl.flush();
     assert_eq!(r1.shifts, 1);
 
     // Second growth of the same field: field is already at max width.
-    tpl.update_args(&[Value::DoubleArray(vec![-2.2250738585072014e-308, 1.0])]).unwrap();
+    tpl.update_args(&[Value::DoubleArray(vec![-2.2250738585072014e-308, 1.0])])
+        .unwrap();
     let r2 = tpl.flush();
     assert_eq!(r2.shifts, 0, "ToMax growth must make the field shift-free");
     tpl.assert_invariants();
@@ -134,10 +167,13 @@ fn growth_policy_exact_shifts_every_growth() {
         .with_growth(GrowthPolicy::Exact)
         .with_steal(false);
     let mut tpl =
-        MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![1.0, 1.0])]).unwrap();
-    tpl.update_args(&[Value::DoubleArray(vec![3.75, 1.0])]).unwrap();
+        MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![1.0, 1.0])])
+            .unwrap();
+    tpl.update_args(&[Value::DoubleArray(vec![3.75, 1.0])])
+        .unwrap();
     assert_eq!(tpl.flush().shifts, 1);
-    tpl.update_args(&[Value::DoubleArray(vec![3.14159, 1.0])]).unwrap();
+    tpl.update_args(&[Value::DoubleArray(vec![3.14159, 1.0])])
+        .unwrap();
     assert_eq!(tpl.flush().shifts, 1, "Exact growth shifts again");
     tpl.assert_invariants();
 }
@@ -154,11 +190,16 @@ fn max_stuffing_never_shifts() {
         let vals: Vec<f64> = (0..n)
             .map(|i| (i as f64 + 1.0) * 1.234567 * (round as f64 + 1.0))
             .collect();
-        tpl.update_args(&[Value::DoubleArray(vals.clone())]).unwrap();
+        tpl.update_args(&[Value::DoubleArray(vals.clone())])
+            .unwrap();
         let report = tpl.flush();
         assert_eq!(report.shifts, 0, "round {round}");
         assert_eq!(report.steals, 0);
-        assert_eq!(tpl.message_len(), len0, "stuffed message length is constant");
+        assert_eq!(
+            tpl.message_len(),
+            len0,
+            "stuffed message length is constant"
+        );
         // Values must still read back exactly.
         let text = String::from_utf8(tpl.to_bytes()).unwrap();
         assert!(text.contains(&bsoap_convert::format_f64(vals[n - 1])));
@@ -174,8 +215,10 @@ fn full_closing_tag_shift_bytes_still_legal_xml() {
     let config = EngineConfig::stuffed_max();
     let wide = -2.2250738585072014e-308;
     let mut tpl =
-        MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![wide; 10])]).unwrap();
-    tpl.update_args(&[Value::DoubleArray(vec![1.0; 10])]).unwrap();
+        MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![wide; 10])])
+            .unwrap();
+    tpl.update_args(&[Value::DoubleArray(vec![1.0; 10])])
+        .unwrap();
     let report = tpl.flush();
     assert_eq!(report.values_written, 10);
     assert_eq!(report.shifts, 0);
@@ -208,10 +251,14 @@ fn chunk_size_bounds_shift_cost() {
     let wide = -2.2250738585072014e-308;
     let mut shifted = Vec::new();
     for chunk in [ChunkConfig::k8(), ChunkConfig::k32()] {
-        let config = EngineConfig::paper_default().with_chunk(chunk).with_steal(false);
+        let config = EngineConfig::paper_default()
+            .with_chunk(chunk)
+            .with_steal(false);
         let mut tpl =
-            MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![1.0; n])]).unwrap();
-        tpl.update_args(&[Value::DoubleArray(vec![wide; n])]).unwrap();
+            MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![1.0; n])])
+                .unwrap();
+        tpl.update_args(&[Value::DoubleArray(vec![wide; n])])
+            .unwrap();
         tpl.flush();
         tpl.assert_invariants();
         shifted.push(tpl.stats().shifted_bytes);
@@ -229,10 +276,13 @@ fn string_growth_and_shrink() {
     let mut tpl = MessageTemplate::build(config, &op, &[Value::Str("ab".into())]).unwrap();
 
     // Grow: strings have no max width; must shift by the exact delta.
-    tpl.update_args(&[Value::Str("a much longer string value".into())]).unwrap();
+    tpl.update_args(&[Value::Str("a much longer string value".into())])
+        .unwrap();
     let r = tpl.flush();
     assert_eq!(r.shifts + r.steals, 1);
-    assert!(String::from_utf8(tpl.to_bytes()).unwrap().contains(">a much longer string value</s>"));
+    assert!(String::from_utf8(tpl.to_bytes())
+        .unwrap()
+        .contains(">a much longer string value</s>"));
 
     // Shrink: closing tag moves left, pad appears.
     tpl.update_args(&[Value::Str("xy".into())]).unwrap();
@@ -244,7 +294,9 @@ fn string_growth_and_shrink() {
     // Escaped content round-trips.
     tpl.update_args(&[Value::Str("a<b&c".into())]).unwrap();
     tpl.flush();
-    assert!(String::from_utf8(tpl.to_bytes()).unwrap().contains(">a&lt;b&amp;c</s>"));
+    assert!(String::from_utf8(tpl.to_bytes())
+        .unwrap()
+        .contains(">a&lt;b&amp;c</s>"));
     tpl.assert_invariants();
 }
 
@@ -254,21 +306,28 @@ fn intermediate_stuffing_absorbs_moderate_growth() {
     // chars without shifting; 24-char values force shifting.
     let config = EngineConfig::paper_default()
         .with_chunk(small_chunks())
-        .with_width(WidthPolicy::Fixed { double: 18, int: 11, long: 20 })
+        .with_width(WidthPolicy::Fixed {
+            double: 18,
+            int: 11,
+            long: 20,
+        })
         .with_steal(false);
     let mut tpl =
-        MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![1.0; 50])]).unwrap();
+        MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![1.0; 50])])
+            .unwrap();
 
     // 17-char values: fit within the 18-char stuffed width.
     let mid = 1.234567890123456; // "1.234567890123456" = 17 chars
     assert_eq!(bsoap_convert::format_f64(mid).len(), 17);
-    tpl.update_args(&[Value::DoubleArray(vec![mid; 50])]).unwrap();
+    tpl.update_args(&[Value::DoubleArray(vec![mid; 50])])
+        .unwrap();
     let r = tpl.flush();
     assert_eq!(r.shifts, 0, "within stuffed width");
 
     // 24-char values: must shift.
     let wide = -2.2250738585072014e-308;
-    tpl.update_args(&[Value::DoubleArray(vec![wide; 50])]).unwrap();
+    tpl.update_args(&[Value::DoubleArray(vec![wide; 50])])
+        .unwrap();
     let r = tpl.flush();
     assert_eq!(r.shifts, 50);
     tpl.assert_invariants();

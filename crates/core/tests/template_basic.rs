@@ -1,27 +1,46 @@
 //! Template construction and tier-selection behavior.
 
 use bsoap_chunks::ChunkConfig;
+use bsoap_convert::ScalarKind;
 use bsoap_core::{
     value::mio, Client, EngineConfig, MessageTemplate, OpDesc, SendTier, TypeDesc, Value,
     WidthPolicy,
 };
-use bsoap_convert::ScalarKind;
 use bsoap_xml::{Event, PullParser};
 
 fn doubles_op() -> OpDesc {
-    OpDesc::single("sendDoubles", "urn:bench", "arr", TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)))
+    OpDesc::single(
+        "sendDoubles",
+        "urn:bench",
+        "arr",
+        TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+    )
 }
 
 fn ints_op() -> OpDesc {
-    OpDesc::single("sendInts", "urn:bench", "arr", TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)))
+    OpDesc::single(
+        "sendInts",
+        "urn:bench",
+        "arr",
+        TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)),
+    )
 }
 
 fn mios_op() -> OpDesc {
-    OpDesc::single("sendMios", "urn:bench", "arr", TypeDesc::array_of(TypeDesc::mio()))
+    OpDesc::single(
+        "sendMios",
+        "urn:bench",
+        "arr",
+        TypeDesc::array_of(TypeDesc::mio()),
+    )
 }
 
 fn mio_array(n: usize) -> Value {
-    Value::Array((0..n).map(|i| mio(i as i32, (i * 2) as i32, i as f64 + 0.5)).collect())
+    Value::Array(
+        (0..n)
+            .map(|i| mio(i as i32, (i * 2) as i32, i as f64 + 0.5))
+            .collect(),
+    )
 }
 
 /// Parse a message and return (element name count map hits, text leaves).
@@ -62,7 +81,8 @@ fn build_produces_well_formed_soap() {
 
 #[test]
 fn mio_build_structure() {
-    let tpl = MessageTemplate::build(EngineConfig::paper_default(), &mios_op(), &[mio_array(2)]).unwrap();
+    let tpl =
+        MessageTemplate::build(EngineConfig::paper_default(), &mios_op(), &[mio_array(2)]).unwrap();
     let text = String::from_utf8(tpl.to_bytes()).unwrap();
     assert!(text.contains("arrayType=\"ns1:mio[2"), "{text}");
     assert!(text.contains("<item xsi:type=\"ns1:mio\">"));
@@ -148,7 +168,8 @@ fn same_length_update_touches_value_only() {
 #[test]
 fn leaf_accessors_and_errors() {
     let op = mios_op();
-    let mut tpl = MessageTemplate::build(EngineConfig::paper_default(), &op, &[mio_array(3)]).unwrap();
+    let mut tpl =
+        MessageTemplate::build(EngineConfig::paper_default(), &op, &[mio_array(3)]).unwrap();
     // leaf 0 is the internal array-length field: rejected.
     assert!(tpl.set_int(0, 5).is_err());
     // element 1 field 2 (the double) via the indexing helper.
@@ -161,7 +182,9 @@ fn leaf_accessors_and_errors() {
     // Out of range.
     assert!(tpl.set_double(10_000, 1.0).is_err());
     tpl.flush();
-    assert!(String::from_utf8(tpl.to_bytes()).unwrap().contains(">42.25</value>"));
+    assert!(String::from_utf8(tpl.to_bytes())
+        .unwrap()
+        .contains(">42.25</value>"));
 }
 
 #[test]
@@ -170,12 +193,18 @@ fn multi_param_messages() {
         "store",
         "urn:cat",
         vec![
-            bsoap_core::ParamDesc { name: "id".into(), desc: TypeDesc::Scalar(ScalarKind::Int) },
+            bsoap_core::ParamDesc {
+                name: "id".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Int),
+            },
             bsoap_core::ParamDesc {
                 name: "values".into(),
                 desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
             },
-            bsoap_core::ParamDesc { name: "tag".into(), desc: TypeDesc::Scalar(ScalarKind::Str) },
+            bsoap_core::ParamDesc {
+                name: "tag".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Str),
+            },
         ],
     );
     let args = [
@@ -198,7 +227,9 @@ fn multi_param_messages() {
         .unwrap();
     assert_eq!(tier, SendTier::PerfectStructural);
     tpl.flush();
-    assert!(String::from_utf8(tpl.to_bytes()).unwrap().contains(">beta!</tag>"));
+    assert!(String::from_utf8(tpl.to_bytes())
+        .unwrap()
+        .contains(">beta!</tag>"));
     tpl.assert_invariants();
 }
 
@@ -209,28 +240,53 @@ fn client_tier_progression() {
     let mut sink = Vec::new();
 
     let r1 = client
-        .call("http://svc/a", &op, &[Value::IntArray(vec![1, 2, 3])], &mut sink)
+        .call(
+            "http://svc/a",
+            &op,
+            &[Value::IntArray(vec![1, 2, 3])],
+            &mut sink,
+        )
         .unwrap();
     assert_eq!(r1.tier, SendTier::FirstTime);
 
     let r2 = client
-        .call("http://svc/a", &op, &[Value::IntArray(vec![1, 2, 3])], &mut sink)
+        .call(
+            "http://svc/a",
+            &op,
+            &[Value::IntArray(vec![1, 2, 3])],
+            &mut sink,
+        )
         .unwrap();
     assert_eq!(r2.tier, SendTier::ContentMatch);
 
     let r3 = client
-        .call("http://svc/a", &op, &[Value::IntArray(vec![1, 9, 3])], &mut sink)
+        .call(
+            "http://svc/a",
+            &op,
+            &[Value::IntArray(vec![1, 9, 3])],
+            &mut sink,
+        )
         .unwrap();
     assert_eq!(r3.tier, SendTier::PerfectStructural);
 
     let r4 = client
-        .call("http://svc/a", &op, &[Value::IntArray(vec![1, 9, 3, 4])], &mut sink)
+        .call(
+            "http://svc/a",
+            &op,
+            &[Value::IntArray(vec![1, 9, 3, 4])],
+            &mut sink,
+        )
         .unwrap();
     assert_eq!(r4.tier, SendTier::PartialStructural);
 
     // A different endpoint gets its own template (first-time again).
     let r5 = client
-        .call("http://svc/b", &op, &[Value::IntArray(vec![1, 2, 3])], &mut sink)
+        .call(
+            "http://svc/b",
+            &op,
+            &[Value::IntArray(vec![1, 2, 3])],
+            &mut sink,
+        )
         .unwrap();
     assert_eq!(r5.tier, SendTier::FirstTime);
 
@@ -253,7 +309,10 @@ fn stuffed_max_widths_pad_with_whitespace() {
     .unwrap();
     let text = String::from_utf8(tpl.to_bytes()).unwrap();
     // Field width 24 for a 1-char value → 23 pad spaces after </item>.
-    assert!(text.contains(&format!(">1</item>{}", " ".repeat(23))), "{text}");
+    assert!(
+        text.contains(&format!(">1</item>{}", " ".repeat(23))),
+        "{text}"
+    );
     tpl.assert_invariants();
 }
 
@@ -267,10 +326,16 @@ fn small_chunks_split_large_messages() {
     let tpl = MessageTemplate::build(
         config,
         &doubles_op(),
-        &[Value::DoubleArray((0..100).map(|i| i as f64 * 1.125).collect())],
+        &[Value::DoubleArray(
+            (0..100).map(|i| i as f64 * 1.125).collect(),
+        )],
     )
     .unwrap();
-    assert!(tpl.chunk_count() > 4, "message must span chunks: {}", tpl.chunk_count());
+    assert!(
+        tpl.chunk_count() > 4,
+        "message must span chunks: {}",
+        tpl.chunk_count()
+    );
     assert_eq!(well_formed(&tpl.to_bytes()), 100);
     tpl.assert_invariants();
 }
@@ -284,7 +349,10 @@ fn rejected_shapes() {
         "a",
         TypeDesc::array_of(TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int))),
     );
-    assert!(MessageTemplate::build(EngineConfig::paper_default(), &bad, &[Value::Array(vec![])]).is_err());
+    assert!(
+        MessageTemplate::build(EngineConfig::paper_default(), &bad, &[Value::Array(vec![])])
+            .is_err()
+    );
 
     // Array inside a struct.
     let bad2 = OpDesc::single(
@@ -293,7 +361,10 @@ fn rejected_shapes() {
         "s",
         TypeDesc::Struct {
             name: "holder".into(),
-            fields: vec![("inner".into(), TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)))],
+            fields: vec![(
+                "inner".into(),
+                TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)),
+            )],
         },
     );
     assert!(MessageTemplate::build(
@@ -325,7 +396,9 @@ fn nested_structs_supported() {
     let t2 = [Value::Struct(vec![point(0.0, 1.0), point(2.0, 99.5)])];
     assert_eq!(tpl.update_args(&t2).unwrap(), SendTier::PerfectStructural);
     tpl.flush();
-    assert!(String::from_utf8(tpl.to_bytes()).unwrap().contains(">99.5</y>"));
+    assert!(String::from_utf8(tpl.to_bytes())
+        .unwrap()
+        .contains(">99.5</y>"));
     tpl.assert_invariants();
 }
 
@@ -335,8 +408,14 @@ fn bool_and_long_leaves() {
         "flags",
         "urn:x",
         vec![
-            bsoap_core::ParamDesc { name: "on".into(), desc: TypeDesc::Scalar(ScalarKind::Bool) },
-            bsoap_core::ParamDesc { name: "big".into(), desc: TypeDesc::Scalar(ScalarKind::Long) },
+            bsoap_core::ParamDesc {
+                name: "on".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Bool),
+            },
+            bsoap_core::ParamDesc {
+                name: "big".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Long),
+            },
         ],
     );
     let mut tpl = MessageTemplate::build(
@@ -348,7 +427,8 @@ fn bool_and_long_leaves() {
     let text = String::from_utf8(tpl.to_bytes()).unwrap();
     assert!(text.contains(">true</on>"));
     assert!(text.contains(">1099511627776</big>"));
-    tpl.update_args(&[Value::Bool(false), Value::Long(-1)]).unwrap();
+    tpl.update_args(&[Value::Bool(false), Value::Long(-1)])
+        .unwrap();
     tpl.flush();
     let text = String::from_utf8(tpl.to_bytes()).unwrap();
     assert!(text.contains(">false</on>"));
@@ -363,12 +443,8 @@ fn width_policy_intermediate() {
         int: 6,
         long: 20,
     });
-    let tpl = MessageTemplate::build(
-        config,
-        &doubles_op(),
-        &[Value::DoubleArray(vec![1.0])],
-    )
-    .unwrap();
+    let tpl =
+        MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![1.0])]).unwrap();
     // 1-char value stuffed to 18 → 17 pad spaces.
     let text = String::from_utf8(tpl.to_bytes()).unwrap();
     assert!(text.contains(&format!(">1</item>{}", " ".repeat(17))));

@@ -70,7 +70,11 @@ struct Prev {
 impl DiffDeserializer {
     /// Deserializer expecting messages for `op`.
     pub fn new(op: OpDesc) -> Self {
-        DiffDeserializer { op, prev: None, stats: DeserStats::default() }
+        DiffDeserializer {
+            op,
+            prev: None,
+            stats: DeserStats::default(),
+        }
     }
 
     /// The operation this deserializer serves.
@@ -102,7 +106,10 @@ impl DiffDeserializer {
                 self.stats.leaves_skipped += skipped as u64;
             }
         }
-        Ok((&self.prev.as_ref().expect("set by inner").mapped.args, outcome))
+        Ok((
+            &self.prev.as_ref().expect("set by inner").mapped.args,
+            outcome,
+        ))
     }
 
     fn deserialize_inner(&mut self, bytes: &[u8]) -> Result<DiffOutcome, DeserError> {
@@ -157,7 +164,10 @@ impl DiffDeserializer {
 
     fn full_parse(&mut self, bytes: &[u8]) -> Result<DiffOutcome, DeserError> {
         let mapped = parse_envelope_mapped(bytes, &self.op)?;
-        self.prev = Some(Prev { bytes: bytes.to_vec(), mapped });
+        self.prev = Some(Prev {
+            bytes: bytes.to_vec(),
+            mapped,
+        });
         Ok(DiffOutcome::FullParse)
     }
 }
@@ -196,8 +206,10 @@ fn reparse_region(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bsoap_core::{EngineConfig, MessageTemplate, OpDesc, SendTier, TypeDesc, Value, WidthPolicy};
     use bsoap_convert::ScalarKind;
+    use bsoap_core::{
+        EngineConfig, MessageTemplate, OpDesc, SendTier, TypeDesc, Value, WidthPolicy,
+    };
 
     fn doubles_op() -> OpDesc {
         OpDesc::single(
@@ -212,8 +224,9 @@ mod tests {
     fn identical_message_short_circuits() {
         let op = doubles_op();
         let args = vec![Value::DoubleArray(vec![1.5, 2.5])];
-        let bytes =
-            MessageTemplate::build(EngineConfig::paper_default(), &op, &args).unwrap().to_bytes();
+        let bytes = MessageTemplate::build(EngineConfig::paper_default(), &op, &args)
+            .unwrap()
+            .to_bytes();
         let mut d = DiffDeserializer::new(op);
         let (got, o1) = d.deserialize(&bytes).unwrap();
         assert_eq!(o1, DiffOutcome::FullParse);
@@ -235,10 +248,17 @@ mod tests {
         let mut d = DiffDeserializer::new(op);
         d.deserialize(&tpl.to_bytes()).unwrap();
 
-        tpl.update_args(&[Value::DoubleArray(vec![9.5, 2.5])]).unwrap();
+        tpl.update_args(&[Value::DoubleArray(vec![9.5, 2.5])])
+            .unwrap();
         tpl.flush();
         let (got, outcome) = d.deserialize(&tpl.to_bytes()).unwrap();
-        assert_eq!(outcome, DiffOutcome::Differential { reparsed: 1, skipped: 1 });
+        assert_eq!(
+            outcome,
+            DiffOutcome::Differential {
+                reparsed: 1,
+                skipped: 1
+            }
+        );
         assert_eq!(got, &[Value::DoubleArray(vec![9.5, 2.5])]);
     }
 
@@ -259,7 +279,13 @@ mod tests {
         assert_eq!(tier, SendTier::PerfectStructural);
         tpl.flush();
         let (got, outcome) = d.deserialize(&tpl.to_bytes()).unwrap();
-        assert_eq!(outcome, DiffOutcome::Differential { reparsed: 1, skipped: 1 });
+        assert_eq!(
+            outcome,
+            DiffOutcome::Differential {
+                reparsed: 1,
+                skipped: 1
+            }
+        );
         assert_eq!(got, &[Value::DoubleArray(new)]);
     }
 
@@ -297,16 +323,24 @@ mod tests {
         d.deserialize(&tpl.to_bytes()).unwrap();
 
         // Grow: full parse.
-        tpl.update_args(&[Value::DoubleArray(vec![1.5, 2.5, 3.5])]).unwrap();
+        tpl.update_args(&[Value::DoubleArray(vec![1.5, 2.5, 3.5])])
+            .unwrap();
         tpl.flush();
         let (_, o) = d.deserialize(&tpl.to_bytes()).unwrap();
         assert_eq!(o, DiffOutcome::FullParse);
 
         // Same-shape change afterwards: differential again.
-        tpl.update_args(&[Value::DoubleArray(vec![1.5, 9.5, 3.5])]).unwrap();
+        tpl.update_args(&[Value::DoubleArray(vec![1.5, 9.5, 3.5])])
+            .unwrap();
         tpl.flush();
         let (got, o) = d.deserialize(&tpl.to_bytes()).unwrap();
-        assert_eq!(o, DiffOutcome::Differential { reparsed: 1, skipped: 2 });
+        assert_eq!(
+            o,
+            DiffOutcome::Differential {
+                reparsed: 1,
+                skipped: 2
+            }
+        );
         assert_eq!(got, &[Value::DoubleArray(vec![1.5, 9.5, 3.5])]);
     }
 
@@ -325,7 +359,13 @@ mod tests {
         tpl.update_args(&[Value::DoubleArray(new.clone())]).unwrap();
         tpl.flush();
         let (got, o) = d.deserialize(&tpl.to_bytes()).unwrap();
-        assert_eq!(o, DiffOutcome::Differential { reparsed: 4, skipped: 0 });
+        assert_eq!(
+            o,
+            DiffOutcome::Differential {
+                reparsed: 4,
+                skipped: 0
+            }
+        );
         assert_eq!(got, &[Value::DoubleArray(new)]);
     }
 
@@ -358,7 +398,8 @@ mod tests {
         let mut d = DiffDeserializer::new(op);
         d.deserialize(&tpl.to_bytes()).unwrap();
         d.deserialize(&tpl.to_bytes()).unwrap();
-        tpl.update_args(&[Value::DoubleArray(vec![7.5, 2.5])]).unwrap();
+        tpl.update_args(&[Value::DoubleArray(vec![7.5, 2.5])])
+            .unwrap();
         tpl.flush();
         d.deserialize(&tpl.to_bytes()).unwrap();
         let s = d.stats();

@@ -13,9 +13,9 @@
 //! the leaf's own region, never the skeleton around it.
 
 use crate::error::DeserError;
-use bsoap_core::{OpDesc, TypeDesc, Value};
 use bsoap_convert::parse as lex;
 use bsoap_convert::ScalarKind;
+use bsoap_core::{OpDesc, TypeDesc, Value};
 use bsoap_xml::{unescape, Event, PullParser};
 use std::ops::Range;
 
@@ -74,7 +74,10 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(bytes: &'a [u8]) -> Self {
-        Cursor { parser: PullParser::new(bytes), peeked: None }
+        Cursor {
+            parser: PullParser::new(bytes),
+            peeked: None,
+        }
     }
 
     fn next(&mut self) -> Result<Event, DeserError> {
@@ -122,7 +125,11 @@ struct Parser<'a> {
 }
 
 fn parse_inner(bytes: &[u8], op: &OpDesc, mapped: bool) -> Result<MappedMessage, DeserError> {
-    let mut p = Parser { cur: Cursor::new(bytes), mapped, leaves: Vec::new() };
+    let mut p = Parser {
+        cur: Cursor::new(bytes),
+        mapped,
+        leaves: Vec::new(),
+    };
 
     p.expect_start("SOAP-ENV:Envelope")?;
     p.expect_start("SOAP-ENV:Body")?;
@@ -139,7 +146,11 @@ fn parse_inner(bytes: &[u8], op: &OpDesc, mapped: bool) -> Result<MappedMessage,
     p.expect_end("SOAP-ENV:Body")?;
     p.expect_end("SOAP-ENV:Envelope")?;
     p.expect_eof()?;
-    Ok(MappedMessage { args, leaves: p.leaves, len: bytes.len() })
+    Ok(MappedMessage {
+        args,
+        leaves: p.leaves,
+        len: bytes.len(),
+    })
 }
 
 impl<'a> Parser<'a> {
@@ -149,16 +160,27 @@ impl<'a> Parser<'a> {
 
     fn expect_start(&mut self, name: &str) -> Result<StartTag, DeserError> {
         match self.cur.next_significant()? {
-            Event::Start { name: n, attrs, range, .. } => {
+            Event::Start {
+                name: n,
+                attrs,
+                range,
+                ..
+            } => {
                 if &self.cur.input()[n.clone()] != name.as_bytes() {
                     return Err(DeserError::shape(format!(
                         "expected <{name}>, found <{}>",
                         self.name_text(&n)
                     )));
                 }
-                Ok(StartTag { attrs, name: n, tag_end: range.end })
+                Ok(StartTag {
+                    attrs,
+                    name: n,
+                    tag_end: range.end,
+                })
             }
-            other => Err(DeserError::shape(format!("expected <{name}>, found {other:?}"))),
+            other => Err(DeserError::shape(format!(
+                "expected <{name}>, found {other:?}"
+            ))),
         }
     }
 
@@ -173,7 +195,9 @@ impl<'a> Parser<'a> {
                 }
                 Ok(())
             }
-            other => Err(DeserError::shape(format!("expected </{name}>, found {other:?}"))),
+            other => Err(DeserError::shape(format!(
+                "expected </{name}>, found {other:?}"
+            ))),
         }
     }
 
@@ -216,9 +240,7 @@ impl<'a> Parser<'a> {
                 self.expect_end(name)?;
                 Ok(Value::Struct(vals))
             }
-            TypeDesc::Array { .. } => {
-                Err(DeserError::shape("nested arrays are not supported"))
-            }
+            TypeDesc::Array { .. } => Err(DeserError::shape("nested arrays are not supported")),
         }
     }
 
@@ -252,7 +274,9 @@ impl<'a> Parser<'a> {
                 }
                 n
             }
-            other => Err(DeserError::shape(format!("expected </{name}>, found {other:?}")))?,
+            other => Err(DeserError::shape(format!(
+                "expected </{name}>, found {other:?}"
+            )))?,
         };
         let raw = &self.cur.input()[text_range.clone()];
         let value = parse_scalar(raw, kind, name)?;
@@ -269,7 +293,10 @@ impl<'a> Parser<'a> {
                 end += 1;
             }
             self.leaves.push(LeafRegion {
-                slot: LeafSlot { param: pidx, leaf: *leaf_counter },
+                slot: LeafSlot {
+                    param: pidx,
+                    leaf: *leaf_counter,
+                },
                 kind,
                 region: open_end..end,
                 open_name,
@@ -361,10 +388,15 @@ impl<'a> Parser<'a> {
                     .ok_or_else(|| DeserError::shape("arrayType missing ']'"))?;
                 return lex::parse_i32(lex::trim_xml_ws(&v[open + 1..close]))
                     .map(|n| n as usize)
-                    .map_err(|err| DeserError::Lexical { at: "arrayType length".into(), err });
+                    .map_err(|err| DeserError::Lexical {
+                        at: "arrayType length".into(),
+                        err,
+                    });
             }
         }
-        Err(DeserError::shape("array element missing SOAP-ENC:arrayType"))
+        Err(DeserError::shape(
+            "array element missing SOAP-ENC:arrayType",
+        ))
     }
 }
 
@@ -384,7 +416,9 @@ enum ArrayAccum {
 impl ArrayAccum {
     fn new(item: &TypeDesc, capacity: usize) -> Self {
         match item {
-            TypeDesc::Scalar(ScalarKind::Double) => ArrayAccum::Doubles(Vec::with_capacity(capacity)),
+            TypeDesc::Scalar(ScalarKind::Double) => {
+                ArrayAccum::Doubles(Vec::with_capacity(capacity))
+            }
             TypeDesc::Scalar(ScalarKind::Int) => ArrayAccum::Ints(Vec::with_capacity(capacity)),
             _ => ArrayAccum::Boxed(Vec::with_capacity(capacity)),
         }
@@ -411,7 +445,10 @@ impl ArrayAccum {
 
 /// Parse one scalar's raw text (entities unresolved) as `kind`.
 pub(crate) fn parse_scalar(raw: &[u8], kind: ScalarKind, at: &str) -> Result<Value, DeserError> {
-    let lexical_err = |err| DeserError::Lexical { at: at.to_owned(), err };
+    let lexical_err = |err| DeserError::Lexical {
+        at: at.to_owned(),
+        err,
+    };
     Ok(match kind {
         ScalarKind::Int => Value::Int(lex::parse_i32(lex::trim_xml_ws(raw)).map_err(lexical_err)?),
         ScalarKind::Long => {
@@ -541,13 +578,20 @@ mod tests {
     }
 
     fn build_bytes(op: &OpDesc, args: &[Value]) -> Vec<u8> {
-        MessageTemplate::build(EngineConfig::paper_default(), op, args).unwrap().to_bytes()
+        MessageTemplate::build(EngineConfig::paper_default(), op, args)
+            .unwrap()
+            .to_bytes()
     }
 
     #[test]
     fn round_trip_doubles() {
         let op = doubles_op();
-        let args = vec![Value::DoubleArray(vec![0.25, -1.5, 3e300, f64::MIN_POSITIVE])];
+        let args = vec![Value::DoubleArray(vec![
+            0.25,
+            -1.5,
+            3e300,
+            f64::MIN_POSITIVE,
+        ])];
         let bytes = build_bytes(&op, &args);
         assert_eq!(parse_envelope(&bytes, &op).unwrap(), args);
     }
@@ -566,13 +610,22 @@ mod tests {
             "mixed",
             "urn:x",
             vec![
-                ParamDesc { name: "id".into(), desc: TypeDesc::Scalar(ScalarKind::Int) },
-                ParamDesc { name: "label".into(), desc: TypeDesc::Scalar(ScalarKind::Str) },
+                ParamDesc {
+                    name: "id".into(),
+                    desc: TypeDesc::Scalar(ScalarKind::Int),
+                },
+                ParamDesc {
+                    name: "label".into(),
+                    desc: TypeDesc::Scalar(ScalarKind::Str),
+                },
                 ParamDesc {
                     name: "xs".into(),
                     desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)),
                 },
-                ParamDesc { name: "p".into(), desc: TypeDesc::mio() },
+                ParamDesc {
+                    name: "p".into(),
+                    desc: TypeDesc::mio(),
+                },
             ],
         );
         let args = vec![
@@ -661,7 +714,13 @@ mod tests {
             let text = std::str::from_utf8(region).unwrap();
             assert!(text.starts_with(&format!("{}.5", i)), "{text}");
             assert!(text.contains("</item>"), "{text}");
-            assert_eq!(leaf.slot, LeafSlot { param: 0, leaf: i as u32 });
+            assert_eq!(
+                leaf.slot,
+                LeafSlot {
+                    param: 0,
+                    leaf: i as u32
+                }
+            );
         }
         // Regions are disjoint and sorted.
         for w in mapped.leaves.windows(2) {
@@ -690,19 +749,45 @@ mod tests {
                     name: "d".into(),
                     desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
                 },
-                ParamDesc { name: "p".into(), desc: TypeDesc::mio() },
+                ParamDesc {
+                    name: "p".into(),
+                    desc: TypeDesc::mio(),
+                },
             ],
         );
         let mut args = vec![Value::DoubleArray(vec![1.0, 2.0]), mio(1, 2, 3.0)];
-        apply_leaf(&mut args, &op, LeafSlot { param: 0, leaf: 1 }, Value::Double(9.0)).unwrap();
+        apply_leaf(
+            &mut args,
+            &op,
+            LeafSlot { param: 0, leaf: 1 },
+            Value::Double(9.0),
+        )
+        .unwrap();
         assert_eq!(args[0], Value::DoubleArray(vec![1.0, 9.0]));
-        apply_leaf(&mut args, &op, LeafSlot { param: 1, leaf: 2 }, Value::Double(7.5)).unwrap();
+        apply_leaf(
+            &mut args,
+            &op,
+            LeafSlot { param: 1, leaf: 2 },
+            Value::Double(7.5),
+        )
+        .unwrap();
         assert_eq!(args[1], mio(1, 2, 7.5));
-        apply_leaf(&mut args, &op, LeafSlot { param: 1, leaf: 0 }, Value::Int(42)).unwrap();
+        apply_leaf(
+            &mut args,
+            &op,
+            LeafSlot { param: 1, leaf: 0 },
+            Value::Int(42),
+        )
+        .unwrap();
         assert_eq!(args[1], mio(42, 2, 7.5));
         // Out-of-range slot errors.
-        assert!(apply_leaf(&mut args, &op, LeafSlot { param: 0, leaf: 5 }, Value::Double(0.0))
-            .is_err());
+        assert!(apply_leaf(
+            &mut args,
+            &op,
+            LeafSlot { param: 0, leaf: 5 },
+            Value::Double(0.0)
+        )
+        .is_err());
     }
 
     #[test]

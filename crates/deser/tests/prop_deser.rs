@@ -1,9 +1,9 @@
 //! Property tests: deserialization inverts serialization, and the
 //! differential path is observationally identical to full parsing.
 
+use bsoap_convert::ScalarKind;
 use bsoap_core::value::mio;
 use bsoap_core::{EngineConfig, MessageTemplate, OpDesc, TypeDesc, Value, WidthPolicy};
-use bsoap_convert::ScalarKind;
 use bsoap_deser::{parse_envelope, DiffDeserializer};
 use proptest::prelude::*;
 
@@ -17,24 +17,33 @@ fn doubles_op() -> OpDesc {
 }
 
 fn mios_op() -> OpDesc {
-    OpDesc::single("sendM", "urn:bench", "arr", TypeDesc::array_of(TypeDesc::mio()))
+    OpDesc::single(
+        "sendM",
+        "urn:bench",
+        "arr",
+        TypeDesc::array_of(TypeDesc::mio()),
+    )
 }
 
 fn any_finite_f64() -> impl Strategy<Value = f64> {
     // Full bit-pattern coverage, filtered to XML-representable values
     // (xsd:double has no NaN/Inf lexical forms in our profile).
-    any::<u64>().prop_map(f64::from_bits).prop_filter("finite", |x| x.is_finite())
+    any::<u64>()
+        .prop_map(f64::from_bits)
+        .prop_filter("finite", |x| x.is_finite())
 }
 
 fn config_strategy() -> impl Strategy<Value = EngineConfig> {
     prop_oneof![
         Just(EngineConfig::paper_default()),
         Just(EngineConfig::stuffed_max()),
-        Just(EngineConfig::paper_default().with_width(WidthPolicy::Fixed {
-            double: 18,
-            int: 6,
-            long: 12
-        })),
+        Just(
+            EngineConfig::paper_default().with_width(WidthPolicy::Fixed {
+                double: 18,
+                int: 6,
+                long: 12
+            })
+        ),
     ]
 }
 

@@ -102,8 +102,11 @@ impl Service {
         response_params: Vec<bsoap_core::ParamDesc>,
         handler: impl Fn(&[Value]) -> Result<Vec<Value>, String> + Send + Sync + 'static,
     ) {
-        let response =
-            OpDesc::new(&format!("{}Response", request.name), &request.namespace, response_params);
+        let response = OpDesc::new(
+            &format!("{}Response", request.name),
+            &request.namespace,
+            response_params,
+        );
         let name = request.name.clone();
         let deser = DiffDeserializer::new(request.clone());
         self.ops.insert(
@@ -222,8 +225,8 @@ impl Service {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bsoap_core::{ParamDesc, TypeDesc};
     use bsoap_convert::ScalarKind;
+    use bsoap_core::{ParamDesc, TypeDesc};
 
     fn echo_service() -> Service {
         let mut svc = Service::new("urn:echo", EngineConfig::paper_default());
@@ -275,7 +278,8 @@ mod tests {
         svc.dispatch("echo", &request_bytes(&[1.5, 2.5])).unwrap();
         svc.dispatch("echo", &request_bytes(&[1.5, 2.5])).unwrap();
         svc.dispatch("echo", &request_bytes(&[9.5, 2.5])).unwrap();
-        svc.dispatch("echo", &request_bytes(&[9.5, 2.5, 3.5])).unwrap();
+        svc.dispatch("echo", &request_bytes(&[9.5, 2.5, 3.5]))
+            .unwrap();
         let s = svc.stats();
         assert_eq!(s.requests, 4);
         assert_eq!(s.responses_first, 1);
@@ -310,13 +314,19 @@ mod tests {
         let op = OpDesc::single("f", "urn:f", "v", TypeDesc::Scalar(ScalarKind::Int));
         svc.register(
             op.clone(),
-            vec![ParamDesc { name: "r".into(), desc: TypeDesc::Scalar(ScalarKind::Int) }],
+            vec![ParamDesc {
+                name: "r".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Int),
+            }],
             |_| Err("nope".to_owned()),
         );
         let body = MessageTemplate::build(EngineConfig::paper_default(), &op, &[Value::Int(1)])
             .unwrap()
             .to_bytes();
-        assert!(matches!(svc.dispatch("f", &body), Err(HandlerError::Fault(_))));
+        assert!(matches!(
+            svc.dispatch("f", &body),
+            Err(HandlerError::Fault(_))
+        ));
         assert_eq!(svc.stats().faults, 1);
     }
 

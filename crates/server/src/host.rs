@@ -44,7 +44,8 @@ impl HttpServer {
                             conn_registry.lock().push(clone);
                         }
                         let svc = Arc::clone(&conn_service);
-                        conn_threads.push(std::thread::spawn(move || serve_connection(stream, &svc)));
+                        conn_threads
+                            .push(std::thread::spawn(move || serve_connection(stream, &svc)));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         if conn_stop.load(Ordering::Acquire) {
@@ -66,7 +67,12 @@ impl HttpServer {
             }
         });
         let _ = conns; // registry is owned by the accept thread
-        Ok(HttpServer { addr, service, stop, accept_thread: Some(accept_thread) })
+        Ok(HttpServer {
+            addr,
+            service,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// Address clients should POST to.
@@ -109,7 +115,9 @@ fn operation_from_action(action: &str) -> Option<&str> {
 }
 
 fn serve_connection(mut stream: TcpStream, service: &Service) {
-    let Ok(read_half) = stream.try_clone() else { return };
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
     let mut reader = RequestReader::new(read_half);
     let mut response_buf = Vec::new();
     while let Ok(Some((head, body))) = reader.next_request() {
@@ -127,7 +135,11 @@ fn serve_connection(mut stream: TcpStream, service: &Service) {
             Err(HandlerError::Fault(msg)) => {
                 // Application faults are HTTP 500 with a Fault body per
                 // SOAP 1.1 §6.2.
-                (500, "Internal Server Error", Service::fault_envelope("SOAP-ENV:Server", &msg))
+                (
+                    500,
+                    "Internal Server Error",
+                    Service::fault_envelope("SOAP-ENV:Server", &msg),
+                )
             }
             Err(HandlerError::UnknownOperation(op)) => (
                 404,
@@ -150,8 +162,8 @@ fn serve_connection(mut stream: TcpStream, service: &Service) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bsoap_core::{EngineConfig, MessageTemplate, OpDesc, ParamDesc, TypeDesc, Value};
     use bsoap_convert::ScalarKind;
+    use bsoap_core::{EngineConfig, MessageTemplate, OpDesc, ParamDesc, TypeDesc, Value};
     use bsoap_transport::http::{post_gather, read_response, HttpVersion, RequestConfig};
     use std::io::IoSlice;
 
@@ -165,9 +177,14 @@ mod tests {
         );
         svc.register(
             op,
-            vec![ParamDesc { name: "total".into(), desc: TypeDesc::Scalar(ScalarKind::Double) }],
+            vec![ParamDesc {
+                name: "total".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Double),
+            }],
             |args| {
-                let Value::DoubleArray(v) = &args[0] else { return Err("type".into()) };
+                let Value::DoubleArray(v) = &args[0] else {
+                    return Err("type".into());
+                };
                 Ok(vec![Value::Double(v.iter().sum())])
             },
         );
@@ -206,12 +223,19 @@ mod tests {
     #[test]
     fn end_to_end_sum() {
         let server = HttpServer::spawn(sum_service()).unwrap();
-        let (status, resp) = post(server.addr(), "urn:sum#sum", &request_bytes(&[1.5, 2.5, 3.0]));
+        let (status, resp) = post(
+            server.addr(),
+            "urn:sum#sum",
+            &request_bytes(&[1.5, 2.5, 3.0]),
+        );
         assert_eq!(status, 200);
         let resp_op = OpDesc::new(
             "sumResponse",
             "urn:sum",
-            vec![ParamDesc { name: "total".into(), desc: TypeDesc::Scalar(ScalarKind::Double) }],
+            vec![ParamDesc {
+                name: "total".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Double),
+            }],
         );
         let parsed = bsoap_deser::parse_envelope(&resp, &resp_op).unwrap();
         assert_eq!(parsed, vec![Value::Double(7.0)]);
@@ -256,7 +280,10 @@ mod tests {
         let op = OpDesc::single("f", "urn:f", "v", TypeDesc::Scalar(ScalarKind::Int));
         svc.register(
             op.clone(),
-            vec![ParamDesc { name: "r".into(), desc: TypeDesc::Scalar(ScalarKind::Int) }],
+            vec![ParamDesc {
+                name: "r".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Int),
+            }],
             |_| Err("deliberate".into()),
         );
         let server = HttpServer::spawn(svc).unwrap();

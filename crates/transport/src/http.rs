@@ -243,7 +243,12 @@ pub struct RequestReader<R> {
 impl<R: Read> RequestReader<R> {
     /// Wrap a stream.
     pub fn new(stream: R) -> Self {
-        RequestReader { stream, buf: vec![0; 64 * 1024], filled: 0, consumed: 0 }
+        RequestReader {
+            stream,
+            buf: vec![0; 64 * 1024],
+            filled: 0,
+            consumed: 0,
+        }
     }
 
     /// Read one full request. Returns `Ok(None)` on clean EOF before any
@@ -303,8 +308,7 @@ impl<R: Read> RequestReader<R> {
         loop {
             let line = self.read_line()?;
             let size_text = line.split(|&b| b == b';').next().unwrap_or(&line);
-            let size = parse_hex(size_text)
-                .ok_or(HttpError::BadChunk("bad chunk size line"))?;
+            let size = parse_hex(size_text).ok_or(HttpError::BadChunk("bad chunk size line"))?;
             if size == 0 {
                 // Trailer section: skip lines until the blank one.
                 loop {
@@ -356,7 +360,9 @@ pub fn parse_request_head(head: &[u8]) -> Result<RequestHead, HttpError> {
         if line.is_empty() {
             continue;
         }
-        let (name, value) = line.split_once(':').ok_or(HttpError::BadHead("header missing colon"))?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::BadHead("header missing colon"))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
     Ok(RequestHead {
@@ -403,7 +409,9 @@ pub fn read_response(stream: &mut impl Read) -> io::Result<(u16, Vec<u8>)> {
         .lines()
         .find_map(|l| {
             let (n, v) = l.split_once(':')?;
-            n.trim().eq_ignore_ascii_case("content-length").then(|| v.trim().parse::<usize>())
+            n.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse::<usize>())
         })
         .transpose()
         .map_err(|_| HttpError::BadFraming("non-numeric content-length"))?
@@ -450,7 +458,10 @@ mod tests {
         assert_eq!(n, wire.len());
         let mut reader = RequestReader::new(&wire[..]);
         let got = reader.next_request().unwrap().expect("one request");
-        assert!(reader.next_request().unwrap().is_none(), "exactly one request");
+        assert!(
+            reader.next_request().unwrap().is_none(),
+            "exactly one request"
+        );
         got
     }
 
@@ -472,7 +483,9 @@ mod tests {
 
     #[test]
     fn chunked_round_trip() {
-        let parts: Vec<Vec<u8>> = (0..5).map(|i| vec![b'a' + i as u8; 100 * (i + 1)]).collect();
+        let parts: Vec<Vec<u8>> = (0..5)
+            .map(|i| vec![b'a' + i as u8; 100 * (i + 1)])
+            .collect();
         let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
         let (head, body) = round_trip(HttpVersion::Http11Chunked, &refs);
         assert_eq!(head.header("transfer-encoding"), Some("chunked"));
@@ -528,15 +541,10 @@ mod tests {
 
     #[test]
     fn framing_detection() {
-        let head = parse_request_head(
-            b"POST / HTTP/1.1\r\nContent-Length: 12\r\n\r\n",
-        )
-        .unwrap();
+        let head = parse_request_head(b"POST / HTTP/1.1\r\nContent-Length: 12\r\n\r\n").unwrap();
         assert_eq!(head.framing().unwrap(), BodyFraming::Length(12));
-        let head = parse_request_head(
-            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
-        )
-        .unwrap();
+        let head =
+            parse_request_head(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap();
         assert_eq!(head.framing().unwrap(), BodyFraming::Chunked);
         let head = parse_request_head(b"POST / HTTP/1.1\r\n\r\n").unwrap();
         assert!(head.framing().is_err());

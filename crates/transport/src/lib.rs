@@ -72,7 +72,10 @@ pub fn write_gather(w: &mut impl io::Write, slices: &[IoSlice<'_>]) -> io::Resul
         view.extend(slices[idx + 1..].iter().map(|s| IoSlice::new(s)));
         let n = w.write_vectored(&view)?;
         if n == 0 {
-            return Err(io::Error::new(io::ErrorKind::WriteZero, "vectored write returned zero"));
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "vectored write returned zero",
+            ));
         }
         let mut remaining = n + off;
         off = 0;
@@ -148,7 +151,10 @@ mod tests {
         let b = b"hij".to_vec();
         let c = b"klmnop".to_vec();
         for cap in [1, 2, 4, 5, 16] {
-            let mut w = Dribble { out: Vec::new(), cap };
+            let mut w = Dribble {
+                out: Vec::new(),
+                cap,
+            };
             let slices = [IoSlice::new(&a), IoSlice::new(&b), IoSlice::new(&c)];
             let n = write_gather(&mut w, &slices).unwrap();
             assert_eq!(n, 16);

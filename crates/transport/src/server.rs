@@ -116,7 +116,11 @@ impl TestServer {
                 let _ = t.join();
             }
         });
-        Ok(TestServer { addr, shared, accept_thread: Some(accept_thread) })
+        Ok(TestServer {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The address clients should connect to.
@@ -186,7 +190,10 @@ fn collect(mut stream: TcpStream, shared: &Shared) {
     while let Ok(Some((head, body))) = reader.next_request() {
         shared.bytes.fetch_add(body.len() as u64, Ordering::Relaxed);
         shared.requests.fetch_add(1, Ordering::Relaxed);
-        shared.collected.lock().push(CollectedRequest { head, body });
+        shared
+            .collected
+            .lock()
+            .push(CollectedRequest { head, body });
         render_response(&mut response, 200, "OK", b"<ack/>");
         if stream.write_all(&response).is_err() {
             break;

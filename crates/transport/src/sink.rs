@@ -26,12 +26,20 @@ pub struct SinkTransport {
 impl SinkTransport {
     /// Sink that models the socket-buffer copy (reads every byte).
     pub fn new() -> Self {
-        SinkTransport { bytes: 0, messages: 0, touch_bytes: true, checksum: 0 }
+        SinkTransport {
+            bytes: 0,
+            messages: 0,
+            touch_bytes: true,
+            checksum: 0,
+        }
     }
 
     /// Sink that only counts (pure accounting; no per-byte work).
     pub fn counting_only() -> Self {
-        SinkTransport { touch_bytes: false, ..Self::new() }
+        SinkTransport {
+            touch_bytes: false,
+            ..Self::new()
+        }
     }
 
     /// Messages accepted.
@@ -107,7 +115,9 @@ mod tests {
         let mut s = SinkTransport::new();
         let a = b"hello".to_vec();
         let b = b" world".to_vec();
-        let n = s.send_message(&[IoSlice::new(&a), IoSlice::new(&b)]).unwrap();
+        let n = s
+            .send_message(&[IoSlice::new(&a), IoSlice::new(&b)])
+            .unwrap();
         assert_eq!(n, 11);
         assert_eq!(s.bytes_sent(), 11);
         assert_eq!(s.messages(), 1);

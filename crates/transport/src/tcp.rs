@@ -34,7 +34,10 @@ pub struct TcpTransport {
 #[derive(Debug)]
 enum FramingState {
     Raw,
-    Http { cfg: RequestConfig, head_scratch: Vec<u8> },
+    Http {
+        cfg: RequestConfig,
+        head_scratch: Vec<u8>,
+    },
 }
 
 impl TcpTransport {
@@ -46,7 +49,10 @@ impl TcpTransport {
             stream,
             framing: match framing {
                 Framing::Raw => FramingState::Raw,
-                Framing::Http(cfg) => FramingState::Http { cfg, head_scratch: Vec::with_capacity(256) },
+                Framing::Http(cfg) => FramingState::Http {
+                    cfg,
+                    head_scratch: Vec::with_capacity(256),
+                },
             },
             bytes: 0,
         })
@@ -173,7 +179,8 @@ mod tests {
         let mut t = TcpTransport::connect(server.addr(), Framing::Http(cfg)).unwrap();
         let a = vec![b'x'; 5000];
         let b = vec![b'y'; 7000];
-        t.send_message(&[IoSlice::new(&a), IoSlice::new(&b)]).unwrap();
+        t.send_message(&[IoSlice::new(&a), IoSlice::new(&b)])
+            .unwrap();
         t.finish().unwrap();
         drop(t);
         let reqs = server.stop_collecting();

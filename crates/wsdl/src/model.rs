@@ -1,7 +1,7 @@
 //! The service model WSDL documents map onto.
 
-use bsoap_core::{OpDesc, TypeDesc};
 use bsoap_convert::ScalarKind;
+use bsoap_core::{OpDesc, TypeDesc};
 use std::fmt;
 
 /// A described service: what a WSDL `definitions` document names.
@@ -115,7 +115,13 @@ mod tests {
 
     #[test]
     fn scalar_qnames_round_trip() {
-        for k in [ScalarKind::Int, ScalarKind::Long, ScalarKind::Double, ScalarKind::Bool, ScalarKind::Str] {
+        for k in [
+            ScalarKind::Int,
+            ScalarKind::Long,
+            ScalarKind::Double,
+            ScalarKind::Bool,
+            ScalarKind::Str,
+        ] {
             assert_eq!(qname_scalar(scalar_qname(k)), Some(k));
         }
         assert_eq!(qname_scalar("xsd:decimal"), None);
@@ -123,13 +129,19 @@ mod tests {
 
     #[test]
     fn type_refs() {
-        assert_eq!(type_ref(&TypeDesc::Scalar(ScalarKind::Double)), "xsd:double");
+        assert_eq!(
+            type_ref(&TypeDesc::Scalar(ScalarKind::Double)),
+            "xsd:double"
+        );
         assert_eq!(type_ref(&TypeDesc::mio()), "tns:mio");
         assert_eq!(
             type_ref(&TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double))),
             "tns:ArrayOfDouble"
         );
-        assert_eq!(type_ref(&TypeDesc::array_of(TypeDesc::mio())), "tns:ArrayOfMio");
+        assert_eq!(
+            type_ref(&TypeDesc::array_of(TypeDesc::mio())),
+            "tns:ArrayOfMio"
+        );
     }
 
     #[test]

@@ -68,12 +68,16 @@ pub fn parse_wsdl(bytes: &[u8]) -> Result<ServiceDesc, WsdlError> {
         .ok_or(WsdlError::Missing("portType"))?;
     let mut operations = Vec::new();
     for op in port_type.children_named("operation") {
-        let oname = op.attr("name").ok_or(WsdlError::Missing("operation/@name"))?;
+        let oname = op
+            .attr("name")
+            .ok_or(WsdlError::Missing("operation/@name"))?;
         let input = op
             .children_named("input")
             .next()
             .ok_or(WsdlError::Missing("operation/input"))?;
-        let msg_ref = input.attr("message").ok_or(WsdlError::Missing("input/@message"))?;
+        let msg_ref = input
+            .attr("message")
+            .ok_or(WsdlError::Missing("input/@message"))?;
         let msg_local = local_of(msg_ref);
         let parts = messages
             .get(msg_local)
@@ -98,7 +102,12 @@ pub fn parse_wsdl(bytes: &[u8]) -> Result<ServiceDesc, WsdlError> {
         .ok_or(WsdlError::Missing("service/port/address/@location"))?
         .to_owned();
 
-    Ok(ServiceDesc { name, namespace, endpoint, operations })
+    Ok(ServiceDesc {
+        name,
+        namespace,
+        endpoint,
+        operations,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -147,8 +156,8 @@ fn read_tree(bytes: &[u8]) -> Result<Elem, WsdlError> {
                 }
             }
             Event::Start { name, attrs, .. } => {
-                let local = local_of(std::str::from_utf8(&bytes[name]).map_err(utf8_err)?)
-                    .to_owned();
+                let local =
+                    local_of(std::str::from_utf8(&bytes[name]).map_err(utf8_err)?).to_owned();
                 let attrs = attrs
                     .into_iter()
                     .map(|a| {
@@ -159,7 +168,11 @@ fn read_tree(bytes: &[u8]) -> Result<Elem, WsdlError> {
                         Ok((n.to_owned(), v))
                     })
                     .collect::<Result<Vec<_>, WsdlError>>()?;
-                stack.push(Elem { local, attrs, children: Vec::new() });
+                stack.push(Elem {
+                    local,
+                    attrs,
+                    children: Vec::new(),
+                });
             }
             Event::End { .. } => {
                 let done = stack.pop().expect("parser guarantees balance");
@@ -231,7 +244,12 @@ fn read_complex_type(ct: &Elem) -> Result<(String, RawType), WsdlError> {
         let item_ref = array_type
             .strip_suffix("[]")
             .ok_or_else(|| WsdlError::Unsupported(format!("arrayType {array_type:?}")))?;
-        return Ok((name, RawType::Array { item_ref: item_ref.to_owned() }));
+        return Ok((
+            name,
+            RawType::Array {
+                item_ref: item_ref.to_owned(),
+            },
+        ));
     }
     // Struct pattern: sequence of elements.
     if let Some(seq) = ct.children_named("sequence").next() {
@@ -276,11 +294,12 @@ fn resolve(
             for (fname, ftype) in fields {
                 resolved.push((fname.clone(), resolve(ftype, raw, in_progress)?));
             }
-            Ok(TypeDesc::Struct { name: local.clone(), fields: resolved })
+            Ok(TypeDesc::Struct {
+                name: local.clone(),
+                fields: resolved,
+            })
         }
-        RawType::Array { item_ref } => {
-            Ok(TypeDesc::array_of(resolve(item_ref, raw, in_progress)?))
-        }
+        RawType::Array { item_ref } => Ok(TypeDesc::array_of(resolve(item_ref, raw, in_progress)?)),
     };
     in_progress.pop();
     result
@@ -348,9 +367,15 @@ mod tests {
 
     #[test]
     fn missing_sections_error() {
-        assert!(matches!(parse_wsdl(b"<definitions/>"), Err(WsdlError::Missing(_))));
+        assert!(matches!(
+            parse_wsdl(b"<definitions/>"),
+            Err(WsdlError::Missing(_))
+        ));
         let no_porttype = br#"<definitions targetNamespace="urn:x"></definitions>"#;
-        assert!(matches!(parse_wsdl(no_porttype), Err(WsdlError::Missing("portType"))));
+        assert!(matches!(
+            parse_wsdl(no_porttype),
+            Err(WsdlError::Missing("portType"))
+        ));
     }
 
     #[test]
@@ -406,8 +431,14 @@ mod tests {
 
     #[test]
     fn malformed_xml_reported() {
-        assert!(matches!(parse_wsdl(b"<definitions"), Err(WsdlError::Xml(_))));
-        assert!(matches!(parse_wsdl(b""), Err(WsdlError::Missing(_) | WsdlError::Xml(_))));
+        assert!(matches!(
+            parse_wsdl(b"<definitions"),
+            Err(WsdlError::Xml(_))
+        ));
+        assert!(matches!(
+            parse_wsdl(b""),
+            Err(WsdlError::Missing(_) | WsdlError::Xml(_))
+        ));
     }
 
     #[test]

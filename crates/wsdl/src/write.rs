@@ -12,13 +12,18 @@ use std::collections::BTreeMap;
 
 /// Render `svc` as a WSDL 1.1 document.
 pub fn write_wsdl(svc: &ServiceDesc) -> String {
-    let mut w = Writer { out: String::new(), scratch: Vec::new() };
+    let mut w = Writer {
+        out: String::new(),
+        scratch: Vec::new(),
+    };
     w.raw("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
-    w.raw("<wsdl:definitions xmlns:wsdl=\"http://schemas.xmlsoap.org/wsdl/\" \
+    w.raw(
+        "<wsdl:definitions xmlns:wsdl=\"http://schemas.xmlsoap.org/wsdl/\" \
            xmlns:soap=\"http://schemas.xmlsoap.org/wsdl/soap/\" \
            xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\" \
            xmlns:SOAP-ENC=\"http://schemas.xmlsoap.org/soap/encoding/\" \
-           xmlns:tns=\"");
+           xmlns:tns=\"",
+    );
     w.attr_text(&svc.namespace);
     w.raw("\" targetNamespace=\"");
     w.attr_text(&svc.namespace);
@@ -49,7 +54,8 @@ impl Writer {
     fn attr_text(&mut self, s: &str) {
         self.scratch.clear();
         escape_attr_into(&mut self.scratch, s);
-        self.out.push_str(std::str::from_utf8(&self.scratch).expect("escaped ASCII-safe"));
+        self.out
+            .push_str(std::str::from_utf8(&self.scratch).expect("escaped ASCII-safe"));
     }
 }
 
@@ -108,16 +114,20 @@ fn write_types(w: &mut Writer, svc: &ServiceDesc) {
                 // The classic rpc/encoded SOAP array declaration.
                 w.raw("      <xsd:complexType name=\"");
                 w.attr_text(name);
-                w.raw("\">\n        <xsd:complexContent>\n          \
+                w.raw(
+                    "\">\n        <xsd:complexContent>\n          \
                        <xsd:restriction base=\"SOAP-ENC:Array\">\n            \
-                       <xsd:attribute ref=\"SOAP-ENC:arrayType\" wsdl:arrayType=\"");
+                       <xsd:attribute ref=\"SOAP-ENC:arrayType\" wsdl:arrayType=\"",
+                );
                 let item_ref = match item.as_ref() {
                     TypeDesc::Scalar(k) => scalar_qname(*k).to_owned(),
                     other => type_ref(other),
                 };
                 w.attr_text(&format!("{item_ref}[]"));
-                w.raw("\"/>\n          </xsd:restriction>\n        \
-                       </xsd:complexContent>\n      </xsd:complexType>\n");
+                w.raw(
+                    "\"/>\n          </xsd:restriction>\n        \
+                       </xsd:complexContent>\n      </xsd:complexType>\n",
+                );
             }
             TypeDesc::Scalar(_) => unreachable!("scalars are not named types"),
         }
@@ -160,15 +170,19 @@ fn write_binding(w: &mut Writer, svc: &ServiceDesc) {
     w.attr_text(&format!("{}Binding", svc.name));
     w.raw("\" type=\"");
     w.attr_text(&format!("tns:{}PortType", svc.name));
-    w.raw("\">\n    <soap:binding style=\"rpc\" \
-           transport=\"http://schemas.xmlsoap.org/soap/http\"/>\n");
+    w.raw(
+        "\">\n    <soap:binding style=\"rpc\" \
+           transport=\"http://schemas.xmlsoap.org/soap/http\"/>\n",
+    );
     for op in &svc.operations {
         w.raw("    <wsdl:operation name=\"");
         w.attr_text(&op.name);
         w.raw("\">\n      <soap:operation soapAction=\"");
         w.attr_text(&svc.soap_action(&op.name));
-        w.raw("\"/>\n      <wsdl:input>\n        <soap:body use=\"encoded\" \
-               encodingStyle=\"http://schemas.xmlsoap.org/soap/encoding/\" namespace=\"");
+        w.raw(
+            "\"/>\n      <wsdl:input>\n        <soap:body use=\"encoded\" \
+               encodingStyle=\"http://schemas.xmlsoap.org/soap/encoding/\" namespace=\"",
+        );
         w.attr_text(&svc.namespace);
         w.raw("\"/>\n      </wsdl:input>\n    </wsdl:operation>\n");
     }
@@ -190,8 +204,8 @@ fn write_service(w: &mut Writer, svc: &ServiceDesc) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bsoap_core::OpDesc;
     use bsoap_convert::ScalarKind;
+    use bsoap_core::OpDesc;
 
     fn sample() -> ServiceDesc {
         ServiceDesc {
@@ -205,7 +219,12 @@ mod tests {
                     "interface",
                     TypeDesc::array_of(TypeDesc::mio()),
                 ),
-                OpDesc::single("ping", "urn:mesh", "token", TypeDesc::Scalar(ScalarKind::Int)),
+                OpDesc::single(
+                    "ping",
+                    "urn:mesh",
+                    "token",
+                    TypeDesc::Scalar(ScalarKind::Int),
+                ),
             ],
         }
     }
@@ -247,7 +266,9 @@ mod tests {
         let xml = write_wsdl(&sample());
         let mut p = bsoap_xml::PullParser::new(xml.as_bytes());
         loop {
-            if p.next_event().expect("well-formed") == bsoap_xml::Event::Eof { break }
+            if p.next_event().expect("well-formed") == bsoap_xml::Event::Eof {
+                break;
+            }
         }
     }
 

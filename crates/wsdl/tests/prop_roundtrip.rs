@@ -1,8 +1,8 @@
 //! Property test: `parse_wsdl(write_wsdl(svc)) == svc` for arbitrary
 //! services in the supported subset.
 
-use bsoap_core::{OpDesc, ParamDesc, TypeDesc};
 use bsoap_convert::ScalarKind;
+use bsoap_core::{OpDesc, ParamDesc, TypeDesc};
 use bsoap_wsdl::{parse_wsdl, write_wsdl, ServiceDesc};
 use proptest::prelude::*;
 
@@ -37,7 +37,10 @@ fn struct_desc(tag: usize) -> impl Strategy<Value = TypeDesc> {
                 (n, TypeDesc::Scalar(k))
             })
             .collect();
-        TypeDesc::Struct { name: format!("t{tag}"), fields }
+        TypeDesc::Struct {
+            name: format!("t{tag}"),
+            fields,
+        }
     })
 }
 

@@ -168,7 +168,10 @@ mod tests {
     #[test]
     fn unescape_entities() {
         assert_eq!(unescape(b"a&amp;b").unwrap().as_ref(), b"a&b");
-        assert_eq!(unescape(b"&lt;&gt;&quot;&apos;").unwrap().as_ref(), b"<>\"'");
+        assert_eq!(
+            unescape(b"&lt;&gt;&quot;&apos;").unwrap().as_ref(),
+            b"<>\"'"
+        );
         assert_eq!(unescape(b"&#65;&#x42;").unwrap().as_ref(), b"AB");
         assert_eq!(unescape(b"&#x1F600;").unwrap().as_ref(), "😀".as_bytes());
     }
@@ -184,7 +187,13 @@ mod tests {
 
     #[test]
     fn escape_unescape_round_trip() {
-        for s in ["a<b&c>d", "\"quoted\"", "no specials", "&&&", "mixed <tag> & \"attr\""] {
+        for s in [
+            "a<b&c>d",
+            "\"quoted\"",
+            "no specials",
+            "&&&",
+            "mixed <tag> & \"attr\"",
+        ] {
             let escaped = escape_text(s);
             let back = unescape(escaped.as_bytes()).unwrap();
             assert_eq!(back.as_ref(), s.as_bytes());

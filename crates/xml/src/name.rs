@@ -119,15 +119,30 @@ mod tests {
     #[test]
     fn invalid_ncnames() {
         assert_eq!(validate_ncname(b""), Err(NameError::Empty));
-        assert_eq!(validate_ncname(b"1abc"), Err(NameError::InvalidChar { at: 0 }));
-        assert_eq!(validate_ncname(b"-abc"), Err(NameError::InvalidChar { at: 0 }));
-        assert_eq!(validate_ncname(b"a b"), Err(NameError::InvalidChar { at: 1 }));
-        assert_eq!(validate_ncname(b"a:b"), Err(NameError::ExtraColon { at: 1 }));
+        assert_eq!(
+            validate_ncname(b"1abc"),
+            Err(NameError::InvalidChar { at: 0 })
+        );
+        assert_eq!(
+            validate_ncname(b"-abc"),
+            Err(NameError::InvalidChar { at: 0 })
+        );
+        assert_eq!(
+            validate_ncname(b"a b"),
+            Err(NameError::InvalidChar { at: 1 })
+        );
+        assert_eq!(
+            validate_ncname(b"a:b"),
+            Err(NameError::ExtraColon { at: 1 })
+        );
     }
 
     #[test]
     fn qname_splitting() {
-        assert_eq!(split_qname(b"SOAP-ENV:Envelope").unwrap(), (&b"SOAP-ENV"[..], &b"Envelope"[..]));
+        assert_eq!(
+            split_qname(b"SOAP-ENV:Envelope").unwrap(),
+            (&b"SOAP-ENV"[..], &b"Envelope"[..])
+        );
         assert_eq!(split_qname(b"item").unwrap(), (&b""[..], &b"item"[..]));
         assert!(split_qname(b"a:b:c").is_err());
         assert!(split_qname(b":b").is_err());
@@ -136,7 +151,12 @@ mod tests {
 
     #[test]
     fn soap_vocabulary_is_valid() {
-        for p in [prefixes::SOAP_ENV, prefixes::SOAP_ENC, prefixes::XSI, prefixes::XSD] {
+        for p in [
+            prefixes::SOAP_ENV,
+            prefixes::SOAP_ENC,
+            prefixes::XSI,
+            prefixes::XSD,
+        ] {
             assert!(validate_ncname(p.as_bytes()).is_ok());
         }
     }

@@ -77,7 +77,9 @@ impl std::fmt::Display for PullError {
             PullError::UnexpectedEof { at } => write!(f, "unexpected end of input at byte {at}"),
             PullError::BadSyntax { at, what } => write!(f, "bad XML syntax at byte {at}: {what}"),
             PullError::MismatchedTag { at } => write!(f, "mismatched end tag at byte {at}"),
-            PullError::Unsupported { at, what } => write!(f, "unsupported construct at byte {at}: {what}"),
+            PullError::Unsupported { at, what } => {
+                write!(f, "unsupported construct at byte {at}: {what}")
+            }
             PullError::UnclosedAtEof { open_depth } => {
                 write!(f, "input ended with {open_depth} unclosed element(s)")
             }
@@ -101,7 +103,13 @@ pub struct PullParser<'a> {
 impl<'a> PullParser<'a> {
     /// Create a tokenizer over `input`.
     pub fn new(input: &'a [u8]) -> Self {
-        PullParser { input, pos: 0, stack: Vec::new(), pending_end: None, eof_emitted: false }
+        PullParser {
+            input,
+            pos: 0,
+            stack: Vec::new(),
+            pending_end: None,
+            eof_emitted: false,
+        }
     }
 
     /// The input buffer the event ranges index into.
@@ -123,11 +131,16 @@ impl<'a> PullParser<'a> {
     pub fn next_event(&mut self) -> Result<Event, PullError> {
         if let Some(name) = self.pending_end.take() {
             self.stack.pop();
-            return Ok(Event::End { name, range: self.pos..self.pos });
+            return Ok(Event::End {
+                name,
+                range: self.pos..self.pos,
+            });
         }
         if self.pos >= self.input.len() {
             if !self.stack.is_empty() {
-                return Err(PullError::UnclosedAtEof { open_depth: self.stack.len() });
+                return Err(PullError::UnclosedAtEof {
+                    open_depth: self.stack.len(),
+                });
             }
             self.eof_emitted = true;
             return Ok(Event::Eof);
@@ -137,7 +150,9 @@ impl<'a> PullParser<'a> {
             while self.pos < self.input.len() && self.input[self.pos] != b'<' {
                 self.pos += 1;
             }
-            return Ok(Event::Text { range: start..self.pos });
+            return Ok(Event::Text {
+                range: start..self.pos,
+            });
         }
         // self.input[self.pos] == b'<'
         let tag_start = self.pos;
@@ -156,12 +171,16 @@ impl<'a> PullParser<'a> {
     fn read_decl(&mut self, start: usize) -> Result<Event, PullError> {
         // `<?xml … ?>` — only the declaration form is accepted.
         if !self.input[start..].starts_with(b"<?xml") {
-            return Err(PullError::Unsupported { at: start, what: "processing instruction" });
+            return Err(PullError::Unsupported {
+                at: start,
+                what: "processing instruction",
+            });
         }
-        let close = find(self.input, start, b"?>")
-            .ok_or(PullError::UnexpectedEof { at: start })?;
+        let close = find(self.input, start, b"?>").ok_or(PullError::UnexpectedEof { at: start })?;
         self.pos = close + 2;
-        Ok(Event::Decl { range: start..self.pos })
+        Ok(Event::Decl {
+            range: start..self.pos,
+        })
     }
 
     fn read_bang(&mut self, start: usize) -> Result<Event, PullError> {
@@ -169,12 +188,20 @@ impl<'a> PullParser<'a> {
             let close = find(self.input, start + 4, b"-->")
                 .ok_or(PullError::UnexpectedEof { at: start })?;
             self.pos = close + 3;
-            return Ok(Event::Comment { range: start..self.pos });
+            return Ok(Event::Comment {
+                range: start..self.pos,
+            });
         }
         if self.input[start..].starts_with(b"<![CDATA[") {
-            return Err(PullError::Unsupported { at: start, what: "CDATA section" });
+            return Err(PullError::Unsupported {
+                at: start,
+                what: "CDATA section",
+            });
         }
-        Err(PullError::Unsupported { at: start, what: "DTD (forbidden by SOAP 1.1)" })
+        Err(PullError::Unsupported {
+            at: start,
+            what: "DTD (forbidden by SOAP 1.1)",
+        })
     }
 
     fn read_end_tag(&mut self, start: usize) -> Result<Event, PullError> {
@@ -184,12 +211,18 @@ impl<'a> PullParser<'a> {
             i += 1;
         }
         if i == name_start {
-            return Err(PullError::BadSyntax { at: i, what: "empty end-tag name" });
+            return Err(PullError::BadSyntax {
+                at: i,
+                what: "empty end-tag name",
+            });
         }
         let name = name_start..i;
         i = skip_ws(self.input, i);
         if self.input.get(i) != Some(&b'>') {
-            return Err(PullError::BadSyntax { at: i, what: "expected '>' in end tag" });
+            return Err(PullError::BadSyntax {
+                at: i,
+                what: "expected '>' in end tag",
+            });
         }
         let open = self
             .stack
@@ -199,7 +232,10 @@ impl<'a> PullParser<'a> {
             return Err(PullError::MismatchedTag { at: start });
         }
         self.pos = i + 1;
-        Ok(Event::End { name, range: start..self.pos })
+        Ok(Event::End {
+            name,
+            range: start..self.pos,
+        })
     }
 
     fn read_start_tag(&mut self, start: usize) -> Result<Event, PullError> {
@@ -209,7 +245,10 @@ impl<'a> PullParser<'a> {
             i += 1;
         }
         if i == name_start {
-            return Err(PullError::BadSyntax { at: i, what: "empty start-tag name" });
+            return Err(PullError::BadSyntax {
+                at: i,
+                what: "empty start-tag name",
+            });
         }
         let name = name_start..i;
         let mut attrs = Vec::new();
@@ -220,16 +259,29 @@ impl<'a> PullParser<'a> {
                 Some(b'>') => {
                     self.pos = i + 1;
                     self.stack.push(name.clone());
-                    return Ok(Event::Start { name, attrs, self_closing: false, range: start..self.pos });
+                    return Ok(Event::Start {
+                        name,
+                        attrs,
+                        self_closing: false,
+                        range: start..self.pos,
+                    });
                 }
                 Some(b'/') => {
                     if self.input.get(i + 1) != Some(&b'>') {
-                        return Err(PullError::BadSyntax { at: i, what: "expected '/>'" });
+                        return Err(PullError::BadSyntax {
+                            at: i,
+                            what: "expected '/>'",
+                        });
                     }
                     self.pos = i + 2;
                     self.stack.push(name.clone());
                     self.pending_end = Some(name.clone());
-                    return Ok(Event::Start { name, attrs, self_closing: true, range: start..self.pos });
+                    return Ok(Event::Start {
+                        name,
+                        attrs,
+                        self_closing: true,
+                        range: start..self.pos,
+                    });
                 }
                 Some(_) => {
                     let attr = self.read_attr(&mut i)?;
@@ -245,17 +297,28 @@ impl<'a> PullParser<'a> {
             *i += 1;
         }
         if *i == name_start {
-            return Err(PullError::BadSyntax { at: *i, what: "expected attribute name" });
+            return Err(PullError::BadSyntax {
+                at: *i,
+                what: "expected attribute name",
+            });
         }
         let name = name_start..*i;
         *i = skip_ws(self.input, *i);
         if self.input.get(*i) != Some(&b'=') {
-            return Err(PullError::BadSyntax { at: *i, what: "expected '=' after attribute name" });
+            return Err(PullError::BadSyntax {
+                at: *i,
+                what: "expected '=' after attribute name",
+            });
         }
         *i = skip_ws(self.input, *i + 1);
         let quote = match self.input.get(*i) {
             Some(&q @ (b'"' | b'\'')) => q,
-            _ => return Err(PullError::BadSyntax { at: *i, what: "expected quoted attribute value" }),
+            _ => {
+                return Err(PullError::BadSyntax {
+                    at: *i,
+                    what: "expected quoted attribute value",
+                })
+            }
         };
         let value_start = *i + 1;
         let mut j = value_start;
@@ -266,7 +329,10 @@ impl<'a> PullParser<'a> {
             return Err(PullError::UnexpectedEof { at: value_start });
         }
         *i = j + 1;
-        Ok(Attr { name, value: value_start..j })
+        Ok(Attr {
+            name,
+            value: value_start..j,
+        })
     }
 }
 
@@ -326,7 +392,9 @@ mod tests {
         let doc = br#"<?xml version="1.0"?><e a="1" b='two'>x</e>"#;
         let events = collect(doc);
         assert!(matches!(events[0], Event::Decl { .. }));
-        let Event::Start { attrs, .. } = &events[1] else { panic!() };
+        let Event::Start { attrs, .. } = &events[1] else {
+            panic!()
+        };
         assert_eq!(attrs.len(), 2);
         assert_eq!(&doc[attrs[0].name.clone()], b"a");
         assert_eq!(&doc[attrs[0].value.clone()], b"1");
@@ -337,7 +405,13 @@ mod tests {
     fn self_closing_synthesizes_end() {
         let doc = b"<a><b/></a>";
         let events = collect(doc);
-        assert!(matches!(&events[1], Event::Start { self_closing: true, .. }));
+        assert!(matches!(
+            &events[1],
+            Event::Start {
+                self_closing: true,
+                ..
+            }
+        ));
         assert!(matches!(&events[2], Event::End { .. }));
         assert!(matches!(&events[3], Event::End { .. }));
     }
@@ -361,14 +435,20 @@ mod tests {
     fn mismatched_tags_rejected() {
         let mut p = PullParser::new(b"<a></b>");
         p.next_event().unwrap();
-        assert!(matches!(p.next_event(), Err(PullError::MismatchedTag { .. })));
+        assert!(matches!(
+            p.next_event(),
+            Err(PullError::MismatchedTag { .. })
+        ));
     }
 
     #[test]
     fn unclosed_at_eof_rejected() {
         let mut p = PullParser::new(b"<a>");
         p.next_event().unwrap();
-        assert!(matches!(p.next_event(), Err(PullError::UnclosedAtEof { open_depth: 1 })));
+        assert!(matches!(
+            p.next_event(),
+            Err(PullError::UnclosedAtEof { open_depth: 1 })
+        ));
     }
 
     #[test]
@@ -394,14 +474,24 @@ mod tests {
     fn prefixed_names() {
         let doc = b"<SOAP-ENV:Envelope xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/soap/envelope/\"></SOAP-ENV:Envelope>";
         let events = collect(doc);
-        let Event::Start { name, attrs, .. } = &events[0] else { panic!() };
+        let Event::Start { name, attrs, .. } = &events[0] else {
+            panic!()
+        };
         assert_eq!(&doc[name.clone()], b"SOAP-ENV:Envelope");
         assert_eq!(&doc[attrs[0].name.clone()], b"xmlns:SOAP-ENV");
     }
 
     #[test]
     fn truncated_inputs_error_not_panic() {
-        for doc in [&b"<"[..], b"<a", b"<a href", b"<a href=", b"<a href=\"x", b"</", b"<a><!--"] {
+        for doc in [
+            &b"<"[..],
+            b"<a",
+            b"<a href",
+            b"<a href=",
+            b"<a href=\"x",
+            b"</",
+            b"<a><!--",
+        ] {
             let mut p = PullParser::new(doc);
             let mut guard = 0;
             loop {

@@ -43,13 +43,18 @@ impl XmlWriter {
     /// baseline serializers use per send.
     pub fn with_buffer(mut buf: Vec<u8>) -> Self {
         buf.clear();
-        XmlWriter { out: buf, stack: Vec::new(), tag_open: false }
+        XmlWriter {
+            out: buf,
+            stack: Vec::new(),
+            tag_open: false,
+        }
     }
 
     /// Emit the XML declaration. Call first.
     pub fn declaration(&mut self) {
         debug_assert!(self.out.is_empty());
-        self.out.extend_from_slice(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.out
+            .extend_from_slice(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
     }
 
     /// Open a start tag: `<name`. Follow with [`attr`](Self::attr) calls and

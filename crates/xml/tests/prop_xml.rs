@@ -2,7 +2,9 @@
 //! writer's output tokenizes back to the same structure, and the pad
 //! canonicalizer is idempotent and padding-insensitive.
 
-use bsoap_xml::{escape_attr_into, escape_text_into, strip_pad, unescape, Event, PullParser, XmlWriter};
+use bsoap_xml::{
+    escape_attr_into, escape_text_into, strip_pad, unescape, Event, PullParser, XmlWriter,
+};
 use proptest::prelude::*;
 
 fn text_strategy() -> impl Strategy<Value = String> {

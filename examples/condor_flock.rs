@@ -53,8 +53,7 @@ fn main() {
         TypeDesc::array_of(classad_type()),
     );
     // Stuffed widths so load fluctuations never shift the template.
-    let mut client =
-        Client::new(bsoap::EngineConfig::paper_default().with_width(WidthPolicy::Max));
+    let mut client = Client::new(bsoap::EngineConfig::paper_default().with_width(WidthPolicy::Max));
     let mut sink = SinkTransport::new();
 
     let mut nodes: Vec<Node> = (0..NODES)
@@ -105,7 +104,9 @@ fn main() {
                 n.claimed = !n.claimed;
             }
         }
-        let r = client.call("condor://central-manager", &op, &[ads(&nodes)], &mut sink).unwrap();
+        let r = client
+            .call("condor://central-manager", &op, &[ads(&nodes)], &mut sink)
+            .unwrap();
         values_rewritten += r.values_written as u64;
         if cycle < 3 || cycle == CYCLES - 1 {
             println!(
@@ -119,7 +120,12 @@ fn main() {
     }
 
     let stats = client.stats();
-    println!("\n{} cycles x {} nodes ({} leaves per message)", CYCLES, NODES, NODES * 5);
+    println!(
+        "\n{} cycles x {} nodes ({} leaves per message)",
+        CYCLES,
+        NODES,
+        NODES * 5
+    );
     println!(
         "tiers: first={} content={} perfect={} partial={}",
         stats.first_time, stats.content_match, stats.perfect_structural, stats.partial_structural

@@ -109,12 +109,20 @@ fn main() {
         std::mem::swap(&mut x, &mut x_next);
         let t = Instant::now();
         let r = client
-            .call("http://lsa/solver", &op, &[Value::DoubleArray(x.clone())], &mut sink)
+            .call(
+                "http://lsa/solver",
+                &op,
+                &[Value::DoubleArray(x.clone())],
+                &mut sink,
+            )
             .unwrap();
         bsoap_send_time += t.elapsed();
         total_rewritten += r.values_written as u64;
         if sweep % 8 == 0 {
-            println!("  sweep {sweep:>3}: {:>6} of {N} entries re-serialized", r.values_written);
+            println!(
+                "  sweep {sweep:>3}: {:>6} of {N} entries re-serialized",
+                r.values_written
+            );
         }
         if delta < 1e-15 {
             converged_at = sweep + 1;
@@ -132,7 +140,8 @@ fn main() {
         let delta = jacobi_sweep(&sys, &x, &mut x_next);
         std::mem::swap(&mut x, &mut x_next);
         let t = Instant::now();
-        g.send(&op, &[Value::DoubleArray(x.clone())], &mut gsink).unwrap();
+        g.send(&op, &[Value::DoubleArray(x.clone())], &mut gsink)
+            .unwrap();
         gsoap_send_time += t.elapsed();
         if delta < 1e-15 {
             break;
@@ -140,9 +149,14 @@ fn main() {
     }
 
     println!("converged after {converged_at} sweeps (vector of {N} doubles per message)");
-    println!("entries re-serialized: {total_rewritten} of {}\n", converged_at as u64 * N as u64);
-    println!("tier histogram (bSOAP): first={} content={} perfect={} partial={}",
-        stats.first_time, stats.content_match, stats.perfect_structural, stats.partial_structural);
+    println!(
+        "entries re-serialized: {total_rewritten} of {}\n",
+        converged_at as u64 * N as u64
+    );
+    println!(
+        "tier histogram (bSOAP): first={} content={} perfect={} partial={}",
+        stats.first_time, stats.content_match, stats.perfect_structural, stats.partial_structural
+    );
     println!("cumulative Send Time, bSOAP differential: {bsoap_send_time:>10.2?}");
     println!("cumulative Send Time, gSOAP-like full:    {gsoap_send_time:>10.2?}");
     let speedup = gsoap_send_time.as_secs_f64() / bsoap_send_time.as_secs_f64().max(1e-12);

@@ -25,8 +25,7 @@ const STEPS: usize = 40;
 fn main() {
     let server = TestServer::spawn(ServerMode::Discard).expect("bind loopback");
     println!("dummy server on {}", server.addr());
-    let mut transport =
-        TcpTransport::connect(server.addr(), Framing::Raw).expect("connect");
+    let mut transport = TcpTransport::connect(server.addr(), Framing::Raw).expect("connect");
 
     let op = OpDesc::single(
         "exchangeBoundary",
@@ -41,7 +40,10 @@ fn main() {
     field[CELLS / 2] = 1000.0;
     let as_mios = |f: &[f64]| {
         Value::Array(
-            f.iter().enumerate().map(|(i, &v)| mio(i as i32, (i / 64) as i32, v)).collect(),
+            f.iter()
+                .enumerate()
+                .map(|(i, &v)| mio(i as i32, (i / 64) as i32, v))
+                .collect(),
         )
     };
 
@@ -81,9 +83,18 @@ fn main() {
         "tiers: first={} content={} perfect={} partial={}",
         stats.first_time, stats.content_match, stats.perfect_structural, stats.partial_structural
     );
-    println!("bytes on the wire: {} (server drained {})", stats.bytes_sent, server_stats.bytes_received);
-    assert_eq!(stats.bytes_sent, server_stats.bytes_received, "wire accounting must agree");
+    println!(
+        "bytes on the wire: {} (server drained {})",
+        stats.bytes_sent, server_stats.bytes_received
+    );
+    assert_eq!(
+        stats.bytes_sent, server_stats.bytes_received,
+        "wire accounting must agree"
+    );
     if let Some(r) = report_last {
-        println!("last message: {} bytes, {} values rewritten", r.bytes, r.values_written);
+        println!(
+            "last message: {} bytes, {} values rewritten",
+            r.bytes, r.values_written
+        );
     }
 }

@@ -26,10 +26,22 @@ fn mcs_op() -> OpDesc {
         "addMetadata",
         "urn:mcs",
         vec![
-            ParamDesc { name: "logicalName".into(), desc: TypeDesc::Scalar(ScalarKind::Str) },
-            ParamDesc { name: "sizeBytes".into(), desc: TypeDesc::Scalar(ScalarKind::Long) },
-            ParamDesc { name: "checksum".into(), desc: TypeDesc::Scalar(ScalarKind::Long) },
-            ParamDesc { name: "createdUnix".into(), desc: TypeDesc::Scalar(ScalarKind::Long) },
+            ParamDesc {
+                name: "logicalName".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Str),
+            },
+            ParamDesc {
+                name: "sizeBytes".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Long),
+            },
+            ParamDesc {
+                name: "checksum".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Long),
+            },
+            ParamDesc {
+                name: "createdUnix".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Long),
+            },
             ParamDesc {
                 name: "replicas".into(),
                 desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)),
@@ -49,8 +61,7 @@ fn main() {
         soap_action: "urn:mcs#addMetadata".into(),
         version: HttpVersion::Http11Length,
     };
-    let mut transport =
-        TcpTransport::connect(server.addr(), Framing::Http(cfg)).expect("connect");
+    let mut transport = TcpTransport::connect(server.addr(), Framing::Http(cfg)).expect("connect");
 
     // Stuff numeric fields to full width so every request is a perfect
     // structural match (names are kept fixed-length for the same reason —
@@ -68,7 +79,9 @@ fn main() {
             Value::IntArray(vec![(i % 7) as i32, ((i * 3) % 11) as i32, 2]),
         ];
         client
-            .call_via("http://mcs/svc", &op, &args, |slices| transport.send_message(slices))
+            .call_via("http://mcs/svc", &op, &args, |slices| {
+                transport.send_message(slices)
+            })
             .unwrap();
         // Each POST gets a 200 ack; drain it to keep the connection clean.
         let (status, _) = bsoap::transport::http::read_response(transport.stream()).unwrap();
@@ -96,7 +109,8 @@ fn main() {
     }
     let s = deser.stats();
 
-    println!("\nclient: {} requests — tiers: first={} content={} perfect={} partial={}",
+    println!(
+        "\nclient: {} requests — tiers: first={} content={} perfect={} partial={}",
         client_stats.calls(),
         client_stats.first_time,
         client_stats.content_match,
@@ -110,5 +124,8 @@ fn main() {
         s.leaves_skipped,
         100.0 * s.leaves_skipped as f64 / (s.leaves_reparsed + s.leaves_skipped).max(1) as f64
     );
-    println!("        reference message retained: {} bytes", deser.retained_bytes());
+    println!(
+        "        reference message retained: {} bytes",
+        deser.retained_bytes()
+    );
 }

@@ -27,9 +27,17 @@ const QUERIES_PER_CLIENT: usize = 30;
 
 fn main() {
     // --- the service: query(term: string) -> (ids: int[], scores: double[]) ---
-    let request_op = OpDesc::single("query", "urn:search", "term", TypeDesc::Scalar(ScalarKind::Str));
+    let request_op = OpDesc::single(
+        "query",
+        "urn:search",
+        "term",
+        TypeDesc::Scalar(ScalarKind::Str),
+    );
     let response_params = vec![
-        ParamDesc { name: "ids".into(), desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)) },
+        ParamDesc {
+            name: "ids".into(),
+            desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Int)),
+        },
         ParamDesc {
             name: "scores".into(),
             desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
@@ -40,14 +48,21 @@ fn main() {
     let config = EngineConfig::paper_default().with_width(WidthPolicy::Max);
     let mut svc = Service::new("urn:search", config);
     svc.register(request_op.clone(), response_params, move |args| {
-        let Value::Str(term) = &args[0] else { return Err("expected string".into()) };
+        let Value::Str(term) = &args[0] else {
+            return Err("expected string".into());
+        };
         // Deterministic "index": results depend weakly on the query, so
         // popular repeated queries produce identical pages and slightly
         // different queries overlap heavily.
-        let h = term.bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
-        let ids: Vec<i32> = (0..PAGE).map(|i| ((h as i32) & 0xFFFF) + i as i32).collect();
-        let scores: Vec<f64> =
-            (0..PAGE).map(|i| 1.0 - (i as f64) * 0.01 - ((h % 7) as f64) * 0.001).collect();
+        let h = term
+            .bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
+        let ids: Vec<i32> = (0..PAGE)
+            .map(|i| ((h as i32) & 0xFFFF) + i as i32)
+            .collect();
+        let scores: Vec<f64> = (0..PAGE)
+            .map(|i| 1.0 - (i as f64) * 0.01 - ((h % 7) as f64) * 0.001)
+            .collect();
         Ok(vec![Value::IntArray(ids), Value::DoubleArray(scores)])
     });
 
@@ -77,7 +92,12 @@ fn main() {
                     };
                     let body = MessageTemplate::build(
                         client_config,
-                        &OpDesc::single("query", "urn:search", "term", TypeDesc::Scalar(ScalarKind::Str)),
+                        &OpDesc::single(
+                            "query",
+                            "urn:search",
+                            "term",
+                            TypeDesc::Scalar(ScalarKind::Str),
+                        ),
                         &[Value::Str(term)],
                     )
                     .expect("request build")
@@ -103,7 +123,10 @@ fn main() {
     );
     println!(
         "response serialization: first={:<4} content={:<4} perfect={:<4} partial={:<4}",
-        stats.responses_first, stats.responses_content, stats.responses_perfect, stats.responses_partial
+        stats.responses_first,
+        stats.responses_content,
+        stats.responses_perfect,
+        stats.responses_partial
     );
     let patched = stats.responses_content + stats.responses_perfect;
     println!(

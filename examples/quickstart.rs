@@ -23,17 +23,24 @@ fn main() {
 
     let mut x: Vec<f64> = (0..10_000).map(|i| i as f64 * 0.25).collect();
 
-    println!("{:<28} {:>10} {:>14} {:>10}", "send", "tier", "values written", "time");
+    println!(
+        "{:<28} {:>10} {:>14} {:>10}",
+        "send", "tier", "values written", "time"
+    );
     println!("{}", "-".repeat(68));
 
     // 1. First-time send: full serialization, template saved.
     let t = Instant::now();
-    let r = client.call(endpoint, &op, &[Value::DoubleArray(x.clone())], &mut sink).unwrap();
+    let r = client
+        .call(endpoint, &op, &[Value::DoubleArray(x.clone())], &mut sink)
+        .unwrap();
     report("first send", &r, t);
 
     // 2. Identical data: message content match — no serialization at all.
     let t = Instant::now();
-    let r = client.call(endpoint, &op, &[Value::DoubleArray(x.clone())], &mut sink).unwrap();
+    let r = client
+        .call(endpoint, &op, &[Value::DoubleArray(x.clone())], &mut sink)
+        .unwrap();
     report("unchanged resend", &r, t);
 
     // 3. A handful of values change: perfect structural match.
@@ -41,17 +48,25 @@ fn main() {
         x[i] += 1.0;
     }
     let t = Instant::now();
-    let r = client.call(endpoint, &op, &[Value::DoubleArray(x.clone())], &mut sink).unwrap();
+    let r = client
+        .call(endpoint, &op, &[Value::DoubleArray(x.clone())], &mut sink)
+        .unwrap();
     report("10 values changed", &r, t);
 
     // 4. The array grows: partial structural match (in-place resize).
     x.extend_from_slice(&[1.0, 2.0, 3.0]);
     let t = Instant::now();
-    let r = client.call(endpoint, &op, &[Value::DoubleArray(x)], &mut sink).unwrap();
+    let r = client
+        .call(endpoint, &op, &[Value::DoubleArray(x)], &mut sink)
+        .unwrap();
     report("array grew by 3", &r, t);
 
     let stats = client.stats();
-    println!("\nclient totals: {} calls, {} bytes shipped", stats.calls(), stats.bytes_sent);
+    println!(
+        "\nclient totals: {} calls, {} bytes shipped",
+        stats.calls(),
+        stats.bytes_sent
+    );
     println!(
         "tiers: first={} content={} perfect={} partial={}",
         stats.first_time, stats.content_match, stats.perfect_structural, stats.partial_structural

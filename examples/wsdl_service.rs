@@ -9,13 +9,13 @@
 //!
 //! Run with: `cargo run --release --example wsdl_service`
 
+use bsoap::convert::ScalarKind;
 use bsoap::deser::DiffDeserializer;
 use bsoap::transport::http::{HttpVersion, RequestConfig};
 use bsoap::transport::tcp::{Framing, TcpTransport};
 use bsoap::transport::{ServerMode, TestServer, Transport};
 use bsoap::wsdl::{parse_wsdl, write_wsdl, ServiceDesc};
 use bsoap::{Client, OpDesc, TypeDesc, Value};
-use bsoap::convert::ScalarKind;
 
 fn main() {
     // --- 1. The service owner publishes a WSDL ---
@@ -39,7 +39,10 @@ fn main() {
 
     // --- 2. The client configures itself from the WSDL ---
     let svc = parse_wsdl(wsdl_xml.as_bytes()).expect("well-formed WSDL");
-    let op = svc.operation("pushSamples").expect("described operation").clone();
+    let op = svc
+        .operation("pushSamples")
+        .expect("described operation")
+        .clone();
 
     let server = TestServer::spawn(ServerMode::Collect).expect("bind");
     let cfg = RequestConfig {
@@ -55,9 +58,12 @@ fn main() {
     for round in 0..20 {
         samples[round * 12 % 256] += 0.5;
         client
-            .call_via(&svc.endpoint, &op, &[Value::DoubleArray(samples.clone())], |s| {
-                transport.send_message(s)
-            })
+            .call_via(
+                &svc.endpoint,
+                &op,
+                &[Value::DoubleArray(samples.clone())],
+                |s| transport.send_message(s),
+            )
             .unwrap();
         let (status, _) = bsoap::transport::http::read_response(transport.stream()).unwrap();
         assert_eq!(status, 200);
@@ -79,8 +85,10 @@ fn main() {
 
     let cs = client.stats();
     let ds = deser.stats();
-    println!("client tiers: first={} content={} perfect={} partial={}",
-        cs.first_time, cs.content_match, cs.perfect_structural, cs.partial_structural);
+    println!(
+        "client tiers: first={} content={} perfect={} partial={}",
+        cs.first_time, cs.content_match, cs.perfect_structural, cs.partial_structural
+    );
     println!(
         "server paths: full={} differential={} identical={} (leaves skipped: {})",
         ds.full_parses, ds.differential, ds.identical, ds.leaves_skipped

@@ -71,7 +71,12 @@ impl RpcClient {
             version: HttpVersion::Http11Length,
         };
         let transport = TcpTransport::connect(addr, Framing::Http(cfg))?;
-        Ok(RpcClient { service, client: Client::new(config), transport, response_descs: Vec::new() })
+        Ok(RpcClient {
+            service,
+            client: Client::new(config),
+            transport,
+            response_descs: Vec::new(),
+        })
     }
 
     /// Declare the response parameters of `op` so [`RpcClient::call`] can
@@ -158,8 +163,12 @@ mod tests {
                 desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
             }],
             |args| {
-                let Value::DoubleArray(v) = &args[0] else { return Err("type".into()) };
-                Ok(vec![Value::DoubleArray(v.iter().map(|x| x * 2.0).collect())])
+                let Value::DoubleArray(v) = &args[0] else {
+                    return Err("type".into());
+                };
+                Ok(vec![Value::DoubleArray(
+                    v.iter().map(|x| x * 2.0).collect(),
+                )])
             },
         );
         (desc, svc)
@@ -181,12 +190,14 @@ mod tests {
             }],
         );
 
-        let got = rpc.call("scale", &[Value::DoubleArray(vec![1.5, 2.5])]).unwrap();
+        let got = rpc
+            .call("scale", &[Value::DoubleArray(vec![1.5, 2.5])])
+            .unwrap();
         assert_eq!(got, vec![Value::DoubleArray(vec![3.0, 5.0])]);
 
         // Second identical call: content match on the wire.
-        let (got, report) =
-            rpc.call_op(
+        let (got, report) = rpc
+            .call_op(
                 &rpc.service().operation("scale").unwrap().clone(),
                 &[Value::DoubleArray(vec![1.5, 2.5])],
             )
@@ -224,7 +235,10 @@ mod tests {
         let mut svc = Service::new("urn:x", EngineConfig::paper_default());
         svc.register(
             op,
-            vec![ParamDesc { name: "r".into(), desc: TypeDesc::Scalar(ScalarKind::Int) }],
+            vec![ParamDesc {
+                name: "r".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Int),
+            }],
             |_| Err("boom".into()),
         );
         let server = HttpServer::spawn(svc).unwrap();
@@ -246,7 +260,10 @@ mod tests {
         let mut rpc =
             RpcClient::connect(desc, server.addr(), EngineConfig::paper_default()).unwrap();
         let got = rpc.call("scale", &[Value::DoubleArray(vec![1.0])]).unwrap();
-        assert!(got.is_empty(), "no declared response schema → values skipped");
+        assert!(
+            got.is_empty(),
+            "no declared response schema → values skipped"
+        );
         server.stop();
     }
 }

@@ -42,7 +42,10 @@ fn raw_tcp_bytes_match_fresh_serialization() {
         expected_total += r.bytes as u64;
         // The differential message must parse to the same values a full
         // serializer would produce.
-        let full = g.serialize(&op, &[Value::DoubleArray(xs.clone())]).unwrap().to_vec();
+        let full = g
+            .serialize(&op, &[Value::DoubleArray(xs.clone())])
+            .unwrap()
+            .to_vec();
         assert_eq!(
             parse_envelope(&full, &op).unwrap(),
             vec![Value::DoubleArray(xs.clone())]
@@ -63,11 +66,11 @@ fn http_collect_round_trip_all_tiers() {
     let mut client = Client::with_defaults();
 
     let sequences: Vec<Vec<f64>> = vec![
-        vec![1.5, 2.5, 3.5],       // first-time
-        vec![1.5, 2.5, 3.5],       // content match
-        vec![9.5, 2.5, 3.5],       // perfect structural
-        vec![9.5, 2.5, 3.5, 4.5],  // partial structural (grow)
-        vec![9.5, 2.5],            // partial structural (shrink)
+        vec![1.5, 2.5, 3.5],      // first-time
+        vec![1.5, 2.5, 3.5],      // content match
+        vec![9.5, 2.5, 3.5],      // perfect structural
+        vec![9.5, 2.5, 3.5, 4.5], // partial structural (grow)
+        vec![9.5, 2.5],           // partial structural (shrink)
     ];
     let expected_tiers = [
         SendTier::FirstTime,
@@ -116,7 +119,11 @@ fn chunked_http_streams_multi_chunk_templates() {
     let xs: Vec<f64> = (0..2000).map(|i| i as f64 + 0.5).collect();
     client
         .call_via("http://svc", &op, &[Value::DoubleArray(xs.clone())], |s| {
-            assert!(s.len() > 1, "template should be multi-chunk, got {} slices", s.len());
+            assert!(
+                s.len() > 1,
+                "template should be multi-chunk, got {} slices",
+                s.len()
+            );
             t.send_message(s)
         })
         .unwrap();
@@ -139,19 +146,19 @@ fn client_server_differential_deserialization_pipeline() {
     let cfg = RequestConfig::loopback(HttpVersion::Http10);
     let mut t = TcpTransport::connect(server.addr(), Framing::Http(cfg)).unwrap();
     let op = OpDesc::single("m", "urn:x", "a", TypeDesc::array_of(TypeDesc::mio()));
-    let mut client =
-        Client::new(EngineConfig::paper_default().with_width(WidthPolicy::Max));
+    let mut client = Client::new(EngineConfig::paper_default().with_width(WidthPolicy::Max));
 
     let mut elems: Vec<(i32, i32, f64)> = (0..50).map(|i| (i, -i, i as f64 * 0.5)).collect();
-    let as_value = |e: &[(i32, i32, f64)]| {
-        Value::Array(e.iter().map(|&(x, y, v)| mio(x, y, v)).collect())
-    };
+    let as_value =
+        |e: &[(i32, i32, f64)]| Value::Array(e.iter().map(|&(x, y, v)| mio(x, y, v)).collect());
     for step in 0..6 {
         if step > 0 {
             elems[step * 7 % 50].2 += 1.0;
         }
         client
-            .call_via("http://svc", &op, &[as_value(&elems)], |s| t.send_message(s))
+            .call_via("http://svc", &op, &[as_value(&elems)], |s| {
+                t.send_message(s)
+            })
             .unwrap();
         let (status, _) = bsoap::transport::http::read_response(t.stream()).unwrap();
         assert_eq!(status, 200);
@@ -217,12 +224,28 @@ fn two_endpoints_get_independent_templates() {
     let mut sink_b = bsoap::transport::SinkTransport::new();
 
     let xs = vec![1.5; 10];
-    client.call("http://a", &op, &[Value::DoubleArray(xs.clone())], &mut sink_a).unwrap();
+    client
+        .call(
+            "http://a",
+            &op,
+            &[Value::DoubleArray(xs.clone())],
+            &mut sink_a,
+        )
+        .unwrap();
     // Same payload to a different endpoint: its own first-time send.
-    let r = client.call("http://b", &op, &[Value::DoubleArray(xs.clone())], &mut sink_b).unwrap();
+    let r = client
+        .call(
+            "http://b",
+            &op,
+            &[Value::DoubleArray(xs.clone())],
+            &mut sink_b,
+        )
+        .unwrap();
     assert_eq!(r.tier, SendTier::FirstTime);
     assert_eq!(client.cache().len(), 2);
     // Back to endpoint A unchanged: content match survives interleaving.
-    let r = client.call("http://a", &op, &[Value::DoubleArray(xs)], &mut sink_a).unwrap();
+    let r = client
+        .call("http://a", &op, &[Value::DoubleArray(xs)], &mut sink_a)
+        .unwrap();
     assert_eq!(r.tier, SendTier::ContentMatch);
 }

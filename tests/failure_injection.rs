@@ -27,7 +27,12 @@ struct FlakyWriter {
 
 impl FlakyWriter {
     fn new(accept_bytes: usize) -> Self {
-        FlakyWriter { accept_bytes, taken: 0, failures: 0, out: Vec::new() }
+        FlakyWriter {
+            accept_bytes,
+            taken: 0,
+            failures: 0,
+            out: Vec::new(),
+        }
     }
 }
 
@@ -62,7 +67,10 @@ fn send_error_surfaces_and_template_survives() {
     // First send into a writer that dies mid-message.
     let mut flaky = FlakyWriter::new(64);
     let err = client.call("ep", &op, &xs, &mut flaky).unwrap_err();
-    assert!(matches!(err, EngineError::Io(_)), "I/O failure must surface: {err:?}");
+    assert!(
+        matches!(err, EngineError::Io(_)),
+        "I/O failure must surface: {err:?}"
+    );
     assert!(flaky.failures > 0);
 
     // The same call against a healthy sink: the engine is not poisoned.
@@ -70,7 +78,10 @@ fn send_error_surfaces_and_template_survives() {
     let r = client.call("ep", &op, &xs, &mut ok).unwrap();
     // Template may or may not have been cached before the failure; either
     // tier is sound, and the bytes must equal a fresh serialization.
-    assert!(matches!(r.tier, SendTier::FirstTime | SendTier::ContentMatch));
+    assert!(matches!(
+        r.tier,
+        SendTier::FirstTime | SendTier::ContentMatch
+    ));
     let mut g = GSoapLike::new();
     let full = g.serialize(&op, &xs).unwrap().to_vec();
     assert_eq!(strip_pad(&ok), strip_pad(&full));
@@ -82,7 +93,9 @@ fn failure_during_differential_send_keeps_bytes_consistent() {
     let mut client = Client::with_defaults();
     let mut ok = Vec::new();
     let mut xs = vec![1.5; 50];
-    client.call("ep", &op, &[Value::DoubleArray(xs.clone())], &mut ok).unwrap();
+    client
+        .call("ep", &op, &[Value::DoubleArray(xs.clone())], &mut ok)
+        .unwrap();
 
     // Dirty some values, then fail the send. The flush happened before the
     // transport error, so the in-memory template already holds the new
@@ -96,10 +109,19 @@ fn failure_during_differential_send_keeps_bytes_consistent() {
     assert!(matches!(err, EngineError::Io(_)));
 
     let mut out2 = Vec::new();
-    let r = client.call("ep", &op, &[Value::DoubleArray(xs.clone())], &mut out2).unwrap();
-    assert_eq!(r.tier, SendTier::ContentMatch, "values already flushed before the failure");
+    let r = client
+        .call("ep", &op, &[Value::DoubleArray(xs.clone())], &mut out2)
+        .unwrap();
+    assert_eq!(
+        r.tier,
+        SendTier::ContentMatch,
+        "values already flushed before the failure"
+    );
     let mut g = GSoapLike::new();
-    let full = g.serialize(&op, &[Value::DoubleArray(xs)]).unwrap().to_vec();
+    let full = g
+        .serialize(&op, &[Value::DoubleArray(xs)])
+        .unwrap()
+        .to_vec();
     assert_eq!(strip_pad(&out2), strip_pad(&full));
 }
 
@@ -108,9 +130,13 @@ fn failure_during_resize_send_keeps_template_coherent() {
     let op = doubles_op();
     let mut client = Client::with_defaults();
     let mut ok = Vec::new();
-    client.call("ep", &op, &[Value::DoubleArray(vec![1.5; 10])], &mut ok).unwrap();
+    client
+        .call("ep", &op, &[Value::DoubleArray(vec![1.5; 10])], &mut ok)
+        .unwrap();
 
-    let grown = vec![Value::DoubleArray((0..200).map(|i| i as f64 + 0.5).collect())];
+    let grown = vec![Value::DoubleArray(
+        (0..200).map(|i| i as f64 + 0.5).collect(),
+    )];
     let mut flaky = FlakyWriter::new(8);
     assert!(client.call("ep", &op, &grown, &mut flaky).is_err());
 
@@ -145,7 +171,9 @@ fn zero_byte_writer_reports_write_zero() {
     )
     .unwrap();
     let err = tpl.send(&mut Stuck).unwrap_err();
-    let EngineError::Io(io_err) = err else { panic!("expected Io error") };
+    let EngineError::Io(io_err) = err else {
+        panic!("expected Io error")
+    };
     assert_eq!(io_err.kind(), io::ErrorKind::WriteZero);
 }
 
@@ -173,7 +201,9 @@ fn arity_and_type_errors_leave_no_partial_template() {
     let op = doubles_op();
     let mut client = Client::with_defaults();
     // Type error on the very first call: no template may be cached.
-    assert!(client.call("ep", &op, &[Value::Int(1)], &mut Vec::new()).is_err());
+    assert!(client
+        .call("ep", &op, &[Value::Int(1)], &mut Vec::new())
+        .is_err());
     assert!(client.template_mut("ep", &op).is_none());
     // A valid call then builds normally.
     let r = client

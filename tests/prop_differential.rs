@@ -10,7 +10,9 @@ use bsoap::baseline::GSoapLike;
 use bsoap::convert::ScalarKind;
 use bsoap::deser::parse_envelope;
 use bsoap::xml::strip_pad;
-use bsoap::{mio, ChunkConfig, EngineConfig, MessageTemplate, OpDesc, TypeDesc, Value, WidthPolicy};
+use bsoap::{
+    mio, ChunkConfig, EngineConfig, MessageTemplate, OpDesc, TypeDesc, Value, WidthPolicy,
+};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
@@ -23,7 +25,9 @@ fn small_f64() -> impl Strategy<Value = f64> {
     prop_oneof![
         any::<i32>().prop_map(|i| i as f64),
         (any::<i32>(), 1i32..1000).prop_map(|(a, b)| a as f64 / b as f64),
-        any::<u64>().prop_map(f64::from_bits).prop_filter("finite", |x| x.is_finite()),
+        any::<u64>()
+            .prop_map(f64::from_bits)
+            .prop_filter("finite", |x| x.is_finite()),
     ]
 }
 
@@ -38,15 +42,26 @@ fn config_strategy() -> impl Strategy<Value = EngineConfig> {
     let chunk = prop_oneof![
         Just(ChunkConfig::k32()),
         Just(ChunkConfig::k8()),
-        Just(ChunkConfig { initial_size: 192, split_threshold: 384, reserve: 16 }),
+        Just(ChunkConfig {
+            initial_size: 192,
+            split_threshold: 384,
+            reserve: 16
+        }),
     ];
     let width = prop_oneof![
         Just(WidthPolicy::Exact),
         Just(WidthPolicy::Max),
-        Just(WidthPolicy::Fixed { double: 18, int: 6, long: 12 }),
+        Just(WidthPolicy::Fixed {
+            double: 18,
+            int: 6,
+            long: 12
+        }),
     ];
     (chunk, width, any::<bool>()).prop_map(|(chunk, width, steal)| {
-        EngineConfig::paper_default().with_chunk(chunk).with_width(width).with_steal(steal)
+        EngineConfig::paper_default()
+            .with_chunk(chunk)
+            .with_width(width)
+            .with_steal(steal)
     })
 }
 

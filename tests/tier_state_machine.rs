@@ -50,12 +50,21 @@ fn canonical_tier_sequence() {
     assert_eq!(r.tier, SendTier::PartialStructural);
 
     let r = call(&mut client, &mut sink, &op, &[1.5, 9.5, 3.5, 4.5]);
-    assert_eq!(r.tier, SendTier::ContentMatch, "resize settles back to content matches");
+    assert_eq!(
+        r.tier,
+        SendTier::ContentMatch,
+        "resize settles back to content matches"
+    );
 
     let stats = client.stats();
     assert_eq!(stats.calls(), 5);
     assert_eq!(
-        (stats.first_time, stats.content_match, stats.perfect_structural, stats.partial_structural),
+        (
+            stats.first_time,
+            stats.content_match,
+            stats.perfect_structural,
+            stats.partial_structural
+        ),
         (1, 2, 1, 1)
     );
 }
@@ -101,12 +110,18 @@ fn multi_param_dirty_tracking_spans_params() {
         "f",
         "urn:x",
         vec![
-            bsoap::ParamDesc { name: "id".into(), desc: TypeDesc::Scalar(ScalarKind::Int) },
+            bsoap::ParamDesc {
+                name: "id".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Int),
+            },
             bsoap::ParamDesc {
                 name: "xs".into(),
                 desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
             },
-            bsoap::ParamDesc { name: "tag".into(), desc: TypeDesc::Scalar(ScalarKind::Str) },
+            bsoap::ParamDesc {
+                name: "tag".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Str),
+            },
         ],
     );
     let mut client = Client::with_defaults();
@@ -115,13 +130,19 @@ fn multi_param_dirty_tracking_spans_params() {
         vec![Value::Int(id), Value::DoubleArray(xs), Value::Str(s.into())]
     };
 
-    client.call("ep", &op, &args(1, vec![1.5, 2.5], "abc"), &mut sink).unwrap();
+    client
+        .call("ep", &op, &args(1, vec![1.5, 2.5], "abc"), &mut sink)
+        .unwrap();
     // Change only the trailing string (same length → no shift).
-    let r = client.call("ep", &op, &args(1, vec![1.5, 2.5], "xyz"), &mut sink).unwrap();
+    let r = client
+        .call("ep", &op, &args(1, vec![1.5, 2.5], "xyz"), &mut sink)
+        .unwrap();
     assert_eq!(r.tier, SendTier::PerfectStructural);
     assert_eq!(r.values_written, 1);
     // Change the leading int and one array element.
-    let r = client.call("ep", &op, &args(2, vec![9.5, 2.5], "xyz"), &mut sink).unwrap();
+    let r = client
+        .call("ep", &op, &args(2, vec![9.5, 2.5], "xyz"), &mut sink)
+        .unwrap();
     assert_eq!(r.tier, SendTier::PerfectStructural);
     assert_eq!(r.values_written, 2);
 }
@@ -146,7 +167,9 @@ fn mio_partial_dirty_percentages() {
     for (frac, expect) in [(25usize, 25usize), (50, 50), (75, 75), (100, 100)] {
         // Use a fresh value per round so exactly `frac` doubles change.
         let round = frac as f64 + 0.25;
-        let r = client.call("ep", &op, &[build(frac, round)], &mut sink).unwrap();
+        let r = client
+            .call("ep", &op, &[build(frac, round)], &mut sink)
+            .unwrap();
         assert_eq!(r.tier, SendTier::PerfectStructural);
         assert_eq!(r.values_written, expect, "at {frac}%");
     }
@@ -187,7 +210,11 @@ fn evicting_forgets_the_template() {
     assert!(client.evict("ep", &op));
     assert!(!client.evict("ep", &op), "double evict is a no-op");
     let r = call(&mut client, &mut sink, &op, &[1.5]);
-    assert_eq!(r.tier, SendTier::FirstTime, "evicted template forces re-serialization");
+    assert_eq!(
+        r.tier,
+        SendTier::FirstTime,
+        "evicted template forces re-serialization"
+    );
 }
 
 #[test]

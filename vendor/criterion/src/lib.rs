@@ -74,7 +74,10 @@ impl Criterion {
 
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { c: self, name: name.into() }
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
     }
 
     /// Run a benchmark outside any group.
@@ -103,7 +106,11 @@ impl Criterion {
         };
         f(&mut b);
         eprintln!("{id:<60} {:>12.1} ns/iter ({} iters)", b.mean_ns, b.iters);
-        self.results.push(Sample { id, mean_ns: b.mean_ns, iters: b.iters });
+        self.results.push(Sample {
+            id,
+            mean_ns: b.mean_ns,
+            iters: b.iters,
+        });
     }
 }
 
@@ -137,18 +144,24 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter` identifier.
     pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { label: format!("{name}/{parameter}") }
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
     }
 
     /// Identifier that is just the parameter.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { label: s.to_owned() }
+        BenchmarkId {
+            label: s.to_owned(),
+        }
     }
 }
 
@@ -270,9 +283,7 @@ pub fn bench_name_from_exe() -> String {
         .unwrap_or("bench")
         .to_owned();
     match stem.rsplit_once('-') {
-        Some((name, hash))
-            if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
-        {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
             name.to_owned()
         }
         _ => stem,

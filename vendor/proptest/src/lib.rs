@@ -154,7 +154,11 @@ pub mod strategy {
             Self: Sized,
             F: Fn(&Self::Value) -> bool,
         {
-            Filter { inner: self, reason: reason.into(), f }
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                f,
+            }
         }
 
         /// Type-erase this strategy (used by `prop_oneof!`).
@@ -235,7 +239,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter({}) rejected 10000 samples in a row", self.reason);
+            panic!(
+                "prop_filter({}) rejected 10000 samples in a row",
+                self.reason
+            );
         }
     }
 
@@ -485,13 +492,19 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty collection size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
         }
     }
 
@@ -509,7 +522,10 @@ pub mod collection {
 
     /// Vectors of `size` elements drawn from `elem`.
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -532,7 +548,10 @@ pub mod collection {
         S: Strategy,
         S::Value: Eq + Hash,
     {
-        HashSetStrategy { elem, size: size.into() }
+        HashSetStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     impl<S> Strategy for HashSetStrategy<S>
@@ -572,7 +591,10 @@ pub mod char {
     /// Characters in `[lo, hi]` inclusive.
     pub fn range(lo: char, hi: char) -> CharRange {
         assert!(lo <= hi);
-        CharRange { lo: lo as u32, hi: hi as u32 }
+        CharRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
     }
 
     impl Strategy for CharRange {
@@ -592,7 +614,9 @@ pub mod prelude {
     pub use crate as prop;
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Define property tests. Subset of proptest's macro: an optional
