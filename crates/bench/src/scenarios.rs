@@ -594,27 +594,31 @@ mod tests {
 
     #[test]
     fn psm_orders_by_dirty_fraction() {
-        let t = fig_psm(Kind::Doubles, &[10_000], 3);
-        let row = &t.rows[0].1;
-        // full ≥ 100% ≥ 75% ≥ 50% ≥ 25% ≥ content, with slack for noise.
-        let slack = 1.35;
-        assert!(
-            row[1] <= row[0] * slack,
-            "100% {} vs full {}",
-            row[1],
-            row[0]
-        );
-        assert!(
-            row[4] <= row[1] * slack,
-            "25% {} vs 100% {}",
-            row[4],
-            row[1]
-        );
-        assert!(
-            row[5] <= row[4] * slack,
-            "content {} vs 25% {}",
-            row[5],
-            row[4]
-        );
+        // Timing-ordering assertion: retry a couple of times so a single
+        // scheduler hiccup on a loaded (single-CPU) box doesn't flake it.
+        let check = || -> Result<(), String> {
+            let t = fig_psm(Kind::Doubles, &[10_000], 3);
+            let row = &t.rows[0].1;
+            // full ≥ 100% ≥ 75% ≥ 50% ≥ 25% ≥ content, with slack for noise.
+            let slack = 1.35;
+            if row[1] > row[0] * slack {
+                return Err(format!("100% {} vs full {}", row[1], row[0]));
+            }
+            if row[4] > row[1] * slack {
+                return Err(format!("25% {} vs 100% {}", row[4], row[1]));
+            }
+            if row[5] > row[4] * slack {
+                return Err(format!("content {} vs 25% {}", row[5], row[4]));
+            }
+            Ok(())
+        };
+        let mut last = String::new();
+        for _ in 0..3 {
+            match check() {
+                Ok(()) => return,
+                Err(e) => last = e,
+            }
+        }
+        panic!("ordering violated on 3 consecutive attempts: {last}");
     }
 }
