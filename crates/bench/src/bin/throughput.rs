@@ -1,0 +1,117 @@
+//! Concurrent throughput benchmark front-end.
+//!
+//! ```text
+//! cargo run --release -p bsoap-bench --bin throughput
+//! cargo run --release -p bsoap-bench --bin throughput -- --smoke
+//! cargo run --release -p bsoap-bench --bin throughput -- \
+//!     --clients 8 --requests 500 --pool 8 --workers 8 \
+//!     --dirty 0,25,100 --elems 1000 --out BENCH_throughput.json
+//! ```
+//!
+//! Writes the JSON report to `BENCH_throughput.json` in the current
+//! directory unless `--out` overrides it, and prints a summary table.
+
+use bsoap_bench::throughput::{run, ThroughputConfig};
+
+struct Opts {
+    cfg: ThroughputConfig,
+    out: String,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut cfg = ThroughputConfig::default();
+    let mut out = "BENCH_throughput.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |what: &str| args.next().ok_or(format!("{what} needs a value"));
+        match a.as_str() {
+            "--smoke" => {
+                let smoke = ThroughputConfig::smoke();
+                cfg.clients = smoke.clients;
+                cfg.requests_per_client = smoke.requests_per_client;
+                cfg.dirty_percents = smoke.dirty_percents;
+            }
+            "--clients" => cfg.clients = take("--clients")?.parse().map_err(|_| "bad --clients")?,
+            "--requests" => {
+                cfg.requests_per_client =
+                    take("--requests")?.parse().map_err(|_| "bad --requests")?
+            }
+            "--elems" => cfg.elems = take("--elems")?.parse().map_err(|_| "bad --elems")?,
+            "--pool" => cfg.pool_size = take("--pool")?.parse().map_err(|_| "bad --pool")?,
+            "--workers" => cfg.workers = take("--workers")?.parse().map_err(|_| "bad --workers")?,
+            "--dirty" => {
+                cfg.dirty_percents = take("--dirty")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad dirty level {s}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" => out = take("--out")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: throughput [--smoke] [--clients N] [--requests N] \
+                     [--elems N] [--pool N] [--workers N] [--dirty a,b,c] \
+                     [--out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if cfg.clients == 0 || cfg.requests_per_client == 0 || cfg.dirty_percents.is_empty() {
+        return Err("clients, requests and dirty levels must be nonzero".into());
+    }
+    Ok(Opts { cfg, out })
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "{} clients x {} requests, {} doubles/message, pool {}, {} server workers, dirty {:?}",
+        opts.cfg.clients,
+        opts.cfg.requests_per_client,
+        opts.cfg.elems,
+        opts.cfg.pool_size,
+        opts.cfg.workers,
+        opts.cfg.dirty_percents,
+    );
+    let report = match run(&opts.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("benchmark failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:<9} {:>6} {:>9} {:>10} {:>9} {:>9} {:>6} {:>5}",
+        "mode", "dirty%", "req/s", "p50 us", "p99 us", "wire MB", "conns", "queue"
+    );
+    for r in &report.results {
+        println!(
+            "{:<9} {:>6} {:>9.0} {:>10.0} {:>9.0} {:>9.2} {:>6} {:>5}",
+            r.mode,
+            r.dirty_pct,
+            r.rps,
+            r.p50_us,
+            r.p99_us,
+            r.wire_bytes as f64 / 1e6,
+            r.connections,
+            r.peak_queue_depth,
+        );
+    }
+    for &d in &report.config.dirty_percents {
+        if let Some(x) = report.speedup(d) {
+            println!("speedup at {d}% dirty: {x:.2}x pooled over per-call");
+        }
+    }
+    if let Err(e) = std::fs::write(&opts.out, report.to_json()) {
+        eprintln!("could not write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", opts.out);
+}

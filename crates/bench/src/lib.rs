@@ -21,6 +21,11 @@
 //! * `cargo bench -p bsoap-bench` runs the Criterion versions with proper
 //!   statistics.
 //!
+//! Beyond the paper's single-client figures, [`throughput`] measures the
+//! concurrent system — N pooled keep-alive clients vs connection-per-call
+//! against the bounded-worker-pool server — via
+//! `cargo run --release -p bsoap-bench --bin throughput`.
+//!
 //! Send Time follows the paper's definition: the clock starts before
 //! message preparation and stops after the last write to the transport —
 //! here a deterministic in-memory `SinkTransport`
@@ -30,6 +35,7 @@
 pub mod ablations;
 pub mod plot;
 pub mod scenarios;
+pub mod throughput;
 pub mod timing;
 pub mod workload;
 

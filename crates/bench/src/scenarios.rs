@@ -594,8 +594,15 @@ mod tests {
 
     #[test]
     fn psm_orders_by_dirty_fraction() {
-        // Timing-ordering assertion: retry a couple of times so a single
-        // scheduler hiccup on a loaded (single-CPU) box doesn't flake it.
+        // Wall-clock-ordering assertion: inherently load-sensitive, so it
+        // only runs when explicitly requested (BSOAP_TIMING_TESTS=1, as in
+        // CI's dedicated timing job) and retries a couple of times so a
+        // single scheduler hiccup on a loaded (single-CPU) box doesn't
+        // flake it.
+        if std::env::var("BSOAP_TIMING_TESTS").as_deref() != Ok("1") {
+            eprintln!("skipping timing-ordering assertion; set BSOAP_TIMING_TESTS=1 to run");
+            return;
+        }
         let check = || -> Result<(), String> {
             let t = fig_psm(Kind::Doubles, &[10_000], 3);
             let row = &t.rows[0].1;

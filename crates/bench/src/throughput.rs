@@ -1,0 +1,426 @@
+//! Concurrent throughput benchmark: pooled keep-alive vs connection-per-call.
+//!
+//! The paper's figures measure one client's Send Time against a discard
+//! server. This scenario measures the *system* under concurrency: N client
+//! threads, each with its own differential-serialization engine, POST
+//! width-stable workloads at an [`Ack`](ServerMode::Ack) server running on
+//! the bounded worker pool. Two transport modes are compared at each
+//! dirty-fraction level:
+//!
+//! * **pooled** — all threads share one [`HttpPoolClient`]: persistent
+//!   keep-alive connections, health-checked checkout, zero-copy vectored
+//!   POSTs.
+//! * **per_call** — every request opens a fresh TCP connection (the
+//!   HTTP/1.0-era baseline), same vectored send path, so the delta
+//!   isolates connection setup/teardown.
+//!
+//! Dirty fractions toggle the first `d%` of array elements between two
+//! 18-character doubles, so every resend is a Perfect Structural Match
+//! rewriting exactly that fraction in place — serialization cost scales
+//! with `d` while message bytes stay constant.
+//!
+//! Results (requests/sec, p50/p99 latency) serialize to JSON for
+//! `BENCH_throughput.json`; see `EXPERIMENTS.md`.
+
+use crate::workload::{Kind, DOUBLE_MID_W};
+use bsoap_convert::format_f64;
+use bsoap_core::{Client, EngineConfig, Value};
+use bsoap_transport::http::{post_gather_vectored, read_response, HttpVersion, RequestConfig};
+use bsoap_transport::pool::{HttpPoolClient, PoolConfig};
+use bsoap_transport::server::{ServerMode, ServerOptions, TestServer};
+use bsoap_transport::PostScratch;
+use std::io::{self};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Benchmark knobs.
+#[derive(Clone, Debug)]
+pub struct ThroughputConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client issues per scenario.
+    pub requests_per_client: usize,
+    /// Array elements per message (doubles).
+    pub elems: usize,
+    /// Client pool size (`PoolConfig::max_idle`), from
+    /// `EngineConfig::pool_size` by default.
+    pub pool_size: usize,
+    /// Server worker threads, from `EngineConfig::server_workers` by
+    /// default.
+    pub workers: usize,
+    /// Dirty-fraction levels (percent of elements rewritten per resend).
+    pub dirty_percents: Vec<usize>,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        let e = EngineConfig::default();
+        ThroughputConfig {
+            clients: 4,
+            requests_per_client: 250,
+            elems: 100,
+            pool_size: e.pool_size,
+            workers: e.server_workers,
+            dirty_percents: vec![0, 50, 100],
+        }
+    }
+}
+
+impl ThroughputConfig {
+    /// A seconds-scale configuration for CI smoke runs.
+    pub fn smoke() -> Self {
+        ThroughputConfig {
+            clients: 2,
+            requests_per_client: 40,
+            dirty_percents: vec![50],
+            ..Self::default()
+        }
+    }
+}
+
+/// One (mode, dirty-fraction) measurement.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// `"pooled"` or `"per_call"`.
+    pub mode: &'static str,
+    /// Percent of elements rewritten per resend.
+    pub dirty_pct: usize,
+    /// Total requests completed.
+    pub requests: u64,
+    /// Wall-clock seconds for the whole scenario.
+    pub elapsed_s: f64,
+    /// Requests per second across all clients.
+    pub rps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Request bytes written to the wire.
+    pub wire_bytes: u64,
+    /// TCP connections the server accepted.
+    pub connections: u64,
+    /// Server-side queue high-water mark.
+    pub peak_queue_depth: usize,
+    /// Pooled mode: connections opened / checkouts served from the pool /
+    /// mid-exchange retries. Zero for per_call.
+    pub pool_created: u64,
+    /// See [`ScenarioResult::pool_created`].
+    pub pool_reused: u64,
+    /// See [`ScenarioResult::pool_created`].
+    pub pool_retries: u64,
+}
+
+/// Full report: config echo plus one result per (mode, dirty) pair.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// The knobs the run used.
+    pub config: ThroughputConfig,
+    /// One entry per (mode, dirty-fraction) pair.
+    pub results: Vec<ScenarioResult>,
+}
+
+impl ThroughputReport {
+    /// Pooled-over-per-call requests/sec ratio at `dirty_pct`.
+    pub fn speedup(&self, dirty_pct: usize) -> Option<f64> {
+        let rps = |mode: &str| {
+            self.results
+                .iter()
+                .find(|r| r.mode == mode && r.dirty_pct == dirty_pct)
+                .map(|r| r.rps)
+        };
+        match (rps("pooled"), rps("per_call")) {
+            (Some(p), Some(c)) if c > 0.0 => Some(p / c),
+            _ => None,
+        }
+    }
+
+    /// Hand-rolled JSON (no serde in the dependency tree).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"benchmark\": \"throughput\",\n");
+        s.push_str(&format!("  \"clients\": {},\n", self.config.clients));
+        s.push_str(&format!(
+            "  \"requests_per_client\": {},\n",
+            self.config.requests_per_client
+        ));
+        s.push_str(&format!("  \"elems\": {},\n", self.config.elems));
+        s.push_str(&format!("  \"pool_size\": {},\n", self.config.pool_size));
+        s.push_str(&format!("  \"server_workers\": {},\n", self.config.workers));
+        s.push_str("  \"scenarios\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"dirty_pct\": {}, \"requests\": {}, \
+                 \"elapsed_s\": {:.4}, \"rps\": {:.1}, \"p50_us\": {:.1}, \
+                 \"p99_us\": {:.1}, \"wire_bytes\": {}, \"connections\": {}, \
+                 \"peak_queue_depth\": {}, \"pool_created\": {}, \
+                 \"pool_reused\": {}, \"pool_retries\": {}}}{}\n",
+                r.mode,
+                r.dirty_pct,
+                r.requests,
+                r.elapsed_s,
+                r.rps,
+                r.p50_us,
+                r.p99_us,
+                r.wire_bytes,
+                r.connections,
+                r.peak_queue_depth,
+                r.pool_created,
+                r.pool_reused,
+                r.pool_retries,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"speedup_pooled_over_per_call\": {");
+        let mut first = true;
+        for &d in &self.config.dirty_percents {
+            if let Some(x) = self.speedup(d) {
+                if !first {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{d}\": {x:.2}"));
+                first = false;
+            }
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+}
+
+/// An 18-character double distinct from [`DOUBLE_MID_W`], found by search
+/// so the dirty-toggle rewrites are guaranteed width-stable (pure in-place
+/// PSM, no shifting).
+fn alt_mid_double() -> f64 {
+    for b in 13..99 {
+        let v = b as f64 + 0.345_678_901_234_567;
+        if v != DOUBLE_MID_W && format_f64(v).len() == 18 {
+            return v;
+        }
+    }
+    unreachable!("some 2-digit integer part yields an 18-char double");
+}
+
+/// The two argument sets a client alternates between: all-mid, and
+/// first-`dirty_pct`% swapped to the alternate 18-char value.
+fn arg_pair(elems: usize, dirty_pct: usize) -> (Value, Value) {
+    let base = vec![DOUBLE_MID_W; elems];
+    let mut dirty = base.clone();
+    let k = elems * dirty_pct / 100;
+    let alt = alt_mid_double();
+    for x in dirty.iter_mut().take(k) {
+        *x = alt;
+    }
+    (Value::DoubleArray(base), Value::DoubleArray(dirty))
+}
+
+fn percentile_us(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64
+}
+
+struct ThreadOutcome {
+    latencies_us: Vec<u64>,
+    wire_bytes: u64,
+}
+
+/// Run one scenario: `clients` threads issue `requests_per_client`
+/// requests each through `mode`'s transport against a fresh Ack server.
+fn run_scenario(
+    cfg: &ThroughputConfig,
+    mode: &'static str,
+    dirty_pct: usize,
+) -> io::Result<ScenarioResult> {
+    let server = TestServer::spawn_with(
+        ServerMode::Ack,
+        ServerOptions {
+            workers: cfg.workers,
+            drain_deadline: Duration::from_secs(5),
+        },
+    )?;
+    let addr = server.addr();
+    let req_cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+    let pooled: Option<Arc<HttpPoolClient>> = (mode == "pooled").then(|| {
+        Arc::new(HttpPoolClient::new(
+            addr,
+            req_cfg.clone(),
+            PoolConfig {
+                max_idle: cfg.pool_size,
+                ..PoolConfig::default()
+            },
+        ))
+    });
+
+    let barrier = Arc::new(Barrier::new(cfg.clients + 1));
+    let mut handles = Vec::with_capacity(cfg.clients);
+    for _ in 0..cfg.clients {
+        let barrier = Arc::clone(&barrier);
+        let pooled = pooled.clone();
+        let req_cfg = req_cfg.clone();
+        let (elems, requests) = (cfg.elems, cfg.requests_per_client);
+        handles.push(std::thread::spawn(move || -> io::Result<ThreadOutcome> {
+            let mut engine = Client::new(EngineConfig::default());
+            let op = Kind::Doubles.op();
+            let endpoint = format!("http://{addr}/service");
+            let (base, dirty) = arg_pair(elems, dirty_pct);
+            let mut latencies_us = Vec::with_capacity(requests);
+            let mut wire_bytes = 0u64;
+            let mut scratch = PostScratch::default();
+            barrier.wait();
+            for r in 0..requests {
+                let args = if r % 2 == 0 { &base } else { &dirty };
+                let args = std::slice::from_ref(args);
+                let t0 = Instant::now();
+                let report = match &pooled {
+                    Some(pool) => engine
+                        .call_via(&endpoint, &op, args, |slices| {
+                            let reply = pool.call(slices)?;
+                            if reply.status != 200 {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!("HTTP {}", reply.status),
+                                ));
+                            }
+                            Ok(reply.wire_bytes)
+                        })
+                        .map_err(|e| io::Error::other(e.to_string()))?,
+                    None => engine
+                        .call_via(&endpoint, &op, args, |slices| {
+                            let mut stream = TcpStream::connect(addr)?;
+                            stream.set_nodelay(true)?;
+                            let n =
+                                post_gather_vectored(&mut stream, &req_cfg, slices, &mut scratch)?;
+                            let (status, _) = read_response(&mut stream)?;
+                            if status != 200 {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!("HTTP {status}"),
+                                ));
+                            }
+                            Ok(n)
+                        })
+                        .map_err(|e| io::Error::other(e.to_string()))?,
+                };
+                latencies_us.push(t0.elapsed().as_micros() as u64);
+                wire_bytes += report.bytes as u64;
+            }
+            Ok(ThreadOutcome {
+                latencies_us,
+                wire_bytes,
+            })
+        }));
+    }
+
+    barrier.wait();
+    let start = Instant::now();
+    let mut latencies = Vec::with_capacity(cfg.clients * cfg.requests_per_client);
+    let mut wire_bytes = 0u64;
+    for h in handles {
+        let outcome = h.join().expect("client thread panicked")?;
+        latencies.extend(outcome.latencies_us);
+        wire_bytes += outcome.wire_bytes;
+    }
+    let elapsed = start.elapsed();
+
+    let (pool_created, pool_reused, pool_retries) = match &pooled {
+        Some(p) => {
+            let st = p.pool().stats();
+            (st.created, st.reused, st.retries)
+        }
+        None => (0, 0, 0),
+    };
+    drop(pooled);
+    let stats = server.stop();
+    assert_eq!(
+        stats.requests,
+        latencies.len() as u64,
+        "server must have answered every request ({mode}, {dirty_pct}% dirty)"
+    );
+
+    latencies.sort_unstable();
+    let elapsed_s = elapsed.as_secs_f64();
+    Ok(ScenarioResult {
+        mode,
+        dirty_pct,
+        requests: latencies.len() as u64,
+        elapsed_s,
+        rps: latencies.len() as f64 / elapsed_s.max(1e-9),
+        p50_us: percentile_us(&latencies, 50.0),
+        p99_us: percentile_us(&latencies, 99.0),
+        wire_bytes,
+        connections: stats.connections,
+        peak_queue_depth: stats.peak_queue_depth,
+        pool_created,
+        pool_reused,
+        pool_retries,
+    })
+}
+
+/// Run the full matrix: both modes at every dirty-fraction level.
+pub fn run(cfg: &ThroughputConfig) -> io::Result<ThroughputReport> {
+    let mut results = Vec::new();
+    for &dirty in &cfg.dirty_percents {
+        for mode in ["pooled", "per_call"] {
+            results.push(run_scenario(cfg, mode, dirty)?);
+        }
+    }
+    Ok(ThroughputReport {
+        config: cfg.clone(),
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alt_double_is_18_chars_and_distinct() {
+        let alt = alt_mid_double();
+        assert_eq!(format_f64(alt).len(), 18);
+        assert_ne!(alt, DOUBLE_MID_W);
+        assert_eq!(format_f64(DOUBLE_MID_W).len(), 18);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&v, 50.0), 51.0);
+        assert_eq!(percentile_us(&v, 99.0), 99.0);
+        assert_eq!(percentile_us(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn smoke_run_both_modes() {
+        let cfg = ThroughputConfig {
+            clients: 2,
+            requests_per_client: 8,
+            elems: 10,
+            dirty_percents: vec![50],
+            ..ThroughputConfig::default()
+        };
+        let report = run(&cfg).unwrap();
+        assert_eq!(report.results.len(), 2);
+        for r in &report.results {
+            assert_eq!(r.requests, 16);
+            assert!(r.rps > 0.0);
+            assert!(r.p50_us > 0.0);
+            assert!(r.p99_us >= r.p50_us);
+        }
+        let pooled = &report.results[0];
+        let per_call = &report.results[1];
+        assert_eq!(pooled.mode, "pooled");
+        // Keep-alive: connections bounded by client count; per-call pays
+        // one TCP connection per request.
+        assert!(pooled.connections <= cfg.clients as u64 + pooled.pool_retries);
+        assert_eq!(per_call.connections, 16);
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"throughput\""));
+        assert!(json.contains("\"mode\": \"pooled\""));
+        assert!(json.contains("speedup_pooled_over_per_call"));
+    }
+}

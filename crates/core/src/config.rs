@@ -80,6 +80,12 @@ pub struct EngineConfig {
     /// sequential path; `≥ 2` rewrites in-width dirty values concurrently,
     /// sharded by chunk boundary, with byte-identical output.
     pub parallel_workers: usize,
+    /// Client side: maximum idle keep-alive connections a per-endpoint
+    /// connection pool retains (`bsoap-transport`'s `PoolConfig::max_idle`).
+    pub pool_size: usize,
+    /// Server side: worker threads handling connections in the bounded
+    /// accept pool (`bsoap-transport`'s `PoolOptions::workers`).
+    pub server_workers: usize,
 }
 
 impl EngineConfig {
@@ -94,6 +100,8 @@ impl EngineConfig {
             steal: true,
             float: FloatFormatter::Exact2004,
             parallel_workers: 0,
+            pool_size: 4,
+            server_workers: 4,
         }
     }
 
@@ -138,6 +146,18 @@ impl EngineConfig {
     /// Builder-style flush-parallelism override.
     pub fn with_parallel_workers(mut self, workers: usize) -> Self {
         self.parallel_workers = workers;
+        self
+    }
+
+    /// Builder-style client connection-pool size override.
+    pub fn with_pool_size(mut self, pool_size: usize) -> Self {
+        self.pool_size = pool_size;
+        self
+    }
+
+    /// Builder-style server worker-count override.
+    pub fn with_server_workers(mut self, workers: usize) -> Self {
+        self.server_workers = workers;
         self
     }
 }
@@ -215,5 +235,17 @@ mod tests {
             .with_parallel_workers(4);
         assert_eq!(c.float, FloatFormatter::Fast);
         assert_eq!(c.parallel_workers, 4);
+    }
+
+    #[test]
+    fn builder_transport_knobs() {
+        let c = EngineConfig::paper_default()
+            .with_pool_size(8)
+            .with_server_workers(2);
+        assert_eq!(c.pool_size, 8);
+        assert_eq!(c.server_workers, 2);
+        let d = EngineConfig::paper_default();
+        assert_eq!(d.pool_size, 4);
+        assert_eq!(d.server_workers, 4);
     }
 }

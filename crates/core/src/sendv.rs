@@ -24,13 +24,18 @@ pub fn write_all_vectored(w: &mut impl Write, slices: &[IoSlice<'_>]) -> Result<
         idx += 1;
     }
     while idx < slices.len() {
-        let n = w.write_vectored(&view[idx..])?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::WriteZero,
-                "vectored write returned zero",
-            ));
-        }
+        let n = match w.write_vectored(&view[idx..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "vectored write returned zero",
+                ))
+            }
+            Ok(n) => n,
+            // EINTR: nothing was written; the position is intact, retry.
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
         // Advance the (idx, off) position by n bytes.
         let mut remaining = n + off;
         off = 0;

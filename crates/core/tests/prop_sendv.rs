@@ -1,0 +1,77 @@
+//! Property test for the vectored drain: any gather list written through
+//! a pathological `Write` impl (1–3 bytes per call, injected EINTR) comes
+//! out byte-identical to the concatenation.
+
+use bsoap_core::sendv::write_all_vectored;
+use proptest::prelude::*;
+use std::io::{self, IoSlice, Write};
+
+/// Writer accepting only 1–3 bytes per call (cycling), periodically
+/// failing with `Interrupted` before consuming anything.
+struct InterruptingDribbler {
+    out: Vec<u8>,
+    calls: usize,
+    interrupt_every: usize,
+}
+
+impl InterruptingDribbler {
+    fn admit(&mut self) -> io::Result<usize> {
+        self.calls += 1;
+        if self.interrupt_every != 0 && self.calls.is_multiple_of(self.interrupt_every) {
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "EINTR"));
+        }
+        Ok(1 + self.calls % 3)
+    }
+}
+
+impl Write for InterruptingDribbler {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let cap = self.admit()?;
+        let n = buf.len().min(cap);
+        self.out.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        let mut cap = self.admit()?;
+        let mut n = 0;
+        for b in bufs {
+            if cap == 0 {
+                break;
+            }
+            let take = b.len().min(cap);
+            self.out.extend_from_slice(&b[..take]);
+            cap -= take;
+            n += take;
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn drains_byte_identical_under_dribble_and_eintr(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64),
+            0..12
+        ),
+        interrupt_every in prop_oneof![Just(0usize), 2usize..6],
+    ) {
+        let slices: Vec<IoSlice<'_>> = parts.iter().map(|p| IoSlice::new(p)).collect();
+        let want: Vec<u8> = parts.concat();
+        let mut w = InterruptingDribbler {
+            out: Vec::new(),
+            calls: 0,
+            interrupt_every,
+        };
+        let n = write_all_vectored(&mut w, &slices).unwrap();
+        prop_assert_eq!(n, want.len());
+        prop_assert_eq!(w.out, want);
+    }
+}

@@ -94,6 +94,12 @@ impl Service {
         &self.namespace
     }
 
+    /// The engine configuration (also carries transport knobs like
+    /// `server_workers`).
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
     /// Register `op` with a handler producing values for `response_params`
     /// (the response operation is conventionally named `{op}Response`).
     pub fn register(

@@ -1,83 +1,48 @@
 //! Loopback HTTP host for a [`Service`].
 //!
-//! One accept thread plus one thread per connection — the shape of the
-//! paper's measurement servers — parsing SOAP POSTs (`Content-Length` or
-//! chunked) and routing by `SOAPAction` (`"namespace#operation"`), with
-//! fallback to the first operation for action-less callers.
+//! Runs on `bsoap-transport`'s bounded worker pool: blocking accepts feed
+//! a fixed number of workers (`EngineConfig::server_workers`), excess
+//! connections queue rather than spawn threads, and stop drains in-flight
+//! requests. Each connection runs a keep-alive loop parsing SOAP POSTs
+//! (`Content-Length` or chunked) and routing by `SOAPAction`
+//! (`"namespace#operation"`), with fallback to the first operation for
+//! action-less callers. Responses go out through the vectored send path
+//! (head and dispatched body as separate `IoSlice`s — no flattening).
 
 use crate::dispatch::{HandlerError, Service, ServiceStats};
-use bsoap_transport::http::{render_response, RequestReader};
-use parking_lot::Mutex;
-use std::io::{self, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use bsoap_transport::accept::{serve, PoolOptions, WorkerPool};
+use bsoap_transport::http::{write_response_vectored, RequestReader};
+use std::io::{self, IoSlice};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// A running HTTP SOAP server.
 pub struct HttpServer {
-    addr: SocketAddr,
     service: Arc<Service>,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    pool: WorkerPool,
 }
 
 impl HttpServer {
-    /// Bind an ephemeral loopback port and serve `service`.
+    /// Bind an ephemeral loopback port and serve `service` with
+    /// `service.config().server_workers` worker threads.
     pub fn spawn(service: Service) -> io::Result<Self> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0))?;
         let service = Arc::new(service);
-        let stop = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let conn_service = Arc::clone(&service);
-        let conn_stop = Arc::clone(&stop);
-        let conn_registry = Arc::clone(&conns);
-        let accept_thread = std::thread::spawn(move || {
-            let mut conn_threads = Vec::new();
-            loop {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let _ = stream.set_nonblocking(false);
-                        if let Ok(clone) = stream.try_clone() {
-                            conn_registry.lock().push(clone);
-                        }
-                        let svc = Arc::clone(&conn_service);
-                        conn_threads
-                            .push(std::thread::spawn(move || serve_connection(stream, &svc)));
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        if conn_stop.load(Ordering::Acquire) {
-                            break;
-                        }
-                        std::thread::sleep(std::time::Duration::from_millis(1));
-                    }
-                    Err(_) => break,
-                }
-            }
-            // Past this point no further connections are accepted. Shut
-            // down every handler's stream so reads on connections the
-            // client left open unblock — then joining cannot deadlock.
-            for conn in conn_registry.lock().drain(..) {
-                let _ = conn.shutdown(Shutdown::Both);
-            }
-            for t in conn_threads {
-                let _ = t.join();
-            }
-        });
-        let _ = conns; // registry is owned by the accept thread
-        Ok(HttpServer {
-            addr,
-            service,
-            stop,
-            accept_thread: Some(accept_thread),
-        })
+        let pool = serve(
+            listener,
+            PoolOptions {
+                workers: service.config().server_workers,
+                ..PoolOptions::default()
+            },
+            move |stream| serve_connection(stream, &conn_service),
+        )?;
+        Ok(HttpServer { service, pool })
     }
 
     /// Address clients should POST to.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.pool.addr()
     }
 
     /// Live statistics view.
@@ -85,25 +50,10 @@ impl HttpServer {
         self.service.stats()
     }
 
-    /// Stop accepting, join all connections, return final statistics.
+    /// Stop accepting, drain in-flight requests, return final statistics.
     pub fn stop(mut self) -> ServiceStats {
-        self.shutdown();
+        self.pool.stop();
         self.service.stats()
-    }
-
-    fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for HttpServer {
-    fn drop(&mut self) {
-        if self.accept_thread.is_some() {
-            self.shutdown();
-        }
     }
 }
 
@@ -119,7 +69,7 @@ fn serve_connection(mut stream: TcpStream, service: &Service) {
         return;
     };
     let mut reader = RequestReader::new(read_half);
-    let mut response_buf = Vec::new();
+    let mut head_scratch = Vec::new();
     while let Ok(Some((head, body))) = reader.next_request() {
         let op_name = head
             .header("soapaction")
@@ -152,8 +102,14 @@ fn serve_connection(mut stream: TcpStream, service: &Service) {
                 Service::fault_envelope("SOAP-ENV:Client", &e.to_string()),
             ),
         };
-        render_response(&mut response_buf, status, reason, &payload);
-        if stream.write_all(&response_buf).is_err() {
+        let sent = write_response_vectored(
+            &mut stream,
+            status,
+            reason,
+            &[IoSlice::new(&payload)],
+            &mut head_scratch,
+        );
+        if sent.is_err() {
             break;
         }
     }

@@ -177,6 +177,70 @@ fn render_chunk_size(buf: &mut [u8; 18], len: usize) -> usize {
     s.len()
 }
 
+/// Reusable scratch for [`post_gather_vectored`]: the request head and the
+/// chunked-framing bytes live here between calls so the assembled gather
+/// list can reference them without allocating per send.
+#[derive(Debug, Default)]
+pub struct PostScratch {
+    head: Vec<u8>,
+    /// Chunk size lines back to back, then `\r\n` (the shared per-chunk
+    /// trailer), then `0\r\n\r\n` (the last-chunk marker).
+    frames: Vec<u8>,
+    /// `(offset, len)` of each chunk's size line within `frames`.
+    spans: Vec<(usize, usize)>,
+}
+
+/// Write one SOAP POST with **zero body copies**: the head (and, for
+/// chunked framing, the size lines) are emitted as their own `IoSlice`s
+/// and the caller's gather list passes straight through to the vectored
+/// drain. A keep-alive POST of a non-contiguous template therefore costs
+/// one `writev` per socket-buffer fill and never flattens the payload.
+///
+/// Byte-identical on the wire to [`post_gather`]; returns total bytes
+/// written (head + framing + payload).
+pub fn post_gather_vectored(
+    stream: &mut impl Write,
+    cfg: &RequestConfig,
+    body: &[IoSlice<'_>],
+    scratch: &mut PostScratch,
+) -> io::Result<usize> {
+    let payload: usize = body.iter().map(|s| s.len()).sum();
+    let chunks = body.iter().filter(|s| !s.is_empty());
+    let n = if cfg.version.is_chunked() {
+        cfg.render_head(&mut scratch.head, None);
+        scratch.frames.clear();
+        scratch.spans.clear();
+        for s in chunks.clone() {
+            let start = scratch.frames.len();
+            let mut line = [0u8; 18];
+            let len = render_chunk_size(&mut line, s.len());
+            scratch.frames.extend_from_slice(&line[..len]);
+            scratch.spans.push((start, len));
+        }
+        let tail = scratch.frames.len();
+        scratch.frames.extend_from_slice(b"\r\n0\r\n\r\n");
+        let crlf = &scratch.frames[tail..tail + 2];
+        let last_chunk = &scratch.frames[tail + 2..];
+        let mut list: Vec<IoSlice<'_>> = Vec::with_capacity(2 + 3 * scratch.spans.len());
+        list.push(IoSlice::new(&scratch.head));
+        for (s, &(off, len)) in chunks.zip(scratch.spans.iter()) {
+            list.push(IoSlice::new(&scratch.frames[off..off + len]));
+            list.push(IoSlice::new(s));
+            list.push(IoSlice::new(crlf));
+        }
+        list.push(IoSlice::new(last_chunk));
+        crate::write_gather(stream, &list)?
+    } else {
+        cfg.render_head(&mut scratch.head, Some(payload));
+        let mut list: Vec<IoSlice<'_>> = Vec::with_capacity(1 + body.len());
+        list.push(IoSlice::new(&scratch.head));
+        list.extend(body.iter().map(|s| IoSlice::new(s)));
+        crate::write_gather(stream, &list)?
+    };
+    stream.flush()?;
+    Ok(n)
+}
+
 /// A parsed request head.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RequestHead {
@@ -373,21 +437,52 @@ pub fn parse_request_head(head: &[u8]) -> Result<RequestHead, HttpError> {
     })
 }
 
-/// Render a minimal response with a body (used by the collecting server to
-/// acknowledge requests).
-pub fn render_response(out: &mut Vec<u8>, status: u16, reason: &str, body: &[u8]) {
+/// Render a minimal response head (through the blank line) for a body of
+/// `content_len` bytes into `out` (cleared first).
+pub fn render_response_head(out: &mut Vec<u8>, status: u16, reason: &str, content_len: usize) {
     out.clear();
     out.extend_from_slice(b"HTTP/1.1 ");
     out.extend_from_slice(status.to_string().as_bytes());
     out.push(b' ');
     out.extend_from_slice(reason.as_bytes());
     out.extend_from_slice(b"\r\nContent-Type: text/xml; charset=utf-8\r\nContent-Length: ");
-    out.extend_from_slice(body.len().to_string().as_bytes());
+    out.extend_from_slice(content_len.to_string().as_bytes());
     out.extend_from_slice(b"\r\n\r\n");
+}
+
+/// Render a minimal response with a body (used by the collecting server to
+/// acknowledge requests).
+pub fn render_response(out: &mut Vec<u8>, status: u16, reason: &str, body: &[u8]) {
+    render_response_head(out, status, reason, body.len());
     out.extend_from_slice(body);
 }
 
+/// Write a response without copying the body: the head goes out as its
+/// own `IoSlice` and the caller's gather list rides the vectored drain.
+/// Returns total bytes written.
+pub fn write_response_vectored(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    body: &[IoSlice<'_>],
+    head_scratch: &mut Vec<u8>,
+) -> io::Result<usize> {
+    let payload: usize = body.iter().map(|s| s.len()).sum();
+    render_response_head(head_scratch, status, reason, payload);
+    let mut list: Vec<IoSlice<'_>> = Vec::with_capacity(1 + body.len());
+    list.push(IoSlice::new(head_scratch));
+    list.extend(body.iter().map(|s| IoSlice::new(s)));
+    let n = crate::write_gather(stream, &list)?;
+    stream.flush()?;
+    Ok(n)
+}
+
 /// Read one length-framed HTTP response off a stream; returns the body.
+///
+/// EOF before *any* response byte maps to [`io::ErrorKind::UnexpectedEof`]
+/// rather than `InvalidData`: it is the signature of a stale keep-alive
+/// socket (the peer closed between requests), which pooled clients treat
+/// as retryable, unlike a genuinely malformed response.
 pub fn read_response(stream: &mut impl Read) -> io::Result<(u16, Vec<u8>)> {
     let mut reader = RequestReader::new(stream);
     let head_end = loop {
@@ -395,6 +490,12 @@ pub fn read_response(stream: &mut impl Read) -> io::Result<(u16, Vec<u8>)> {
             break p + 4;
         }
         if !reader.fill()? {
+            if reader.filled == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before any response byte",
+                ));
+            }
             return Err(HttpError::BadHead("EOF inside response head").into());
         }
     };
@@ -577,6 +678,74 @@ mod tests {
         let mut reader = RequestReader::new(&wire[..]);
         let (_, body) = reader.next_request().unwrap().unwrap();
         assert_eq!(body, b"abc");
+    }
+
+    /// Acceptance: a keep-alive POST of a non-contiguous template performs
+    /// **zero body copies** — every payload byte reaching the sink still
+    /// points into the caller's buffers — while the wire bytes stay
+    /// identical to the flattened/sequential `post_gather` path.
+    #[test]
+    fn vectored_post_is_zero_copy_and_byte_identical() {
+        let parts: Vec<Vec<u8>> = (0..4).map(|i| vec![b'p' + i as u8; 64 * (i + 1)]).collect();
+        let slices: Vec<IoSlice<'_>> = parts.iter().map(|p| IoSlice::new(p)).collect();
+        let payload: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        for version in [
+            HttpVersion::Http10,
+            HttpVersion::Http11Length,
+            HttpVersion::Http11Chunked,
+        ] {
+            let cfg = RequestConfig::loopback(version);
+            let mut flat = Vec::new();
+            let mut head_scratch = Vec::new();
+            post_gather(&mut flat, &cfg, &slices, &mut head_scratch).unwrap();
+
+            let mut sink = crate::sink::ProvenanceSink::new();
+            for p in &parts {
+                sink.register(p);
+            }
+            let mut scratch = PostScratch::default();
+            // Two keep-alive sends through the same scratch: reuse must not
+            // corrupt framing or introduce copies.
+            for _ in 0..2 {
+                let n = post_gather_vectored(&mut sink, &cfg, &slices, &mut scratch).unwrap();
+                assert_eq!(n, flat.len(), "{version:?}");
+            }
+            assert_eq!(
+                sink.aliased_bytes(),
+                2 * payload,
+                "{version:?}: every body byte arrived uncopied"
+            );
+            let framing = 2 * (flat.len() as u64 - payload);
+            assert_eq!(
+                sink.copied_bytes(),
+                framing,
+                "{version:?}: only head/framing bytes came from scratch"
+            );
+            assert_eq!(sink.bytes(), [flat.as_slice(), &flat].concat());
+        }
+    }
+
+    #[test]
+    fn vectored_response_matches_render_response() {
+        let a = b"<res>".to_vec();
+        let b = b"42</res>".to_vec();
+        let mut flat = Vec::new();
+        render_response(&mut flat, 200, "OK", b"<res>42</res>");
+        let mut sink = crate::sink::ProvenanceSink::new();
+        sink.register(&a);
+        sink.register(&b);
+        let mut head_scratch = Vec::new();
+        let n = write_response_vectored(
+            &mut sink,
+            200,
+            "OK",
+            &[IoSlice::new(&a), IoSlice::new(&b)],
+            &mut head_scratch,
+        )
+        .unwrap();
+        assert_eq!(n, flat.len());
+        assert_eq!(sink.bytes(), flat);
+        assert_eq!(sink.aliased_bytes(), (a.len() + b.len()) as u64);
     }
 
     #[test]

@@ -17,21 +17,33 @@
 //!   overlaying stream-as-you-serialize (§3.3).
 //! * [`tcp`] — a real TCP client with the paper's socket options
 //!   (`TCP_NODELAY`, keep-alive) and a [`Transport`] implementation.
+//! * [`pool`] — a per-endpoint pool of persistent keep-alive connections
+//!   ([`pool::ConnectionPool`]) and a pooled HTTP client
+//!   ([`pool::HttpPoolClient`]) with health-checked checkout, idle
+//!   reaping, and transparent reconnect-and-retry on stale sockets.
+//! * [`accept`] — a bounded worker pool fed by blocking accepts
+//!   ([`accept::serve`]): the server-side counterpart of the pool, with
+//!   graceful drain on shutdown.
 //! * [`server`] — loopback servers: the paper's discard server plus a
-//!   collecting server that hands complete request bodies to tests.
+//!   collecting server that hands complete request bodies to tests, both
+//!   running on the bounded worker pool.
 //!
 //! The [`Transport`] trait is the seam between the serialization engine
 //! and the wire: one SOAP message (as a gather list of chunk slices) in,
 //! bytes-on-the-wire count out.
 
+pub mod accept;
 pub mod http;
+pub mod pool;
 pub mod server;
 pub mod sink;
 pub mod tcp;
 
-pub use http::{HttpError, HttpVersion, RequestConfig};
-pub use server::{CollectedRequest, ServerMode, ServerStats, TestServer};
-pub use sink::SinkTransport;
+pub use accept::{serve, PoolOptions, WorkerPool};
+pub use http::{HttpError, HttpVersion, PostScratch, RequestConfig};
+pub use pool::{ConnectionPool, HttpPoolClient, PoolConfig, PoolStats, PooledConn};
+pub use server::{CollectedRequest, ServerMode, ServerOptions, ServerStats, TestServer};
+pub use sink::{ProvenanceSink, SinkTransport};
 pub use tcp::TcpTransport;
 
 use std::io::{self, IoSlice};
@@ -56,27 +68,33 @@ pub fn gather_len(slices: &[IoSlice<'_>]) -> usize {
 }
 
 /// Drain a gather list into a plain `Write`, handling partial vectored
-/// writes. (Kept local so this crate sits below the engine in the crate
-/// graph.)
+/// writes and `Interrupted` (EINTR) retries. (Kept local so this crate
+/// sits below the engine in the crate graph.)
+///
+/// One up-front copy of the gather list; after a partial write only the
+/// first unconsumed entry is re-sliced, so draining is O(n) overall
+/// instead of O(n²) view rebuilds on dribbling writers.
 pub fn write_gather(w: &mut impl io::Write, slices: &[IoSlice<'_>]) -> io::Result<usize> {
     let total = gather_len(slices);
+    let mut view: Vec<IoSlice<'_>> = slices.iter().map(|s| IoSlice::new(s)).collect();
+    // Position: first unconsumed slice and byte offset within it.
     let mut idx = 0usize;
     let mut off = 0usize;
-    let mut view: Vec<IoSlice<'_>> = Vec::with_capacity(slices.len());
     while idx < slices.len() && slices[idx].is_empty() {
         idx += 1;
     }
     while idx < slices.len() {
-        view.clear();
-        view.push(IoSlice::new(&slices[idx][off..]));
-        view.extend(slices[idx + 1..].iter().map(|s| IoSlice::new(s)));
-        let n = w.write_vectored(&view)?;
-        if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::WriteZero,
-                "vectored write returned zero",
-            ));
-        }
+        let n = match w.write_vectored(&view[idx..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "vectored write returned zero",
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
         let mut remaining = n + off;
         off = 0;
         while idx < slices.len() && remaining >= slices[idx].len() {
@@ -85,6 +103,7 @@ pub fn write_gather(w: &mut impl io::Write, slices: &[IoSlice<'_>]) -> io::Resul
         }
         if idx < slices.len() {
             off = remaining;
+            view[idx] = IoSlice::new(&slices[idx][off..]);
         }
     }
     Ok(total)

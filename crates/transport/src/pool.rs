@@ -1,0 +1,511 @@
+//! Client-side connection pooling for keep-alive HTTP SOAP calls.
+//!
+//! The paper's differential serialization makes the *stub* cheap; this
+//! module makes the wire path keep up. A [`ConnectionPool`] holds
+//! persistent keep-alive connections to one endpoint so a differential
+//! resend costs one `writev`, not a TCP + HTTP handshake. Checkout
+//! health-checks the socket (a zero-byte `peek` distinguishes a live idle
+//! connection from one the peer closed), idle connections past their
+//! timeout are reaped, and [`HttpPoolClient`] retries once on a stale
+//! socket that died mid-exchange — transparent reconnect, visible only in
+//! [`PoolStats`].
+
+use crate::http::{post_gather_vectored, read_response, PostScratch, RequestConfig};
+use crate::Transport;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io::{self, IoSlice};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Pool tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Maximum idle connections retained; checkouts beyond this open
+    /// fresh connections that are dropped (oldest first) on checkin.
+    pub max_idle: usize,
+    /// Idle connections older than this are reaped at the next checkout
+    /// (or explicit [`ConnectionPool::reap`]).
+    pub idle_timeout: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_idle: 4,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Cumulative pool counters (relaxed; exact in quiescence).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fresh TCP connections opened.
+    pub created: u64,
+    /// Checkouts served by an idle pooled connection.
+    pub reused: u64,
+    /// Idle connections discarded because the health check failed.
+    pub stale: u64,
+    /// Idle connections discarded because they out-sat the idle timeout.
+    pub expired: u64,
+    /// Exchanges retried on a fresh connection after a reused one died.
+    pub retries: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    created: AtomicU64,
+    reused: AtomicU64,
+    stale: AtomicU64,
+    expired: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// An idle pooled connection. The per-connection [`PostScratch`] travels
+/// with the socket so repeated sends through the pool allocate nothing.
+struct Idle {
+    stream: TcpStream,
+    scratch: PostScratch,
+    since: Instant,
+}
+
+/// A pool of persistent keep-alive connections to one endpoint.
+pub struct ConnectionPool {
+    addr: SocketAddr,
+    cfg: PoolConfig,
+    idle: Mutex<VecDeque<Idle>>,
+    stats: AtomicStats,
+}
+
+impl ConnectionPool {
+    /// Empty pool for `addr`.
+    pub fn new(addr: SocketAddr, cfg: PoolConfig) -> Self {
+        ConnectionPool {
+            addr,
+            cfg,
+            idle: Mutex::new(VecDeque::new()),
+            stats: AtomicStats::default(),
+        }
+    }
+
+    /// The endpoint this pool serves.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Check a connection out: most-recently-used healthy idle connection
+    /// if one exists (LIFO keeps sockets warm), else a fresh connect with
+    /// `TCP_NODELAY` set. Expired and health-check-failed idles found on
+    /// the way are discarded.
+    pub fn checkout(&self) -> io::Result<PooledConn<'_>> {
+        loop {
+            let candidate = self.idle.lock().pop_back();
+            let Some(idle) = candidate else { break };
+            if idle.since.elapsed() > self.cfg.idle_timeout {
+                self.stats.expired.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if !socket_is_live(&idle.stream) {
+                self.stats.stale.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.stats.reused.fetch_add(1, Ordering::Relaxed);
+            return Ok(PooledConn {
+                pool: self,
+                conn: Some((idle.stream, idle.scratch)),
+                reused: true,
+            });
+        }
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        self.stats.created.fetch_add(1, Ordering::Relaxed);
+        Ok(PooledConn {
+            pool: self,
+            conn: Some((stream, PostScratch::default())),
+            reused: false,
+        })
+    }
+
+    /// Drop idle connections past the idle timeout.
+    pub fn reap(&self) {
+        let mut idle = self.idle.lock();
+        let before = idle.len();
+        idle.retain(|c| c.since.elapsed() <= self.cfg.idle_timeout);
+        let reaped = (before - idle.len()) as u64;
+        drop(idle);
+        self.stats.expired.fetch_add(reaped, Ordering::Relaxed);
+    }
+
+    /// Idle connections currently pooled.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            created: self.stats.created.load(Ordering::Relaxed),
+            reused: self.stats.reused.load(Ordering::Relaxed),
+            stale: self.stats.stale.load(Ordering::Relaxed),
+            expired: self.stats.expired.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+        }
+    }
+
+    fn checkin(&self, stream: TcpStream, scratch: PostScratch) {
+        let mut idle = self.idle.lock();
+        idle.push_back(Idle {
+            stream,
+            scratch,
+            since: Instant::now(),
+        });
+        while idle.len() > self.cfg.max_idle.max(1) {
+            idle.pop_front();
+        }
+    }
+}
+
+/// Health check: a nonblocking zero-consume `peek`. `WouldBlock` means the
+/// socket is open with nothing pending — healthy. `Ok(0)` is a FIN the
+/// peer sent while the connection idled; `Ok(_)` is unsolicited data
+/// (protocol desync). Both make the connection unusable for a fresh
+/// request/response exchange.
+fn socket_is_live(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    let live = matches!(stream.peek(&mut probe), Err(e) if e.kind() == io::ErrorKind::WouldBlock);
+    stream.set_nonblocking(false).is_ok() && live
+}
+
+/// A checked-out connection. Returned to the pool on drop; call
+/// [`PooledConn::discard`] instead after an I/O error so a broken socket
+/// never re-enters circulation.
+pub struct PooledConn<'a> {
+    pool: &'a ConnectionPool,
+    conn: Option<(TcpStream, PostScratch)>,
+    /// Whether this checkout was served from the pool (vs fresh connect).
+    pub reused: bool,
+}
+
+impl PooledConn<'_> {
+    /// The socket and its send scratch.
+    pub fn parts(&mut self) -> (&mut TcpStream, &mut PostScratch) {
+        let (s, scratch) = self.conn.as_mut().expect("connection present until drop");
+        (s, scratch)
+    }
+
+    /// The socket alone.
+    pub fn stream(&mut self) -> &mut TcpStream {
+        self.parts().0
+    }
+
+    /// Consume without returning the connection to the pool.
+    pub fn discard(mut self) {
+        self.conn = None;
+    }
+}
+
+impl Drop for PooledConn<'_> {
+    fn drop(&mut self) {
+        if let Some((stream, scratch)) = self.conn.take() {
+            self.pool.checkin(stream, scratch);
+        }
+    }
+}
+
+/// A reply to a pooled HTTP call.
+#[derive(Clone, Debug)]
+pub struct HttpReply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Request bytes written to the wire (head + framing + payload).
+    pub wire_bytes: usize,
+}
+
+/// A pooled keep-alive HTTP client: POST a gather list, read the reply,
+/// return the connection to the pool. Shareable across threads (`&self`
+/// API); each call checks a connection out for its exclusive use.
+pub struct HttpPoolClient {
+    pool: ConnectionPool,
+    cfg: RequestConfig,
+    bytes: AtomicU64,
+}
+
+impl HttpPoolClient {
+    /// Client for `addr` posting per `cfg`, pooling per `pool_cfg`.
+    pub fn new(addr: SocketAddr, cfg: RequestConfig, pool_cfg: PoolConfig) -> Self {
+        HttpPoolClient {
+            pool: ConnectionPool::new(addr, pool_cfg),
+            cfg,
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying pool (stats, reaping).
+    pub fn pool(&self) -> &ConnectionPool {
+        &self.pool
+    }
+
+    /// POST `body` and read the response. A reused connection that fails
+    /// the exchange is discarded and the call retried once on a fresh
+    /// connection — the template was not consumed, so the resend is free
+    /// (the stale socket is the only thing replaced). Errors on a fresh
+    /// connection propagate: the endpoint itself is down.
+    pub fn call(&self, body: &[IoSlice<'_>]) -> io::Result<HttpReply> {
+        let mut attempt = 0;
+        loop {
+            let mut conn = self.pool.checkout()?;
+            let reused = conn.reused;
+            match Self::exchange(&mut conn, &self.cfg, body) {
+                Ok(reply) => {
+                    self.bytes
+                        .fetch_add(reply.wire_bytes as u64, Ordering::Relaxed);
+                    return Ok(reply);
+                }
+                Err(e) => {
+                    conn.discard();
+                    if reused && attempt == 0 && retryable(&e) {
+                        self.pool.stats.retries.fetch_add(1, Ordering::Relaxed);
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn exchange(
+        conn: &mut PooledConn<'_>,
+        cfg: &RequestConfig,
+        body: &[IoSlice<'_>],
+    ) -> io::Result<HttpReply> {
+        let (stream, scratch) = conn.parts();
+        let wire_bytes = post_gather_vectored(stream, cfg, body, scratch)?;
+        let (status, resp) = read_response(stream)?;
+        Ok(HttpReply {
+            status,
+            body: resp,
+            wire_bytes,
+        })
+    }
+}
+
+/// Errors that signal a stale keep-alive socket rather than a down or
+/// misbehaving endpoint.
+fn retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::WriteZero
+    )
+}
+
+impl Transport for HttpPoolClient {
+    fn send_message(&mut self, message: &[IoSlice<'_>]) -> io::Result<usize> {
+        let reply = self.call(message)?;
+        if reply.status != 200 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("HTTP {}", reply.status),
+            ));
+        }
+        Ok(reply.wire_bytes)
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{render_response, HttpVersion, RequestReader};
+    use crate::server::{ServerMode, TestServer};
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    fn client_for(addr: SocketAddr, pool_cfg: PoolConfig) -> HttpPoolClient {
+        HttpPoolClient::new(
+            addr,
+            RequestConfig::loopback(HttpVersion::Http11Length),
+            pool_cfg,
+        )
+    }
+
+    #[test]
+    fn sequential_calls_reuse_one_connection() {
+        let server = TestServer::spawn(ServerMode::Collect).unwrap();
+        let client = client_for(server.addr(), PoolConfig::default());
+        for i in 0..5 {
+            let body = format!("<n>{i}</n>").into_bytes();
+            let reply = client.call(&[IoSlice::new(&body)]).unwrap();
+            assert_eq!(reply.status, 200);
+            assert_eq!(reply.body, b"<ack/>");
+        }
+        let stats = client.pool().stats();
+        assert_eq!(stats.created, 1, "one connection serves all 5 calls");
+        assert_eq!(stats.reused, 4);
+        drop(client);
+        let reqs = server.stop_collecting();
+        assert_eq!(reqs.len(), 5);
+    }
+
+    #[test]
+    fn expired_idle_connections_are_replaced() {
+        let server = TestServer::spawn(ServerMode::Collect).unwrap();
+        let client = client_for(
+            server.addr(),
+            PoolConfig {
+                idle_timeout: Duration::from_millis(1),
+                ..PoolConfig::default()
+            },
+        );
+        let body = b"<x/>".to_vec();
+        client.call(&[IoSlice::new(&body)]).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        client.call(&[IoSlice::new(&body)]).unwrap();
+        let stats = client.pool().stats();
+        assert_eq!(stats.created, 2);
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.reused, 0);
+        drop(client);
+        server.stop();
+    }
+
+    #[test]
+    fn reap_drops_expired_idles() {
+        let server = TestServer::spawn(ServerMode::Collect).unwrap();
+        let client = client_for(
+            server.addr(),
+            PoolConfig {
+                idle_timeout: Duration::from_millis(1),
+                ..PoolConfig::default()
+            },
+        );
+        let body = b"<x/>".to_vec();
+        client.call(&[IoSlice::new(&body)]).unwrap();
+        assert_eq!(client.pool().idle_count(), 1);
+        std::thread::sleep(Duration::from_millis(10));
+        client.pool().reap();
+        assert_eq!(client.pool().idle_count(), 0);
+        assert_eq!(client.pool().stats().expired, 1);
+        drop(client);
+        server.stop();
+    }
+
+    #[test]
+    fn health_check_catches_peer_close() {
+        // Manual one-shot server: accept, respond to one request, close.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut s, _) = listener.accept().unwrap();
+                let mut reader = RequestReader::new(s.try_clone().unwrap());
+                let _ = reader.next_request().unwrap();
+                let mut resp = Vec::new();
+                render_response(&mut resp, 200, "OK", b"<one/>");
+                s.write_all(&resp).unwrap();
+                // Connection drops here: the pooled socket goes stale.
+            }
+        });
+        let client = client_for(addr, PoolConfig::default());
+        let body = b"<x/>".to_vec();
+        client.call(&[IoSlice::new(&body)]).unwrap();
+        // Give the FIN time to arrive so the health check (not the
+        // mid-exchange retry) is what catches the stale socket.
+        std::thread::sleep(Duration::from_millis(30));
+        client.call(&[IoSlice::new(&body)]).unwrap();
+        let stats = client.pool().stats();
+        assert_eq!(stats.created, 2);
+        assert_eq!(stats.stale, 1);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn mid_exchange_death_retries_on_fresh_connection() {
+        // Server: first connection answers one request then swallows the
+        // next and closes WITHOUT responding (stale keep-alive mid-call);
+        // second connection answers normally.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut resp = Vec::new();
+            {
+                let (mut s, _) = listener.accept().unwrap();
+                let mut reader = RequestReader::new(s.try_clone().unwrap());
+                let _ = reader.next_request().unwrap();
+                render_response(&mut resp, 200, "OK", b"<a/>");
+                s.write_all(&resp).unwrap();
+                // Read the second request fully, then close (stream AND
+                // reader clone, so the FIN actually goes out) with no
+                // response: the client sees a clean write + EOF on read.
+                let _ = reader.next_request();
+            }
+            let (mut s, _) = listener.accept().unwrap();
+            let mut reader = RequestReader::new(s.try_clone().unwrap());
+            let _ = reader.next_request().unwrap();
+            render_response(&mut resp, 200, "OK", b"<b/>");
+            s.write_all(&resp).unwrap();
+            let _ = reader.next_request(); // wait for client close
+        });
+        let client = client_for(addr, PoolConfig::default());
+        let body = b"<x/>".to_vec();
+        let first = client.call(&[IoSlice::new(&body)]).unwrap();
+        assert_eq!(first.body, b"<a/>");
+        let second = client.call(&[IoSlice::new(&body)]).unwrap();
+        assert_eq!(second.body, b"<b/>", "transparent retry returned data");
+        let stats = client.pool().stats();
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.created, 2);
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn fresh_connection_failure_propagates() {
+        // Nothing listening: checkout fails, no silent retry loop.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let client = client_for(addr, PoolConfig::default());
+        let body = b"<x/>".to_vec();
+        assert!(client.call(&[IoSlice::new(&body)]).is_err());
+        assert_eq!(client.pool().stats().retries, 0);
+    }
+
+    #[test]
+    fn max_idle_caps_pool_size() {
+        let server = TestServer::spawn(ServerMode::Collect).unwrap();
+        let client = client_for(
+            server.addr(),
+            PoolConfig {
+                max_idle: 2,
+                ..PoolConfig::default()
+            },
+        );
+        // Four concurrent checkouts force four connections; on checkin
+        // only two stay pooled.
+        let body = b"<x/>".to_vec();
+        let conns: Vec<_> = (0..4).map(|_| client.pool.checkout().unwrap()).collect();
+        assert_eq!(client.pool().stats().created, 4);
+        drop(conns);
+        assert_eq!(client.pool().idle_count(), 2);
+        // Still usable afterwards.
+        client.call(&[IoSlice::new(&body)]).unwrap();
+        drop(client);
+        server.stop();
+    }
+}

@@ -2,17 +2,24 @@
 //!
 //! [`TestServer`] reproduces the paper's measurement endpoint — "a dummy
 //! SOAP server … \[that\] does not deserialize or parse the incoming SOAP
-//! packet" — and adds a collecting mode that parses HTTP framing and hands
-//! complete request bodies back to the test, so integration tests can
-//! assert exact bytes-on-the-wire.
+//! packet" — and adds parsing modes: `Collect` hands complete request
+//! bodies back to the test so integration tests can assert exact
+//! bytes-on-the-wire, and `Ack` parses and responds without storing, so
+//! throughput benchmarks can sustain millions of requests without
+//! accumulating memory.
+//!
+//! All modes run on the bounded worker pool from [`crate::accept`]:
+//! blocking accepts, a fixed worker count ([`ServerOptions::workers`]),
+//! queueing (not refusal) beyond it, and graceful drain on stop.
 
-use crate::http::{render_response, RequestReader};
+use crate::accept::{serve, PoolOptions, WorkerPool};
+use crate::http::{write_response_vectored, RequestReader};
 use parking_lot::Mutex;
-use std::io::{self, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// What the server does with connections.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,18 +28,42 @@ pub enum ServerMode {
     Discard,
     /// Parse HTTP requests, record them, respond `200 OK` to each.
     Collect,
+    /// Parse HTTP requests and respond `200 OK`, storing nothing — the
+    /// throughput-benchmark endpoint.
+    Ack,
+}
+
+/// Server tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOptions {
+    /// Worker threads handling connections (see [`PoolOptions::workers`]).
+    pub workers: usize,
+    /// Graceful-drain deadline on stop.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        let d = PoolOptions::default();
+        ServerOptions {
+            workers: d.workers,
+            drain_deadline: d.drain_deadline,
+        }
+    }
 }
 
 /// Counters published by a stopped server.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServerStats {
     /// Total bytes drained off all connections (Discard mode) or body
-    /// bytes collected (Collect mode).
+    /// bytes received (Collect/Ack modes).
     pub bytes_received: u64,
     /// Connections accepted.
     pub connections: u64,
-    /// Complete requests parsed (Collect mode only).
+    /// Complete requests parsed (Collect/Ack modes only).
     pub requests: u64,
+    /// High-water mark of connections queued awaiting a worker.
+    pub peak_queue_depth: usize,
 }
 
 /// One collected request (Collect mode).
@@ -45,87 +76,51 @@ pub struct CollectedRequest {
 }
 
 struct Shared {
-    stop: AtomicBool,
     bytes: AtomicU64,
-    connections: AtomicU64,
     requests: AtomicU64,
     collected: Mutex<Vec<CollectedRequest>>,
-    /// Clones of accepted streams so shutdown can unblock handler threads
-    /// parked in `read()` on connections clients left open.
-    conns: Mutex<Vec<TcpStream>>,
 }
 
-/// A loopback server running on its own accept thread (one extra thread
-/// per connection).
+/// A loopback server running on the bounded worker pool.
 pub struct TestServer {
-    addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+    pool: WorkerPool,
 }
 
 impl TestServer {
-    /// Bind an ephemeral loopback port and start serving.
+    /// Bind an ephemeral loopback port and start serving with default
+    /// options.
     pub fn spawn(mode: ServerMode) -> io::Result<Self> {
+        Self::spawn_with(mode, ServerOptions::default())
+    }
+
+    /// Bind an ephemeral loopback port and start serving.
+    pub fn spawn_with(mode: ServerMode, opts: ServerOptions) -> io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
-        let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            stop: AtomicBool::new(false),
             bytes: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             collected: Mutex::new(Vec::new()),
-            conns: Mutex::new(Vec::new()),
         });
-        listener.set_nonblocking(true)?;
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::spawn(move || {
-            let mut conn_threads = Vec::new();
-            // Nonblocking accept + stop-flag poll: every connection made
-            // before stop() is accepted and fully drained, so counters are
-            // exact (no sentinel "poke" connection to mis-count).
-            loop {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let _ = stream.set_nonblocking(false);
-                        if let Ok(clone) = stream.try_clone() {
-                            accept_shared.conns.lock().push(clone);
-                        }
-                        accept_shared.connections.fetch_add(1, Ordering::Relaxed);
-                        let conn_shared = Arc::clone(&accept_shared);
-                        conn_threads.push(std::thread::spawn(move || match mode {
-                            ServerMode::Discard => drain(stream, &conn_shared),
-                            ServerMode::Collect => collect(stream, &conn_shared),
-                        }));
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        if accept_shared.stop.load(Ordering::Acquire) {
-                            break;
-                        }
-                        std::thread::sleep(std::time::Duration::from_millis(1));
-                    }
-                    Err(_) => break,
-                }
-            }
-            // Past this point no further connections are accepted. Shut
-            // down every handler's stream so reads on connections the
-            // client left open unblock — then joining cannot deadlock.
-            for conn in accept_shared.conns.lock().drain(..) {
-                let _ = conn.shutdown(Shutdown::Both);
-            }
-            for t in conn_threads {
-                let _ = t.join();
-            }
-        });
-        Ok(TestServer {
-            addr,
-            shared,
-            accept_thread: Some(accept_thread),
-        })
+        let handler_shared = Arc::clone(&shared);
+        let pool = serve(
+            listener,
+            PoolOptions {
+                workers: opts.workers,
+                drain_deadline: opts.drain_deadline,
+            },
+            move |stream| match mode {
+                ServerMode::Discard => drain(stream, &handler_shared),
+                ServerMode::Collect => respond(stream, &handler_shared, true),
+                ServerMode::Ack => respond(stream, &handler_shared, false),
+            },
+        )?;
+        Ok(TestServer { shared, pool })
     }
 
     /// The address clients should connect to.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.pool.addr()
     }
 
     /// Bytes drained so far (live view).
@@ -133,35 +128,26 @@ impl TestServer {
         self.shared.bytes.load(Ordering::Relaxed)
     }
 
+    /// Requests parsed so far (live view; Collect/Ack modes).
+    pub fn requests(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
     /// Stop the server and return its counters.
     pub fn stop(mut self) -> ServerStats {
-        self.shutdown();
+        self.pool.stop();
         ServerStats {
             bytes_received: self.shared.bytes.load(Ordering::Relaxed),
-            connections: self.shared.connections.load(Ordering::Relaxed),
+            connections: self.pool.connections(),
             requests: self.shared.requests.load(Ordering::Relaxed),
+            peak_queue_depth: self.pool.peak_queue_depth(),
         }
     }
 
     /// Stop the server and return everything it collected (Collect mode).
     pub fn stop_collecting(mut self) -> Vec<CollectedRequest> {
-        self.shutdown();
+        self.pool.stop();
         std::mem::take(&mut *self.shared.collected.lock())
-    }
-
-    fn shutdown(&mut self) {
-        self.shared.stop.store(true, Ordering::Release);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for TestServer {
-    fn drop(&mut self) {
-        if self.accept_thread.is_some() {
-            self.shutdown();
-        }
     }
 }
 
@@ -179,23 +165,33 @@ fn drain(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Collect mode: parse framed requests, stash them, 200 each.
-fn collect(mut stream: TcpStream, shared: &Shared) {
+/// Collect/Ack modes: parse framed requests off a keep-alive connection,
+/// `200 OK` each with a vectored (head + body slices) response.
+fn respond(mut stream: TcpStream, shared: &Shared, store: bool) {
     let read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
     let mut reader = RequestReader::new(read_half);
-    let mut response = Vec::new();
+    let mut head_scratch = Vec::new();
+    let ack = b"<ack/>";
     while let Ok(Some((head, body))) = reader.next_request() {
         shared.bytes.fetch_add(body.len() as u64, Ordering::Relaxed);
         shared.requests.fetch_add(1, Ordering::Relaxed);
-        shared
-            .collected
-            .lock()
-            .push(CollectedRequest { head, body });
-        render_response(&mut response, 200, "OK", b"<ack/>");
-        if stream.write_all(&response).is_err() {
+        if store {
+            shared
+                .collected
+                .lock()
+                .push(CollectedRequest { head, body });
+        }
+        let sent = write_response_vectored(
+            &mut stream,
+            200,
+            "OK",
+            &[IoSlice::new(ack)],
+            &mut head_scratch,
+        );
+        if sent.is_err() || stream.flush().is_err() {
             break;
         }
     }
@@ -206,6 +202,7 @@ mod tests {
     use super::*;
     use crate::http::{post_gather, HttpVersion, RequestConfig};
     use std::io::IoSlice;
+    use std::net::TcpStream;
 
     #[test]
     fn discard_server_counts_bytes() {
@@ -244,6 +241,27 @@ mod tests {
     }
 
     #[test]
+    fn ack_server_counts_but_does_not_store() {
+        let server = TestServer::spawn(ServerMode::Ack).unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+        let body = b"<m>9</m>".to_vec();
+        let mut scratch = Vec::new();
+        // Two keep-alive requests on one connection.
+        for _ in 0..2 {
+            post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
+            let (status, resp) = crate::http::read_response(&mut c).unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(resp, b"<ack/>");
+        }
+        drop(c);
+        let stats = server.stop();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.connections, 1, "keep-alive reused one connection");
+        assert_eq!(stats.bytes_received, 2 * body.len() as u64);
+    }
+
+    #[test]
     fn multiple_connections() {
         let server = TestServer::spawn(ServerMode::Discard).unwrap();
         let mut handles = Vec::new();
@@ -266,6 +284,41 @@ mod tests {
         let stats = server.stop();
         assert_eq!(stats.bytes_received, 1000);
         assert_eq!(stats.connections, 4);
+    }
+
+    #[test]
+    fn connections_beyond_workers_queue_and_complete() {
+        // 1 worker, 3 concurrent HTTP clients: all requests must be
+        // answered (queued, not refused), and the queue high-water mark
+        // must prove queueing actually happened.
+        let server = TestServer::spawn_with(
+            ServerMode::Ack,
+            ServerOptions {
+                workers: 1,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = TcpStream::connect(addr).unwrap();
+                    let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+                    let body = b"<q/>".to_vec();
+                    let mut scratch = Vec::new();
+                    post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
+                    let (status, _) = crate::http::read_response(&mut c).unwrap();
+                    assert_eq!(status, 200);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = server.stop();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.connections, 3);
     }
 
     #[test]

@@ -106,6 +106,85 @@ impl Transport for SinkTransport {
     }
 }
 
+/// A sink that proves (or disproves) zero-copy sends.
+///
+/// Source buffers are registered up front; every slice the sink receives
+/// is classified by pointer identity as **aliased** (it points into a
+/// registered buffer — the bytes were never copied on the way here) or
+/// **copied** (it lives anywhere else, e.g. an intermediate flattening
+/// buffer). The zero-copy acceptance test asserts `copied_body_bytes()`
+/// is zero while the wire bytes stay byte-identical to the copying path.
+#[derive(Debug, Default)]
+pub struct ProvenanceSink {
+    ranges: Vec<(usize, usize)>,
+    aliased: u64,
+    copied: u64,
+    out: Vec<u8>,
+}
+
+impl ProvenanceSink {
+    /// Empty sink with no registered sources.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `buf` as a zero-copy source: slices pointing into it
+    /// count as aliased.
+    pub fn register(&mut self, buf: &[u8]) {
+        let start = buf.as_ptr() as usize;
+        self.ranges.push((start, start + buf.len()));
+    }
+
+    /// Bytes that arrived still pointing into a registered buffer.
+    pub fn aliased_bytes(&self) -> u64 {
+        self.aliased
+    }
+
+    /// Bytes that arrived from anywhere else (framing, or copies).
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied
+    }
+
+    /// Everything received, in order (for byte-identity checks).
+    pub fn bytes(&self) -> &[u8] {
+        &self.out
+    }
+
+    fn classify(&mut self, buf: &[u8]) {
+        let p = buf.as_ptr() as usize;
+        let aliased = self
+            .ranges
+            .iter()
+            .any(|&(a, b)| p >= a && p + buf.len() <= b);
+        if aliased {
+            self.aliased += buf.len() as u64;
+        } else {
+            self.copied += buf.len() as u64;
+        }
+        self.out.extend_from_slice(buf);
+    }
+}
+
+impl Write for ProvenanceSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.classify(buf);
+        Ok(buf.len())
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        let mut n = 0;
+        for b in bufs {
+            self.classify(b);
+            n += b.len();
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,9 +8,9 @@
 //! substitution in DESIGN.md (it shifts absolute numbers, not series
 //! shape).
 
-use crate::http::{post_gather, RequestConfig};
+use crate::http::{post_gather_vectored, PostScratch, RequestConfig};
 use crate::{write_gather, Transport};
-use std::io::{self, BufWriter, IoSlice, Write};
+use std::io::{self, IoSlice, Write};
 use std::net::{SocketAddr, TcpStream};
 
 /// How messages are delimited on the wire.
@@ -36,7 +36,7 @@ enum FramingState {
     Raw,
     Http {
         cfg: RequestConfig,
-        head_scratch: Vec<u8>,
+        scratch: PostScratch,
     },
 }
 
@@ -51,7 +51,7 @@ impl TcpTransport {
                 Framing::Raw => FramingState::Raw,
                 Framing::Http(cfg) => FramingState::Http {
                     cfg,
-                    head_scratch: Vec::with_capacity(256),
+                    scratch: PostScratch::default(),
                 },
             },
             bytes: 0,
@@ -81,13 +81,10 @@ impl Transport for TcpTransport {
     fn send_message(&mut self, message: &[IoSlice<'_>]) -> io::Result<usize> {
         let n = match &mut self.framing {
             FramingState::Raw => write_gather(&mut self.stream, message)?,
-            FramingState::Http { cfg, head_scratch } => {
-                // Buffer head+frames so small HTTP chunks don't each cost a
-                // syscall; payload slices still pass through vectored.
-                let mut w = BufWriter::with_capacity(16 * 1024, &mut self.stream);
-                let n = post_gather(&mut w, cfg, message, head_scratch)?;
-                w.flush()?;
-                n
+            FramingState::Http { cfg, scratch } => {
+                // Head and chunk frames go out as their own IoSlices in one
+                // writev with the payload: no buffering tier, no body copy.
+                post_gather_vectored(&mut self.stream, cfg, message, scratch)?
             }
         };
         self.bytes += n as u64;

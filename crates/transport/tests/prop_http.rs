@@ -1,10 +1,70 @@
 //! Property tests for HTTP framing: any body, split any way, framed with
 //! any version, reads back byte-identical — including pipelined requests
-//! on one connection.
+//! on one connection, and through the zero-copy vectored send path
+//! against a pathological writer (1–3 bytes per call, injected EINTR).
 
-use bsoap_transport::http::{post_gather, HttpVersion, RequestConfig, RequestReader};
+use bsoap_transport::http::{
+    post_gather, post_gather_vectored, HttpVersion, PostScratch, RequestConfig, RequestReader,
+};
 use proptest::prelude::*;
-use std::io::IoSlice;
+use std::io::{self, IoSlice, Write};
+
+/// Writer accepting only 1–3 bytes per call (cycling), periodically
+/// failing with `Interrupted` before consuming anything — the worst
+/// plausible `write_vectored` behavior a real socket can exhibit.
+struct InterruptingDribbler {
+    out: Vec<u8>,
+    calls: usize,
+    /// Every `interrupt_every`-th call errors with EINTR (0 = never;
+    /// 1 would fail every call and starve any correct retry loop).
+    interrupt_every: usize,
+}
+
+impl InterruptingDribbler {
+    fn new(interrupt_every: usize) -> Self {
+        InterruptingDribbler {
+            out: Vec::new(),
+            calls: 0,
+            interrupt_every,
+        }
+    }
+
+    fn admit(&mut self) -> io::Result<usize> {
+        self.calls += 1;
+        if self.interrupt_every != 0 && self.calls.is_multiple_of(self.interrupt_every) {
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "EINTR"));
+        }
+        Ok(1 + self.calls % 3)
+    }
+}
+
+impl Write for InterruptingDribbler {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let cap = self.admit()?;
+        let n = buf.len().min(cap);
+        self.out.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        let mut cap = self.admit()?;
+        let mut n = 0;
+        for b in bufs {
+            if cap == 0 {
+                break;
+            }
+            let take = b.len().min(cap);
+            self.out.extend_from_slice(&b[..take]);
+            cap -= take;
+            n += take;
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
 
 fn version_strategy() -> impl Strategy<Value = HttpVersion> {
     prop_oneof![
@@ -73,6 +133,50 @@ proptest! {
             prop_assert_eq!(&got, want);
         }
         prop_assert!(reader.next_request().unwrap().is_none());
+    }
+
+    /// The zero-copy vectored POST produces the exact bytes of the
+    /// flattened/sequential path for every body, split, and version —
+    /// even through a writer that takes 1–3 bytes per call and injects
+    /// `Interrupted` errors mid-drain.
+    #[test]
+    fn vectored_post_byte_identical_under_dribble_and_eintr(
+        body in proptest::collection::vec(any::<u8>(), 0..1024),
+        cuts in proptest::collection::vec(any::<usize>(), 0..6),
+        version in version_strategy(),
+        interrupt_every in prop_oneof![Just(0usize), 2usize..6],
+    ) {
+        let parts = split_body(&body, &cuts);
+        let slices: Vec<IoSlice<'_>> = parts.iter().map(|p| IoSlice::new(p)).collect();
+        let cfg = RequestConfig::loopback(version);
+
+        let mut flat = Vec::new();
+        let mut head_scratch = Vec::new();
+        let want = post_gather(&mut flat, &cfg, &slices, &mut head_scratch).unwrap();
+
+        let mut w = InterruptingDribbler::new(interrupt_every);
+        let mut scratch = PostScratch::default();
+        let got = post_gather_vectored(&mut w, &cfg, &slices, &mut scratch).unwrap();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(w.out, flat);
+    }
+
+    #[test]
+    fn vectored_response_byte_identical_under_dribble_and_eintr(
+        body in proptest::collection::vec(any::<u8>(), 0..1024),
+        cuts in proptest::collection::vec(any::<usize>(), 0..4),
+        interrupt_every in prop_oneof![Just(0usize), 2usize..6],
+    ) {
+        use bsoap_transport::http::{render_response, write_response_vectored};
+        let parts = split_body(&body, &cuts);
+        let slices: Vec<IoSlice<'_>> = parts.iter().map(|p| IoSlice::new(p)).collect();
+        let mut flat = Vec::new();
+        render_response(&mut flat, 200, "OK", &body);
+        let mut w = InterruptingDribbler::new(interrupt_every);
+        let mut head_scratch = Vec::new();
+        let got = write_response_vectored(&mut w, 200, "OK", &slices, &mut head_scratch).unwrap();
+        prop_assert_eq!(got, flat.len());
+        prop_assert_eq!(w.out, flat);
     }
 
     #[test]
