@@ -1,0 +1,101 @@
+//! Instrumentation overhead on the fig-21 workload (100%-dirty flush of
+//! 10k doubles, fast conversion kernel — the most overhead-sensitive
+//! send path the bench suite has).
+//!
+//! Measures mean Send Time for the same perfect-structural workload
+//! (touch every value, resend) under three observability states:
+//!
+//! * `none`     — no registry attached (the disabled path is one branch);
+//! * `disabled` — registry attached but switched off (`set_enabled(false)`,
+//!   every record call is a single relaxed load);
+//! * `enabled`  — registry attached and recording.
+//!
+//! ```text
+//! cargo run --release -p bsoap-bench --bin obs_overhead [-- --reps N]
+//! ```
+//!
+//! Prints one line per state plus the relative overhead vs `none`. The
+//! EXPERIMENTS.md observability note records these numbers.
+
+use std::sync::Arc;
+
+use bsoap_bench::scenarios::touch_percent;
+use bsoap_bench::workload::{values, Kind};
+use bsoap_bench::{measure, Timing};
+use bsoap_core::{EngineConfig, FloatFormatter, MessageTemplate};
+use bsoap_obs::Metrics;
+use bsoap_transport::SinkTransport;
+
+const N: usize = 10_000;
+const WARMUP: usize = 10;
+
+fn run_variant(reps: usize, metrics: Option<Arc<Metrics>>) -> Timing {
+    let op = Kind::Doubles.op();
+    let args = vec![values(Kind::Doubles, N)];
+    let config = EngineConfig::paper_default().with_float(FloatFormatter::Fast);
+    let mut tpl = MessageTemplate::build(config, &op, &args).unwrap();
+    if let Some(m) = metrics {
+        tpl.set_metrics(m);
+    }
+    let mut sink = SinkTransport::new();
+    measure(WARMUP, reps, || {
+        touch_percent(&mut tpl, Kind::Doubles, 100);
+        tpl.send(&mut sink).unwrap();
+    })
+}
+
+fn main() {
+    let mut reps = 300usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => {
+                reps = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bad --reps");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!("usage: obs_overhead [--reps N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let disabled = Metrics::shared();
+    disabled.set_enabled(false);
+    let variants: [(&str, Option<Arc<Metrics>>); 3] = [
+        ("none", None),
+        ("disabled", Some(disabled)),
+        ("enabled", Some(Metrics::shared())),
+    ];
+
+    // Interleave the states across several rounds and keep each state's
+    // best round: background load hits all states alike, so the minima
+    // compare the code paths rather than the scheduler's mood.
+    const ROUNDS: usize = 7;
+    let reps_per_round = reps.div_ceil(ROUNDS);
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..ROUNDS {
+        for (i, (_, metrics)) in variants.iter().enumerate() {
+            let t = run_variant(reps_per_round, metrics.clone());
+            best[i] = best[i].min(t.mean_ms());
+        }
+    }
+
+    println!(
+        "fig-21 workload, {N} doubles, 100% dirty resend (fast kernel), best of {ROUNDS} interleaved rounds x {reps_per_round} reps"
+    );
+    let base = best[0];
+    for (i, (name, _)) in variants.iter().enumerate() {
+        println!(
+            "{name:>9}: {:>8.4} ms/send  ({:+.2}% vs none)",
+            best[i],
+            100.0 * (best[i] - base) / base
+        );
+    }
+}

@@ -16,11 +16,13 @@ use bsoap_bench::throughput::{run, ThroughputConfig};
 struct Opts {
     cfg: ThroughputConfig,
     out: String,
+    prom: String,
 }
 
 fn parse_args() -> Result<Opts, String> {
     let mut cfg = ThroughputConfig::default();
     let mut out = "BENCH_throughput.json".to_owned();
+    let mut prom = "BENCH_metrics.prom".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut take = |what: &str| args.next().ok_or(format!("{what} needs a value"));
@@ -46,11 +48,12 @@ fn parse_args() -> Result<Opts, String> {
                     .collect::<Result<_, _>>()?;
             }
             "--out" => out = take("--out")?,
+            "--prom" => prom = take("--prom")?,
             "--help" | "-h" => {
                 println!(
                     "usage: throughput [--smoke] [--clients N] [--requests N] \
                      [--elems N] [--pool N] [--workers N] [--dirty a,b,c] \
-                     [--out FILE]"
+                     [--out FILE] [--prom FILE]"
                 );
                 std::process::exit(0);
             }
@@ -60,7 +63,7 @@ fn parse_args() -> Result<Opts, String> {
     if cfg.clients == 0 || cfg.requests_per_client == 0 || cfg.dirty_percents.is_empty() {
         return Err("clients, requests and dirty levels must be nonzero".into());
     }
-    Ok(Opts { cfg, out })
+    Ok(Opts { cfg, out, prom })
 }
 
 fn main() {
@@ -103,6 +106,21 @@ fn main() {
             r.connections,
             r.peak_queue_depth,
         );
+        for (i, tier) in bsoap_obs::Tier::ALL.iter().enumerate() {
+            if r.tier_requests[i] == 0 {
+                continue;
+            }
+            let share = r.tier_requests[i] as f64 / r.requests.max(1) as f64;
+            println!(
+                "  tier {:<19} {:>6} reqs ({:>5.1}%)  {:>8.0} req/s  p50 {:>7.1} us  p99 {:>7.1} us",
+                tier.label(),
+                r.tier_requests[i],
+                100.0 * share,
+                r.rps * share,
+                r.tier_p50_us[i],
+                r.tier_p99_us[i],
+            );
+        }
     }
     for &d in &report.config.dirty_percents {
         if let Some(x) = report.speedup(d) {
@@ -114,4 +132,11 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {}", opts.out);
+    if let Some(last) = report.results.last() {
+        if let Err(e) = std::fs::write(&opts.prom, &last.metrics_prom) {
+            eprintln!("could not write {}: {e}", opts.prom);
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} (last scenario's /metrics scrape)", opts.prom);
+    }
 }

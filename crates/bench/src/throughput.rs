@@ -25,11 +25,14 @@
 use crate::workload::{Kind, DOUBLE_MID_W};
 use bsoap_convert::format_f64;
 use bsoap_core::{Client, EngineConfig, Value};
-use bsoap_transport::http::{post_gather_vectored, read_response, HttpVersion, RequestConfig};
+use bsoap_obs::{parse_value, HistId, Metrics, Tier};
+use bsoap_transport::http::{
+    post_gather_vectored, read_response, render_get_request, HttpVersion, RequestConfig,
+};
 use bsoap_transport::pool::{HttpPoolClient, PoolConfig};
 use bsoap_transport::server::{ServerMode, ServerOptions, TestServer};
 use bsoap_transport::PostScratch;
-use std::io::{self};
+use std::io::{self, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -109,6 +112,17 @@ pub struct ScenarioResult {
     pub pool_reused: u64,
     /// See [`ScenarioResult::pool_created`].
     pub pool_retries: u64,
+    /// Requests per send tier ([`Tier::ALL`] order) from the shared
+    /// metrics registry.
+    pub tier_requests: [u64; 4],
+    /// Per-tier p50 send latency (µs) from the latency histograms.
+    pub tier_p50_us: [f64; 4],
+    /// Per-tier p99 send latency (µs).
+    pub tier_p99_us: [f64; 4],
+    /// The `GET /metrics` scrape taken before the server stopped (not
+    /// embedded in the JSON report; the bench front-end writes it to
+    /// `BENCH_metrics.prom`).
+    pub metrics_prom: String,
 }
 
 /// Full report: config echo plus one result per (mode, dirty) pair.
@@ -155,7 +169,7 @@ impl ThroughputReport {
                  \"elapsed_s\": {:.4}, \"rps\": {:.1}, \"p50_us\": {:.1}, \
                  \"p99_us\": {:.1}, \"wire_bytes\": {}, \"connections\": {}, \
                  \"peak_queue_depth\": {}, \"pool_created\": {}, \
-                 \"pool_reused\": {}, \"pool_retries\": {}}}{}\n",
+                 \"pool_reused\": {}, \"pool_retries\": {}, \"tiers\": {}}}{}\n",
                 r.mode,
                 r.dirty_pct,
                 r.requests,
@@ -169,6 +183,7 @@ impl ThroughputReport {
                 r.pool_created,
                 r.pool_reused,
                 r.pool_retries,
+                tiers_json(r),
                 if i + 1 < self.results.len() { "," } else { "" }
             ));
         }
@@ -187,6 +202,31 @@ impl ThroughputReport {
         s.push_str("}\n}\n");
         s
     }
+}
+
+/// The per-tier block of one scenario's JSON entry: request count and
+/// latency percentiles for every tier that actually saw traffic.
+fn tiers_json(r: &ScenarioResult) -> String {
+    let mut s = String::from("{");
+    let mut first = true;
+    for (i, tier) in Tier::ALL.iter().enumerate() {
+        if r.tier_requests[i] == 0 {
+            continue;
+        }
+        if !first {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "\"{}\": {{\"requests\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+            tier.label(),
+            r.tier_requests[i],
+            r.tier_p50_us[i],
+            r.tier_p99_us[i],
+        ));
+        first = false;
+    }
+    s.push('}');
+    s
 }
 
 /// An 18-character double distinct from [`DOUBLE_MID_W`], found by search
@@ -235,24 +275,31 @@ fn run_scenario(
     mode: &'static str,
     dirty_pct: usize,
 ) -> io::Result<ScenarioResult> {
-    let server = TestServer::spawn_with(
+    // One registry shared by every client engine, the pooled transport and
+    // the server: tier counters and latency histograms aggregate the whole
+    // scenario, and `GET /metrics` exposes them mid-run.
+    let metrics = Metrics::shared();
+    let server = TestServer::spawn_with_metrics(
         ServerMode::Ack,
         ServerOptions {
             workers: cfg.workers,
             drain_deadline: Duration::from_secs(5),
         },
+        Arc::clone(&metrics),
     )?;
     let addr = server.addr();
     let req_cfg = RequestConfig::loopback(HttpVersion::Http11Length);
     let pooled: Option<Arc<HttpPoolClient>> = (mode == "pooled").then(|| {
-        Arc::new(HttpPoolClient::new(
+        let mut client = HttpPoolClient::new(
             addr,
             req_cfg.clone(),
             PoolConfig {
                 max_idle: cfg.pool_size,
                 ..PoolConfig::default()
             },
-        ))
+        );
+        client.set_metrics(Arc::clone(&metrics));
+        Arc::new(client)
     });
 
     let barrier = Arc::new(Barrier::new(cfg.clients + 1));
@@ -261,9 +308,11 @@ fn run_scenario(
         let barrier = Arc::clone(&barrier);
         let pooled = pooled.clone();
         let req_cfg = req_cfg.clone();
+        let thread_metrics = Arc::clone(&metrics);
         let (elems, requests) = (cfg.elems, cfg.requests_per_client);
         handles.push(std::thread::spawn(move || -> io::Result<ThreadOutcome> {
             let mut engine = Client::new(EngineConfig::default());
+            engine.set_metrics(thread_metrics);
             let op = Kind::Doubles.op();
             let endpoint = format!("http://{addr}/service");
             let (base, dirty) = arg_pair(elems, dirty_pct);
@@ -333,22 +382,68 @@ fn run_scenario(
         }
         None => (0, 0, 0),
     };
+
+    // Scrape /metrics while the server is still up — through the pool's
+    // keep-alive path when there is one, else a one-shot GET.
+    let metrics_prom = match &pooled {
+        Some(p) => {
+            let reply = p.get("/metrics")?;
+            if reply.status != 200 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("metrics scrape returned HTTP {}", reply.status),
+                ));
+            }
+            String::from_utf8_lossy(&reply.body).into_owned()
+        }
+        None => scrape_metrics(addr)?,
+    };
     drop(pooled);
     let stats = server.stop();
+    let total = latencies.len() as u64;
     assert_eq!(
-        stats.requests,
-        latencies.len() as u64,
+        stats.requests, total,
         "server must have answered every request ({mode}, {dirty_pct}% dirty)"
     );
+
+    // The registry must agree exactly with what the bench issued: one tier
+    // counter tick and one latency observation per request, visible both in
+    // the snapshot and in the scraped Prometheus text.
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.total_sends(),
+        total,
+        "tier counters must sum to requests issued"
+    );
+    let hist_counts: u64 = Tier::ALL
+        .iter()
+        .map(|t| snap.hist(HistId::send(*t)).count())
+        .sum();
+    assert_eq!(
+        hist_counts, total,
+        "latency histogram counts must equal requests issued"
+    );
+    assert_eq!(
+        parse_value(&metrics_prom, "bsoap_server_requests_total"),
+        Some(total as f64),
+        "scraped text must report every request"
+    );
+    let tier_requests = snap.tier_counts();
+    let tier_p50_us = std::array::from_fn(|i| {
+        snap.hist(HistId::send(Tier::ALL[i])).percentile(50.0) as f64 / 1e3
+    });
+    let tier_p99_us = std::array::from_fn(|i| {
+        snap.hist(HistId::send(Tier::ALL[i])).percentile(99.0) as f64 / 1e3
+    });
 
     latencies.sort_unstable();
     let elapsed_s = elapsed.as_secs_f64();
     Ok(ScenarioResult {
         mode,
         dirty_pct,
-        requests: latencies.len() as u64,
+        requests: total,
         elapsed_s,
-        rps: latencies.len() as f64 / elapsed_s.max(1e-9),
+        rps: total as f64 / elapsed_s.max(1e-9),
         p50_us: percentile_us(&latencies, 50.0),
         p99_us: percentile_us(&latencies, 99.0),
         wire_bytes,
@@ -357,7 +452,28 @@ fn run_scenario(
         pool_created,
         pool_reused,
         pool_retries,
+        tier_requests,
+        tier_p50_us,
+        tier_p99_us,
+        metrics_prom,
     })
+}
+
+/// One-shot `GET /metrics` against `addr` on a fresh connection.
+fn scrape_metrics(addr: std::net::SocketAddr) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut head = Vec::new();
+    render_get_request(&mut head, "/metrics", "localhost");
+    stream.write_all(&head)?;
+    stream.flush()?;
+    let (status, body) = read_response(&mut stream)?;
+    if status != 200 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("metrics scrape returned HTTP {status}"),
+        ));
+    }
+    Ok(String::from_utf8_lossy(&body).into_owned())
 }
 
 /// Run the full matrix: both modes at every dirty-fraction level.
@@ -410,14 +526,32 @@ mod tests {
             assert!(r.rps > 0.0);
             assert!(r.p50_us > 0.0);
             assert!(r.p99_us >= r.p50_us);
+            // Tier accounting: counters sum to requests issued, and the
+            // scraped exposition text agrees.
+            assert_eq!(r.tier_requests.iter().sum::<u64>(), r.requests);
+            assert_eq!(
+                r.tier_requests[bsoap_obs::Tier::FirstTime.index()],
+                cfg.clients as u64,
+                "each client's first call serializes from scratch"
+            );
+            assert_eq!(
+                parse_value(&r.metrics_prom, "bsoap_server_requests_total"),
+                Some(r.requests as f64)
+            );
+            for (i, _) in bsoap_obs::Tier::ALL.iter().enumerate() {
+                if r.tier_requests[i] > 0 {
+                    assert!(r.tier_p99_us[i] >= r.tier_p50_us[i]);
+                }
+            }
         }
         let pooled = &report.results[0];
         let per_call = &report.results[1];
         assert_eq!(pooled.mode, "pooled");
-        // Keep-alive: connections bounded by client count; per-call pays
-        // one TCP connection per request.
-        assert!(pooled.connections <= cfg.clients as u64 + pooled.pool_retries);
-        assert_eq!(per_call.connections, 16);
+        // Keep-alive: connections bounded by client count (+1 for the
+        // metrics scrape); per-call pays one TCP connection per request
+        // plus the scrape's.
+        assert!(pooled.connections <= cfg.clients as u64 + 1 + pooled.pool_retries);
+        assert_eq!(per_call.connections, 17);
         let json = report.to_json();
         assert!(json.contains("\"benchmark\": \"throughput\""));
         assert!(json.contains("\"mode\": \"pooled\""));

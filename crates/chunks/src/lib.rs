@@ -22,7 +22,7 @@
 
 mod store;
 
-pub use store::{Chunk, ChunkConfig, ChunkStore, Loc};
+pub use store::{Chunk, ChunkConfig, ChunkStore, Loc, StoreCounters};
 
 #[cfg(test)]
 mod tests {

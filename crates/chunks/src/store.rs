@@ -112,12 +112,29 @@ impl Chunk {
     }
 }
 
+/// Cumulative work counters for one store: how much churn the chunk
+/// mechanics have done. Plain (non-atomic) because every mutator takes
+/// `&mut self`; the engine folds these into its observability registry
+/// with [`ChunkStore::take_counters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// In-place capacity grows (bounded or unbounded).
+    pub grows: u64,
+    /// Chunk splits.
+    pub splits: u64,
+    /// Empty chunks merged away after contraction.
+    pub merges: u64,
+    /// Bytes physically moved by shifts and intra-chunk range moves.
+    pub moved_bytes: u64,
+}
+
 /// An ordered sequence of chunks holding one serialized message.
 #[derive(Clone, Debug)]
 pub struct ChunkStore {
     chunks: Vec<Chunk>,
     config: ChunkConfig,
     total_len: usize,
+    counters: StoreCounters,
 }
 
 impl ChunkStore {
@@ -127,7 +144,20 @@ impl ChunkStore {
             chunks: Vec::new(),
             config,
             total_len: 0,
+            counters: StoreCounters::default(),
         }
+    }
+
+    /// Cumulative work counters since construction (or the last
+    /// [`Self::take_counters`]).
+    pub fn counters(&self) -> StoreCounters {
+        self.counters
+    }
+
+    /// Return the counters accumulated so far and reset them to zero —
+    /// the delta-scoop the engine uses once per flush.
+    pub fn take_counters(&mut self) -> StoreCounters {
+        std::mem::take(&mut self.counters)
     }
 
     /// The configuration in effect.
@@ -250,6 +280,7 @@ impl ChunkStore {
             .max(chunk.capacity() * 2)
             .min(self.config.split_threshold);
         chunk.buf.reserve_exact(target - chunk.len());
+        self.counters.grows += 1;
         true
     }
 
@@ -269,6 +300,7 @@ impl ChunkStore {
         chunk.buf.resize(old_len + delta, 0);
         chunk.buf.copy_within(offset..old_len, offset + delta);
         self.total_len += delta;
+        self.counters.moved_bytes += (old_len - offset) as u64;
     }
 
     /// Delete `len` bytes at `offset` in chunk `idx`, moving the tail left
@@ -289,6 +321,7 @@ impl ChunkStore {
         let chunk = &mut self.chunks[idx];
         if chunk.spare() < delta {
             chunk.buf.reserve_exact(delta);
+            self.counters.grows += 1;
         }
     }
 
@@ -306,6 +339,7 @@ impl ChunkStore {
             "move_range_right past chunk end"
         );
         chunk.buf.copy_within(start..end, start + delta);
+        self.counters.moved_bytes += (end - start) as u64;
     }
 
     /// Insert an empty chunk at position `at` with the given capacity
@@ -343,6 +377,7 @@ impl ChunkStore {
             Chunk::with_capacity((tail.len() + self.config.reserve).max(self.config.initial_size));
         new_chunk.buf.extend_from_slice(&tail);
         self.chunks.insert(idx + 1, new_chunk);
+        self.counters.splits += 1;
     }
 
     /// Insert all chunks of `other` at position `at`, preserving their
@@ -360,6 +395,7 @@ impl ChunkStore {
     pub fn remove_empty_chunk(&mut self, idx: usize) {
         assert!(self.chunks[idx].is_empty(), "removing non-empty chunk");
         self.chunks.remove(idx);
+        self.counters.merges += 1;
     }
 
     // ------------------------------------------------------------------

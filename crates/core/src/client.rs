@@ -23,7 +23,9 @@ use crate::schema::OpDesc;
 use crate::sendv::write_all_vectored;
 use crate::template::{MessageTemplate, SendReport, SendTier};
 use crate::value::Value;
+use bsoap_obs::{Counter, HistId, Metrics, Recorder};
 use std::io::Write;
+use std::sync::Arc;
 
 /// Cumulative client statistics across all templates.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -69,6 +71,7 @@ pub struct Client {
     stats: ClientStats,
     templates_per_key: usize,
     share_across_endpoints: bool,
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl Client {
@@ -80,6 +83,7 @@ impl Client {
             stats: ClientStats::default(),
             templates_per_key: 1,
             share_across_endpoints: false,
+            metrics: None,
         }
     }
 
@@ -101,6 +105,19 @@ impl Client {
     /// The template cache (for memory accounting / eviction).
     pub fn cache(&self) -> &TemplateCache {
         &self.cache
+    }
+
+    /// Attach an observability registry. Every subsequent call records its
+    /// tier counter and patch-work counters (via the template flush), plus
+    /// a per-tier send-latency observation covering diff + flush +
+    /// transport. Templates built from now on inherit the registry.
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<Metrics>> {
+        self.metrics.as_ref()
     }
 
     /// Keep up to `k` templates per `(endpoint, structure)` key (§6).
@@ -150,6 +167,7 @@ impl Client {
     {
         let key = TemplateKey::new(endpoint, op);
         let cap = self.templates_per_key;
+        let call_start = self.metrics.as_ref().map(|m| m.now_ns());
 
         // Can an existing template for this key serve the call? With a
         // multi-template set, a nonzero distance means a resize; prefer
@@ -159,7 +177,12 @@ impl Client {
 
         let report = if use_existing {
             let (idx, _, _) = matched.expect("checked above");
+            let metrics = self.metrics.clone();
             let tpl = self.cache.set_mut(&key).promote(idx);
+            if let (Some(m), None) = (metrics, tpl.metrics()) {
+                // Template predates set_metrics: attach lazily.
+                tpl.set_metrics(m);
+            }
             tpl.update_args(args)?;
             let mut report = tpl.flush();
             report.bytes = send(&tpl.io_slices())?;
@@ -170,6 +193,9 @@ impl Client {
                 // and diff — the conversion work done for the other
                 // endpoint is reused wholesale.
                 let mut tpl = sibling.clone();
+                if let (Some(m), None) = (self.metrics.clone(), tpl.metrics()) {
+                    tpl.set_metrics(m);
+                }
                 tpl.update_args(args)?;
                 let mut report = tpl.flush();
                 report.bytes = send(&tpl.io_slices())?;
@@ -183,6 +209,11 @@ impl Client {
             self.first_time(key, op, args, send)?
         };
         self.stats.record(&report);
+        if let Some(m) = &self.metrics {
+            m.add(Counter::BytesSent, report.bytes as u64);
+            let elapsed = m.now_ns().saturating_sub(call_start.unwrap_or(0));
+            m.observe_ns(HistId::send(report.tier.obs()), elapsed);
+        }
         Ok(report)
     }
 
@@ -199,7 +230,10 @@ impl Client {
     where
         F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
     {
-        let tpl = MessageTemplate::build(self.config, op, args)?;
+        let mut tpl = MessageTemplate::build(self.config, op, args)?;
+        if let Some(m) = &self.metrics {
+            tpl.set_metrics(Arc::clone(m));
+        }
         let bytes = send(&tpl.io_slices())?;
         let report = SendReport {
             tier: SendTier::FirstTime,
@@ -209,6 +243,10 @@ impl Client {
             steals: 0,
             splits: 0,
         };
+        if let Some(m) = &self.metrics {
+            m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);
+            m.add(Counter::ValuesWritten, report.values_written as u64);
+        }
         self.cache.insert_with_cap(key, tpl, self.templates_per_key);
         Ok(report)
     }
@@ -227,7 +265,10 @@ impl Client {
     ) -> Result<&mut MessageTemplate, EngineError> {
         let key = TemplateKey::new(endpoint, op);
         if !self.cache.contains(&key) {
-            let tpl = MessageTemplate::build(self.config, op, args)?;
+            let mut tpl = MessageTemplate::build(self.config, op, args)?;
+            if let Some(m) = &self.metrics {
+                tpl.set_metrics(Arc::clone(m));
+            }
             self.cache
                 .insert_with_cap(key.clone(), tpl, self.templates_per_key);
         }

@@ -18,9 +18,11 @@ use crate::error::EngineError;
 use crate::overlay::OverlaySender;
 use crate::schema::OpDesc;
 use crate::value::Value;
+use bsoap_obs::{Counter, Gauge, Metrics, Recorder};
 use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 
 /// Outcome of one pipelined send.
 #[derive(Clone, Copy, Debug)]
@@ -40,6 +42,7 @@ pub struct PipelinedSender {
     depth: usize,
     /// Bytes per transfer buffer before it ships.
     buffer_target: usize,
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl PipelinedSender {
@@ -61,6 +64,7 @@ impl PipelinedSender {
             inner: OverlaySender::new(config, op, window_elems)?,
             depth,
             buffer_target: 32 * 1024,
+            metrics: None,
         })
     }
 
@@ -71,6 +75,7 @@ impl PipelinedSender {
             inner: OverlaySender::auto_window(config, op)?,
             depth: 2,
             buffer_target: 32 * 1024,
+            metrics: None,
         })
     }
 
@@ -82,6 +87,12 @@ impl PipelinedSender {
     /// Override the transfer-buffer size (default 32 KiB).
     pub fn set_buffer_target(&mut self, bytes: usize) {
         self.buffer_target = bytes.max(1);
+    }
+
+    /// Attach an observability registry: each send records its portion
+    /// count, peak in-flight depth, and bytes written.
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// Stream `value` to `sink`, serializing the next portion while the
@@ -143,11 +154,17 @@ impl PipelinedSender {
             let overlay_report = serialize_result?;
             let bytes = written.map_err(EngineError::Io)?;
             debug_assert_eq!(bytes, overlay_report.bytes);
-            Ok(PipelineReport {
+            let report = PipelineReport {
                 bytes,
                 portions: overlay_report.portions,
                 max_in_flight: max_in_flight.load(Ordering::Acquire),
-            })
+            };
+            if let Some(m) = &self.metrics {
+                m.add(Counter::PipelinePortions, report.portions as u64);
+                m.add(Counter::BytesSent, report.bytes as u64);
+                m.gauge(Gauge::PipelineMaxInFlight, report.max_in_flight as u64);
+            }
+            Ok(report)
         })
     }
 }

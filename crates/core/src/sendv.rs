@@ -5,13 +5,26 @@
 //! writes. This is the "scatter-gather sends" consideration of §3.2 — the
 //! non-contiguous template is sent without ever being flattened.
 
+use bsoap_obs::{Counter, Metrics, Recorder};
 use std::io::{IoSlice, Result, Write};
 
 /// Write all bytes of all `slices` to `w`, using vectored writes.
 ///
 /// Returns the total byte count on success.
 pub fn write_all_vectored(w: &mut impl Write, slices: &[IoSlice<'_>]) -> Result<usize> {
+    write_all_vectored_metered(w, slices, None)
+}
+
+/// [`write_all_vectored`] with optional instrumentation: counts vectored
+/// write calls and short writes that forced a resume into `metrics`.
+/// With `None` the record sites compile down to dead branches.
+pub fn write_all_vectored_metered(
+    w: &mut impl Write,
+    slices: &[IoSlice<'_>],
+    metrics: Option<&Metrics>,
+) -> Result<usize> {
     let total: usize = slices.iter().map(|s| s.len()).sum();
+    let mut calls = 0u64;
     // One up-front copy of the gather list; after a partial write only the
     // first unconsumed entry is re-sliced, so draining is O(n) overall
     // instead of O(n²) view rebuilds on dribbling writers.
@@ -36,6 +49,7 @@ pub fn write_all_vectored(w: &mut impl Write, slices: &[IoSlice<'_>]) -> Result<
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
         };
+        calls += 1;
         // Advance the (idx, off) position by n bytes.
         let mut remaining = n + off;
         off = 0;
@@ -47,6 +61,10 @@ pub fn write_all_vectored(w: &mut impl Write, slices: &[IoSlice<'_>]) -> Result<
             off = remaining;
             view[idx] = IoSlice::new(&slices[idx][off..]);
         }
+    }
+    if let Some(m) = metrics {
+        m.add(Counter::WritevCalls, calls);
+        m.add(Counter::WritevPartials, calls.saturating_sub(1));
     }
     Ok(total)
 }

@@ -366,6 +366,7 @@ impl MessageTemplate {
             region_scratch: b.region,
             stats,
             structure_changed: false,
+            metrics: None,
         })
     }
 
@@ -392,6 +393,7 @@ impl MessageTemplate {
             region_scratch: b.region,
             stats: TemplateStats::default(),
             structure_changed: false,
+            metrics: None,
         })
     }
 }

@@ -15,10 +15,11 @@ use crate::config::EngineConfig;
 use crate::dut::DutTable;
 use crate::error::EngineError;
 use crate::schema::{OpDesc, TypeDesc};
-use crate::sendv::write_all_vectored;
 use crate::value::{Scalar, Value};
 use bsoap_chunks::{ChunkStore, Loc};
+use bsoap_obs::{Counter, Metrics, Recorder};
 use std::io::Write;
+use std::sync::Arc;
 
 /// Which of the paper's four matching tiers a send used (§3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -42,6 +43,16 @@ impl SendTier {
             SendTier::ContentMatch => "message content match",
             SendTier::PerfectStructural => "perfect structural match",
             SendTier::PartialStructural => "partial structural match",
+        }
+    }
+
+    /// The observability-layer tier id for this tier.
+    pub fn obs(self) -> bsoap_obs::Tier {
+        match self {
+            SendTier::FirstTime => bsoap_obs::Tier::FirstTime,
+            SendTier::ContentMatch => bsoap_obs::Tier::ContentMatch,
+            SendTier::PerfectStructural => bsoap_obs::Tier::PerfectStructural,
+            SendTier::PartialStructural => bsoap_obs::Tier::PartialStructural,
         }
     }
 }
@@ -133,6 +144,11 @@ pub struct MessageTemplate {
     pub(crate) stats: TemplateStats,
     /// Set when the current update cycle changed array sizes.
     pub(crate) structure_changed: bool,
+    /// Observability sink. `None` means instrumentation is off: every
+    /// record site is a single branch on this option (cloning a template
+    /// shares the registry, so cross-endpoint clones report to the same
+    /// place).
+    pub(crate) metrics: Option<Arc<Metrics>>,
 }
 
 impl MessageTemplate {
@@ -172,6 +188,17 @@ impl MessageTemplate {
     /// Cumulative statistics.
     pub fn stats(&self) -> TemplateStats {
         self.stats
+    }
+
+    /// Attach an observability registry: subsequent flushes record tier
+    /// counters, patch-work counters, and a per-send trace span into it.
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<Metrics>> {
+        self.metrics.as_ref()
     }
 
     /// Read-only view of the DUT table.
@@ -447,8 +474,11 @@ impl MessageTemplate {
     pub fn send(&mut self, sink: &mut impl Write) -> Result<SendReport, EngineError> {
         let mut report = self.flush_dirty();
         let slices = self.store.io_slices();
-        let n = write_all_vectored(sink, &slices)?;
+        let n = crate::sendv::write_all_vectored_metered(sink, &slices, self.metrics.as_deref())?;
         report.bytes = n;
+        if let Some(m) = &self.metrics {
+            m.add(Counter::BytesSent, n as u64);
+        }
         Ok(report)
     }
 

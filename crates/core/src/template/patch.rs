@@ -23,6 +23,7 @@
 use super::{MessageTemplate, SendReport, SendTier};
 use crate::config::GrowthPolicy;
 use crate::dut::DutEntry;
+use bsoap_obs::{Counter, Recorder, TraceKind};
 
 /// One parallel-flush work unit: the global index of the run's first
 /// entry, the run's DUT entries, and the chunk buffer they live in.
@@ -36,12 +37,15 @@ struct PatchCounters {
     steals: usize,
     splits: usize,
     shifted_bytes: u64,
+    dut_fixups: u64,
 }
 
 impl MessageTemplate {
     /// Re-serialize all dirty leaves into the stored message.
     pub(crate) fn flush_dirty(&mut self) -> SendReport {
         let tier = self.pending_tier();
+        let dirty = self.dut.dirty_count();
+        let flush_start = self.metrics.as_ref().map(|m| m.now_ns());
         let mut counters = PatchCounters::default();
 
         if self.dut.dirty_count() > 0 && !self.try_flush_parallel(&mut counters) {
@@ -60,6 +64,34 @@ impl MessageTemplate {
         self.stats.steals += counters.steals as u64;
         self.stats.splits += counters.splits as u64;
         self.stats.shifted_bytes += counters.shifted_bytes;
+
+        // Scoop chunk-store churn accumulated since the last flush (this
+        // includes resize work done in update_args before this flush).
+        let churn = self.store.take_counters();
+        if let Some(m) = &self.metrics {
+            m.add(Counter::send(tier.obs()), 1);
+            m.add(Counter::ChunkGrows, churn.grows);
+            m.add(Counter::ChunkMerges, churn.merges);
+            m.add(Counter::ChunkMovedBytes, churn.moved_bytes);
+            m.add(Counter::ValuesWritten, counters.values_written as u64);
+            m.add(Counter::Shifts, counters.shifts as u64);
+            m.add(Counter::Steals, counters.steals as u64);
+            m.add(Counter::Splits, counters.splits as u64);
+            m.add(Counter::ShiftedBytes, counters.shifted_bytes);
+            m.add(Counter::DutFixups, counters.dut_fixups);
+            m.trace(TraceKind::SendSpan {
+                tier: tier.obs(),
+                dirty: dirty as u64,
+                values_written: counters.values_written as u64,
+                shifted_bytes: counters.shifted_bytes,
+                shifts: counters.shifts as u64,
+                steals: counters.steals as u64,
+                splits: counters.splits as u64,
+                dut_fixups: counters.dut_fixups,
+                bytes: self.store.total_len() as u64,
+                elapsed_ns: m.now_ns().saturating_sub(flush_start.unwrap_or(0)),
+            });
+        }
 
         SendReport {
             tier,
@@ -370,7 +402,7 @@ impl MessageTemplate {
             // fresh chunk; this bounds future shifting to the chunk size.
             self.store.split_chunk(chunk, gap_at as usize);
             counters.splits += 1;
-            self.apply_split_fixups(i, chunk as u32, gap_at);
+            counters.dut_fixups += self.apply_split_fixups(i, chunk as u32, gap_at);
             if !self.store.try_grow(chunk, delta as usize) {
                 // A single region larger than the threshold: correctness
                 // over policy.
@@ -382,12 +414,14 @@ impl MessageTemplate {
         counters.shifted_bytes += tail as u64;
         self.store
             .shift_tail_right(chunk, gap_at as usize, delta as usize);
-        self.apply_shift_fixups(i, chunk as u32, gap_at, delta);
+        counters.dut_fixups += self.apply_shift_fixups(i, chunk as u32, gap_at, delta);
     }
 
     /// After inserting `delta` bytes at `(chunk, from)`: move every later
     /// entry and marker at-or-past the insertion point right by `delta`.
-    fn apply_shift_fixups(&mut self, after_entry: usize, chunk: u32, from: u32, delta: u32) {
+    /// Returns the number of DUT entries whose location was adjusted.
+    fn apply_shift_fixups(&mut self, after_entry: usize, chunk: u32, from: u32, delta: u32) -> u64 {
+        let mut fixed = 0u64;
         let entries = self.dut.entries_mut_raw();
         for e in entries.iter_mut().skip(after_entry + 1) {
             if e.loc.chunk != chunk {
@@ -395,6 +429,7 @@ impl MessageTemplate {
             }
             if e.loc.offset >= from {
                 e.loc.offset += delta;
+                fixed += 1;
             }
         }
         for a in &mut self.arrays {
@@ -404,20 +439,25 @@ impl MessageTemplate {
                 }
             }
         }
+        fixed
     }
 
     /// After splitting `chunk` at `split_at`: rehome entries and markers in
     /// the moved tail to `(chunk+1, offset−split_at)` and bump the chunk
-    /// index of everything in later chunks.
-    fn apply_split_fixups(&mut self, after_entry: usize, chunk: u32, split_at: u32) {
+    /// index of everything in later chunks. Returns the number of DUT
+    /// entries rehomed or renumbered.
+    fn apply_split_fixups(&mut self, after_entry: usize, chunk: u32, split_at: u32) -> u64 {
+        let mut fixed = 0u64;
         let entries = self.dut.entries_mut_raw();
         for e in entries.iter_mut().skip(after_entry + 1) {
             if e.loc.chunk == chunk {
                 debug_assert!(e.loc.offset >= split_at, "entry left of split after pivot");
                 e.loc.chunk = chunk + 1;
                 e.loc.offset -= split_at;
+                fixed += 1;
             } else if e.loc.chunk > chunk {
                 e.loc.chunk += 1;
+                fixed += 1;
             }
         }
         for a in &mut self.arrays {
@@ -430,6 +470,7 @@ impl MessageTemplate {
                 }
             }
         }
+        fixed
     }
 }
 

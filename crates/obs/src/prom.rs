@@ -1,0 +1,166 @@
+//! Prometheus text exposition rendering.
+//!
+//! Renders an [`EngineStats`] snapshot as `text/plain; version=0.0.4`.
+//! Histograms are down-sampled onto a fixed ladder of power-of-two
+//! second boundaries (cumulative, ending in `+Inf`), which keeps the
+//! payload small while `_count`/`_sum` stay exact.
+
+use crate::{Counter, EngineStats, Gauge, HistId, HistSnapshot, Tier};
+use std::fmt::Write;
+
+/// `le` boundaries for rendered histograms, in nanoseconds: 1 µs · 2^k for
+/// k = 0..20 (1 µs up to ~1 s), then +Inf.
+fn le_bounds_ns() -> impl Iterator<Item = u64> {
+    (0..21).map(|k| 1_000u64 << k)
+}
+
+fn render_hist(out: &mut String, name: &str, labels: &str, h: &HistSnapshot) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    for bound in le_bounds_ns() {
+        let le = bound as f64 / 1e9;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {}",
+            h.cumulative_le(bound)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+        h.count()
+    );
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name}_sum {}", h.sum_ns() as f64 / 1e9);
+        let _ = writeln!(out, "{name}_count {}", h.count());
+    } else {
+        let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum_ns() as f64 / 1e9);
+        let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count());
+    }
+}
+
+/// Render a snapshot as Prometheus text.
+pub fn render(s: &EngineStats) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+
+    // Per-tier send counters: one family, tier label.
+    out.push_str("# HELP bsoap_sends_total Differential sends by tier chosen.\n");
+    out.push_str("# TYPE bsoap_sends_total counter\n");
+    for tier in Tier::ALL {
+        let _ = writeln!(
+            out,
+            "bsoap_sends_total{{tier=\"{}\"}} {}",
+            tier.label(),
+            s.tier_sends(tier)
+        );
+    }
+
+    // Scalar counters (everything that is not a per-tier send counter).
+    for &c in Counter::ALL {
+        if matches!(
+            c,
+            Counter::SendFirstTime
+                | Counter::SendContentMatch
+                | Counter::SendPerfectStructural
+                | Counter::SendPartialStructural
+        ) {
+            continue;
+        }
+        let _ = writeln!(out, "# TYPE {} counter", c.name());
+        let _ = writeln!(out, "{} {}", c.name(), s.get(c));
+    }
+
+    for &g in Gauge::ALL {
+        let _ = writeln!(out, "# TYPE {} gauge", g.name());
+        let _ = writeln!(out, "{} {}", g.name(), s.gauge(g));
+    }
+
+    // Per-tier send latency: one histogram family, tier label.
+    out.push_str("# TYPE bsoap_send_latency_seconds histogram\n");
+    for tier in Tier::ALL {
+        render_hist(
+            &mut out,
+            "bsoap_send_latency_seconds",
+            &format!("tier=\"{}\"", tier.label()),
+            s.hist(HistId::send(tier)),
+        );
+    }
+
+    out.push_str("# TYPE bsoap_request_latency_seconds histogram\n");
+    render_hist(
+        &mut out,
+        "bsoap_request_latency_seconds",
+        "",
+        s.hist(HistId::ServerRequest),
+    );
+
+    out.push_str("# TYPE bsoap_pool_checkout_seconds histogram\n");
+    render_hist(
+        &mut out,
+        "bsoap_pool_checkout_seconds",
+        "",
+        s.hist(HistId::PoolCheckout),
+    );
+
+    let _ = writeln!(out, "# TYPE bsoap_trace_dropped_total counter");
+    let _ = writeln!(out, "bsoap_trace_dropped_total {}", s.trace_dropped());
+
+    out
+}
+
+/// Parse a counter value back out of rendered text — scrape-test support.
+/// Matches a line that starts with `name` followed by a space (exact
+/// name, no labels) or the full `name{labels}` form passed in `name`.
+pub fn parse_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Metrics, Recorder};
+
+    #[test]
+    fn render_contains_tier_counters_and_hist() {
+        let m = Metrics::new();
+        m.add(Counter::send(Tier::ContentMatch), 5);
+        m.add(Counter::Shifts, 2);
+        m.observe_ns(HistId::send(Tier::ContentMatch), 2_000);
+        let text = m.render_prometheus();
+        assert_eq!(
+            parse_value(&text, "bsoap_sends_total{tier=\"content_match\"}"),
+            Some(5.0)
+        );
+        assert_eq!(parse_value(&text, "bsoap_shifts_total"), Some(2.0));
+        assert_eq!(
+            parse_value(
+                &text,
+                "bsoap_send_latency_seconds_count{tier=\"content_match\"}"
+            ),
+            Some(1.0)
+        );
+        // Cumulative buckets end at the exact total.
+        assert!(text.contains("le=\"+Inf\"}"));
+    }
+
+    #[test]
+    fn bucket_lines_are_monotone() {
+        let m = Metrics::new();
+        for v in [500u64, 1_500, 80_000, 3_000_000, 900_000_000] {
+            m.observe_ns(HistId::ServerRequest, v);
+        }
+        let text = m.render_prometheus();
+        let mut last = 0.0f64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("bsoap_request_latency_seconds_bucket{") {
+                let v: f64 = rest.split(' ').nth(1).unwrap().parse().unwrap();
+                assert!(v >= last, "CDF must be monotone: {line}");
+                last = v;
+            }
+        }
+        assert_eq!(last, 5.0);
+    }
+}

@@ -2,6 +2,7 @@
 
 use bsoap_core::{EngineConfig, MessageTemplate, OpDesc, SendTier, Value};
 use bsoap_deser::{DeserError, DiffDeserializer, DiffOutcome};
+use bsoap_obs::{Counter, Metrics, Recorder};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -75,6 +76,7 @@ pub struct Service {
     config: EngineConfig,
     ops: HashMap<String, Arc<Operation>>,
     stats: Mutex<ServiceStats>,
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl Service {
@@ -86,7 +88,20 @@ impl Service {
             config,
             ops: HashMap::new(),
             stats: Mutex::new(ServiceStats::default()),
+            metrics: None,
         }
+    }
+
+    /// Attach an observability registry: response templates record their
+    /// send tier, shift/steal/split work and DUT fix-ups into it, and the
+    /// first-time serialization of each operation's response is counted.
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached observability registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<Metrics>> {
+        self.metrics.as_ref()
     }
 
     /// The service namespace.
@@ -186,13 +201,20 @@ impl Service {
         let mut tpl_slot = op.response_tpl.lock();
         let (bytes, tier) = match tpl_slot.as_mut() {
             Some(tpl) => {
+                if let (Some(m), None) = (&self.metrics, tpl.metrics()) {
+                    tpl.set_metrics(Arc::clone(m));
+                }
                 tpl.update_args(&result).map_err(HandlerError::Response)?;
                 let report = tpl.flush();
                 (tpl.to_bytes(), report.tier)
             }
             None => {
-                let tpl = MessageTemplate::build(self.config, &op.response, &result)
+                let mut tpl = MessageTemplate::build(self.config, &op.response, &result)
                     .map_err(HandlerError::Response)?;
+                if let Some(m) = &self.metrics {
+                    tpl.set_metrics(Arc::clone(m));
+                    m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);
+                }
                 let bytes = tpl.to_bytes();
                 *tpl_slot = Some(tpl);
                 (bytes, SendTier::FirstTime)

@@ -10,9 +10,10 @@
 //! (head and dispatched body as separate `IoSlice`s — no flattening).
 
 use crate::dispatch::{HandlerError, Service, ServiceStats};
-use bsoap_transport::accept::{serve, PoolOptions, WorkerPool};
-use bsoap_transport::http::{write_response_vectored, RequestReader};
-use std::io::{self, IoSlice};
+use bsoap_obs::{Counter, HistId, Metrics, Recorder, TraceKind};
+use bsoap_transport::accept::{serve_with_metrics, PoolOptions, WorkerPool};
+use bsoap_transport::http::{render_response_head_typed, write_response_vectored, RequestReader};
+use std::io::{self, IoSlice, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 
@@ -26,15 +27,29 @@ impl HttpServer {
     /// Bind an ephemeral loopback port and serve `service` with
     /// `service.config().server_workers` worker threads.
     pub fn spawn(service: Service) -> io::Result<Self> {
+        Self::spawn_inner(service)
+    }
+
+    /// [`HttpServer::spawn`] with an observability registry attached to the
+    /// service: requests tick server counters and the request-latency
+    /// histogram, response templates record their send tier, and the host
+    /// answers `GET /metrics` with the Prometheus text rendering.
+    pub fn spawn_with_metrics(mut service: Service, metrics: Arc<Metrics>) -> io::Result<Self> {
+        service.set_metrics(metrics);
+        Self::spawn_inner(service)
+    }
+
+    fn spawn_inner(service: Service) -> io::Result<Self> {
         let listener = std::net::TcpListener::bind(("127.0.0.1", 0))?;
         let service = Arc::new(service);
         let conn_service = Arc::clone(&service);
-        let pool = serve(
+        let pool = serve_with_metrics(
             listener,
             PoolOptions {
                 workers: service.config().server_workers,
                 ..PoolOptions::default()
             },
+            service.metrics().cloned(),
             move |stream| serve_connection(stream, &conn_service),
         )?;
         Ok(HttpServer { service, pool })
@@ -71,6 +86,13 @@ fn serve_connection(mut stream: TcpStream, service: &Service) {
     let mut reader = RequestReader::new(read_half);
     let mut head_scratch = Vec::new();
     while let Ok(Some((head, body))) = reader.next_request() {
+        let start = service.metrics().map(|m| m.now_ns());
+        if head.method == "GET" && head.path == "/metrics" {
+            if serve_metrics_scrape(&mut stream, service, &mut head_scratch).is_err() {
+                break;
+            }
+            continue;
+        }
         let op_name = head
             .header("soapaction")
             .and_then(operation_from_action)
@@ -102,6 +124,11 @@ fn serve_connection(mut stream: TcpStream, service: &Service) {
                 Service::fault_envelope("SOAP-ENV:Client", &e.to_string()),
             ),
         };
+        // Count the request before its response leaves: a scrape racing
+        // the final response on another connection must still see it.
+        if let Some(m) = service.metrics() {
+            m.add(Counter::ServerRequests, 1);
+        }
         let sent = write_response_vectored(
             &mut stream,
             status,
@@ -109,10 +136,46 @@ fn serve_connection(mut stream: TcpStream, service: &Service) {
             &[IoSlice::new(&payload)],
             &mut head_scratch,
         );
-        if sent.is_err() {
-            break;
+        let sent = match sent {
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        if let Some(m) = service.metrics() {
+            let elapsed_ns = m.now_ns().saturating_sub(start.unwrap_or(0));
+            m.add(Counter::ServerBytesOut, sent as u64);
+            m.observe_ns(HistId::ServerRequest, elapsed_ns);
+            m.trace(TraceKind::Request {
+                bytes: sent as u64,
+                elapsed_ns,
+            });
         }
     }
+}
+
+/// Answer one `GET /metrics` with the service registry's Prometheus text
+/// rendering (`404` when the service runs without one).
+fn serve_metrics_scrape(
+    stream: &mut TcpStream,
+    service: &Service,
+    head_scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    let (status, reason, text) = match service.metrics() {
+        Some(m) => {
+            m.add(Counter::MetricsScrapes, 1);
+            (200, "OK", m.render_prometheus())
+        }
+        None => (404, "Not Found", String::from("no metrics registry\n")),
+    };
+    render_response_head_typed(
+        head_scratch,
+        status,
+        reason,
+        "text/plain; version=0.0.4; charset=utf-8",
+        text.len(),
+    );
+    stream.write_all(head_scratch)?;
+    stream.write_all(text.as_bytes())?;
+    stream.flush()
 }
 
 #[cfg(test)]
@@ -270,6 +333,45 @@ mod tests {
         }
         let stats = server.stop();
         assert_eq!(stats.requests, 4);
+    }
+
+    #[test]
+    fn metrics_endpoint_mirrors_response_tiers() {
+        let metrics = Metrics::shared();
+        let server = HttpServer::spawn_with_metrics(sum_service(), Arc::clone(&metrics)).unwrap();
+        // first-time, content-match, perfect-structural response tiers.
+        for xs in [&[1.0, 2.0][..], &[1.0, 2.0], &[9.0, 2.0]] {
+            let (status, _) = post(server.addr(), "urn:sum#sum", &request_bytes(xs));
+            assert_eq!(status, 200);
+        }
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        let mut get = Vec::new();
+        bsoap_transport::http::render_get_request(&mut get, "/metrics", "localhost");
+        c.write_all(&get).unwrap();
+        let (status, text) = read_response(&mut c).unwrap();
+        assert_eq!(status, 200);
+        let text = String::from_utf8(text).unwrap();
+        assert_eq!(
+            bsoap_obs::parse_value(&text, "bsoap_server_requests_total"),
+            Some(3.0)
+        );
+        drop(c);
+        let stats = server.stop();
+        let snap = metrics.snapshot();
+        use bsoap_obs::Tier;
+        assert_eq!(snap.tier_sends(Tier::FirstTime), stats.responses_first);
+        assert_eq!(snap.tier_sends(Tier::ContentMatch), stats.responses_content);
+        assert_eq!(
+            snap.tier_sends(Tier::PerfectStructural),
+            stats.responses_perfect
+        );
+        assert_eq!(
+            snap.tier_sends(Tier::PartialStructural),
+            stats.responses_partial
+        );
+        assert_eq!(snap.total_sends(), stats.requests);
+        assert_eq!(snap.get(Counter::ServerRequests), stats.requests);
+        assert_eq!(snap.hist(HistId::ServerRequest).count(), stats.requests);
     }
 
     #[test]

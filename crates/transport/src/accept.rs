@@ -14,6 +14,7 @@
 //! connections are drained to completion, and only after a drain deadline
 //! are still-busy connections force-closed.
 
+use bsoap_obs::{Counter, Gauge, Metrics, Recorder, TraceKind};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -86,12 +87,16 @@ impl Queue {
         }
     }
 
-    fn push(&self, s: TcpStream) {
+    /// Enqueue a connection; returns the queue depth after the push so the
+    /// accept loop can publish it without retaking the lock.
+    fn push(&self, s: TcpStream) -> usize {
         let mut st = relock(self.state.lock());
         st.conns.push_back(s);
-        st.peak_depth = st.peak_depth.max(st.conns.len());
+        let depth = st.conns.len();
+        st.peak_depth = st.peak_depth.max(depth);
         drop(st);
         self.ready.notify_one();
+        depth
     }
 
     /// Blocking pop; marks the calling worker busy before releasing the
@@ -216,6 +221,23 @@ pub fn serve<F>(listener: TcpListener, opts: PoolOptions, handler: F) -> io::Res
 where
     F: Fn(TcpStream) + Send + Sync + 'static,
 {
+    serve_with_metrics(listener, opts, None, handler)
+}
+
+/// [`serve`] with an observability registry attached: every accepted
+/// connection ticks [`Counter::ServerConnections`], and each enqueue
+/// publishes the observed queue depth as a [`Gauge::QueueDepthPeak`]
+/// observation plus a [`TraceKind::QueueDepth`] event. (A separate entry
+/// point because [`PoolOptions`] is `Copy` and cannot carry an `Arc`.)
+pub fn serve_with_metrics<F>(
+    listener: TcpListener,
+    opts: PoolOptions,
+    metrics: Option<Arc<Metrics>>,
+    handler: F,
+) -> io::Result<WorkerPool>
+where
+    F: Fn(TcpStream) + Send + Sync + 'static,
+{
     let addr = listener.local_addr()?;
     let shared = Arc::new(PoolShared {
         stop: AtomicBool::new(false),
@@ -258,7 +280,14 @@ where
                     }
                     let _ = stream.set_nodelay(true);
                     accept_shared.connections.fetch_add(1, Ordering::Relaxed);
-                    accept_shared.queue.push(stream);
+                    let depth = accept_shared.queue.push(stream);
+                    if let Some(m) = &metrics {
+                        m.add(Counter::ServerConnections, 1);
+                        m.gauge(Gauge::QueueDepthPeak, depth as u64);
+                        m.trace(TraceKind::QueueDepth {
+                            depth: depth as u64,
+                        });
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => break,

@@ -280,6 +280,23 @@ impl RequestHead {
         }
         Err(HttpError::BadFraming("neither content-length nor chunked"))
     }
+
+    /// Body framing taking the request method into account: methods that
+    /// conventionally carry no body (`GET`, `HEAD`, `DELETE`) may omit the
+    /// framing headers entirely and are then read as a zero-length body —
+    /// what a `GET /metrics` scrape sends.
+    pub fn body_framing(&self) -> Result<BodyFraming, HttpError> {
+        match self.framing() {
+            Ok(f) => Ok(f),
+            Err(e) => {
+                if matches!(self.method.as_str(), "GET" | "HEAD" | "DELETE") {
+                    Ok(BodyFraming::Length(0))
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
 }
 
 /// How the body after a head is delimited.
@@ -332,7 +349,7 @@ impl<R: Read> RequestReader<R> {
         };
         let head = parse_request_head(&self.buf[self.consumed..head_end])?;
         self.consumed = head_end;
-        let body = match head.framing()? {
+        let body = match head.body_framing()? {
             BodyFraming::Length(n) => self.read_exact_body(n)?,
             BodyFraming::Chunked => self.read_chunked_body()?,
         };
@@ -440,14 +457,39 @@ pub fn parse_request_head(head: &[u8]) -> Result<RequestHead, HttpError> {
 /// Render a minimal response head (through the blank line) for a body of
 /// `content_len` bytes into `out` (cleared first).
 pub fn render_response_head(out: &mut Vec<u8>, status: u16, reason: &str, content_len: usize) {
+    render_response_head_typed(out, status, reason, "text/xml; charset=utf-8", content_len);
+}
+
+/// [`render_response_head`] with an explicit `Content-Type` (the
+/// `/metrics` endpoint answers in `text/plain`, not SOAP's `text/xml`).
+pub fn render_response_head_typed(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    content_len: usize,
+) {
     out.clear();
     out.extend_from_slice(b"HTTP/1.1 ");
     out.extend_from_slice(status.to_string().as_bytes());
     out.push(b' ');
     out.extend_from_slice(reason.as_bytes());
-    out.extend_from_slice(b"\r\nContent-Type: text/xml; charset=utf-8\r\nContent-Length: ");
+    out.extend_from_slice(b"\r\nContent-Type: ");
+    out.extend_from_slice(content_type.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Length: ");
     out.extend_from_slice(content_len.to_string().as_bytes());
     out.extend_from_slice(b"\r\n\r\n");
+}
+
+/// Render a bodiless `GET` request (keep-alive, HTTP/1.1) into `out`
+/// (cleared first) — how a Prometheus scraper asks for `/metrics`.
+pub fn render_get_request(out: &mut Vec<u8>, path: &str, host: &str) {
+    out.clear();
+    out.extend_from_slice(b"GET ");
+    out.extend_from_slice(path.as_bytes());
+    out.extend_from_slice(b" HTTP/1.1\r\nHost: ");
+    out.extend_from_slice(host.as_bytes());
+    out.extend_from_slice(b"\r\nAccept: text/plain\r\n\r\n");
 }
 
 /// Render a minimal response with a body (used by the collecting server to
@@ -651,6 +693,30 @@ mod tests {
         assert!(head.framing().is_err());
         let head = parse_request_head(b"POST / HTTP/1.1\r\nContent-Length: pony\r\n\r\n").unwrap();
         assert!(head.framing().is_err());
+    }
+
+    #[test]
+    fn bodiless_get_parses_with_empty_body() {
+        let mut wire = Vec::new();
+        render_get_request(&mut wire, "/metrics", "localhost");
+        let mut reader = RequestReader::new(&wire[..]);
+        let (head, body) = reader.next_request().unwrap().expect("one request");
+        assert_eq!(head.method, "GET");
+        assert_eq!(head.path, "/metrics");
+        assert!(body.is_empty());
+        assert!(reader.next_request().unwrap().is_none());
+        // POSTs without framing headers still error.
+        let head = parse_request_head(b"POST / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(head.body_framing().is_err());
+    }
+
+    #[test]
+    fn typed_response_head_carries_content_type() {
+        let mut head = Vec::new();
+        render_response_head_typed(&mut head, 200, "OK", "text/plain; version=0.0.4", 12);
+        let text = std::str::from_utf8(&head).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.contains("Content-Length: 12\r\n"));
     }
 
     #[test]

@@ -39,9 +39,9 @@ pub mod server;
 pub mod sink;
 pub mod tcp;
 
-pub use accept::{serve, PoolOptions, WorkerPool};
-pub use http::{HttpError, HttpVersion, PostScratch, RequestConfig};
-pub use pool::{ConnectionPool, HttpPoolClient, PoolConfig, PoolStats, PooledConn};
+pub use accept::{serve, serve_with_metrics, PoolOptions, WorkerPool};
+pub use http::{render_get_request, HttpError, HttpVersion, PostScratch, RequestConfig};
+pub use pool::{ConnectionPool, HttpPoolClient, HttpReply, PoolConfig, PoolStats, PooledConn};
 pub use server::{CollectedRequest, ServerMode, ServerOptions, ServerStats, TestServer};
 pub use sink::{ProvenanceSink, SinkTransport};
 pub use tcp::TcpTransport;

@@ -10,13 +10,17 @@
 //! socket that died mid-exchange — transparent reconnect, visible only in
 //! [`PoolStats`].
 
-use crate::http::{post_gather_vectored, read_response, PostScratch, RequestConfig};
+use crate::http::{
+    post_gather_vectored, read_response, render_get_request, PostScratch, RequestConfig,
+};
 use crate::Transport;
+use bsoap_obs::{Counter, HistId, Metrics, Recorder, TraceKind};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::io::{self, IoSlice};
+use std::io::{self, IoSlice, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Pool tuning.
@@ -77,6 +81,7 @@ pub struct ConnectionPool {
     cfg: PoolConfig,
     idle: Mutex<VecDeque<Idle>>,
     stats: AtomicStats,
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl ConnectionPool {
@@ -87,7 +92,16 @@ impl ConnectionPool {
             cfg,
             idle: Mutex::new(VecDeque::new()),
             stats: AtomicStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Attach an observability registry: checkouts, reuse, staleness,
+    /// expiry and retries are mirrored into its counters, checkout latency
+    /// into its [`HistId::PoolCheckout`] histogram, and every checkout /
+    /// reconnect drops a trace event.
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// The endpoint this pool serves.
@@ -100,18 +114,22 @@ impl ConnectionPool {
     /// `TCP_NODELAY` set. Expired and health-check-failed idles found on
     /// the way are discarded.
     pub fn checkout(&self) -> io::Result<PooledConn<'_>> {
+        let start = self.metrics.as_ref().map(|m| m.now_ns());
         loop {
             let candidate = self.idle.lock().pop_back();
             let Some(idle) = candidate else { break };
             if idle.since.elapsed() > self.cfg.idle_timeout {
                 self.stats.expired.fetch_add(1, Ordering::Relaxed);
+                self.note(Counter::PoolExpired, 1);
                 continue;
             }
             if !socket_is_live(&idle.stream) {
                 self.stats.stale.fetch_add(1, Ordering::Relaxed);
+                self.note(Counter::PoolStale, 1);
                 continue;
             }
             self.stats.reused.fetch_add(1, Ordering::Relaxed);
+            self.note_checkout(Counter::PoolReused, start, true);
             return Ok(PooledConn {
                 pool: self,
                 conn: Some((idle.stream, idle.scratch)),
@@ -121,11 +139,29 @@ impl ConnectionPool {
         let stream = TcpStream::connect(self.addr)?;
         stream.set_nodelay(true)?;
         self.stats.created.fetch_add(1, Ordering::Relaxed);
+        self.note_checkout(Counter::PoolCreated, start, false);
         Ok(PooledConn {
             pool: self,
             conn: Some((stream, PostScratch::default())),
             reused: false,
         })
+    }
+
+    fn note(&self, c: Counter, delta: u64) {
+        if let Some(m) = &self.metrics {
+            m.add(c, delta);
+        }
+    }
+
+    fn note_checkout(&self, c: Counter, start: Option<u64>, reused: bool) {
+        if let Some(m) = &self.metrics {
+            m.add(c, 1);
+            m.observe_ns(
+                HistId::PoolCheckout,
+                m.now_ns().saturating_sub(start.unwrap_or(0)),
+            );
+            m.trace(TraceKind::PoolCheckout { reused });
+        }
     }
 
     /// Drop idle connections past the idle timeout.
@@ -136,6 +172,7 @@ impl ConnectionPool {
         let reaped = (before - idle.len()) as u64;
         drop(idle);
         self.stats.expired.fetch_add(reaped, Ordering::Relaxed);
+        self.note(Counter::PoolExpired, reaped);
     }
 
     /// Idle connections currently pooled.
@@ -252,17 +289,51 @@ impl HttpPoolClient {
         &self.pool
     }
 
+    /// Attach an observability registry (see [`ConnectionPool::set_metrics`]).
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.pool.set_metrics(metrics);
+    }
+
     /// POST `body` and read the response. A reused connection that fails
     /// the exchange is discarded and the call retried once on a fresh
     /// connection — the template was not consumed, so the resend is free
     /// (the stale socket is the only thing replaced). Errors on a fresh
     /// connection propagate: the endpoint itself is down.
     pub fn call(&self, body: &[IoSlice<'_>]) -> io::Result<HttpReply> {
+        self.with_retry(|conn| Self::exchange(conn, &self.cfg, body))
+    }
+
+    /// Issue a bodiless keep-alive `GET` for `path` over a pooled
+    /// connection — how the throughput bench and integration tests scrape
+    /// `GET /metrics` mid-load without opening a fresh socket.
+    pub fn get(&self, path: &str) -> io::Result<HttpReply> {
+        self.with_retry(|conn| {
+            let mut head = Vec::new();
+            render_get_request(&mut head, path, &self.cfg.host);
+            let stream = conn.stream();
+            stream.write_all(&head)?;
+            stream.flush()?;
+            let (status, resp) = read_response(stream)?;
+            Ok(HttpReply {
+                status,
+                body: resp,
+                wire_bytes: head.len(),
+            })
+        })
+    }
+
+    /// Checkout/exchange with the stale-socket retry policy: a reused
+    /// connection that fails the exchange is discarded and the call
+    /// retried once on a fresh connection.
+    fn with_retry(
+        &self,
+        mut exchange: impl FnMut(&mut PooledConn<'_>) -> io::Result<HttpReply>,
+    ) -> io::Result<HttpReply> {
         let mut attempt = 0;
         loop {
             let mut conn = self.pool.checkout()?;
             let reused = conn.reused;
-            match Self::exchange(&mut conn, &self.cfg, body) {
+            match exchange(&mut conn) {
                 Ok(reply) => {
                     self.bytes
                         .fetch_add(reply.wire_bytes as u64, Ordering::Relaxed);
@@ -272,6 +343,10 @@ impl HttpPoolClient {
                     conn.discard();
                     if reused && attempt == 0 && retryable(&e) {
                         self.pool.stats.retries.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = &self.pool.metrics {
+                            m.add(Counter::PoolRetries, 1);
+                            m.trace(TraceKind::PoolReconnect);
+                        }
                         attempt += 1;
                         continue;
                     }
@@ -484,6 +559,57 @@ mod tests {
         let body = b"<x/>".to_vec();
         assert!(client.call(&[IoSlice::new(&body)]).is_err());
         assert_eq!(client.pool().stats().retries, 0);
+    }
+
+    #[test]
+    fn pool_metrics_mirror_pool_stats() {
+        let metrics = Metrics::shared();
+        let server = TestServer::spawn(ServerMode::Collect).unwrap();
+        let mut client = client_for(server.addr(), PoolConfig::default());
+        client.set_metrics(Arc::clone(&metrics));
+        let body = b"<x/>".to_vec();
+        for _ in 0..4 {
+            client.call(&[IoSlice::new(&body)]).unwrap();
+        }
+        let stats = client.pool().stats();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.get(Counter::PoolCreated), stats.created);
+        assert_eq!(snap.get(Counter::PoolReused), stats.reused);
+        assert_eq!(snap.get(Counter::PoolRetries), stats.retries);
+        assert_eq!(
+            snap.hist(HistId::PoolCheckout).count(),
+            stats.created + stats.reused,
+            "one checkout latency observation per checkout"
+        );
+        let (events, _) = metrics.trace_ring().snapshot();
+        let checkouts = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::PoolCheckout { .. }))
+            .count() as u64;
+        assert_eq!(checkouts, stats.created + stats.reused);
+        drop(client);
+        server.stop();
+    }
+
+    #[test]
+    fn pooled_get_scrapes_metrics_endpoint() {
+        let metrics = Metrics::shared();
+        let server = TestServer::spawn_with_metrics(
+            ServerMode::Ack,
+            crate::server::ServerOptions::default(),
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let client = client_for(server.addr(), PoolConfig::default());
+        let reply = client.get("/metrics").unwrap();
+        assert_eq!(reply.status, 200);
+        let text = String::from_utf8(reply.body).unwrap();
+        assert_eq!(
+            bsoap_obs::parse_value(&text, "bsoap_metrics_scrapes_total"),
+            Some(1.0)
+        );
+        drop(client);
+        server.stop();
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! blocking accepts, a fixed worker count ([`ServerOptions::workers`]),
 //! queueing (not refusal) beyond it, and graceful drain on stop.
 
-use crate::accept::{serve, PoolOptions, WorkerPool};
-use crate::http::{write_response_vectored, RequestReader};
+use crate::accept::{serve_with_metrics, PoolOptions, WorkerPool};
+use crate::http::{render_response_head_typed, write_response_vectored, RequestReader};
+use bsoap_obs::{Counter, HistId, Metrics, Recorder, TraceKind};
 use parking_lot::Mutex;
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -96,6 +97,26 @@ impl TestServer {
 
     /// Bind an ephemeral loopback port and start serving.
     pub fn spawn_with(mode: ServerMode, opts: ServerOptions) -> io::Result<Self> {
+        Self::spawn_inner(mode, opts, None)
+    }
+
+    /// [`TestServer::spawn_with`] with an observability registry: requests
+    /// tick [`Counter::ServerRequests`] and the request-latency histogram,
+    /// and (Collect/Ack modes) the server answers `GET /metrics` with the
+    /// registry's Prometheus text rendering.
+    pub fn spawn_with_metrics(
+        mode: ServerMode,
+        opts: ServerOptions,
+        metrics: Arc<Metrics>,
+    ) -> io::Result<Self> {
+        Self::spawn_inner(mode, opts, Some(metrics))
+    }
+
+    fn spawn_inner(
+        mode: ServerMode,
+        opts: ServerOptions,
+        metrics: Option<Arc<Metrics>>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let shared = Arc::new(Shared {
             bytes: AtomicU64::new(0),
@@ -103,16 +124,18 @@ impl TestServer {
             collected: Mutex::new(Vec::new()),
         });
         let handler_shared = Arc::clone(&shared);
-        let pool = serve(
+        let handler_metrics = metrics.clone();
+        let pool = serve_with_metrics(
             listener,
             PoolOptions {
                 workers: opts.workers,
                 drain_deadline: opts.drain_deadline,
             },
+            metrics,
             move |stream| match mode {
                 ServerMode::Discard => drain(stream, &handler_shared),
-                ServerMode::Collect => respond(stream, &handler_shared, true),
-                ServerMode::Ack => respond(stream, &handler_shared, false),
+                ServerMode::Collect => respond(stream, &handler_shared, true, &handler_metrics),
+                ServerMode::Ack => respond(stream, &handler_shared, false, &handler_metrics),
             },
         )?;
         Ok(TestServer { shared, pool })
@@ -166,8 +189,10 @@ fn drain(mut stream: TcpStream, shared: &Shared) {
 }
 
 /// Collect/Ack modes: parse framed requests off a keep-alive connection,
-/// `200 OK` each with a vectored (head + body slices) response.
-fn respond(mut stream: TcpStream, shared: &Shared, store: bool) {
+/// `200 OK` each with a vectored (head + body slices) response. With a
+/// registry attached, `GET /metrics` is answered with the Prometheus text
+/// rendering (and counted as a scrape, not a SOAP request).
+fn respond(mut stream: TcpStream, shared: &Shared, store: bool, metrics: &Option<Arc<Metrics>>) {
     let read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -176,6 +201,13 @@ fn respond(mut stream: TcpStream, shared: &Shared, store: bool) {
     let mut head_scratch = Vec::new();
     let ack = b"<ack/>";
     while let Ok(Some((head, body))) = reader.next_request() {
+        let start = metrics.as_ref().map(|m| m.now_ns());
+        if head.method == "GET" && head.path == "/metrics" {
+            if serve_metrics_scrape(&mut stream, metrics, &mut head_scratch).is_err() {
+                break;
+            }
+            continue;
+        }
         shared.bytes.fetch_add(body.len() as u64, Ordering::Relaxed);
         shared.requests.fetch_add(1, Ordering::Relaxed);
         if store {
@@ -184,6 +216,11 @@ fn respond(mut stream: TcpStream, shared: &Shared, store: bool) {
                 .lock()
                 .push(CollectedRequest { head, body });
         }
+        // Count the request before its response leaves: a scrape racing
+        // the final response on another connection must still see it.
+        if let Some(m) = metrics {
+            m.add(Counter::ServerRequests, 1);
+        }
         let sent = write_response_vectored(
             &mut stream,
             200,
@@ -191,10 +228,49 @@ fn respond(mut stream: TcpStream, shared: &Shared, store: bool) {
             &[IoSlice::new(ack)],
             &mut head_scratch,
         );
-        if sent.is_err() || stream.flush().is_err() {
+        let sent = match sent {
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        if stream.flush().is_err() {
             break;
         }
+        if let Some(m) = metrics {
+            let elapsed_ns = m.now_ns().saturating_sub(start.unwrap_or(0));
+            m.add(Counter::ServerBytesOut, sent as u64);
+            m.observe_ns(HistId::ServerRequest, elapsed_ns);
+            m.trace(TraceKind::Request {
+                bytes: sent as u64,
+                elapsed_ns,
+            });
+        }
     }
+}
+
+/// Answer one `GET /metrics`: the registry's Prometheus rendering as
+/// `text/plain`, or `404` when the server runs without a registry.
+fn serve_metrics_scrape(
+    stream: &mut TcpStream,
+    metrics: &Option<Arc<Metrics>>,
+    head_scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    let (status, reason, text) = match metrics {
+        Some(m) => {
+            m.add(Counter::MetricsScrapes, 1);
+            (200, "OK", m.render_prometheus())
+        }
+        None => (404, "Not Found", String::from("no metrics registry\n")),
+    };
+    render_response_head_typed(
+        head_scratch,
+        status,
+        reason,
+        "text/plain; version=0.0.4; charset=utf-8",
+        text.len(),
+    );
+    stream.write_all(head_scratch)?;
+    stream.write_all(text.as_bytes())?;
+    stream.flush()
 }
 
 #[cfg(test)]
@@ -319,6 +395,61 @@ mod tests {
         let stats = server.stop();
         assert_eq!(stats.requests, 3);
         assert_eq!(stats.connections, 3);
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_server_counters() {
+        let metrics = Metrics::shared();
+        let server = TestServer::spawn_with_metrics(
+            ServerMode::Ack,
+            ServerOptions::default(),
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+        let body = b"<m>1</m>".to_vec();
+        let mut scratch = Vec::new();
+        for _ in 0..3 {
+            post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
+            let (status, _) = crate::http::read_response(&mut c).unwrap();
+            assert_eq!(status, 200);
+        }
+        // Scrape over the same keep-alive connection.
+        let mut get = Vec::new();
+        crate::http::render_get_request(&mut get, "/metrics", "localhost");
+        c.write_all(&get).unwrap();
+        let (status, text) = crate::http::read_response(&mut c).unwrap();
+        assert_eq!(status, 200);
+        let text = String::from_utf8(text).unwrap();
+        assert_eq!(
+            bsoap_obs::parse_value(&text, "bsoap_server_requests_total"),
+            Some(3.0)
+        );
+        assert_eq!(
+            bsoap_obs::parse_value(&text, "bsoap_metrics_scrapes_total"),
+            Some(1.0)
+        );
+        drop(c);
+        let stats = server.stop();
+        assert_eq!(stats.requests, 3, "the scrape is not counted as a request");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.get(Counter::ServerRequests), 3);
+        assert_eq!(snap.get(Counter::ServerConnections), 1);
+        assert_eq!(snap.hist(HistId::ServerRequest).count(), 3);
+    }
+
+    #[test]
+    fn metrics_scrape_without_registry_is_404() {
+        let server = TestServer::spawn(ServerMode::Ack).unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        let mut get = Vec::new();
+        crate::http::render_get_request(&mut get, "/metrics", "localhost");
+        c.write_all(&get).unwrap();
+        let (status, _) = crate::http::read_response(&mut c).unwrap();
+        assert_eq!(status, 404);
+        drop(c);
+        server.stop();
     }
 
     #[test]

@@ -79,6 +79,9 @@ pub use bsoap_xml as xml;
 /// Chunked message buffers.
 pub use bsoap_chunks as chunks;
 
+/// Observability: counters, latency histograms, trace ring, /metrics.
+pub use bsoap_obs as obs;
+
 /// Transports, HTTP framing, loopback servers.
 pub use bsoap_transport as transport;
 

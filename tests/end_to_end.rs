@@ -217,6 +217,103 @@ fn overlay_wire_bytes_equal_template_bytes() {
 }
 
 #[test]
+fn pooled_keep_alive_scrape_reports_tier_counters_mid_load() {
+    // One observability registry shared by the differential client, the
+    // connection pool, and the worker-pool server. Mid-load, `GET
+    // /metrics` is scraped over the same pooled keep-alive connection the
+    // POSTs ride on, and the per-tier send counters must sum to exactly
+    // the requests served so far.
+    use bsoap::obs::{parse_value, Counter, Metrics, Tier};
+    use bsoap::transport::{HttpPoolClient, PoolConfig, RequestConfig, ServerOptions};
+    use std::sync::Arc;
+
+    let metrics = Metrics::shared();
+    let server = bsoap::transport::TestServer::spawn_with_metrics(
+        ServerMode::Ack,
+        ServerOptions::default(),
+        Arc::clone(&metrics),
+    )
+    .unwrap();
+    let mut pool = HttpPoolClient::new(
+        server.addr(),
+        RequestConfig::loopback(HttpVersion::Http11Length),
+        PoolConfig::default(),
+    );
+    pool.set_metrics(Arc::clone(&metrics));
+
+    let op = doubles_op();
+    let mut client = Client::with_defaults();
+    client.set_metrics(Arc::clone(&metrics));
+    let endpoint = format!("http://{}/service", server.addr());
+
+    let tier_sum = |text: &str| -> u64 {
+        Tier::ALL
+            .iter()
+            .map(|t| {
+                parse_value(
+                    text,
+                    &format!("bsoap_sends_total{{tier=\"{}\"}}", t.label()),
+                )
+                .unwrap_or_else(|| panic!("missing tier series {}", t.label()))
+                    as u64
+            })
+            .sum()
+    };
+    let scrape = |pool: &HttpPoolClient| -> String {
+        let reply = pool.get("/metrics").unwrap();
+        assert_eq!(reply.status, 200);
+        String::from_utf8(reply.body).unwrap()
+    };
+
+    let total = 24usize;
+    let mut xs: Vec<f64> = (0..64).map(|i| i as f64 * 0.5).collect();
+    for i in 0..total {
+        if i > 0 {
+            xs[(i * 7) % 64] += 1.0; // a few dirty values per call
+        }
+        client
+            .call_via(&endpoint, &op, &[Value::DoubleArray(xs.clone())], |s| {
+                let reply = pool.call(s)?;
+                assert_eq!(reply.status, 200);
+                Ok(reply.wire_bytes)
+            })
+            .unwrap();
+
+        if i + 1 == total / 2 {
+            // Mid-load scrape over the live keep-alive connection.
+            let text = scrape(&pool);
+            let served = parse_value(&text, "bsoap_server_requests_total").unwrap() as usize;
+            assert_eq!(served, i + 1, "server_requests mid-load");
+            assert_eq!(tier_sum(&text) as usize, i + 1, "tier sum mid-load");
+        }
+    }
+
+    let text = scrape(&pool);
+    assert_eq!(
+        parse_value(&text, "bsoap_server_requests_total").unwrap() as usize,
+        total,
+        "scrapes must not count as served requests"
+    );
+    assert_eq!(tier_sum(&text) as usize, total, "tier sum after load");
+    assert_eq!(
+        parse_value(&text, "bsoap_metrics_scrapes_total").unwrap() as usize,
+        2
+    );
+
+    let snap = metrics.snapshot();
+    assert_eq!(snap.total_sends() as usize, total);
+    assert_eq!(snap.tier_sends(Tier::FirstTime), 1);
+    assert_eq!(snap.get(Counter::ServerRequests) as usize, total);
+    assert!(
+        snap.get(Counter::PoolReused) > 0,
+        "keep-alive reuse never happened"
+    );
+
+    let stats = server.stop();
+    assert_eq!(stats.requests as usize, total);
+}
+
+#[test]
 fn two_endpoints_get_independent_templates() {
     let op = doubles_op();
     let mut client = Client::with_defaults();

@@ -5,7 +5,10 @@
 //! claims (content ≤ perfect ≤ partial ≤ first in values written), and
 //! that statistics account for every call.
 
+use std::sync::Arc;
+
 use bsoap::convert::ScalarKind;
+use bsoap::obs::{Counter, EngineStats, HistId, Metrics, Tier, VirtualClock};
 use bsoap::transport::SinkTransport;
 use bsoap::{mio, Client, EngineConfig, OpDesc, SendTier, TypeDesc, Value, WidthPolicy};
 
@@ -215,6 +218,217 @@ fn evicting_forgets_the_template() {
         SendTier::FirstTime,
         "evicted template forces re-serialization"
     );
+}
+
+// ---------------------------------------------------------------------
+// Model-checked metrics: a reference model of the matching hierarchy
+// predicts the tier, the values written, and the full metrics snapshot
+// after every single send.
+// ---------------------------------------------------------------------
+
+/// Reference model of the four-tier hierarchy (paper §3) plus the
+/// counters the obs layer must accumulate for a doubles-array operation.
+/// The DUT compares bit patterns, so the model tracks `f64::to_bits`.
+struct TierModel {
+    /// Bit patterns of the last-sent array; `None` = no template saved.
+    saved: Option<Vec<u64>>,
+    tiers: [u64; 4],
+    values_written: u64,
+    bytes_sent: u64,
+    sends: u64,
+}
+
+impl TierModel {
+    fn new() -> Self {
+        TierModel {
+            saved: None,
+            tiers: [0; 4],
+            values_written: 0,
+            bytes_sent: 0,
+            sends: 0,
+        }
+    }
+
+    /// Predict the tier and values written for sending `xs`, then fold
+    /// the prediction into the model's expected counter state.
+    fn step(&mut self, xs: &[f64]) -> (SendTier, u64) {
+        let bits: Vec<u64> = xs.iter().map(|x| x.to_bits()).collect();
+        let (tier, written) = match &self.saved {
+            // First-time build serializes every element leaf plus the
+            // array-length leaf.
+            None => (SendTier::FirstTime, bits.len() as u64 + 1),
+            Some(old) => {
+                let changed = old.iter().zip(&bits).filter(|(o, n)| **o != **n).count() as u64;
+                if old.len() != bits.len() {
+                    // Resize rewrites the length leaf too; appended
+                    // elements are built, not rewritten.
+                    (SendTier::PartialStructural, changed + 1)
+                } else if changed > 0 {
+                    (SendTier::PerfectStructural, changed)
+                } else {
+                    (SendTier::ContentMatch, 0)
+                }
+            }
+        };
+        self.saved = Some(bits);
+        self.tiers[tier.obs().index()] += 1;
+        self.values_written += written;
+        self.sends += 1;
+        (tier, written)
+    }
+
+    fn evict(&mut self) {
+        self.saved = None;
+    }
+
+    /// Assert a registry snapshot agrees with the model exactly.
+    fn check(&self, snap: &EngineStats) {
+        assert_eq!(snap.tier_counts(), self.tiers, "tier counters");
+        assert_eq!(snap.total_sends(), self.sends, "total sends");
+        assert_eq!(
+            snap.get(Counter::ValuesWritten),
+            self.values_written,
+            "values written"
+        );
+        assert_eq!(snap.get(Counter::BytesSent), self.bytes_sent, "bytes sent");
+        // Max-width stuffing leaves room for any double: nothing ever
+        // shifts, steals, or splits.
+        assert_eq!(snap.get(Counter::Shifts), 0);
+        assert_eq!(snap.get(Counter::Steals), 0);
+        assert_eq!(snap.get(Counter::Splits), 0);
+        assert_eq!(snap.get(Counter::ShiftedBytes), 0);
+        // Exactly one latency observation per send, in the histogram of
+        // the tier the send took.
+        for t in Tier::ALL {
+            assert_eq!(
+                snap.hist(HistId::send(t)).count(),
+                self.tiers[t.index()],
+                "latency observations for {t:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_snapshot_matches_reference_model() {
+    let op = doubles_op();
+    let metrics = Arc::new(Metrics::with_clock(Arc::new(VirtualClock::new())));
+    let mut client = Client::new(EngineConfig::paper_default().with_width(WidthPolicy::Max));
+    client.set_metrics(Arc::clone(&metrics));
+    let mut sink = SinkTransport::new();
+    let mut model = TierModel::new();
+
+    let mut send = |client: &mut Client, model: &mut TierModel, xs: &[f64]| {
+        let (want_tier, want_written) = model.step(xs);
+        let r = call(client, &mut sink, &op, xs);
+        assert_eq!(r.tier, want_tier, "tier for {xs:?}");
+        assert_eq!(
+            r.values_written as u64, want_written,
+            "values written for {xs:?}"
+        );
+        // Wire bytes come from the engine (the model doesn't re-derive
+        // the serialized form); the counter must still track them 1:1.
+        model.bytes_sent += r.bytes as u64;
+        model.check(&metrics.snapshot());
+    };
+
+    // Scripted opening: visit every tier once.
+    send(&mut client, &mut model, &[1.5, 2.5, 3.5]); // first time
+    send(&mut client, &mut model, &[1.5, 2.5, 3.5]); // content match
+    send(&mut client, &mut model, &[1.5, 9.5, 3.5]); // perfect structural
+    send(&mut client, &mut model, &[1.5, 9.5, 3.5, 4.5]); // partial (grow)
+    send(&mut client, &mut model, &[1.5, 9.5]); // partial (shrink)
+    send(&mut client, &mut model, &[1.5, 9.5]); // content match again
+
+    // Eviction forgets the template; the model forgets with it.
+    assert!(client.evict("ep", &op));
+    model.evict();
+    send(&mut client, &mut model, &[1.5, 9.5]); // first time again
+
+    // Long pseudo-random walk (fixed-seed LCG, fully reproducible):
+    // resends, single- and multi-value mutations, resizes, evictions.
+    let mut state = 0x2545_F491_4F6C_DD1D_u64;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut xs: Vec<f64> = (0..8).map(|i| i as f64 + 0.5).collect();
+    for _ in 0..200 {
+        match rng() % 10 {
+            0 => {} // resend unchanged
+            1 => {
+                // Resize (possibly to the same length) and rewrite.
+                let n = 1 + rng() % 12;
+                xs = (0..n)
+                    .map(|i| (rng() % 64) as f64 * 0.25 + i as f64)
+                    .collect();
+            }
+            2 => {
+                if client.evict("ep", &op) {
+                    model.evict();
+                }
+            }
+            k => {
+                // Mutate up to 7 positions; collisions and writing the
+                // same bits back are part of the point.
+                for _ in 0..(k - 2) {
+                    let i = rng() % xs.len();
+                    xs[i] = (rng() % 256) as f64 * 0.125;
+                }
+            }
+        }
+        let step = xs.clone();
+        send(&mut client, &mut model, &step);
+    }
+}
+
+#[test]
+fn shift_counters_match_reports_exactly() {
+    // Exact widths force expansion work on every growth step; the obs
+    // counters must agree with the per-send reports, send after send.
+    let op = doubles_op();
+    let metrics = Arc::new(Metrics::new());
+    let mut client = Client::new(EngineConfig::paper_default().with_width(WidthPolicy::Exact));
+    client.set_metrics(Arc::clone(&metrics));
+    let mut sink = SinkTransport::new();
+
+    let mut xs = vec![1.0, 2.0, 3.0, 4.0];
+    let first = call(&mut client, &mut sink, &op, &xs);
+    let (mut shifts, mut steals, mut splits) = (0u64, 0u64, 0u64);
+    let mut written = first.values_written as u64;
+
+    for _ in 0..6 {
+        // Every value's text representation grows.
+        for x in xs.iter_mut() {
+            *x = *x * 2.0 + 0.0625;
+        }
+        let before = metrics.snapshot();
+        let r = call(&mut client, &mut sink, &op, &xs);
+        let snap = metrics.snapshot();
+
+        assert_eq!(r.tier, SendTier::PerfectStructural);
+        assert!(
+            r.shifts + r.steals > 0,
+            "growth beyond exact width must shift or steal (got {r:?})"
+        );
+        shifts += r.shifts as u64;
+        steals += r.steals as u64;
+        splits += r.splits as u64;
+        written += r.values_written as u64;
+
+        assert_eq!(snap.get(Counter::Shifts), shifts);
+        assert_eq!(snap.get(Counter::Steals), steals);
+        assert_eq!(snap.get(Counter::Splits), splits);
+        assert_eq!(snap.get(Counter::ValuesWritten), written);
+        if r.shifts > 0 {
+            assert!(
+                snap.get(Counter::ShiftedBytes) > before.get(Counter::ShiftedBytes),
+                "shifts moved no bytes?"
+            );
+        }
+    }
 }
 
 #[test]
