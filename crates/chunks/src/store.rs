@@ -303,6 +303,64 @@ impl ChunkStore {
         self.counters.moved_bytes += (old_len - offset) as u64;
     }
 
+    /// Open several gaps in chunk `idx` with **one** right-to-left pass.
+    ///
+    /// `gaps` is a list of `(offset, delta)` pairs in strictly ascending
+    /// offset order, all within the chunk's current length (a gap exactly at
+    /// the chunk end is allowed). Requires spare capacity ≥ the sum of the
+    /// deltas (call [`Self::try_grow`] first).
+    ///
+    /// This is the coalesced form of [`Self::shift_tail_right`]: where the
+    /// sequential primitive moves the tail once per growing field —
+    /// O(shifts × chunk) bytes — this moves each byte at most once, sliding
+    /// the segment after gap *i* right by the cumulative delta of gaps
+    /// `0..=i`. Total bytes moved is `chunk_len − gaps[0].offset`, which the
+    /// churn counter records; the return value is that same figure so
+    /// callers can account it per flush.
+    pub fn open_gaps_right(&mut self, idx: usize, gaps: &[(usize, usize)]) -> u64 {
+        if gaps.is_empty() {
+            return 0;
+        }
+        let total: usize = gaps.iter().map(|&(_, d)| d).sum();
+        let chunk = &mut self.chunks[idx];
+        assert!(
+            chunk.spare() >= total,
+            "open_gaps_right without spare capacity"
+        );
+        let old_len = chunk.len();
+        debug_assert!(
+            gaps.windows(2).all(|w| w[0].0 < w[1].0),
+            "gaps not ascending"
+        );
+        debug_assert!(gaps.last().is_some_and(|&(g, _)| g <= old_len));
+        chunk.buf.resize(old_len + total, 0);
+        // Right to left: the segment between gap i and gap i+1 lands shifted
+        // by the sum of deltas 0..=i. Later (righter) segments move first so
+        // no source byte is overwritten before it is read.
+        let mut cum = total;
+        for i in (0..gaps.len()).rev() {
+            let (offset, delta) = gaps[i];
+            let seg_end = if i + 1 < gaps.len() {
+                gaps[i + 1].0
+            } else {
+                old_len
+            };
+            chunk.buf.copy_within(offset..seg_end, offset + cum);
+            cum -= delta;
+        }
+        debug_assert_eq!(cum, 0);
+        let moved = (old_len - gaps[0].0) as u64;
+        self.total_len += total;
+        self.counters.moved_bytes += moved;
+        moved
+    }
+
+    /// Mutable view of one chunk's used bytes (in-place writes only; the
+    /// length cannot change through this view).
+    pub fn chunk_buf_mut(&mut self, idx: usize) -> &mut [u8] {
+        self.chunks[idx].buf.as_mut_slice()
+    }
+
     /// Delete `len` bytes at `offset` in chunk `idx`, moving the tail left
     /// (array contraction on a partial structural match).
     pub fn delete_range(&mut self, idx: usize, offset: usize, len: usize) {
@@ -581,6 +639,88 @@ mod tests {
         assert!(slices.len() >= 2);
         let gathered: Vec<u8> = slices.iter().flat_map(|s| s.iter().copied()).collect();
         assert_eq!(gathered, store.flatten());
+    }
+
+    #[test]
+    fn open_gaps_right_matches_sequential_shifts() {
+        // The coalesced pass must produce the same bytes as opening the
+        // gaps one at a time with shift_tail_right (ascending, so each
+        // later gap position must account for earlier deltas).
+        let gaps = [(2usize, 3usize), (5, 1), (9, 4)];
+
+        let mut seq = ChunkStore::new(small_config());
+        seq.append_region(b"abcdefghijkl");
+        assert!(seq.try_grow(0, 8));
+        let mut slid = 0;
+        for &(g, d) in &gaps {
+            seq.shift_tail_right(0, g + slid, d);
+            slid += d;
+        }
+
+        let mut coal = ChunkStore::new(small_config());
+        coal.append_region(b"abcdefghijkl");
+        assert!(coal.try_grow(0, 8));
+        let moved = coal.open_gaps_right(0, &gaps);
+
+        // Gap contents are undefined in both (stale bytes the caller will
+        // overwrite); compare only the displaced original bytes by zeroing
+        // the gaps in both copies first.
+        let mut seq_bytes = seq.flatten();
+        let mut coal_bytes = coal.flatten();
+        let mut cum = 0;
+        for &(g, d) in &gaps {
+            seq_bytes[g + cum..g + cum + d].fill(0);
+            coal_bytes[g + cum..g + cum + d].fill(0);
+            cum += d;
+        }
+        assert_eq!(seq_bytes, coal_bytes);
+        assert_eq!(coal.total_len(), 12 + 8);
+        // One pass touches chunk_len − first_gap bytes; the sequential
+        // path re-moves the tail per gap and must strictly exceed it.
+        assert_eq!(moved, (12 - 2) as u64);
+        assert!(seq.counters().moved_bytes > coal.counters().moved_bytes);
+        coal.assert_consistent();
+    }
+
+    #[test]
+    fn open_gaps_right_single_gap_equals_shift() {
+        let mut a = ChunkStore::new(small_config());
+        a.append_region(b"abcdef");
+        assert!(a.try_grow(0, 3));
+        a.shift_tail_right(0, 2, 3);
+
+        let mut b = ChunkStore::new(small_config());
+        b.append_region(b"abcdef");
+        assert!(b.try_grow(0, 3));
+        b.open_gaps_right(0, &[(2, 3)]);
+
+        let mut fa = a.flatten();
+        let mut fb = b.flatten();
+        fa[2..5].fill(0);
+        fb[2..5].fill(0);
+        assert_eq!(fa, fb);
+        assert_eq!(a.counters().moved_bytes, b.counters().moved_bytes);
+    }
+
+    #[test]
+    fn open_gaps_right_gap_at_chunk_end() {
+        let mut store = ChunkStore::new(small_config());
+        store.append_region(b"abc");
+        assert!(store.try_grow(0, 4));
+        let moved = store.open_gaps_right(0, &[(1, 2), (3, 2)]);
+        store.write_at(Loc::new(0, 1), b"XY");
+        store.write_at(Loc::new(0, 5), b"ZW");
+        assert_eq!(store.flatten(), b"aXYbcZW");
+        assert_eq!(moved, 2, "only bytes after the first gap move");
+        store.assert_consistent();
+    }
+
+    #[test]
+    fn chunk_buf_mut_writes_in_place() {
+        let mut store = ChunkStore::new(small_config());
+        store.append_region(b"hello");
+        store.chunk_buf_mut(0)[..5].copy_from_slice(b"HELLO");
+        assert_eq!(store.flatten(), b"HELLO");
     }
 
     #[test]

@@ -79,13 +79,44 @@ impl TemplateSet {
         dist
     }
 
-    /// Index and distance of the best-matching template for `args`.
+    /// Estimated cost of resizing a template to serve `args`, in the
+    /// planner's currency: growing prices the new elements' bytes plus one
+    /// re-serialization per added element leaf; shrinking only pays
+    /// bookkeeping per removed element. This is the plan-shaped replacement
+    /// for the raw geometry heuristic — a slightly-smaller template (cheap
+    /// shrink) now beats a much-smaller one (expensive grow) even when the
+    /// latter's length distance is lower.
+    fn resize_cost(tpl: &MessageTemplate, args: &[Value]) -> u64 {
+        let mut cost = 0u64;
+        let mut array_idx = 0usize;
+        for arg in args {
+            if let Some(n) = arg.array_len() {
+                if array_idx < tpl.array_count() {
+                    let old = tpl.array_len(array_idx);
+                    if n > old {
+                        let elem_bytes = tpl.array_elem_bytes(array_idx) as u64;
+                        cost += (n - old) as u64 * (elem_bytes + 1);
+                    } else {
+                        cost += (old - n) as u64;
+                    }
+                }
+                array_idx += 1;
+            }
+        }
+        cost
+    }
+
+    /// Index and distance of the best-matching template for `args`: the
+    /// candidate with the cheapest estimated resize plan (geometry distance
+    /// breaks ties). The returned distance is the geometric one — callers
+    /// use `dist == 0` as the "no resize needed" signal.
     pub fn best_match(&self, args: &[Value]) -> Option<(usize, usize)> {
         self.templates
             .iter()
             .enumerate()
-            .map(|(i, t)| (i, Self::distance(t, args)))
-            .min_by_key(|&(_, d)| d)
+            .map(|(i, t)| (i, Self::resize_cost(t, args), Self::distance(t, args)))
+            .min_by_key(|&(_, cost, dist)| (cost, dist))
+            .map(|(i, _, dist)| (i, dist))
     }
 
     /// Move template `idx` to the front (MRU) and return it mutably.
@@ -93,6 +124,12 @@ impl TemplateSet {
         let t = self.templates.remove(idx);
         self.templates.insert(0, t);
         &mut self.templates[0]
+    }
+
+    /// Remove and return template `idx` (cost-gate fallback discards the
+    /// template it just priced).
+    pub fn remove(&mut self, idx: usize) -> MessageTemplate {
+        self.templates.remove(idx)
     }
 
     /// Insert a template at the MRU position, evicting the LRU entry when

@@ -17,7 +17,7 @@
 //!   and merely diff it, amortizing serialization across services.
 
 use crate::cache::{TemplateCache, TemplateKey};
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, FlushMode};
 use crate::error::EngineError;
 use crate::schema::OpDesc;
 use crate::sendv::write_all_vectored;
@@ -176,6 +176,7 @@ impl Client {
         let use_existing = matches!(matched, Some((_, dist, len)) if dist == 0 || len >= cap);
 
         let report = if use_existing {
+            let mut send = Some(send);
             let (idx, _, _) = matched.expect("checked above");
             let metrics = self.metrics.clone();
             let tpl = self.cache.set_mut(&key).promote(idx);
@@ -184,9 +185,40 @@ impl Client {
                 tpl.set_metrics(m);
             }
             tpl.update_args(args)?;
-            let mut report = tpl.flush();
-            report.bytes = send(&tpl.io_slices())?;
-            report
+            // §5 break-even gate: price the differential send before any
+            // byte moves; `None` means patching would cost more than a
+            // rebuild and the template should be discarded.
+            let gated = if self.config.cost_fallback && self.config.flush_mode == FlushMode::Planned
+            {
+                let plan = tpl.plan()?;
+                let rebuild = tpl.rebuild_estimate() as f64;
+                if plan.cost().total() as f64 > self.config.fallback_ratio * rebuild {
+                    None
+                } else {
+                    let mut report = tpl.flush_planned(&plan)?;
+                    report.bytes = (send.take().expect("send unused"))(&tpl.io_slices())?;
+                    Some(report)
+                }
+            } else {
+                let mut report = tpl.flush();
+                report.bytes = (send.take().expect("send unused"))(&tpl.io_slices())?;
+                Some(report)
+            };
+            match gated {
+                Some(report) => report,
+                None => {
+                    // Fallback: drop the (promoted-to-front) template and
+                    // take the FirstTime path, which saves a fresh one.
+                    self.cache.set_mut(&key).remove(0);
+                    if let Some(m) = &self.metrics {
+                        m.add(Counter::CostFallbacks, 1);
+                    }
+                    let send = send.take().expect("send unused");
+                    let mut report = self.first_time(key, op, args, send)?;
+                    report.fell_back = true;
+                    report
+                }
+            }
         } else if self.share_across_endpoints && matched.is_none() {
             if let Some(sibling) = self.cache.find_shareable(&key) {
                 // §6 sharing: clone the sibling's serialized bytes + DUT
@@ -242,6 +274,7 @@ impl Client {
             shifts: 0,
             steals: 0,
             splits: 0,
+            fell_back: false,
         };
         if let Some(m) = &self.metrics {
             m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);

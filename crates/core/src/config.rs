@@ -60,8 +60,24 @@ pub enum GrowthPolicy {
     ToMax,
 }
 
+/// How `flush`/`send` apply dirty values and queued array resizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FlushMode {
+    /// Plan/execute split: compute a read-only [`crate::plan::SendPlan`]
+    /// first, then apply it with one coalesced right-to-left shift pass per
+    /// chunk and a single batched DUT fixup. Array resizes queue at
+    /// `update_args` time and are applied by the executor, so a planning
+    /// error leaves the template bytes untouched.
+    #[default]
+    Planned,
+    /// The original interleaved path: each dirty field is patched in place
+    /// as it is visited, shifting its chunk tail immediately when it grows.
+    /// Kept as the differential-testing oracle and for A/B benchmarks.
+    Legacy,
+}
+
 /// Full engine configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EngineConfig {
     /// Chunk store parameters (initial size / split threshold / reserve).
     pub chunk: ChunkConfig,
@@ -86,6 +102,19 @@ pub struct EngineConfig {
     /// Server side: worker threads handling connections in the bounded
     /// accept pool (`bsoap-transport`'s `PoolOptions::workers`).
     pub server_workers: usize,
+    /// Which flush path applies dirty values (plan/execute vs. legacy
+    /// in-place patching).
+    pub flush_mode: FlushMode,
+    /// Enable the §5 break-even gate: before patching a saved template the
+    /// client compares the plan's estimated cost against a from-scratch
+    /// rebuild estimate and falls back to the FirstTime path when patching
+    /// would be dearer. Requires [`FlushMode::Planned`].
+    pub cost_fallback: bool,
+    /// Break-even multiplier for the cost gate: fall back when
+    /// `plan.cost() > fallback_ratio × rebuild_estimate`. `1.0` switches at
+    /// the model's break-even point; larger values keep differential sends
+    /// longer, smaller values fall back sooner.
+    pub fallback_ratio: f64,
 }
 
 impl EngineConfig {
@@ -102,6 +131,9 @@ impl EngineConfig {
             parallel_workers: 0,
             pool_size: 4,
             server_workers: 4,
+            flush_mode: FlushMode::Planned,
+            cost_fallback: false,
+            fallback_ratio: 1.0,
         }
     }
 
@@ -158,6 +190,24 @@ impl EngineConfig {
     /// Builder-style server worker-count override.
     pub fn with_server_workers(mut self, workers: usize) -> Self {
         self.server_workers = workers;
+        self
+    }
+
+    /// Builder-style flush-mode override.
+    pub fn with_flush_mode(mut self, mode: FlushMode) -> Self {
+        self.flush_mode = mode;
+        self
+    }
+
+    /// Builder-style cost-gate toggle.
+    pub fn with_cost_fallback(mut self, on: bool) -> Self {
+        self.cost_fallback = on;
+        self
+    }
+
+    /// Builder-style break-even ratio override.
+    pub fn with_fallback_ratio(mut self, ratio: f64) -> Self {
+        self.fallback_ratio = ratio;
         self
     }
 }
@@ -247,5 +297,20 @@ mod tests {
         let d = EngineConfig::paper_default();
         assert_eq!(d.pool_size, 4);
         assert_eq!(d.server_workers, 4);
+    }
+
+    #[test]
+    fn builder_plan_knobs() {
+        let d = EngineConfig::paper_default();
+        assert_eq!(d.flush_mode, FlushMode::Planned);
+        assert!(!d.cost_fallback);
+        assert_eq!(d.fallback_ratio, 1.0);
+        let c = d
+            .with_flush_mode(FlushMode::Legacy)
+            .with_cost_fallback(true)
+            .with_fallback_ratio(0.5);
+        assert_eq!(c.flush_mode, FlushMode::Legacy);
+        assert!(c.cost_fallback);
+        assert_eq!(c.fallback_ratio, 0.5);
     }
 }

@@ -48,6 +48,12 @@ pub enum EngineError {
         /// Human-readable explanation.
         why: String,
     },
+    /// A [`crate::plan::SendPlan`] was applied to a template whose state no
+    /// longer matches the snapshot it was computed against.
+    PlanStale {
+        /// Human-readable explanation of the drift.
+        why: String,
+    },
     /// I/O failure while sending.
     Io(std::io::Error),
 }
@@ -87,6 +93,7 @@ impl std::fmt::Display for EngineError {
                 )
             }
             EngineError::StructureMismatch { why } => write!(f, "structure mismatch: {why}"),
+            EngineError::PlanStale { why } => write!(f, "stale send plan: {why}"),
             EngineError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -39,6 +39,7 @@ pub mod dut;
 pub mod error;
 pub mod overlay;
 pub mod pipeline;
+pub mod plan;
 pub mod schema;
 pub mod sendv;
 pub mod soap;
@@ -47,10 +48,11 @@ pub mod value;
 
 pub use cache::{TemplateCache, TemplateKey};
 pub use client::{Client, ClientStats};
-pub use config::{EngineConfig, FloatFormatter, GrowthPolicy, WidthPolicy};
+pub use config::{EngineConfig, FloatFormatter, FlushMode, GrowthPolicy, WidthPolicy};
 pub use dut::{DutEntry, DutTable};
 pub use error::EngineError;
 pub use pipeline::{PipelineReport, PipelinedSender};
+pub use plan::{InjectedFault, OpKind, PlanCost, PlannedOp, SendPlan};
 pub use schema::{OpDesc, ParamDesc, TypeDesc};
 pub use template::{MessageTemplate, SendReport, SendTier};
 pub use value::{Scalar, Value};

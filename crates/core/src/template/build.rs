@@ -366,6 +366,8 @@ impl MessageTemplate {
             region_scratch: b.region,
             stats,
             structure_changed: false,
+            pending_resizes: Vec::new(),
+            fault: None,
             metrics: None,
         })
     }
@@ -393,6 +395,8 @@ impl MessageTemplate {
             region_scratch: b.region,
             stats: TemplateStats::default(),
             structure_changed: false,
+            pending_resizes: Vec::new(),
+            fault: None,
             metrics: None,
         })
     }

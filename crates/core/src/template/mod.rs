@@ -9,11 +9,13 @@
 
 mod build;
 mod patch;
+mod planner;
 mod resize;
 
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, FlushMode};
 use crate::dut::DutTable;
 use crate::error::EngineError;
+use crate::plan::InjectedFault;
 use crate::schema::{OpDesc, TypeDesc};
 use crate::value::{Scalar, Value};
 use bsoap_chunks::{ChunkStore, Loc};
@@ -72,6 +74,9 @@ pub struct SendReport {
     pub steals: usize,
     /// Chunk splits triggered by expansion.
     pub splits: usize,
+    /// The cost gate discarded the saved template and this send took the
+    /// FirstTime path instead of patching (see `EngineConfig::cost_fallback`).
+    pub fell_back: bool,
 }
 
 /// Cumulative statistics over a template's lifetime.
@@ -144,6 +149,15 @@ pub struct MessageTemplate {
     pub(crate) stats: TemplateStats,
     /// Set when the current update cycle changed array sizes.
     pub(crate) structure_changed: bool,
+    /// Array resizes queued by `update_args` under [`FlushMode::Planned`]
+    /// (`(array index, pending value)`, ascending, at most one per array).
+    /// The executor applies them at flush time; until then the template
+    /// bytes and DUT stay untouched, which is what makes a failed send
+    /// side-effect free.
+    pub(crate) pending_resizes: Vec<(usize, Value)>,
+    /// Failure-injection point for the atomicity tests; never set in
+    /// production.
+    pub(crate) fault: Option<InjectedFault>,
     /// Observability sink. `None` means instrumentation is off: every
     /// record site is a single branch on this option (cloning a template
     /// shares the registry, so cross-endpoint clones report to the same
@@ -310,9 +324,9 @@ impl MessageTemplate {
     }
 
     /// The tier the next flush will take, given current dirty/structure
-    /// state.
+    /// state (queued planned-mode resizes count as structural change).
     pub fn pending_tier(&self) -> SendTier {
-        if self.structure_changed {
+        if self.structure_changed || !self.pending_resizes.is_empty() {
             SendTier::PartialStructural
         } else if self.dut.dirty_count() == 0 {
             SendTier::ContentMatch
@@ -378,9 +392,47 @@ impl MessageTemplate {
         // Diff the common prefix.
         self.diff_elements(array_idx, value, 0, common)?;
         if new_len != old_len {
-            self.resize_array(array_idx, value)?;
+            match self.config.flush_mode {
+                // Legacy path resizes eagerly, mutating the template here.
+                FlushMode::Legacy => self.resize_array(array_idx, value)?,
+                // Planned path defers: validate the new tail now (so the
+                // flush-time resize cannot fail), then queue the value for
+                // the executor. `old_len` stays the template's length until
+                // the flush applies the resize.
+                FlushMode::Planned => {
+                    if new_len > old_len {
+                        let item_desc = self.arrays[array_idx].item_desc.clone();
+                        planner::validate_elements(&item_desc, value, old_len, new_len)?;
+                    }
+                    self.queue_resize(array_idx, value.clone());
+                }
+            }
+        } else {
+            // Back to the template's length: any queued resize is moot.
+            self.cancel_resize(array_idx);
         }
         Ok(())
+    }
+
+    /// Queue (or replace) a planned-mode resize for `array_idx`.
+    fn queue_resize(&mut self, array_idx: usize, value: Value) {
+        match self
+            .pending_resizes
+            .binary_search_by_key(&array_idx, |(i, _)| *i)
+        {
+            Ok(pos) => self.pending_resizes[pos].1 = value,
+            Err(pos) => self.pending_resizes.insert(pos, (array_idx, value)),
+        }
+    }
+
+    /// Drop any queued resize for `array_idx`.
+    fn cancel_resize(&mut self, array_idx: usize) {
+        if let Ok(pos) = self
+            .pending_resizes
+            .binary_search_by_key(&array_idx, |(i, _)| *i)
+        {
+            self.pending_resizes.remove(pos);
+        }
     }
 
     /// Diff elements `[from, to)` of `value` against the template.
@@ -485,6 +537,35 @@ impl MessageTemplate {
     /// Copy the current serialized message into one flat buffer.
     pub fn to_bytes(&self) -> Vec<u8> {
         self.store.flatten()
+    }
+
+    /// Inject a fault for the failure-atomicity tests (test support).
+    #[doc(hidden)]
+    pub fn inject_fault(&mut self, fault: Option<InjectedFault>) {
+        self.fault = fault;
+    }
+
+    /// Bytes between two document positions (chunk boundaries transparent).
+    pub(crate) fn doc_distance(&self, from: Loc, to: Loc) -> usize {
+        if from.chunk == to.chunk {
+            return (to.offset - from.offset) as usize;
+        }
+        let mut n = self.store.chunk(from.chunk as usize).len() - from.offset as usize;
+        for c in (from.chunk + 1)..to.chunk {
+            n += self.store.chunk(c as usize).len();
+        }
+        n + to.offset as usize
+    }
+
+    /// Average serialized bytes per element of array `array_idx` — the
+    /// per-element currency of resize cost estimates (planner and template
+    /// cache). Falls back to a coarse constant for empty arrays.
+    pub(crate) fn array_elem_bytes(&self, array_idx: usize) -> usize {
+        let a = &self.arrays[array_idx];
+        if a.len == 0 {
+            return 64;
+        }
+        self.doc_distance(a.content_start, a.content_end) / a.len
     }
 
     /// Gather view of the current serialized message.

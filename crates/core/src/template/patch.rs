@@ -1,7 +1,25 @@
 //! Differential flush: rewrite only dirty values, expanding fields on
 //! demand via stealing and shifting (§3.2).
 //!
-//! ## Parallel flush
+//! ## Plan/execute split (default, [`crate::config::FlushMode::Planned`])
+//!
+//! The planner (`planner.rs`) computes a read-only [`SendPlan`]; this
+//! module's executor applies it in three phases, each byte-equivalent to
+//! the legacy interleaved order because steals never change a region's end
+//! position and shifts only move bytes at-or-past a region end:
+//!
+//! 1. **Steals** (ascending): move each steal span right, narrow the
+//!    neighbor. The plan's simulated widths match live geometry exactly.
+//! 2. **Coalesced shifts**: group planned gaps by chunk and open them all
+//!    with one right-to-left pass ([`bsoap_chunks::ChunkStore::open_gaps_right`])
+//!    and one batched DUT fixup — O(chunk) per chunk instead of
+//!    O(shifts × chunk). When a chunk cannot grow, it splits at the first
+//!    gap and the remaining gaps re-group in the new tail chunk.
+//! 3. **Writes** (ascending, parallelizable by chunk): every region's final
+//!    location and width are settled, so writing `[value][suffix][pad]`
+//!    from the plan blob is embarrassingly parallel — no contagion rule.
+//!
+//! ## Parallel flush (legacy path)
 //!
 //! With [`crate::EngineConfig::parallel_workers`] ≥ 2 the flush shards
 //! work by *chunk boundary*: each chunk's dirty entries form a run, runs
@@ -21,15 +39,23 @@
 //! deferred too (contagion) rather than rewritten concurrently.
 
 use super::{MessageTemplate, SendReport, SendTier};
-use crate::config::GrowthPolicy;
+use crate::config::{FlushMode, GrowthPolicy};
 use crate::dut::DutEntry;
+use crate::error::EngineError;
+use crate::plan::{InjectedFault, OpKind, PlannedOp, SendPlan};
 use bsoap_obs::{Counter, Recorder, TraceKind};
 
 /// One parallel-flush work unit: the global index of the run's first
 /// entry, the run's DUT entries, and the chunk buffer they live in.
 type FlushRun<'a> = (usize, &'a mut [DutEntry], &'a mut [u8]);
 
-/// Counters for one flush (folded into the report and lifetime stats).
+/// One parallel-write work unit (planned executor): the run's ops, its
+/// first entry's global index, the run's DUT entries, and their chunk.
+type WriteRun<'a, 'p> = (&'p [PlannedOp], usize, &'a mut [DutEntry], &'a mut [u8]);
+
+/// Counters for one flush. [`MessageTemplate::finish_flush`] is the single
+/// fold that turns these into lifetime stats, obs counters, the trace span,
+/// and the [`SendReport`] — new counters are added there and here only.
 #[derive(Default)]
 struct PatchCounters {
     values_written: usize,
@@ -38,20 +64,64 @@ struct PatchCounters {
     splits: usize,
     shifted_bytes: u64,
     dut_fixups: u64,
+    coalesced_passes: u64,
 }
 
 impl MessageTemplate {
-    /// Re-serialize all dirty leaves into the stored message.
+    /// Re-serialize all dirty leaves into the stored message, via the
+    /// configured flush path.
     pub(crate) fn flush_dirty(&mut self) -> SendReport {
-        let tier = self.pending_tier();
-        let dirty = self.dut.dirty_count();
+        match self.config.flush_mode {
+            FlushMode::Planned => {
+                let plan = self
+                    .plan()
+                    .expect("planning is infallible without injected faults");
+                self.flush_planned(&plan)
+                    .expect("a freshly computed plan cannot be stale")
+            }
+            FlushMode::Legacy => {
+                let tier = self.pending_tier();
+                let dirty = self.dut.dirty_count();
+                let flush_start = self.metrics.as_ref().map(|m| m.now_ns());
+                let mut counters = PatchCounters::default();
+                if dirty > 0 && !self.try_flush_parallel(&mut counters) {
+                    self.flush_sequential(&mut counters);
+                }
+                self.finish_flush(tier, dirty, flush_start, counters)
+            }
+        }
+    }
+
+    /// Apply a previously computed [`SendPlan`] (the execute half of the
+    /// plan/execute split). The template must not have been mutated since
+    /// the plan was computed; a drifted stamp returns
+    /// [`EngineError::PlanStale`] without touching anything.
+    pub fn flush_planned(&mut self, plan: &SendPlan) -> Result<SendReport, EngineError> {
+        let stamp = self.plan_stamp();
+        if plan.stamp != stamp {
+            return Err(EngineError::PlanStale {
+                why: format!("plan stamp {:?} vs template {:?}", plan.stamp, stamp),
+            });
+        }
+        let tier = plan.tier;
+        let dirty = plan.stamp.dirty;
         let flush_start = self.metrics.as_ref().map(|m| m.now_ns());
         let mut counters = PatchCounters::default();
+        self.execute_plan(plan, &mut counters);
+        Ok(self.finish_flush(tier, dirty, flush_start, counters))
+    }
 
-        if self.dut.dirty_count() > 0 && !self.try_flush_parallel(&mut counters) {
-            self.flush_sequential(&mut counters);
-        }
-
+    /// The single counter fold shared by every flush path: lifetime stats,
+    /// obs counters (including chunk-store churn scooped since the last
+    /// flush — resize work included), the per-send trace span, and the
+    /// report.
+    fn finish_flush(
+        &mut self,
+        tier: SendTier,
+        dirty: usize,
+        flush_start: Option<u64>,
+        counters: PatchCounters,
+    ) -> SendReport {
         self.structure_changed = false;
         match tier {
             SendTier::ContentMatch => self.stats.content += 1,
@@ -65,8 +135,6 @@ impl MessageTemplate {
         self.stats.splits += counters.splits as u64;
         self.stats.shifted_bytes += counters.shifted_bytes;
 
-        // Scoop chunk-store churn accumulated since the last flush (this
-        // includes resize work done in update_args before this flush).
         let churn = self.store.take_counters();
         if let Some(m) = &self.metrics {
             m.add(Counter::send(tier.obs()), 1);
@@ -79,6 +147,7 @@ impl MessageTemplate {
             m.add(Counter::Splits, counters.splits as u64);
             m.add(Counter::ShiftedBytes, counters.shifted_bytes);
             m.add(Counter::DutFixups, counters.dut_fixups);
+            m.add(Counter::CoalescedShiftPasses, counters.coalesced_passes);
             m.trace(TraceKind::SendSpan {
                 tier: tier.obs(),
                 dirty: dirty as u64,
@@ -100,8 +169,262 @@ impl MessageTemplate {
             shifts: counters.shifts,
             steals: counters.steals,
             splits: counters.splits,
+            fell_back: false,
         }
     }
+
+    // ------------------------------------------------------------------
+    // Planned executor
+    // ------------------------------------------------------------------
+
+    /// Apply a validated plan: queued resizes first (re-planning the leaf
+    /// patches against the post-resize geometry), then the three phases.
+    fn execute_plan(&mut self, plan: &SendPlan, counters: &mut PatchCounters) {
+        // The injected-executor-fault fires after validation but before any
+        // mutation: the atomicity tests assert the template is untouched.
+        assert!(
+            self.fault != Some(InjectedFault::ExecutorPanic),
+            "injected executor fault"
+        );
+        if plan.deferred_resizes {
+            let pending = std::mem::take(&mut self.pending_resizes);
+            for (idx, value) in &pending {
+                self.resize_array(*idx, value)
+                    .expect("resize tail validated at update_args time");
+            }
+            let inner = self.compute_plan();
+            debug_assert!(!inner.deferred_resizes);
+            self.execute_ops(&inner, counters);
+        } else {
+            self.execute_ops(plan, counters);
+        }
+    }
+
+    /// The three executor phases over a resize-free plan.
+    fn execute_ops(&mut self, plan: &SendPlan, counters: &mut PatchCounters) {
+        // Phase 1: steals, ascending. A steal never moves its own region's
+        // end, so later gap positions are unaffected.
+        for op in &plan.ops {
+            if let OpKind::Steal { delta, .. } = op.kind {
+                self.execute_steal(op.entry, delta);
+                counters.steals += 1;
+            }
+        }
+        // Phase 2: coalesced shifts, grouped by (live) chunk.
+        let shifts: Vec<(usize, u32)> = plan
+            .ops
+            .iter()
+            .filter_map(|op| match op.kind {
+                OpKind::Shift { delta, .. } => Some((op.entry, delta)),
+                _ => None,
+            })
+            .collect();
+        let mut i = 0;
+        while i < shifts.len() {
+            let chunk = self.dut.entry(shifts[i].0).loc.chunk;
+            let mut end = i + 1;
+            while end < shifts.len() && self.dut.entry(shifts[end].0).loc.chunk == chunk {
+                end += 1;
+            }
+            self.execute_shift_group(&shifts[i..end], counters);
+            i = end;
+        }
+        // Phase 3: writes. Locations and widths are final.
+        self.execute_writes(&plan.ops, &plan.blob, counters);
+    }
+
+    /// Apply one planned steal (the mutation half of [`Self::try_steal`];
+    /// feasibility was proven by the planner against the same geometry).
+    fn execute_steal(&mut self, i: usize, delta: u32) {
+        let e = self.dut.entry(i);
+        let n = self.dut.entry(i + 1);
+        debug_assert_eq!(n.loc.chunk, e.loc.chunk);
+        debug_assert!(n.pad() >= delta && n.width - delta >= n.ser_len);
+        self.do_steal(i, delta);
+    }
+
+    /// Open every planned gap of one chunk. The fast path is a single
+    /// right-to-left pass; when the chunk cannot grow to hold all the gaps
+    /// it splits at the first gap (bounding future shift work, as the
+    /// legacy path does) and the remaining gaps re-group in the tail chunk.
+    fn execute_shift_group(&mut self, group: &[(usize, u32)], counters: &mut PatchCounters) {
+        let mut rest = group;
+        while !rest.is_empty() {
+            let first_entry = rest[0].0;
+            let chunk = self.dut.entry(first_entry).loc.chunk;
+            let total: usize = rest.iter().map(|&(_, d)| d as usize).sum();
+            if self.store.try_grow(chunk as usize, total) {
+                let gaps: Vec<(u32, u32)> = rest
+                    .iter()
+                    .map(|&(entry, d)| (self.dut.entry(entry).region_end(), d))
+                    .collect();
+                let gaps_bytes: Vec<(usize, usize)> = gaps
+                    .iter()
+                    .map(|&(g, d)| (g as usize, d as usize))
+                    .collect();
+                counters.shifted_bytes += self.store.open_gaps_right(chunk as usize, &gaps_bytes);
+                counters.shifts += rest.len();
+                counters.coalesced_passes += 1;
+                counters.dut_fixups += self.apply_multi_gap_fixups(first_entry, chunk, &gaps);
+                return;
+            }
+            // Split at the first gap; the tail (including all later gap
+            // positions) rehomes to the new chunk and the loop continues
+            // there. The lone first gap then sits at its chunk's end, so
+            // its shift moves zero bytes.
+            let (entry, delta) = rest[0];
+            let gap_at = self.dut.entry(entry).region_end();
+            self.store.split_chunk(chunk as usize, gap_at as usize);
+            counters.splits += 1;
+            counters.dut_fixups += self.apply_split_fixups(entry, chunk, gap_at);
+            if !self.store.try_grow(chunk as usize, delta as usize) {
+                self.store.grow_unbounded(chunk as usize, delta as usize);
+            }
+            self.store
+                .shift_tail_right(chunk as usize, gap_at as usize, delta as usize);
+            counters.shifts += 1;
+            rest = &rest[1..];
+        }
+    }
+
+    /// Batched DUT/marker fixup after [`bsoap_chunks::ChunkStore::open_gaps_right`]:
+    /// everything in `chunk` after the first gap's entry moves right by the
+    /// sum of the deltas of gaps at-or-before its offset (positions in
+    /// pre-pass coordinates, ascending). One sweep replaces the per-gap
+    /// sweeps of the legacy path.
+    fn apply_multi_gap_fixups(
+        &mut self,
+        after_entry: usize,
+        chunk: u32,
+        gaps: &[(u32, u32)],
+    ) -> u64 {
+        let mut fixed = 0u64;
+        let entries = self.dut.entries_mut_raw();
+        for e in entries.iter_mut().skip(after_entry + 1) {
+            if e.loc.chunk != chunk {
+                break; // document order: once past this chunk, done
+            }
+            let bump: u32 = gaps
+                .iter()
+                .take_while(|&&(g, _)| g <= e.loc.offset)
+                .map(|&(_, d)| d)
+                .sum();
+            if bump > 0 {
+                e.loc.offset += bump;
+                fixed += 1;
+            }
+        }
+        for a in &mut self.arrays {
+            for m in [&mut a.content_start, &mut a.content_end] {
+                if m.chunk == chunk {
+                    let bump: u32 = gaps
+                        .iter()
+                        .take_while(|&&(g, _)| g <= m.offset)
+                        .map(|&(_, d)| d)
+                        .sum();
+                    m.offset += bump;
+                }
+            }
+        }
+        fixed
+    }
+
+    /// Phase 3: write every planned region `[value][suffix][pad]` from the
+    /// plan blob. Regions are disjoint and fully settled, so with ≥ 2
+    /// workers and dirt in ≥ 2 chunks the writes shard by chunk with no
+    /// deferral or contagion.
+    fn execute_writes(&mut self, ops: &[PlannedOp], blob: &[u8], counters: &mut PatchCounters) {
+        counters.values_written += ops.len();
+        if self.config.parallel_workers >= 2 && self.try_write_parallel(ops, blob) {
+            return;
+        }
+        let MessageTemplate { store, dut, .. } = &mut *self;
+        let mut cleared = 0usize;
+        for op in ops {
+            let e = &mut dut.entries_mut_raw()[op.entry];
+            apply_write(store.chunk_buf_mut(e.loc.chunk as usize), e, op, blob);
+            cleared += 1;
+        }
+        dut.note_bits_cleared(cleared);
+    }
+
+    /// Chunk-sharded parallel writes. Returns `false` when the op set does
+    /// not span multiple chunks (the sequential loop is cheaper).
+    fn try_write_parallel(&mut self, ops: &[PlannedOp], blob: &[u8]) -> bool {
+        // Per-chunk runs of ops (ops are in ascending entry order, entries
+        // in document order, so each chunk's ops are contiguous).
+        let mut runs: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let chunk = self.dut.entry(op.entry).loc.chunk as usize;
+            match runs.last_mut() {
+                Some((c, r)) if *c == chunk => r.end = i + 1,
+                _ => runs.push((chunk, i..i + 1)),
+            }
+        }
+        if runs.len() < 2 {
+            return false;
+        }
+        let nworkers = self.config.parallel_workers.min(runs.len());
+
+        let MessageTemplate { store, dut, .. } = &mut *self;
+        let mut bufs: Vec<Option<&mut [u8]>> =
+            store.chunk_bufs_mut().into_iter().map(Some).collect();
+        let mut tail: &mut [DutEntry] = dut.entries_mut_raw();
+        let mut consumed = 0usize;
+        let mut sliced: Vec<WriteRun> = Vec::with_capacity(runs.len());
+        for (chunk, r) in runs {
+            let run_ops = &ops[r.clone()];
+            let first_entry = run_ops[0].entry;
+            let last_entry = run_ops[run_ops.len() - 1].entry;
+            let (_, rest) = std::mem::take(&mut tail).split_at_mut(first_entry - consumed);
+            let (entries, rest) = rest.split_at_mut(last_entry + 1 - first_entry);
+            tail = rest;
+            consumed = last_entry + 1;
+            let buf = bufs[chunk].take().expect("one run per chunk");
+            sliced.push((run_ops, first_entry, entries, buf));
+        }
+
+        // Greedy least-loaded assignment, largest runs first.
+        sliced.sort_by_key(|(run_ops, ..)| std::cmp::Reverse(run_ops.len()));
+        let mut buckets: Vec<Vec<WriteRun>> = (0..nworkers).map(|_| Vec::new()).collect();
+        let mut load = vec![0usize; nworkers];
+        for item in sliced {
+            let w = (0..nworkers)
+                .min_by_key(|&w| load[w])
+                .expect("nworkers >= 2");
+            load[w] += item.0.len();
+            buckets[w].push(item);
+        }
+
+        let cleared: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move || {
+                        let mut cleared = 0usize;
+                        for (run_ops, first_entry, entries, buf) in bucket {
+                            for op in run_ops {
+                                let e = &mut entries[op.entry - first_entry];
+                                apply_write(buf, e, op, blob);
+                                cleared += 1;
+                            }
+                        }
+                        cleared
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("write worker panicked"))
+                .sum()
+        });
+        self.dut.note_bits_cleared(cleared);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Legacy interleaved flush
+    // ------------------------------------------------------------------
 
     /// The classic sequential flush: serialize and patch each dirty leaf
     /// in ascending entry order.
@@ -360,6 +683,18 @@ impl MessageTemplate {
         if n.pad() < delta || n.width - delta < n.ser_len {
             return false;
         }
+        self.do_steal(i, delta);
+        true
+    }
+
+    /// The steal mutation itself (shared by the legacy path, which checks
+    /// feasibility live, and the planned executor, which proved it at plan
+    /// time): move the span between this region's end and the neighbor's
+    /// value+suffix end right by `delta`, narrowing the neighbor.
+    fn do_steal(&mut self, i: usize, delta: u32) {
+        let j = i + 1;
+        let e = self.dut.entry(i);
+        let n = self.dut.entry(j);
         let span_start = e.region_end();
         let span_end = n.loc.offset + n.ser_len + n.suffix_len;
         debug_assert!(span_start <= n.loc.offset);
@@ -386,7 +721,6 @@ impl MessageTemplate {
                 }
             }
         }
-        true
     }
 
     /// Open a `delta`-byte gap at the end of leaf `i`'s field region by
@@ -472,6 +806,20 @@ impl MessageTemplate {
         }
         fixed
     }
+}
+
+/// Apply one planned write to its entry and chunk buffer: commit the new
+/// width (room was made in phases 1–2), lay down `[value][suffix][pad]`
+/// from the plan blob, and settle the entry's bookkeeping. Safe to run
+/// concurrently across chunks — it touches only this region's bytes.
+fn apply_write(buf: &mut [u8], e: &mut DutEntry, op: &PlannedOp, blob: &[u8]) {
+    if let Some(w) = op.kind.new_width() {
+        e.width = w;
+    }
+    let bytes = &blob[op.lo as usize..op.hi as usize];
+    write_in_width(buf, e, bytes);
+    e.ser_len = op.hi - op.lo;
+    e.dirty = false;
 }
 
 /// In-place region rewrite on a raw chunk buffer: the thread-safe subset

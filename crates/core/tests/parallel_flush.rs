@@ -11,7 +11,7 @@
 use bsoap_chunks::ChunkConfig;
 use bsoap_convert::ScalarKind;
 use bsoap_core::{
-    EngineConfig, GrowthPolicy, MessageTemplate, OpDesc, TypeDesc, Value, WidthPolicy,
+    EngineConfig, FlushMode, GrowthPolicy, MessageTemplate, OpDesc, TypeDesc, Value, WidthPolicy,
 };
 use proptest::prelude::*;
 
@@ -179,6 +179,111 @@ fn sparse_dirty_subset() {
         })
         .collect();
     assert_parallel_matches_sequential(base, 3, &rounds);
+}
+
+#[test]
+fn legacy_mode_scenarios_stay_covered() {
+    // The legacy flush (now opt-in — `FlushMode::Planned` is the default)
+    // keeps its own parallel path with the deferral/contagion rule; rerun
+    // the two heaviest scenarios under it so the code stays exercised.
+    let n = 300;
+    let base = EngineConfig::paper_default()
+        .with_flush_mode(FlushMode::Legacy)
+        .with_chunk(small_chunks());
+    let rounds: Vec<Vec<f64>> = (0..3)
+        .map(|r| {
+            (0..n)
+                .map(|i| value_of_class((i % 4) as u8, i + r * n))
+                .collect()
+        })
+        .collect();
+    for workers in [2, 4] {
+        assert_parallel_matches_sequential(base, workers, &rounds);
+    }
+
+    let base = base.with_width(WidthPolicy::Fixed {
+        double: 18,
+        int: 11,
+        long: 20,
+    });
+    let rounds: Vec<Vec<f64>> = vec![(0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                value_of_class(3, i)
+            } else {
+                1.0
+            }
+        })
+        .collect()];
+    assert_parallel_matches_sequential(base, 4, &rounds);
+}
+
+#[test]
+fn deferral_in_one_chunk_does_not_serialize_the_next() {
+    // Regression: a width-growing (deferred/shifting) entry that is the
+    // LAST leaf of chunk i must not drag the first leaf of chunk i+1 into
+    // its serialization — contagion stops at the chunk boundary, in both
+    // flush modes. Observable as: exactly the two dirty values are
+    // written, and parallel bytes equal sequential bytes.
+    let op = doubles_op();
+    let n = 120;
+    for mode in [FlushMode::Legacy, FlushMode::Planned] {
+        let base = EngineConfig::paper_default()
+            .with_flush_mode(mode)
+            .with_chunk(ChunkConfig {
+                initial_size: 256,
+                split_threshold: 512,
+                reserve: 48,
+            })
+            .with_width(WidthPolicy::Exact)
+            .with_steal(false);
+        let init = Value::DoubleArray(vec![1.0; n]);
+        let build = |workers| {
+            MessageTemplate::build(
+                base.with_parallel_workers(workers),
+                &op,
+                std::slice::from_ref(&init),
+            )
+            .unwrap()
+        };
+        let mut seq = build(0);
+        let mut par = build(4);
+        assert!(par.chunk_count() >= 2, "setup must span chunks");
+
+        // Find a chunk boundary between two double leaves: entry b-1 ends
+        // chunk i, entry b starts chunk i+1.
+        let entries = par.dut().entries();
+        let b = (1..entries.len())
+            .find(|&i| {
+                entries[i].loc.chunk != entries[i - 1].loc.chunk
+                    && entries[i].kind == ScalarKind::Double
+                    && entries[i - 1].kind == ScalarKind::Double
+            })
+            .expect("no double/double chunk boundary");
+
+        for tpl in [&mut seq, &mut par] {
+            // b-1 grows far past its exact 1-char width (forced shift);
+            // b is a same-width overwrite.
+            tpl.set_double(b - 1, 1.234567890123456e100).unwrap();
+            tpl.set_double(b, 2.0).unwrap();
+        }
+        let rs = seq.flush();
+        let rp = par.flush();
+        assert_eq!(rs.values_written, 2, "sequential writes the dirty pair");
+        assert_eq!(
+            rp.values_written, 2,
+            "deferred entry in chunk i serialized entries of chunk i+1 ({mode:?})"
+        );
+        assert!(rs.shifts > 0, "the growth must have shifted");
+        assert_eq!(rs.shifts, rp.shifts, "{mode:?}");
+        assert_eq!(
+            seq.to_bytes(),
+            par.to_bytes(),
+            "parallel diverged across the chunk boundary ({mode:?})"
+        );
+        seq.assert_invariants();
+        par.assert_invariants();
+    }
 }
 
 #[test]

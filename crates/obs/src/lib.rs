@@ -169,6 +169,14 @@ metric_enum! {
         ServerBytesOut => "bsoap_server_bytes_out_total",
         /// `GET /metrics` scrapes served.
         MetricsScrapes => "bsoap_metrics_scrapes_total",
+        /// Read-only send plans computed by the planner.
+        PlansComputed => "bsoap_plans_computed_total",
+        /// Sends where the cost gate discarded the template and fell back
+        /// to a first-time serialization.
+        CostFallbacks => "bsoap_cost_fallbacks_total",
+        /// Coalesced right-to-left shift passes (one per chunk with
+        /// planned width growth, regardless of how many fields grew).
+        CoalescedShiftPasses => "bsoap_coalesced_shift_passes_total",
     }
 }
 

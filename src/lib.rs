@@ -62,8 +62,8 @@ pub mod rpc;
 
 pub use bsoap_core::{
     soap, Client, ClientStats, DutEntry, DutTable, EngineConfig, EngineError, FloatFormatter,
-    GrowthPolicy, MessageTemplate, OpDesc, ParamDesc, Scalar, SendReport, SendTier, TemplateCache,
-    TemplateKey, TypeDesc, Value, WidthPolicy,
+    FlushMode, GrowthPolicy, InjectedFault, MessageTemplate, OpDesc, ParamDesc, PlanCost, Scalar,
+    SendPlan, SendReport, SendTier, TemplateCache, TemplateKey, TypeDesc, Value, WidthPolicy,
 };
 
 pub use bsoap_core::overlay::{OverlayReport, OverlaySender};

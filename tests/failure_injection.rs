@@ -1,11 +1,17 @@
 //! Failure injection: transports that error, stall, or accept partial
 //! writes must never corrupt template state — after the failure clears,
 //! the template still produces bytes identical to a fresh serialization.
+//! The plan/execute split adds its own failure seams (planner error,
+//! executor panic, stale plan): each must leave the template bytes
+//! untouched.
 
 use bsoap::baseline::GSoapLike;
 use bsoap::convert::ScalarKind;
 use bsoap::xml::strip_pad;
-use bsoap::{Client, EngineError, MessageTemplate, OpDesc, SendTier, TypeDesc, Value};
+use bsoap::{
+    Client, EngineConfig, EngineError, InjectedFault, MessageTemplate, OpDesc, SendTier, TypeDesc,
+    Value,
+};
 use std::io::{self, IoSlice, Write};
 
 fn doubles_op() -> OpDesc {
@@ -194,6 +200,129 @@ fn interleaved_failures_across_endpoints_stay_isolated() {
     assert_eq!(r.tier, SendTier::ContentMatch);
     let r = client.call("b", &op, &args_b, &mut Vec::new()).unwrap();
     assert_eq!(r.tier, SendTier::ContentMatch);
+}
+
+#[test]
+fn planner_error_leaves_template_bytes_untouched() {
+    let op = doubles_op();
+    let mut tpl = MessageTemplate::build(
+        EngineConfig::paper_default(),
+        &op,
+        &[Value::DoubleArray(vec![1.5; 40])],
+    )
+    .unwrap();
+    let mut xs = vec![1.5; 40];
+    xs[3] = 9.25;
+    xs[21] = -7.125;
+    tpl.update_args(&[Value::DoubleArray(xs.clone())]).unwrap();
+    let before = tpl.to_bytes();
+
+    tpl.inject_fault(Some(InjectedFault::PlanError));
+    let err = tpl.plan().unwrap_err();
+    assert!(matches!(err, EngineError::StructureMismatch { .. }));
+    assert_eq!(
+        tpl.to_bytes(),
+        before,
+        "a failed plan() must not move a template byte"
+    );
+    tpl.assert_invariants();
+
+    // Clear the fault: the very same pending update flushes cleanly.
+    tpl.inject_fault(None);
+    let r = tpl.flush();
+    assert_eq!(r.values_written, 2);
+    let mut g = GSoapLike::new();
+    let full = g
+        .serialize(&op, &[Value::DoubleArray(xs)])
+        .unwrap()
+        .to_vec();
+    assert_eq!(strip_pad(&tpl.to_bytes()), strip_pad(&full));
+}
+
+#[test]
+fn executor_panic_leaves_template_bytes_untouched() {
+    // An executor that dies before completing must not have mutated the
+    // template: the injected panic fires at the execute seam, and the
+    // pre-send bytes must survive the unwind intact.
+    let op = doubles_op();
+    let mut tpl = MessageTemplate::build(
+        EngineConfig::paper_default(),
+        &op,
+        &[Value::DoubleArray(vec![1.5; 40])],
+    )
+    .unwrap();
+    let mut xs = vec![1.5; 40];
+    xs[0] = 123.456;
+    xs[39] = -0.0625;
+    tpl.update_args(&[Value::DoubleArray(xs.clone())]).unwrap();
+    let before = tpl.to_bytes();
+    let plan = tpl.plan().unwrap();
+
+    tpl.inject_fault(Some(InjectedFault::ExecutorPanic));
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // keep the expected panic quiet
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = tpl.flush_planned(&plan);
+    }));
+    std::panic::set_hook(hook);
+    assert!(result.is_err(), "injected executor fault must panic");
+    assert_eq!(
+        tpl.to_bytes(),
+        before,
+        "a panicking executor must not leave partial mutations"
+    );
+    tpl.assert_invariants();
+
+    // Recovery: the untouched plan is still valid against the untouched
+    // template; applying it now produces the full-serialization bytes.
+    tpl.inject_fault(None);
+    let r = tpl.flush_planned(&plan).unwrap();
+    assert_eq!(r.values_written, 2);
+    let mut g = GSoapLike::new();
+    let full = g
+        .serialize(&op, &[Value::DoubleArray(xs)])
+        .unwrap()
+        .to_vec();
+    assert_eq!(strip_pad(&tpl.to_bytes()), strip_pad(&full));
+}
+
+#[test]
+fn stale_plan_is_rejected_without_mutation() {
+    let op = doubles_op();
+    let mut tpl = MessageTemplate::build(
+        EngineConfig::paper_default(),
+        &op,
+        &[Value::DoubleArray(vec![1.5; 20])],
+    )
+    .unwrap();
+    let mut xs = vec![1.5; 20];
+    xs[5] = 2.25;
+    tpl.update_args(&[Value::DoubleArray(xs.clone())]).unwrap();
+    let plan = tpl.plan().unwrap();
+
+    // Mutate past the plan: more dirty values, then a resize.
+    xs[6] = 3.25;
+    xs.push(4.5);
+    tpl.update_args(&[Value::DoubleArray(xs.clone())]).unwrap();
+    let before = tpl.to_bytes();
+
+    let err = tpl.flush_planned(&plan).unwrap_err();
+    assert!(
+        matches!(err, EngineError::PlanStale { .. }),
+        "drifted stamp must be rejected: {err:?}"
+    );
+    assert_eq!(tpl.to_bytes(), before, "rejection must not move a byte");
+    tpl.assert_invariants();
+
+    // A fresh plan for the current state applies fine.
+    let plan = tpl.plan().unwrap();
+    tpl.flush_planned(&plan).unwrap();
+    let mut g = GSoapLike::new();
+    let full = g
+        .serialize(&op, &[Value::DoubleArray(xs)])
+        .unwrap()
+        .to_vec();
+    assert_eq!(strip_pad(&tpl.to_bytes()), strip_pad(&full));
 }
 
 #[test]

@@ -11,7 +11,8 @@ use bsoap::convert::ScalarKind;
 use bsoap::deser::parse_envelope;
 use bsoap::xml::strip_pad;
 use bsoap::{
-    mio, ChunkConfig, EngineConfig, MessageTemplate, OpDesc, TypeDesc, Value, WidthPolicy,
+    mio, ChunkConfig, Client, EngineConfig, FlushMode, MessageTemplate, OpDesc, TypeDesc, Value,
+    WidthPolicy,
 };
 use proptest::prelude::*;
 
@@ -160,6 +161,103 @@ proptest! {
             let full = baseline.serialize(&op, std::slice::from_ref(&value)).unwrap().to_vec();
             prop_assert_eq!(strip_pad(&tpl.to_bytes()), strip_pad(&full));
             prop_assert_eq!(parse_envelope(&tpl.to_bytes(), &op).unwrap(), vec![value]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Plan/execute split theorem: for any update sequence (dirty
+    /// fractions, width growth, array resizes) and any engine
+    /// configuration, plan-then-apply produces bytes identical — padding
+    /// included — to the legacy sequential flush of a twin template, and
+    /// pad-equivalent to a from-scratch full serialization.
+    #[test]
+    fn planned_flush_equals_legacy_and_full(
+        initial in prop::collection::vec(small_f64(), 0..40),
+        updates in prop::collection::vec(update_strategy(), 1..10),
+        config in config_strategy(),
+    ) {
+        let op = OpDesc::single(
+            "send", "urn:bench", "arr",
+            TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+        );
+        let mut xs = initial;
+        let args = [Value::DoubleArray(xs.clone())];
+        let mut planned = MessageTemplate::build(
+            config.with_flush_mode(FlushMode::Planned), &op, &args).unwrap();
+        let mut legacy = MessageTemplate::build(
+            config.with_flush_mode(FlushMode::Legacy), &op, &args).unwrap();
+        let mut baseline = GSoapLike::new();
+
+        for u in &updates {
+            apply(&mut xs, u);
+            let args = [Value::DoubleArray(xs.clone())];
+            planned.update_args(&args).unwrap();
+            legacy.update_args(&args).unwrap();
+            // Drive the public plan/execute seam explicitly rather than
+            // through flush(), so a stale or mis-costed plan shows up here.
+            let plan = planned.plan().unwrap();
+            let rp = planned.flush_planned(&plan).unwrap();
+            let rl = legacy.flush();
+            planned.assert_invariants();
+            legacy.assert_invariants();
+            prop_assert_eq!(rp.tier, rl.tier, "tier diverged after {:?}", u);
+            prop_assert_eq!(
+                planned.to_bytes(),
+                legacy.to_bytes(),
+                "planned executor bytes diverged from legacy flush after {:?}",
+                u
+            );
+            let full = baseline.serialize(&op, &args).unwrap().to_vec();
+            prop_assert_eq!(strip_pad(&planned.to_bytes()), strip_pad(&full));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The §5 cost gate may reroute any send to the FirstTime path, but it
+    /// must never change the wire bytes: whatever `fallback_ratio` is in
+    /// force, the client's output stays pad-equivalent to a full
+    /// serialization and parses back to the arguments.
+    #[test]
+    fn cost_fallback_never_changes_wire_bytes(
+        initial in prop::collection::vec(small_f64(), 0..32),
+        updates in prop::collection::vec(update_strategy(), 1..8),
+        config in config_strategy(),
+        ratio in prop_oneof![Just(0.0), Just(0.05), Just(0.5), Just(10.0)],
+    ) {
+        let op = OpDesc::single(
+            "send", "urn:bench", "arr",
+            TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+        );
+        let mut client = Client::new(
+            config.with_cost_fallback(true).with_fallback_ratio(ratio));
+        let mut baseline = GSoapLike::new();
+        let mut xs = initial;
+        client
+            .call("ep", &op, &[Value::DoubleArray(xs.clone())], &mut Vec::new())
+            .unwrap();
+
+        for u in &updates {
+            apply(&mut xs, u);
+            let args = [Value::DoubleArray(xs.clone())];
+            let mut wire = Vec::new();
+            let report = client.call("ep", &op, &args, &mut wire).unwrap();
+            if report.fell_back {
+                prop_assert_eq!(report.tier, bsoap::SendTier::FirstTime);
+            }
+            let full = baseline.serialize(&op, &args).unwrap().to_vec();
+            prop_assert_eq!(strip_pad(&wire), strip_pad(&full));
+            let parsed = parse_envelope(&wire, &op).unwrap();
+            let Value::DoubleArray(back) = &parsed[0] else { panic!("variant") };
+            prop_assert_eq!(back.len(), xs.len());
+            for (a, b) in back.iter().zip(&xs) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 }

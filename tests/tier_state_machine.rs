@@ -236,6 +236,13 @@ struct TierModel {
     values_written: u64,
     bytes_sent: u64,
     sends: u64,
+    /// Sends that priced a differential plan: every send served by a
+    /// saved template plans exactly once (even a content match — the
+    /// planner is how the flush learns nothing is dirty). FirstTime
+    /// builds never plan.
+    plans: u64,
+    /// Cost-gate rejections. Zero unless `cost_fallback` is on.
+    fallbacks: u64,
 }
 
 impl TierModel {
@@ -246,6 +253,8 @@ impl TierModel {
             values_written: 0,
             bytes_sent: 0,
             sends: 0,
+            plans: 0,
+            fallbacks: 0,
         }
     }
 
@@ -253,6 +262,9 @@ impl TierModel {
     /// the prediction into the model's expected counter state.
     fn step(&mut self, xs: &[f64]) -> (SendTier, u64) {
         let bits: Vec<u64> = xs.iter().map(|x| x.to_bits()).collect();
+        if self.saved.is_some() {
+            self.plans += 1;
+        }
         let (tier, written) = match &self.saved {
             // First-time build serializes every element leaf plus the
             // array-length leaf.
@@ -297,6 +309,15 @@ impl TierModel {
         assert_eq!(snap.get(Counter::Steals), 0);
         assert_eq!(snap.get(Counter::Splits), 0);
         assert_eq!(snap.get(Counter::ShiftedBytes), 0);
+        // Plan/execute accounting: one plan per template-served send, and
+        // with no shifts there is never a coalesced pass to count.
+        assert_eq!(snap.get(Counter::PlansComputed), self.plans, "plans");
+        assert_eq!(
+            snap.get(Counter::CostFallbacks),
+            self.fallbacks,
+            "cost fallbacks"
+        );
+        assert_eq!(snap.get(Counter::CoalescedShiftPasses), 0);
         // Exactly one latency observation per send, in the histogram of
         // the tier the send took.
         for t in Tier::ALL {
@@ -429,6 +450,68 @@ fn shift_counters_match_reports_exactly() {
             );
         }
     }
+}
+
+#[test]
+fn cost_gate_fallback_is_counted_and_exact() {
+    // fallback_ratio = 0.0 makes the §5 gate maximally strict: any plan
+    // with nonzero cost is rejected in favor of a rebuild, while a
+    // zero-cost plan (content match) still passes (`0 > 0` is false).
+    let op = doubles_op();
+    let metrics = Arc::new(Metrics::with_clock(Arc::new(VirtualClock::new())));
+    let mut client = Client::new(
+        EngineConfig::paper_default()
+            .with_cost_fallback(true)
+            .with_fallback_ratio(0.0),
+    );
+    client.set_metrics(Arc::clone(&metrics));
+    let mut sink = SinkTransport::new();
+
+    let r = call(&mut client, &mut sink, &op, &[1.5, 2.5, 3.5]);
+    assert_eq!(r.tier, SendTier::FirstTime);
+    assert!(!r.fell_back, "first-time builds never consult the gate");
+
+    let r = call(&mut client, &mut sink, &op, &[1.5, 2.5, 3.5]);
+    assert_eq!(r.tier, SendTier::ContentMatch);
+    assert!(!r.fell_back);
+    let snap = metrics.snapshot();
+    assert_eq!(snap.get(Counter::PlansComputed), 1);
+    assert_eq!(snap.get(Counter::CostFallbacks), 0);
+
+    // One dirty value → plan cost ≥ 1 → rejected at ratio 0.0: the send
+    // rebuilds from scratch and reports the fallback.
+    let r = call(&mut client, &mut sink, &op, &[1.5, 9.5, 3.5]);
+    assert_eq!(r.tier, SendTier::FirstTime);
+    assert!(r.fell_back);
+    let snap = metrics.snapshot();
+    assert_eq!(snap.get(Counter::PlansComputed), 2);
+    assert_eq!(snap.get(Counter::CostFallbacks), 1);
+
+    // A resize also prices nonzero → fallback again, from the template
+    // the previous fallback freshly saved.
+    let r = call(&mut client, &mut sink, &op, &[1.5, 9.5, 3.5, 4.5]);
+    assert_eq!(r.tier, SendTier::FirstTime);
+    assert!(r.fell_back);
+    let snap = metrics.snapshot();
+    assert_eq!(snap.get(Counter::PlansComputed), 3);
+    assert_eq!(snap.get(Counter::CostFallbacks), 2);
+
+    // The discarded-and-rebuilt template keeps serving: an unchanged
+    // resend is a content match, not another rebuild.
+    let r = call(&mut client, &mut sink, &op, &[1.5, 9.5, 3.5, 4.5]);
+    assert_eq!(r.tier, SendTier::ContentMatch);
+    assert!(!r.fell_back);
+
+    // With a generous ratio the same kind of update patches in place.
+    let mut client = Client::new(
+        EngineConfig::paper_default()
+            .with_cost_fallback(true)
+            .with_fallback_ratio(10.0),
+    );
+    call(&mut client, &mut sink, &op, &[1.5, 2.5, 3.5]);
+    let r = call(&mut client, &mut sink, &op, &[1.5, 9.5, 3.5]);
+    assert_eq!(r.tier, SendTier::PerfectStructural);
+    assert!(!r.fell_back);
 }
 
 #[test]
