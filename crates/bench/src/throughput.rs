@@ -284,6 +284,7 @@ fn run_scenario(
         ServerOptions {
             workers: cfg.workers,
             drain_deadline: Duration::from_secs(5),
+            ..ServerOptions::default()
         },
         Arc::clone(&metrics),
     )?;

@@ -23,7 +23,8 @@ use crate::schema::OpDesc;
 use crate::sendv::write_all_vectored;
 use crate::template::{MessageTemplate, SendReport, SendTier};
 use crate::value::Value;
-use bsoap_obs::{Counter, HistId, Metrics, Recorder};
+use bsoap_obs::{Counter, HistId, Metrics, Recorder, TraceKind};
+use std::collections::HashMap;
 use std::io::Write;
 use std::sync::Arc;
 
@@ -42,6 +43,9 @@ pub struct ClientStats {
     /// template (§6 cross-endpoint sharing). Also counted under the tier
     /// the post-clone diff realized.
     pub shared_clones: u64,
+    /// Calls served in degraded mode: stateless full serialization with
+    /// no template retained. Also counted under `first_time`.
+    pub degraded_sends: u64,
     /// Total bytes handed to transports.
     pub bytes_sent: u64,
 }
@@ -63,6 +67,17 @@ impl ClientStats {
     }
 }
 
+/// Per-endpoint failure bookkeeping for the degraded-mode ladder.
+#[derive(Clone, Copy, Debug, Default)]
+struct EndpointHealth {
+    /// Transport failures since the last success.
+    consecutive_failures: u32,
+    /// Whether the endpoint is demoted to stateless full sends.
+    degraded: bool,
+    /// Successes accumulated while degraded (drives recovery).
+    degraded_successes: u32,
+}
+
 /// A differential-serialization SOAP client.
 #[derive(Debug)]
 pub struct Client {
@@ -72,6 +87,7 @@ pub struct Client {
     templates_per_key: usize,
     share_across_endpoints: bool,
     metrics: Option<Arc<Metrics>>,
+    health: HashMap<String, EndpointHealth>,
 }
 
 impl Client {
@@ -84,6 +100,7 @@ impl Client {
             templates_per_key: 1,
             share_across_endpoints: false,
             metrics: None,
+            health: HashMap::new(),
         }
     }
 
@@ -156,6 +173,127 @@ impl Client {
     /// (e.g. an HTTP POST per message) that need to see whole-message
     /// boundaries rather than a byte stream.
     pub fn call_via<F>(
+        &mut self,
+        endpoint: &str,
+        op: &OpDesc,
+        args: &[Value],
+        send: F,
+    ) -> Result<SendReport, EngineError>
+    where
+        F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
+    {
+        let out = if self.is_degraded(endpoint) {
+            self.degraded_call(op, args, send)
+        } else {
+            self.call_tiered(endpoint, op, args, send)
+        };
+        match &out {
+            Ok(_) => self.note_send_success(endpoint),
+            Err(EngineError::Io(_)) => self.note_send_failure(endpoint, op),
+            Err(EngineError::DeadlineExceeded) => {
+                if let Some(m) = &self.metrics {
+                    m.add(Counter::DeadlinesExceeded, 1);
+                    m.trace(TraceKind::DeadlineExceeded);
+                }
+                self.note_send_failure(endpoint, op);
+            }
+            // Semantic errors (schema/arity/plan) say nothing about the
+            // endpoint's health.
+            Err(_) => {}
+        }
+        out
+    }
+
+    /// Whether `endpoint` is currently demoted to stateless full sends.
+    pub fn is_degraded(&self, endpoint: &str) -> bool {
+        self.config.degrade_after > 0
+            && self
+                .health
+                .get(endpoint)
+                .map(|h| h.degraded)
+                .unwrap_or(false)
+    }
+
+    fn note_send_success(&mut self, endpoint: &str) {
+        if self.config.degrade_after == 0 {
+            return;
+        }
+        let recover_after = self.config.recover_after.max(1);
+        let h = self.health.entry(endpoint.to_owned()).or_default();
+        h.consecutive_failures = 0;
+        if h.degraded {
+            h.degraded_successes += 1;
+            if h.degraded_successes >= recover_after {
+                h.degraded = false;
+                h.degraded_successes = 0;
+                if let Some(m) = &self.metrics {
+                    m.trace(TraceKind::Degraded { on: false });
+                }
+            }
+        }
+    }
+
+    fn note_send_failure(&mut self, endpoint: &str, op: &OpDesc) {
+        if self.config.degrade_after == 0 {
+            return;
+        }
+        let threshold = self.config.degrade_after;
+        let h = self.health.entry(endpoint.to_owned()).or_default();
+        h.consecutive_failures += 1;
+        let demote = !h.degraded && h.consecutive_failures >= threshold;
+        if demote {
+            h.degraded = true;
+            h.degraded_successes = 0;
+            // Stateless mode retains nothing: drop the saved template so a
+            // possibly poisoned-by-the-peer diff state can't linger.
+            self.cache.remove(&TemplateKey::new(endpoint, op));
+            if let Some(m) = &self.metrics {
+                m.trace(TraceKind::Degraded { on: true });
+            }
+        }
+    }
+
+    /// Degraded-mode send: full serialization every call, template
+    /// discarded immediately. Counted as a first-time send plus
+    /// `DegradedSends`.
+    fn degraded_call<F>(
+        &mut self,
+        op: &OpDesc,
+        args: &[Value],
+        send: F,
+    ) -> Result<SendReport, EngineError>
+    where
+        F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
+    {
+        let call_start = self.metrics.as_ref().map(|m| m.now_ns());
+        let tpl = MessageTemplate::build(self.config, op, args)?;
+        let bytes = send(&tpl.io_slices())?;
+        let report = SendReport {
+            tier: SendTier::FirstTime,
+            bytes,
+            values_written: tpl.leaf_count(),
+            shifts: 0,
+            steals: 0,
+            splits: 0,
+            fell_back: false,
+        };
+        drop(tpl);
+        self.stats.record(&report);
+        self.stats.degraded_sends += 1;
+        if let Some(m) = &self.metrics {
+            m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);
+            m.add(Counter::ValuesWritten, report.values_written as u64);
+            m.add(Counter::DegradedSends, 1);
+            m.add(Counter::BytesSent, report.bytes as u64);
+            let elapsed = m.now_ns().saturating_sub(call_start.unwrap_or(0));
+            m.observe_ns(HistId::send(report.tier.obs()), elapsed);
+        }
+        Ok(report)
+    }
+
+    /// The four-tier differential path (the pre-fault-tolerance
+    /// [`Client::call_via`] body).
+    fn call_tiered<F>(
         &mut self,
         endpoint: &str,
         op: &OpDesc,

@@ -3,6 +3,7 @@
 pub use bsoap_chunks::ChunkConfig;
 pub use bsoap_convert::FloatFormatter;
 use bsoap_convert::ScalarKind;
+use std::time::Duration;
 
 /// Initial field-width policy — the *stuffing* knob (§3.2, §4.4).
 ///
@@ -115,6 +116,34 @@ pub struct EngineConfig {
     /// the model's break-even point; larger values keep differential sends
     /// longer, smaller values fall back sooner.
     pub fallback_ratio: f64,
+    /// Per-call time budget covering pool checkout, connect, writev, and
+    /// response read. `None` (the default) leaves every step unbounded —
+    /// the paper's cooperative-receiver assumption. Expiry surfaces as
+    /// [`crate::EngineError::DeadlineExceeded`] with the template intact.
+    pub deadline: Option<Duration>,
+    /// Transport retries per call beyond the first attempt (decorrelated
+    /// jitter backoff between attempts). `0` keeps only the pool's free
+    /// single retry on a reused-stale socket.
+    pub max_retries: u32,
+    /// Consecutive transport failures that trip the per-endpoint circuit
+    /// breaker open. `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker fails fast before letting one half-open
+    /// probe through.
+    pub breaker_cooldown: Duration,
+    /// Consecutive transport failures after which the client demotes the
+    /// endpoint to degraded mode: stateless full-serialization sends, no
+    /// template retained. `0` disables demotion.
+    pub degrade_after: u32,
+    /// Consecutive degraded-mode successes that promote the endpoint back
+    /// to differential sends.
+    pub recover_after: u32,
+    /// Server side: maximum bytes of HTTP head (request line + headers)
+    /// accepted before the connection is answered 400 and dropped.
+    pub max_head_bytes: usize,
+    /// Server side: maximum request body (`Content-Length` or summed
+    /// chunks) accepted before the connection is answered 400 and dropped.
+    pub max_body_bytes: usize,
 }
 
 impl EngineConfig {
@@ -134,6 +163,14 @@ impl EngineConfig {
             flush_mode: FlushMode::Planned,
             cost_fallback: false,
             fallback_ratio: 1.0,
+            deadline: None,
+            max_retries: 0,
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_secs(1),
+            degrade_after: 0,
+            recover_after: 2,
+            max_head_bytes: 1 << 20,
+            max_body_bytes: 64 << 20,
         }
     }
 
@@ -208,6 +245,41 @@ impl EngineConfig {
     /// Builder-style break-even ratio override.
     pub fn with_fallback_ratio(mut self, ratio: f64) -> Self {
         self.fallback_ratio = ratio;
+        self
+    }
+
+    /// Builder-style per-call deadline budget (`None` = unbounded).
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Builder-style transport retry cap.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Builder-style circuit-breaker settings (`threshold` consecutive
+    /// failures open it; `cooldown` before a half-open probe).
+    pub fn with_breaker(mut self, threshold: u32, cooldown: Duration) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Builder-style degraded-mode ladder: demote after `degrade_after`
+    /// consecutive failures, promote after `recover_after` successes.
+    pub fn with_degraded(mut self, degrade_after: u32, recover_after: u32) -> Self {
+        self.degrade_after = degrade_after;
+        self.recover_after = recover_after.max(1);
+        self
+    }
+
+    /// Builder-style server request caps (head bytes, body bytes).
+    pub fn with_http_caps(mut self, max_head_bytes: usize, max_body_bytes: usize) -> Self {
+        self.max_head_bytes = max_head_bytes;
+        self.max_body_bytes = max_body_bytes;
         self
     }
 }
@@ -312,5 +384,30 @@ mod tests {
         assert_eq!(c.flush_mode, FlushMode::Legacy);
         assert!(c.cost_fallback);
         assert_eq!(c.fallback_ratio, 0.5);
+    }
+
+    #[test]
+    fn fault_knobs_default_off_and_build() {
+        let d = EngineConfig::paper_default();
+        assert_eq!(d.deadline, None);
+        assert_eq!(d.max_retries, 0);
+        assert_eq!(d.breaker_threshold, 0, "breaker off by default");
+        assert_eq!(d.degrade_after, 0, "degraded mode off by default");
+        assert_eq!(d.max_head_bytes, 1 << 20);
+        assert_eq!(d.max_body_bytes, 64 << 20);
+        let c = d
+            .with_deadline(Some(Duration::from_millis(250)))
+            .with_max_retries(3)
+            .with_breaker(5, Duration::from_secs(2))
+            .with_degraded(4, 2)
+            .with_http_caps(8 << 10, 1 << 20);
+        assert_eq!(c.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(c.max_retries, 3);
+        assert_eq!(c.breaker_threshold, 5);
+        assert_eq!(c.breaker_cooldown, Duration::from_secs(2));
+        assert_eq!(c.degrade_after, 4);
+        assert_eq!(c.recover_after, 2);
+        assert_eq!(c.max_head_bytes, 8 << 10);
+        assert_eq!(c.max_body_bytes, 1 << 20);
     }
 }

@@ -54,6 +54,10 @@ pub enum EngineError {
         /// Human-readable explanation of the drift.
         why: String,
     },
+    /// The call's deadline budget ran out (connect, write, or response
+    /// read exceeded the remaining time). The saved template, if any, is
+    /// still valid: deadline expiry never poisons differential state.
+    DeadlineExceeded,
     /// I/O failure while sending.
     Io(std::io::Error),
 }
@@ -94,6 +98,7 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::StructureMismatch { why } => write!(f, "structure mismatch: {why}"),
             EngineError::PlanStale { why } => write!(f, "stale send plan: {why}"),
+            EngineError::DeadlineExceeded => write!(f, "deadline exceeded"),
             EngineError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -110,6 +115,13 @@ impl std::error::Error for EngineError {
 
 impl From<std::io::Error> for EngineError {
     fn from(e: std::io::Error) -> Self {
-        EngineError::Io(e)
+        // `TimedOut` is the transport's spelling of deadline expiry
+        // (socket timeouts set from the remaining budget surface it);
+        // keep it typed so callers can branch without string-matching.
+        if e.kind() == std::io::ErrorKind::TimedOut {
+            EngineError::DeadlineExceeded
+        } else {
+            EngineError::Io(e)
+        }
     }
 }

@@ -6,13 +6,21 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A monotonic nanosecond time source.
 pub trait Clock: Send + Sync + fmt::Debug {
     /// Nanoseconds since an arbitrary (per-clock) origin. Monotone
     /// non-decreasing.
     fn now_ns(&self) -> u64;
+
+    /// Block until `d` has elapsed *on this clock*. The real clock parks
+    /// the thread; [`VirtualClock`] merely advances itself, which is what
+    /// lets retry/backoff schedules run with zero wall-clock sleeps in
+    /// tests.
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
 }
 
 /// Real time: `Instant`-backed, anchored at construction.
@@ -74,6 +82,10 @@ impl Clock for VirtualClock {
     fn now_ns(&self) -> u64 {
         self.ns.load(Ordering::Relaxed)
     }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d.as_nanos() as u64);
+    }
 }
 
 #[cfg(test)]
@@ -97,5 +109,14 @@ mod tests {
         assert_eq!(c.now_ns(), 250);
         c.set(1_000);
         assert_eq!(c.now_ns(), 1_000);
+    }
+
+    #[test]
+    fn virtual_sleep_advances_instead_of_blocking() {
+        let c = VirtualClock::new();
+        let wall = Instant::now();
+        c.sleep(Duration::from_secs(3600));
+        assert_eq!(c.now_ns(), 3_600_000_000_000);
+        assert!(wall.elapsed() < Duration::from_secs(1), "no real sleep");
     }
 }

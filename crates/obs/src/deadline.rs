@@ -1,0 +1,228 @@
+//! Per-call time budgets and retry backoff schedules.
+//!
+//! A [`Deadline`] is an absolute expiry on a [`Clock`]: created once at
+//! the top of a call, threaded down through pool checkout, connect,
+//! writev, and response read, each stage deriving its socket timeout from
+//! [`Deadline::remaining`]. On a [`VirtualClock`](crate::VirtualClock)
+//! the whole budget is simulated, so deadline-expiry paths are testable
+//! without real stalls.
+//!
+//! [`Backoff`] implements decorrelated jitter ("Exponential Backoff And
+//! Jitter", AWS Architecture Blog): each delay is drawn uniformly from
+//! `[base, 3 × previous]`, clamped to `cap`. The draw uses a seeded LCG —
+//! no wall-clock entropy — so a retry schedule is a pure function of its
+//! seed and every chaos test can replay it.
+
+use crate::Clock;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An absolute expiry on a shared clock. `None` budget = unbounded.
+#[derive(Clone, Debug)]
+pub struct Deadline {
+    clock: Arc<dyn Clock>,
+    expires_ns: Option<u64>,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now on `clock`.
+    pub fn after(clock: Arc<dyn Clock>, budget: Duration) -> Self {
+        let expires_ns = Some(clock.now_ns().saturating_add(budget.as_nanos() as u64));
+        Deadline { clock, expires_ns }
+    }
+
+    /// An unbounded deadline (never expires) on `clock`.
+    pub fn unbounded(clock: Arc<dyn Clock>) -> Self {
+        Deadline {
+            clock,
+            expires_ns: None,
+        }
+    }
+
+    /// From an optional budget: `None` → unbounded.
+    pub fn from_budget(clock: Arc<dyn Clock>, budget: Option<Duration>) -> Self {
+        match budget {
+            Some(b) => Self::after(clock, b),
+            None => Self::unbounded(clock),
+        }
+    }
+
+    /// The clock this deadline reads.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Whether any budget is attached at all.
+    pub fn is_bounded(&self) -> bool {
+        self.expires_ns.is_some()
+    }
+
+    /// Budget left, `None` when unbounded. Zero once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.expires_ns.map(|e| {
+            let now = self.clock.now_ns();
+            Duration::from_nanos(e.saturating_sub(now))
+        })
+    }
+
+    /// True when the budget is spent.
+    pub fn expired(&self) -> bool {
+        matches!(self.remaining(), Some(d) if d.is_zero())
+    }
+
+    /// Socket-timeout view of the remaining budget: `Ok(None)` when
+    /// unbounded, `Ok(Some(d))` with `d > 0` otherwise, and a
+    /// `TimedOut` error once expired (a zero `Duration` is rejected by
+    /// `set_read_timeout`, so expiry must surface *before* the syscall).
+    pub fn socket_timeout(&self) -> std::io::Result<Option<Duration>> {
+        match self.remaining() {
+            None => Ok(None),
+            Some(d) if d.is_zero() => Err(Self::timed_out()),
+            Some(d) => Ok(Some(d)),
+        }
+    }
+
+    /// Fail fast if the budget is spent.
+    pub fn check(&self) -> std::io::Result<()> {
+        if self.expired() {
+            Err(Self::timed_out())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The canonical expiry error.
+    pub fn timed_out() -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::TimedOut, "deadline exceeded")
+    }
+}
+
+/// Deterministic decorrelated-jitter backoff schedule.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    state: u64,
+}
+
+impl Backoff {
+    /// Schedule with delays in `[base, cap]`, seeded for replay.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            base,
+            cap: cap.max(base),
+            prev: base,
+            state: seed | 1,
+        }
+    }
+
+    /// Next pseudo-random u64 (LCG; same constants as `wyrand`-style
+    /// mixers used elsewhere in the test suite — quality is irrelevant,
+    /// determinism is the point).
+    fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // xorshift the high bits down so short moduli see variation.
+        let x = self.state;
+        (x ^ (x >> 31)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Draw the next delay: uniform in `[base, 3 × previous]`, clamped to
+    /// `cap`. The drawn value becomes the new `previous`.
+    pub fn next_delay(&mut self) -> Duration {
+        let base = self.base.as_nanos() as u64;
+        let hi = (self.prev.as_nanos() as u64).saturating_mul(3).max(base);
+        let span = hi - base;
+        let jitter = if span == 0 {
+            0
+        } else {
+            self.next_u64() % (span + 1)
+        };
+        let next = Duration::from_nanos(base + jitter).min(self.cap);
+        self.prev = next;
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VirtualClock;
+
+    fn vclock() -> Arc<VirtualClock> {
+        Arc::new(VirtualClock::new())
+    }
+
+    #[test]
+    fn deadline_counts_down_on_the_clock() {
+        let c = vclock();
+        let d = Deadline::after(c.clone() as Arc<dyn Clock>, Duration::from_millis(10));
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), Some(Duration::from_millis(10)));
+        c.advance(4_000_000);
+        assert_eq!(d.remaining(), Some(Duration::from_millis(6)));
+        c.advance(7_000_000);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        assert_eq!(d.check().unwrap_err().kind(), std::io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn unbounded_deadline_never_expires() {
+        let c = vclock();
+        let d = Deadline::unbounded(c.clone() as Arc<dyn Clock>);
+        c.advance(u64::MAX / 2);
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+        assert_eq!(d.socket_timeout().unwrap(), None);
+        d.check().unwrap();
+    }
+
+    #[test]
+    fn socket_timeout_is_never_zero() {
+        let c = vclock();
+        let d = Deadline::after(c.clone() as Arc<dyn Clock>, Duration::from_nanos(5));
+        assert_eq!(d.socket_timeout().unwrap(), Some(Duration::from_nanos(5)));
+        c.advance(5);
+        // Expired: surfaces as TimedOut rather than Some(0), which
+        // `TcpStream::set_read_timeout` would reject.
+        assert_eq!(
+            d.socket_timeout().unwrap_err().kind(),
+            std::io::ErrorKind::TimedOut
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(1);
+        let mut a = Backoff::new(base, cap, 42);
+        let mut b = Backoff::new(base, cap, 42);
+        let mut prev = base;
+        for _ in 0..64 {
+            let da = a.next_delay();
+            let db = b.next_delay();
+            assert_eq!(da, db, "same seed, same schedule");
+            assert!(da >= base && da <= cap, "delay {da:?} outside [base, cap]");
+            assert!(
+                da <= (prev * 3).min(cap).max(base),
+                "decorrelated bound violated"
+            );
+            prev = da;
+        }
+    }
+
+    #[test]
+    fn backoff_seeds_decorrelate() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(60);
+        let mut a = Backoff::new(base, cap, 1);
+        let mut b = Backoff::new(base, cap, 2);
+        let sa: Vec<_> = (0..8).map(|_| a.next_delay()).collect();
+        let sb: Vec<_> = (0..8).map(|_| b.next_delay()).collect();
+        assert_ne!(sa, sb, "different seeds should diverge");
+    }
+}

@@ -26,15 +26,17 @@
 
 mod clock;
 mod counters;
+mod deadline;
 mod hist;
 mod prom;
 mod trace;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use counters::{MaxGauge, ShardedCounter};
+pub use deadline::{Backoff, Deadline};
 pub use hist::{bucket_upper_ns, max_trackable_ns, HistSnapshot, Histogram, BUCKETS};
 pub use prom::parse_value;
-pub use trace::{TraceEvent, TraceKind, TraceRing};
+pub use trace::{BreakerState, TraceEvent, TraceKind, TraceRing};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -177,6 +179,23 @@ metric_enum! {
         /// Coalesced right-to-left shift passes (one per chunk with
         /// planned width growth, regardless of how many fields grew).
         CoalescedShiftPasses => "bsoap_coalesced_shift_passes_total",
+        /// Send attempts re-issued by the retry policy (excludes the
+        /// first attempt of each call).
+        RetriesAttempted => "bsoap_retries_attempted_total",
+        /// Circuit-breaker transitions into the open state.
+        BreakerOpens => "bsoap_breaker_opens_total",
+        /// Calls refused fast because the breaker was open.
+        BreakerFastFails => "bsoap_breaker_fast_fails_total",
+        /// Calls that ran out of deadline budget.
+        DeadlinesExceeded => "bsoap_deadlines_exceeded_total",
+        /// Sends made in degraded mode (stateless full serialization,
+        /// no template retained).
+        DegradedSends => "bsoap_degraded_sends_total",
+        /// Malformed requests answered with 400 by the server.
+        ServerBadRequests => "bsoap_server_bad_requests_total",
+        /// Connections evicted by the server's per-connection read
+        /// deadline (slow-loris defense).
+        ServerTimeouts => "bsoap_server_timeouts_total",
     }
 }
 
@@ -397,7 +416,7 @@ impl Recorder for NullRecorder {
 
 /// Point-in-time aggregate of a [`Metrics`] registry — the engine's
 /// observable state. Plain data: compare, clone, diff.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineStats {
     /// All counters, indexed by [`Counter::index`].
     counters: [u64; Counter::COUNT],
@@ -407,6 +426,19 @@ pub struct EngineStats {
     hists: Vec<HistSnapshot>,
     /// Trace events evicted from the ring so far.
     trace_dropped: u64,
+}
+
+impl Default for EngineStats {
+    // Derived `Default` stops at 32-element arrays; spelled out so the
+    // counter enum can keep growing.
+    fn default() -> Self {
+        EngineStats {
+            counters: [0; Counter::COUNT],
+            gauges: [0; Gauge::COUNT],
+            hists: Vec::new(),
+            trace_dropped: 0,
+        }
+    }
 }
 
 impl EngineStats {

@@ -57,6 +57,38 @@ pub enum TraceKind {
         /// Handling time.
         elapsed_ns: u64,
     },
+    /// A failed attempt is being retried after a backoff sleep.
+    Retry {
+        /// Attempt number about to run (1 = first retry).
+        attempt: u64,
+        /// Backoff slept before this attempt.
+        delay_ns: u64,
+    },
+    /// The per-endpoint circuit breaker changed state.
+    BreakerTransition {
+        /// State entered.
+        to: BreakerState,
+    },
+    /// A call ran out of its deadline budget.
+    DeadlineExceeded,
+    /// The client entered (`true`) or left (`false`) degraded mode for an
+    /// endpoint: stateless full-serialization sends, no template kept.
+    Degraded {
+        /// Whether degraded mode is now on.
+        on: bool,
+    },
+}
+
+/// Circuit-breaker states (see `bsoap-transport`'s breaker; mirrored here
+/// so trace events stay in the leaf crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Healthy: calls flow.
+    Closed,
+    /// Tripped: calls fail fast until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one probe call is allowed through.
+    HalfOpen,
 }
 
 /// A timestamped trace event.

@@ -83,9 +83,47 @@ fn serve_connection(mut stream: TcpStream, service: &Service) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = RequestReader::new(read_half);
+    // Hardening knobs ride the service's EngineConfig: head/body caps bound
+    // per-request memory, and the `deadline` knob doubles as the
+    // per-connection read timeout (a peer dribbling a request slower than
+    // one call budget is a slow-loris, not a client).
+    let cfg = service.config();
+    if stream.set_read_timeout(cfg.deadline).is_err() {
+        return;
+    }
+    let mut reader = RequestReader::with_limits(read_half, cfg.max_head_bytes, cfg.max_body_bytes);
     let mut head_scratch = Vec::new();
-    while let Ok(Some((head, body))) = reader.next_request() {
+    loop {
+        let (head, body) = match reader.next_request() {
+            Ok(Some(req)) => req,
+            Ok(None) => break, // clean EOF between requests
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                if let Some(m) = service.metrics() {
+                    m.add(Counter::ServerBadRequests, 1);
+                }
+                let reason = e.to_string();
+                let _ = write_response_vectored(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    &[IoSlice::new(reason.as_bytes())],
+                    &mut head_scratch,
+                );
+                break;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) =>
+            {
+                if let Some(m) = service.metrics() {
+                    m.add(Counter::ServerTimeouts, 1);
+                }
+                break;
+            }
+            Err(_) => break,
+        };
         let start = service.metrics().map(|m| m.now_ns());
         if head.method == "GET" && head.path == "/metrics" {
             if serve_metrics_scrape(&mut stream, service, &mut head_scratch).is_err() {
@@ -372,6 +410,45 @@ mod tests {
         assert_eq!(snap.total_sends(), stats.requests);
         assert_eq!(snap.get(Counter::ServerRequests), stats.requests);
         assert_eq!(snap.hist(HistId::ServerRequest).count(), stats.requests);
+    }
+
+    #[test]
+    fn non_http_garbage_draws_400_not_hang() {
+        let server = HttpServer::spawn(sum_service()).unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        c.write_all(b"GARBAGE THAT IS NOT HTTP\r\n\r\n").unwrap();
+        let (status, _) = read_response(&mut c).unwrap();
+        assert_eq!(status, 400);
+        drop(c);
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_body_draws_400_under_cap() {
+        let cfg = EngineConfig::paper_default().with_http_caps(1 << 20, 64);
+        let mut svc = Service::new("urn:sum", cfg);
+        let op = OpDesc::single(
+            "sum",
+            "urn:sum",
+            "xs",
+            TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+        );
+        svc.register(
+            op,
+            vec![ParamDesc {
+                name: "total".into(),
+                desc: TypeDesc::Scalar(ScalarKind::Double),
+            }],
+            |_| Ok(vec![Value::Double(0.0)]),
+        );
+        let server = HttpServer::spawn(svc).unwrap();
+        let (status, _) = post(
+            server.addr(),
+            "urn:sum#sum",
+            &request_bytes(&[1.0, 2.0, 3.0, 4.0]),
+        );
+        assert_eq!(status, 400, "body larger than the 64-byte cap is refused");
+        server.stop();
     }
 
     #[test]

@@ -107,6 +107,9 @@ pub enum HttpError {
     BadChunk(&'static str),
     /// Body framing headers missing or contradictory.
     BadFraming(&'static str),
+    /// Head or body exceeds the reader's configured cap (a hardened
+    /// server's defense against memory-exhaustion requests).
+    TooLarge(&'static str),
 }
 
 impl fmt::Display for HttpError {
@@ -115,6 +118,7 @@ impl fmt::Display for HttpError {
             HttpError::BadHead(w) => write!(f, "malformed HTTP head: {w}"),
             HttpError::BadChunk(w) => write!(f, "malformed chunked body: {w}"),
             HttpError::BadFraming(w) => write!(f, "bad body framing: {w}"),
+            HttpError::TooLarge(w) => write!(f, "request exceeds size cap: {w}"),
         }
     }
 }
@@ -319,16 +323,31 @@ pub struct RequestReader<R> {
     filled: usize,
     /// Consumed prefix (start of the next request).
     consumed: usize,
+    /// Cap on a single request head (and any chunk-size line).
+    max_head: usize,
+    /// Cap on a single request body.
+    max_body: usize,
 }
 
 impl<R: Read> RequestReader<R> {
-    /// Wrap a stream.
+    /// Wrap a stream with no size caps (trusted peers, tests).
     pub fn new(stream: R) -> Self {
+        Self::with_limits(stream, usize::MAX, usize::MAX)
+    }
+
+    /// Wrap a stream enforcing head/body size caps: a head that does not
+    /// terminate within `max_head` bytes, a `Content-Length` above
+    /// `max_body`, or a chunked body accumulating past `max_body` all fail
+    /// with [`HttpError::TooLarge`] instead of growing buffers without
+    /// bound — the hardened server's answer to memory-exhaustion requests.
+    pub fn with_limits(stream: R, max_head: usize, max_body: usize) -> Self {
         RequestReader {
             stream,
             buf: vec![0; 64 * 1024],
             filled: 0,
             consumed: 0,
+            max_head: max_head.max(1),
+            max_body,
         }
     }
 
@@ -340,6 +359,9 @@ impl<R: Read> RequestReader<R> {
             if let Some(p) = find(&self.buf[self.consumed..self.filled], b"\r\n\r\n") {
                 break self.consumed + p + 4;
             }
+            if self.filled - self.consumed > self.max_head {
+                return Err(HttpError::TooLarge("request head").into());
+            }
             if !self.fill()? {
                 if self.consumed == self.filled {
                     return Ok(None);
@@ -347,10 +369,18 @@ impl<R: Read> RequestReader<R> {
                 return Err(HttpError::BadHead("EOF inside request head").into());
             }
         };
+        if head_end - self.consumed > self.max_head {
+            return Err(HttpError::TooLarge("request head").into());
+        }
         let head = parse_request_head(&self.buf[self.consumed..head_end])?;
         self.consumed = head_end;
         let body = match head.body_framing()? {
-            BodyFraming::Length(n) => self.read_exact_body(n)?,
+            BodyFraming::Length(n) => {
+                if n > self.max_body {
+                    return Err(HttpError::TooLarge("declared content-length").into());
+                }
+                self.read_exact_body(n)?
+            }
             BodyFraming::Chunked => self.read_chunked_body()?,
         };
         Ok(Some((head, body)))
@@ -372,7 +402,9 @@ impl<R: Read> RequestReader<R> {
     }
 
     fn read_exact_body(&mut self, n: usize) -> io::Result<Vec<u8>> {
-        let mut body = Vec::with_capacity(n);
+        // Capacity is clamped so a forged Content-Length cannot force a
+        // huge up-front allocation; the Vec grows only as bytes arrive.
+        let mut body = Vec::with_capacity(n.min(64 * 1024));
         while body.len() < n {
             if self.consumed == self.filled && !self.fill()? {
                 return Err(HttpError::BadFraming("EOF inside length-framed body").into());
@@ -400,6 +432,9 @@ impl<R: Read> RequestReader<R> {
                 }
                 return Ok(body);
             }
+            if size > self.max_body.saturating_sub(body.len()) {
+                return Err(HttpError::TooLarge("chunked body").into());
+            }
             let chunk = self.read_exact_body(size)?;
             body.extend_from_slice(&chunk);
             let crlf = self.read_line()?;
@@ -416,6 +451,11 @@ impl<R: Read> RequestReader<R> {
                 let line = self.buf[self.consumed..self.consumed + p].to_vec();
                 self.consumed += p + 2;
                 return Ok(line);
+            }
+            // A chunk-size line or trailer that never terminates would
+            // otherwise grow the buffer without bound.
+            if self.filled - self.consumed > self.max_head {
+                return Err(HttpError::TooLarge("chunk size line").into());
             }
             if !self.fill()? {
                 return Err(HttpError::BadChunk("EOF inside chunked body").into());
@@ -830,6 +870,64 @@ mod tests {
         assert_eq!(parse_hex(b"1A"), Some(26));
         assert_eq!(parse_hex(b""), None);
         assert_eq!(parse_hex(b"xyz"), None);
+    }
+
+    fn is_too_large(e: &io::Error) -> bool {
+        e.kind() == io::ErrorKind::InvalidData
+            && e.get_ref()
+                .and_then(|inner| inner.downcast_ref::<HttpError>())
+                .is_some_and(|h| matches!(h, HttpError::TooLarge(_)))
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_not_buffered() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"POST / HTTP/1.1\r\n");
+        let big = "x".repeat(10_000);
+        wire.extend_from_slice(format!("X-Pad: {big}\r\n").as_bytes());
+        wire.extend_from_slice(b"Content-Length: 2\r\n\r\nhi");
+        let mut reader = RequestReader::with_limits(&wire[..], 4096, 1 << 20);
+        let err = reader.next_request().unwrap_err();
+        assert!(is_too_large(&err), "{err}");
+    }
+
+    #[test]
+    fn oversized_content_length_rejected_before_reading_body() {
+        // The declared length alone trips the cap; no body bytes needed.
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        let mut reader = RequestReader::with_limits(&wire[..], 4096, 1024);
+        let err = reader.next_request().unwrap_err();
+        assert!(is_too_large(&err), "{err}");
+    }
+
+    #[test]
+    fn oversized_chunked_body_rejected_at_the_cap() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        for _ in 0..4 {
+            wire.extend_from_slice(b"200\r\n");
+            wire.extend_from_slice(&vec![b'a'; 0x200]);
+            wire.extend_from_slice(b"\r\n");
+        }
+        wire.extend_from_slice(b"0\r\n\r\n");
+        let mut reader = RequestReader::with_limits(&wire[..], 4096, 1024);
+        let err = reader.next_request().unwrap_err();
+        assert!(is_too_large(&err), "{err}");
+        // The same wire parses fine under a roomier cap.
+        let mut reader = RequestReader::with_limits(&wire[..], 4096, 1 << 20);
+        let (_, body) = reader.next_request().unwrap().unwrap();
+        assert_eq!(body.len(), 4 * 0x200);
+    }
+
+    #[test]
+    fn endless_chunk_size_line_rejected() {
+        // No CRLF ever arrives: the reader must not buffer forever.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        wire.extend_from_slice(&vec![b'1'; 10_000]);
+        let mut reader = RequestReader::with_limits(&wire[..], 4096, 1 << 20);
+        let err = reader.next_request().unwrap_err();
+        assert!(is_too_large(&err), "{err}");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! bytes-on-the-wire count out.
 
 pub mod accept;
+pub mod fault;
 pub mod http;
 pub mod pool;
 pub mod server;
@@ -40,6 +41,7 @@ pub mod sink;
 pub mod tcp;
 
 pub use accept::{serve, serve_with_metrics, PoolOptions, WorkerPool};
+pub use fault::{AttemptFailure, CircuitBreaker, FaultPolicy, Resilience};
 pub use http::{render_get_request, HttpError, HttpVersion, PostScratch, RequestConfig};
 pub use pool::{ConnectionPool, HttpPoolClient, HttpReply, PoolConfig, PoolStats, PooledConn};
 pub use server::{CollectedRequest, ServerMode, ServerOptions, ServerStats, TestServer};

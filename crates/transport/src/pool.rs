@@ -10,18 +10,19 @@
 //! socket that died mid-exchange — transparent reconnect, visible only in
 //! [`PoolStats`].
 
+use crate::fault::{AttemptFailure, FaultPolicy, Resilience};
 use crate::http::{
     post_gather_vectored, read_response, render_get_request, PostScratch, RequestConfig,
 };
 use crate::Transport;
-use bsoap_obs::{Counter, HistId, Metrics, Recorder, TraceKind};
+use bsoap_obs::{Clock, Counter, Deadline, HistId, Metrics, MonotonicClock, Recorder, TraceKind};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io::{self, IoSlice, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Duration;
 
 /// Pool tuning.
 #[derive(Clone, Copy, Debug)]
@@ -32,6 +33,11 @@ pub struct PoolConfig {
     /// Idle connections older than this are reaped at the next checkout
     /// (or explicit [`ConnectionPool::reap`]).
     pub idle_timeout: Duration,
+    /// Hard cap on connections checked out at once. Checkouts beyond the
+    /// cap *queue* (they block until a connection returns) rather than
+    /// being refused or dialing past the cap. `None` = uncapped (the seed
+    /// behavior).
+    pub max_live: Option<usize>,
 }
 
 impl Default for PoolConfig {
@@ -39,6 +45,7 @@ impl Default for PoolConfig {
         PoolConfig {
             max_idle: 4,
             idle_timeout: Duration::from_secs(30),
+            max_live: None,
         }
     }
 }
@@ -56,6 +63,9 @@ pub struct PoolStats {
     pub expired: u64,
     /// Exchanges retried on a fresh connection after a reused one died.
     pub retries: u64,
+    /// Checkouts that had to queue on the `max_live` cap before being
+    /// served (queued-not-refused).
+    pub waited: u64,
 }
 
 #[derive(Default)]
@@ -65,6 +75,7 @@ struct AtomicStats {
     stale: AtomicU64,
     expired: AtomicU64,
     retries: AtomicU64,
+    waited: AtomicU64,
 }
 
 /// An idle pooled connection. The per-connection [`PostScratch`] travels
@@ -72,7 +83,17 @@ struct AtomicStats {
 struct Idle {
     stream: TcpStream,
     scratch: PostScratch,
-    since: Instant,
+    /// Pool-clock reading at checkin (drives idle-timeout reaping; on a
+    /// `VirtualClock` expiry is testable without real sleeps).
+    since_ns: u64,
+}
+
+/// The `max_live` admission gate: a counted semaphore on a condvar so
+/// over-cap checkouts queue instead of being refused.
+#[derive(Default)]
+struct LiveGate {
+    live: StdMutex<usize>,
+    returned: Condvar,
 }
 
 /// A pool of persistent keep-alive connections to one endpoint.
@@ -82,6 +103,8 @@ pub struct ConnectionPool {
     idle: Mutex<VecDeque<Idle>>,
     stats: AtomicStats,
     metrics: Option<Arc<Metrics>>,
+    clock: Arc<dyn Clock>,
+    gate: LiveGate,
 }
 
 impl ConnectionPool {
@@ -93,7 +116,15 @@ impl ConnectionPool {
             idle: Mutex::new(VecDeque::new()),
             stats: AtomicStats::default(),
             metrics: None,
+            clock: Arc::new(MonotonicClock::new()),
+            gate: LiveGate::default(),
         }
+    }
+
+    /// Inject the clock idle ages are measured on (tests pass a
+    /// [`bsoap_obs::VirtualClock`] so reaping needs no real sleeps).
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
     }
 
     /// Attach an observability registry: checkouts, reuse, staleness,
@@ -114,11 +145,30 @@ impl ConnectionPool {
     /// `TCP_NODELAY` set. Expired and health-check-failed idles found on
     /// the way are discarded.
     pub fn checkout(&self) -> io::Result<PooledConn<'_>> {
+        self.checkout_within(None)
+    }
+
+    /// [`ConnectionPool::checkout`] under a call deadline: the `max_live`
+    /// queue wait, the TCP connect, and the returned socket's read/write
+    /// timeouts are all bounded by the remaining budget.
+    pub fn checkout_within(&self, deadline: Option<&Deadline>) -> io::Result<PooledConn<'_>> {
+        self.acquire_permit(deadline)?;
+        match self.checkout_inner(deadline) {
+            Ok(conn) => Ok(conn),
+            Err(e) => {
+                self.release_permit();
+                Err(e)
+            }
+        }
+    }
+
+    fn checkout_inner(&self, deadline: Option<&Deadline>) -> io::Result<PooledConn<'_>> {
         let start = self.metrics.as_ref().map(|m| m.now_ns());
+        let idle_timeout_ns = self.cfg.idle_timeout.as_nanos() as u64;
         loop {
             let candidate = self.idle.lock().pop_back();
             let Some(idle) = candidate else { break };
-            if idle.since.elapsed() > self.cfg.idle_timeout {
+            if self.clock.now_ns().saturating_sub(idle.since_ns) > idle_timeout_ns {
                 self.stats.expired.fetch_add(1, Ordering::Relaxed);
                 self.note(Counter::PoolExpired, 1);
                 continue;
@@ -128,6 +178,7 @@ impl ConnectionPool {
                 self.note(Counter::PoolStale, 1);
                 continue;
             }
+            apply_socket_deadline(&idle.stream, deadline)?;
             self.stats.reused.fetch_add(1, Ordering::Relaxed);
             self.note_checkout(Counter::PoolReused, start, true);
             return Ok(PooledConn {
@@ -136,8 +187,17 @@ impl ConnectionPool {
                 reused: true,
             });
         }
-        let stream = TcpStream::connect(self.addr)?;
+        let stream = match deadline.and_then(|d| d.remaining()) {
+            Some(budget) => {
+                if budget.is_zero() {
+                    return Err(Deadline::timed_out());
+                }
+                TcpStream::connect_timeout(&self.addr, budget)?
+            }
+            None => TcpStream::connect(self.addr)?,
+        };
         stream.set_nodelay(true)?;
+        apply_socket_deadline(&stream, deadline)?;
         self.stats.created.fetch_add(1, Ordering::Relaxed);
         self.note_checkout(Counter::PoolCreated, start, false);
         Ok(PooledConn {
@@ -145,6 +205,65 @@ impl ConnectionPool {
             conn: Some((stream, PostScratch::default())),
             reused: false,
         })
+    }
+
+    /// Take a `max_live` permit, queueing (not refusing) when the pool is
+    /// fully checked out. A bounded deadline turns the queue wait into a
+    /// timed wait that fails with `TimedOut` once the budget is spent.
+    fn acquire_permit(&self, deadline: Option<&Deadline>) -> io::Result<()> {
+        let Some(cap) = self.cfg.max_live else {
+            return Ok(());
+        };
+        let cap = cap.max(1);
+        let mut live = self.gate.live.lock().unwrap_or_else(|e| e.into_inner());
+        let mut waited = false;
+        while *live >= cap {
+            if !waited {
+                waited = true;
+                self.stats.waited.fetch_add(1, Ordering::Relaxed);
+            }
+            match deadline.and_then(|d| d.remaining()) {
+                Some(left) => {
+                    if left.is_zero() {
+                        return Err(Deadline::timed_out());
+                    }
+                    let (guard, res) = self
+                        .gate
+                        .returned
+                        .wait_timeout(live, left)
+                        .unwrap_or_else(|e| e.into_inner());
+                    live = guard;
+                    if res.timed_out() && *live >= cap {
+                        return Err(Deadline::timed_out());
+                    }
+                }
+                None => {
+                    live = self
+                        .gate
+                        .returned
+                        .wait(live)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+        *live += 1;
+        Ok(())
+    }
+
+    fn release_permit(&self) {
+        if self.cfg.max_live.is_none() {
+            return;
+        }
+        let mut live = self.gate.live.lock().unwrap_or_else(|e| e.into_inner());
+        *live = live.saturating_sub(1);
+        drop(live);
+        self.gate.returned.notify_one();
+    }
+
+    /// Connections currently checked out (0 when `max_live` is unset —
+    /// the gate only counts under a cap).
+    pub fn live_count(&self) -> usize {
+        *self.gate.live.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn note(&self, c: Counter, delta: u64) {
@@ -166,9 +285,11 @@ impl ConnectionPool {
 
     /// Drop idle connections past the idle timeout.
     pub fn reap(&self) {
+        let now = self.clock.now_ns();
+        let idle_timeout_ns = self.cfg.idle_timeout.as_nanos() as u64;
         let mut idle = self.idle.lock();
         let before = idle.len();
-        idle.retain(|c| c.since.elapsed() <= self.cfg.idle_timeout);
+        idle.retain(|c| now.saturating_sub(c.since_ns) <= idle_timeout_ns);
         let reaped = (before - idle.len()) as u64;
         drop(idle);
         self.stats.expired.fetch_add(reaped, Ordering::Relaxed);
@@ -188,20 +309,38 @@ impl ConnectionPool {
             stale: self.stats.stale.load(Ordering::Relaxed),
             expired: self.stats.expired.load(Ordering::Relaxed),
             retries: self.stats.retries.load(Ordering::Relaxed),
+            waited: self.stats.waited.load(Ordering::Relaxed),
         }
     }
 
     fn checkin(&self, stream: TcpStream, scratch: PostScratch) {
+        // Clear per-call socket timeouts so a later unbounded call is not
+        // haunted by a previous call's deadline.
+        let _ = stream.set_read_timeout(None);
+        let _ = stream.set_write_timeout(None);
         let mut idle = self.idle.lock();
         idle.push_back(Idle {
             stream,
             scratch,
-            since: Instant::now(),
+            since_ns: self.clock.now_ns(),
         });
         while idle.len() > self.cfg.max_idle.max(1) {
             idle.pop_front();
         }
     }
+}
+
+/// Derive `SO_RCVTIMEO`/`SO_SNDTIMEO` from the deadline's remaining
+/// budget; an already-expired deadline errors instead of setting a zero
+/// (i.e. infinite) timeout.
+fn apply_socket_deadline(stream: &TcpStream, deadline: Option<&Deadline>) -> io::Result<()> {
+    let Some(d) = deadline else {
+        return Ok(());
+    };
+    let timeout = d.socket_timeout()?;
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    Ok(())
 }
 
 /// Health check: a nonblocking zero-consume `peek`. `WouldBlock` means the
@@ -251,6 +390,9 @@ impl Drop for PooledConn<'_> {
         if let Some((stream, scratch)) = self.conn.take() {
             self.pool.checkin(stream, scratch);
         }
+        // Checked-out (even discarded) connections hold a max_live permit;
+        // release after checkin so a queued waiter sees the idle socket.
+        self.pool.release_permit();
     }
 }
 
@@ -272,15 +414,29 @@ pub struct HttpPoolClient {
     pool: ConnectionPool,
     cfg: RequestConfig,
     bytes: AtomicU64,
+    resilience: Resilience,
 }
 
 impl HttpPoolClient {
-    /// Client for `addr` posting per `cfg`, pooling per `pool_cfg`.
+    /// Client for `addr` posting per `cfg`, pooling per `pool_cfg`, with
+    /// the seed-compatible [`FaultPolicy::default`] (no deadline, no
+    /// policy retries, breaker off).
     pub fn new(addr: SocketAddr, cfg: RequestConfig, pool_cfg: PoolConfig) -> Self {
+        Self::with_fault_policy(addr, cfg, pool_cfg, FaultPolicy::default())
+    }
+
+    /// Client with an explicit fault-tolerance policy.
+    pub fn with_fault_policy(
+        addr: SocketAddr,
+        cfg: RequestConfig,
+        pool_cfg: PoolConfig,
+        policy: FaultPolicy,
+    ) -> Self {
         HttpPoolClient {
             pool: ConnectionPool::new(addr, pool_cfg),
             cfg,
             bytes: AtomicU64::new(0),
+            resilience: Resilience::new(policy),
         }
     }
 
@@ -289,9 +445,38 @@ impl HttpPoolClient {
         &self.pool
     }
 
-    /// Attach an observability registry (see [`ConnectionPool::set_metrics`]).
+    /// The fault-tolerance executor (breaker state, policy).
+    pub fn resilience(&self) -> &Resilience {
+        &self.resilience
+    }
+
+    /// Replace the fault policy (breaker state resets).
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        let clock = Arc::clone(self.resilience.clock());
+        let metrics = self.pool.metrics.clone();
+        self.resilience = Resilience::with_clock(policy, clock);
+        if let Some(m) = metrics {
+            self.resilience.set_metrics(m);
+        }
+    }
+
+    /// Inject the clock that drives idle reaping, deadlines, backoff
+    /// sleeps, and breaker cooldowns.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.pool.set_clock(Arc::clone(&clock));
+        let policy = *self.resilience.policy();
+        let metrics = self.pool.metrics.clone();
+        self.resilience = Resilience::with_clock(policy, clock);
+        if let Some(m) = metrics {
+            self.resilience.set_metrics(m);
+        }
+    }
+
+    /// Attach an observability registry (see [`ConnectionPool::set_metrics`];
+    /// retry/breaker/deadline counters record here too).
     pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
-        self.pool.set_metrics(metrics);
+        self.pool.set_metrics(Arc::clone(&metrics));
+        self.resilience.set_metrics(metrics);
     }
 
     /// POST `body` and read the response. A reused connection that fails
@@ -322,38 +507,46 @@ impl HttpPoolClient {
         })
     }
 
-    /// Checkout/exchange with the stale-socket retry policy: a reused
-    /// connection that fails the exchange is discarded and the call
-    /// retried once on a fresh connection.
+    /// Checkout/exchange under the fault policy. The legacy stale-socket
+    /// retry survives as the *free* retry (a reused connection that dies
+    /// mid-exchange is replaced once without consuming the policy budget);
+    /// deadline propagation, policy retries with backoff, and the circuit
+    /// breaker all live in [`Resilience::run_with`]. A checkout failure is
+    /// a hard attempt failure — the endpoint itself is unreachable, so it
+    /// only retries if the *policy* says so (seed default: it does not).
     fn with_retry(
         &self,
         mut exchange: impl FnMut(&mut PooledConn<'_>) -> io::Result<HttpReply>,
     ) -> io::Result<HttpReply> {
-        let mut attempt = 0;
-        loop {
-            let mut conn = self.pool.checkout()?;
-            let reused = conn.reused;
-            match exchange(&mut conn) {
-                Ok(reply) => {
-                    self.bytes
-                        .fetch_add(reply.wire_bytes as u64, Ordering::Relaxed);
-                    return Ok(reply);
-                }
-                Err(e) => {
-                    conn.discard();
-                    if reused && attempt == 0 && retryable(&e) {
-                        self.pool.stats.retries.fetch_add(1, Ordering::Relaxed);
-                        if let Some(m) = &self.pool.metrics {
-                            m.add(Counter::PoolRetries, 1);
-                            m.trace(TraceKind::PoolReconnect);
-                        }
-                        attempt += 1;
-                        continue;
+        let reply = self.resilience.run_with(
+            |deadline, _attempt| {
+                let mut conn = self
+                    .pool
+                    .checkout_within(Some(deadline))
+                    .map_err(AttemptFailure::hard)?;
+                let reused = conn.reused;
+                match exchange(&mut conn) {
+                    Ok(reply) => Ok(reply),
+                    Err(e) => {
+                        conn.discard();
+                        Err(AttemptFailure {
+                            error: e,
+                            free_retry: reused,
+                        })
                     }
-                    return Err(e);
                 }
-            }
-        }
+            },
+            || {
+                self.pool.stats.retries.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.pool.metrics {
+                    m.add(Counter::PoolRetries, 1);
+                    m.trace(TraceKind::PoolReconnect);
+                }
+            },
+        )?;
+        self.bytes
+            .fetch_add(reply.wire_bytes as u64, Ordering::Relaxed);
+        Ok(reply)
     }
 
     fn exchange(
@@ -370,20 +563,6 @@ impl HttpPoolClient {
             wire_bytes,
         })
     }
-}
-
-/// Errors that signal a stale keep-alive socket rather than a down or
-/// misbehaving endpoint.
-fn retryable(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::BrokenPipe
-            | io::ErrorKind::ConnectionReset
-            | io::ErrorKind::ConnectionAborted
-            | io::ErrorKind::NotConnected
-            | io::ErrorKind::UnexpectedEof
-            | io::ErrorKind::WriteZero
-    )
 }
 
 impl Transport for HttpPoolClient {
@@ -439,17 +618,20 @@ mod tests {
 
     #[test]
     fn expired_idle_connections_are_replaced() {
+        // Idle expiry measured on an injected VirtualClock: no real sleeps.
         let server = TestServer::spawn(ServerMode::Collect).unwrap();
-        let client = client_for(
+        let clock = Arc::new(bsoap_obs::VirtualClock::new());
+        let mut client = client_for(
             server.addr(),
             PoolConfig {
-                idle_timeout: Duration::from_millis(1),
+                idle_timeout: Duration::from_secs(30),
                 ..PoolConfig::default()
             },
         );
+        client.set_clock(Arc::clone(&clock) as Arc<dyn Clock>);
         let body = b"<x/>".to_vec();
         client.call(&[IoSlice::new(&body)]).unwrap();
-        std::thread::sleep(Duration::from_millis(10));
+        clock.advance(Duration::from_secs(31).as_nanos() as u64);
         client.call(&[IoSlice::new(&body)]).unwrap();
         let stats = client.pool().stats();
         assert_eq!(stats.created, 2);
@@ -462,17 +644,19 @@ mod tests {
     #[test]
     fn reap_drops_expired_idles() {
         let server = TestServer::spawn(ServerMode::Collect).unwrap();
-        let client = client_for(
+        let clock = Arc::new(bsoap_obs::VirtualClock::new());
+        let mut client = client_for(
             server.addr(),
             PoolConfig {
-                idle_timeout: Duration::from_millis(1),
+                idle_timeout: Duration::from_secs(30),
                 ..PoolConfig::default()
             },
         );
+        client.set_clock(Arc::clone(&clock) as Arc<dyn Clock>);
         let body = b"<x/>".to_vec();
         client.call(&[IoSlice::new(&body)]).unwrap();
         assert_eq!(client.pool().idle_count(), 1);
-        std::thread::sleep(Duration::from_millis(10));
+        clock.advance(Duration::from_secs(31).as_nanos() as u64);
         client.pool().reap();
         assert_eq!(client.pool().idle_count(), 0);
         assert_eq!(client.pool().stats().expired, 1);

@@ -41,6 +41,16 @@ pub struct ServerOptions {
     pub workers: usize,
     /// Graceful-drain deadline on stop.
     pub drain_deadline: Duration,
+    /// Per-connection socket read timeout (Collect/Ack modes). A peer that
+    /// dribbles a request slower than this — the slow-loris pattern — is
+    /// evicted and counted under [`Counter::ServerTimeouts`]. `None` (the
+    /// seed default) waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Cap on one request head; larger heads get a `400` and the
+    /// connection closed (see [`crate::http::RequestReader::with_limits`]).
+    pub max_head_bytes: usize,
+    /// Cap on one request body (declared or chunk-accumulated).
+    pub max_body_bytes: usize,
 }
 
 impl Default for ServerOptions {
@@ -49,6 +59,9 @@ impl Default for ServerOptions {
         ServerOptions {
             workers: d.workers,
             drain_deadline: d.drain_deadline,
+            read_timeout: None,
+            max_head_bytes: 1 << 20,
+            max_body_bytes: 64 << 20,
         }
     }
 }
@@ -134,8 +147,10 @@ impl TestServer {
             metrics,
             move |stream| match mode {
                 ServerMode::Discard => drain(stream, &handler_shared),
-                ServerMode::Collect => respond(stream, &handler_shared, true, &handler_metrics),
-                ServerMode::Ack => respond(stream, &handler_shared, false, &handler_metrics),
+                ServerMode::Collect => {
+                    respond(stream, &handler_shared, true, &handler_metrics, &opts)
+                }
+                ServerMode::Ack => respond(stream, &handler_shared, false, &handler_metrics, &opts),
             },
         )?;
         Ok(TestServer { shared, pool })
@@ -192,15 +207,64 @@ fn drain(mut stream: TcpStream, shared: &Shared) {
 /// `200 OK` each with a vectored (head + body slices) response. With a
 /// registry attached, `GET /metrics` is answered with the Prometheus text
 /// rendering (and counted as a scrape, not a SOAP request).
-fn respond(mut stream: TcpStream, shared: &Shared, store: bool, metrics: &Option<Arc<Metrics>>) {
+///
+/// Hardened per [`ServerOptions`]: a malformed or over-cap request draws a
+/// `400` before the connection closes (so a well-behaved-but-buggy client
+/// learns why), and a read that outlasts `read_timeout` evicts the
+/// connection — one stalled peer cannot pin a worker forever.
+fn respond(
+    mut stream: TcpStream,
+    shared: &Shared,
+    store: bool,
+    metrics: &Option<Arc<Metrics>>,
+    opts: &ServerOptions,
+) {
     let read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    let mut reader = RequestReader::new(read_half);
+    if stream.set_read_timeout(opts.read_timeout).is_err() {
+        return;
+    }
+    let mut reader =
+        RequestReader::with_limits(read_half, opts.max_head_bytes, opts.max_body_bytes);
     let mut head_scratch = Vec::new();
     let ack = b"<ack/>";
-    while let Ok(Some((head, body))) = reader.next_request() {
+    loop {
+        let (head, body) = match reader.next_request() {
+            Ok(Some(req)) => req,
+            Ok(None) => break, // clean EOF between requests
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Malformed or over-cap request: explain, then hang up
+                // (framing is unrecoverable once desynced).
+                if let Some(m) = metrics {
+                    m.add(Counter::ServerBadRequests, 1);
+                }
+                let reason = e.to_string();
+                let _ = write_response_vectored(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    &[IoSlice::new(reason.as_bytes())],
+                    &mut head_scratch,
+                );
+                break;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) =>
+            {
+                // Slow-loris eviction: the peer held the socket open
+                // without completing a request within the read timeout.
+                if let Some(m) = metrics {
+                    m.add(Counter::ServerTimeouts, 1);
+                }
+                break;
+            }
+            Err(_) => break,
+        };
         let start = metrics.as_ref().map(|m| m.now_ns());
         if head.method == "GET" && head.path == "/metrics" {
             if serve_metrics_scrape(&mut stream, metrics, &mut head_scratch).is_err() {
@@ -450,6 +514,77 @@ mod tests {
         assert_eq!(status, 404);
         drop(c);
         server.stop();
+    }
+
+    #[test]
+    fn malformed_request_draws_400_then_close() {
+        let metrics = Metrics::shared();
+        let server = TestServer::spawn_with_metrics(
+            ServerMode::Ack,
+            ServerOptions::default(),
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        c.write_all(b"THIS IS NOT HTTP AT ALL\r\n\r\n").unwrap();
+        let (status, body) = crate::http::read_response(&mut c).unwrap();
+        assert_eq!(status, 400);
+        assert!(!body.is_empty(), "400 body explains the rejection");
+        // Connection is closed after the 400.
+        let mut probe = [0u8; 1];
+        assert_eq!(c.read(&mut probe).unwrap(), 0);
+        drop(c);
+        let stats = server.stop();
+        assert_eq!(stats.requests, 0);
+        assert_eq!(metrics.snapshot().get(Counter::ServerBadRequests), 1);
+    }
+
+    #[test]
+    fn oversized_head_draws_400() {
+        let metrics = Metrics::shared();
+        let server = TestServer::spawn_with_metrics(
+            ServerMode::Ack,
+            ServerOptions {
+                max_head_bytes: 1024,
+                ..ServerOptions::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        let mut req = Vec::new();
+        req.extend_from_slice(b"POST / HTTP/1.1\r\nX-Pad: ");
+        req.extend_from_slice(&vec![b'x'; 4096]);
+        req.extend_from_slice(b"\r\nContent-Length: 0\r\n\r\n");
+        c.write_all(&req).unwrap();
+        let (status, _) = crate::http::read_response(&mut c).unwrap();
+        assert_eq!(status, 400);
+        drop(c);
+        server.stop();
+        assert_eq!(metrics.snapshot().get(Counter::ServerBadRequests), 1);
+    }
+
+    #[test]
+    fn slow_loris_connection_is_evicted() {
+        let metrics = Metrics::shared();
+        let server = TestServer::spawn_with_metrics(
+            ServerMode::Ack,
+            ServerOptions {
+                read_timeout: Some(Duration::from_millis(40)),
+                ..ServerOptions::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        // Half a request head, then silence: the server must evict rather
+        // than pin a worker forever.
+        c.write_all(b"POST / HTTP/1.1\r\nHost: lo").unwrap();
+        let mut probe = [0u8; 64];
+        assert_eq!(c.read(&mut probe).unwrap(), 0, "server closed on us");
+        drop(c);
+        server.stop();
+        assert_eq!(metrics.snapshot().get(Counter::ServerTimeouts), 1);
     }
 
     #[test]

@@ -66,6 +66,11 @@ pub use bsoap_core::{
     SendPlan, SendReport, SendTier, TemplateCache, TemplateKey, TypeDesc, Value, WidthPolicy,
 };
 
+/// Fault-tolerance surface: retry/breaker policy, per-call deadlines,
+/// deterministic backoff, breaker state machine.
+pub use bsoap_obs::{Backoff, BreakerState, Clock, Deadline, MonotonicClock, VirtualClock};
+pub use bsoap_transport::{AttemptFailure, CircuitBreaker, FaultPolicy, Resilience};
+
 pub use bsoap_core::overlay::{OverlayReport, OverlaySender};
 pub use bsoap_core::pipeline::{PipelineReport, PipelinedSender};
 pub use bsoap_core::value::mio;

@@ -233,6 +233,10 @@ struct TierModel {
     /// Bit patterns of the last-sent array; `None` = no template saved.
     saved: Option<Vec<u64>>,
     tiers: [u64; 4],
+    /// Successful sends per tier — the latency histograms observe only
+    /// sends that reached the wire, while the tier counters also include
+    /// differential flushes whose wire write then failed.
+    hist: [u64; 4],
     values_written: u64,
     bytes_sent: u64,
     sends: u64,
@@ -243,6 +247,10 @@ struct TierModel {
     plans: u64,
     /// Cost-gate rejections. Zero unless `cost_fallback` is on.
     fallbacks: u64,
+    /// Calls that ran out of deadline budget (`TimedOut` on the wire).
+    deadlines: u64,
+    /// Stateless full sends made while the endpoint was degraded.
+    degraded_sends: u64,
 }
 
 impl TierModel {
@@ -250,11 +258,14 @@ impl TierModel {
         TierModel {
             saved: None,
             tiers: [0; 4],
+            hist: [0; 4],
             values_written: 0,
             bytes_sent: 0,
             sends: 0,
             plans: 0,
             fallbacks: 0,
+            deadlines: 0,
+            degraded_sends: 0,
         }
     }
 
@@ -284,9 +295,49 @@ impl TierModel {
         };
         self.saved = Some(bits);
         self.tiers[tier.obs().index()] += 1;
+        self.hist[tier.obs().index()] += 1;
         self.values_written += written;
         self.sends += 1;
         (tier, written)
+    }
+
+    /// Fold in a call whose wire write failed. A differential flush
+    /// completes before the transport write, so it still counts its tier,
+    /// values, and plan — but never a byte or a latency observation. A
+    /// first-time build (no saved template) errors before its counter
+    /// sites and records nothing.
+    fn step_wire_failed(&mut self, xs: &[f64], deadline: bool) {
+        if deadline {
+            self.deadlines += 1;
+        }
+        let bits: Vec<u64> = xs.iter().map(|x| x.to_bits()).collect();
+        if let Some(old) = self.saved.take() {
+            self.plans += 1;
+            let changed = old.iter().zip(&bits).filter(|(o, n)| **o != **n).count() as u64;
+            let (tier, written) = if old.len() != bits.len() {
+                (SendTier::PartialStructural, changed + 1)
+            } else if changed > 0 {
+                (SendTier::PerfectStructural, changed)
+            } else {
+                (SendTier::ContentMatch, 0)
+            };
+            self.tiers[tier.obs().index()] += 1;
+            self.values_written += written;
+            self.sends += 1;
+            // The flush already applied the new values.
+            self.saved = Some(bits);
+        }
+    }
+
+    /// Fold in a successful degraded-mode send: counted as a first-time
+    /// send plus `DegradedSends`, template discarded immediately.
+    fn step_degraded(&mut self, xs: &[f64]) {
+        self.tiers[Tier::FirstTime.index()] += 1;
+        self.hist[Tier::FirstTime.index()] += 1;
+        self.values_written += xs.len() as u64 + 1;
+        self.sends += 1;
+        self.degraded_sends += 1;
+        self.saved = None;
     }
 
     fn evict(&mut self) {
@@ -318,12 +369,24 @@ impl TierModel {
             "cost fallbacks"
         );
         assert_eq!(snap.get(Counter::CoalescedShiftPasses), 0);
-        // Exactly one latency observation per send, in the histogram of
-        // the tier the send took.
+        // Fault-tolerance accounting: deadline expiries and degraded
+        // (stateless) sends.
+        assert_eq!(
+            snap.get(Counter::DeadlinesExceeded),
+            self.deadlines,
+            "deadline expiries"
+        );
+        assert_eq!(
+            snap.get(Counter::DegradedSends),
+            self.degraded_sends,
+            "degraded sends"
+        );
+        // Exactly one latency observation per send that reached the
+        // wire, in the histogram of the tier the send took.
         for t in Tier::ALL {
             assert_eq!(
                 snap.hist(HistId::send(t)).count(),
-                self.tiers[t.index()],
+                self.hist[t.index()],
                 "latency observations for {t:?}"
             );
         }
@@ -512,6 +575,132 @@ fn cost_gate_fallback_is_counted_and_exact() {
     let r = call(&mut client, &mut sink, &op, &[1.5, 9.5, 3.5]);
     assert_eq!(r.tier, SendTier::PerfectStructural);
     assert!(!r.fell_back);
+}
+
+/// Writer that always fails with a fixed error kind.
+struct AlwaysFail(std::io::ErrorKind);
+
+impl std::io::Write for AlwaysFail {
+    fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+        Err(std::io::Error::new(self.0, "injected"))
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn degraded_ladder_walk_matches_reference_model() {
+    use bsoap::obs::TraceKind;
+    use bsoap::EngineError;
+
+    let op = doubles_op();
+    let metrics = Arc::new(Metrics::with_clock(Arc::new(VirtualClock::new())));
+    // Demote after 2 consecutive transport failures; recover after 2
+    // successes while degraded.
+    let mut client = Client::new(
+        EngineConfig::paper_default()
+            .with_width(WidthPolicy::Max)
+            .with_degraded(2, 2),
+    );
+    client.set_metrics(Arc::clone(&metrics));
+    let mut sink = SinkTransport::new();
+    let mut model = TierModel::new();
+    let args = |xs: &[f64]| vec![Value::DoubleArray(xs.to_vec())];
+
+    // Healthy opening: first time, then a content match.
+    let xs = [1.5, 2.5, 3.5];
+    for _ in 0..2 {
+        let (want_tier, _) = model.step(&xs);
+        let r = call(&mut client, &mut sink, &op, &xs);
+        assert_eq!(r.tier, want_tier);
+        model.bytes_sent += r.bytes as u64;
+        model.check(&metrics.snapshot());
+    }
+
+    // First failure: the differential flush completed (content match
+    // counted), the wire write did not. Not yet demoted.
+    let err = client
+        .call(
+            "ep",
+            &op,
+            &args(&xs),
+            &mut AlwaysFail(std::io::ErrorKind::ConnectionReset),
+        )
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Io(_)));
+    model.step_wire_failed(&xs, false);
+    model.check(&metrics.snapshot());
+    assert!(!client.is_degraded("ep"), "one failure must not demote");
+
+    // Second consecutive failure (a dirty value this time): demoted, and
+    // the template is evicted with the demotion.
+    let dirty = [1.5, 9.5, 3.5];
+    let err = client
+        .call(
+            "ep",
+            &op,
+            &args(&dirty),
+            &mut AlwaysFail(std::io::ErrorKind::BrokenPipe),
+        )
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Io(_)));
+    model.step_wire_failed(&dirty, false);
+    model.evict();
+    model.check(&metrics.snapshot());
+    assert!(client.is_degraded("ep"), "two consecutive failures demote");
+    assert!(
+        client.template_mut("ep", &op).is_none(),
+        "demotion evicts the template"
+    );
+
+    // Degraded sends: stateless first-time serialization every call.
+    let r = call(&mut client, &mut sink, &op, &dirty);
+    assert_eq!(r.tier, SendTier::FirstTime);
+    model.step_degraded(&dirty);
+    model.bytes_sent += r.bytes as u64;
+    model.check(&metrics.snapshot());
+
+    // A deadline expiry while degraded: typed, counted, no recovery
+    // progress lost beyond the failure itself.
+    let err = client
+        .call(
+            "ep",
+            &op,
+            &args(&dirty),
+            &mut AlwaysFail(std::io::ErrorKind::TimedOut),
+        )
+        .unwrap_err();
+    assert!(matches!(err, EngineError::DeadlineExceeded));
+    model.step_wire_failed(&dirty, true); // no template: only the expiry counts
+    model.check(&metrics.snapshot());
+
+    // Second degraded success completes recovery.
+    let r = call(&mut client, &mut sink, &op, &dirty);
+    assert_eq!(r.tier, SendTier::FirstTime);
+    model.step_degraded(&dirty);
+    model.bytes_sent += r.bytes as u64;
+    model.check(&metrics.snapshot());
+    assert!(!client.is_degraded("ep"), "two successes recover");
+
+    // Recovered: the next call is a normal first-time send that saves a
+    // template again, and the one after that is differential.
+    for want in [SendTier::FirstTime, SendTier::ContentMatch] {
+        let (want_tier, _) = model.step(&dirty);
+        assert_eq!(want_tier, want);
+        let r = call(&mut client, &mut sink, &op, &dirty);
+        assert_eq!(r.tier, want);
+        model.bytes_sent += r.bytes as u64;
+        model.check(&metrics.snapshot());
+    }
+
+    // Trace reconciliation: one demotion, one recovery, one deadline.
+    let (events, dropped) = metrics.trace_ring().snapshot();
+    assert_eq!(dropped, 0);
+    let count = |want: &TraceKind| events.iter().filter(|e| &e.kind == want).count();
+    assert_eq!(count(&TraceKind::Degraded { on: true }), 1, "demotions");
+    assert_eq!(count(&TraceKind::Degraded { on: false }), 1, "recoveries");
+    assert_eq!(count(&TraceKind::DeadlineExceeded), 1, "deadline traces");
 }
 
 #[test]

@@ -99,7 +99,35 @@ pub mod test_runner {
             Ok(v) => v.parse().unwrap_or(config.cases),
             Err(_) => config.cases,
         };
-        let mut seeder = TestRng::seeded(seed_from_name(name));
+        // `PROPTEST_SEED` perturbs the per-name seed so CI can run a
+        // genuinely fresh schedule pass (e.g. seeded from the run id) on
+        // top of the deterministic default. Failures still report the
+        // per-case seed, which reproduces regardless of this knob.
+        let run_seed = match std::env::var("PROPTEST_SEED") {
+            Ok(v) => v.parse().unwrap_or(0u64),
+            Err(_) => 0,
+        };
+        // `PROPTEST_CASE_SEED` (hex or decimal) replays exactly the one
+        // case a failure message named, for every proptest in the binary
+        // — the direct reproduction path for a CI-reported seed.
+        if let Ok(v) = std::env::var("PROPTEST_CASE_SEED") {
+            let v = v.trim();
+            let parsed = match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            if let Ok(case_seed) = parsed {
+                let mut rng = TestRng::seeded(case_seed);
+                match f(&mut rng) {
+                    Ok(()) | Err(TestCaseError::Reject(_)) => return,
+                    Err(TestCaseError::Fail(msg)) => panic!(
+                        "proptest case failed: {name} (replayed case seed \
+                         {case_seed:#018x}):\n{msg}"
+                    ),
+                }
+            }
+        }
+        let mut seeder = TestRng::seeded(seed_from_name(name) ^ run_seed);
         let mut done = 0u32;
         let mut rejects = 0u64;
         let max_rejects = cases as u64 * 50 + 1000;
