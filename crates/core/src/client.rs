@@ -189,12 +189,12 @@ impl Client {
         };
         match &out {
             Ok(_) => self.note_send_success(endpoint),
-            Err(EngineError::Io(_)) => self.note_send_failure(endpoint, op),
-            Err(EngineError::DeadlineExceeded) => {
-                if let Some(m) = &self.metrics {
-                    m.add(Counter::DeadlinesExceeded, 1);
-                    m.trace(TraceKind::DeadlineExceeded);
-                }
+            // Transport failures — I/O and deadline expiry alike — drive
+            // the degraded-mode ladder. `DeadlinesExceeded` is counted
+            // (and traced) by the layer that *detected* the expiry (the
+            // transport's `Resilience`); counting here too would read one
+            // expired call as two on a shared registry.
+            Err(EngineError::Io(_) | EngineError::DeadlineExceeded) => {
                 self.note_send_failure(endpoint, op);
             }
             // Semantic errors (schema/arity/plan) say nothing about the

@@ -115,10 +115,12 @@ impl std::error::Error for EngineError {
 
 impl From<std::io::Error> for EngineError {
     fn from(e: std::io::Error) -> Self {
-        // `TimedOut` is the transport's spelling of deadline expiry
-        // (socket timeouts set from the remaining budget surface it);
-        // keep it typed so callers can branch without string-matching.
-        if e.kind() == std::io::ErrorKind::TimedOut {
+        // Only a genuine budget expiry — the canonical marker error
+        // minted by `bsoap_obs::Deadline::timed_out` — becomes
+        // `DeadlineExceeded`. A bare `TimedOut` (an OS-level `ETIMEDOUT`,
+        // or a socket timeout set outside any deadline policy) stays
+        // `Io` with its detail intact.
+        if bsoap_obs::Deadline::is_deadline_error(&e) {
             EngineError::DeadlineExceeded
         } else {
             EngineError::Io(e)

@@ -91,11 +91,36 @@ impl Deadline {
         }
     }
 
-    /// The canonical expiry error.
+    /// The canonical expiry error: `TimedOut` carrying a
+    /// [`DeadlineExpired`] marker payload, so upper layers can tell a
+    /// genuine budget expiry apart from an OS-level `TimedOut` (e.g. an
+    /// `ETIMEDOUT` connect to an unreachable host, or a user-set socket
+    /// timeout outside any deadline policy).
     pub fn timed_out() -> std::io::Error {
-        std::io::Error::new(std::io::ErrorKind::TimedOut, "deadline exceeded")
+        std::io::Error::new(std::io::ErrorKind::TimedOut, DeadlineExpired)
+    }
+
+    /// Whether `e` is a deadline-expiry error minted by
+    /// [`Deadline::timed_out`] (checks for the [`DeadlineExpired`]
+    /// marker, not the error kind — a bare `TimedOut` is *not* a
+    /// deadline expiry).
+    pub fn is_deadline_error(e: &std::io::Error) -> bool {
+        e.get_ref().is_some_and(|inner| inner.is::<DeadlineExpired>())
     }
 }
+
+/// Marker payload inside the canonical deadline-expiry error (see
+/// [`Deadline::timed_out`] / [`Deadline::is_deadline_error`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadlineExpired;
+
+impl std::fmt::Display for DeadlineExpired {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("deadline exceeded")
+    }
+}
+
+impl std::error::Error for DeadlineExpired {}
 
 /// Deterministic decorrelated-jitter backoff schedule.
 #[derive(Clone, Debug)]
@@ -193,6 +218,18 @@ mod tests {
             d.socket_timeout().unwrap_err().kind(),
             std::io::ErrorKind::TimedOut
         );
+    }
+
+    #[test]
+    fn deadline_errors_carry_the_marker_plain_timeouts_do_not() {
+        let e = Deadline::timed_out();
+        assert_eq!(e.kind(), std::io::ErrorKind::TimedOut);
+        assert!(Deadline::is_deadline_error(&e));
+        // An OS-level timeout (same kind, no marker) is not an expiry.
+        let os = std::io::Error::new(std::io::ErrorKind::TimedOut, "ETIMEDOUT");
+        assert!(!Deadline::is_deadline_error(&os));
+        let bare = std::io::Error::from(std::io::ErrorKind::TimedOut);
+        assert!(!Deadline::is_deadline_error(&bare));
     }
 
     #[test]

@@ -33,7 +33,7 @@ mod trace;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use counters::{MaxGauge, ShardedCounter};
-pub use deadline::{Backoff, Deadline};
+pub use deadline::{Backoff, Deadline, DeadlineExpired};
 pub use hist::{bucket_upper_ns, max_trackable_ns, HistSnapshot, Histogram, BUCKETS};
 pub use prom::parse_value;
 pub use trace::{BreakerState, TraceEvent, TraceKind, TraceRing};

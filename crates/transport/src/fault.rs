@@ -287,6 +287,15 @@ impl Resilience {
         let mut retries = 0u32;
         let mut attempt_no = 0u32;
         loop {
+            // Deadline before breaker: `allow()` on an elapsed cooldown
+            // admits this caller as the half-open probe, and a probe must
+            // report back via record_success/record_failure. An expired
+            // call runs no attempt and could never report, so it must
+            // bail *before* it can be admitted — otherwise the breaker
+            // wedges in HalfOpen ("probe in flight" forever).
+            if deadline.expired() {
+                return Err(self.deadline_exceeded());
+            }
             if !self.breaker.allow() {
                 if let Some(m) = &self.metrics {
                     m.add(Counter::BreakerFastFails, 1);
@@ -296,9 +305,6 @@ impl Resilience {
                     "circuit breaker open",
                 ));
             }
-            if deadline.expired() {
-                return Err(self.deadline_exceeded());
-            }
             match attempt(&deadline, attempt_no) {
                 Ok(v) => {
                     self.breaker.record_success();
@@ -307,9 +313,13 @@ impl Resilience {
                 Err(AttemptFailure { error, free_retry }) => {
                     self.breaker.record_failure();
                     attempt_no += 1;
-                    if is_timeout(&error) {
-                        // Socket timeouts are sized to the remaining
-                        // budget, so a timeout IS deadline expiry.
+                    if is_timeout(&error) && deadline.is_bounded() {
+                        // Under a bounded deadline every socket timeout
+                        // is sized to the remaining budget, so a timeout
+                        // IS deadline expiry. Without a deadline a
+                        // `TimedOut` came from somewhere else (an
+                        // OS-level ETIMEDOUT, a user-set socket timeout)
+                        // and falls through below, preserved as-is.
                         return Err(self.deadline_exceeded());
                     }
                     if free_retry && !free_used && stale_socket(&error) && !deadline.expired() {
@@ -604,6 +614,75 @@ mod tests {
         assert!(!breaker.allow());
         breaker.record_success();
         assert!(breaker.allow(), "closed after probe success");
+    }
+
+    #[test]
+    fn expired_deadline_never_wedges_a_cooling_breaker() {
+        // Regression: a retry backoff sleep that both elapses the breaker
+        // cooldown and exhausts the deadline must NOT let the expired
+        // call be admitted as the half-open probe (it runs no attempt, so
+        // it could never report back and the breaker would stay HalfOpen
+        // — "probe in flight" — forever).
+        let clock = vclock();
+        let p = FaultPolicy {
+            deadline: Some(Duration::from_millis(25)),
+            max_retries: 1,
+            backoff_base: Duration::from_millis(100), // clamps to remaining
+            backoff_cap: Duration::from_millis(100),
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(20),
+            backoff_seed: 7,
+        };
+        let r = Resilience::with_clock(p, clock.clone());
+        // One failing attempt trips the breaker; the retry sleep is
+        // clamped to the remaining 25ms, which also outlasts the 20ms
+        // cooldown — the loop re-enters with the deadline spent.
+        let err = r
+            .run::<()>(|_, _| Err(AttemptFailure::hard(reset())))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert_eq!(
+            r.breaker().state(),
+            BreakerState::Open,
+            "the expired call must not have been admitted as the probe"
+        );
+        // A later healthy call gets the probe slot and closes the breaker
+        // — with the probe slot leaked this would fail fast forever.
+        clock.advance(20_000_000);
+        r.run::<()>(|_, _| Ok(())).unwrap();
+        assert_eq!(r.breaker().state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn bare_timeout_without_a_deadline_stays_a_plain_io_error() {
+        // With no deadline in force, socket timeouts are never set by the
+        // policy, so a TimedOut attempt error (an OS-level ETIMEDOUT, a
+        // user-set socket timeout) is NOT deadline expiry: it must pass
+        // through unconverted and uncounted.
+        let clock = vclock();
+        let metrics = Arc::new(Metrics::with_clock(clock.clone()));
+        let mut p = policy();
+        p.deadline = None;
+        p.breaker_threshold = 0;
+        let mut r = Resilience::with_clock(p, clock);
+        r.set_metrics(Arc::clone(&metrics));
+        let mut attempts = 0;
+        let err = r
+            .run::<()>(|_, _| {
+                attempts += 1;
+                Err(AttemptFailure::hard(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "ETIMEDOUT",
+                )))
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(
+            !Deadline::is_deadline_error(&err),
+            "no marker: this is not a budget expiry"
+        );
+        assert_eq!(attempts, 1, "timeouts are not policy-retryable");
+        assert_eq!(metrics.snapshot().get(Counter::DeadlinesExceeded), 0);
     }
 
     #[test]

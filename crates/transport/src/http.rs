@@ -351,6 +351,12 @@ impl<R: Read> RequestReader<R> {
         }
     }
 
+    /// The wrapped stream. Server loops use this to re-arm per-request
+    /// read budgets at request boundaries.
+    pub fn stream_mut(&mut self) -> &mut R {
+        &mut self.stream
+    }
+
     /// Read one full request. Returns `Ok(None)` on clean EOF before any
     /// bytes of a next request.
     pub fn next_request(&mut self) -> io::Result<Option<(RequestHead, Vec<u8>)>> {

@@ -88,6 +88,10 @@ struct Idle {
     since_ns: u64,
 }
 
+/// Real-time slice for one queued-checkout condvar wait; the deadline
+/// itself is re-checked on its injected clock between slices.
+const QUEUE_WAIT_SLICE: Duration = Duration::from_millis(5);
+
 /// The `max_live` admission gate: a counted semaphore on a condvar so
 /// over-cap checkouts queue instead of being refused.
 #[derive(Default)]
@@ -227,15 +231,21 @@ impl ConnectionPool {
                     if left.is_zero() {
                         return Err(Deadline::timed_out());
                     }
-                    let (guard, res) = self
+                    // The condvar can only wait in *real* time, while
+                    // `left` is measured on the deadline's injected clock
+                    // (a VirtualClock in tests). Wait in short real-time
+                    // slices and re-derive the remaining budget from the
+                    // deadline's own clock each pass: a queued checkout
+                    // neither times out early while virtual time stands
+                    // still, nor keeps waiting once virtual time is
+                    // already past the deadline.
+                    let slice = left.min(QUEUE_WAIT_SLICE);
+                    let (guard, _res) = self
                         .gate
                         .returned
-                        .wait_timeout(live, left)
+                        .wait_timeout(live, slice)
                         .unwrap_or_else(|e| e.into_inner());
                     live = guard;
-                    if res.timed_out() && *live >= cap {
-                        return Err(Deadline::timed_out());
-                    }
                 }
                 None => {
                     live = self

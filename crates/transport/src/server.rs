@@ -41,11 +41,22 @@ pub struct ServerOptions {
     pub workers: usize,
     /// Graceful-drain deadline on stop.
     pub drain_deadline: Duration,
-    /// Per-connection socket read timeout (Collect/Ack modes). A peer that
-    /// dribbles a request slower than this — the slow-loris pattern — is
-    /// evicted and counted under [`Counter::ServerTimeouts`]. `None` (the
-    /// seed default) waits forever.
+    /// Per-*read* socket timeout (Collect/Ack modes): bounds how long any
+    /// single read may stall before the connection is evicted and counted
+    /// under [`Counter::ServerTimeouts`]. On its own this does not bound
+    /// a whole request — a peer dribbling one byte per interval just
+    /// under this timeout keeps every read succeeding; pair it with
+    /// [`ServerOptions::request_timeout`] for that. `None` (the seed
+    /// default) lets each read wait forever.
     pub read_timeout: Option<Duration>,
+    /// Per-*request* time budget (Collect/Ack modes): opened at the first
+    /// byte of a request head, it caps head + body read time in total —
+    /// each read's socket timeout is shrunk to the remaining budget, so
+    /// the slow-loris dribbler that defeats `read_timeout` alone is still
+    /// evicted (counted under [`Counter::ServerTimeouts`]). Idle
+    /// keep-alive gaps *between* requests are not on this budget. `None`
+    /// leaves request duration unbounded.
+    pub request_timeout: Option<Duration>,
     /// Cap on one request head; larger heads get a `400` and the
     /// connection closed (see [`crate::http::RequestReader::with_limits`]).
     pub max_head_bytes: usize,
@@ -60,6 +71,7 @@ impl Default for ServerOptions {
             workers: d.workers,
             drain_deadline: d.drain_deadline,
             read_timeout: None,
+            request_timeout: None,
             max_head_bytes: 1 << 20,
             max_body_bytes: 64 << 20,
         }
@@ -210,8 +222,9 @@ fn drain(mut stream: TcpStream, shared: &Shared) {
 ///
 /// Hardened per [`ServerOptions`]: a malformed or over-cap request draws a
 /// `400` before the connection closes (so a well-behaved-but-buggy client
-/// learns why), and a read that outlasts `read_timeout` evicts the
-/// connection — one stalled peer cannot pin a worker forever.
+/// learns why), and a read that outlasts `read_timeout` — or a whole
+/// request that outlasts `request_timeout` — evicts the connection: one
+/// stalled (or dribbling) peer cannot pin a worker forever.
 fn respond(
     mut stream: TcpStream,
     shared: &Shared,
@@ -223,16 +236,20 @@ fn respond(
         Ok(s) => s,
         Err(_) => return,
     };
-    if stream.set_read_timeout(opts.read_timeout).is_err() {
-        return;
-    }
-    let mut reader =
-        RequestReader::with_limits(read_half, opts.max_head_bytes, opts.max_body_bytes);
+    let mut reader = RequestReader::with_limits(
+        BudgetedRead::new(read_half, opts.read_timeout, opts.request_timeout),
+        opts.max_head_bytes,
+        opts.max_body_bytes,
+    );
     let mut head_scratch = Vec::new();
     let ack = b"<ack/>";
     loop {
         let (head, body) = match reader.next_request() {
-            Ok(Some(req)) => req,
+            Ok(Some(req)) => {
+                // Request boundary: the next request opens a fresh budget.
+                reader.stream_mut().rearm();
+                req
+            }
             Ok(None) => break, // clean EOF between requests
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Malformed or over-cap request: explain, then hang up
@@ -308,6 +325,68 @@ fn respond(
                 elapsed_ns,
             });
         }
+    }
+}
+
+/// Read half with a per-request time budget layered over the per-read
+/// socket timeout. The budget opens at the first byte of a request and
+/// every subsequent fill shrinks the socket timeout to the remaining
+/// budget, so a slow-loris peer dribbling one byte per interval — each
+/// individual read succeeding just under `per_read` — still cannot hold
+/// a worker past `budget`. [`BudgetedRead::rearm`] marks a request
+/// boundary: idle keep-alive gaps between requests are not on the budget
+/// (only `per_read`, if any, applies there).
+struct BudgetedRead {
+    stream: TcpStream,
+    per_read: Option<Duration>,
+    budget: Option<Duration>,
+    /// When the current request's first byte arrived; `None` between
+    /// requests.
+    started: Option<std::time::Instant>,
+}
+
+impl BudgetedRead {
+    fn new(stream: TcpStream, per_read: Option<Duration>, budget: Option<Duration>) -> Self {
+        BudgetedRead {
+            stream,
+            per_read,
+            budget,
+            started: None,
+        }
+    }
+
+    /// Request boundary: the next request gets a fresh budget.
+    fn rearm(&mut self) {
+        self.started = None;
+    }
+}
+
+impl Read for BudgetedRead {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.per_read.is_none() && self.budget.is_none() {
+            return self.stream.read(buf);
+        }
+        let timeout = match (self.budget, self.started) {
+            (Some(b), Some(t0)) => {
+                let left = b.saturating_sub(t0.elapsed());
+                if left.is_zero() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "request budget exhausted",
+                    ));
+                }
+                Some(self.per_read.map_or(left, |p| p.min(left)))
+            }
+            // Between requests (or with no budget configured) only the
+            // per-read timeout applies.
+            _ => self.per_read,
+        };
+        self.stream.set_read_timeout(timeout)?;
+        let n = self.stream.read(buf)?;
+        if n > 0 && self.budget.is_some() && self.started.is_none() {
+            self.started = Some(std::time::Instant::now());
+        }
+        Ok(n)
     }
 }
 
@@ -585,6 +664,82 @@ mod tests {
         drop(c);
         server.stop();
         assert_eq!(metrics.snapshot().get(Counter::ServerTimeouts), 1);
+    }
+
+    #[test]
+    fn dribbling_slow_loris_is_evicted_by_the_request_budget() {
+        // A peer sending one byte per interval just under `read_timeout`
+        // keeps every individual read succeeding — the per-read timeout
+        // alone never fires. The per-request budget must evict it anyway.
+        let metrics = Metrics::shared();
+        let server = TestServer::spawn_with_metrics(
+            ServerMode::Ack,
+            ServerOptions {
+                read_timeout: Some(Duration::from_millis(200)),
+                request_timeout: Some(Duration::from_millis(120)),
+                ..ServerOptions::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        let head: &[u8] = b"POST / HTTP/1.1\r\nHost: l";
+        for chunk in head.chunks(1).take(12) {
+            // Ignore write errors: once evicted the dribble may hit RST.
+            let _ = c.write_all(chunk);
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        // ~300ms of dribbling against a 120ms request budget: the server
+        // must have evicted the connection and counted the timeout.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while metrics.snapshot().get(Counter::ServerTimeouts) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never evicted the dribbler"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The read half confirms the close: a clean FIN reads zero bytes,
+        // and an error (RST) also means closed.
+        let mut probe = [0u8; 8];
+        if let Ok(n) = c.read(&mut probe) {
+            assert_eq!(n, 0, "server must not answer a dribbler");
+        }
+        drop(c);
+        let stats = server.stop();
+        assert_eq!(stats.requests, 0);
+        assert_eq!(metrics.snapshot().get(Counter::ServerTimeouts), 1);
+    }
+
+    #[test]
+    fn keep_alive_idle_gap_is_not_on_the_request_budget() {
+        // The budget opens at the first byte of a request: a client that
+        // idles between two requests longer than `request_timeout` must
+        // still be served (only reads *within* a request are budgeted).
+        let server = TestServer::spawn_with(
+            ServerMode::Ack,
+            ServerOptions {
+                request_timeout: Some(Duration::from_millis(80)),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+        let body = b"<m>1</m>".to_vec();
+        let mut scratch = Vec::new();
+        post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
+        let (status, _) = crate::http::read_response(&mut c).unwrap();
+        assert_eq!(status, 200);
+        // Idle past the per-request budget, then send a second request.
+        std::thread::sleep(Duration::from_millis(160));
+        post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
+        let (status, _) = crate::http::read_response(&mut c).unwrap();
+        assert_eq!(status, 200);
+        drop(c);
+        let stats = server.stop();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.connections, 1, "keep-alive survived the idle gap");
     }
 
     #[test]

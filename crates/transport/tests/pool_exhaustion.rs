@@ -183,6 +183,70 @@ fn saturated_pool_checkout_times_out_typed() {
     assert_eq!(pool.stats().reused, 1);
 }
 
+/// The queue wait burns *deadline-clock* time, not wall time: a queued
+/// checkout under a virtual-clock deadline must keep waiting while real
+/// time passes (the old code handed the deadline's remaining budget to
+/// a real-time condvar wait, timing out on the wrong clock), then fail
+/// with a typed `TimedOut` promptly once the virtual clock is advanced
+/// past the budget.
+#[test]
+fn queued_checkout_waits_on_the_deadline_clock_not_real_time() {
+    let server = HoldingServer::accept(1);
+    let pool = ConnectionPool::new(
+        server.addr,
+        PoolConfig {
+            max_live: Some(1),
+            ..PoolConfig::default()
+        },
+    );
+
+    let held = pool.checkout().unwrap();
+    assert_eq!(pool.live_count(), 1);
+
+    let vclock = Arc::new(VirtualClock::new());
+    let deadline = Deadline::from_budget(
+        Arc::clone(&vclock) as Arc<dyn Clock>,
+        Some(Duration::from_millis(50)),
+    );
+
+    let (tx, rx) = mpsc::channel::<std::io::Result<()>>();
+    std::thread::scope(|scope| {
+        let pool = &pool;
+        let deadline = deadline.clone();
+        scope.spawn(move || {
+            let res = pool.checkout_within(Some(&deadline)).map(drop);
+            tx.send(res).unwrap();
+        });
+
+        // The waiter is queued on the gate...
+        spin_until(Duration::from_secs(10), "queued checkout", || {
+            pool.stats().waited == 1
+        });
+        // ...and 120ms of *real* time must not expire its 50ms of
+        // *virtual* budget.
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(
+            matches!(rx.try_recv(), Err(mpsc::TryRecvError::Empty)),
+            "queued checkout gave up on real time despite a frozen virtual deadline"
+        );
+
+        // Spend the virtual budget: the waiter must notice promptly.
+        vclock.advance(50_000_001);
+        let res = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("waiter never observed the advanced virtual clock");
+        let err = res.expect_err("expired virtual deadline must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    });
+
+    // The failed wait released its queue slot: capacity returning still
+    // serves the next checkout.
+    assert_eq!(pool.live_count(), 1);
+    drop(held);
+    let conn = pool.checkout().expect("pool wedged after virtual-clock timeout");
+    assert!(conn.reused);
+}
+
 /// When a tripped breaker's cooldown lapses, exactly one of N racing
 /// callers is admitted as the half-open probe; the rest fail fast. The
 /// probe's verdict then decides for everyone.

@@ -68,8 +68,12 @@ pub use bsoap_core::{
 
 /// Fault-tolerance surface: retry/breaker policy, per-call deadlines,
 /// deterministic backoff, breaker state machine.
-pub use bsoap_obs::{Backoff, BreakerState, Clock, Deadline, MonotonicClock, VirtualClock};
+pub use bsoap_obs::{Backoff, BreakerState, Clock, Deadline, DeadlineExpired, MonotonicClock, VirtualClock};
 pub use bsoap_transport::{AttemptFailure, CircuitBreaker, FaultPolicy, Resilience};
+
+/// Vectored write helper for custom transports (gather-writes a slice
+/// list fully, retrying short writes).
+pub use bsoap_core::sendv::write_all_vectored;
 
 pub use bsoap_core::overlay::{OverlayReport, OverlaySender};
 pub use bsoap_core::pipeline::{PipelineReport, PipelinedSender};

@@ -2,14 +2,20 @@
 //!
 //! Randomized schedules of partial writes, injected transport errors,
 //! EINTR storms, and stalls past the deadline are driven through the
-//! differential client. For every schedule, three things must hold:
+//! differential client, with every send routed through the production
+//! [`Resilience`] layer under a bounded policy deadline — the layer that
+//! detects expiry, counts `DeadlinesExceeded`, and mints the marker
+//! error the client maps to a typed `DeadlineExceeded`. For every
+//! schedule, three things must hold:
 //!
 //! 1. **Wire fidelity or typed failure** — each call either puts bytes on
 //!    the wire that are pad-equivalent to a from-scratch full
 //!    serialization of the same arguments, or surfaces a *typed* error
 //!    ([`EngineError::Io`] with the injected kind, or
-//!    [`EngineError::DeadlineExceeded`] for timeout kinds). No wrong
-//!    bytes, no untyped panics.
+//!    [`EngineError::DeadlineExceeded`] for timeout kinds — under a
+//!    bounded deadline every socket timeout is sized to the remaining
+//!    budget, so `TimedOut`/`WouldBlock` from an attempt IS expiry). No
+//!    wrong bytes, no untyped panics.
 //! 2. **State integrity** — the saved template (when one survives) passes
 //!    its structural invariants after every step, the degraded-mode
 //!    ladder demotes/recovers exactly as specified, and a clean send
@@ -25,17 +31,24 @@
 
 use std::io::{self, IoSlice, Write};
 use std::sync::Arc;
+use std::time::Duration;
 
 use bsoap::baseline::GSoapLike;
 use bsoap::convert::ScalarKind;
 use bsoap::obs::{Clock, Counter, EngineStats, HistId, Metrics, Tier, TraceKind, VirtualClock};
 use bsoap::xml::strip_pad;
-use bsoap::{Client, EngineConfig, EngineError, OpDesc, SendTier, TypeDesc, Value, WidthPolicy};
+use bsoap::{
+    write_all_vectored, AttemptFailure, Client, EngineConfig, EngineError, FaultPolicy, OpDesc,
+    Resilience, SendTier, TypeDesc, Value, WidthPolicy,
+};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 
+/// Per-call budget the resilience policy grants each send.
+const BUDGET: Duration = Duration::from_secs(5);
+
 /// Virtual nanoseconds a stalled write burns before erroring — larger
-/// than any per-call budget a config would set.
+/// than [`BUDGET`], so a stall always spends the whole budget.
 const STALL_NS: u64 = 10_000_000_000;
 
 fn doubles_op() -> OpDesc {
@@ -103,6 +116,21 @@ fn injected_kind(f: Fault) -> Option<io::ErrorKind> {
         Fault::StallPastDeadline { .. } => Some(io::ErrorKind::TimedOut),
         _ => None,
     }
+}
+
+/// Whether this fault, if it fires, must be classified as deadline
+/// expiry by the resilience layer: under a bounded policy deadline,
+/// both timeout spellings (`TimedOut` from `connect_timeout`,
+/// `WouldBlock` from `SO_RCVTIMEO`/`SO_SNDTIMEO`) mean the budget is
+/// spent.
+fn is_timeout_fault(f: Fault) -> bool {
+    matches!(
+        f,
+        Fault::ErrorAfter {
+            kind: ErrKind::TimedOut | ErrKind::WouldBlock,
+            ..
+        } | Fault::StallPastDeadline { .. }
+    )
 }
 
 /// Write shim executing one [`Fault`] per call; collects the bytes it
@@ -467,6 +495,23 @@ fn run_schedule(
         .with_degraded(degrade_after, 2);
     let mut client = Client::new(cfg);
     client.set_metrics(Arc::clone(&metrics));
+    // Sends go through the production resilience layer: it opens the
+    // per-call deadline, classifies timeout kinds as expiry, counts and
+    // traces `DeadlinesExceeded` (the client deliberately does not — one
+    // expired call must read as one on the shared registry), and mints
+    // the marker error the client maps to `DeadlineExceeded`. No policy
+    // retries and no breaker: each injected fault fires exactly once.
+    let resilience = {
+        let mut r = Resilience::with_clock(
+            FaultPolicy {
+                deadline: Some(BUDGET),
+                ..FaultPolicy::default()
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        r.set_metrics(Arc::clone(&metrics));
+        r
+    };
     let mut faulty = FaultyStream::new(Arc::clone(&clock));
     let mut model = ChaosModel::new(degrade_after, 2);
     let mut oracle = GSoapLike::new();
@@ -480,7 +525,11 @@ fn run_schedule(
         apply(&mut xs, u);
         faulty.begin_call(*fault);
         let args = [Value::DoubleArray(xs.clone())];
-        let res = client.call("ep", &op, &args, &mut faulty);
+        let res = client.call_via("ep", &op, &args, |slices| {
+            resilience.run(|_, _| {
+                write_all_vectored(&mut faulty, slices).map_err(AttemptFailure::hard)
+            })
+        });
 
         if i == last {
             prop_assert!(
@@ -517,9 +566,8 @@ fn run_schedule(
             }
             Err(EngineError::DeadlineExceeded) => {
                 prop_assert!(faulty.fired, "step {}: phantom deadline error", i);
-                prop_assert_eq!(
-                    injected_kind(*fault),
-                    Some(io::ErrorKind::TimedOut),
+                prop_assert!(
+                    is_timeout_fault(*fault),
                     "step {}: DeadlineExceeded from a non-timeout fault {:?}",
                     i,
                     fault
@@ -528,11 +576,12 @@ fn run_schedule(
             }
             Err(EngineError::Io(e)) => {
                 prop_assert!(faulty.fired, "step {}: phantom I/O error {:?}", i, e);
-                prop_assert_ne!(
-                    e.kind(),
-                    io::ErrorKind::TimedOut,
-                    "step {}: TimedOut must surface as DeadlineExceeded",
-                    i
+                prop_assert!(
+                    !is_timeout_fault(*fault),
+                    "step {}: timeout fault under a bounded deadline must surface \
+                     as DeadlineExceeded, got Io({:?})",
+                    i,
+                    e.kind()
                 );
                 prop_assert_eq!(
                     Some(e.kind()),

@@ -589,6 +589,20 @@ impl std::io::Write for AlwaysFail {
     }
 }
 
+/// Writer that always fails with the canonical deadline-expiry error —
+/// the marker-carrying `TimedOut` a transport-layer `Resilience` returns
+/// once a call's budget is spent.
+struct DeadlineFail;
+
+impl std::io::Write for DeadlineFail {
+    fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+        Err(bsoap::Deadline::timed_out())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
 #[test]
 fn degraded_ladder_walk_matches_reference_model() {
     use bsoap::obs::TraceKind;
@@ -661,8 +675,10 @@ fn degraded_ladder_walk_matches_reference_model() {
     model.bytes_sent += r.bytes as u64;
     model.check(&metrics.snapshot());
 
-    // A deadline expiry while degraded: typed, counted, no recovery
-    // progress lost beyond the failure itself.
+    // A bare OS-level timeout while degraded: with no deadline policy in
+    // the path there is no budget to have spent — the error stays a
+    // typed `Io(TimedOut)` (no `DeadlineExceeded` mapping without the
+    // marker) and nothing counts.
     let err = client
         .call(
             "ep",
@@ -671,8 +687,23 @@ fn degraded_ladder_walk_matches_reference_model() {
             &mut AlwaysFail(std::io::ErrorKind::TimedOut),
         )
         .unwrap_err();
+    assert!(
+        matches!(&err, EngineError::Io(e) if e.kind() == std::io::ErrorKind::TimedOut),
+        "bare TimedOut must stay Io, got {err:?}"
+    );
+    model.step_wire_failed(&dirty, false); // no template: nothing counts
+    model.check(&metrics.snapshot());
+
+    // A genuine expiry (the marker error a transport-layer `Resilience`
+    // mints) maps to the typed `DeadlineExceeded` — but the client never
+    // counts or traces it: that belongs to the layer that *detected* the
+    // expiry, which already spoke on its own registry. Recovery progress
+    // survives both failures.
+    let err = client
+        .call("ep", &op, &args(&dirty), &mut DeadlineFail)
+        .unwrap_err();
     assert!(matches!(err, EngineError::DeadlineExceeded));
-    model.step_wire_failed(&dirty, true); // no template: only the expiry counts
+    model.step_wire_failed(&dirty, false); // counted upstream, not here
     model.check(&metrics.snapshot());
 
     // Second degraded success completes recovery.
@@ -694,13 +725,15 @@ fn degraded_ladder_walk_matches_reference_model() {
         model.check(&metrics.snapshot());
     }
 
-    // Trace reconciliation: one demotion, one recovery, one deadline.
+    // Trace reconciliation: one demotion, one recovery, and no deadline
+    // traces — the client propagates expiry but only the detecting
+    // transport layer traces it.
     let (events, dropped) = metrics.trace_ring().snapshot();
     assert_eq!(dropped, 0);
     let count = |want: &TraceKind| events.iter().filter(|e| &e.kind == want).count();
     assert_eq!(count(&TraceKind::Degraded { on: true }), 1, "demotions");
     assert_eq!(count(&TraceKind::Degraded { on: false }), 1, "recoveries");
-    assert_eq!(count(&TraceKind::DeadlineExceeded), 1, "deadline traces");
+    assert_eq!(count(&TraceKind::DeadlineExceeded), 0, "deadline traces");
 }
 
 #[test]
