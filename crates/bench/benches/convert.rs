@@ -64,12 +64,18 @@ fn itoa_bench(c: &mut Criterion) {
         ("five_digits", 13902),
         ("eleven_chars", -2_000_000_000),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+        group.bench_function(BenchmarkId::new("scalar", label), |b| {
             b.iter(|| bsoap_convert::write_i32(&mut buf, std::hint::black_box(v)))
+        });
+        group.bench_function(BenchmarkId::new("branchless", label), |b| {
+            b.iter(|| bsoap_convert::write_i32_branchless(&mut buf, std::hint::black_box(v)))
         });
     }
     group.bench_function("i64_twenty_chars", |b| {
         b.iter(|| bsoap_convert::write_i64(&mut buf, std::hint::black_box(i64::MIN + 1)))
+    });
+    group.bench_function("i64_twenty_chars_branchless", |b| {
+        b.iter(|| bsoap_convert::write_i64_branchless(&mut buf, std::hint::black_box(i64::MIN + 1)))
     });
     group.finish();
 }
@@ -94,24 +100,25 @@ fn parse_bench(c: &mut Criterion) {
 }
 
 fn escape_bench(c: &mut Criterion) {
+    use bsoap_core::KernelPolicy;
     let mut group = c.benchmark_group("xml_escape");
     let clean = "a plain string without any special characters at all";
     let dirty = "x < y && y > z \"quoted\" 'apos'";
     let mut out = Vec::with_capacity(128);
-    group.bench_function("text_clean", |b| {
-        b.iter(|| {
-            out.clear();
-            bsoap_xml::escape_text_into(&mut out, std::hint::black_box(clean));
-            out.len()
-        })
-    });
-    group.bench_function("text_dirty", |b| {
-        b.iter(|| {
-            out.clear();
-            bsoap_xml::escape_text_into(&mut out, std::hint::black_box(dirty));
-            out.len()
-        })
-    });
+    for &(label, text) in &[("text_clean", clean), ("text_dirty", dirty)] {
+        for &(kernel, policy) in &[
+            ("scalar", KernelPolicy::Scalar),
+            ("simd", KernelPolicy::ForcedSimd),
+        ] {
+            group.bench_function(BenchmarkId::new(kernel, label), |b| {
+                b.iter(|| {
+                    out.clear();
+                    bsoap_xml::escape_text_into_with(&mut out, std::hint::black_box(text), policy);
+                    out.len()
+                })
+            });
+        }
+    }
     group.finish();
 }
 

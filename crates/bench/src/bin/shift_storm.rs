@@ -5,8 +5,15 @@
 //! same workload.
 //!
 //! ```text
-//! cargo run --release -p bsoap-bench --bin shift_storm [-- --elems N --reps R --out FILE]
+//! cargo run --release -p bsoap-bench --bin shift_storm \
+//!     [-- --elems N --reps R --kernel scalar|simd|both --out FILE]
 //! ```
+//!
+//! `--kernel` (default `both`) controls the byte-kernel rows: `simd` and
+//! `both` add a `planned_simd` leg — the coalesced executor under
+//! `KernelPolicy::ForcedSimd` — next to the scalar `legacy`/`planned`
+//! rows, byte-identity-checked against both; `scalar` suppresses it (the
+//! scalar-only CI leg).
 //!
 //! Asserts (exit 1 on failure):
 //!
@@ -28,7 +35,9 @@ use std::sync::Arc;
 use bsoap_bench::workload::Kind;
 use bsoap_bench::{measure_batched, Timing};
 use bsoap_chunks::ChunkConfig;
-use bsoap_core::{Client, EngineConfig, FlushMode, MessageTemplate, SendTier, Value, WidthPolicy};
+use bsoap_core::{
+    Client, EngineConfig, FlushMode, KernelPolicy, MessageTemplate, SendTier, Value, WidthPolicy,
+};
 use bsoap_obs::{Counter, EngineStats, Metrics};
 use bsoap_transport::SinkTransport;
 
@@ -49,13 +58,14 @@ fn storm(n: usize) -> Value {
     Value::DoubleArray((0..n).map(|i| (i as f64 + 0.1) / 3.0).collect())
 }
 
-fn config(mode: FlushMode) -> EngineConfig {
+fn config(mode: FlushMode, kernel: KernelPolicy) -> EngineConfig {
     // 32 KiB chunks: each legacy shift re-moves a long tail, so the
     // coalescing advantage dominates per-value conversion noise.
     EngineConfig::paper_default()
         .with_chunk(ChunkConfig::k32())
         .with_width(WidthPolicy::Exact)
         .with_flush_mode(mode)
+        .with_kernel(kernel)
 }
 
 struct Leg {
@@ -71,10 +81,10 @@ struct Leg {
 
 /// One instrumented run for the counters and the byte-identity check
 /// (wall-clock fields are filled in by the interleaved timing loop).
-fn run_counters(mode: FlushMode, n: usize) -> Leg {
+fn run_counters(mode: FlushMode, kernel: KernelPolicy, n: usize) -> Leg {
     let op = Kind::Doubles.op();
     let metrics = Arc::new(Metrics::new());
-    let mut tpl = MessageTemplate::build(config(mode), &op, &[initial(n)]).unwrap();
+    let mut tpl = MessageTemplate::build(config(mode, kernel), &op, &[initial(n)]).unwrap();
     tpl.set_metrics(Arc::clone(&metrics));
     tpl.update_args(&[storm(n)]).unwrap();
     tpl.flush();
@@ -93,9 +103,9 @@ fn run_counters(mode: FlushMode, n: usize) -> Leg {
 
 /// Time the storm flush: each rep gets a fresh template (built + dirtied
 /// untimed; only the flush is timed).
-fn time_leg(mode: FlushMode, n: usize, reps: usize) -> Timing {
+fn time_leg(mode: FlushMode, kernel: KernelPolicy, n: usize, reps: usize) -> Timing {
     let op = Kind::Doubles.op();
-    let config = config(mode);
+    let config = config(mode, kernel);
     measure_batched(
         1,
         reps,
@@ -133,7 +143,7 @@ fn run_fallback(n: usize, reps: usize) -> Fallback {
     // the worst case cheap to *execute*, but it still reconverts every
     // value); a 0.75 break-even ratio puts this workload firmly on the
     // rebuild side of the gate, which is the behavior this leg verifies.
-    let cfg = config(FlushMode::Planned)
+    let cfg = config(FlushMode::Planned, KernelPolicy::Auto)
         .with_cost_fallback(true)
         .with_fallback_ratio(0.75);
 
@@ -212,6 +222,7 @@ fn leg_json(leg: &Leg) -> String {
 fn main() {
     let mut elems = 2000usize;
     let mut reps = 30usize;
+    let mut kernel = "both".to_owned();
     let mut out = "BENCH_shiftstorm.json".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -224,9 +235,13 @@ fn main() {
         match a.as_str() {
             "--elems" => elems = next("--elems").parse().expect("bad --elems"),
             "--reps" => reps = next("--reps").parse().expect("bad --reps"),
+            "--kernel" => kernel = next("--kernel"),
             "--out" => out = next("--out"),
             "--help" | "-h" => {
-                println!("usage: shift_storm [--elems N] [--reps R] [--out FILE]");
+                println!(
+                    "usage: shift_storm [--elems N] [--reps R] \
+                     [--kernel scalar|simd|both] [--out FILE]"
+                );
                 return;
             }
             other => {
@@ -235,21 +250,35 @@ fn main() {
             }
         }
     }
+    let with_simd_leg = match kernel.as_str() {
+        "scalar" => false,
+        "simd" | "both" => true,
+        other => {
+            eprintln!("bad --kernel {other} (want scalar|simd|both)");
+            std::process::exit(2);
+        }
+    };
 
-    let mut legacy = run_counters(FlushMode::Legacy, elems);
-    let mut planned = run_counters(FlushMode::Planned, elems);
+    let mut legacy = run_counters(FlushMode::Legacy, KernelPolicy::Scalar, elems);
+    let mut planned = run_counters(FlushMode::Planned, KernelPolicy::Scalar, elems);
+    let mut planned_simd =
+        with_simd_leg.then(|| run_counters(FlushMode::Planned, KernelPolicy::ForcedSimd, elems));
 
-    // Interleave the two modes across several rounds and keep each mode's
-    // best round: background load hits both alike, so the comparison is
-    // between the code paths rather than the scheduler's mood.
+    // Interleave the legs across several rounds and keep each leg's best
+    // round: background load hits all alike, so the comparison is between
+    // the code paths rather than the scheduler's mood.
     const ROUNDS: usize = 5;
     let reps_per_round = reps.div_ceil(ROUNDS).max(2);
     for _ in 0..ROUNDS {
-        for (leg, mode) in [
-            (&mut legacy, FlushMode::Legacy),
-            (&mut planned, FlushMode::Planned),
-        ] {
-            let t = time_leg(mode, elems, reps_per_round);
+        let mut legs = vec![
+            (&mut legacy, FlushMode::Legacy, KernelPolicy::Scalar),
+            (&mut planned, FlushMode::Planned, KernelPolicy::Scalar),
+        ];
+        if let Some(leg) = planned_simd.as_mut() {
+            legs.push((leg, FlushMode::Planned, KernelPolicy::ForcedSimd));
+        }
+        for (leg, mode, k) in legs {
+            let t = time_leg(mode, k, elems, reps_per_round);
             leg.mean_ms = leg.mean_ms.min(t.mean_ms());
             leg.min_ms = leg.min_ms.min(t.min.as_secs_f64() * 1e3);
         }
@@ -270,15 +299,30 @@ fn main() {
         planned.splits,
         planned.coalesced_passes,
     );
+    if let Some(simd) = &planned_simd {
+        println!(
+            "  planned+simd: {:>8.4} ms/flush (min {:>8.4})  shifted {:>10} B  passes {}",
+            simd.mean_ms, simd.min_ms, simd.shifted_bytes, simd.coalesced_passes,
+        );
+    }
     println!(
         "  fallback: fell_back={} modeled {:.3}x first-time (wall {:.4} ms vs {:.4} ms)",
         fallback.fell_back, fallback.modeled_ratio, fallback.adversarial_ms, fallback.first_time_ms,
     );
 
-    let bytes_equal = legacy.bytes == planned.bytes;
+    let bytes_equal = legacy.bytes == planned.bytes
+        && planned_simd
+            .as_ref()
+            .is_none_or(|s| s.bytes == planned.bytes);
+    let simd_row = match &planned_simd {
+        Some(s) => leg_json(s),
+        None => "null".to_owned(),
+    };
     let json = format!(
         "{{\n  \"benchmark\": \"shift_storm\",\n  \"elems\": {elems},\n  \"reps\": {reps},\n  \
-         \"legacy\": {},\n  \"planned\": {},\n  \"bytes_equal\": {bytes_equal},\n  \
+         \"kernel\": \"{kernel}\",\n  \
+         \"legacy\": {},\n  \"planned\": {},\n  \"planned_simd\": {simd_row},\n  \
+         \"bytes_equal\": {bytes_equal},\n  \
          \"shifted_bytes_ratio\": {:.4},\n  \"fallback\": {{\"fell_back\": {}, \
          \"modeled_ratio_vs_first_time\": {:.4}, \"adversarial_mean_ms\": {:.4}, \
          \"first_time_mean_ms\": {:.4}}}\n}}\n",
@@ -303,7 +347,15 @@ fn main() {
             failed = true;
         }
     };
-    check(bytes_equal, "legacy and planned flush bytes diverged");
+    check(bytes_equal, "flush bytes diverged across legs");
+    if let Some(simd) = &planned_simd {
+        check(
+            simd.shifted_bytes == planned.shifted_bytes
+                && simd.coalesced_passes == planned.coalesced_passes
+                && simd.shifts == planned.shifts,
+            "simd leg counters diverged from scalar planned leg",
+        );
+    }
     check(
         planned.shifted_bytes < legacy.shifted_bytes,
         "coalesced executor did not move strictly fewer bytes",

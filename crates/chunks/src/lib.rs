@@ -20,6 +20,8 @@
 //! (`bsoap-core`); this crate only guarantees the byte mechanics and keeps
 //! them property-tested against a flat reference buffer.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod store;
 
 pub use store::{Chunk, ChunkConfig, ChunkStore, Loc, StoreCounters};

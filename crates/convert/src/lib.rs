@@ -27,6 +27,8 @@
 //! * `itoa` output never exceeds [`widths::INT_MAX_WIDTH`] (11) bytes for
 //!   `i32` and [`widths::LONG_MAX_WIDTH`] (20) for `i64`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bignum;
 pub mod dtoa;
 pub mod grisu;
@@ -36,10 +38,14 @@ pub mod widths;
 
 pub use dtoa::{format_f64, write_f64};
 pub use grisu::{format_f64_fast, write_f64_fast, FloatFormatter};
-pub use itoa::{format_i32, format_i64, format_u64, write_i32, write_i64, write_u64};
+pub use itoa::{
+    digit_count_u32, digit_count_u64, format_i32, format_i64, format_u64, write_i32,
+    write_i32_branchless, write_i32_with, write_i64, write_i64_branchless, write_i64_with,
+    write_u64, write_u64_branchless,
+};
 pub use widths::{
-    pad_spaces, ScalarKind, BOOL_MAX_WIDTH, DOUBLE_MAX_WIDTH, INT_MAX_WIDTH, LONG_MAX_WIDTH,
-    MIO_MAX_WIDTH, MIO_MIN_WIDTH,
+    pad_spaces, pad_spaces_wide, pad_spaces_with, ScalarKind, BOOL_MAX_WIDTH, DOUBLE_MAX_WIDTH,
+    INT_MAX_WIDTH, LONG_MAX_WIDTH, MIO_MAX_WIDTH, MIO_MIN_WIDTH,
 };
 
 /// Write a boolean in `xsd:boolean` lexical form (`true` / `false`).

@@ -282,6 +282,7 @@ impl Client {
         self.stats.degraded_sends += 1;
         if let Some(m) = &self.metrics {
             m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);
+            m.add(Counter::SimdKernelHits, bsoap_kernels::take_simd_hits());
             m.add(Counter::ValuesWritten, report.values_written as u64);
             m.add(Counter::DegradedSends, 1);
             m.add(Counter::BytesSent, report.bytes as u64);
@@ -416,6 +417,7 @@ impl Client {
         };
         if let Some(m) = &self.metrics {
             m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);
+            m.add(Counter::SimdKernelHits, bsoap_kernels::take_simd_hits());
             m.add(Counter::ValuesWritten, report.values_written as u64);
         }
         self.cache.insert_with_cap(key, tpl, self.templates_per_key);

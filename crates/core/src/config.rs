@@ -3,6 +3,7 @@
 pub use bsoap_chunks::ChunkConfig;
 pub use bsoap_convert::FloatFormatter;
 use bsoap_convert::ScalarKind;
+pub use bsoap_kernels::KernelPolicy;
 use std::time::Duration;
 
 /// Initial field-width policy — the *stuffing* knob (§3.2, §4.4).
@@ -144,6 +145,13 @@ pub struct EngineConfig {
     /// Server side: maximum request body (`Content-Length` or summed
     /// chunks) accepted before the connection is answered 400 and dropped.
     pub max_body_bytes: usize,
+    /// Which byte-kernel implementations the engine's hot loops use
+    /// (escape scanning, stuffed integer encoding, coalesced gap
+    /// shifting): `Auto` dispatches on runtime CPU detection, `Scalar`
+    /// pins the portable oracle, `ForcedSimd` always takes the wide path.
+    /// All settings produce byte-identical messages; the `BSOAP_KERNEL`
+    /// environment variable overrides this knob process-wide.
+    pub kernel: KernelPolicy,
 }
 
 impl EngineConfig {
@@ -171,6 +179,7 @@ impl EngineConfig {
             recover_after: 2,
             max_head_bytes: 1 << 20,
             max_body_bytes: 64 << 20,
+            kernel: KernelPolicy::Auto,
         }
     }
 
@@ -233,6 +242,12 @@ impl EngineConfig {
     /// Builder-style flush-mode override.
     pub fn with_flush_mode(mut self, mode: FlushMode) -> Self {
         self.flush_mode = mode;
+        self
+    }
+
+    /// Builder-style byte-kernel policy override.
+    pub fn with_kernel(mut self, kernel: KernelPolicy) -> Self {
+        self.kernel = kernel;
         self
     }
 

@@ -48,7 +48,9 @@ pub mod value;
 
 pub use cache::{TemplateCache, TemplateKey};
 pub use client::{Client, ClientStats};
-pub use config::{EngineConfig, FloatFormatter, FlushMode, GrowthPolicy, WidthPolicy};
+pub use config::{
+    EngineConfig, FloatFormatter, FlushMode, GrowthPolicy, KernelPolicy, WidthPolicy,
+};
 pub use dut::{DutEntry, DutTable};
 pub use error::EngineError;
 pub use pipeline::{PipelineReport, PipelinedSender};

@@ -122,7 +122,7 @@ impl Builder {
     /// field stuffs to `INT_MAX_WIDTH` so resizes never shift).
     pub(crate) fn leaf(&mut self, value: Scalar, close_tag: &str, width_override: Option<usize>) {
         let kind = value.kind();
-        value.serialize_into_with(&mut self.scratch, self.config.float);
+        value.serialize_into_kern(&mut self.scratch, self.config.float, self.config.kernel);
         let ser_len = self.scratch.len();
         let width = match width_override {
             Some(w) => w.max(ser_len),

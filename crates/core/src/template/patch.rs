@@ -39,7 +39,7 @@
 //! deferred too (contagion) rather than rewritten concurrently.
 
 use super::{MessageTemplate, SendReport, SendTier};
-use crate::config::{FlushMode, GrowthPolicy};
+use crate::config::{FlushMode, GrowthPolicy, KernelPolicy};
 use crate::dut::DutEntry;
 use crate::error::EngineError;
 use crate::plan::{InjectedFault, OpKind, PlannedOp, SendPlan};
@@ -136,8 +136,10 @@ impl MessageTemplate {
         self.stats.shifted_bytes += counters.shifted_bytes;
 
         let churn = self.store.take_counters();
+        let simd_hits = bsoap_kernels::take_simd_hits();
         if let Some(m) = &self.metrics {
             m.add(Counter::send(tier.obs()), 1);
+            m.add(Counter::SimdKernelHits, simd_hits);
             m.add(Counter::ChunkGrows, churn.grows);
             m.add(Counter::ChunkMerges, churn.merges);
             m.add(Counter::ChunkMovedBytes, churn.moved_bytes);
@@ -262,7 +264,11 @@ impl MessageTemplate {
                     .iter()
                     .map(|&(g, d)| (g as usize, d as usize))
                     .collect();
-                counters.shifted_bytes += self.store.open_gaps_right(chunk as usize, &gaps_bytes);
+                counters.shifted_bytes += self.store.open_gaps_right_with(
+                    chunk as usize,
+                    &gaps_bytes,
+                    self.config.kernel,
+                );
                 counters.shifts += rest.len();
                 counters.coalesced_passes += 1;
                 counters.dut_fixups += self.apply_multi_gap_fixups(first_entry, chunk, &gaps);
@@ -292,23 +298,39 @@ impl MessageTemplate {
     /// sum of the deltas of gaps at-or-before its offset (positions in
     /// pre-pass coordinates, ascending). One sweep replaces the per-gap
     /// sweeps of the legacy path.
+    ///
+    /// Entries within a chunk sit at ascending offsets (document order), so
+    /// the entry sweep and the ascending gap list merge with two pointers —
+    /// O(entries + gaps) where the former `take_while` rescan was
+    /// O(entries × gaps). Array markers are few and unsorted; they use a
+    /// binary search over the same prefix sums.
     fn apply_multi_gap_fixups(
         &mut self,
         after_entry: usize,
         chunk: u32,
         gaps: &[(u32, u32)],
     ) -> u64 {
+        // prefix[i] = sum of deltas of gaps[0..i].
+        let mut prefix: Vec<u32> = Vec::with_capacity(gaps.len() + 1);
+        prefix.push(0);
+        for &(_, d) in gaps {
+            prefix.push(prefix.last().unwrap() + d);
+        }
+
         let mut fixed = 0u64;
         let entries = self.dut.entries_mut_raw();
+        let mut gi = 0usize; // gaps[..gi] lie at-or-before the current offset
+        let mut prev_offset = 0u32;
         for e in entries.iter_mut().skip(after_entry + 1) {
             if e.loc.chunk != chunk {
                 break; // document order: once past this chunk, done
             }
-            let bump: u32 = gaps
-                .iter()
-                .take_while(|&&(g, _)| g <= e.loc.offset)
-                .map(|&(_, d)| d)
-                .sum();
+            debug_assert!(e.loc.offset >= prev_offset, "entries not ascending");
+            prev_offset = e.loc.offset;
+            while gi < gaps.len() && gaps[gi].0 <= e.loc.offset {
+                gi += 1;
+            }
+            let bump = prefix[gi];
             if bump > 0 {
                 e.loc.offset += bump;
                 fixed += 1;
@@ -317,12 +339,8 @@ impl MessageTemplate {
         for a in &mut self.arrays {
             for m in [&mut a.content_start, &mut a.content_end] {
                 if m.chunk == chunk {
-                    let bump: u32 = gaps
-                        .iter()
-                        .take_while(|&&(g, _)| g <= m.offset)
-                        .map(|&(_, d)| d)
-                        .sum();
-                    m.offset += bump;
+                    let at = gaps.partition_point(|&(g, _)| g <= m.offset);
+                    m.offset += prefix[at];
                 }
             }
         }
@@ -338,11 +356,18 @@ impl MessageTemplate {
         if self.config.parallel_workers >= 2 && self.try_write_parallel(ops, blob) {
             return;
         }
+        let kernel = self.config.kernel;
         let MessageTemplate { store, dut, .. } = &mut *self;
         let mut cleared = 0usize;
         for op in ops {
             let e = &mut dut.entries_mut_raw()[op.entry];
-            apply_write(store.chunk_buf_mut(e.loc.chunk as usize), e, op, blob);
+            apply_write(
+                store.chunk_buf_mut(e.loc.chunk as usize),
+                e,
+                op,
+                blob,
+                kernel,
+            );
             cleared += 1;
         }
         dut.note_bits_cleared(cleared);
@@ -365,6 +390,7 @@ impl MessageTemplate {
             return false;
         }
         let nworkers = self.config.parallel_workers.min(runs.len());
+        let kernel = self.config.kernel;
 
         let MessageTemplate { store, dut, .. } = &mut *self;
         let mut bufs: Vec<Option<&mut [u8]>> =
@@ -405,7 +431,7 @@ impl MessageTemplate {
                         for (run_ops, first_entry, entries, buf) in bucket {
                             for op in run_ops {
                                 let e = &mut entries[op.entry - first_entry];
-                                apply_write(buf, e, op, blob);
+                                apply_write(buf, e, op, blob, kernel);
                                 cleared += 1;
                             }
                         }
@@ -433,6 +459,7 @@ impl MessageTemplate {
         // with the DUT entry we read the value from.
         let mut scratch = std::mem::take(&mut self.scratch);
         let float = self.config.float;
+        let kernel = self.config.kernel;
         let n = self.dut.len();
         for i in 0..n {
             if !self.dut.entry(i).dirty {
@@ -441,7 +468,7 @@ impl MessageTemplate {
             self.dut
                 .entry(i)
                 .value
-                .serialize_into_with(&mut scratch, float);
+                .serialize_into_kern(&mut scratch, float, kernel);
             self.patch_entry(i, &scratch, counters);
             self.dut.clear_dirty(i);
         }
@@ -483,6 +510,7 @@ impl MessageTemplate {
         let nworkers = self.config.parallel_workers.min(runs.len());
         let float = self.config.float;
         let steal = self.config.steal;
+        let kernel = self.config.kernel;
 
         // Split the borrow: each worker owns disjoint slices of the DUT
         // table and disjoint chunk buffers; `self` is untouched until they
@@ -541,13 +569,13 @@ impl MessageTemplate {
                                     deferred.push(start + i);
                                     continue;
                                 }
-                                e.value.serialize_into_with(&mut scratch, float);
+                                e.value.serialize_into_kern(&mut scratch, float, kernel);
                                 if scratch.len() as u32 > e.width {
                                     deferred.push(start + i);
                                     prev_deferred = true;
                                     continue;
                                 }
-                                write_in_width(buf, e, &scratch);
+                                write_in_width_kern(buf, e, &scratch, kernel);
                                 e.ser_len = scratch.len() as u32;
                                 e.dirty = false;
                                 cleared += 1;
@@ -577,11 +605,12 @@ impl MessageTemplate {
         if !deferred_all.is_empty() {
             let mut scratch = std::mem::take(&mut self.scratch);
             let float = self.config.float;
+            let kernel = self.config.kernel;
             for idx in deferred_all {
                 self.dut
                     .entry(idx)
                     .value
-                    .serialize_into_with(&mut scratch, float);
+                    .serialize_into_kern(&mut scratch, float, kernel);
                 self.patch_entry(idx, &scratch, counters);
                 self.dut.clear_dirty(idx);
             }
@@ -812,12 +841,18 @@ impl MessageTemplate {
 /// width (room was made in phases 1–2), lay down `[value][suffix][pad]`
 /// from the plan blob, and settle the entry's bookkeeping. Safe to run
 /// concurrently across chunks — it touches only this region's bytes.
-fn apply_write(buf: &mut [u8], e: &mut DutEntry, op: &PlannedOp, blob: &[u8]) {
+fn apply_write(
+    buf: &mut [u8],
+    e: &mut DutEntry,
+    op: &PlannedOp,
+    blob: &[u8],
+    kernel: KernelPolicy,
+) {
     if let Some(w) = op.kind.new_width() {
         e.width = w;
     }
     let bytes = &blob[op.lo as usize..op.hi as usize];
-    write_in_width(buf, e, bytes);
+    write_in_width_kern(buf, e, bytes, kernel);
     e.ser_len = op.hi - op.lo;
     e.dirty = false;
 }
@@ -828,8 +863,10 @@ fn apply_write(buf: &mut [u8], e: &mut DutEntry, op: &PlannedOp, blob: &[u8]) {
 /// Produces the identical `[value][suffix][pad]` layout: the closing tag
 /// is slid from its old position (after `ser_len` bytes) to the new value
 /// end, then the remainder of the region is padded with spaces. The
-/// suffix move runs first because the regions may overlap.
-fn write_in_width(buf: &mut [u8], e: &DutEntry, bytes: &[u8]) {
+/// suffix move runs first because the regions may overlap; the trailing
+/// pad goes through the wide-store space fill when the policy resolves
+/// to a SIMD level.
+fn write_in_width_kern(buf: &mut [u8], e: &DutEntry, bytes: &[u8], kernel: KernelPolicy) {
     let off = e.loc.offset as usize;
     let old_ser = e.ser_len as usize;
     let sfx = e.suffix_len as usize;
@@ -843,5 +880,5 @@ fn write_in_width(buf: &mut [u8], e: &DutEntry, bytes: &[u8]) {
     }
     buf.copy_within(off + old_ser..off + old_ser + sfx, off + new_len);
     buf[off..off + new_len].copy_from_slice(bytes);
-    buf[off + new_len + sfx..off + width + sfx].fill(b' ');
+    bsoap_convert::pad_spaces_with(&mut buf[off + new_len + sfx..off + width + sfx], kernel);
 }

@@ -78,6 +78,7 @@ impl MessageTemplate {
         }
 
         let float = self.config.float;
+        let kernel = self.config.kernel;
         let growth = self.config.growth;
         let steal_on = self.config.steal;
         let entries = self.dut.entries();
@@ -93,7 +94,7 @@ impl MessageTemplate {
             if !e.dirty {
                 continue;
             }
-            e.value.serialize_into_with(&mut scratch, float);
+            e.value.serialize_into_kern(&mut scratch, float, kernel);
             let new_len = scratch.len() as u32;
             let lo = plan.blob.len() as u32;
             plan.blob.extend_from_slice(&scratch);

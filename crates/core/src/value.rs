@@ -63,16 +63,29 @@ impl Scalar {
     /// converting doubles with the given kernel. Both kernels emit the same
     /// bytes; only the conversion cost differs.
     pub fn serialize_into_with(&self, out: &mut Vec<u8>, float: FloatFormatter) {
+        self.serialize_into_kern(out, float, bsoap_kernels::KernelPolicy::Scalar);
+    }
+
+    /// [`Self::serialize_into_with`] plus byte-kernel dispatch: integers go
+    /// through the branchless stuffed-itoa kernel and strings through the
+    /// SIMD escape scanner when `kernel` resolves to a SIMD level. Output
+    /// is byte-identical across every policy (property-tested).
+    pub fn serialize_into_kern(
+        &self,
+        out: &mut Vec<u8>,
+        float: FloatFormatter,
+        kernel: bsoap_kernels::KernelPolicy,
+    ) {
         out.clear();
         match self {
             Scalar::Int(v) => {
                 let mut buf = [0u8; 11];
-                let n = bsoap_convert::write_i32(&mut buf, *v);
+                let n = bsoap_convert::write_i32_with(&mut buf, *v, kernel);
                 out.extend_from_slice(&buf[..n]);
             }
             Scalar::Long(v) => {
                 let mut buf = [0u8; 20];
-                let n = bsoap_convert::write_i64(&mut buf, *v);
+                let n = bsoap_convert::write_i64_with(&mut buf, *v, kernel);
                 out.extend_from_slice(&buf[..n]);
             }
             Scalar::Double(v) => {
@@ -81,7 +94,7 @@ impl Scalar {
                 out.extend_from_slice(&buf[..n]);
             }
             Scalar::Bool(v) => out.extend_from_slice(bsoap_convert::format_bool(*v).as_bytes()),
-            Scalar::Str(s) => bsoap_xml::escape_text_into(out, s),
+            Scalar::Str(s) => bsoap_xml::escape_text_into_with(out, s, kernel),
         }
     }
 }

@@ -1,0 +1,218 @@
+//! Kernel dispatch substrate: which byte-kernel implementation runs.
+//!
+//! The hot per-byte loops of the engine — XML escape scanning
+//! (`bsoap-xml`), width-stuffed integer encoding (`bsoap-convert`) and
+//! coalesced gap shifting (`bsoap-chunks`) — each exist in two forms: a
+//! portable scalar implementation (the *oracle*: always available, always
+//! correct, the reference the property tests compare against) and a wide
+//! SIMD/branchless form gated on runtime CPU-feature detection.
+//!
+//! This crate owns the three pieces every kernel crate shares:
+//!
+//! * [`KernelPolicy`] — the engine-facing knob (`Auto` / `Scalar` /
+//!   `ForcedSimd`), carried on `EngineConfig` and threaded down to each
+//!   kernel call site;
+//! * [`resolve`] — policy → [`SimdLevel`], combining the policy with
+//!   cached CPU detection and the `BSOAP_KERNEL` environment override
+//!   (the CI lever that force-disables SIMD for a whole test run);
+//! * the process-global SIMD hit counter ([`record_simd_hits`] /
+//!   [`take_simd_hits`]) that `bsoap-core` folds into the
+//!   `SimdKernelHits` observability counter once per flush.
+//!
+//! Dispatch is deliberately *coarse*: callers resolve once per string /
+//! field / shift pass, never per byte, so the scalar fallback pays one
+//! relaxed atomic load and no indirect calls.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which byte-kernel implementations the engine may use.
+///
+/// The scalar code is always compiled and always correct; SIMD paths are
+/// byte-identical accelerations proven by differential property tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelPolicy {
+    /// Use the widest SIMD level the CPU supports (scalar when none).
+    #[default]
+    Auto,
+    /// Scalar kernels only — the differential oracle and the safe
+    /// operating point on any platform.
+    Scalar,
+    /// Use SIMD even where the heuristics would not bother; still falls
+    /// back to scalar when the CPU offers nothing (correctness never
+    /// requires SIMD).
+    ForcedSimd,
+}
+
+impl KernelPolicy {
+    /// Parse the `BSOAP_KERNEL` environment value (`auto`/`scalar`/`simd`).
+    pub fn parse(s: &str) -> Option<KernelPolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(KernelPolicy::Auto),
+            "scalar" => Some(KernelPolicy::Scalar),
+            "simd" | "forced" | "forced_simd" => Some(KernelPolicy::ForcedSimd),
+            _ => None,
+        }
+    }
+}
+
+/// The SIMD instruction level a resolved kernel call may use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Scalar only.
+    None,
+    /// 16-byte SSE2 lanes (baseline on `x86_64`).
+    Sse2,
+    /// 32-byte AVX2 lanes (runtime-detected).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// True when any SIMD path may run.
+    #[inline]
+    pub fn is_simd(self) -> bool {
+        self != SimdLevel::None
+    }
+}
+
+/// Cached CPU detection: 0 = undetected, else `SimdLevel as u8 + 1`.
+static DETECTED: AtomicU8 = AtomicU8::new(0);
+
+fn detect_uncached() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SSE2 is part of the x86_64 baseline; AVX2 needs a runtime check.
+        if std::arch::is_x86_feature_detected!("avx2") {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdLevel::None
+    }
+}
+
+/// The widest SIMD level this CPU supports (cached after the first call).
+#[inline]
+pub fn detected_level() -> SimdLevel {
+    match DETECTED.load(Ordering::Relaxed) {
+        0 => {
+            let lvl = detect_uncached();
+            DETECTED.store(lvl as u8 + 1, Ordering::Relaxed);
+            lvl
+        }
+        1 => SimdLevel::None,
+        2 => SimdLevel::Sse2,
+        _ => SimdLevel::Avx2,
+    }
+}
+
+/// Cached `BSOAP_KERNEL` environment override (read once per process).
+fn env_override() -> Option<KernelPolicy> {
+    static ENV: OnceLock<Option<KernelPolicy>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("BSOAP_KERNEL")
+            .ok()
+            .and_then(|v| KernelPolicy::parse(&v))
+    })
+}
+
+/// Resolve a policy to the SIMD level a kernel call may use right now.
+///
+/// Precedence: the `BSOAP_KERNEL` environment variable (the CI
+/// force-disable lever) beats the policy, which beats detection. A
+/// `ForcedSimd` resolution on a CPU with no SIMD is still
+/// [`SimdLevel::None`] — no platform needs SIMD for correctness.
+#[inline]
+pub fn resolve(policy: KernelPolicy) -> SimdLevel {
+    let effective = env_override().unwrap_or(policy);
+    match effective {
+        KernelPolicy::Scalar => SimdLevel::None,
+        KernelPolicy::Auto | KernelPolicy::ForcedSimd => detected_level(),
+    }
+}
+
+/// Process-global count of SIMD kernel invocations (escape scans, stuffed
+/// integer encodes, vectorized shift passes). Monotone; scooped by
+/// [`take_simd_hits`].
+static SIMD_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` SIMD kernel invocations. Called by the kernel crates once
+/// per call that took a SIMD path (not per lane or block).
+#[inline]
+pub fn record_simd_hits(n: u64) {
+    if n > 0 {
+        SIMD_HITS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Take-and-reset the global SIMD hit count. `bsoap-core` calls this once
+/// per flush (and per first-time build) to fold the delta into the
+/// `SimdKernelHits` metric; swap semantics mean every hit is attributed
+/// exactly once even with concurrent engines (per-engine attribution is
+/// then approximate, the process total exact).
+#[inline]
+pub fn take_simd_hits() -> u64 {
+    SIMD_HITS.swap(0, Ordering::Relaxed)
+}
+
+/// Current un-scooped SIMD hit count (test support; does not reset).
+#[inline]
+pub fn peek_simd_hits() -> u64 {
+    SIMD_HITS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_policy_always_resolves_none() {
+        assert_eq!(resolve(KernelPolicy::Scalar), SimdLevel::None);
+    }
+
+    #[test]
+    fn auto_and_forced_resolve_to_detection() {
+        // With no env override these must agree with the cached detection.
+        if env_override().is_none() {
+            assert_eq!(resolve(KernelPolicy::Auto), detected_level());
+            assert_eq!(resolve(KernelPolicy::ForcedSimd), detected_level());
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn x86_64_detects_at_least_sse2() {
+        assert!(detected_level() >= SimdLevel::Sse2);
+    }
+
+    #[test]
+    fn policy_parse() {
+        assert_eq!(KernelPolicy::parse("scalar"), Some(KernelPolicy::Scalar));
+        assert_eq!(KernelPolicy::parse("SIMD"), Some(KernelPolicy::ForcedSimd));
+        assert_eq!(KernelPolicy::parse("auto"), Some(KernelPolicy::Auto));
+        assert_eq!(KernelPolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn hits_roundtrip() {
+        take_simd_hits();
+        record_simd_hits(3);
+        record_simd_hits(0); // no-op
+        assert!(peek_simd_hits() >= 3);
+        let taken = take_simd_hits();
+        assert!(taken >= 3);
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(SimdLevel::None < SimdLevel::Sse2);
+        assert!(SimdLevel::Sse2 < SimdLevel::Avx2);
+        assert!(!SimdLevel::None.is_simd());
+        assert!(SimdLevel::Avx2.is_simd());
+    }
+}

@@ -105,7 +105,8 @@ impl Deadline {
     /// marker, not the error kind — a bare `TimedOut` is *not* a
     /// deadline expiry).
     pub fn is_deadline_error(e: &std::io::Error) -> bool {
-        e.get_ref().is_some_and(|inner| inner.is::<DeadlineExpired>())
+        e.get_ref()
+            .is_some_and(|inner| inner.is::<DeadlineExpired>())
     }
 }
 

@@ -243,7 +243,9 @@ fn queued_checkout_waits_on_the_deadline_clock_not_real_time() {
     // serves the next checkout.
     assert_eq!(pool.live_count(), 1);
     drop(held);
-    let conn = pool.checkout().expect("pool wedged after virtual-clock timeout");
+    let conn = pool
+        .checkout()
+        .expect("pool wedged after virtual-clock timeout");
     assert!(conn.reused);
 }
 

@@ -19,6 +19,8 @@
 //! processing instructions and CDATA are intentionally rejected (SOAP
 //! forbids DTDs outright).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod canon;
 pub mod escape;
 pub mod name;
@@ -26,7 +28,10 @@ pub mod pull;
 pub mod writer;
 
 pub use canon::{pad_equivalent, strip_pad};
-pub use escape::{escape_attr_into, escape_text_into, unescape, EscapeError};
+pub use escape::{
+    escape_attr_into, escape_attr_into_with, escape_text_into, escape_text_into_with, find_special,
+    find_special_at, unescape, Charset, EscapeError,
+};
 pub use name::{split_qname, validate_ncname, NameError};
 pub use pull::{Event, PullError, PullParser};
 pub use writer::XmlWriter;

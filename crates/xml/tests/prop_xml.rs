@@ -3,12 +3,14 @@
 //! canonicalizer is idempotent and padding-insensitive.
 
 use bsoap_xml::{
-    escape_attr_into, escape_text_into, strip_pad, unescape, Event, PullParser, XmlWriter,
+    escape_attr_into, escape_text_into, escape_text_into_with, strip_pad, unescape, Event,
+    PullParser, XmlWriter,
 };
 use proptest::prelude::*;
 
 fn text_strategy() -> impl Strategy<Value = String> {
-    // Printable ASCII plus the characters escaping must handle.
+    // Printable ASCII plus the characters escaping must handle, plus
+    // multi-byte UTF-8 so the SIMD scanner sees block-straddling sequences.
     proptest::collection::vec(
         prop_oneof![
             proptest::char::range(' ', '~'),
@@ -18,6 +20,10 @@ fn text_strategy() -> impl Strategy<Value = String> {
             Just('"'),
             Just('\''),
             Just('\n'),
+            Just('\r'),
+            Just('é'),
+            Just('α'),
+            Just('😀'),
         ],
         0..80,
     )
@@ -98,6 +104,48 @@ proptest! {
         prop_assert_eq!(&starts, &names);
         prop_assert_eq!(ends, names.len());
         prop_assert_eq!(attr_seen.as_deref(), Some(attr_val.as_bytes()));
+    }
+
+    #[test]
+    fn escape_kernels_agree(text in text_strategy()) {
+        // The SIMD scanner's "needs escape" mask must match the scalar
+        // predicate exactly — same escapes, same clean runs.
+        use bsoap_kernels::KernelPolicy;
+        let mut scalar = Vec::new();
+        let mut simd = Vec::new();
+        escape_text_into_with(&mut scalar, &text, KernelPolicy::Scalar);
+        escape_text_into_with(&mut simd, &text, KernelPolicy::ForcedSimd);
+        prop_assert_eq!(scalar, simd);
+    }
+
+    #[test]
+    fn carriage_returns_round_trip_through_parser(
+        prefix in proptest::collection::vec(proptest::char::range('a', 'z'), 0..40),
+    ) {
+        // Satellite: \r in text content must survive a full
+        // escape → parse → unescape round trip (a literal \r would be
+        // normalized to \n by conforming parsers; &#13; survives).
+        let text: String = prefix.into_iter().collect::<String>() + "\r mid\r";
+        let mut w = XmlWriter::new();
+        w.start("r");
+        w.close_start_tag();
+        w.text(&text);
+        w.end("r");
+        let bytes = w.finish().unwrap();
+        prop_assert!(!bytes.contains(&b'\r'), "raw CR leaked into wire bytes");
+
+        let mut p = PullParser::new(&bytes);
+        let mut recovered = Vec::new();
+        loop {
+            match p.next_event().unwrap() {
+                Event::Eof => break,
+                Event::Text { range } => {
+                    recovered.extend_from_slice(&unescape(&bytes[range]).unwrap());
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(recovered, text.into_bytes());
     }
 
     #[test]

@@ -62,13 +62,16 @@ pub mod rpc;
 
 pub use bsoap_core::{
     soap, Client, ClientStats, DutEntry, DutTable, EngineConfig, EngineError, FloatFormatter,
-    FlushMode, GrowthPolicy, InjectedFault, MessageTemplate, OpDesc, ParamDesc, PlanCost, Scalar,
-    SendPlan, SendReport, SendTier, TemplateCache, TemplateKey, TypeDesc, Value, WidthPolicy,
+    FlushMode, GrowthPolicy, InjectedFault, KernelPolicy, MessageTemplate, OpDesc, ParamDesc,
+    PlanCost, Scalar, SendPlan, SendReport, SendTier, TemplateCache, TemplateKey, TypeDesc, Value,
+    WidthPolicy,
 };
 
 /// Fault-tolerance surface: retry/breaker policy, per-call deadlines,
 /// deterministic backoff, breaker state machine.
-pub use bsoap_obs::{Backoff, BreakerState, Clock, Deadline, DeadlineExpired, MonotonicClock, VirtualClock};
+pub use bsoap_obs::{
+    Backoff, BreakerState, Clock, Deadline, DeadlineExpired, MonotonicClock, VirtualClock,
+};
 pub use bsoap_transport::{AttemptFailure, CircuitBreaker, FaultPolicy, Resilience};
 
 /// Vectored write helper for custom transports (gather-writes a slice

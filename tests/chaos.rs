@@ -526,9 +526,8 @@ fn run_schedule(
         faulty.begin_call(*fault);
         let args = [Value::DoubleArray(xs.clone())];
         let res = client.call_via("ep", &op, &args, |slices| {
-            resilience.run(|_, _| {
-                write_all_vectored(&mut faulty, slices).map_err(AttemptFailure::hard)
-            })
+            resilience
+                .run(|_, _| write_all_vectored(&mut faulty, slices).map_err(AttemptFailure::hard))
         });
 
         if i == last {
