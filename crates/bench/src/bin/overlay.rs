@@ -1,0 +1,370 @@
+//! Chunk-overlay streaming vs whole-message serialization: peak engine
+//! memory and warm-send throughput across an array-size sweep.
+//!
+//! ```text
+//! cargo run --release -p bsoap-bench --bin overlay \
+//!     [-- --sizes 10000,100000,1000000 --reps R --window W --smoke --out FILE]
+//! ```
+//!
+//! The overlay leg streams every portion through one reused window
+//! fragment (§3.3); the full leg re-serializes into a resident template.
+//! Peak bytes are the deterministic engine-held maxima: the overlay
+//! window (prologue + fragment) vs the whole template. `VmHWM` from
+//! `/proc/self/status` is recorded alongside as the process-level
+//! companion where available.
+//!
+//! Asserts (exit 1 on failure):
+//!
+//! * **flatness** — overlay peak bytes grow ≤ 1.5× across the whole
+//!   sweep while the array grows 100–1000×;
+//! * **byte identity** — under `WidthPolicy::Max` the streamed bytes
+//!   equal the full serialization exactly, checked incrementally so the
+//!   harness itself never buffers the message;
+//! * the full leg's peak is message-sized (the contrast being claimed).
+//!
+//! Writes `BENCH_overlay.json`. The full leg is skipped above
+//! `--max-full-elems` (default 2,000,000) so multi-GB sweep points do
+//! not build a resident template just to prove it would be huge.
+
+use bsoap_bench::measure_batched;
+use bsoap_convert::ScalarKind;
+use bsoap_core::overlay::OverlaySender;
+use bsoap_core::sendv::write_all_vectored;
+use bsoap_core::{EngineConfig, MessageTemplate, OpDesc, TypeDesc, Value};
+use std::cell::RefCell;
+use std::io::Write;
+
+fn doubles_op() -> OpDesc {
+    OpDesc::single(
+        "send",
+        "urn:bench",
+        "arr",
+        TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+    )
+}
+
+fn config() -> EngineConfig {
+    // Stuffed widths: overlay output is byte-identical to the full
+    // serialization (the identity gate) and warm resends never shift.
+    EngineConfig::stuffed_max()
+}
+
+fn vals(n: usize, round: usize) -> Vec<f64> {
+    (0..n).map(|i| (i + round) as f64 * 0.618 + 0.125).collect()
+}
+
+fn mutate(v: &mut Value, round: usize) {
+    let Value::DoubleArray(xs) = v else {
+        unreachable!()
+    };
+    for (i, x) in xs.iter_mut().enumerate() {
+        *x = (i + round) as f64 * 0.618 + 0.125;
+    }
+}
+
+/// Peak resident set (VmHWM) in bytes, if the platform exposes it.
+fn vm_hwm_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Write-side comparator: checks every streamed byte against the
+/// expected serialization without ever storing the stream.
+struct CompareSink<'a> {
+    expect: &'a [u8],
+    at: usize,
+    mismatch: bool,
+}
+
+impl Write for CompareSink<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let end = self.at + buf.len();
+        if end > self.expect.len() || &self.expect[self.at..end] != buf {
+            self.mismatch = true;
+        }
+        self.at = end;
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+struct Leg {
+    peak_bytes: usize,
+    mean_ms: f64,
+    min_ms: f64,
+    mb_per_s: f64,
+    bytes: usize,
+}
+
+struct Row {
+    elems: usize,
+    overlay: Leg,
+    portions: usize,
+    full: Option<Leg>,
+    bytes_identical: Option<bool>,
+    vm_hwm_bytes: Option<u64>,
+}
+
+/// Warm overlaid resends: the window fragment exists after the first
+/// send, so every timed send is values-only re-serialization streamed
+/// portion by portion.
+fn overlay_leg(op: &OpDesc, n: usize, window: usize, reps: usize) -> (Leg, usize) {
+    let mut sender = if window == 0 {
+        OverlaySender::auto_window(config(), op).unwrap()
+    } else {
+        OverlaySender::new(config(), op, window).unwrap()
+    };
+    let value = RefCell::new(Value::DoubleArray(vals(n, 0)));
+    let mut sink = std::io::sink();
+    let first = sender.send(&value.borrow(), &mut sink).unwrap();
+    let mut peak = first.window_bytes;
+    let mut portions = first.portions;
+    let mut bytes = first.bytes;
+    let mut round = 0usize;
+    let t = measure_batched(
+        1,
+        reps,
+        || {
+            round += 1;
+            mutate(&mut value.borrow_mut(), round);
+        },
+        |()| {
+            let r = sender.send(&value.borrow(), &mut sink).unwrap();
+            peak = peak.max(r.window_bytes);
+            portions = r.portions;
+            bytes = r.bytes;
+        },
+    );
+    let secs = t.mean.as_secs_f64();
+    (
+        Leg {
+            peak_bytes: peak,
+            mean_ms: t.mean_ms(),
+            min_ms: t.min.as_secs_f64() * 1e3,
+            mb_per_s: bytes as f64 / 1e6 / secs,
+            bytes,
+        },
+        portions,
+    )
+}
+
+/// Warm buffered resends: the whole template stays resident; each timed
+/// send rewrites every value in place and gather-writes the message.
+fn full_leg(op: &OpDesc, n: usize, reps: usize) -> Leg {
+    let value = RefCell::new(Value::DoubleArray(vals(n, 0)));
+    let mut tpl =
+        MessageTemplate::build(config(), op, std::slice::from_ref(&value.borrow())).unwrap();
+    let bytes = tpl.message_len();
+    let mut sink = std::io::sink();
+    let mut round = 0usize;
+    let t = measure_batched(
+        1,
+        reps,
+        || {
+            round += 1;
+            mutate(&mut value.borrow_mut(), round);
+        },
+        |()| {
+            tpl.update_args(std::slice::from_ref(&value.borrow()))
+                .unwrap();
+            tpl.flush();
+            write_all_vectored(&mut sink, &tpl.io_slices()).unwrap();
+        },
+    );
+    let secs = t.mean.as_secs_f64();
+    Leg {
+        peak_bytes: tpl.message_len(),
+        mean_ms: t.mean_ms(),
+        min_ms: t.min.as_secs_f64() * 1e3,
+        mb_per_s: bytes as f64 / 1e6 / secs,
+        bytes,
+    }
+}
+
+/// Byte-identity: stream through the comparator against a fresh full
+/// serialization of the same values.
+fn identity_check(op: &OpDesc, n: usize, window: usize) -> bool {
+    let value = Value::DoubleArray(vals(n, 7));
+    let expect = MessageTemplate::build(config(), op, std::slice::from_ref(&value))
+        .unwrap()
+        .to_bytes()
+        .to_vec();
+    let mut sender = if window == 0 {
+        OverlaySender::auto_window(config(), op).unwrap()
+    } else {
+        OverlaySender::new(config(), op, window).unwrap()
+    };
+    let mut cmp = CompareSink {
+        expect: &expect,
+        at: 0,
+        mismatch: false,
+    };
+    sender.send(&value, &mut cmp).unwrap();
+    !cmp.mismatch && cmp.at == expect.len()
+}
+
+fn leg_json(leg: &Leg) -> String {
+    format!(
+        "{{\"peak_bytes\": {}, \"mean_ms\": {:.4}, \"min_ms\": {:.4}, \
+         \"mb_per_s\": {:.2}, \"message_bytes\": {}}}",
+        leg.peak_bytes, leg.mean_ms, leg.min_ms, leg.mb_per_s, leg.bytes,
+    )
+}
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![10_000, 100_000, 1_000_000, 10_000_000];
+    let mut reps = 5usize;
+    let mut window = 0usize; // 0 = auto (one chunk)
+    let mut max_full_elems = 2_000_000usize;
+    let mut out = "BENCH_overlay.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--sizes" => {
+                sizes = next("--sizes")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad --sizes entry"))
+                    .collect();
+            }
+            "--reps" => reps = next("--reps").parse().expect("bad --reps"),
+            "--window" => window = next("--window").parse().expect("bad --window"),
+            "--max-full-elems" => {
+                max_full_elems = next("--max-full-elems").parse().expect("bad value")
+            }
+            "--smoke" => {
+                sizes = vec![10_000, 100_000, 1_000_000];
+                reps = 3;
+            }
+            "--out" => out = next("--out"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: overlay [--sizes a,b,c] [--reps R] [--window W] \
+                     [--max-full-elems N] [--smoke] [--out FILE]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    sizes.sort_unstable();
+    let op = doubles_op();
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let (overlay, portions) = overlay_leg(&op, n, window, reps);
+        let full = (n <= max_full_elems).then(|| full_leg(&op, n, reps));
+        let bytes_identical = (n <= max_full_elems).then(|| identity_check(&op, n, window));
+        let row = Row {
+            elems: n,
+            overlay,
+            portions,
+            full,
+            bytes_identical,
+            vm_hwm_bytes: vm_hwm_bytes(),
+        };
+        let (full_peak, full_tp) = match &row.full {
+            Some(f) => (format!("{}", f.peak_bytes), format!("{:.1}", f.mb_per_s)),
+            None => ("-".to_owned(), "-".to_owned()),
+        };
+        println!(
+            "n={:>9}  overlay peak {:>8} B  {:>7.1} MB/s  ({} portions)   \
+             full peak {:>10} B  {:>6} MB/s   identical={}",
+            row.elems,
+            row.overlay.peak_bytes,
+            row.overlay.mb_per_s,
+            row.portions,
+            full_peak,
+            full_tp,
+            row.bytes_identical
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".to_owned()),
+        );
+        rows.push(row);
+    }
+
+    // Gates.
+    let peak_min = rows.iter().map(|r| r.overlay.peak_bytes).min().unwrap();
+    let peak_max = rows.iter().map(|r| r.overlay.peak_bytes).max().unwrap();
+    let flat_ratio = peak_max as f64 / peak_min.max(1) as f64;
+    let flat_ok = flat_ratio <= 1.5;
+    let identity_ok = rows.iter().all(|r| r.bytes_identical.unwrap_or(true));
+    let contrast_ok = rows
+        .iter()
+        .filter_map(|r| r.full.as_ref().map(|f| (r, f)))
+        .all(|(r, f)| f.peak_bytes >= f.bytes && f.peak_bytes > r.overlay.peak_bytes);
+    // Throughput is recorded, not gated hard: wall-clock on shared CI is
+    // noisy. The ratio at the largest size with both legs is reported.
+    let tp_ratio = rows
+        .iter()
+        .rev()
+        .find_map(|r| r.full.as_ref().map(|f| r.overlay.mb_per_s / f.mb_per_s));
+
+    println!(
+        "flatness: overlay peak {peak_min} B .. {peak_max} B over a {}x size sweep \
+         (ratio {flat_ratio:.3}, bound 1.5) -> {}",
+        sizes.last().unwrap() / sizes.first().unwrap().max(&1),
+        if flat_ok { "ok" } else { "FAIL" },
+    );
+    if let Some(tp) = tp_ratio {
+        println!(
+            "throughput: overlay at {:.2}x the buffered full-template send",
+            tp
+        );
+    }
+
+    let rows_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"elems\": {}, \"overlay\": {}, \"portions\": {}, \
+                 \"full\": {}, \"bytes_identical\": {}, \"vm_hwm_bytes\": {}}}",
+                r.elems,
+                leg_json(&r.overlay),
+                r.portions,
+                r.full
+                    .as_ref()
+                    .map(leg_json)
+                    .unwrap_or_else(|| "null".to_owned()),
+                r.bytes_identical
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "null".to_owned()),
+                r.vm_hwm_bytes
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "null".to_owned()),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"overlay\",\n  \"reps\": {reps},\n  \"window_elems\": {window},\n  \
+         \"rows\": [\n{}\n  ],\n  \
+         \"flatness\": {{\"peak_min_bytes\": {peak_min}, \"peak_max_bytes\": {peak_max}, \
+         \"ratio\": {flat_ratio:.4}, \"bound\": 1.5, \"pass\": {flat_ok}}},\n  \
+         \"identity_pass\": {identity_ok},\n  \
+         \"full_leg_contrast_pass\": {contrast_ok},\n  \
+         \"throughput_ratio_overlay_vs_full\": {}\n}}\n",
+        rows_json.join(",\n"),
+        tp_ratio
+            .map(|t| format!("{t:.4}"))
+            .unwrap_or_else(|| "null".to_owned()),
+    );
+    std::fs::write(&out, json).expect("write report");
+    println!("wrote {out}");
+
+    if !flat_ok || !identity_ok || !contrast_ok {
+        eprintln!("FAILED gates: flatness={flat_ok} identity={identity_ok} contrast={contrast_ok}");
+        std::process::exit(1);
+    }
+}

@@ -19,7 +19,8 @@
 use crate::cache::{TemplateCache, TemplateKey};
 use crate::config::{EngineConfig, FlushMode};
 use crate::error::EngineError;
-use crate::schema::OpDesc;
+use crate::overlay::{max_element_bytes, OverlayReport, OverlaySender};
+use crate::schema::{OpDesc, TypeDesc};
 use crate::sendv::write_all_vectored;
 use crate::template::{MessageTemplate, SendReport, SendTier};
 use crate::value::Value;
@@ -78,6 +79,16 @@ struct EndpointHealth {
     degraded_successes: u32,
 }
 
+/// How [`Client::call_overlaid`] served a call.
+#[derive(Clone, Copy, Debug)]
+pub enum OverlaidOutcome {
+    /// Large enough to stream: served by the chunk-overlay pipeline.
+    Streamed(OverlayReport),
+    /// Below [`EngineConfig::overlay_threshold_bytes`] (or not a
+    /// single-array call): served by the buffered tier machinery.
+    Buffered(SendReport),
+}
+
 /// A differential-serialization SOAP client.
 #[derive(Debug)]
 pub struct Client {
@@ -88,6 +99,10 @@ pub struct Client {
     share_across_endpoints: bool,
     metrics: Option<Arc<Metrics>>,
     health: HashMap<String, EndpointHealth>,
+    /// Cached overlay senders, keyed like templates: the window fragment
+    /// is the overlaid region's "saved copy", so keeping the sender across
+    /// calls is what preserves DUT/tier semantics between streamed sends.
+    overlays: HashMap<TemplateKey, OverlaySender>,
 }
 
 impl Client {
@@ -101,6 +116,7 @@ impl Client {
             share_across_endpoints: false,
             metrics: None,
             health: HashMap::new(),
+            overlays: HashMap::new(),
         }
     }
 
@@ -204,6 +220,115 @@ impl Client {
         out
     }
 
+    /// Whether the overlay path would engage for this call: a
+    /// single-array operation whose worst-case serialized size meets
+    /// [`EngineConfig::overlay_threshold_bytes`].
+    pub fn overlay_engages(&self, op: &OpDesc, args: &[Value]) -> bool {
+        if op.params.len() != 1 || args.len() != 1 {
+            return false;
+        }
+        let TypeDesc::Array { item } = &op.params[0].desc else {
+            return false;
+        };
+        let Some(n) = args[0].array_len() else {
+            return false;
+        };
+        n.saturating_mul(max_element_bytes(item)) >= self.config.overlay_threshold_bytes
+    }
+
+    /// Invoke `op` streaming the array argument through the chunk-overlay
+    /// pipeline (§3.3) when the call is large enough to benefit, falling
+    /// through to the ordinary tiered [`Client::call`] otherwise. The
+    /// engagement decision is [`Client::overlay_engages`]; the knobs are
+    /// [`EngineConfig::overlay_threshold_bytes`] and
+    /// [`EngineConfig::window_elems`].
+    pub fn call_overlaid(
+        &mut self,
+        endpoint: &str,
+        op: &OpDesc,
+        args: &[Value],
+        sink: &mut impl Write,
+    ) -> Result<OverlaidOutcome, EngineError> {
+        if self.overlay_engages(op, args) {
+            let report = self.call_overlaid_via(endpoint, op, args, |slices| {
+                let mut w = &mut *sink;
+                write_all_vectored(&mut w, slices)
+            })?;
+            Ok(OverlaidOutcome::Streamed(report))
+        } else {
+            self.call(endpoint, op, args, sink)
+                .map(OverlaidOutcome::Buffered)
+        }
+    }
+
+    /// Like [`Client::call_overlaid`] but always streaming, handing every
+    /// serialized portion to `portion` the moment it exists — the hook a
+    /// chunked transport (`ChunkedBodyWriter::write_portion`) plugs into
+    /// so each overlaid portion leaves as its own HTTP chunk.
+    ///
+    /// The overlay sender for `(endpoint, op)` persists across calls:
+    /// the first streamed send builds the window fragment (tier
+    /// `FirstTime`), subsequent sends re-serialize only values into it
+    /// (tier `PerfectStructural`) — the same DUT semantics the buffered
+    /// tiers provide, scoped to the reused window.
+    pub fn call_overlaid_via<F>(
+        &mut self,
+        endpoint: &str,
+        op: &OpDesc,
+        args: &[Value],
+        portion: F,
+    ) -> Result<OverlayReport, EngineError>
+    where
+        F: FnMut(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
+    {
+        if args.len() != 1 {
+            return Err(EngineError::StructureMismatch {
+                why: "overlay call takes exactly the array argument".into(),
+            });
+        }
+        let call_start = self.metrics.as_ref().map(|m| m.now_ns());
+        let key = TemplateKey::new(endpoint, op);
+        if !self.overlays.contains_key(&key) {
+            let sender = if self.config.window_elems == 0 {
+                OverlaySender::auto_window(self.config, op)?
+            } else {
+                OverlaySender::new(self.config, op, self.config.window_elems)?
+            };
+            self.overlays.insert(key.clone(), sender);
+        }
+        let sender = self.overlays.get_mut(&key).expect("just inserted");
+        if let (Some(m), None) = (self.metrics.clone(), sender.metrics()) {
+            sender.set_metrics(m);
+        }
+        let out = sender.send_portions(&args[0], portion);
+        match &out {
+            Ok(report) => {
+                match report.tier {
+                    SendTier::FirstTime => self.stats.first_time += 1,
+                    SendTier::PerfectStructural => self.stats.perfect_structural += 1,
+                    // Overlay sends realize only the two tiers above.
+                    SendTier::ContentMatch => self.stats.content_match += 1,
+                    SendTier::PartialStructural => self.stats.partial_structural += 1,
+                }
+                self.stats.bytes_sent += report.bytes as u64;
+                if let Some(m) = &self.metrics {
+                    m.add(Counter::send(report.tier.obs()), 1);
+                    m.add(Counter::SimdKernelHits, bsoap_kernels::take_simd_hits());
+                    m.add(Counter::ValuesWritten, report.values_written as u64);
+                    m.add(Counter::BytesSent, report.bytes as u64);
+                    let elapsed = m.now_ns().saturating_sub(call_start.unwrap_or(0));
+                    m.observe_ns(HistId::send(report.tier.obs()), elapsed);
+                }
+                self.note_send_success(endpoint);
+            }
+            Err(EngineError::Io(_) | EngineError::DeadlineExceeded) => {
+                self.note_send_failure(endpoint, op);
+            }
+            Err(_) => {}
+        }
+        out
+    }
+
     /// Whether `endpoint` is currently demoted to stateless full sends.
     pub fn is_degraded(&self, endpoint: &str) -> bool {
         self.config.degrade_after > 0
@@ -244,9 +369,11 @@ impl Client {
         if demote {
             h.degraded = true;
             h.degraded_successes = 0;
-            // Stateless mode retains nothing: drop the saved template so a
-            // possibly poisoned-by-the-peer diff state can't linger.
+            // Stateless mode retains nothing: drop the saved template (and
+            // any overlay window fragment) so a possibly
+            // poisoned-by-the-peer diff state can't linger.
             self.cache.remove(&TemplateKey::new(endpoint, op));
+            self.overlays.remove(&TemplateKey::new(endpoint, op));
             if let Some(m) = &self.metrics {
                 m.trace(TraceKind::Degraded { on: true });
             }

@@ -152,6 +152,17 @@ pub struct EngineConfig {
     /// All settings produce byte-identical messages; the `BSOAP_KERNEL`
     /// environment variable overrides this knob process-wide.
     pub kernel: KernelPolicy,
+    /// Chunk-overlay window size in array elements (§3.3): how many
+    /// elements the reused window fragment holds per streamed portion.
+    /// `0` (the default) derives a window that fills one chunk at
+    /// worst-case element widths ([`crate::OverlaySender::auto_window`]).
+    pub window_elems: usize,
+    /// Estimated serialized size above which [`crate::Client::call_overlaid`]
+    /// engages the streaming overlay path instead of a buffered send.
+    /// Below it a single-array call falls through to the ordinary tiered
+    /// template machinery (overlay framing costs more than it saves for
+    /// small arrays). `0` streams every eligible call.
+    pub overlay_threshold_bytes: usize,
 }
 
 impl EngineConfig {
@@ -180,6 +191,8 @@ impl EngineConfig {
             max_head_bytes: 1 << 20,
             max_body_bytes: 64 << 20,
             kernel: KernelPolicy::Auto,
+            window_elems: 0,
+            overlay_threshold_bytes: 1 << 20,
         }
     }
 
@@ -295,6 +308,20 @@ impl EngineConfig {
     pub fn with_http_caps(mut self, max_head_bytes: usize, max_body_bytes: usize) -> Self {
         self.max_head_bytes = max_head_bytes;
         self.max_body_bytes = max_body_bytes;
+        self
+    }
+
+    /// Builder-style overlay window size (elements per streamed portion;
+    /// `0` = auto-size to one chunk).
+    pub fn with_window_elems(mut self, elems: usize) -> Self {
+        self.window_elems = elems;
+        self
+    }
+
+    /// Builder-style overlay engagement threshold (estimated serialized
+    /// bytes; `0` streams every eligible call).
+    pub fn with_overlay_threshold(mut self, bytes: usize) -> Self {
+        self.overlay_threshold_bytes = bytes;
         self
     }
 }

@@ -47,12 +47,13 @@ pub mod template;
 pub mod value;
 
 pub use cache::{TemplateCache, TemplateKey};
-pub use client::{Client, ClientStats};
+pub use client::{Client, ClientStats, OverlaidOutcome};
 pub use config::{
     EngineConfig, FloatFormatter, FlushMode, GrowthPolicy, KernelPolicy, WidthPolicy,
 };
 pub use dut::{DutEntry, DutTable};
 pub use error::EngineError;
+pub use overlay::{OverlayReport, OverlaySender};
 pub use pipeline::{PipelineReport, PipelinedSender};
 pub use plan::{InjectedFault, OpKind, PlanCost, PlannedOp, SendPlan};
 pub use schema::{OpDesc, ParamDesc, TypeDesc};

@@ -17,25 +17,34 @@ use crate::error::EngineError;
 use crate::schema::{OpDesc, TypeDesc};
 use crate::sendv::write_all_vectored;
 use crate::soap;
-use crate::template::MessageTemplate;
+use crate::template::{MessageTemplate, SendTier};
 use crate::value::Value;
-use std::io::Write;
+use bsoap_obs::{Counter, Gauge, Metrics, Recorder};
+use std::io::{IoSlice, Write};
+use std::sync::Arc;
 
 /// Outcome of one overlaid send.
 #[derive(Clone, Copy, Debug)]
 pub struct OverlayReport {
     /// Total bytes written to the sink.
     pub bytes: usize,
-    /// Number of window portions streamed.
+    /// Number of window portions streamed (prologue and epilogue excluded:
+    /// this counts re-serializations of the window fragment).
     pub portions: usize,
     /// Leaf values serialized (≈ array leaves; tags are not rewritten for
     /// full windows after the first send).
     pub values_written: usize,
     /// Peak template memory: the window fragment's stored bytes.
     pub window_bytes: usize,
+    /// DUT tier realized for the overlaid region: `FirstTime` when this
+    /// send built the window fragment, `PerfectStructural` when every
+    /// portion patched values into the cached fragment — the §3.3 promise
+    /// that overlaying preserves differential-send semantics across sends.
+    pub tier: SendTier,
 }
 
 /// Streaming sender for single-array operations using chunk overlaying.
+#[derive(Debug)]
 pub struct OverlaySender {
     config: EngineConfig,
     op: OpDesc,
@@ -49,6 +58,7 @@ pub struct OverlaySender {
     /// Cached tail fragment and its element count.
     tail: Option<(usize, MessageTemplate)>,
     prologue_scratch: Vec<u8>,
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl OverlaySender {
@@ -85,7 +95,21 @@ impl OverlaySender {
             window: None,
             tail: None,
             prologue_scratch: Vec::with_capacity(512),
+            metrics: None,
         })
+    }
+
+    /// Attach an observability registry: every send records
+    /// `OverlayPortions`/`OverlayBytesStreamed` counters and observes the
+    /// window fragment's size on the `OverlayWindowPeakBytes` gauge (the
+    /// sender-side memory bound, flat in array size).
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<Metrics>> {
+        self.metrics.as_ref()
     }
 
     /// Create a sender whose window fills (but never exceeds) one chunk,
@@ -118,6 +142,25 @@ impl OverlaySender {
         value: &Value,
         sink: &mut impl Write,
     ) -> Result<OverlayReport, EngineError> {
+        self.send_portions(value, |slices| {
+            let mut w = &mut *sink;
+            write_all_vectored(&mut w, slices)
+        })
+    }
+
+    /// Stream `value` handing each serialized piece — prologue, every
+    /// window portion, epilogue — to `portion` the moment it exists. This
+    /// is the streaming engine mode: wired to a
+    /// `ChunkedBodyWriter::write_portion`, each overlaid portion becomes
+    /// one HTTP chunk on the wire and sender memory never exceeds the
+    /// window fragment. `portion` returns the bytes it wrote (short
+    /// writes are the callback's problem; the engine hands it whole
+    /// portions).
+    pub fn send_portions(
+        &mut self,
+        value: &Value,
+        mut portion: impl FnMut(&[IoSlice<'_>]) -> std::io::Result<usize>,
+    ) -> Result<OverlayReport, EngineError> {
         let n = value.array_len().ok_or_else(|| EngineError::TypeMismatch {
             at: "overlay send".into(),
             expected: "array value",
@@ -126,9 +169,12 @@ impl OverlaySender {
         let mut bytes = 0usize;
         let mut portions = 0usize;
         let mut values_written = 0usize;
+        // FirstTime iff any fragment had to be built this send; a fully
+        // patched send is PerfectStructural for the whole overlaid region.
+        let mut built = false;
 
         // Prologue: everything up to and including the array open tag.
-        let prologue = {
+        {
             let p = &mut self.prologue_scratch;
             p.clear();
             p.extend_from_slice(soap::XML_DECL.as_bytes());
@@ -138,13 +184,18 @@ impl OverlaySender {
             let (prefix, suffix) =
                 soap::array_open_parts(&self.param_name, &self.item_desc.xsi_type());
             p.extend_from_slice(prefix.as_bytes());
-            p.extend_from_slice(bsoap_convert::format_u64(n as u64).as_bytes());
+            let count = bsoap_convert::format_u64(n as u64);
+            p.extend_from_slice(count.as_bytes());
             p.extend_from_slice(suffix.as_bytes());
+            // The whole-template builder stuffs the length slot to the full
+            // int width so resizes rewrite in place; mirror it so overlaid
+            // bytes stay identical to the non-overlay serialization.
+            for _ in count.len()..bsoap_convert::INT_MAX_WIDTH {
+                p.push(b' ');
+            }
             p.push(b'\n');
-            p.clone()
-        };
-        sink.write_all(&prologue)?;
-        bytes += prologue.len();
+        }
+        bytes += portion(&[IoSlice::new(&self.prologue_scratch)])?;
 
         let mut window_bytes = 0usize;
         let mut base = 0usize;
@@ -154,6 +205,7 @@ impl OverlaySender {
                 if let Some(t) = self.window.as_mut() {
                     update_fragment(t, &self.item_desc, value, base, size)?;
                 } else {
+                    built = true;
                     self.window = Some(MessageTemplate::build_fragment(
                         self.config,
                         &self.item_desc,
@@ -171,6 +223,7 @@ impl OverlaySender {
                     let (_, t) = self.tail.as_mut().expect("checked above");
                     update_fragment(t, &self.item_desc, value, base, size)?;
                 } else {
+                    built = true;
                     let t = MessageTemplate::build_fragment(
                         self.config,
                         &self.item_desc,
@@ -185,7 +238,7 @@ impl OverlaySender {
             let report = fragment.flush();
             values_written += report.values_written;
             let slices = fragment.io_slices();
-            bytes += write_all_vectored(sink, &slices)?;
+            bytes += portion(&slices)?;
             window_bytes = window_bytes.max(fragment.message_len());
             portions += 1;
             base += size;
@@ -197,15 +250,31 @@ impl OverlaySender {
         epilogue.push(b'\n');
         epilogue.extend_from_slice(soap::op_close(&self.op.name).as_bytes());
         epilogue.extend_from_slice(soap::CLOSES.as_bytes());
-        sink.write_all(&epilogue)?;
-        bytes += epilogue.len();
+        bytes += portion(&[IoSlice::new(&epilogue)])?;
 
-        Ok(OverlayReport {
+        let report = OverlayReport {
             bytes,
             portions,
             values_written,
             window_bytes,
-        })
+            tier: if built {
+                SendTier::FirstTime
+            } else {
+                SendTier::PerfectStructural
+            },
+        };
+        if let Some(m) = &self.metrics {
+            m.add(Counter::OverlayPortions, report.portions as u64);
+            m.add(Counter::OverlayBytesStreamed, report.bytes as u64);
+            m.gauge(Gauge::OverlayWindowPeakBytes, report.window_bytes as u64);
+        }
+        Ok(report)
+    }
+
+    /// Drop cached fragments (memory reclamation / poisoned-state reset).
+    pub fn reset(&mut self) {
+        self.window = None;
+        self.tail = None;
     }
 }
 

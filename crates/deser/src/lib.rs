@@ -45,7 +45,9 @@
 pub mod diff;
 pub mod envelope;
 pub mod error;
+pub mod stream;
 
 pub use diff::{DeserStats, DiffDeserializer, DiffOutcome};
 pub use envelope::{parse_envelope, parse_envelope_mapped, LeafRegion, MappedMessage};
 pub use error::DeserError;
+pub use stream::{StreamSummary, StreamingDeserializer};

@@ -202,6 +202,13 @@ metric_enum! {
         /// Connections evicted by the server's per-connection read
         /// deadline (slow-loris defense).
         ServerTimeouts => "bsoap_server_timeouts_total",
+        /// Window portions streamed by the chunk-overlay sender (§3.3):
+        /// each is one re-serialization of the reused window fragment,
+        /// flushed to the wire as its own HTTP chunk.
+        OverlayPortions => "bsoap_overlay_portions_total",
+        /// Payload bytes streamed through the overlay pipeline (prologue +
+        /// portions + epilogue; excludes HTTP framing).
+        OverlayBytesStreamed => "bsoap_overlay_bytes_streamed_total",
     }
 }
 
@@ -224,6 +231,9 @@ metric_enum! {
         QueueDepthPeak => "bsoap_queue_depth_peak",
         /// Most portions ever in flight in the pipelined sender.
         PipelineMaxInFlight => "bsoap_pipeline_max_in_flight",
+        /// Largest window fragment (template bytes) the overlay sender
+        /// ever held — the sender's memory bound, flat in array size.
+        OverlayWindowPeakBytes => "bsoap_overlay_window_peak_bytes",
     }
 }
 

@@ -175,7 +175,7 @@ pub fn post_gather(
 }
 
 /// Render `{len:x}\r\n` into `buf`; returns byte count.
-fn render_chunk_size(buf: &mut [u8; 18], len: usize) -> usize {
+pub(crate) fn render_chunk_size(buf: &mut [u8; 18], len: usize) -> usize {
     let s = format!("{len:x}\r\n");
     buf[..s.len()].copy_from_slice(s.as_bytes());
     s.len()
@@ -402,7 +402,17 @@ impl<R: Read> RequestReader<R> {
                 self.buf.resize(self.buf.len() * 2, 0);
             }
         }
-        let n = self.stream.read(&mut self.buf[self.filled..])?;
+        // Retry EINTR here rather than propagating it: a signal landing
+        // mid-`read` would otherwise surface as a framing error to every
+        // caller above (`read_line` would see a chunk-size line "split" by
+        // the interruption and the body readers would misreport EOF).
+        let n = loop {
+            match self.stream.read(&mut self.buf[self.filled..]) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
         self.filled += n;
         Ok(n > 0)
     }
@@ -572,10 +582,31 @@ pub fn write_response_vectored(
 /// socket (the peer closed between requests), which pooled clients treat
 /// as retryable, unlike a genuinely malformed response.
 pub fn read_response(stream: &mut impl Read) -> io::Result<(u16, Vec<u8>)> {
-    let mut reader = RequestReader::new(stream);
+    read_response_limited(stream, usize::MAX, usize::MAX)
+}
+
+/// [`read_response`] with head/body caps and chunked-response support.
+///
+/// Historically the client reader accepted only `Content-Length` framing
+/// and buffered without bound; a hardened client wants the same defenses
+/// the server's [`RequestReader::with_limits`] has (a hostile or buggy
+/// server must not be able to balloon client RSS), and the streaming
+/// overlay path answers with chunked replies. The chunked branch rides the
+/// same `read_chunked_body` as the server, so the `max_body` cap applies
+/// to chunk-framed responses too and a size line split across short
+/// `read()`s is reassembled rather than misread.
+pub fn read_response_limited(
+    stream: &mut impl Read,
+    max_head: usize,
+    max_body: usize,
+) -> io::Result<(u16, Vec<u8>)> {
+    let mut reader = RequestReader::with_limits(stream, max_head, max_body);
     let head_end = loop {
         if let Some(p) = find(&reader.buf[..reader.filled], b"\r\n\r\n") {
             break p + 4;
+        }
+        if reader.filled > reader.max_head {
+            return Err(HttpError::TooLarge("response head").into());
         }
         if !reader.fill()? {
             if reader.filled == 0 {
@@ -587,6 +618,9 @@ pub fn read_response(stream: &mut impl Read) -> io::Result<(u16, Vec<u8>)> {
             return Err(HttpError::BadHead("EOF inside response head").into());
         }
     };
+    if head_end > reader.max_head {
+        return Err(HttpError::TooLarge("response head").into());
+    }
     let text = std::str::from_utf8(&reader.buf[..head_end])
         .map_err(|_| HttpError::BadHead("non-UTF-8 head"))?;
     let status: u16 = text
@@ -594,23 +628,39 @@ pub fn read_response(stream: &mut impl Read) -> io::Result<(u16, Vec<u8>)> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or(HttpError::BadHead("bad status line"))?;
-    let cl = text
-        .lines()
-        .find_map(|l| {
-            let (n, v) = l.split_once(':')?;
-            n.trim()
-                .eq_ignore_ascii_case("content-length")
-                .then(|| v.trim().parse::<usize>())
-        })
-        .transpose()
-        .map_err(|_| HttpError::BadFraming("non-numeric content-length"))?
-        .ok_or(HttpError::BadFraming("response missing content-length"))?;
+    let mut chunked = false;
+    let mut cl: Option<usize> = None;
+    for l in text.lines().skip(1) {
+        let Some((n, v)) = l.split_once(':') else {
+            continue;
+        };
+        let (n, v) = (n.trim(), v.trim());
+        if n.eq_ignore_ascii_case("transfer-encoding") {
+            if !v.eq_ignore_ascii_case("chunked") {
+                return Err(HttpError::BadFraming("unsupported transfer-encoding").into());
+            }
+            chunked = true;
+        } else if n.eq_ignore_ascii_case("content-length") {
+            cl = Some(
+                v.parse()
+                    .map_err(|_| HttpError::BadFraming("non-numeric content-length"))?,
+            );
+        }
+    }
     reader.consumed = head_end;
-    let body = reader.read_exact_body(cl)?;
+    let body = if chunked {
+        reader.read_chunked_body()?
+    } else {
+        let n = cl.ok_or(HttpError::BadFraming("response missing content-length"))?;
+        if n > reader.max_body {
+            return Err(HttpError::TooLarge("declared content-length").into());
+        }
+        reader.read_exact_body(n)?
+    };
     Ok((status, body))
 }
 
-fn parse_hex(s: &[u8]) -> Option<usize> {
+pub(crate) fn parse_hex(s: &[u8]) -> Option<usize> {
     if s.is_empty() {
         return None;
     }
@@ -627,7 +677,7 @@ fn parse_hex(s: &[u8]) -> Option<usize> {
     Some(n)
 }
 
-fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+pub(crate) fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     if needle.len() > haystack.len() {
         return None;
     }

@@ -38,6 +38,7 @@ pub mod http;
 pub mod pool;
 pub mod server;
 pub mod sink;
+pub mod stream;
 pub mod tcp;
 
 pub use accept::{serve, serve_with_metrics, PoolOptions, WorkerPool};
@@ -46,6 +47,7 @@ pub use http::{render_get_request, HttpError, HttpVersion, PostScratch, RequestC
 pub use pool::{ConnectionPool, HttpPoolClient, HttpReply, PoolConfig, PoolStats, PooledConn};
 pub use server::{CollectedRequest, ServerMode, ServerOptions, ServerStats, TestServer};
 pub use sink::{ProvenanceSink, SinkTransport};
+pub use stream::{read_head, ChunkedBodyReader, ChunkedBodyWriter};
 pub use tcp::TcpTransport;
 
 use std::io::{self, IoSlice};

@@ -12,8 +12,10 @@
 
 use crate::fault::{AttemptFailure, FaultPolicy, Resilience};
 use crate::http::{
-    post_gather_vectored, read_response, render_get_request, PostScratch, RequestConfig,
+    post_gather_vectored, read_response_limited, render_get_request, HttpVersion, PostScratch,
+    RequestConfig,
 };
+use crate::stream::ChunkedBodyWriter;
 use crate::Transport;
 use bsoap_obs::{Clock, Counter, Deadline, HistId, Metrics, MonotonicClock, Recorder, TraceKind};
 use parking_lot::Mutex;
@@ -425,6 +427,10 @@ pub struct HttpPoolClient {
     cfg: RequestConfig,
     bytes: AtomicU64,
     resilience: Resilience,
+    /// `(max_head, max_body)` caps applied to every response read — the
+    /// client-side mirror of the server's `RequestReader::with_limits`
+    /// hardening. Defaults to uncapped (the seed behavior).
+    resp_caps: (usize, usize),
 }
 
 impl HttpPoolClient {
@@ -447,7 +453,16 @@ impl HttpPoolClient {
             cfg,
             bytes: AtomicU64::new(0),
             resilience: Resilience::new(policy),
+            resp_caps: (usize::MAX, usize::MAX),
         }
+    }
+
+    /// Cap response heads/bodies: a reply whose head exceeds `max_head`
+    /// or whose body (length-framed *or* chunk-accumulated) exceeds
+    /// `max_body` fails with [`crate::http::HttpError::TooLarge`] instead
+    /// of buffering without bound.
+    pub fn set_response_caps(&mut self, max_head: usize, max_body: usize) {
+        self.resp_caps = (max_head.max(1), max_body);
     }
 
     /// The underlying pool (stats, reaping).
@@ -495,20 +510,92 @@ impl HttpPoolClient {
     /// (the stale socket is the only thing replaced). Errors on a fresh
     /// connection propagate: the endpoint itself is down.
     pub fn call(&self, body: &[IoSlice<'_>]) -> io::Result<HttpReply> {
-        self.with_retry(|conn| Self::exchange(conn, &self.cfg, body))
+        let caps = self.resp_caps;
+        self.with_retry(|conn| Self::exchange(conn, &self.cfg, body, caps))
+    }
+
+    /// POST a body produced *incrementally*: `produce` receives a
+    /// [`ChunkedBodyWriter`] and streams portions straight onto the
+    /// socket — the overlay pipeline's wire hookup, where sender memory
+    /// stays bounded by the window fragment rather than the message.
+    ///
+    /// Runs under the same fault policy as [`call`](Self::call): the
+    /// writer carries the attempt's [`Deadline`](bsoap_obs::Deadline), and
+    /// on a retry `produce` is invoked again from the top (portions
+    /// already written to a dead socket were never seen by the server, so
+    /// re-streaming from scratch is the correct replay). Framing is
+    /// forced to chunked regardless of the client's configured version —
+    /// a streamed body cannot promise a `Content-Length` up front.
+    ///
+    /// Returns the reply plus `produce`'s own result (e.g. an
+    /// `OverlayReport`) from the successful attempt.
+    pub fn post_streamed<T>(
+        &self,
+        mut produce: impl FnMut(&mut ChunkedBodyWriter<'_, TcpStream>) -> io::Result<T>,
+    ) -> io::Result<(HttpReply, T)> {
+        let mut cfg = self.cfg.clone();
+        cfg.version = HttpVersion::Http11Chunked;
+        let (max_head, max_body) = self.resp_caps;
+        let out = self.resilience.run_with(
+            |deadline, _attempt| {
+                let mut conn = self
+                    .pool
+                    .checkout_within(Some(deadline))
+                    .map_err(AttemptFailure::hard)?;
+                let reused = conn.reused;
+                let attempt = (|| {
+                    let mut head = Vec::new();
+                    let stream = conn.stream();
+                    let mut writer =
+                        ChunkedBodyWriter::start(stream, &cfg, &mut head, Some(deadline))?;
+                    let produced = produce(&mut writer)?;
+                    let (wire_bytes, _, _) = writer.finish()?;
+                    let (status, body) = read_response_limited(stream, max_head, max_body)?;
+                    Ok((
+                        HttpReply {
+                            status,
+                            body,
+                            wire_bytes,
+                        },
+                        produced,
+                    ))
+                })();
+                match attempt {
+                    Ok(v) => Ok(v),
+                    Err(e) => {
+                        conn.discard();
+                        Err(AttemptFailure {
+                            error: e,
+                            free_retry: reused,
+                        })
+                    }
+                }
+            },
+            || {
+                self.pool.stats.retries.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.pool.metrics {
+                    m.add(Counter::PoolRetries, 1);
+                    m.trace(TraceKind::PoolReconnect);
+                }
+            },
+        )?;
+        self.bytes
+            .fetch_add(out.0.wire_bytes as u64, Ordering::Relaxed);
+        Ok(out)
     }
 
     /// Issue a bodiless keep-alive `GET` for `path` over a pooled
     /// connection — how the throughput bench and integration tests scrape
     /// `GET /metrics` mid-load without opening a fresh socket.
     pub fn get(&self, path: &str) -> io::Result<HttpReply> {
+        let (max_head, max_body) = self.resp_caps;
         self.with_retry(|conn| {
             let mut head = Vec::new();
             render_get_request(&mut head, path, &self.cfg.host);
             let stream = conn.stream();
             stream.write_all(&head)?;
             stream.flush()?;
-            let (status, resp) = read_response(stream)?;
+            let (status, resp) = read_response_limited(stream, max_head, max_body)?;
             Ok(HttpReply {
                 status,
                 body: resp,
@@ -563,10 +650,11 @@ impl HttpPoolClient {
         conn: &mut PooledConn<'_>,
         cfg: &RequestConfig,
         body: &[IoSlice<'_>],
+        (max_head, max_body): (usize, usize),
     ) -> io::Result<HttpReply> {
         let (stream, scratch) = conn.parts();
         let wire_bytes = post_gather_vectored(stream, cfg, body, scratch)?;
-        let (status, resp) = read_response(stream)?;
+        let (status, resp) = read_response_limited(stream, max_head, max_body)?;
         Ok(HttpReply {
             status,
             body: resp,
