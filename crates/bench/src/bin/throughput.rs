@@ -32,6 +32,7 @@ fn parse_args() -> Result<Opts, String> {
                 cfg.clients = smoke.clients;
                 cfg.requests_per_client = smoke.requests_per_client;
                 cfg.dirty_percents = smoke.dirty_percents;
+                cfg.sweep = smoke.sweep;
             }
             "--clients" => cfg.clients = take("--clients")?.parse().map_err(|_| "bad --clients")?,
             "--requests" => {
@@ -47,13 +48,24 @@ fn parse_args() -> Result<Opts, String> {
                     .map(|s| s.trim().parse().map_err(|_| format!("bad dirty level {s}")))
                     .collect::<Result<_, _>>()?;
             }
+            "--sweep" => {
+                cfg.sweep.event_loop_points = take("--sweep")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad sweep point {s}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--loop-threads" => {
+                cfg.sweep.event_loop_threads = take("--loop-threads")?
+                    .parse()
+                    .map_err(|_| "bad --loop-threads")?
+            }
             "--out" => out = take("--out")?,
             "--prom" => prom = take("--prom")?,
             "--help" | "-h" => {
                 println!(
                     "usage: throughput [--smoke] [--clients N] [--requests N] \
                      [--elems N] [--pool N] [--workers N] [--dirty a,b,c] \
-                     [--out FILE] [--prom FILE]"
+                     [--sweep a,b,c] [--loop-threads N] [--out FILE] [--prom FILE]"
                 );
                 std::process::exit(0);
             }
@@ -126,6 +138,16 @@ fn main() {
         if let Some(x) = report.speedup(d) {
             println!("speedup at {d}% dirty: {x:.2}x pooled over per-call");
         }
+    }
+    println!(
+        "{:<12} {:>11} {:>11} {:>8} {:>10}",
+        "sweep core", "connections", "responsive", "threads", "settle s"
+    );
+    for p in &report.sweep {
+        println!(
+            "{:<12} {:>11} {:>11} {:>8} {:>10.3}",
+            p.core, p.connections, p.responsive, p.threads, p.elapsed_s
+        );
     }
     if let Err(e) = std::fs::write(&opts.out, report.to_json()) {
         eprintln!("could not write {}: {e}", opts.out);

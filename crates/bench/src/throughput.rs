@@ -27,12 +27,13 @@ use bsoap_convert::format_f64;
 use bsoap_core::{Client, EngineConfig, Value};
 use bsoap_obs::{parse_value, HistId, Metrics, Tier};
 use bsoap_transport::http::{
-    post_gather_vectored, read_response, render_get_request, HttpVersion, RequestConfig,
+    post_gather, post_gather_vectored, read_response, render_get_request, HttpVersion,
+    RequestConfig,
 };
 use bsoap_transport::pool::{HttpPoolClient, PoolConfig};
-use bsoap_transport::server::{ServerMode, ServerOptions, TestServer};
+use bsoap_transport::server::{ServerCore, ServerMode, ServerOptions, TestServer};
 use bsoap_transport::PostScratch;
-use std::io::{self, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -54,6 +55,8 @@ pub struct ThroughputConfig {
     pub workers: usize,
     /// Dirty-fraction levels (percent of elements rewritten per resend).
     pub dirty_percents: Vec<usize>,
+    /// Concurrent-connection scaling sweep run after the matrix.
+    pub sweep: SweepConfig,
 }
 
 impl Default for ThroughputConfig {
@@ -66,6 +69,7 @@ impl Default for ThroughputConfig {
             pool_size: e.pool_size,
             workers: e.server_workers,
             dirty_percents: vec![0, 50, 100],
+            sweep: SweepConfig::default(),
         }
     }
 }
@@ -77,9 +81,68 @@ impl ThroughputConfig {
             clients: 2,
             requests_per_client: 40,
             dirty_percents: vec![50],
+            sweep: SweepConfig::smoke(),
             ..Self::default()
         }
     }
+}
+
+/// Knobs for the concurrent-connection scaling sweep: how many idle
+/// keep-alive clients each core can keep *responsive* at once.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Connection counts probed on the worker-pool core. The pool pins
+    /// one thread per live connection, so responsiveness stalls at
+    /// `workers` — small points suffice to show the ceiling.
+    pub worker_pool_points: Vec<usize>,
+    /// Connection counts probed on the event-loop core, which must keep
+    /// every connection responsive.
+    pub event_loop_points: Vec<usize>,
+    /// Loop threads for the event-loop points (the paper-scale claim is
+    /// ≥5k connections with ≤4 loop threads).
+    pub event_loop_threads: usize,
+    /// How long unanswered probes are polled before a point settles.
+    pub settle: Duration,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            worker_pool_points: vec![100, 1000],
+            event_loop_points: vec![100, 1000, 2500, 5000],
+            event_loop_threads: 2,
+            settle: Duration::from_secs(5),
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A sub-second sweep for CI smoke runs and unit tests.
+    pub fn smoke() -> Self {
+        SweepConfig {
+            worker_pool_points: vec![50],
+            event_loop_points: vec![200],
+            settle: Duration::from_secs(2),
+            ..Self::default()
+        }
+    }
+}
+
+/// One point of the connection sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// `"worker_pool"` or `"event_loop"`.
+    pub core: &'static str,
+    /// Keep-alive connections opened, each sending one probe request.
+    pub connections: usize,
+    /// Connections whose probe got a complete HTTP response before the
+    /// settle deadline.
+    pub responsive: usize,
+    /// Serving threads: `workers` (worker pool) or loop threads (event
+    /// loop).
+    pub threads: usize,
+    /// Seconds from the first probe byte until the point settled.
+    pub elapsed_s: f64,
 }
 
 /// One (mode, dirty-fraction) measurement.
@@ -125,13 +188,16 @@ pub struct ScenarioResult {
     pub metrics_prom: String,
 }
 
-/// Full report: config echo plus one result per (mode, dirty) pair.
+/// Full report: config echo plus one result per (mode, dirty) pair and
+/// the connection-sweep scaling curve.
 #[derive(Clone, Debug)]
 pub struct ThroughputReport {
     /// The knobs the run used.
     pub config: ThroughputConfig,
     /// One entry per (mode, dirty-fraction) pair.
     pub results: Vec<ScenarioResult>,
+    /// Concurrent-connection scaling points, both cores.
+    pub sweep: Vec<SweepPoint>,
 }
 
 impl ThroughputReport {
@@ -185,6 +251,20 @@ impl ThroughputReport {
                 r.pool_retries,
                 tiers_json(r),
                 if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"connection_sweep\": [\n");
+        for (i, p) in self.sweep.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"core\": \"{}\", \"connections\": {}, \"responsive\": {}, \
+                 \"threads\": {}, \"elapsed_s\": {:.4}}}{}\n",
+                p.core,
+                p.connections,
+                p.responsive,
+                p.threads,
+                p.elapsed_s,
+                if i + 1 < self.sweep.len() { "," } else { "" }
             ));
         }
         s.push_str("  ],\n");
@@ -477,7 +557,152 @@ fn scrape_metrics(addr: std::net::SocketAddr) -> io::Result<String> {
     Ok(String::from_utf8_lossy(&body).into_owned())
 }
 
-/// Run the full matrix: both modes at every dirty-fraction level.
+/// One sweep point: open `n` keep-alive connections against a fresh Ack
+/// server on `core`, send one probe POST on each, then poll nonblocking
+/// until every connection answered or the settle deadline passes.
+fn sweep_point(sweep: &SweepConfig, core: ServerCore, n: usize) -> io::Result<SweepPoint> {
+    let (core_name, threads) = match core {
+        ServerCore::WorkerPool => ("worker_pool", EngineConfig::default().server_workers),
+        ServerCore::EventLoop => ("event_loop", sweep.event_loop_threads),
+    };
+    let server = TestServer::spawn_with(
+        ServerMode::Ack,
+        ServerOptions {
+            core,
+            workers: threads,
+            event_loop_threads: sweep.event_loop_threads,
+            max_connections: n.max(1) * 2,
+            drain_deadline: Duration::from_secs(1),
+            ..ServerOptions::default()
+        },
+    )?;
+    let addr = server.addr();
+
+    // One probe request, framed once, written to every connection.
+    let mut probe = Vec::new();
+    let mut scratch = Vec::new();
+    let req_cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+    post_gather(
+        &mut probe,
+        &req_cfg,
+        &[IoSlice::new(b"<probe/>")],
+        &mut scratch,
+    )?;
+
+    let mut socks = Vec::with_capacity(n);
+    for i in 0..n {
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true)?;
+        socks.push(s);
+        // Pace the connect storm so the accept side (sharing one machine,
+        // possibly one core) keeps the listen backlog drained.
+        if i % 64 == 63 {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+
+    let start = Instant::now();
+    for s in &mut socks {
+        s.write_all(&probe)?;
+        s.flush()?;
+    }
+    for s in &socks {
+        s.set_nonblocking(true)?;
+    }
+
+    // Poll for responses: a connection is responsive once its buffered
+    // reply contains a complete head (the Ack reply is head-only).
+    let deadline = start + sweep.settle;
+    // A point also settles once no byte has arrived for a while: the
+    // worker pool's stalled majority should not burn the whole budget.
+    let quiesce = Duration::from_millis(750).min(sweep.settle / 2);
+    let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); n];
+    let mut done = vec![false; n];
+    let mut responsive = 0usize;
+    let mut remaining = n;
+    let mut last_answer = start;
+    let mut last_progress = Instant::now();
+    while remaining > 0 && Instant::now() < deadline && last_progress.elapsed() < quiesce {
+        let mut progress = false;
+        for i in 0..n {
+            if done[i] {
+                continue;
+            }
+            let mut chunk = [0u8; 256];
+            match (&socks[i]).read(&mut chunk) {
+                Ok(0) => {
+                    done[i] = true;
+                    remaining -= 1;
+                }
+                Ok(k) => {
+                    progress = true;
+                    bufs[i].extend_from_slice(&chunk[..k]);
+                    if bufs[i].windows(4).any(|w| w == b"\r\n\r\n") {
+                        done[i] = true;
+                        remaining -= 1;
+                        responsive += 1;
+                        last_answer = Instant::now();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => progress = true,
+                Err(_) => {
+                    done[i] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        if progress {
+            last_progress = Instant::now();
+        } else {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    drop(socks);
+    server.stop();
+
+    Ok(SweepPoint {
+        core: core_name,
+        connections: n,
+        responsive,
+        threads,
+        elapsed_s: (last_answer - start).as_secs_f64(),
+    })
+}
+
+/// Run the scaling sweep on both cores, with the self-checks the curves
+/// exist to prove: the worker pool stalls at `workers` responsive
+/// connections, while the event loop keeps *every* keep-alive client
+/// responsive (≥5k with ≤4 loop threads at the default points).
+pub fn run_sweep(sweep: &SweepConfig) -> io::Result<Vec<SweepPoint>> {
+    let mut points = Vec::new();
+    for &n in &sweep.worker_pool_points {
+        let p = sweep_point(sweep, ServerCore::WorkerPool, n)?;
+        assert_eq!(
+            p.responsive,
+            n.min(p.threads),
+            "worker pool must serve exactly its {} workers out of {} connections",
+            p.threads,
+            n
+        );
+        points.push(p);
+    }
+    if bsoap_transport::poller::supported() {
+        for &n in &sweep.event_loop_points {
+            let p = sweep_point(sweep, ServerCore::EventLoop, n)?;
+            assert_eq!(
+                p.responsive, n,
+                "event loop must keep all {} connections responsive on {} loop threads",
+                n, p.threads
+            );
+            points.push(p);
+        }
+    }
+    Ok(points)
+}
+
+/// Run the full matrix — both modes at every dirty-fraction level — then
+/// the connection sweep on both cores.
 pub fn run(cfg: &ThroughputConfig) -> io::Result<ThroughputReport> {
     let mut results = Vec::new();
     for &dirty in &cfg.dirty_percents {
@@ -485,9 +710,11 @@ pub fn run(cfg: &ThroughputConfig) -> io::Result<ThroughputReport> {
             results.push(run_scenario(cfg, mode, dirty)?);
         }
     }
+    let sweep = run_sweep(&cfg.sweep)?;
     Ok(ThroughputReport {
         config: cfg.clone(),
         results,
+        sweep,
     })
 }
 
@@ -512,12 +739,39 @@ mod tests {
     }
 
     #[test]
+    fn connection_sweep_scales_on_the_event_loop_only() {
+        let sweep = SweepConfig {
+            worker_pool_points: vec![12],
+            event_loop_points: vec![24],
+            event_loop_threads: 1,
+            settle: Duration::from_secs(2),
+        };
+        let points = run_sweep(&sweep).unwrap();
+        let wp = points.iter().find(|p| p.core == "worker_pool").unwrap();
+        // run_sweep's own self-checks already asserted exact counts; pin
+        // the shape here so the JSON curve stays meaningful.
+        assert_eq!(wp.connections, 12);
+        assert_eq!(wp.responsive, wp.threads.min(12));
+        if bsoap_transport::poller::supported() {
+            let el = points.iter().find(|p| p.core == "event_loop").unwrap();
+            assert_eq!((el.connections, el.responsive), (24, 24));
+            assert_eq!(el.threads, 1);
+        }
+    }
+
+    #[test]
     fn smoke_run_both_modes() {
         let cfg = ThroughputConfig {
             clients: 2,
             requests_per_client: 8,
             elems: 10,
             dirty_percents: vec![50],
+            sweep: SweepConfig {
+                worker_pool_points: vec![8],
+                event_loop_points: vec![16],
+                settle: Duration::from_secs(2),
+                ..SweepConfig::smoke()
+            },
             ..ThroughputConfig::default()
         };
         let report = run(&cfg).unwrap();
@@ -557,5 +811,10 @@ mod tests {
         assert!(json.contains("\"benchmark\": \"throughput\""));
         assert!(json.contains("\"mode\": \"pooled\""));
         assert!(json.contains("speedup_pooled_over_per_call"));
+        assert!(json.contains("\"connection_sweep\""));
+        assert!(json.contains("\"core\": \"worker_pool\""));
+        if bsoap_transport::poller::supported() {
+            assert!(json.contains("\"core\": \"event_loop\""));
+        }
     }
 }

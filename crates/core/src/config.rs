@@ -78,6 +78,46 @@ pub enum FlushMode {
     Legacy,
 }
 
+/// Which connection-handling core the hosted server runs (§ DESIGN 3.13).
+///
+/// Mirrors `bsoap-transport`'s `ServerCore` (this crate sits below the
+/// transport in the crate graph, same precedent as `BreakerState`): the
+/// server crate maps this knob onto the transport enum at spawn time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServerCore {
+    /// Thread-per-connection bounded accept pool: one blocking worker
+    /// drives each connection end to end.
+    WorkerPool,
+    /// Readiness-driven epoll loop: a few loop threads multiplex all
+    /// connections as sans-io state machines, dispatching complete
+    /// requests to a small CPU worker pool. Falls back to
+    /// [`ServerCore::WorkerPool`] on platforms without epoll.
+    EventLoop,
+}
+
+impl ServerCore {
+    /// Parse a core name as accepted by the `BSOAP_SERVER_CORE`
+    /// environment variable (case-insensitive, separators optional).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "worker_pool" | "workerpool" | "worker-pool" => Some(ServerCore::WorkerPool),
+            "event_loop" | "eventloop" | "event-loop" => Some(ServerCore::EventLoop),
+            _ => None,
+        }
+    }
+
+    /// Process-wide default: `BSOAP_SERVER_CORE` when set to a valid core
+    /// name, otherwise [`ServerCore::WorkerPool`]. Only
+    /// [`EngineConfig::paper_default`] consults this — an explicitly built
+    /// config is never overridden by the environment.
+    pub fn default_from_env() -> Self {
+        std::env::var("BSOAP_SERVER_CORE")
+            .ok()
+            .and_then(|v| Self::from_name(&v))
+            .unwrap_or(ServerCore::WorkerPool)
+    }
+}
+
 /// Full engine configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EngineConfig {
@@ -102,8 +142,23 @@ pub struct EngineConfig {
     /// connection pool retains (`bsoap-transport`'s `PoolConfig::max_idle`).
     pub pool_size: usize,
     /// Server side: worker threads handling connections in the bounded
-    /// accept pool (`bsoap-transport`'s `PoolOptions::workers`).
+    /// accept pool (`bsoap-transport`'s `PoolOptions::workers`), or CPU
+    /// dispatcher threads when [`EngineConfig::server_core`] is
+    /// [`ServerCore::EventLoop`].
     pub server_workers: usize,
+    /// Server side: which connection-handling core hosts connections.
+    /// Defaults from the `BSOAP_SERVER_CORE` environment variable (see
+    /// [`ServerCore::default_from_env`]).
+    pub server_core: ServerCore,
+    /// Server side: event-loop threads multiplexing connection readiness
+    /// when [`EngineConfig::server_core`] is [`ServerCore::EventLoop`].
+    /// Ignored by the worker-pool core.
+    pub event_loop_threads: usize,
+    /// Server side: maximum simultaneously open connections the event-loop
+    /// core accepts before parking the listener (excess connections queue
+    /// in the kernel backlog rather than being refused). Ignored by the
+    /// worker-pool core, whose bounded queue plays the same role.
+    pub max_connections: usize,
     /// Which flush path applies dirty values (plan/execute vs. legacy
     /// in-place patching).
     pub flush_mode: FlushMode,
@@ -179,6 +234,9 @@ impl EngineConfig {
             parallel_workers: 0,
             pool_size: 4,
             server_workers: 4,
+            server_core: ServerCore::default_from_env(),
+            event_loop_threads: 2,
+            max_connections: 8192,
             flush_mode: FlushMode::Planned,
             cost_fallback: false,
             fallback_ratio: 1.0,
@@ -249,6 +307,26 @@ impl EngineConfig {
     /// Builder-style server worker-count override.
     pub fn with_server_workers(mut self, workers: usize) -> Self {
         self.server_workers = workers;
+        self
+    }
+
+    /// Builder-style server-core override.
+    pub fn with_server_core(mut self, core: ServerCore) -> Self {
+        self.server_core = core;
+        self
+    }
+
+    /// Builder-style event-loop core selection: switches the server core
+    /// to [`ServerCore::EventLoop`] with `threads` loop threads.
+    pub fn with_event_loop(mut self, threads: usize) -> Self {
+        self.server_core = ServerCore::EventLoop;
+        self.event_loop_threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style open-connection cap for the event-loop core.
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max;
         self
     }
 
@@ -426,6 +504,33 @@ mod tests {
         assert_eq!(c.flush_mode, FlushMode::Legacy);
         assert!(c.cost_fallback);
         assert_eq!(c.fallback_ratio, 0.5);
+    }
+
+    #[test]
+    fn server_core_knobs() {
+        let d = EngineConfig::paper_default();
+        // The default is env-derived (CI parameterizes suites via
+        // BSOAP_SERVER_CORE), so compute the expectation the same way.
+        assert_eq!(d.server_core, ServerCore::default_from_env());
+        assert_eq!(d.event_loop_threads, 2);
+        assert_eq!(d.max_connections, 8192);
+        let c = d.with_event_loop(3).with_max_connections(64);
+        assert_eq!(c.server_core, ServerCore::EventLoop);
+        assert_eq!(c.event_loop_threads, 3);
+        assert_eq!(c.max_connections, 64);
+        let back = c.with_server_core(ServerCore::WorkerPool);
+        assert_eq!(back.server_core, ServerCore::WorkerPool);
+    }
+
+    #[test]
+    fn server_core_names_parse() {
+        for name in ["event_loop", "EventLoop", "event-loop", " EVENTLOOP "] {
+            assert_eq!(ServerCore::from_name(name), Some(ServerCore::EventLoop));
+        }
+        for name in ["worker_pool", "WorkerPool", "worker-pool"] {
+            assert_eq!(ServerCore::from_name(name), Some(ServerCore::WorkerPool));
+        }
+        assert_eq!(ServerCore::from_name("green_threads"), None);
     }
 
     #[test]

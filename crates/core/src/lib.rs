@@ -49,7 +49,7 @@ pub mod value;
 pub use cache::{TemplateCache, TemplateKey};
 pub use client::{Client, ClientStats, OverlaidOutcome};
 pub use config::{
-    EngineConfig, FloatFormatter, FlushMode, GrowthPolicy, KernelPolicy, WidthPolicy,
+    EngineConfig, FloatFormatter, FlushMode, GrowthPolicy, KernelPolicy, ServerCore, WidthPolicy,
 };
 pub use dut::{DutEntry, DutTable};
 pub use error::EngineError;

@@ -209,6 +209,13 @@ metric_enum! {
         /// Payload bytes streamed through the overlay pipeline (prologue +
         /// portions + epilogue; excludes HTTP framing).
         OverlayBytesStreamed => "bsoap_overlay_bytes_streamed_total",
+        /// Per-connection state-machine transitions on the event-loop
+        /// server core (one per edge the connection's lifecycle takes).
+        ConnStateTransitions => "bsoap_conn_state_transitions_total",
+        /// Idle keep-alive connections reaped by the event-loop core's
+        /// idle timer (distinct from [`Counter::ServerTimeouts`], which
+        /// counts mid-request stalls and budget exhaustion).
+        ServerIdleReaped => "bsoap_server_idle_reaped_total",
     }
 }
 
@@ -234,6 +241,9 @@ metric_enum! {
         /// Largest window fragment (template bytes) the overlay sender
         /// ever held — the sender's memory bound, flat in array size.
         OverlayWindowPeakBytes => "bsoap_overlay_window_peak_bytes",
+        /// Most connections the event-loop server core ever held open at
+        /// once (the readiness loop's concurrency high-water mark).
+        ConnectionsOpenPeak => "bsoap_connections_open_peak",
     }
 }
 

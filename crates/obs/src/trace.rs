@@ -77,6 +77,24 @@ pub enum TraceKind {
         /// Whether degraded mode is now on.
         on: bool,
     },
+    /// The event-loop server core accepted a connection.
+    Accept {
+        /// Loop-assigned connection id.
+        conn_id: u64,
+    },
+    /// The event-loop core evicted a connection (stall/budget timeout or
+    /// idle reap).
+    Evict {
+        /// Loop-assigned connection id.
+        conn_id: u64,
+        /// Whether the connection was idle between requests when evicted.
+        idle: bool,
+    },
+    /// Graceful drain began on the event-loop core.
+    Drain {
+        /// Connections still open when the drain started.
+        in_flight: u64,
+    },
 }
 
 /// Circuit-breaker states (see `bsoap-transport`'s breaker; mirrored here

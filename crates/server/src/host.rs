@@ -1,31 +1,52 @@
 //! Loopback HTTP host for a [`Service`].
 //!
-//! Runs on `bsoap-transport`'s bounded worker pool: blocking accepts feed
-//! a fixed number of workers (`EngineConfig::server_workers`), excess
-//! connections queue rather than spawn threads, and stop drains in-flight
-//! requests. Each connection runs a keep-alive loop parsing SOAP POSTs
-//! (`Content-Length` or chunked) and routing by `SOAPAction`
-//! (`"namespace#operation"`), with fallback to the first operation for
-//! action-less callers. Responses go out through the vectored send path
-//! (head and dispatched body as separate `IoSlice`s — no flattening).
+//! Runs on either of `bsoap-transport`'s server cores, selected by
+//! `EngineConfig::server_core`:
+//!
+//! * **Worker pool** — blocking accepts feed a fixed number of workers
+//!   (`EngineConfig::server_workers`), excess connections queue rather
+//!   than spawn threads, and stop drains in-flight requests.
+//! * **Event loop** — a few epoll loop threads
+//!   (`EngineConfig::event_loop_threads`) multiplex every connection as a
+//!   sans-io state machine; complete requests dispatch to
+//!   `server_workers` CPU workers. Falls back to the worker pool on
+//!   platforms without epoll.
+//!
+//! Both cores route through the same [`respond_to`] dispatch: a keep-alive
+//! loop parsing SOAP POSTs (`Content-Length` or chunked) and routing by
+//! `SOAPAction` (`"namespace#operation"`), with fallback to the first
+//! operation for action-less callers. Responses go out through the
+//! vectored send path (head and dispatched body as separate `IoSlice`s —
+//! no flattening), so the observable bytes are identical on either core.
 
 use crate::dispatch::{HandlerError, Service, ServiceStats};
 use bsoap_obs::{Counter, HistId, Metrics, Recorder, TraceKind};
 use bsoap_transport::accept::{serve_with_metrics, PoolOptions, WorkerPool};
-use bsoap_transport::http::{render_response_head_typed, write_response_vectored, RequestReader};
+use bsoap_transport::http::{
+    render_response_head_typed, write_response_vectored, RequestHead, RequestReader,
+};
+use bsoap_transport::{
+    poller, ConnConfig, EventLoopOptions, EventLoopServer, ReqBody, Response, ServeMode,
+};
 use std::io::{self, IoSlice, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 
+/// The running core behind an [`HttpServer`].
+enum CoreHandle {
+    Pool(WorkerPool),
+    Loop(EventLoopServer),
+}
+
 /// A running HTTP SOAP server.
 pub struct HttpServer {
     service: Arc<Service>,
-    pool: WorkerPool,
+    core: CoreHandle,
 }
 
 impl HttpServer {
-    /// Bind an ephemeral loopback port and serve `service` with
-    /// `service.config().server_workers` worker threads.
+    /// Bind an ephemeral loopback port and serve `service` on the core
+    /// selected by `service.config().server_core`.
     pub fn spawn(service: Service) -> io::Result<Self> {
         Self::spawn_inner(service)
     }
@@ -42,22 +63,63 @@ impl HttpServer {
     fn spawn_inner(service: Service) -> io::Result<Self> {
         let listener = std::net::TcpListener::bind(("127.0.0.1", 0))?;
         let service = Arc::new(service);
-        let conn_service = Arc::clone(&service);
-        let pool = serve_with_metrics(
-            listener,
-            PoolOptions {
-                workers: service.config().server_workers,
-                ..PoolOptions::default()
-            },
-            service.metrics().cloned(),
-            move |stream| serve_connection(stream, &conn_service),
-        )?;
-        Ok(HttpServer { service, pool })
+        let cfg = service.config();
+        let use_event_loop =
+            cfg.server_core == bsoap_core::ServerCore::EventLoop && poller::supported();
+        let core = if use_event_loop {
+            let handler_service = Arc::clone(&service);
+            let handler: bsoap_transport::Handler = Arc::new(move |head, body| {
+                let bytes = match &body {
+                    ReqBody::Full(b) => &b[..],
+                    // The host never installs a body sink, so a streamed
+                    // body cannot reach us; answer defensively anyway.
+                    ReqBody::Streamed { .. } => &[],
+                };
+                respond_to(&handler_service, head, bytes)
+            });
+            let server = EventLoopServer::serve(
+                listener,
+                EventLoopOptions {
+                    loops: cfg.event_loop_threads.max(1),
+                    dispatchers: cfg.server_workers.max(1),
+                    max_connections: cfg.max_connections,
+                    conn: ConnConfig {
+                        max_head: cfg.max_head_bytes,
+                        max_body: cfg.max_body_bytes,
+                        // The worker-pool core uses the call deadline as
+                        // the per-connection socket read timeout; the
+                        // sliding read-stall timer is its equivalent here.
+                        read_timeout: cfg.deadline,
+                        ..ConnConfig::default()
+                    },
+                    ..EventLoopOptions::default()
+                },
+                service.metrics().cloned(),
+                ServeMode::Http { handler },
+            )?;
+            CoreHandle::Loop(server)
+        } else {
+            let conn_service = Arc::clone(&service);
+            let pool = serve_with_metrics(
+                listener,
+                PoolOptions {
+                    workers: cfg.server_workers,
+                    ..PoolOptions::default()
+                },
+                service.metrics().cloned(),
+                move |stream| serve_connection(stream, &conn_service),
+            )?;
+            CoreHandle::Pool(pool)
+        };
+        Ok(HttpServer { service, core })
     }
 
     /// Address clients should POST to.
     pub fn addr(&self) -> SocketAddr {
-        self.pool.addr()
+        match &self.core {
+            CoreHandle::Pool(p) => p.addr(),
+            CoreHandle::Loop(l) => l.addr(),
+        }
     }
 
     /// Live statistics view.
@@ -67,7 +129,10 @@ impl HttpServer {
 
     /// Stop accepting, drain in-flight requests, return final statistics.
     pub fn stop(mut self) -> ServiceStats {
-        self.pool.stop();
+        match &mut self.core {
+            CoreHandle::Pool(p) => p.stop(),
+            CoreHandle::Loop(l) => l.stop(),
+        }
         self.service.stats()
     }
 }
@@ -77,6 +142,66 @@ impl HttpServer {
 fn operation_from_action(action: &str) -> Option<&str> {
     let unquoted = action.trim().trim_matches('"');
     unquoted.rsplit_once('#').map(|(_, op)| op)
+}
+
+/// One parsed request in, one response out — the dispatch shared by both
+/// server cores, so routing, fault mapping, the `/metrics` endpoint, and
+/// every counter tick behave identically regardless of which core framed
+/// the bytes.
+fn respond_to(service: &Service, head: &RequestHead, body: &[u8]) -> Response {
+    if head.method == "GET" && head.path == "/metrics" {
+        let (status, reason, text) = match service.metrics() {
+            Some(m) => {
+                m.add(Counter::MetricsScrapes, 1);
+                (200, "OK", m.render_prometheus())
+            }
+            None => (404, "Not Found", String::from("no metrics registry\n")),
+        };
+        return Response {
+            status,
+            reason,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: text.into_bytes(),
+            measure: false,
+        };
+    }
+    let op_name = head
+        .header("soapaction")
+        .and_then(operation_from_action)
+        .map(str::to_owned)
+        .or_else(|| service.operation_names().first().cloned());
+    let reply = match op_name {
+        Some(op) => service.dispatch(&op, body),
+        None => Err(HandlerError::UnknownOperation("<none>".to_owned())),
+    };
+    let (status, reason, payload) = match reply {
+        Ok(bytes) => (200, "OK", bytes),
+        Err(HandlerError::Fault(msg)) => {
+            // Application faults are HTTP 500 with a Fault body per
+            // SOAP 1.1 §6.2.
+            (
+                500,
+                "Internal Server Error",
+                Service::fault_envelope("SOAP-ENV:Server", &msg),
+            )
+        }
+        Err(HandlerError::UnknownOperation(op)) => (
+            404,
+            "Not Found",
+            Service::fault_envelope("SOAP-ENV:Client", &format!("no operation {op}")),
+        ),
+        Err(e) => (
+            400,
+            "Bad Request",
+            Service::fault_envelope("SOAP-ENV:Client", &e.to_string()),
+        ),
+    };
+    // Count the request before its response leaves: a scrape racing
+    // the final response on another connection must still see it.
+    if let Some(m) = service.metrics() {
+        m.add(Counter::ServerRequests, 1);
+    }
+    Response::xml(status, reason, payload)
 }
 
 fn serve_connection(mut stream: TcpStream, service: &Service) {
@@ -125,107 +250,61 @@ fn serve_connection(mut stream: TcpStream, service: &Service) {
             Err(_) => break,
         };
         let start = service.metrics().map(|m| m.now_ns());
-        if head.method == "GET" && head.path == "/metrics" {
-            if serve_metrics_scrape(&mut stream, service, &mut head_scratch).is_err() {
-                break;
-            }
-            continue;
-        }
-        let op_name = head
-            .header("soapaction")
-            .and_then(operation_from_action)
-            .map(str::to_owned)
-            .or_else(|| service.operation_names().first().cloned());
-        let reply = match op_name {
-            Some(op) => service.dispatch(&op, &body),
-            None => Err(HandlerError::UnknownOperation("<none>".to_owned())),
-        };
-        let (status, reason, payload) = match reply {
-            Ok(bytes) => (200, "OK", bytes),
-            Err(HandlerError::Fault(msg)) => {
-                // Application faults are HTTP 500 with a Fault body per
-                // SOAP 1.1 §6.2.
-                (
-                    500,
-                    "Internal Server Error",
-                    Service::fault_envelope("SOAP-ENV:Server", &msg),
-                )
-            }
-            Err(HandlerError::UnknownOperation(op)) => (
-                404,
-                "Not Found",
-                Service::fault_envelope("SOAP-ENV:Client", &format!("no operation {op}")),
-            ),
-            Err(e) => (
-                400,
-                "Bad Request",
-                Service::fault_envelope("SOAP-ENV:Client", &e.to_string()),
-            ),
-        };
-        // Count the request before its response leaves: a scrape racing
-        // the final response on another connection must still see it.
-        if let Some(m) = service.metrics() {
-            m.add(Counter::ServerRequests, 1);
-        }
-        let sent = write_response_vectored(
-            &mut stream,
-            status,
-            reason,
-            &[IoSlice::new(&payload)],
+        let resp = respond_to(service, &head, &body);
+        render_response_head_typed(
             &mut head_scratch,
+            resp.status,
+            resp.reason,
+            resp.content_type,
+            resp.body.len(),
         );
-        let sent = match sent {
+        let list = [IoSlice::new(&head_scratch), IoSlice::new(&resp.body)];
+        let sent = match bsoap_transport::write_gather(&mut stream, &list).and_then(|n| {
+            stream.flush()?;
+            Ok(n)
+        }) {
             Ok(n) => n,
             Err(_) => break,
         };
-        if let Some(m) = service.metrics() {
-            let elapsed_ns = m.now_ns().saturating_sub(start.unwrap_or(0));
-            m.add(Counter::ServerBytesOut, sent as u64);
-            m.observe_ns(HistId::ServerRequest, elapsed_ns);
-            m.trace(TraceKind::Request {
-                bytes: sent as u64,
-                elapsed_ns,
-            });
+        if resp.measure {
+            if let Some(m) = service.metrics() {
+                let elapsed_ns = m.now_ns().saturating_sub(start.unwrap_or(0));
+                m.add(Counter::ServerBytesOut, sent as u64);
+                m.observe_ns(HistId::ServerRequest, elapsed_ns);
+                m.trace(TraceKind::Request {
+                    bytes: sent as u64,
+                    elapsed_ns,
+                });
+            }
         }
     }
-}
-
-/// Answer one `GET /metrics` with the service registry's Prometheus text
-/// rendering (`404` when the service runs without one).
-fn serve_metrics_scrape(
-    stream: &mut TcpStream,
-    service: &Service,
-    head_scratch: &mut Vec<u8>,
-) -> io::Result<()> {
-    let (status, reason, text) = match service.metrics() {
-        Some(m) => {
-            m.add(Counter::MetricsScrapes, 1);
-            (200, "OK", m.render_prometheus())
-        }
-        None => (404, "Not Found", String::from("no metrics registry\n")),
-    };
-    render_response_head_typed(
-        head_scratch,
-        status,
-        reason,
-        "text/plain; version=0.0.4; charset=utf-8",
-        text.len(),
-    );
-    stream.write_all(head_scratch)?;
-    stream.write_all(text.as_bytes())?;
-    stream.flush()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use bsoap_convert::ScalarKind;
-    use bsoap_core::{EngineConfig, MessageTemplate, OpDesc, ParamDesc, TypeDesc, Value};
+    use bsoap_core::{
+        EngineConfig, MessageTemplate, OpDesc, ParamDesc, ServerCore, TypeDesc, Value,
+    };
     use bsoap_transport::http::{post_gather, read_response, HttpVersion, RequestConfig};
     use std::io::IoSlice;
 
-    fn sum_service() -> Service {
-        let mut svc = Service::new("urn:sum", EngineConfig::paper_default());
+    /// Cores to exercise: both when the platform has epoll, else just the
+    /// worker pool (the event loop would silently fall back anyway).
+    fn cores() -> Vec<ServerCore> {
+        if poller::supported() {
+            vec![ServerCore::WorkerPool, ServerCore::EventLoop]
+        } else {
+            vec![ServerCore::WorkerPool]
+        }
+    }
+
+    fn sum_service_on(core: ServerCore) -> Service {
+        let mut svc = Service::new(
+            "urn:sum",
+            EngineConfig::paper_default().with_server_core(core),
+        );
         let op = OpDesc::single(
             "sum",
             "urn:sum",
@@ -279,176 +358,222 @@ mod tests {
 
     #[test]
     fn end_to_end_sum() {
-        let server = HttpServer::spawn(sum_service()).unwrap();
-        let (status, resp) = post(
-            server.addr(),
-            "urn:sum#sum",
-            &request_bytes(&[1.5, 2.5, 3.0]),
-        );
-        assert_eq!(status, 200);
-        let resp_op = OpDesc::new(
-            "sumResponse",
-            "urn:sum",
-            vec![ParamDesc {
-                name: "total".into(),
-                desc: TypeDesc::Scalar(ScalarKind::Double),
-            }],
-        );
-        let parsed = bsoap_deser::parse_envelope(&resp, &resp_op).unwrap();
-        assert_eq!(parsed, vec![Value::Double(7.0)]);
-        let stats = server.stop();
-        assert_eq!(stats.requests, 1);
+        for core in cores() {
+            let server = HttpServer::spawn(sum_service_on(core)).unwrap();
+            let (status, resp) = post(
+                server.addr(),
+                "urn:sum#sum",
+                &request_bytes(&[1.5, 2.5, 3.0]),
+            );
+            assert_eq!(status, 200, "core {core:?}");
+            let resp_op = OpDesc::new(
+                "sumResponse",
+                "urn:sum",
+                vec![ParamDesc {
+                    name: "total".into(),
+                    desc: TypeDesc::Scalar(ScalarKind::Double),
+                }],
+            );
+            let parsed = bsoap_deser::parse_envelope(&resp, &resp_op).unwrap();
+            assert_eq!(parsed, vec![Value::Double(7.0)], "core {core:?}");
+            let stats = server.stop();
+            assert_eq!(stats.requests, 1, "core {core:?}");
+        }
     }
 
     #[test]
     fn repeat_queries_hit_content_match_responses() {
-        let server = HttpServer::spawn(sum_service()).unwrap();
-        let body = request_bytes(&[4.0, 4.0]);
-        for _ in 0..3 {
-            let (status, _) = post(server.addr(), "urn:sum#sum", &body);
-            assert_eq!(status, 200);
+        for core in cores() {
+            let server = HttpServer::spawn(sum_service_on(core)).unwrap();
+            let body = request_bytes(&[4.0, 4.0]);
+            for _ in 0..3 {
+                let (status, _) = post(server.addr(), "urn:sum#sum", &body);
+                assert_eq!(status, 200, "core {core:?}");
+            }
+            let stats = server.stop();
+            assert_eq!(stats.responses_first, 1, "core {core:?}");
+            assert_eq!(stats.responses_content, 2, "core {core:?}");
+            assert_eq!(stats.requests_identical, 2, "core {core:?}");
         }
-        let stats = server.stop();
-        assert_eq!(stats.responses_first, 1);
-        assert_eq!(stats.responses_content, 2);
-        assert_eq!(stats.requests_identical, 2);
     }
 
     #[test]
     fn unknown_action_is_404() {
-        let server = HttpServer::spawn(sum_service()).unwrap();
-        let (status, body) = post(server.addr(), "urn:sum#ghost", &request_bytes(&[1.0]));
-        assert_eq!(status, 404);
-        assert!(String::from_utf8(body).unwrap().contains("SOAP-ENV:Fault"));
-        server.stop();
+        for core in cores() {
+            let server = HttpServer::spawn(sum_service_on(core)).unwrap();
+            let (status, body) = post(server.addr(), "urn:sum#ghost", &request_bytes(&[1.0]));
+            assert_eq!(status, 404, "core {core:?}");
+            assert!(String::from_utf8(body).unwrap().contains("SOAP-ENV:Fault"));
+            server.stop();
+        }
     }
 
     #[test]
     fn malformed_body_is_400() {
-        let server = HttpServer::spawn(sum_service()).unwrap();
-        let (status, _) = post(server.addr(), "urn:sum#sum", b"junk");
-        assert_eq!(status, 400);
-        server.stop();
+        for core in cores() {
+            let server = HttpServer::spawn(sum_service_on(core)).unwrap();
+            let (status, _) = post(server.addr(), "urn:sum#sum", b"junk");
+            assert_eq!(status, 400, "core {core:?}");
+            server.stop();
+        }
+    }
+
+    #[test]
+    fn both_cores_answer_byte_identical_responses() {
+        if !poller::supported() {
+            return;
+        }
+        let body = request_bytes(&[2.0, 3.5, 4.5]);
+        let mut replies = Vec::new();
+        for core in [ServerCore::WorkerPool, ServerCore::EventLoop] {
+            let server = HttpServer::spawn(sum_service_on(core)).unwrap();
+            replies.push(post(server.addr(), "urn:sum#sum", &body));
+            server.stop();
+        }
+        assert_eq!(
+            replies[0], replies[1],
+            "the two cores must be byte-for-byte indistinguishable"
+        );
     }
 
     #[test]
     fn handler_fault_is_500_fault_envelope() {
-        let mut svc = Service::new("urn:f", EngineConfig::paper_default());
-        let op = OpDesc::single("f", "urn:f", "v", TypeDesc::Scalar(ScalarKind::Int));
-        svc.register(
-            op.clone(),
-            vec![ParamDesc {
-                name: "r".into(),
-                desc: TypeDesc::Scalar(ScalarKind::Int),
-            }],
-            |_| Err("deliberate".into()),
-        );
-        let server = HttpServer::spawn(svc).unwrap();
-        let body = MessageTemplate::build(EngineConfig::paper_default(), &op, &[Value::Int(1)])
-            .unwrap()
-            .to_bytes();
-        let (status, resp) = post(server.addr(), "urn:f#f", &body);
-        assert_eq!(status, 500);
-        assert!(String::from_utf8(resp).unwrap().contains("deliberate"));
-        server.stop();
+        for core in cores() {
+            let mut svc = Service::new(
+                "urn:f",
+                EngineConfig::paper_default().with_server_core(core),
+            );
+            let op = OpDesc::single("f", "urn:f", "v", TypeDesc::Scalar(ScalarKind::Int));
+            svc.register(
+                op.clone(),
+                vec![ParamDesc {
+                    name: "r".into(),
+                    desc: TypeDesc::Scalar(ScalarKind::Int),
+                }],
+                |_| Err("deliberate".into()),
+            );
+            let server = HttpServer::spawn(svc).unwrap();
+            let body = MessageTemplate::build(EngineConfig::paper_default(), &op, &[Value::Int(1)])
+                .unwrap()
+                .to_bytes();
+            let (status, resp) = post(server.addr(), "urn:f#f", &body);
+            assert_eq!(status, 500, "core {core:?}");
+            assert!(String::from_utf8(resp).unwrap().contains("deliberate"));
+            server.stop();
+        }
     }
 
     #[test]
     fn concurrent_clients() {
-        let server = HttpServer::spawn(sum_service()).unwrap();
-        let addr = server.addr();
-        let handles: Vec<_> = (0..4)
-            .map(|i| {
-                std::thread::spawn(move || {
-                    let body = request_bytes(&[i as f64, 1.0]);
-                    let (status, _) = post(addr, "urn:sum#sum", &body);
-                    assert_eq!(status, 200);
+        for core in cores() {
+            let server = HttpServer::spawn(sum_service_on(core)).unwrap();
+            let addr = server.addr();
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    std::thread::spawn(move || {
+                        let body = request_bytes(&[i as f64, 1.0]);
+                        let (status, _) = post(addr, "urn:sum#sum", &body);
+                        assert_eq!(status, 200);
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let stats = server.stop();
+            assert_eq!(stats.requests, 4, "core {core:?}");
         }
-        let stats = server.stop();
-        assert_eq!(stats.requests, 4);
     }
 
     #[test]
     fn metrics_endpoint_mirrors_response_tiers() {
-        let metrics = Metrics::shared();
-        let server = HttpServer::spawn_with_metrics(sum_service(), Arc::clone(&metrics)).unwrap();
-        // first-time, content-match, perfect-structural response tiers.
-        for xs in [&[1.0, 2.0][..], &[1.0, 2.0], &[9.0, 2.0]] {
-            let (status, _) = post(server.addr(), "urn:sum#sum", &request_bytes(xs));
-            assert_eq!(status, 200);
+        for core in cores() {
+            let metrics = Metrics::shared();
+            let server =
+                HttpServer::spawn_with_metrics(sum_service_on(core), Arc::clone(&metrics)).unwrap();
+            // first-time, content-match, perfect-structural response tiers.
+            for xs in [&[1.0, 2.0][..], &[1.0, 2.0], &[9.0, 2.0]] {
+                let (status, _) = post(server.addr(), "urn:sum#sum", &request_bytes(xs));
+                assert_eq!(status, 200, "core {core:?}");
+            }
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            let mut get = Vec::new();
+            bsoap_transport::http::render_get_request(&mut get, "/metrics", "localhost");
+            c.write_all(&get).unwrap();
+            let (status, text) = read_response(&mut c).unwrap();
+            assert_eq!(status, 200, "core {core:?}");
+            let text = String::from_utf8(text).unwrap();
+            assert_eq!(
+                bsoap_obs::parse_value(&text, "bsoap_server_requests_total"),
+                Some(3.0),
+                "core {core:?}"
+            );
+            drop(c);
+            let stats = server.stop();
+            let snap = metrics.snapshot();
+            use bsoap_obs::Tier;
+            assert_eq!(snap.tier_sends(Tier::FirstTime), stats.responses_first);
+            assert_eq!(snap.tier_sends(Tier::ContentMatch), stats.responses_content);
+            assert_eq!(
+                snap.tier_sends(Tier::PerfectStructural),
+                stats.responses_perfect
+            );
+            assert_eq!(
+                snap.tier_sends(Tier::PartialStructural),
+                stats.responses_partial
+            );
+            assert_eq!(snap.total_sends(), stats.requests);
+            assert_eq!(snap.get(Counter::ServerRequests), stats.requests);
+            assert_eq!(snap.hist(HistId::ServerRequest).count(), stats.requests);
         }
-        let mut c = TcpStream::connect(server.addr()).unwrap();
-        let mut get = Vec::new();
-        bsoap_transport::http::render_get_request(&mut get, "/metrics", "localhost");
-        c.write_all(&get).unwrap();
-        let (status, text) = read_response(&mut c).unwrap();
-        assert_eq!(status, 200);
-        let text = String::from_utf8(text).unwrap();
-        assert_eq!(
-            bsoap_obs::parse_value(&text, "bsoap_server_requests_total"),
-            Some(3.0)
-        );
-        drop(c);
-        let stats = server.stop();
-        let snap = metrics.snapshot();
-        use bsoap_obs::Tier;
-        assert_eq!(snap.tier_sends(Tier::FirstTime), stats.responses_first);
-        assert_eq!(snap.tier_sends(Tier::ContentMatch), stats.responses_content);
-        assert_eq!(
-            snap.tier_sends(Tier::PerfectStructural),
-            stats.responses_perfect
-        );
-        assert_eq!(
-            snap.tier_sends(Tier::PartialStructural),
-            stats.responses_partial
-        );
-        assert_eq!(snap.total_sends(), stats.requests);
-        assert_eq!(snap.get(Counter::ServerRequests), stats.requests);
-        assert_eq!(snap.hist(HistId::ServerRequest).count(), stats.requests);
     }
 
     #[test]
     fn non_http_garbage_draws_400_not_hang() {
-        let server = HttpServer::spawn(sum_service()).unwrap();
-        let mut c = TcpStream::connect(server.addr()).unwrap();
-        c.write_all(b"GARBAGE THAT IS NOT HTTP\r\n\r\n").unwrap();
-        let (status, _) = read_response(&mut c).unwrap();
-        assert_eq!(status, 400);
-        drop(c);
-        server.stop();
+        for core in cores() {
+            let server = HttpServer::spawn(sum_service_on(core)).unwrap();
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            c.write_all(b"GARBAGE THAT IS NOT HTTP\r\n\r\n").unwrap();
+            let (status, _) = read_response(&mut c).unwrap();
+            assert_eq!(status, 400, "core {core:?}");
+            drop(c);
+            server.stop();
+        }
     }
 
     #[test]
     fn oversized_body_draws_400_under_cap() {
-        let cfg = EngineConfig::paper_default().with_http_caps(1 << 20, 64);
-        let mut svc = Service::new("urn:sum", cfg);
-        let op = OpDesc::single(
-            "sum",
-            "urn:sum",
-            "xs",
-            TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
-        );
-        svc.register(
-            op,
-            vec![ParamDesc {
-                name: "total".into(),
-                desc: TypeDesc::Scalar(ScalarKind::Double),
-            }],
-            |_| Ok(vec![Value::Double(0.0)]),
-        );
-        let server = HttpServer::spawn(svc).unwrap();
-        let (status, _) = post(
-            server.addr(),
-            "urn:sum#sum",
-            &request_bytes(&[1.0, 2.0, 3.0, 4.0]),
-        );
-        assert_eq!(status, 400, "body larger than the 64-byte cap is refused");
-        server.stop();
+        for core in cores() {
+            let cfg = EngineConfig::paper_default()
+                .with_http_caps(1 << 20, 64)
+                .with_server_core(core);
+            let mut svc = Service::new("urn:sum", cfg);
+            let op = OpDesc::single(
+                "sum",
+                "urn:sum",
+                "xs",
+                TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+            );
+            svc.register(
+                op,
+                vec![ParamDesc {
+                    name: "total".into(),
+                    desc: TypeDesc::Scalar(ScalarKind::Double),
+                }],
+                |_| Ok(vec![Value::Double(0.0)]),
+            );
+            let server = HttpServer::spawn(svc).unwrap();
+            let (status, _) = post(
+                server.addr(),
+                "urn:sum#sum",
+                &request_bytes(&[1.0, 2.0, 3.0, 4.0]),
+            );
+            assert_eq!(
+                status, 400,
+                "core {core:?}: body larger than the 64-byte cap is refused"
+            );
+            server.stop();
+        }
     }
 
     #[test]

@@ -1,0 +1,1020 @@
+//! Sans-io per-connection state machine for the event-loop server core.
+//!
+//! A [`Conn`] owns everything one connection needs except the socket and
+//! the clock: the parse buffer, the HTTP head/body decode position, the
+//! response being written, and the lifecycle state
+//! (`ReadingHead → ReadingBody/ReadingChunked → Dispatching → Writing →
+//! Idle → Closing`). The event loop feeds it readiness events, timer
+//! firings, and dispatch completions; the machine answers with
+//! [`ConnAction`]s — dispatch this request, change epoll interest, arm or
+//! cancel a timer, close me. Because no syscall and no clock reading
+//! happens in here, the model-checked suite in `tests/conn_model.rs` can
+//! drive the machine through randomized schedules with scripted I/O and
+//! assert the exact transition trace and metrics snapshot.
+//!
+//! Timeout semantics mirror the worker-pool core's `BudgetedRead`:
+//! * `read_timeout` → [`TimerKind::ReadStall`], slid forward on every
+//!   read that makes progress; it also covers the gap between keep-alive
+//!   requests (the worker pool's socket timeout does too).
+//! * `request_timeout` → [`TimerKind::RequestBudget`], armed when the
+//!   first byte of a request head arrives and canceled when the request
+//!   completes — an idle keep-alive gap is *never* on the budget.
+//! * `idle_timeout` → [`TimerKind::IdleReap`], armed only while Idle;
+//!   this knob is new with the event-loop core (the worker pool can only
+//!   conflate idle reaping with `read_timeout`).
+
+use crate::http::{
+    head_end, parse_hex, parse_request_head, render_response_head_typed, BodyFraming, HttpError,
+    RequestHead,
+};
+use crate::timer::TimerKind;
+use bsoap_obs::{Counter, Recorder, TraceKind};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Longest permitted chunk-size line (mirrors `stream.rs`).
+const MAX_SIZE_LINE: usize = 256;
+
+/// Lifecycle states of one connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnState {
+    /// Keep-alive gap: no request in progress, buffer empty.
+    Idle,
+    /// Accumulating bytes of a request head.
+    ReadingHead,
+    /// Consuming a `Content-Length` body.
+    ReadingBody,
+    /// Decoding a chunked body incrementally.
+    ReadingChunked,
+    /// A complete request is with the dispatch pool; reads are disarmed.
+    Dispatching,
+    /// Draining the rendered response to the socket.
+    Writing,
+    /// Terminal: the loop is tearing the connection down.
+    Closing,
+}
+
+/// Why a connection closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CloseReason {
+    /// Peer closed cleanly between requests.
+    CleanEof,
+    /// A `ReadStall` or `RequestBudget` timer fired (slow-loris or
+    /// budget eviction).
+    Evicted,
+    /// The idle reaper fired on a keep-alive gap.
+    IdleReaped,
+    /// The request was malformed; a 400 was written first.
+    BadRequest,
+    /// The socket write side failed or reported `Ok(0)`.
+    WriteFailed,
+    /// Graceful drain finished this connection's in-flight request.
+    Drained,
+    /// Unexpected I/O error on the read side.
+    Error,
+}
+
+/// What the event loop should do on the machine's behalf.
+#[derive(Debug)]
+pub enum ConnAction {
+    /// Hand a complete request to the dispatch pool.
+    Dispatch(RequestHead, ReqBody),
+    /// Change epoll interest for this connection's socket.
+    Interest {
+        /// Want readability.
+        read: bool,
+        /// Want writability.
+        write: bool,
+    },
+    /// Arm (or slide) this timer kind `after` from now.
+    Arm(TimerKind, Duration),
+    /// Cancel this timer kind if armed.
+    Cancel(TimerKind),
+    /// A response finished writing; `bytes` went on the wire.
+    /// `measure` is false for `/metrics` scrapes (the worker-pool core
+    /// excludes those from throughput accounting too).
+    Responded {
+        /// Head + body bytes written.
+        bytes: u64,
+        /// Whether to tick throughput counters/histograms.
+        measure: bool,
+    },
+    /// Tear the connection down.
+    Close(CloseReason),
+}
+
+/// A request body as delivered to the handler.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReqBody {
+    /// Fully buffered body bytes.
+    Full(Vec<u8>),
+    /// The body was streamed into a [`BodySink`] as it decoded; only the
+    /// byte count reaches the handler.
+    Streamed {
+        /// Decoded body length.
+        bytes: usize,
+    },
+}
+
+impl ReqBody {
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            ReqBody::Full(b) => b.len(),
+            ReqBody::Streamed { bytes } => *bytes,
+        }
+    }
+
+    /// Whether the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A rendered-to-be response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Whether this response counts toward throughput metrics
+    /// (false for `/metrics` scrapes).
+    pub measure: bool,
+}
+
+impl Response {
+    /// A measured `text/xml` response — the common case.
+    pub fn xml(status: u16, reason: &'static str, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            reason,
+            content_type: "text/xml; charset=utf-8",
+            body,
+            measure: true,
+        }
+    }
+}
+
+/// Incremental consumer for request bodies the server should never
+/// buffer whole (e.g. overlaid chunked uploads feeding a
+/// `StreamingDeserializer`).
+pub trait BodySink: Send {
+    /// Consume the next decoded body slice.
+    fn on_slice(&mut self, slice: &[u8]) -> io::Result<()>;
+    /// The body is complete.
+    fn finish(&mut self) -> io::Result<()>;
+}
+
+/// Per-request sink chooser: `None` means buffer the body normally.
+pub type SinkFactory = Arc<dyn Fn(&RequestHead) -> Option<Box<dyn BodySink>> + Send + Sync>;
+
+/// Limits and timeouts, usually derived from `ServerOptions`.
+#[derive(Clone)]
+pub struct ConnConfig {
+    /// Head size cap.
+    pub max_head: usize,
+    /// Body size cap.
+    pub max_body: usize,
+    /// Stall eviction: no read progress for this long.
+    pub read_timeout: Option<Duration>,
+    /// Whole-request budget from the first head byte.
+    pub request_timeout: Option<Duration>,
+    /// Idle keep-alive reaper.
+    pub idle_timeout: Option<Duration>,
+    /// Optional streaming sink chooser.
+    pub sink_factory: Option<SinkFactory>,
+}
+
+impl Default for ConnConfig {
+    fn default() -> Self {
+        ConnConfig {
+            max_head: 1 << 20,
+            max_body: 64 << 20,
+            read_timeout: None,
+            request_timeout: None,
+            idle_timeout: None,
+            sink_factory: None,
+        }
+    }
+}
+
+/// Chunked-body decode position (the `stream.rs` grammar, incremental).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ChunkPhase {
+    SizeLine,
+    Data { remaining: usize },
+    DataCrlf,
+    Trailers,
+}
+
+/// One connection's state machine. See the module docs.
+pub struct Conn {
+    id: u64,
+    state: ConnState,
+    cfg: ConnConfig,
+    /// Unparsed input; `consumed..` is live.
+    buf: Vec<u8>,
+    consumed: usize,
+    head: Option<RequestHead>,
+    body: Vec<u8>,
+    sink: Option<Box<dyn BodySink>>,
+    body_remaining: usize,
+    body_seen: usize,
+    chunk: ChunkPhase,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    pending_response: Option<(u64, bool)>,
+    close_after_write: Option<CloseReason>,
+    draining: bool,
+    transitions: Vec<(ConnState, ConnState)>,
+}
+
+impl Conn {
+    /// Fresh connection in `Idle`, identified by `id` in traces.
+    pub fn new(id: u64, cfg: ConnConfig) -> Conn {
+        Conn {
+            id,
+            state: ConnState::Idle,
+            cfg,
+            buf: Vec::with_capacity(4096),
+            consumed: 0,
+            head: None,
+            body: Vec::new(),
+            sink: None,
+            body_remaining: 0,
+            body_seen: 0,
+            chunk: ChunkPhase::SizeLine,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            pending_response: None,
+            close_after_write: None,
+            draining: false,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Connection id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// Whether the machine reached `Closing`.
+    pub fn is_closing(&self) -> bool {
+        self.state == ConnState::Closing
+    }
+
+    /// Every `(from, to)` edge taken so far, in order.
+    pub fn transitions(&self) -> &[(ConnState, ConnState)] {
+        &self.transitions
+    }
+
+    /// Unparsed buffered bytes (pipelined leftovers).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Timer actions a fresh connection needs (idle reaper + stall
+    /// timer); the loop applies these right after registration.
+    pub fn on_accept(&mut self, out: &mut Vec<ConnAction>) {
+        if let Some(t) = self.cfg.idle_timeout {
+            out.push(ConnAction::Arm(TimerKind::IdleReap, t));
+        }
+        if let Some(t) = self.cfg.read_timeout {
+            out.push(ConnAction::Arm(TimerKind::ReadStall, t));
+        }
+    }
+
+    fn set_state(&mut self, to: ConnState, rec: &dyn Recorder) {
+        debug_assert_ne!(self.state, to);
+        self.transitions.push((self.state, to));
+        rec.add(Counter::ConnStateTransitions, 1);
+        self.state = to;
+    }
+
+    fn reading(&self) -> bool {
+        matches!(
+            self.state,
+            ConnState::Idle
+                | ConnState::ReadingHead
+                | ConnState::ReadingBody
+                | ConnState::ReadingChunked
+        )
+    }
+
+    fn close(&mut self, reason: CloseReason, rec: &dyn Recorder, out: &mut Vec<ConnAction>) {
+        if self.state == ConnState::Closing {
+            return;
+        }
+        self.set_state(ConnState::Closing, rec);
+        out.push(ConnAction::Close(reason));
+    }
+
+    /// Readiness: the socket reported readable. Reads until exhaustion
+    /// (`WouldBlock`), EOF, or the machine leaves a reading state.
+    pub fn on_readable(
+        &mut self,
+        io: &mut impl Read,
+        rec: &dyn Recorder,
+        out: &mut Vec<ConnAction>,
+    ) {
+        let mut scratch = [0u8; 16 * 1024];
+        let mut progress = false;
+        while self.reading() {
+            match io.read(&mut scratch) {
+                Ok(0) => {
+                    self.on_eof(rec, out);
+                    break;
+                }
+                Ok(n) => {
+                    progress = true;
+                    self.buf.extend_from_slice(&scratch[..n]);
+                    self.advance(rec, out);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    self.close(CloseReason::Error, rec, out);
+                    break;
+                }
+            }
+        }
+        // Progress slides the stall timer; the budget timer deliberately
+        // does not move.
+        if progress && self.reading() {
+            if let Some(t) = self.cfg.read_timeout {
+                out.push(ConnAction::Arm(TimerKind::ReadStall, t));
+            }
+        }
+    }
+
+    fn on_eof(&mut self, rec: &dyn Recorder, out: &mut Vec<ConnAction>) {
+        match self.state {
+            ConnState::Idle => self.close(CloseReason::CleanEof, rec, out),
+            ConnState::ReadingHead => {
+                self.bad_request(HttpError::BadHead("EOF inside request head"), rec, out)
+            }
+            ConnState::ReadingBody | ConnState::ReadingChunked => {
+                self.bad_request(HttpError::BadFraming("EOF inside request body"), rec, out)
+            }
+            _ => {}
+        }
+    }
+
+    /// Malformed input: tick the counter, queue a 400, close after it
+    /// drains — byte-for-byte what the worker-pool core does.
+    fn bad_request(&mut self, err: HttpError, rec: &dyn Recorder, out: &mut Vec<ConnAction>) {
+        rec.add(Counter::ServerBadRequests, 1);
+        let ioe: io::Error = err.into();
+        let resp = Response {
+            status: 400,
+            reason: "Bad Request",
+            content_type: "text/xml; charset=utf-8",
+            body: ioe.to_string().into_bytes(),
+            measure: false,
+        };
+        out.push(ConnAction::Cancel(TimerKind::ReadStall));
+        out.push(ConnAction::Cancel(TimerKind::RequestBudget));
+        out.push(ConnAction::Cancel(TimerKind::IdleReap));
+        self.render(&resp);
+        self.close_after_write = Some(CloseReason::BadRequest);
+        self.set_state(ConnState::Writing, rec);
+        out.push(ConnAction::Interest {
+            read: false,
+            write: true,
+        });
+    }
+
+    fn window(&self) -> &[u8] {
+        &self.buf[self.consumed..]
+    }
+
+    fn compact(&mut self) {
+        if self.consumed > 0 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+    }
+
+    /// Parse as far as the buffered bytes allow.
+    fn advance(&mut self, rec: &dyn Recorder, out: &mut Vec<ConnAction>) {
+        loop {
+            match self.state {
+                ConnState::Idle => {
+                    if self.window().is_empty() {
+                        break;
+                    }
+                    // First byte of a new request: off the idle timers,
+                    // onto the request budget.
+                    self.set_state(ConnState::ReadingHead, rec);
+                    out.push(ConnAction::Cancel(TimerKind::IdleReap));
+                    if let Some(t) = self.cfg.request_timeout {
+                        out.push(ConnAction::Arm(TimerKind::RequestBudget, t));
+                    }
+                }
+                ConnState::ReadingHead => {
+                    let window = self.window();
+                    let Some(e) = head_end(window) else {
+                        if window.len() > self.cfg.max_head {
+                            self.bad_request(HttpError::TooLarge("request head"), rec, out);
+                        }
+                        break;
+                    };
+                    if e > self.cfg.max_head {
+                        self.bad_request(HttpError::TooLarge("request head"), rec, out);
+                        break;
+                    }
+                    let head = match parse_request_head(&window[..e]) {
+                        Ok(h) => h,
+                        Err(err) => {
+                            self.bad_request(err, rec, out);
+                            break;
+                        }
+                    };
+                    self.consumed += e;
+                    let framing = match head.body_framing() {
+                        Ok(f) => f,
+                        Err(err) => {
+                            self.bad_request(err, rec, out);
+                            break;
+                        }
+                    };
+                    self.sink = self.cfg.sink_factory.as_ref().and_then(|f| f(&head));
+                    self.head = Some(head);
+                    self.body.clear();
+                    self.body_seen = 0;
+                    match framing {
+                        BodyFraming::Length(n) if n > self.cfg.max_body => {
+                            self.bad_request(
+                                HttpError::TooLarge("declared content-length"),
+                                rec,
+                                out,
+                            );
+                            break;
+                        }
+                        BodyFraming::Length(0) => self.complete_request(rec, out),
+                        BodyFraming::Length(n) => {
+                            self.body_remaining = n;
+                            self.set_state(ConnState::ReadingBody, rec);
+                        }
+                        BodyFraming::Chunked => {
+                            self.chunk = ChunkPhase::SizeLine;
+                            self.set_state(ConnState::ReadingChunked, rec);
+                        }
+                    }
+                }
+                ConnState::ReadingBody => {
+                    let take = self.body_remaining.min(self.window().len());
+                    if take > 0 {
+                        let start = self.consumed;
+                        if let Err(err) = self.push_body(start, take) {
+                            self.bad_request(err, rec, out);
+                            break;
+                        }
+                        self.consumed += take;
+                        self.body_remaining -= take;
+                    }
+                    if self.body_remaining == 0 {
+                        self.complete_request(rec, out);
+                    } else {
+                        break;
+                    }
+                }
+                ConnState::ReadingChunked => {
+                    if !self.step_chunked(rec, out) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.compact();
+    }
+
+    /// Route `take` bytes at `buf[start..]` into the sink or the body
+    /// buffer. A sink error is a bad request (mirrors a deserialization
+    /// failure on the buffered path).
+    fn push_body(&mut self, start: usize, take: usize) -> Result<(), HttpError> {
+        self.body_seen += take;
+        if let Some(sink) = self.sink.as_mut() {
+            let slice = &self.buf[start..start + take];
+            sink.on_slice(slice)
+                .map_err(|_| HttpError::BadFraming("body sink rejected input"))?;
+        } else {
+            self.body.extend_from_slice(&self.buf[start..start + take]);
+        }
+        Ok(())
+    }
+
+    /// One chunked-decode step. Returns false when more bytes are needed
+    /// or the machine left the chunked state.
+    fn step_chunked(&mut self, rec: &dyn Recorder, out: &mut Vec<ConnAction>) -> bool {
+        match self.chunk {
+            ChunkPhase::SizeLine => {
+                let window = self.window();
+                let Some(p) = crate::http::find(window, b"\r\n") else {
+                    if window.len() > MAX_SIZE_LINE + 2 {
+                        self.bad_request(
+                            HttpError::BadChunk("oversized chunk size line"),
+                            rec,
+                            out,
+                        );
+                    }
+                    return false;
+                };
+                if p > MAX_SIZE_LINE {
+                    self.bad_request(HttpError::BadChunk("oversized chunk size line"), rec, out);
+                    return false;
+                }
+                let line = &window[..p];
+                let size_part = line.split(|&b| b == b';').next().unwrap_or(line);
+                let Some(size) = parse_hex(size_part.trim_ascii()) else {
+                    self.bad_request(HttpError::BadChunk("bad chunk size"), rec, out);
+                    return false;
+                };
+                self.consumed += p + 2;
+                if size == 0 {
+                    self.chunk = ChunkPhase::Trailers;
+                } else if self.body_seen + size > self.cfg.max_body {
+                    self.bad_request(HttpError::TooLarge("chunked body"), rec, out);
+                    return false;
+                } else {
+                    self.chunk = ChunkPhase::Data { remaining: size };
+                }
+                true
+            }
+            ChunkPhase::Data { remaining } => {
+                let take = remaining.min(self.window().len());
+                if take > 0 {
+                    let start = self.consumed;
+                    if let Err(err) = self.push_body(start, take) {
+                        self.bad_request(err, rec, out);
+                        return false;
+                    }
+                    self.consumed += take;
+                }
+                if take == remaining {
+                    self.chunk = ChunkPhase::DataCrlf;
+                    true
+                } else {
+                    self.chunk = ChunkPhase::Data {
+                        remaining: remaining - take,
+                    };
+                    false
+                }
+            }
+            ChunkPhase::DataCrlf => {
+                let window = self.window();
+                if window.len() < 2 {
+                    return false;
+                }
+                if &window[..2] != b"\r\n" {
+                    self.bad_request(HttpError::BadChunk("missing CRLF after chunk"), rec, out);
+                    return false;
+                }
+                self.consumed += 2;
+                self.chunk = ChunkPhase::SizeLine;
+                true
+            }
+            ChunkPhase::Trailers => {
+                let window = self.window();
+                let Some(p) = crate::http::find(window, b"\r\n") else {
+                    if window.len() > self.cfg.max_head {
+                        self.bad_request(HttpError::BadChunk("oversized trailers"), rec, out);
+                    }
+                    return false;
+                };
+                self.consumed += p + 2;
+                if p == 0 {
+                    self.complete_request(rec, out);
+                    return false;
+                }
+                true
+            }
+        }
+    }
+
+    /// A full request is buffered/streamed: hand it off and stop reading
+    /// until the response comes back (backpressure by disarmed interest).
+    fn complete_request(&mut self, rec: &dyn Recorder, out: &mut Vec<ConnAction>) {
+        let head = self.head.take().expect("request head set");
+        let body = if let Some(mut sink) = self.sink.take() {
+            if sink.finish().is_err() {
+                self.bad_request(HttpError::BadFraming("body sink rejected finish"), rec, out);
+                return;
+            }
+            ReqBody::Streamed {
+                bytes: self.body_seen,
+            }
+        } else {
+            ReqBody::Full(std::mem::take(&mut self.body))
+        };
+        out.push(ConnAction::Cancel(TimerKind::ReadStall));
+        out.push(ConnAction::Cancel(TimerKind::RequestBudget));
+        self.set_state(ConnState::Dispatching, rec);
+        out.push(ConnAction::Interest {
+            read: false,
+            write: false,
+        });
+        out.push(ConnAction::Dispatch(head, body));
+    }
+
+    /// The dispatch pool finished the request: render and start writing.
+    /// The loop should attempt `on_writable` immediately after.
+    pub fn on_dispatch_done(&mut self, resp: Response, rec: &dyn Recorder) {
+        if self.state != ConnState::Dispatching {
+            return;
+        }
+        self.render(&resp);
+        self.pending_response = Some((self.write_buf.len() as u64, resp.measure));
+        self.set_state(ConnState::Writing, rec);
+    }
+
+    fn render(&mut self, resp: &Response) {
+        render_response_head_typed(
+            &mut self.write_buf,
+            resp.status,
+            resp.reason,
+            resp.content_type,
+            resp.body.len(),
+        );
+        self.write_buf.extend_from_slice(&resp.body);
+        self.write_pos = 0;
+    }
+
+    /// Readiness (or optimistic attempt): drain the response.
+    pub fn on_writable(
+        &mut self,
+        io: &mut impl Write,
+        rec: &dyn Recorder,
+        out: &mut Vec<ConnAction>,
+    ) {
+        if self.state != ConnState::Writing {
+            return;
+        }
+        while self.write_pos < self.write_buf.len() {
+            match io.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => {
+                    self.close(CloseReason::WriteFailed, rec, out);
+                    return;
+                }
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    out.push(ConnAction::Interest {
+                        read: false,
+                        write: true,
+                    });
+                    return;
+                }
+                Err(_) => {
+                    self.close(CloseReason::WriteFailed, rec, out);
+                    return;
+                }
+            }
+        }
+        // Response fully on the wire.
+        self.write_buf.clear();
+        self.write_pos = 0;
+        if let Some((bytes, measure)) = self.pending_response.take() {
+            out.push(ConnAction::Responded { bytes, measure });
+        }
+        if let Some(reason) = self.close_after_write.take() {
+            self.close(reason, rec, out);
+            return;
+        }
+        if self.draining {
+            self.close(CloseReason::Drained, rec, out);
+            return;
+        }
+        if self.buffered() > 0 {
+            // Pipelined: the next request's first bytes are already here.
+            self.set_state(ConnState::ReadingHead, rec);
+            if let Some(t) = self.cfg.request_timeout {
+                out.push(ConnAction::Arm(TimerKind::RequestBudget, t));
+            }
+            if let Some(t) = self.cfg.read_timeout {
+                out.push(ConnAction::Arm(TimerKind::ReadStall, t));
+            }
+            self.advance(rec, out);
+            if self.reading() {
+                out.push(ConnAction::Interest {
+                    read: true,
+                    write: false,
+                });
+            }
+        } else {
+            self.enter_idle(rec, out);
+        }
+    }
+
+    fn enter_idle(&mut self, rec: &dyn Recorder, out: &mut Vec<ConnAction>) {
+        self.set_state(ConnState::Idle, rec);
+        if let Some(t) = self.cfg.idle_timeout {
+            out.push(ConnAction::Arm(TimerKind::IdleReap, t));
+        }
+        if let Some(t) = self.cfg.read_timeout {
+            out.push(ConnAction::Arm(TimerKind::ReadStall, t));
+        }
+        out.push(ConnAction::Interest {
+            read: true,
+            write: false,
+        });
+    }
+
+    /// A timer this connection armed fired.
+    pub fn on_timer(&mut self, kind: TimerKind, rec: &dyn Recorder, out: &mut Vec<ConnAction>) {
+        match (kind, self.state) {
+            (TimerKind::ReadStall, s) if self.reading() => {
+                rec.add(Counter::ServerTimeouts, 1);
+                rec.trace(TraceKind::Evict {
+                    conn_id: self.id,
+                    idle: s == ConnState::Idle,
+                });
+                self.close(CloseReason::Evicted, rec, out);
+            }
+            (
+                TimerKind::RequestBudget,
+                ConnState::ReadingHead | ConnState::ReadingBody | ConnState::ReadingChunked,
+            ) => {
+                rec.add(Counter::ServerTimeouts, 1);
+                rec.trace(TraceKind::Evict {
+                    conn_id: self.id,
+                    idle: false,
+                });
+                self.close(CloseReason::Evicted, rec, out);
+            }
+            (TimerKind::IdleReap, ConnState::Idle) => {
+                rec.add(Counter::ServerIdleReaped, 1);
+                rec.trace(TraceKind::Evict {
+                    conn_id: self.id,
+                    idle: true,
+                });
+                self.close(CloseReason::IdleReaped, rec, out);
+            }
+            // A firing that raced a state change in the same batch is
+            // stale: ignore it.
+            _ => {}
+        }
+    }
+
+    /// Graceful drain: idle connections close now; anything mid-request
+    /// finishes the current response, then closes.
+    pub fn set_draining(&mut self, rec: &dyn Recorder, out: &mut Vec<ConnAction>) {
+        self.draining = true;
+        if self.state == ConnState::Idle {
+            self.close(CloseReason::Drained, rec, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsoap_obs::NullRecorder;
+    use std::collections::VecDeque;
+
+    /// Scripted reader: a queue of byte runs and errors.
+    struct Script(VecDeque<io::Result<Vec<u8>>>);
+
+    impl Script {
+        fn new(items: Vec<io::Result<Vec<u8>>>) -> Script {
+            Script(items.into())
+        }
+    }
+
+    impl Read for Script {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.0.pop_front() {
+                None => Err(io::ErrorKind::WouldBlock.into()),
+                Some(Ok(bytes)) => {
+                    assert!(bytes.len() <= buf.len());
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Some(Err(e)) => Err(e),
+            }
+        }
+    }
+
+    fn states(conn: &Conn) -> Vec<ConnState> {
+        conn.transitions().iter().map(|&(_, to)| to).collect()
+    }
+
+    #[test]
+    fn whole_request_in_one_read_dispatches() {
+        let rec = NullRecorder;
+        let mut conn = Conn::new(1, ConnConfig::default());
+        let mut out = Vec::new();
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello".to_vec();
+        let mut io = Script::new(vec![Ok(wire)]);
+        conn.on_readable(&mut io, &rec, &mut out);
+        assert_eq!(
+            states(&conn),
+            vec![
+                ConnState::ReadingHead,
+                ConnState::ReadingBody,
+                ConnState::Dispatching
+            ]
+        );
+        let dispatched = out
+            .iter()
+            .find_map(|a| match a {
+                ConnAction::Dispatch(h, b) => Some((h.path.clone(), b.len())),
+                _ => None,
+            })
+            .expect("dispatched");
+        assert_eq!(dispatched, ("/".to_owned(), 5));
+    }
+
+    #[test]
+    fn split_head_and_body_across_reads() {
+        let rec = NullRecorder;
+        let mut conn = Conn::new(1, ConnConfig::default());
+        let mut out = Vec::new();
+        let mut io = Script::new(vec![
+            Ok(b"POST / HT".to_vec()),
+            Err(io::ErrorKind::Interrupted.into()),
+            Ok(b"TP/1.1\r\nContent-Length: 4\r\n\r\nab".to_vec()),
+            Ok(b"cd".to_vec()),
+        ]);
+        conn.on_readable(&mut io, &rec, &mut out);
+        assert_eq!(conn.state(), ConnState::Dispatching);
+        conn.on_dispatch_done(Response::xml(200, "OK", b"<ack/>".to_vec()), &rec);
+        let mut wire = Vec::new();
+        conn.on_writable(&mut wire, &rec, &mut out);
+        assert_eq!(conn.state(), ConnState::Idle);
+        assert!(wire.starts_with(b"HTTP/1.1 200 OK\r\n"));
+        assert!(wire.ends_with(b"<ack/>"));
+    }
+
+    #[test]
+    fn chunked_body_straddling_reads_decodes() {
+        let rec = NullRecorder;
+        let mut conn = Conn::new(1, ConnConfig::default());
+        let mut out = Vec::new();
+        let mut io = Script::new(vec![
+            Ok(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r".to_vec()),
+            Ok(b"\nwxyz\r\n3\r\nabc\r\n0\r\n".to_vec()),
+            Ok(b"\r\n".to_vec()),
+        ]);
+        conn.on_readable(&mut io, &rec, &mut out);
+        assert_eq!(conn.state(), ConnState::Dispatching);
+        let body = out
+            .iter()
+            .find_map(|a| match a {
+                ConnAction::Dispatch(_, ReqBody::Full(b)) => Some(b.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(body, b"wxyzabc");
+    }
+
+    #[test]
+    fn eof_mid_head_is_bad_request_then_close() {
+        let rec = NullRecorder;
+        let mut conn = Conn::new(1, ConnConfig::default());
+        let mut out = Vec::new();
+        let mut io = Script::new(vec![Ok(b"POST / HTTP".to_vec()), Ok(vec![])]);
+        conn.on_readable(&mut io, &rec, &mut out);
+        assert_eq!(conn.state(), ConnState::Writing);
+        let mut wire = Vec::new();
+        conn.on_writable(&mut wire, &rec, &mut out);
+        assert!(wire.starts_with(b"HTTP/1.1 400 Bad Request\r\n"));
+        assert_eq!(conn.state(), ConnState::Closing);
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, ConnAction::Close(CloseReason::BadRequest))));
+    }
+
+    #[test]
+    fn pipelined_requests_dispatch_back_to_back_without_readiness() {
+        let rec = NullRecorder;
+        let mut conn = Conn::new(1, ConnConfig::default());
+        let mut out = Vec::new();
+        let one = b"POST / HTTP/1.1\r\nContent-Length: 1\r\n\r\nA";
+        let mut wire_in = one.to_vec();
+        wire_in.extend_from_slice(one);
+        let mut io = Script::new(vec![Ok(wire_in)]);
+        conn.on_readable(&mut io, &rec, &mut out);
+        assert_eq!(conn.state(), ConnState::Dispatching);
+        assert_eq!(conn.buffered(), one.len(), "second request held back");
+        conn.on_dispatch_done(Response::xml(200, "OK", b"<ack/>".to_vec()), &rec);
+        out.clear();
+        let mut wire = Vec::new();
+        conn.on_writable(&mut wire, &rec, &mut out);
+        // The leftover request dispatches straight from the buffer.
+        assert_eq!(conn.state(), ConnState::Dispatching);
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, ConnAction::Dispatch(_, ReqBody::Full(b)) if b == b"A")));
+    }
+
+    #[test]
+    fn stall_timer_evicts_only_while_reading() {
+        let rec = NullRecorder;
+        let cfg = ConnConfig {
+            read_timeout: Some(Duration::from_millis(40)),
+            ..ConnConfig::default()
+        };
+        let mut conn = Conn::new(1, cfg);
+        let mut out = Vec::new();
+        let mut io = Script::new(vec![Ok(b"POST / HTTP/1.1\r\nHost: lo".to_vec())]);
+        conn.on_readable(&mut io, &rec, &mut out);
+        assert_eq!(conn.state(), ConnState::ReadingHead);
+        conn.on_timer(TimerKind::ReadStall, &rec, &mut out);
+        assert_eq!(conn.state(), ConnState::Closing);
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, ConnAction::Close(CloseReason::Evicted))));
+    }
+
+    #[test]
+    fn stale_timer_after_state_change_is_ignored() {
+        let rec = NullRecorder;
+        let mut conn = Conn::new(1, ConnConfig::default());
+        let mut out = Vec::new();
+        let mut io = Script::new(vec![Ok(
+            b"POST / HTTP/1.1\r\nContent-Length: 0\r\n\r\n".to_vec()
+        )]);
+        conn.on_readable(&mut io, &rec, &mut out);
+        assert_eq!(conn.state(), ConnState::Dispatching);
+        conn.on_timer(TimerKind::RequestBudget, &rec, &mut out);
+        assert_eq!(conn.state(), ConnState::Dispatching, "stale firing ignored");
+    }
+
+    #[test]
+    fn drain_mid_request_finishes_then_closes() {
+        let rec = NullRecorder;
+        let mut conn = Conn::new(1, ConnConfig::default());
+        let mut out = Vec::new();
+        let mut io = Script::new(vec![Ok(
+            b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nok".to_vec()
+        )]);
+        conn.on_readable(&mut io, &rec, &mut out);
+        conn.set_draining(&rec, &mut out);
+        assert_eq!(conn.state(), ConnState::Dispatching, "in-flight survives");
+        conn.on_dispatch_done(Response::xml(200, "OK", b"<ack/>".to_vec()), &rec);
+        let mut wire = Vec::new();
+        conn.on_writable(&mut wire, &rec, &mut out);
+        assert_eq!(conn.state(), ConnState::Closing);
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, ConnAction::Close(CloseReason::Drained))));
+        assert!(wire.starts_with(b"HTTP/1.1 200 OK\r\n"), "response written");
+    }
+
+    #[test]
+    fn idle_drain_closes_immediately() {
+        let rec = NullRecorder;
+        let mut conn = Conn::new(1, ConnConfig::default());
+        let mut out = Vec::new();
+        conn.set_draining(&rec, &mut out);
+        assert_eq!(conn.state(), ConnState::Closing);
+    }
+
+    #[test]
+    fn streamed_body_bypasses_buffering() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct CountSink(Arc<AtomicUsize>);
+        impl BodySink for CountSink {
+            fn on_slice(&mut self, s: &[u8]) -> io::Result<()> {
+                self.0.fetch_add(s.len(), Ordering::Relaxed);
+                Ok(())
+            }
+            fn finish(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = seen.clone();
+        let cfg = ConnConfig {
+            sink_factory: Some(Arc::new(move |_h: &RequestHead| {
+                Some(Box::new(CountSink(seen2.clone())) as Box<dyn BodySink>)
+            })),
+            ..ConnConfig::default()
+        };
+        let rec = NullRecorder;
+        let mut conn = Conn::new(1, cfg);
+        let mut out = Vec::new();
+        let mut io = Script::new(vec![Ok(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n"
+                .to_vec(),
+        )]);
+        conn.on_readable(&mut io, &rec, &mut out);
+        assert_eq!(seen.load(Ordering::Relaxed), 5);
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, ConnAction::Dispatch(_, ReqBody::Streamed { bytes: 5 }))));
+    }
+}

@@ -362,8 +362,8 @@ impl<R: Read> RequestReader<R> {
     pub fn next_request(&mut self) -> io::Result<Option<(RequestHead, Vec<u8>)>> {
         // Find the head terminator, reading as needed.
         let head_end = loop {
-            if let Some(p) = find(&self.buf[self.consumed..self.filled], b"\r\n\r\n") {
-                break self.consumed + p + 4;
+            if let Some(e) = head_end(&self.buf[self.consumed..self.filled]) {
+                break self.consumed + e;
             }
             if self.filled - self.consumed > self.max_head {
                 return Err(HttpError::TooLarge("request head").into());
@@ -602,8 +602,8 @@ pub fn read_response_limited(
 ) -> io::Result<(u16, Vec<u8>)> {
     let mut reader = RequestReader::with_limits(stream, max_head, max_body);
     let head_end = loop {
-        if let Some(p) = find(&reader.buf[..reader.filled], b"\r\n\r\n") {
-            break p + 4;
+        if let Some(e) = crate::http::head_end(&reader.buf[..reader.filled]) {
+            break e;
         }
         if reader.filled > reader.max_head {
             return Err(HttpError::TooLarge("response head").into());
@@ -682,6 +682,18 @@ pub(crate) fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
         return None;
     }
     haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// The one head splitter: index one past a complete head's terminating
+/// blank line (`\r\n\r\n`), or `None` while the head is still partial.
+///
+/// Every head-hunting path — [`RequestReader::next_request`],
+/// [`read_response_limited`], `stream::read_head`, and the event-loop
+/// connection state machine — delegates here, so random fragmentation
+/// cannot make two paths disagree about where a head ends (proven by the
+/// fragmentation proptest in `tests/prop_http.rs`).
+pub fn head_end(buf: &[u8]) -> Option<usize> {
+    find(buf, b"\r\n\r\n").map(|p| p + 4)
 }
 
 #[cfg(test)]

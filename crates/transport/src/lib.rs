@@ -25,30 +25,45 @@
 //!   ([`accept::serve`]): the server-side counterpart of the pool, with
 //!   graceful drain on shutdown.
 //! * [`server`] — loopback servers: the paper's discard server plus a
-//!   collecting server that hands complete request bodies to tests, both
-//!   running on the bounded worker pool.
+//!   collecting server that hands complete request bodies to tests,
+//!   running on either core selected by [`server::ServerCore`].
+//! * [`event_loop`] / [`conn`] / [`timer`] / [`poller`] — the
+//!   readiness-driven server core: an epoll loop
+//!   ([`event_loop::EventLoopServer`]) multiplexing many connections over
+//!   a few threads, each connection an explicit sans-io state machine
+//!   ([`conn::Conn`]) with timer-wheel deadlines ([`timer::TimerWheel`])
+//!   replacing per-thread socket timeouts.
 //!
 //! The [`Transport`] trait is the seam between the serialization engine
 //! and the wire: one SOAP message (as a gather list of chunk slices) in,
 //! bytes-on-the-wire count out.
 
 pub mod accept;
+pub mod conn;
+pub mod event_loop;
 pub mod fault;
 pub mod http;
+pub mod poller;
 pub mod pool;
 pub mod server;
 pub mod sink;
 pub mod stream;
 pub mod tcp;
+pub mod timer;
 
 pub use accept::{serve, serve_with_metrics, PoolOptions, WorkerPool};
+pub use conn::{BodySink, Conn, ConnAction, ConnConfig, ConnState, ReqBody, Response, SinkFactory};
+pub use event_loop::{EventLoopOptions, EventLoopServer, Handler, ServeMode};
 pub use fault::{AttemptFailure, CircuitBreaker, FaultPolicy, Resilience};
 pub use http::{render_get_request, HttpError, HttpVersion, PostScratch, RequestConfig};
 pub use pool::{ConnectionPool, HttpPoolClient, HttpReply, PoolConfig, PoolStats, PooledConn};
-pub use server::{CollectedRequest, ServerMode, ServerOptions, ServerStats, TestServer};
+pub use server::{
+    CollectedRequest, ServerCore, ServerMode, ServerOptions, ServerStats, TestServer,
+};
 pub use sink::{ProvenanceSink, SinkTransport};
 pub use stream::{read_head, ChunkedBodyReader, ChunkedBodyWriter};
 pub use tcp::TcpTransport;
+pub use timer::{TimerKind, TimerWheel};
 
 use std::io::{self, IoSlice};
 

@@ -8,12 +8,30 @@
 //! throughput benchmarks can sustain millions of requests without
 //! accumulating memory.
 //!
-//! All modes run on the bounded worker pool from [`crate::accept`]:
-//! blocking accepts, a fixed worker count ([`ServerOptions::workers`]),
-//! queueing (not refusal) beyond it, and graceful drain on stop.
+//! Two interchangeable cores serve the same modes ([`ServerCore`]):
+//!
+//! * [`ServerCore::WorkerPool`] — the seed's thread-per-connection core
+//!   on the bounded pool from [`crate::accept`]: blocking accepts, a
+//!   fixed worker count ([`ServerOptions::workers`]), queueing (not
+//!   refusal) beyond it, and graceful drain on stop.
+//! * [`ServerCore::EventLoop`] — the readiness-driven core from
+//!   [`crate::event_loop`]: a few epoll loop threads multiplex every
+//!   connection as a sans-io state machine ([`crate::conn::Conn`]), so
+//!   thousands of idle keep-alive clients cost map entries instead of
+//!   pinned threads. Timeout semantics, overload queueing, `/metrics`,
+//!   and drain behavior match the worker pool; responses are
+//!   byte-identical.
+//!
+//! Both cores answer requests through one shared handler
+//! ([`handle_one`]), which is what keeps their observable behavior in
+//! lock-step.
 
 use crate::accept::{serve_with_metrics, PoolOptions, WorkerPool};
-use crate::http::{render_response_head_typed, write_response_vectored, RequestReader};
+use crate::conn::{ConnConfig, ReqBody, Response, SinkFactory};
+use crate::event_loop::{EventLoopOptions, EventLoopServer, ServeMode};
+use crate::http::{
+    render_response_head_typed, write_response_vectored, RequestHead, RequestReader,
+};
 use bsoap_obs::{Counter, HistId, Metrics, Recorder, TraceKind};
 use parking_lot::Mutex;
 use std::io::{self, IoSlice, Read, Write};
@@ -34,11 +52,63 @@ pub enum ServerMode {
     Ack,
 }
 
+/// Which connection-handling core runs the server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServerCore {
+    /// Thread-per-connection on the bounded worker pool
+    /// ([`crate::accept`]); the seed behavior.
+    WorkerPool,
+    /// Readiness-driven epoll loops + per-connection state machines
+    /// ([`crate::event_loop`]). Falls back to [`ServerCore::WorkerPool`]
+    /// on platforms without epoll (see [`crate::poller::supported`]).
+    EventLoop,
+}
+
+impl ServerCore {
+    /// Parse a core name (`BSOAP_SERVER_CORE` values).
+    pub fn from_name(name: &str) -> Option<ServerCore> {
+        if name.eq_ignore_ascii_case("event_loop")
+            || name.eq_ignore_ascii_case("eventloop")
+            || name.eq_ignore_ascii_case("event-loop")
+        {
+            Some(ServerCore::EventLoop)
+        } else if name.eq_ignore_ascii_case("worker_pool")
+            || name.eq_ignore_ascii_case("workerpool")
+            || name.eq_ignore_ascii_case("worker-pool")
+        {
+            Some(ServerCore::WorkerPool)
+        } else {
+            None
+        }
+    }
+
+    /// The default core, overridable via the `BSOAP_SERVER_CORE`
+    /// environment variable (CI runs whole suites on the event loop this
+    /// way). Only [`ServerOptions::default`] consults this — an explicit
+    /// `core:` setting always wins.
+    pub fn default_from_env() -> ServerCore {
+        std::env::var("BSOAP_SERVER_CORE")
+            .ok()
+            .and_then(|v| ServerCore::from_name(&v))
+            .unwrap_or(ServerCore::WorkerPool)
+    }
+}
+
 /// Server tuning.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerOptions {
+    /// Which core serves connections. Defaults per
+    /// [`ServerCore::default_from_env`].
+    pub core: ServerCore,
     /// Worker threads handling connections (see [`PoolOptions::workers`]).
+    /// On the event-loop core this sizes the dispatch pool instead.
     pub workers: usize,
+    /// Event-loop threads (event-loop core only).
+    pub event_loop_threads: usize,
+    /// Accept cap (event-loop core only): beyond this many open
+    /// connections, new ones wait in the listen backlog — queued, not
+    /// refused. The worker pool bounds concurrency by `workers` instead.
+    pub max_connections: usize,
     /// Graceful-drain deadline on stop.
     pub drain_deadline: Duration,
     /// Per-*read* socket timeout (Collect/Ack modes): bounds how long any
@@ -57,6 +127,11 @@ pub struct ServerOptions {
     /// keep-alive gaps *between* requests are not on this budget. `None`
     /// leaves request duration unbounded.
     pub request_timeout: Option<Duration>,
+    /// Idle keep-alive reaper (event-loop core only): a connection
+    /// sitting in `Idle` with no request in flight for this long is
+    /// closed and counted under [`Counter::ServerIdleReaped`]. The
+    /// worker pool can only approximate this with `read_timeout`.
+    pub idle_timeout: Option<Duration>,
     /// Cap on one request head; larger heads get a `400` and the
     /// connection closed (see [`crate::http::RequestReader::with_limits`]).
     pub max_head_bytes: usize,
@@ -68,10 +143,14 @@ impl Default for ServerOptions {
     fn default() -> Self {
         let d = PoolOptions::default();
         ServerOptions {
+            core: ServerCore::default_from_env(),
             workers: d.workers,
+            event_loop_threads: 2,
+            max_connections: 8192,
             drain_deadline: d.drain_deadline,
             read_timeout: None,
             request_timeout: None,
+            idle_timeout: None,
             max_head_bytes: 1 << 20,
             max_body_bytes: 64 << 20,
         }
@@ -88,7 +167,8 @@ pub struct ServerStats {
     pub connections: u64,
     /// Complete requests parsed (Collect/Ack modes only).
     pub requests: u64,
-    /// High-water mark of connections queued awaiting a worker.
+    /// High-water mark of connections (worker pool) or requests (event
+    /// loop) queued awaiting a worker.
     pub peak_queue_depth: usize,
 }
 
@@ -107,10 +187,16 @@ struct Shared {
     collected: Mutex<Vec<CollectedRequest>>,
 }
 
-/// A loopback server running on the bounded worker pool.
+/// The running core behind a [`TestServer`].
+enum CoreHandle {
+    Pool(WorkerPool),
+    Loop(EventLoopServer),
+}
+
+/// A loopback server running on either core (see [`ServerCore`]).
 pub struct TestServer {
     shared: Arc<Shared>,
-    pool: WorkerPool,
+    core: CoreHandle,
 }
 
 impl TestServer {
@@ -122,7 +208,7 @@ impl TestServer {
 
     /// Bind an ephemeral loopback port and start serving.
     pub fn spawn_with(mode: ServerMode, opts: ServerOptions) -> io::Result<Self> {
-        Self::spawn_inner(mode, opts, None)
+        Self::spawn_inner(mode, opts, None, None)
     }
 
     /// [`TestServer::spawn_with`] with an observability registry: requests
@@ -134,13 +220,29 @@ impl TestServer {
         opts: ServerOptions,
         metrics: Arc<Metrics>,
     ) -> io::Result<Self> {
-        Self::spawn_inner(mode, opts, Some(metrics))
+        Self::spawn_inner(mode, opts, Some(metrics), None)
+    }
+
+    /// [`TestServer::spawn_with_metrics`] plus a per-request body-sink
+    /// chooser: requests the factory claims stream their decoded bodies
+    /// through the returned [`crate::conn::BodySink`] as chunks arrive,
+    /// instead of buffering them whole — the server-side half of chunk
+    /// overlaying. Honored by the event-loop core only (the worker-pool
+    /// core always buffers, so pick [`ServerCore::EventLoop`]).
+    pub fn spawn_streaming(
+        mode: ServerMode,
+        opts: ServerOptions,
+        metrics: Option<Arc<Metrics>>,
+        sinks: SinkFactory,
+    ) -> io::Result<Self> {
+        Self::spawn_inner(mode, opts, metrics, Some(sinks))
     }
 
     fn spawn_inner(
         mode: ServerMode,
         opts: ServerOptions,
         metrics: Option<Arc<Metrics>>,
+        sinks: Option<SinkFactory>,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let shared = Arc::new(Shared {
@@ -148,29 +250,91 @@ impl TestServer {
             requests: AtomicU64::new(0),
             collected: Mutex::new(Vec::new()),
         });
-        let handler_shared = Arc::clone(&shared);
-        let handler_metrics = metrics.clone();
-        let pool = serve_with_metrics(
-            listener,
-            PoolOptions {
-                workers: opts.workers,
-                drain_deadline: opts.drain_deadline,
-            },
-            metrics,
-            move |stream| match mode {
-                ServerMode::Discard => drain(stream, &handler_shared),
-                ServerMode::Collect => {
-                    respond(stream, &handler_shared, true, &handler_metrics, &opts)
-                }
-                ServerMode::Ack => respond(stream, &handler_shared, false, &handler_metrics, &opts),
-            },
-        )?;
-        Ok(TestServer { shared, pool })
+        let core = if opts.core == ServerCore::EventLoop && crate::poller::supported() {
+            ServerCore::EventLoop
+        } else {
+            ServerCore::WorkerPool
+        };
+        match core {
+            ServerCore::EventLoop => {
+                let serve_mode = match mode {
+                    ServerMode::Discard => {
+                        let s = Arc::clone(&shared);
+                        ServeMode::Discard {
+                            on_bytes: Arc::new(move |n| {
+                                s.bytes.fetch_add(n, Ordering::Relaxed);
+                            }),
+                        }
+                    }
+                    ServerMode::Collect | ServerMode::Ack => {
+                        let store = mode == ServerMode::Collect;
+                        let s = Arc::clone(&shared);
+                        let m = metrics.clone();
+                        ServeMode::Http {
+                            handler: Arc::new(move |head, body| {
+                                handle_one(head, body, &s, store, &m)
+                            }),
+                        }
+                    }
+                };
+                let server = EventLoopServer::serve(
+                    listener,
+                    EventLoopOptions {
+                        loops: opts.event_loop_threads.max(1),
+                        dispatchers: opts.workers.max(1),
+                        max_connections: opts.max_connections,
+                        drain_deadline: opts.drain_deadline,
+                        conn: ConnConfig {
+                            max_head: opts.max_head_bytes,
+                            max_body: opts.max_body_bytes,
+                            read_timeout: opts.read_timeout,
+                            request_timeout: opts.request_timeout,
+                            idle_timeout: opts.idle_timeout,
+                            sink_factory: sinks,
+                        },
+                    },
+                    metrics,
+                    serve_mode,
+                )?;
+                Ok(TestServer {
+                    shared,
+                    core: CoreHandle::Loop(server),
+                })
+            }
+            ServerCore::WorkerPool => {
+                let handler_shared = Arc::clone(&shared);
+                let handler_metrics = metrics.clone();
+                let pool = serve_with_metrics(
+                    listener,
+                    PoolOptions {
+                        workers: opts.workers,
+                        drain_deadline: opts.drain_deadline,
+                    },
+                    metrics,
+                    move |stream| match mode {
+                        ServerMode::Discard => drain(stream, &handler_shared),
+                        ServerMode::Collect => {
+                            respond(stream, &handler_shared, true, &handler_metrics, &opts)
+                        }
+                        ServerMode::Ack => {
+                            respond(stream, &handler_shared, false, &handler_metrics, &opts)
+                        }
+                    },
+                )?;
+                Ok(TestServer {
+                    shared,
+                    core: CoreHandle::Pool(pool),
+                })
+            }
+        }
     }
 
     /// The address clients should connect to.
     pub fn addr(&self) -> SocketAddr {
-        self.pool.addr()
+        match &self.core {
+            CoreHandle::Pool(p) => p.addr(),
+            CoreHandle::Loop(l) => l.addr(),
+        }
     }
 
     /// Bytes drained so far (live view).
@@ -185,20 +349,102 @@ impl TestServer {
 
     /// Stop the server and return its counters.
     pub fn stop(mut self) -> ServerStats {
-        self.pool.stop();
+        let (connections, peak_queue_depth) = match &mut self.core {
+            CoreHandle::Pool(p) => {
+                p.stop();
+                (p.connections(), p.peak_queue_depth())
+            }
+            CoreHandle::Loop(l) => {
+                l.stop();
+                (l.connections(), l.peak_queue_depth())
+            }
+        };
         ServerStats {
             bytes_received: self.shared.bytes.load(Ordering::Relaxed),
-            connections: self.pool.connections(),
+            connections,
             requests: self.shared.requests.load(Ordering::Relaxed),
-            peak_queue_depth: self.pool.peak_queue_depth(),
+            peak_queue_depth,
         }
     }
 
     /// Stop the server and return everything it collected (Collect mode).
     pub fn stop_collecting(mut self) -> Vec<CollectedRequest> {
-        self.pool.stop();
+        match &mut self.core {
+            CoreHandle::Pool(p) => p.stop(),
+            CoreHandle::Loop(l) => l.stop(),
+        }
         std::mem::take(&mut *self.shared.collected.lock())
     }
+}
+
+/// The one request handler both cores share: route `GET /metrics` to the
+/// registry's Prometheus rendering (a scrape, `measure: false`), count
+/// and optionally store everything else, answer `200 OK <ack/>`.
+/// Counters tick *before* the response goes out, so a scrape racing the
+/// final response on another connection still sees the request.
+fn handle_one(
+    head: &RequestHead,
+    body: ReqBody,
+    shared: &Shared,
+    store: bool,
+    metrics: &Option<Arc<Metrics>>,
+) -> Response {
+    if head.method == "GET" && head.path == "/metrics" {
+        return match metrics {
+            Some(m) => {
+                m.add(Counter::MetricsScrapes, 1);
+                Response {
+                    status: 200,
+                    reason: "OK",
+                    content_type: "text/plain; version=0.0.4; charset=utf-8",
+                    body: m.render_prometheus().into_bytes(),
+                    measure: false,
+                }
+            }
+            None => Response {
+                status: 404,
+                reason: "Not Found",
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: b"no metrics registry\n".to_vec(),
+                measure: false,
+            },
+        };
+    }
+    shared.bytes.fetch_add(body.len() as u64, Ordering::Relaxed);
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    if store {
+        if let ReqBody::Full(bytes) = body {
+            shared.collected.lock().push(CollectedRequest {
+                head: head.clone(),
+                body: bytes,
+            });
+        }
+    }
+    if let Some(m) = metrics {
+        m.add(Counter::ServerRequests, 1);
+    }
+    Response::xml(200, "OK", b"<ack/>".to_vec())
+}
+
+/// Drain one rendered [`Response`] onto a blocking stream (worker-pool
+/// write path). Byte-identical to the event-loop core's rendering in
+/// [`crate::conn::Conn`]: same head builder, same body.
+fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    head_scratch: &mut Vec<u8>,
+) -> io::Result<usize> {
+    render_response_head_typed(
+        head_scratch,
+        resp.status,
+        resp.reason,
+        resp.content_type,
+        resp.body.len(),
+    );
+    let list = [IoSlice::new(head_scratch), IoSlice::new(&resp.body)];
+    let n = crate::write_gather(stream, &list)?;
+    stream.flush()?;
+    Ok(n)
 }
 
 /// Discard mode: read until EOF, counting bytes — never parsing, exactly
@@ -215,10 +461,8 @@ fn drain(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Collect/Ack modes: parse framed requests off a keep-alive connection,
-/// `200 OK` each with a vectored (head + body slices) response. With a
-/// registry attached, `GET /metrics` is answered with the Prometheus text
-/// rendering (and counted as a scrape, not a SOAP request).
+/// Collect/Ack modes on the worker pool: parse framed requests off a
+/// keep-alive connection and answer each through [`handle_one`].
 ///
 /// Hardened per [`ServerOptions`]: a malformed or over-cap request draws a
 /// `400` before the connection closes (so a well-behaved-but-buggy client
@@ -242,7 +486,6 @@ fn respond(
         opts.max_body_bytes,
     );
     let mut head_scratch = Vec::new();
-    let ack = b"<ack/>";
     loop {
         let (head, body) = match reader.next_request() {
             Ok(Some(req)) => {
@@ -283,47 +526,21 @@ fn respond(
             Err(_) => break,
         };
         let start = metrics.as_ref().map(|m| m.now_ns());
-        if head.method == "GET" && head.path == "/metrics" {
-            if serve_metrics_scrape(&mut stream, metrics, &mut head_scratch).is_err() {
-                break;
-            }
-            continue;
-        }
-        shared.bytes.fetch_add(body.len() as u64, Ordering::Relaxed);
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        if store {
-            shared
-                .collected
-                .lock()
-                .push(CollectedRequest { head, body });
-        }
-        // Count the request before its response leaves: a scrape racing
-        // the final response on another connection must still see it.
-        if let Some(m) = metrics {
-            m.add(Counter::ServerRequests, 1);
-        }
-        let sent = write_response_vectored(
-            &mut stream,
-            200,
-            "OK",
-            &[IoSlice::new(ack)],
-            &mut head_scratch,
-        );
-        let sent = match sent {
+        let resp = handle_one(&head, ReqBody::Full(body), shared, store, metrics);
+        let sent = match write_response(&mut stream, &resp, &mut head_scratch) {
             Ok(n) => n,
             Err(_) => break,
         };
-        if stream.flush().is_err() {
-            break;
-        }
-        if let Some(m) = metrics {
-            let elapsed_ns = m.now_ns().saturating_sub(start.unwrap_or(0));
-            m.add(Counter::ServerBytesOut, sent as u64);
-            m.observe_ns(HistId::ServerRequest, elapsed_ns);
-            m.trace(TraceKind::Request {
-                bytes: sent as u64,
-                elapsed_ns,
-            });
+        if resp.measure {
+            if let Some(m) = metrics {
+                let elapsed_ns = m.now_ns().saturating_sub(start.unwrap_or(0));
+                m.add(Counter::ServerBytesOut, sent as u64);
+                m.observe_ns(HistId::ServerRequest, elapsed_ns);
+                m.trace(TraceKind::Request {
+                    bytes: sent as u64,
+                    elapsed_ns,
+                });
+            }
         }
     }
 }
@@ -390,32 +607,6 @@ impl Read for BudgetedRead {
     }
 }
 
-/// Answer one `GET /metrics`: the registry's Prometheus rendering as
-/// `text/plain`, or `404` when the server runs without a registry.
-fn serve_metrics_scrape(
-    stream: &mut TcpStream,
-    metrics: &Option<Arc<Metrics>>,
-    head_scratch: &mut Vec<u8>,
-) -> io::Result<()> {
-    let (status, reason, text) = match metrics {
-        Some(m) => {
-            m.add(Counter::MetricsScrapes, 1);
-            (200, "OK", m.render_prometheus())
-        }
-        None => (404, "Not Found", String::from("no metrics registry\n")),
-    };
-    render_response_head_typed(
-        head_scratch,
-        status,
-        reason,
-        "text/plain; version=0.0.4; charset=utf-8",
-        text.len(),
-    );
-    stream.write_all(head_scratch)?;
-    stream.write_all(text.as_bytes())?;
-    stream.flush()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,292 +614,378 @@ mod tests {
     use std::io::IoSlice;
     use std::net::TcpStream;
 
+    /// Every core available on this platform: the whole legacy suite runs
+    /// against each, proving the event loop is a drop-in replacement.
+    fn cores() -> Vec<ServerCore> {
+        if crate::poller::supported() {
+            vec![ServerCore::WorkerPool, ServerCore::EventLoop]
+        } else {
+            vec![ServerCore::WorkerPool]
+        }
+    }
+
+    fn opts_on(core: ServerCore) -> ServerOptions {
+        ServerOptions {
+            core,
+            ..ServerOptions::default()
+        }
+    }
+
+    #[test]
+    fn core_names_parse() {
+        assert_eq!(
+            ServerCore::from_name("event_loop"),
+            Some(ServerCore::EventLoop)
+        );
+        assert_eq!(
+            ServerCore::from_name("EventLoop"),
+            Some(ServerCore::EventLoop)
+        );
+        assert_eq!(
+            ServerCore::from_name("worker-pool"),
+            Some(ServerCore::WorkerPool)
+        );
+        assert_eq!(ServerCore::from_name("threads"), None);
+    }
+
     #[test]
     fn discard_server_counts_bytes() {
-        let server = TestServer::spawn(ServerMode::Discard).unwrap();
-        let mut c = TcpStream::connect(server.addr()).unwrap();
-        c.write_all(b"0123456789abcdef").unwrap();
-        c.shutdown(std::net::Shutdown::Write).unwrap();
-        drop(c);
-        // Drain happens on another thread; spin briefly for the count.
-        for _ in 0..200 {
-            if server.bytes_received() == 16 {
-                break;
+        for core in cores() {
+            let server = TestServer::spawn_with(ServerMode::Discard, opts_on(core)).unwrap();
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            c.write_all(b"0123456789abcdef").unwrap();
+            c.shutdown(std::net::Shutdown::Write).unwrap();
+            drop(c);
+            // Drain happens on another thread; spin briefly for the count.
+            for _ in 0..2000 {
+                if server.bytes_received() == 16 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
             }
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            let stats = server.stop();
+            assert_eq!(stats.bytes_received, 16, "core {core:?}");
+            assert_eq!(stats.connections, 1, "core {core:?}");
         }
-        let stats = server.stop();
-        assert_eq!(stats.bytes_received, 16);
-        assert_eq!(stats.connections, 1);
     }
 
     #[test]
     fn collect_server_parses_and_acks() {
-        let server = TestServer::spawn(ServerMode::Collect).unwrap();
-        let mut c = TcpStream::connect(server.addr()).unwrap();
-        let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
-        let body = b"<m>7</m>".to_vec();
-        let mut scratch = Vec::new();
-        post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
-        let (status, resp) = crate::http::read_response(&mut c).unwrap();
-        assert_eq!(status, 200);
-        assert_eq!(resp, b"<ack/>");
-        drop(c);
-        let reqs = server.stop_collecting();
-        assert_eq!(reqs.len(), 1);
-        assert_eq!(reqs[0].body, body);
+        for core in cores() {
+            let server = TestServer::spawn_with(ServerMode::Collect, opts_on(core)).unwrap();
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+            let body = b"<m>7</m>".to_vec();
+            let mut scratch = Vec::new();
+            post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
+            let (status, resp) = crate::http::read_response(&mut c).unwrap();
+            assert_eq!(status, 200, "core {core:?}");
+            assert_eq!(resp, b"<ack/>", "core {core:?}");
+            drop(c);
+            let reqs = server.stop_collecting();
+            assert_eq!(reqs.len(), 1, "core {core:?}");
+            assert_eq!(reqs[0].body, body, "core {core:?}");
+        }
     }
 
     #[test]
     fn ack_server_counts_but_does_not_store() {
-        let server = TestServer::spawn(ServerMode::Ack).unwrap();
-        let mut c = TcpStream::connect(server.addr()).unwrap();
-        let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
-        let body = b"<m>9</m>".to_vec();
-        let mut scratch = Vec::new();
-        // Two keep-alive requests on one connection.
-        for _ in 0..2 {
-            post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
-            let (status, resp) = crate::http::read_response(&mut c).unwrap();
-            assert_eq!(status, 200);
-            assert_eq!(resp, b"<ack/>");
+        for core in cores() {
+            let server = TestServer::spawn_with(ServerMode::Ack, opts_on(core)).unwrap();
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+            let body = b"<m>9</m>".to_vec();
+            let mut scratch = Vec::new();
+            // Two keep-alive requests on one connection.
+            for _ in 0..2 {
+                post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
+                let (status, resp) = crate::http::read_response(&mut c).unwrap();
+                assert_eq!(status, 200, "core {core:?}");
+                assert_eq!(resp, b"<ack/>", "core {core:?}");
+            }
+            drop(c);
+            let stats = server.stop();
+            assert_eq!(stats.requests, 2, "core {core:?}");
+            assert_eq!(
+                stats.connections, 1,
+                "keep-alive reused one connection (core {core:?})"
+            );
+            assert_eq!(stats.bytes_received, 2 * body.len() as u64, "core {core:?}");
         }
-        drop(c);
-        let stats = server.stop();
-        assert_eq!(stats.requests, 2);
-        assert_eq!(stats.connections, 1, "keep-alive reused one connection");
-        assert_eq!(stats.bytes_received, 2 * body.len() as u64);
     }
 
     #[test]
     fn multiple_connections() {
-        let server = TestServer::spawn(ServerMode::Discard).unwrap();
-        let mut handles = Vec::new();
-        for i in 0..4 {
-            let addr = server.addr();
-            handles.push(std::thread::spawn(move || {
-                let mut c = TcpStream::connect(addr).unwrap();
-                c.write_all(&vec![b'a'; (i + 1) * 100]).unwrap();
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
-        for _ in 0..500 {
-            if server.bytes_received() == 1000 {
-                break;
+        for core in cores() {
+            let server = TestServer::spawn_with(ServerMode::Discard, opts_on(core)).unwrap();
+            let mut handles = Vec::new();
+            for i in 0..4 {
+                let addr = server.addr();
+                handles.push(std::thread::spawn(move || {
+                    let mut c = TcpStream::connect(addr).unwrap();
+                    c.write_all(&vec![b'a'; (i + 1) * 100]).unwrap();
+                }));
             }
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            for h in handles {
+                h.join().unwrap();
+            }
+            for _ in 0..2000 {
+                if server.bytes_received() == 1000 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let stats = server.stop();
+            assert_eq!(stats.bytes_received, 1000, "core {core:?}");
+            assert_eq!(stats.connections, 4, "core {core:?}");
         }
-        let stats = server.stop();
-        assert_eq!(stats.bytes_received, 1000);
-        assert_eq!(stats.connections, 4);
     }
 
     #[test]
     fn connections_beyond_workers_queue_and_complete() {
-        // 1 worker, 3 concurrent HTTP clients: all requests must be
-        // answered (queued, not refused), and the queue high-water mark
-        // must prove queueing actually happened.
-        let server = TestServer::spawn_with(
-            ServerMode::Ack,
-            ServerOptions {
-                workers: 1,
-                ..ServerOptions::default()
-            },
-        )
-        .unwrap();
-        let addr = server.addr();
-        let handles: Vec<_> = (0..3)
-            .map(|_| {
-                std::thread::spawn(move || {
-                    let mut c = TcpStream::connect(addr).unwrap();
-                    let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
-                    let body = b"<q/>".to_vec();
-                    let mut scratch = Vec::new();
-                    post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
-                    let (status, _) = crate::http::read_response(&mut c).unwrap();
-                    assert_eq!(status, 200);
+        // 1 worker (1 dispatcher on the event loop), 3 concurrent HTTP
+        // clients: all requests must be answered (queued, not refused).
+        for core in cores() {
+            let server = TestServer::spawn_with(
+                ServerMode::Ack,
+                ServerOptions {
+                    workers: 1,
+                    ..opts_on(core)
+                },
+            )
+            .unwrap();
+            let addr = server.addr();
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    std::thread::spawn(move || {
+                        let mut c = TcpStream::connect(addr).unwrap();
+                        let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+                        let body = b"<q/>".to_vec();
+                        let mut scratch = Vec::new();
+                        post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
+                        let (status, _) = crate::http::read_response(&mut c).unwrap();
+                        assert_eq!(status, 200);
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let stats = server.stop();
+            assert_eq!(stats.requests, 3, "core {core:?}");
+            assert_eq!(stats.connections, 3, "core {core:?}");
         }
-        let stats = server.stop();
-        assert_eq!(stats.requests, 3);
-        assert_eq!(stats.connections, 3);
     }
 
     #[test]
     fn metrics_endpoint_reports_server_counters() {
-        let metrics = Metrics::shared();
-        let server = TestServer::spawn_with_metrics(
-            ServerMode::Ack,
-            ServerOptions::default(),
-            Arc::clone(&metrics),
-        )
-        .unwrap();
-        let mut c = TcpStream::connect(server.addr()).unwrap();
-        let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
-        let body = b"<m>1</m>".to_vec();
-        let mut scratch = Vec::new();
-        for _ in 0..3 {
-            post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
-            let (status, _) = crate::http::read_response(&mut c).unwrap();
-            assert_eq!(status, 200);
+        for core in cores() {
+            let metrics = Metrics::shared();
+            let server = TestServer::spawn_with_metrics(
+                ServerMode::Ack,
+                opts_on(core),
+                Arc::clone(&metrics),
+            )
+            .unwrap();
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+            let body = b"<m>1</m>".to_vec();
+            let mut scratch = Vec::new();
+            for _ in 0..3 {
+                post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
+                let (status, _) = crate::http::read_response(&mut c).unwrap();
+                assert_eq!(status, 200, "core {core:?}");
+            }
+            // Scrape over the same keep-alive connection.
+            let mut get = Vec::new();
+            crate::http::render_get_request(&mut get, "/metrics", "localhost");
+            c.write_all(&get).unwrap();
+            let (status, text) = crate::http::read_response(&mut c).unwrap();
+            assert_eq!(status, 200, "core {core:?}");
+            let text = String::from_utf8(text).unwrap();
+            assert_eq!(
+                bsoap_obs::parse_value(&text, "bsoap_server_requests_total"),
+                Some(3.0),
+                "core {core:?}"
+            );
+            assert_eq!(
+                bsoap_obs::parse_value(&text, "bsoap_metrics_scrapes_total"),
+                Some(1.0),
+                "core {core:?}"
+            );
+            drop(c);
+            let stats = server.stop();
+            assert_eq!(
+                stats.requests, 3,
+                "the scrape is not counted as a request (core {core:?})"
+            );
+            let snap = metrics.snapshot();
+            assert_eq!(snap.get(Counter::ServerRequests), 3, "core {core:?}");
+            assert_eq!(snap.get(Counter::ServerConnections), 1, "core {core:?}");
+            assert_eq!(snap.hist(HistId::ServerRequest).count(), 3, "core {core:?}");
         }
-        // Scrape over the same keep-alive connection.
-        let mut get = Vec::new();
-        crate::http::render_get_request(&mut get, "/metrics", "localhost");
-        c.write_all(&get).unwrap();
-        let (status, text) = crate::http::read_response(&mut c).unwrap();
-        assert_eq!(status, 200);
-        let text = String::from_utf8(text).unwrap();
-        assert_eq!(
-            bsoap_obs::parse_value(&text, "bsoap_server_requests_total"),
-            Some(3.0)
-        );
-        assert_eq!(
-            bsoap_obs::parse_value(&text, "bsoap_metrics_scrapes_total"),
-            Some(1.0)
-        );
-        drop(c);
-        let stats = server.stop();
-        assert_eq!(stats.requests, 3, "the scrape is not counted as a request");
-        let snap = metrics.snapshot();
-        assert_eq!(snap.get(Counter::ServerRequests), 3);
-        assert_eq!(snap.get(Counter::ServerConnections), 1);
-        assert_eq!(snap.hist(HistId::ServerRequest).count(), 3);
     }
 
     #[test]
     fn metrics_scrape_without_registry_is_404() {
-        let server = TestServer::spawn(ServerMode::Ack).unwrap();
-        let mut c = TcpStream::connect(server.addr()).unwrap();
-        let mut get = Vec::new();
-        crate::http::render_get_request(&mut get, "/metrics", "localhost");
-        c.write_all(&get).unwrap();
-        let (status, _) = crate::http::read_response(&mut c).unwrap();
-        assert_eq!(status, 404);
-        drop(c);
-        server.stop();
+        for core in cores() {
+            let server = TestServer::spawn_with(ServerMode::Ack, opts_on(core)).unwrap();
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            let mut get = Vec::new();
+            crate::http::render_get_request(&mut get, "/metrics", "localhost");
+            c.write_all(&get).unwrap();
+            let (status, _) = crate::http::read_response(&mut c).unwrap();
+            assert_eq!(status, 404, "core {core:?}");
+            drop(c);
+            server.stop();
+        }
     }
 
     #[test]
     fn malformed_request_draws_400_then_close() {
-        let metrics = Metrics::shared();
-        let server = TestServer::spawn_with_metrics(
-            ServerMode::Ack,
-            ServerOptions::default(),
-            Arc::clone(&metrics),
-        )
-        .unwrap();
-        let mut c = TcpStream::connect(server.addr()).unwrap();
-        c.write_all(b"THIS IS NOT HTTP AT ALL\r\n\r\n").unwrap();
-        let (status, body) = crate::http::read_response(&mut c).unwrap();
-        assert_eq!(status, 400);
-        assert!(!body.is_empty(), "400 body explains the rejection");
-        // Connection is closed after the 400.
-        let mut probe = [0u8; 1];
-        assert_eq!(c.read(&mut probe).unwrap(), 0);
-        drop(c);
-        let stats = server.stop();
-        assert_eq!(stats.requests, 0);
-        assert_eq!(metrics.snapshot().get(Counter::ServerBadRequests), 1);
+        for core in cores() {
+            let metrics = Metrics::shared();
+            let server = TestServer::spawn_with_metrics(
+                ServerMode::Ack,
+                opts_on(core),
+                Arc::clone(&metrics),
+            )
+            .unwrap();
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            c.write_all(b"THIS IS NOT HTTP AT ALL\r\n\r\n").unwrap();
+            let (status, body) = crate::http::read_response(&mut c).unwrap();
+            assert_eq!(status, 400, "core {core:?}");
+            assert!(
+                !body.is_empty(),
+                "400 body explains the rejection (core {core:?})"
+            );
+            // Connection is closed after the 400.
+            let mut probe = [0u8; 1];
+            assert_eq!(c.read(&mut probe).unwrap(), 0, "core {core:?}");
+            drop(c);
+            let stats = server.stop();
+            assert_eq!(stats.requests, 0, "core {core:?}");
+            assert_eq!(
+                metrics.snapshot().get(Counter::ServerBadRequests),
+                1,
+                "core {core:?}"
+            );
+        }
     }
 
     #[test]
     fn oversized_head_draws_400() {
-        let metrics = Metrics::shared();
-        let server = TestServer::spawn_with_metrics(
-            ServerMode::Ack,
-            ServerOptions {
-                max_head_bytes: 1024,
-                ..ServerOptions::default()
-            },
-            Arc::clone(&metrics),
-        )
-        .unwrap();
-        let mut c = TcpStream::connect(server.addr()).unwrap();
-        let mut req = Vec::new();
-        req.extend_from_slice(b"POST / HTTP/1.1\r\nX-Pad: ");
-        req.extend_from_slice(&vec![b'x'; 4096]);
-        req.extend_from_slice(b"\r\nContent-Length: 0\r\n\r\n");
-        c.write_all(&req).unwrap();
-        let (status, _) = crate::http::read_response(&mut c).unwrap();
-        assert_eq!(status, 400);
-        drop(c);
-        server.stop();
-        assert_eq!(metrics.snapshot().get(Counter::ServerBadRequests), 1);
+        for core in cores() {
+            let metrics = Metrics::shared();
+            let server = TestServer::spawn_with_metrics(
+                ServerMode::Ack,
+                ServerOptions {
+                    max_head_bytes: 1024,
+                    ..opts_on(core)
+                },
+                Arc::clone(&metrics),
+            )
+            .unwrap();
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            let mut req = Vec::new();
+            req.extend_from_slice(b"POST / HTTP/1.1\r\nX-Pad: ");
+            req.extend_from_slice(&vec![b'x'; 4096]);
+            req.extend_from_slice(b"\r\nContent-Length: 0\r\n\r\n");
+            c.write_all(&req).unwrap();
+            let (status, _) = crate::http::read_response(&mut c).unwrap();
+            assert_eq!(status, 400, "core {core:?}");
+            drop(c);
+            server.stop();
+            assert_eq!(
+                metrics.snapshot().get(Counter::ServerBadRequests),
+                1,
+                "core {core:?}"
+            );
+        }
     }
 
     #[test]
     fn slow_loris_connection_is_evicted() {
-        let metrics = Metrics::shared();
-        let server = TestServer::spawn_with_metrics(
-            ServerMode::Ack,
-            ServerOptions {
-                read_timeout: Some(Duration::from_millis(40)),
-                ..ServerOptions::default()
-            },
-            Arc::clone(&metrics),
-        )
-        .unwrap();
-        let mut c = TcpStream::connect(server.addr()).unwrap();
-        // Half a request head, then silence: the server must evict rather
-        // than pin a worker forever.
-        c.write_all(b"POST / HTTP/1.1\r\nHost: lo").unwrap();
-        let mut probe = [0u8; 64];
-        assert_eq!(c.read(&mut probe).unwrap(), 0, "server closed on us");
-        drop(c);
-        server.stop();
-        assert_eq!(metrics.snapshot().get(Counter::ServerTimeouts), 1);
+        for core in cores() {
+            let metrics = Metrics::shared();
+            let server = TestServer::spawn_with_metrics(
+                ServerMode::Ack,
+                ServerOptions {
+                    read_timeout: Some(Duration::from_millis(40)),
+                    ..opts_on(core)
+                },
+                Arc::clone(&metrics),
+            )
+            .unwrap();
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            // Half a request head, then silence: the server must evict
+            // rather than pin a worker (or a map entry) forever.
+            c.write_all(b"POST / HTTP/1.1\r\nHost: lo").unwrap();
+            let mut probe = [0u8; 64];
+            // FIN reads zero bytes; RST errors. Either means evicted.
+            if let Ok(n) = c.read(&mut probe) {
+                assert_eq!(n, 0, "server closed on us (core {core:?})");
+            }
+            drop(c);
+            server.stop();
+            assert_eq!(
+                metrics.snapshot().get(Counter::ServerTimeouts),
+                1,
+                "core {core:?}"
+            );
+        }
     }
 
     #[test]
     fn dribbling_slow_loris_is_evicted_by_the_request_budget() {
         // A peer sending one byte per interval just under `read_timeout`
         // keeps every individual read succeeding — the per-read timeout
-        // alone never fires. The per-request budget must evict it anyway.
-        let metrics = Metrics::shared();
-        let server = TestServer::spawn_with_metrics(
-            ServerMode::Ack,
-            ServerOptions {
-                read_timeout: Some(Duration::from_millis(200)),
-                request_timeout: Some(Duration::from_millis(120)),
-                ..ServerOptions::default()
-            },
-            Arc::clone(&metrics),
-        )
-        .unwrap();
-        let mut c = TcpStream::connect(server.addr()).unwrap();
-        let head: &[u8] = b"POST / HTTP/1.1\r\nHost: l";
-        for chunk in head.chunks(1).take(12) {
-            // Ignore write errors: once evicted the dribble may hit RST.
-            let _ = c.write_all(chunk);
-            std::thread::sleep(Duration::from_millis(25));
-        }
-        // ~300ms of dribbling against a 120ms request budget: the server
-        // must have evicted the connection and counted the timeout.
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while metrics.snapshot().get(Counter::ServerTimeouts) == 0 {
-            assert!(
-                std::time::Instant::now() < deadline,
-                "server never evicted the dribbler"
+        // alone never fires (on the event loop, every byte slides the
+        // stall timer). The per-request budget must evict it anyway.
+        for core in cores() {
+            let metrics = Metrics::shared();
+            let server = TestServer::spawn_with_metrics(
+                ServerMode::Ack,
+                ServerOptions {
+                    read_timeout: Some(Duration::from_millis(200)),
+                    request_timeout: Some(Duration::from_millis(120)),
+                    ..opts_on(core)
+                },
+                Arc::clone(&metrics),
+            )
+            .unwrap();
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            let head: &[u8] = b"POST / HTTP/1.1\r\nHost: l";
+            for chunk in head.chunks(1).take(12) {
+                // Ignore write errors: once evicted the dribble may hit RST.
+                let _ = c.write_all(chunk);
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            // ~300ms of dribbling against a 120ms request budget: the
+            // server must have evicted the connection and counted it.
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while metrics.snapshot().get(Counter::ServerTimeouts) == 0 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "server never evicted the dribbler (core {core:?})"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // The read half confirms the close: a clean FIN reads zero
+            // bytes, and an error (RST) also means closed.
+            let mut probe = [0u8; 8];
+            if let Ok(n) = c.read(&mut probe) {
+                assert_eq!(n, 0, "server must not answer a dribbler (core {core:?})");
+            }
+            drop(c);
+            let stats = server.stop();
+            assert_eq!(stats.requests, 0, "core {core:?}");
+            assert_eq!(
+                metrics.snapshot().get(Counter::ServerTimeouts),
+                1,
+                "core {core:?}"
             );
-            std::thread::sleep(Duration::from_millis(5));
         }
-        // The read half confirms the close: a clean FIN reads zero bytes,
-        // and an error (RST) also means closed.
-        let mut probe = [0u8; 8];
-        if let Ok(n) = c.read(&mut probe) {
-            assert_eq!(n, 0, "server must not answer a dribbler");
-        }
-        drop(c);
-        let stats = server.stop();
-        assert_eq!(stats.requests, 0);
-        assert_eq!(metrics.snapshot().get(Counter::ServerTimeouts), 1);
     }
 
     #[test]
@@ -716,46 +993,158 @@ mod tests {
         // The budget opens at the first byte of a request: a client that
         // idles between two requests longer than `request_timeout` must
         // still be served (only reads *within* a request are budgeted).
-        let server = TestServer::spawn_with(
+        for core in cores() {
+            let server = TestServer::spawn_with(
+                ServerMode::Ack,
+                ServerOptions {
+                    request_timeout: Some(Duration::from_millis(80)),
+                    ..opts_on(core)
+                },
+            )
+            .unwrap();
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+            let body = b"<m>1</m>".to_vec();
+            let mut scratch = Vec::new();
+            post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
+            let (status, _) = crate::http::read_response(&mut c).unwrap();
+            assert_eq!(status, 200, "core {core:?}");
+            // Idle past the per-request budget, then send a second request.
+            std::thread::sleep(Duration::from_millis(160));
+            post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
+            let (status, _) = crate::http::read_response(&mut c).unwrap();
+            assert_eq!(status, 200, "core {core:?}");
+            drop(c);
+            let stats = server.stop();
+            assert_eq!(stats.requests, 2, "core {core:?}");
+            assert_eq!(
+                stats.connections, 1,
+                "keep-alive survived the idle gap (core {core:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn stop_without_traffic() {
+        for core in cores() {
+            let server = TestServer::spawn_with(ServerMode::Discard, opts_on(core)).unwrap();
+            let stats = server.stop();
+            assert_eq!(stats.bytes_received, 0, "core {core:?}");
+        }
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        for core in cores() {
+            let server = TestServer::spawn_with(ServerMode::Collect, opts_on(core)).unwrap();
+            let addr = server.addr();
+            drop(server);
+            // Port should be released promptly; a new bind may or may not
+            // get the same port, but connecting must not hang.
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    /// Idle reaping is an event-loop-only knob: a keep-alive connection
+    /// with no request in flight is closed by the idle timer after
+    /// `idle_timeout`, ticking [`Counter::ServerIdleReaped`] — and the
+    /// gap is *not* billed to the request budget.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn idle_keep_alive_connection_is_reaped() {
+        use bsoap_obs::Gauge;
+        let metrics = Metrics::shared();
+        let server = TestServer::spawn_with_metrics(
             ServerMode::Ack,
             ServerOptions {
-                request_timeout: Some(Duration::from_millis(80)),
-                ..ServerOptions::default()
+                idle_timeout: Some(Duration::from_millis(60)),
+                request_timeout: Some(Duration::from_secs(30)),
+                ..opts_on(ServerCore::EventLoop)
             },
+            Arc::clone(&metrics),
         )
         .unwrap();
         let mut c = TcpStream::connect(server.addr()).unwrap();
+        // Serve one request so the connection re-enters Idle (proving the
+        // reaper re-arms after a request, not just at accept).
         let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
         let body = b"<m>1</m>".to_vec();
         let mut scratch = Vec::new();
         post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
         let (status, _) = crate::http::read_response(&mut c).unwrap();
         assert_eq!(status, 200);
-        // Idle past the per-request budget, then send a second request.
-        std::thread::sleep(Duration::from_millis(160));
-        post_gather(&mut c, &cfg, &[IoSlice::new(&body)], &mut scratch).unwrap();
-        let (status, _) = crate::http::read_response(&mut c).unwrap();
-        assert_eq!(status, 200);
+        // Now idle: the reaper must close us within the timeout (plus
+        // loop latency), counted as a reap — not a timeout/eviction.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while metrics.snapshot().get(Counter::ServerIdleReaped) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "idle connection never reaped"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut probe = [0u8; 8];
+        if let Ok(n) = c.read(&mut probe) {
+            assert_eq!(n, 0, "reaped connection is closed");
+        }
         drop(c);
         let stats = server.stop();
-        assert_eq!(stats.requests, 2);
-        assert_eq!(stats.connections, 1, "keep-alive survived the idle gap");
+        assert_eq!(stats.requests, 1);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.get(Counter::ServerIdleReaped), 1);
+        assert_eq!(
+            snap.get(Counter::ServerTimeouts),
+            0,
+            "a reap is not an eviction"
+        );
+        assert!(snap.gauge(Gauge::ConnectionsOpenPeak) >= 1);
     }
 
+    /// Timer deadlines read the metrics clock: with a frozen
+    /// `VirtualClock` an idle connection outlives its `idle_timeout` in
+    /// real time, and is reaped only once the virtual clock advances past
+    /// the deadline.
+    #[cfg(target_os = "linux")]
     #[test]
-    fn stop_without_traffic() {
-        let server = TestServer::spawn(ServerMode::Discard).unwrap();
-        let stats = server.stop();
-        assert_eq!(stats.bytes_received, 0);
-    }
-
-    #[test]
-    fn drop_shuts_down_cleanly() {
-        let server = TestServer::spawn(ServerMode::Collect).unwrap();
-        let addr = server.addr();
-        drop(server);
-        // Port should be released promptly; a new bind may or may not get
-        // the same port, but connecting to the old one must not hang.
-        let _ = TcpStream::connect(addr);
+    fn frozen_virtual_clock_defers_the_idle_reaper() {
+        use bsoap_obs::VirtualClock;
+        let clock = Arc::new(VirtualClock::new());
+        let metrics = Arc::new(Metrics::with_clock(clock.clone()));
+        let server = TestServer::spawn_with_metrics(
+            ServerMode::Ack,
+            ServerOptions {
+                idle_timeout: Some(Duration::from_millis(50)),
+                ..opts_on(ServerCore::EventLoop)
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let c = TcpStream::connect(server.addr()).unwrap();
+        // Wait until the loop has registered the connection, then give
+        // the (frozen) reaper far longer than idle_timeout in real time.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while metrics.snapshot().get(Counter::ServerConnections) == 0 {
+            assert!(std::time::Instant::now() < deadline, "never accepted");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(
+            metrics.snapshot().get(Counter::ServerIdleReaped),
+            0,
+            "time is frozen: nothing may be reaped"
+        );
+        // Advance virtual time past the deadline: the next loop tick
+        // (≤ 50ms real) fires the reaper.
+        clock.advance(Duration::from_millis(60).as_nanos() as u64);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while metrics.snapshot().get(Counter::ServerIdleReaped) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "reaper never fired after the clock advanced"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(c);
+        server.stop();
     }
 }

@@ -351,8 +351,7 @@ pub fn read_head(
     let mut buf = Vec::with_capacity(2048);
     let mut scratch = [0u8; 2048];
     loop {
-        if let Some(p) = crate::http::find(&buf, b"\r\n\r\n") {
-            let head_end = p + 4;
+        if let Some(head_end) = crate::http::head_end(&buf) {
             if head_end > max_head {
                 return Err(HttpError::TooLarge("request head").into());
             }

@@ -1,0 +1,918 @@
+//! Model-checked connection-lifecycle suite for the event-loop core's
+//! per-connection state machine ([`bsoap_transport::Conn`]).
+//!
+//! `ConnModel` is an independent re-statement of the lifecycle spec
+//! (DESIGN §3.13): it predicts every state transition, timer arm/cancel,
+//! epoll-interest change, dispatch hand-off, and counter tick — not by
+//! re-parsing HTTP, but from *generative* knowledge: the harness builds
+//! each request itself, so the model knows exactly where every head and
+//! body boundary falls on the wire. A seeded LCG then drives both the
+//! real `Conn` (with scripted, syscall-free I/O) and the model through
+//! the same randomized event schedule — fragmented reads, EINTR, partial
+//! writes, timer firings, EOF truncation, graceful drain — and after
+//! every single event the harness asserts:
+//!
+//! * the real machine's state equals the model's,
+//! * the full `(from, to)` transition trace matches exactly,
+//! * the set of armed timers matches (the harness plays the timer wheel,
+//!   fed only by the real machine's `Arm`/`Cancel` actions),
+//! * the last requested epoll interest matches,
+//! * every dispatched request's path and body bytes match what was sent.
+//!
+//! At the end of each schedule the two metrics registries — one ticked by
+//! the real machine, one by the model — must produce identical
+//! [`EngineStats`] snapshots and identical trace-event sequences.
+//!
+//! 256 schedules (≥ the 200 the acceptance criteria require), all seeds
+//! fixed, no wall-clock dependence: failures replay exactly.
+
+use bsoap_obs::{Counter, EngineStats, Metrics, Recorder, TraceKind};
+use bsoap_transport::http::{render_response_head_typed, HttpError};
+use bsoap_transport::{Conn, ConnAction, ConnConfig, ConnState, ReqBody, Response, TimerKind};
+use std::collections::BTreeSet;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Deterministic randomness: SplitMix64-style LCG, no external crates.
+// ---------------------------------------------------------------------------
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    fn chance(&mut self, one_in: usize) -> bool {
+        self.below(one_in) == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generated wire: requests with known boundaries.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Framing {
+    Empty,
+    Length,
+    Chunked,
+}
+
+#[derive(Clone, Debug)]
+struct ReqSpec {
+    start: usize,
+    head_len: usize,
+    total_len: usize,
+    framing: Framing,
+    path: String,
+    body: Vec<u8>,
+}
+
+impl ReqSpec {
+    fn end(&self) -> usize {
+        self.start + self.total_len
+    }
+}
+
+fn gen_requests(rng: &mut Lcg) -> (Vec<u8>, Vec<ReqSpec>) {
+    let n = 1 + rng.below(3);
+    let mut wire = Vec::new();
+    let mut specs = Vec::new();
+    for i in 0..n {
+        let start = wire.len();
+        let path = format!("/op{i}");
+        let kind = rng.below(3);
+        let (framing, body): (Framing, Vec<u8>) = match kind {
+            0 => (Framing::Empty, Vec::new()),
+            1 => {
+                let len = 1 + rng.below(48);
+                (
+                    Framing::Length,
+                    (0..len).map(|j| b'a' + (j % 26) as u8).collect(),
+                )
+            }
+            _ => {
+                let chunks = 1 + rng.below(3);
+                let body: Vec<u8> = (0..chunks)
+                    .flat_map(|c| {
+                        let len = 1 + rng.below(12);
+                        (0..len).map(move |j| b'A' + ((c + j) % 26) as u8)
+                    })
+                    .collect();
+                (Framing::Chunked, body)
+            }
+        };
+        let mut head = format!("POST {path} HTTP/1.1\r\nHost: model\r\n");
+        match framing {
+            Framing::Chunked => head.push_str("Transfer-Encoding: chunked\r\n\r\n"),
+            _ => head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len())),
+        }
+        wire.extend_from_slice(head.as_bytes());
+        let head_len = wire.len() - start;
+        match framing {
+            Framing::Chunked => {
+                // Re-chunk the body the same way it was generated: the
+                // boundaries themselves don't matter to the model (only
+                // the request's total wire length does).
+                let mut off = 0;
+                let mut rng2 = Lcg::new(start as u64); // deterministic re-split
+                while off < body.len() {
+                    let take = (1 + rng2.below(12)).min(body.len() - off);
+                    wire.extend_from_slice(format!("{take:x}\r\n").as_bytes());
+                    wire.extend_from_slice(&body[off..off + take]);
+                    wire.extend_from_slice(b"\r\n");
+                    off += take;
+                }
+                wire.extend_from_slice(b"0\r\n\r\n");
+            }
+            _ => wire.extend_from_slice(&body),
+        }
+        specs.push(ReqSpec {
+            start,
+            head_len,
+            total_len: wire.len() - start,
+            framing,
+            path,
+            body,
+        });
+    }
+    (wire, specs)
+}
+
+// ---------------------------------------------------------------------------
+// Scripted I/O: one fragment per readiness event, then WouldBlock.
+// ---------------------------------------------------------------------------
+
+enum Frag {
+    Bytes(Vec<u8>),
+    Eof,
+}
+
+/// Reader that yields optional EINTR noise, then one fragment, then
+/// `WouldBlock` — exactly one readiness event's worth of input.
+struct OneShot {
+    eintr: bool,
+    frag: Option<Frag>,
+}
+
+impl Read for OneShot {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.eintr {
+            self.eintr = false;
+            return Err(io::ErrorKind::Interrupted.into());
+        }
+        match self.frag.take() {
+            Some(Frag::Bytes(b)) => {
+                assert!(b.len() <= buf.len(), "fragment exceeds scratch");
+                buf[..b.len()].copy_from_slice(&b);
+                Ok(b.len())
+            }
+            Some(Frag::Eof) => Ok(0),
+            None => Err(io::ErrorKind::WouldBlock.into()),
+        }
+    }
+}
+
+/// Writer accepting `cap` bytes this event, then `WouldBlock` (never
+/// `Ok(0)`), or failing outright.
+struct CapWriter {
+    cap: usize,
+    fail: bool,
+    sunk: Vec<u8>,
+}
+
+impl Write for CapWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.fail {
+            return Err(io::ErrorKind::BrokenPipe.into());
+        }
+        if self.cap == 0 {
+            return Err(io::ErrorKind::WouldBlock.into());
+        }
+        let n = buf.len().min(self.cap);
+        self.cap -= n;
+        self.sunk.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The model.
+// ---------------------------------------------------------------------------
+
+/// Spec-level mirror of `Conn`: same states, same transition rules, fed
+/// from generative knowledge of the wire instead of a parser.
+struct ConnModel {
+    state: ConnState,
+    transitions: Vec<(ConnState, ConnState)>,
+    armed: BTreeSet<TimerKind>,
+    interest: Option<(bool, bool)>,
+    /// Bytes of the wire delivered to the machine so far.
+    fed: usize,
+    /// Index of the next request to complete.
+    next_req: usize,
+    /// Response bytes still to drain (None = not writing).
+    write_remaining: Option<usize>,
+    close_after_write: bool,
+    draining: bool,
+    closed: bool,
+    /// Dispatches predicted so far: (path, body).
+    dispatched: Vec<(String, Vec<u8>)>,
+    cfg_read: Option<Duration>,
+    cfg_request: Option<Duration>,
+    cfg_idle: Option<Duration>,
+    specs: Vec<ReqSpec>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fate {
+    Open,
+    Completed,
+    Evicted,
+    IdleReaped,
+    BadRequest,
+    CleanEof,
+    Drained,
+    WriteFailed,
+}
+
+impl ConnModel {
+    fn new(cfg: &ConnConfig, specs: Vec<ReqSpec>) -> ConnModel {
+        ConnModel {
+            state: ConnState::Idle,
+            transitions: Vec::new(),
+            armed: BTreeSet::new(),
+            interest: None,
+            fed: 0,
+            next_req: 0,
+            write_remaining: None,
+            close_after_write: false,
+            draining: false,
+            closed: false,
+            dispatched: Vec::new(),
+            cfg_read: cfg.read_timeout,
+            cfg_request: cfg.request_timeout,
+            cfg_idle: cfg.idle_timeout,
+            specs,
+        }
+    }
+
+    fn reading(&self) -> bool {
+        matches!(
+            self.state,
+            ConnState::Idle
+                | ConnState::ReadingHead
+                | ConnState::ReadingBody
+                | ConnState::ReadingChunked
+        )
+    }
+
+    fn goto(&mut self, to: ConnState, rec: &Metrics) {
+        self.transitions.push((self.state, to));
+        rec.add(Counter::ConnStateTransitions, 1);
+        self.state = to;
+    }
+
+    fn on_accept(&mut self) {
+        if self.cfg_idle.is_some() {
+            self.armed.insert(TimerKind::IdleReap);
+        }
+        if self.cfg_read.is_some() {
+            self.armed.insert(TimerKind::ReadStall);
+        }
+    }
+
+    /// The length of the 400 response `bad_request` renders for `err`.
+    fn response_len(status: u16, reason: &'static str, body_len: usize) -> usize {
+        let mut scratch = Vec::new();
+        render_response_head_typed(
+            &mut scratch,
+            status,
+            reason,
+            "text/xml; charset=utf-8",
+            body_len,
+        );
+        scratch.len() + body_len
+    }
+
+    fn bad_request(&mut self, err: HttpError, rec: &Metrics) {
+        rec.add(Counter::ServerBadRequests, 1);
+        let ioe: io::Error = err.into();
+        self.armed.clear();
+        self.write_remaining = Some(Self::response_len(
+            400,
+            "Bad Request",
+            ioe.to_string().len(),
+        ));
+        self.close_after_write = true;
+        self.goto(ConnState::Writing, rec);
+        self.interest = Some((false, true));
+    }
+
+    fn complete_request(&mut self, rec: &Metrics) {
+        let spec = &self.specs[self.next_req];
+        self.dispatched.push((spec.path.clone(), spec.body.clone()));
+        self.next_req += 1;
+        self.armed.remove(&TimerKind::ReadStall);
+        self.armed.remove(&TimerKind::RequestBudget);
+        self.goto(ConnState::Dispatching, rec);
+        self.interest = Some((false, false));
+    }
+
+    /// Mirror of `Conn::advance`: consume as far as the fed bytes allow.
+    fn run_parse(&mut self, rec: &Metrics) {
+        loop {
+            match self.state {
+                ConnState::Idle => {
+                    let Some(spec) = self.specs.get(self.next_req) else {
+                        break;
+                    };
+                    if self.fed > spec.start {
+                        self.goto(ConnState::ReadingHead, rec);
+                        self.armed.remove(&TimerKind::IdleReap);
+                        if self.cfg_request.is_some() {
+                            self.armed.insert(TimerKind::RequestBudget);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                ConnState::ReadingHead => {
+                    let spec = self.specs[self.next_req].clone();
+                    if self.fed >= spec.start + spec.head_len {
+                        match spec.framing {
+                            Framing::Empty => self.complete_request(rec),
+                            Framing::Length => self.goto(ConnState::ReadingBody, rec),
+                            Framing::Chunked => self.goto(ConnState::ReadingChunked, rec),
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                ConnState::ReadingBody | ConnState::ReadingChunked => {
+                    if self.fed >= self.specs[self.next_req].end() {
+                        self.complete_request(rec);
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn on_readable_bytes(&mut self, n: usize, rec: &Metrics) {
+        if !self.reading() {
+            return;
+        }
+        self.fed += n;
+        self.run_parse(rec);
+        if self.reading() && self.cfg_read.is_some() {
+            self.armed.insert(TimerKind::ReadStall);
+        }
+    }
+
+    fn on_eof(&mut self, rec: &Metrics) -> Fate {
+        match self.state {
+            ConnState::Idle => {
+                self.goto(ConnState::Closing, rec);
+                self.close();
+                Fate::CleanEof
+            }
+            ConnState::ReadingHead => {
+                self.bad_request(HttpError::BadHead("EOF inside request head"), rec);
+                Fate::Open
+            }
+            ConnState::ReadingBody | ConnState::ReadingChunked => {
+                self.bad_request(HttpError::BadFraming("EOF inside request body"), rec);
+                Fate::Open
+            }
+            _ => Fate::Open,
+        }
+    }
+
+    fn on_dispatch_done(&mut self, resp: &Response, rec: &Metrics) {
+        assert_eq!(self.state, ConnState::Dispatching);
+        self.write_remaining = Some(Self::response_len(
+            resp.status,
+            resp.reason,
+            resp.body.len(),
+        ));
+        self.goto(ConnState::Writing, rec);
+    }
+
+    fn on_writable(&mut self, cap: usize, fail: bool, rec: &Metrics) -> Fate {
+        assert_eq!(self.state, ConnState::Writing);
+        if fail {
+            self.goto(ConnState::Closing, rec);
+            self.close();
+            return Fate::WriteFailed;
+        }
+        let remaining = self.write_remaining.expect("writing implies a response");
+        if cap < remaining {
+            self.write_remaining = Some(remaining - cap);
+            self.interest = Some((false, true));
+            return Fate::Open;
+        }
+        // Response fully drained.
+        self.write_remaining = None;
+        if self.close_after_write {
+            self.goto(ConnState::Closing, rec);
+            self.close();
+            return Fate::BadRequest;
+        }
+        if self.draining {
+            self.goto(ConnState::Closing, rec);
+            self.close();
+            return Fate::Drained;
+        }
+        let leftover = self
+            .specs
+            .get(self.next_req)
+            .map(|s| self.fed > s.start)
+            .unwrap_or(false);
+        if leftover {
+            self.goto(ConnState::ReadingHead, rec);
+            if self.cfg_request.is_some() {
+                self.armed.insert(TimerKind::RequestBudget);
+            }
+            if self.cfg_read.is_some() {
+                self.armed.insert(TimerKind::ReadStall);
+            }
+            self.run_parse(rec);
+            if self.reading() {
+                self.interest = Some((true, false));
+            }
+        } else {
+            self.goto(ConnState::Idle, rec);
+            if self.cfg_idle.is_some() {
+                self.armed.insert(TimerKind::IdleReap);
+            }
+            if self.cfg_read.is_some() {
+                self.armed.insert(TimerKind::ReadStall);
+            }
+            self.interest = Some((true, false));
+        }
+        Fate::Completed
+    }
+
+    fn on_timer(&mut self, kind: TimerKind, rec: &Metrics) -> Fate {
+        match (kind, self.state) {
+            (TimerKind::ReadStall, s) if self.reading() => {
+                rec.add(Counter::ServerTimeouts, 1);
+                rec.trace(TraceKind::Evict {
+                    conn_id: 7,
+                    idle: s == ConnState::Idle,
+                });
+                self.goto(ConnState::Closing, rec);
+                self.close();
+                Fate::Evicted
+            }
+            (
+                TimerKind::RequestBudget,
+                ConnState::ReadingHead | ConnState::ReadingBody | ConnState::ReadingChunked,
+            ) => {
+                rec.add(Counter::ServerTimeouts, 1);
+                rec.trace(TraceKind::Evict {
+                    conn_id: 7,
+                    idle: false,
+                });
+                self.goto(ConnState::Closing, rec);
+                self.close();
+                Fate::Evicted
+            }
+            (TimerKind::IdleReap, ConnState::Idle) => {
+                rec.add(Counter::ServerIdleReaped, 1);
+                rec.trace(TraceKind::Evict {
+                    conn_id: 7,
+                    idle: true,
+                });
+                self.goto(ConnState::Closing, rec);
+                self.close();
+                Fate::IdleReaped
+            }
+            _ => Fate::Open,
+        }
+    }
+
+    fn set_draining(&mut self, rec: &Metrics) -> Fate {
+        self.draining = true;
+        if self.state == ConnState::Idle {
+            self.goto(ConnState::Closing, rec);
+            self.close();
+            return Fate::Drained;
+        }
+        Fate::Open
+    }
+
+    fn close(&mut self) {
+        // The event loop's teardown cancels every pending deadline.
+        self.armed.clear();
+        self.closed = true;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness: drives Conn + ConnModel through one schedule and checks parity.
+// ---------------------------------------------------------------------------
+
+/// Apply the real machine's actions to the harness's wheel/interest
+/// mirrors and collect dispatches; panics on spec violations.
+struct Harness {
+    wheel: BTreeSet<TimerKind>,
+    interest: Option<(bool, bool)>,
+    dispatched: Vec<(String, Vec<u8>)>,
+    closed: bool,
+}
+
+impl Harness {
+    fn apply(&mut self, actions: Vec<ConnAction>, cfg: &ConnConfig, seed: u64, step: usize) {
+        for a in actions {
+            match a {
+                ConnAction::Arm(kind, dur) => {
+                    let expect = match kind {
+                        TimerKind::ReadStall => cfg.read_timeout,
+                        TimerKind::RequestBudget => cfg.request_timeout,
+                        TimerKind::IdleReap => cfg.idle_timeout,
+                    };
+                    assert_eq!(
+                        Some(dur),
+                        expect,
+                        "seed {seed} step {step}: {kind:?} armed with the wrong deadline"
+                    );
+                    self.wheel.insert(kind);
+                }
+                ConnAction::Cancel(kind) => {
+                    self.wheel.remove(&kind);
+                }
+                ConnAction::Interest { read, write } => {
+                    self.interest = Some((read, write));
+                }
+                ConnAction::Dispatch(head, body) => {
+                    let bytes = match body {
+                        ReqBody::Full(b) => b,
+                        ReqBody::Streamed { .. } => panic!("no sink configured"),
+                    };
+                    self.dispatched.push((head.path, bytes));
+                }
+                ConnAction::Responded { .. } => {}
+                ConnAction::Close(_) => {
+                    // Loop teardown cancels everything for this conn.
+                    self.wheel.clear();
+                    self.closed = true;
+                }
+            }
+        }
+    }
+}
+
+fn check_parity(seed: u64, step: usize, conn: &Conn, model: &ConnModel, h: &Harness) {
+    assert_eq!(
+        conn.state(),
+        model.state,
+        "seed {seed} step {step}: state diverged"
+    );
+    assert_eq!(
+        conn.transitions(),
+        &model.transitions[..],
+        "seed {seed} step {step}: transition trace diverged"
+    );
+    assert_eq!(
+        h.wheel, model.armed,
+        "seed {seed} step {step}: armed timers diverged"
+    );
+    assert_eq!(
+        h.interest, model.interest,
+        "seed {seed} step {step}: epoll interest diverged"
+    );
+    assert_eq!(
+        h.dispatched, model.dispatched,
+        "seed {seed} step {step}: dispatched requests diverged"
+    );
+    assert_eq!(
+        h.closed, model.closed,
+        "seed {seed} step {step}: close disagreement"
+    );
+}
+
+/// Run one randomized schedule; returns the terminal fate plus whether
+/// any request made it all the way to a fully written response.
+fn run_schedule(seed: u64) -> (Fate, bool) {
+    let mut rng = Lcg::new(seed);
+    let cfg = ConnConfig {
+        read_timeout: Some(Duration::from_millis(10)),
+        request_timeout: if rng.chance(2) {
+            Some(Duration::from_millis(20))
+        } else {
+            None
+        },
+        idle_timeout: if rng.chance(2) {
+            Some(Duration::from_millis(15))
+        } else {
+            None
+        },
+        ..ConnConfig::default()
+    };
+
+    let (mut wire, specs) = gen_requests(&mut rng);
+
+    // Truncation: cut the wire and end with EOF. A cut exactly on a
+    // request boundary lands while Idle (clean EOF); anywhere else it is
+    // mid-request and must draw a 400.
+    let truncated = rng.chance(4);
+    let mut frags: Vec<Frag> = Vec::new();
+    if truncated {
+        let cut = if rng.chance(3) {
+            // Exactly at the end of some request: clean-EOF coverage.
+            specs[rng.below(specs.len())].end()
+        } else {
+            1 + rng.below(wire.len().saturating_sub(1).max(1))
+        };
+        wire.truncate(cut);
+    }
+    // Fragment the wire.
+    let mut off = 0;
+    while off < wire.len() {
+        let take = (1 + rng.below(wire.len() - off)).min(1 + rng.below(64) * 8);
+        let take = take.max(1).min(wire.len() - off);
+        frags.push(Frag::Bytes(wire[off..off + take].to_vec()));
+        off += take;
+    }
+    if truncated {
+        frags.push(Frag::Eof);
+    }
+    frags.reverse(); // pop from the back
+
+    let real_metrics = Metrics::new();
+    let model_metrics = Metrics::new();
+    let mut conn = Conn::new(7, cfg.clone());
+    let mut model = ConnModel::new(&cfg, specs.clone());
+    let mut h = Harness {
+        wheel: BTreeSet::new(),
+        interest: None,
+        dispatched: Vec::new(),
+        closed: false,
+    };
+
+    let mut out = Vec::new();
+    conn.on_accept(&mut out);
+    h.apply(std::mem::take(&mut out), &cfg, seed, 0);
+    model.on_accept();
+    check_parity(seed, 0, &conn, &model, &h);
+
+    let mut fate = Fate::Open;
+    let mut any_completed = false;
+    let mut drained_once = false;
+    for step in 1..=600 {
+        if model.closed {
+            break;
+        }
+        // Build the weighted choice list from the model's view (parity
+        // with the real machine is asserted each step).
+        #[derive(Clone, Copy)]
+        enum Ev {
+            Feed,
+            Timer,
+            DispatchDone,
+            Writable,
+            WriteError,
+            Drain,
+        }
+        let mut choices: Vec<Ev> = Vec::new();
+        if model.reading() && !frags.is_empty() {
+            choices.extend([Ev::Feed; 6]);
+        }
+        if model.state == ConnState::Dispatching {
+            choices.extend([Ev::DispatchDone; 6]);
+        }
+        if model.state == ConnState::Writing {
+            choices.extend([Ev::Writable; 6]);
+            if rng.chance(12) {
+                choices.push(Ev::WriteError);
+            }
+        }
+        if !h.wheel.is_empty() {
+            choices.push(Ev::Timer);
+        }
+        if !drained_once && rng.chance(40) {
+            choices.push(Ev::Drain);
+        }
+        if choices.is_empty() {
+            break; // nothing left to do and no timer to fire
+        }
+        let ev = choices[rng.below(choices.len())];
+        match ev {
+            Ev::Feed => {
+                let frag = frags.pop().unwrap();
+                let n = match &frag {
+                    Frag::Bytes(b) => b.len(),
+                    Frag::Eof => 0,
+                };
+                let is_eof = matches!(frag, Frag::Eof);
+                let mut io = OneShot {
+                    eintr: rng.chance(6),
+                    frag: Some(frag),
+                };
+                conn.on_readable(&mut io, &real_metrics, &mut out);
+                h.apply(std::mem::take(&mut out), &cfg, seed, step);
+                if is_eof {
+                    let f = model.on_eof(&model_metrics);
+                    if model.closed {
+                        fate = f;
+                    }
+                } else {
+                    model.on_readable_bytes(n, &model_metrics);
+                }
+            }
+            Ev::Timer => {
+                let armed: Vec<TimerKind> = h.wheel.iter().copied().collect();
+                let kind = armed[rng.below(armed.len())];
+                // A fired deadline leaves the wheel before delivery.
+                h.wheel.remove(&kind);
+                model.armed.remove(&kind);
+                conn.on_timer(kind, &real_metrics, &mut out);
+                h.apply(std::mem::take(&mut out), &cfg, seed, step);
+                let f = model.on_timer(kind, &model_metrics);
+                if model.closed {
+                    fate = f;
+                }
+            }
+            Ev::DispatchDone => {
+                let len = rng.below(61);
+                let body: Vec<u8> = std::iter::repeat_n(b'x', len).collect();
+                let resp = Response::xml(200, "OK", body);
+                conn.on_dispatch_done(resp.clone(), &real_metrics);
+                model.on_dispatch_done(&resp, &model_metrics);
+            }
+            Ev::Writable => {
+                let cap = match rng.below(3) {
+                    0 => 1 + rng.below(16),
+                    1 => 64,
+                    _ => usize::MAX,
+                };
+                let mut w = CapWriter {
+                    cap,
+                    fail: false,
+                    sunk: Vec::new(),
+                };
+                conn.on_writable(&mut w, &real_metrics, &mut out);
+                h.apply(std::mem::take(&mut out), &cfg, seed, step);
+                let f = model.on_writable(cap, false, &model_metrics);
+                if f == Fate::Completed {
+                    any_completed = true;
+                }
+                if model.closed {
+                    fate = f;
+                }
+            }
+            Ev::WriteError => {
+                let mut w = CapWriter {
+                    cap: 0,
+                    fail: true,
+                    sunk: Vec::new(),
+                };
+                conn.on_writable(&mut w, &real_metrics, &mut out);
+                h.apply(std::mem::take(&mut out), &cfg, seed, step);
+                fate = model.on_writable(0, true, &model_metrics);
+            }
+            Ev::Drain => {
+                drained_once = true;
+                conn.set_draining(&real_metrics, &mut out);
+                h.apply(std::mem::take(&mut out), &cfg, seed, step);
+                let f = model.set_draining(&model_metrics);
+                if model.closed {
+                    fate = f;
+                }
+            }
+        }
+        check_parity(seed, step, &conn, &model, &h);
+    }
+
+    // Final oracle: identical metrics snapshots and trace sequences.
+    let real_snap = EngineStats::snapshot(&real_metrics);
+    let model_snap = EngineStats::snapshot(&model_metrics);
+    assert_eq!(
+        real_snap, model_snap,
+        "seed {seed}: metrics snapshots diverged"
+    );
+    let (real_trace, _) = real_metrics.trace_ring().snapshot();
+    let (model_trace, _) = model_metrics.trace_ring().snapshot();
+    let real_kinds: Vec<TraceKind> = real_trace.into_iter().map(|e| e.kind).collect();
+    let model_kinds: Vec<TraceKind> = model_trace.into_iter().map(|e| e.kind).collect();
+    assert_eq!(
+        real_kinds, model_kinds,
+        "seed {seed}: trace sequences diverged"
+    );
+    (fate, any_completed)
+}
+
+/// The headline test: 256 randomized schedules, every one checked for
+/// exact transition/timer/interest/dispatch/metrics parity against the
+/// model, plus coverage assertions so the schedule generator cannot
+/// silently stop exercising a lifecycle class.
+#[test]
+fn model_checked_connection_lifecycles_256_schedules() {
+    let mut completed = 0u32;
+    let mut evicted = 0u32;
+    let mut reaped = 0u32;
+    let mut bad = 0u32;
+    let mut clean = 0u32;
+    let mut drained = 0u32;
+    let mut write_failed = 0u32;
+    for i in 0..256u64 {
+        let (fate, any_completed) = run_schedule(i);
+        if any_completed {
+            completed += 1;
+        }
+        match fate {
+            Fate::Completed | Fate::Open => {}
+            Fate::Evicted => evicted += 1,
+            Fate::IdleReaped => reaped += 1,
+            Fate::BadRequest => bad += 1,
+            Fate::CleanEof => clean += 1,
+            Fate::Drained => drained += 1,
+            Fate::WriteFailed => write_failed += 1,
+        }
+    }
+    assert!(completed > 0, "no schedule completed a request");
+    assert!(evicted > 0, "no schedule exercised timer eviction");
+    assert!(reaped > 0, "no schedule exercised the idle reaper");
+    assert!(bad > 0, "no schedule exercised truncation → 400");
+    assert!(clean > 0, "no schedule exercised clean EOF");
+    assert!(drained > 0, "no schedule exercised graceful drain");
+    assert!(write_failed > 0, "no schedule exercised write failure");
+}
+
+/// Deterministic spot-check: one fully scripted happy-path schedule whose
+/// exact transition trace is written out by hand — a readable anchor for
+/// the randomized suite above.
+#[test]
+fn scripted_keep_alive_lifecycle_matches_spec_trace() {
+    let cfg = ConnConfig {
+        read_timeout: Some(Duration::from_millis(10)),
+        request_timeout: Some(Duration::from_millis(20)),
+        idle_timeout: Some(Duration::from_millis(15)),
+        ..ConnConfig::default()
+    };
+    let rec = Metrics::new();
+    let mut conn = Conn::new(1, cfg);
+    let mut out = Vec::new();
+    conn.on_accept(&mut out);
+    let mut io = OneShot {
+        eintr: false,
+        frag: Some(Frag::Bytes(
+            b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi".to_vec(),
+        )),
+    };
+    conn.on_readable(&mut io, &rec, &mut out);
+    conn.on_dispatch_done(Response::xml(200, "OK", b"<ok/>".to_vec()), &rec);
+    let mut w = CapWriter {
+        cap: usize::MAX,
+        fail: false,
+        sunk: Vec::new(),
+    };
+    conn.on_writable(&mut w, &rec, &mut out);
+    let mut io2 = OneShot {
+        eintr: false,
+        frag: Some(Frag::Eof),
+    };
+    conn.on_readable(&mut io2, &rec, &mut out);
+    use ConnState::*;
+    assert_eq!(
+        conn.transitions(),
+        &[
+            (Idle, ReadingHead),
+            (ReadingHead, ReadingBody),
+            (ReadingBody, Dispatching),
+            (Dispatching, Writing),
+            (Writing, Idle),
+            (Idle, Closing),
+        ]
+    );
+    assert!(w.sunk.starts_with(b"HTTP/1.1 200 OK\r\n"));
+    assert!(w.sunk.ends_with(b"<ok/>"));
+    let snap = EngineStats::snapshot(&rec);
+    assert_eq!(snap.get(Counter::ConnStateTransitions), 6);
+    assert_eq!(snap.get(Counter::ServerBadRequests), 0);
+    assert_eq!(snap.get(Counter::ServerTimeouts), 0);
+}

@@ -313,6 +313,75 @@ fn breaker_half_open_admits_exactly_one_probe() {
     assert_eq!(breaker.state(), BreakerState::Closed);
 }
 
+/// The queued-not-refused guarantee holds on the *server* side too, on
+/// both cores: more concurrent keep-alive clients than the core has
+/// capacity for (worker pool: `workers` threads; event loop:
+/// `max_connections` accepts) all get every request served — over-cap
+/// connections wait in the listen backlog, none is refused or dropped.
+#[test]
+fn overloaded_server_queues_every_client_on_both_cores() {
+    use bsoap_transport::http::{post_gather, read_response, HttpVersion, RequestConfig};
+    use bsoap_transport::{ServerCore, ServerMode, ServerOptions, TestServer};
+    use std::io::{IoSlice, Write};
+
+    let cores = if bsoap_transport::poller::supported() {
+        vec![ServerCore::WorkerPool, ServerCore::EventLoop]
+    } else {
+        vec![ServerCore::WorkerPool]
+    };
+    for core in cores {
+        let server = TestServer::spawn_with(
+            ServerMode::Ack,
+            ServerOptions {
+                core,
+                workers: 2,
+                event_loop_threads: 1,
+                max_connections: 4,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let clients = 12;
+        let reqs_per_conn = 3;
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let mut s = TcpStream::connect(addr).unwrap();
+                        let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+                        for r in 0..reqs_per_conn {
+                            let body = format!("<m>client {i} req {r}</m>");
+                            let mut scratch = Vec::new();
+                            post_gather(
+                                &mut s,
+                                &cfg,
+                                &[IoSlice::new(body.as_bytes())],
+                                &mut scratch,
+                            )
+                            .unwrap();
+                            s.flush().unwrap();
+                            let (status, _) = read_response(&mut s).unwrap();
+                            assert_eq!(status, 200, "core {core:?} client {i} req {r}");
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+
+        let stats = server.stop();
+        assert_eq!(
+            stats.requests as usize,
+            clients * reqs_per_conn,
+            "core {core:?}: every queued request must be served"
+        );
+    }
+}
+
 /// Scripted checkout/checkin/reap sequence with exact `PoolStats` at the
 /// end — every counter justified by a specific event, idle expiry driven
 /// by a virtual clock (no sleeps).

@@ -179,6 +179,110 @@ proptest! {
         prop_assert_eq!(w.out, flat);
     }
 
+    /// One head splitter, three consumers: the buffered `RequestReader`,
+    /// the streaming `read_head` + `parse_request_head` pair, and the
+    /// event-loop core's incremental `Conn` machine must all split and
+    /// parse the same head identically no matter how the wire is
+    /// fragmented (all three route through `http::head_end`).
+    #[test]
+    fn head_fragmentation_parses_identically_on_all_paths(
+        path_seg in "[a-zA-Z0-9]{1,12}",
+        headers in proptest::collection::vec(
+            ("[a-zA-Z][a-zA-Z0-9-]{0,10}", "[a-zA-Z0-9 ._-]{0,20}"),
+            0..4
+        ),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        caps in proptest::collection::vec(1usize..8, 1..12),
+        eintr_every in prop_oneof![Just(0usize), 2usize..5],
+    ) {
+        use bsoap_transport::http::parse_request_head;
+        use bsoap_transport::{read_head, Conn, ConnAction, ConnConfig, ReqBody};
+        use bsoap_obs::NullRecorder;
+        use std::io::Read;
+
+        let mut wire = format!("POST /{path_seg} HTTP/1.1\r\nHost: prop\r\n").into_bytes();
+        for (name, value) in &headers {
+            wire.extend_from_slice(format!("x-{name}: {value}\r\n").as_bytes());
+        }
+        wire.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+        wire.extend_from_slice(&body);
+
+        /// Reads at most `caps[i % len]` bytes per call with EINTR noise.
+        struct Dribbler {
+            data: Vec<u8>,
+            pos: usize,
+            caps: Vec<usize>,
+            calls: usize,
+            eintr_every: usize,
+        }
+        impl Read for Dribbler {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                self.calls += 1;
+                if self.eintr_every != 0 && self.calls.is_multiple_of(self.eintr_every) {
+                    return Err(io::ErrorKind::Interrupted.into());
+                }
+                let cap = self.caps[self.calls % self.caps.len()];
+                let n = cap.min(buf.len()).min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+
+        // Path 1: buffered RequestReader.
+        let mut reader = RequestReader::new(&wire[..]);
+        let (head1, body1) = reader.next_request().unwrap().expect("one request");
+        prop_assert_eq!(&body1, &body);
+
+        // Path 2: streaming read_head + parse_request_head over a
+        // dribbling, EINTR-injecting reader.
+        let mut d = Dribbler {
+            data: wire.clone(),
+            pos: 0,
+            caps: caps.clone(),
+            calls: 0,
+            eintr_every,
+        };
+        let (head_bytes, leftover) = read_head(&mut d, 1 << 20).unwrap().expect("head present");
+        let head2 = parse_request_head(&head_bytes).unwrap();
+        prop_assert_eq!(&head1, &head2, "streaming vs buffered head split");
+        // Leftover + remaining stream reconstitutes the body exactly.
+        let mut rest = leftover;
+        loop {
+            let mut scratch = [0u8; 512];
+            match d.read(&mut scratch) {
+                Ok(0) => break,
+                Ok(n) => rest.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("body read failed: {e}"),
+            }
+        }
+        prop_assert_eq!(&rest, &body);
+
+        // Path 3: the event-loop core's incremental Conn machine, fed the
+        // same fragmentation.
+        let rec = NullRecorder;
+        let mut conn = Conn::new(1, ConnConfig::default());
+        let mut out = Vec::new();
+        let mut d2 = Dribbler {
+            data: wire,
+            pos: 0,
+            caps,
+            calls: 0,
+            eintr_every,
+        };
+        conn.on_readable(&mut d2, &rec, &mut out);
+        let (head3, body3) = out
+            .into_iter()
+            .find_map(|a| match a {
+                ConnAction::Dispatch(h, ReqBody::Full(b)) => Some((h, b)),
+                _ => None,
+            })
+            .expect("conn dispatched the request");
+        prop_assert_eq!(&head1, &head3, "conn vs buffered head split");
+        prop_assert_eq!(&body3, &body);
+    }
+
     #[test]
     fn truncated_wire_never_panics(
         body in proptest::collection::vec(any::<u8>(), 0..512),

@@ -773,6 +773,123 @@ fn chaos_smoke_fixed_schedule() {
 }
 
 // ---------------------------------------------------------------------
+// Server-backed chaos: the same fault taxonomy the write shim injects
+// (partial writes, EINTR storms) driven over *real* sockets against both
+// server cores. Every dribbled, interrupted send must reassemble
+// byte-perfectly on the server — on the worker pool's blocking reader
+// and on the event loop's incremental per-connection state machine alike.
+// ---------------------------------------------------------------------
+
+/// Every server core available on this platform.
+fn cores() -> Vec<bsoap::transport::ServerCore> {
+    use bsoap::transport::ServerCore;
+    if bsoap::transport::poller::supported() {
+        vec![ServerCore::WorkerPool, ServerCore::EventLoop]
+    } else {
+        vec![ServerCore::WorkerPool]
+    }
+}
+
+#[test]
+fn fragmented_chaos_sends_round_trip_on_both_cores() {
+    use bsoap::transport::http::{
+        post_gather_vectored, read_response, HttpVersion, PostScratch, RequestConfig,
+    };
+    use bsoap::transport::{ServerMode, ServerOptions, TestServer};
+    use std::net::TcpStream;
+
+    /// Write shim over a real socket: at most `cap` bytes per call, with
+    /// periodic injected EINTR — the worst fragmentation a client socket
+    /// can legally exhibit, now hitting a live server.
+    struct FragShim<'a> {
+        inner: &'a TcpStream,
+        cap: usize,
+        calls: usize,
+        eintr_every: usize,
+    }
+    impl Write for FragShim<'_> {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            if self.eintr_every != 0 && self.calls.is_multiple_of(self.eintr_every) {
+                return Err(io::ErrorKind::Interrupted.into());
+            }
+            let n = buf.len().min(self.cap);
+            (&mut self.inner).write(&buf[..n])
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            (&mut self.inner).flush()
+        }
+    }
+
+    for core in cores() {
+        let server = TestServer::spawn_with(
+            ServerMode::Collect,
+            ServerOptions {
+                core,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut read_half = stream.try_clone().unwrap();
+        let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+        let op = doubles_op();
+        let mut client = Client::new(EngineConfig::paper_default().with_width(WidthPolicy::Max));
+        let mut xs: Vec<f64> = (0..24).map(|i| i as f64 * 0.25).collect();
+        let mut sent: Vec<Vec<f64>> = Vec::new();
+
+        // (update, fragment cap, EINTR period): every tier of the
+        // differential hierarchy crosses the wire in fragments, over one
+        // keep-alive connection.
+        let steps: [(Update, usize, usize); 8] = [
+            (Update::Resend, 3, 0),
+            (Update::Set(1, 99.5), 1, 2),
+            (Update::Set(5, -0.125), 7, 3),
+            (Update::Resize(40), 2, 0),
+            (Update::Resend, 5, 4),
+            (Update::Resize(9), 1, 3),
+            (Update::Set(0, 1234.5), 4, 0),
+            (Update::Resend, 6, 2),
+        ];
+        for (u, cap, eintr_every) in steps {
+            apply(&mut xs, &u);
+            let mut shim = FragShim {
+                inner: &stream,
+                cap,
+                calls: 0,
+                eintr_every,
+            };
+            let mut scratch = PostScratch::default();
+            client
+                .call_via("http://svc", &op, &[Value::DoubleArray(xs.clone())], |s| {
+                    post_gather_vectored(&mut shim, &cfg, s, &mut scratch)
+                })
+                .unwrap();
+            let (status, _) = read_response(&mut read_half).unwrap();
+            assert_eq!(status, 200, "core {core:?}");
+            sent.push(xs.clone());
+        }
+        drop(stream);
+        drop(read_half);
+
+        let requests = server.stop_collecting();
+        assert_eq!(requests.len(), sent.len(), "core {core:?}");
+        let mut oracle = GSoapLike::new();
+        for (req, xs) in requests.iter().zip(&sent) {
+            let full = oracle
+                .serialize(&op, &[Value::DoubleArray(xs.clone())])
+                .unwrap()
+                .to_vec();
+            assert_eq!(
+                strip_pad(&req.body),
+                strip_pad(&full),
+                "core {core:?}: reassembled body diverges from full serialization"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Response-side chaos: garbage and mutated HTTP responses fed to the
 // client's response reader must yield Ok or a typed io::Error — never a
 // panic, never a runaway allocation.

@@ -11,7 +11,7 @@ use bsoap::convert::ScalarKind;
 use bsoap::deser::{parse_envelope, DiffDeserializer, DiffOutcome};
 use bsoap::transport::http::{HttpVersion, RequestConfig};
 use bsoap::transport::tcp::{Framing, TcpTransport};
-use bsoap::transport::{ServerMode, TestServer, Transport};
+use bsoap::transport::{ServerCore, ServerMode, ServerOptions, TestServer, Transport};
 use bsoap::xml::strip_pad;
 use bsoap::{mio, Client, EngineConfig, OpDesc, SendTier, TypeDesc, Value, WidthPolicy};
 
@@ -24,80 +24,102 @@ fn doubles_op() -> OpDesc {
     )
 }
 
+/// Every server core available on this platform: each end-to-end
+/// guarantee below is asserted against all of them from one test body,
+/// proving the event loop is a drop-in replacement for the worker pool.
+fn cores() -> Vec<ServerCore> {
+    if bsoap::transport::poller::supported() {
+        vec![ServerCore::WorkerPool, ServerCore::EventLoop]
+    } else {
+        vec![ServerCore::WorkerPool]
+    }
+}
+
+fn opts_on(core: ServerCore) -> ServerOptions {
+    ServerOptions {
+        core,
+        ..ServerOptions::default()
+    }
+}
+
 #[test]
 fn raw_tcp_bytes_match_fresh_serialization() {
-    let server = TestServer::spawn(ServerMode::Discard).unwrap();
-    let mut t = TcpTransport::connect(server.addr(), Framing::Raw).unwrap();
-    let op = doubles_op();
-    let mut client = Client::with_defaults();
+    for core in cores() {
+        let server = TestServer::spawn_with(ServerMode::Discard, opts_on(core)).unwrap();
+        let mut t = TcpTransport::connect(server.addr(), Framing::Raw).unwrap();
+        let op = doubles_op();
+        let mut client = Client::with_defaults();
 
-    let mut xs = vec![1.5, 2.5, 3.5];
-    let mut expected_total = 0u64;
-    let mut g = GSoapLike::new();
-    for step in 0..5 {
-        xs[step % 3] += 1.0;
-        let r = client
-            .call("tcp://peer", &op, &[Value::DoubleArray(xs.clone())], &mut t)
-            .unwrap();
-        expected_total += r.bytes as u64;
-        // The differential message must parse to the same values a full
-        // serializer would produce.
-        let full = g
-            .serialize(&op, &[Value::DoubleArray(xs.clone())])
-            .unwrap()
-            .to_vec();
-        assert_eq!(
-            parse_envelope(&full, &op).unwrap(),
-            vec![Value::DoubleArray(xs.clone())]
-        );
+        let mut xs = vec![1.5, 2.5, 3.5];
+        let mut expected_total = 0u64;
+        let mut g = GSoapLike::new();
+        for step in 0..5 {
+            xs[step % 3] += 1.0;
+            let r = client
+                .call("tcp://peer", &op, &[Value::DoubleArray(xs.clone())], &mut t)
+                .unwrap();
+            expected_total += r.bytes as u64;
+            // The differential message must parse to the same values a full
+            // serializer would produce.
+            let full = g
+                .serialize(&op, &[Value::DoubleArray(xs.clone())])
+                .unwrap()
+                .to_vec();
+            assert_eq!(
+                parse_envelope(&full, &op).unwrap(),
+                vec![Value::DoubleArray(xs.clone())]
+            );
+        }
+        t.finish().unwrap();
+        drop(t);
+        let stats = server.stop();
+        assert_eq!(stats.bytes_received, expected_total, "core {core:?}");
     }
-    t.finish().unwrap();
-    drop(t);
-    let stats = server.stop();
-    assert_eq!(stats.bytes_received, expected_total);
 }
 
 #[test]
 fn http_collect_round_trip_all_tiers() {
-    let server = TestServer::spawn(ServerMode::Collect).unwrap();
-    let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
-    let mut t = TcpTransport::connect(server.addr(), Framing::Http(cfg)).unwrap();
-    let op = doubles_op();
-    let mut client = Client::with_defaults();
+    for core in cores() {
+        let server = TestServer::spawn_with(ServerMode::Collect, opts_on(core)).unwrap();
+        let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
+        let mut t = TcpTransport::connect(server.addr(), Framing::Http(cfg)).unwrap();
+        let op = doubles_op();
+        let mut client = Client::with_defaults();
 
-    let sequences: Vec<Vec<f64>> = vec![
-        vec![1.5, 2.5, 3.5],      // first-time
-        vec![1.5, 2.5, 3.5],      // content match
-        vec![9.5, 2.5, 3.5],      // perfect structural
-        vec![9.5, 2.5, 3.5, 4.5], // partial structural (grow)
-        vec![9.5, 2.5],           // partial structural (shrink)
-    ];
-    let expected_tiers = [
-        SendTier::FirstTime,
-        SendTier::ContentMatch,
-        SendTier::PerfectStructural,
-        SendTier::PartialStructural,
-        SendTier::PartialStructural,
-    ];
-    for (xs, want) in sequences.iter().zip(expected_tiers) {
-        let r = client
-            .call_via("http://svc", &op, &[Value::DoubleArray(xs.clone())], |s| {
-                t.send_message(s)
-            })
-            .unwrap();
-        assert_eq!(r.tier, want);
-        let (status, _) = bsoap::transport::http::read_response(t.stream()).unwrap();
-        assert_eq!(status, 200);
-    }
-    t.finish().unwrap();
-    drop(t);
+        let sequences: Vec<Vec<f64>> = vec![
+            vec![1.5, 2.5, 3.5],      // first-time
+            vec![1.5, 2.5, 3.5],      // content match
+            vec![9.5, 2.5, 3.5],      // perfect structural
+            vec![9.5, 2.5, 3.5, 4.5], // partial structural (grow)
+            vec![9.5, 2.5],           // partial structural (shrink)
+        ];
+        let expected_tiers = [
+            SendTier::FirstTime,
+            SendTier::ContentMatch,
+            SendTier::PerfectStructural,
+            SendTier::PartialStructural,
+            SendTier::PartialStructural,
+        ];
+        for (xs, want) in sequences.iter().zip(expected_tiers) {
+            let r = client
+                .call_via("http://svc", &op, &[Value::DoubleArray(xs.clone())], |s| {
+                    t.send_message(s)
+                })
+                .unwrap();
+            assert_eq!(r.tier, want, "core {core:?}");
+            let (status, _) = bsoap::transport::http::read_response(t.stream()).unwrap();
+            assert_eq!(status, 200, "core {core:?}");
+        }
+        t.finish().unwrap();
+        drop(t);
 
-    let requests = server.stop_collecting();
-    assert_eq!(requests.len(), sequences.len());
-    for (req, xs) in requests.iter().zip(&sequences) {
-        assert_eq!(req.head.method, "POST");
-        let args = parse_envelope(&req.body, &op).unwrap();
-        assert_eq!(args, vec![Value::DoubleArray(xs.clone())]);
+        let requests = server.stop_collecting();
+        assert_eq!(requests.len(), sequences.len(), "core {core:?}");
+        for (req, xs) in requests.iter().zip(&sequences) {
+            assert_eq!(req.head.method, "POST");
+            let args = parse_envelope(&req.body, &op).unwrap();
+            assert_eq!(args, vec![Value::DoubleArray(xs.clone())], "core {core:?}");
+        }
     }
 }
 
@@ -105,84 +127,88 @@ fn http_collect_round_trip_all_tiers() {
 fn chunked_http_streams_multi_chunk_templates() {
     // Small chunks force a multi-chunk template; HTTP/1.1 chunked framing
     // maps each template chunk onto a wire chunk.
-    let server = TestServer::spawn(ServerMode::Collect).unwrap();
-    let cfg = RequestConfig::loopback(HttpVersion::Http11Chunked);
-    let mut t = TcpTransport::connect(server.addr(), Framing::Http(cfg)).unwrap();
-    let config = EngineConfig::paper_default().with_chunk(bsoap::ChunkConfig {
-        initial_size: 1024,
-        split_threshold: 2048,
-        reserve: 64,
-    });
-    let op = doubles_op();
-    let mut client = Client::new(config);
+    for core in cores() {
+        let server = TestServer::spawn_with(ServerMode::Collect, opts_on(core)).unwrap();
+        let cfg = RequestConfig::loopback(HttpVersion::Http11Chunked);
+        let mut t = TcpTransport::connect(server.addr(), Framing::Http(cfg)).unwrap();
+        let config = EngineConfig::paper_default().with_chunk(bsoap::ChunkConfig {
+            initial_size: 1024,
+            split_threshold: 2048,
+            reserve: 64,
+        });
+        let op = doubles_op();
+        let mut client = Client::new(config);
 
-    let xs: Vec<f64> = (0..2000).map(|i| i as f64 + 0.5).collect();
-    client
-        .call_via("http://svc", &op, &[Value::DoubleArray(xs.clone())], |s| {
-            assert!(
-                s.len() > 1,
-                "template should be multi-chunk, got {} slices",
-                s.len()
-            );
-            t.send_message(s)
-        })
-        .unwrap();
-    let (status, _) = bsoap::transport::http::read_response(t.stream()).unwrap();
-    assert_eq!(status, 200);
-    t.finish().unwrap();
-    drop(t);
+        let xs: Vec<f64> = (0..2000).map(|i| i as f64 + 0.5).collect();
+        client
+            .call_via("http://svc", &op, &[Value::DoubleArray(xs.clone())], |s| {
+                assert!(
+                    s.len() > 1,
+                    "template should be multi-chunk, got {} slices",
+                    s.len()
+                );
+                t.send_message(s)
+            })
+            .unwrap();
+        let (status, _) = bsoap::transport::http::read_response(t.stream()).unwrap();
+        assert_eq!(status, 200, "core {core:?}");
+        t.finish().unwrap();
+        drop(t);
 
-    let requests = server.stop_collecting();
-    assert_eq!(requests.len(), 1);
-    let args = parse_envelope(&requests[0].body, &op).unwrap();
-    assert_eq!(args, vec![Value::DoubleArray(xs)]);
+        let requests = server.stop_collecting();
+        assert_eq!(requests.len(), 1, "core {core:?}");
+        let args = parse_envelope(&requests[0].body, &op).unwrap();
+        assert_eq!(args, vec![Value::DoubleArray(xs)], "core {core:?}");
+    }
 }
 
 #[test]
 fn client_server_differential_deserialization_pipeline() {
     // The full paper pipeline: differential client on one end,
     // differential deserializer on the other.
-    let server = TestServer::spawn(ServerMode::Collect).unwrap();
-    let cfg = RequestConfig::loopback(HttpVersion::Http10);
-    let mut t = TcpTransport::connect(server.addr(), Framing::Http(cfg)).unwrap();
-    let op = OpDesc::single("m", "urn:x", "a", TypeDesc::array_of(TypeDesc::mio()));
-    let mut client = Client::new(EngineConfig::paper_default().with_width(WidthPolicy::Max));
+    for core in cores() {
+        let server = TestServer::spawn_with(ServerMode::Collect, opts_on(core)).unwrap();
+        let cfg = RequestConfig::loopback(HttpVersion::Http10);
+        let mut t = TcpTransport::connect(server.addr(), Framing::Http(cfg)).unwrap();
+        let op = OpDesc::single("m", "urn:x", "a", TypeDesc::array_of(TypeDesc::mio()));
+        let mut client = Client::new(EngineConfig::paper_default().with_width(WidthPolicy::Max));
 
-    let mut elems: Vec<(i32, i32, f64)> = (0..50).map(|i| (i, -i, i as f64 * 0.5)).collect();
-    let as_value =
-        |e: &[(i32, i32, f64)]| Value::Array(e.iter().map(|&(x, y, v)| mio(x, y, v)).collect());
-    for step in 0..6 {
-        if step > 0 {
-            elems[step * 7 % 50].2 += 1.0;
+        let mut elems: Vec<(i32, i32, f64)> = (0..50).map(|i| (i, -i, i as f64 * 0.5)).collect();
+        let as_value =
+            |e: &[(i32, i32, f64)]| Value::Array(e.iter().map(|&(x, y, v)| mio(x, y, v)).collect());
+        for step in 0..6 {
+            if step > 0 {
+                elems[step * 7 % 50].2 += 1.0;
+            }
+            client
+                .call_via("http://svc", &op, &[as_value(&elems)], |s| {
+                    t.send_message(s)
+                })
+                .unwrap();
+            let (status, _) = bsoap::transport::http::read_response(t.stream()).unwrap();
+            assert_eq!(status, 200, "core {core:?}");
         }
-        client
-            .call_via("http://svc", &op, &[as_value(&elems)], |s| {
-                t.send_message(s)
-            })
-            .unwrap();
-        let (status, _) = bsoap::transport::http::read_response(t.stream()).unwrap();
-        assert_eq!(status, 200);
-    }
-    t.finish().unwrap();
-    drop(t);
+        t.finish().unwrap();
+        drop(t);
 
-    let requests = server.stop_collecting();
-    let mut deser = DiffDeserializer::new(op);
-    let mut outcomes = Vec::new();
-    for req in &requests {
-        let (_, outcome) = deser.deserialize(&req.body).unwrap();
-        outcomes.push(outcome);
+        let requests = server.stop_collecting();
+        let mut deser = DiffDeserializer::new(op);
+        let mut outcomes = Vec::new();
+        for req in &requests {
+            let (_, outcome) = deser.deserialize(&req.body).unwrap();
+            outcomes.push(outcome);
+        }
+        assert_eq!(outcomes[0], DiffOutcome::FullParse, "core {core:?}");
+        for o in &outcomes[1..] {
+            assert!(
+                matches!(o, DiffOutcome::Differential { reparsed: 1, .. }),
+                "core {core:?}: expected 1-leaf differential parse, got {o:?}"
+            );
+        }
+        // Final values agree with the client's final state.
+        let (args, _) = deser.deserialize(&requests.last().unwrap().body).unwrap();
+        assert_eq!(args, &[as_value(&elems)][..], "core {core:?}");
     }
-    assert_eq!(outcomes[0], DiffOutcome::FullParse);
-    for o in &outcomes[1..] {
-        assert!(
-            matches!(o, DiffOutcome::Differential { reparsed: 1, .. }),
-            "expected 1-leaf differential parse, got {o:?}"
-        );
-    }
-    // Final values agree with the client's final state.
-    let (args, _) = deser.deserialize(&requests.last().unwrap().body).unwrap();
-    assert_eq!(args, &[as_value(&elems)][..]);
 }
 
 #[test]
@@ -224,93 +250,108 @@ fn pooled_keep_alive_scrape_reports_tier_counters_mid_load() {
     // POSTs ride on, and the per-tier send counters must sum to exactly
     // the requests served so far.
     use bsoap::obs::{parse_value, Counter, Metrics, Tier};
-    use bsoap::transport::{HttpPoolClient, PoolConfig, RequestConfig, ServerOptions};
+    use bsoap::transport::{HttpPoolClient, PoolConfig, RequestConfig};
     use std::sync::Arc;
 
-    let metrics = Metrics::shared();
-    let server = bsoap::transport::TestServer::spawn_with_metrics(
-        ServerMode::Ack,
-        ServerOptions::default(),
-        Arc::clone(&metrics),
-    )
-    .unwrap();
-    let mut pool = HttpPoolClient::new(
-        server.addr(),
-        RequestConfig::loopback(HttpVersion::Http11Length),
-        PoolConfig::default(),
-    );
-    pool.set_metrics(Arc::clone(&metrics));
+    for core in cores() {
+        let metrics = Metrics::shared();
+        let server = bsoap::transport::TestServer::spawn_with_metrics(
+            ServerMode::Ack,
+            opts_on(core),
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let mut pool = HttpPoolClient::new(
+            server.addr(),
+            RequestConfig::loopback(HttpVersion::Http11Length),
+            PoolConfig::default(),
+        );
+        pool.set_metrics(Arc::clone(&metrics));
 
-    let op = doubles_op();
-    let mut client = Client::with_defaults();
-    client.set_metrics(Arc::clone(&metrics));
-    let endpoint = format!("http://{}/service", server.addr());
+        let op = doubles_op();
+        let mut client = Client::with_defaults();
+        client.set_metrics(Arc::clone(&metrics));
+        let endpoint = format!("http://{}/service", server.addr());
 
-    let tier_sum = |text: &str| -> u64 {
-        Tier::ALL
-            .iter()
-            .map(|t| {
-                parse_value(
-                    text,
-                    &format!("bsoap_sends_total{{tier=\"{}\"}}", t.label()),
-                )
-                .unwrap_or_else(|| panic!("missing tier series {}", t.label()))
-                    as u64
-            })
-            .sum()
-    };
-    let scrape = |pool: &HttpPoolClient| -> String {
-        let reply = pool.get("/metrics").unwrap();
-        assert_eq!(reply.status, 200);
-        String::from_utf8(reply.body).unwrap()
-    };
+        let tier_sum = |text: &str| -> u64 {
+            Tier::ALL
+                .iter()
+                .map(|t| {
+                    parse_value(
+                        text,
+                        &format!("bsoap_sends_total{{tier=\"{}\"}}", t.label()),
+                    )
+                    .unwrap_or_else(|| panic!("missing tier series {}", t.label()))
+                        as u64
+                })
+                .sum()
+        };
+        let scrape = |pool: &HttpPoolClient| -> String {
+            let reply = pool.get("/metrics").unwrap();
+            assert_eq!(reply.status, 200);
+            String::from_utf8(reply.body).unwrap()
+        };
 
-    let total = 24usize;
-    let mut xs: Vec<f64> = (0..64).map(|i| i as f64 * 0.5).collect();
-    for i in 0..total {
-        if i > 0 {
-            xs[(i * 7) % 64] += 1.0; // a few dirty values per call
+        let total = 24usize;
+        let mut xs: Vec<f64> = (0..64).map(|i| i as f64 * 0.5).collect();
+        for i in 0..total {
+            if i > 0 {
+                xs[(i * 7) % 64] += 1.0; // a few dirty values per call
+            }
+            client
+                .call_via(&endpoint, &op, &[Value::DoubleArray(xs.clone())], |s| {
+                    let reply = pool.call(s)?;
+                    assert_eq!(reply.status, 200);
+                    Ok(reply.wire_bytes)
+                })
+                .unwrap();
+
+            if i + 1 == total / 2 {
+                // Mid-load scrape over the live keep-alive connection.
+                let text = scrape(&pool);
+                let served = parse_value(&text, "bsoap_server_requests_total").unwrap() as usize;
+                assert_eq!(served, i + 1, "server_requests mid-load, core {core:?}");
+                assert_eq!(
+                    tier_sum(&text) as usize,
+                    i + 1,
+                    "tier sum mid-load, core {core:?}"
+                );
+            }
         }
-        client
-            .call_via(&endpoint, &op, &[Value::DoubleArray(xs.clone())], |s| {
-                let reply = pool.call(s)?;
-                assert_eq!(reply.status, 200);
-                Ok(reply.wire_bytes)
-            })
-            .unwrap();
 
-        if i + 1 == total / 2 {
-            // Mid-load scrape over the live keep-alive connection.
-            let text = scrape(&pool);
-            let served = parse_value(&text, "bsoap_server_requests_total").unwrap() as usize;
-            assert_eq!(served, i + 1, "server_requests mid-load");
-            assert_eq!(tier_sum(&text) as usize, i + 1, "tier sum mid-load");
-        }
+        let text = scrape(&pool);
+        assert_eq!(
+            parse_value(&text, "bsoap_server_requests_total").unwrap() as usize,
+            total,
+            "scrapes must not count as served requests (core {core:?})"
+        );
+        assert_eq!(
+            tier_sum(&text) as usize,
+            total,
+            "tier sum after load, core {core:?}"
+        );
+        assert_eq!(
+            parse_value(&text, "bsoap_metrics_scrapes_total").unwrap() as usize,
+            2,
+            "core {core:?}"
+        );
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.total_sends() as usize, total);
+        assert_eq!(snap.tier_sends(Tier::FirstTime), 1);
+        assert_eq!(
+            snap.get(Counter::ServerRequests) as usize,
+            total,
+            "core {core:?}"
+        );
+        assert!(
+            snap.get(Counter::PoolReused) > 0,
+            "keep-alive reuse never happened (core {core:?})"
+        );
+
+        let stats = server.stop();
+        assert_eq!(stats.requests as usize, total, "core {core:?}");
     }
-
-    let text = scrape(&pool);
-    assert_eq!(
-        parse_value(&text, "bsoap_server_requests_total").unwrap() as usize,
-        total,
-        "scrapes must not count as served requests"
-    );
-    assert_eq!(tier_sum(&text) as usize, total, "tier sum after load");
-    assert_eq!(
-        parse_value(&text, "bsoap_metrics_scrapes_total").unwrap() as usize,
-        2
-    );
-
-    let snap = metrics.snapshot();
-    assert_eq!(snap.total_sends() as usize, total);
-    assert_eq!(snap.tier_sends(Tier::FirstTime), 1);
-    assert_eq!(snap.get(Counter::ServerRequests) as usize, total);
-    assert!(
-        snap.get(Counter::PoolReused) > 0,
-        "keep-alive reuse never happened"
-    );
-
-    let stats = server.stop();
-    assert_eq!(stats.requests as usize, total);
 }
 
 #[test]
