@@ -139,6 +139,28 @@ impl TemplateSet {
         self.templates.truncate(cap.max(1));
     }
 
+    /// Like [`TemplateSet::insert`], but hands back what the cap pushed
+    /// out — the shared store needs every evicted template to return its
+    /// bytes to the budget.
+    pub fn insert_evicting(
+        &mut self,
+        template: MessageTemplate,
+        cap: usize,
+    ) -> Vec<MessageTemplate> {
+        self.templates.insert(0, template);
+        let cap = cap.max(1);
+        if self.templates.len() > cap {
+            self.templates.split_off(cap)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// The stored templates, MRU first.
+    pub fn templates(&self) -> &[MessageTemplate] {
+        &self.templates
+    }
+
     /// Total serialized bytes held.
     pub fn total_bytes(&self) -> usize {
         self.templates.iter().map(|t| t.message_len()).sum()

@@ -17,11 +17,12 @@
 //!   and merely diff it, amortizing serialization across services.
 
 use crate::cache::{TemplateCache, TemplateKey};
-use crate::config::{EngineConfig, FlushMode};
+use crate::config::{EngineConfig, FlushMode, StoreMode};
 use crate::error::EngineError;
 use crate::overlay::{max_element_bytes, OverlayReport, OverlaySender};
 use crate::schema::{OpDesc, TypeDesc};
 use crate::sendv::write_all_vectored;
+use crate::store::{Checkout, StoreKey, TemplateStore};
 use crate::template::{MessageTemplate, SendReport, SendTier};
 use crate::value::Value;
 use bsoap_obs::{Counter, HistId, Metrics, Recorder, TraceKind};
@@ -103,6 +104,20 @@ pub struct Client {
     /// is the overlaid region's "saved copy", so keeping the sender across
     /// calls is what preserves DUT/tier semantics between streamed sends.
     overlays: HashMap<TemplateKey, OverlaySender>,
+    /// [`StoreMode::Shared`] template ownership: the shared store handle
+    /// (injected via [`Client::set_template_store`], or a private one
+    /// created lazily from the config's budget knobs).
+    store: Option<Arc<TemplateStore>>,
+    /// Tenant this client's templates are charged to in the shared store.
+    tenant: u64,
+    /// Templates checked out of the shared store for in-place mutation
+    /// ([`Client::template_mut`] / [`Client::prepare`]). Returned to the
+    /// store at the next tiered call on the same key; their bytes left
+    /// the store budget at lease time.
+    leases: HashMap<TemplateKey, MessageTemplate>,
+    /// Overlay-window bytes currently reserved against the shared store's
+    /// budget, per key.
+    overlay_reserved: HashMap<TemplateKey, u64>,
 }
 
 impl Client {
@@ -117,6 +132,10 @@ impl Client {
             metrics: None,
             health: HashMap::new(),
             overlays: HashMap::new(),
+            store: None,
+            tenant: 0,
+            leases: HashMap::new(),
+            overlay_reserved: HashMap::new(),
         }
     }
 
@@ -135,9 +154,87 @@ impl Client {
         self.stats
     }
 
-    /// The template cache (for memory accounting / eviction).
+    /// The per-client template cache — populated only under
+    /// [`StoreMode::PerClient`]; see [`Client::template_count`] /
+    /// [`Client::cached_keys`] for mode-agnostic accounting.
     pub fn cache(&self) -> &TemplateCache {
         &self.cache
+    }
+
+    /// Route template ownership through `store` (shared across clients,
+    /// server cores, even processes' worth of tenants). Only consulted
+    /// under [`StoreMode::Shared`]; without an injected store the client
+    /// lazily creates a private one from the config's budget knobs.
+    pub fn set_template_store(&mut self, store: Arc<TemplateStore>) {
+        if let Some(m) = &self.metrics {
+            store.set_metrics(Arc::clone(m));
+        }
+        self.store = Some(store);
+    }
+
+    /// The template store, if one exists yet (injected or lazily built).
+    pub fn template_store(&self) -> Option<&Arc<TemplateStore>> {
+        self.store.as_ref()
+    }
+
+    /// Tenant this client's templates are charged to in the shared store
+    /// (default `0`).
+    pub fn set_tenant(&mut self, tenant: u64) {
+        self.tenant = tenant;
+    }
+
+    /// The shared-store handle, creating a private store from the
+    /// config's budget knobs on first use.
+    fn store_handle(&mut self) -> Arc<TemplateStore> {
+        if self.store.is_none() {
+            let store = TemplateStore::new(
+                self.config.store_budget_bytes,
+                self.config.tenant_quota_bytes,
+            );
+            if let Some(m) = &self.metrics {
+                store.set_metrics(Arc::clone(m));
+            }
+            self.store = Some(Arc::new(store));
+        }
+        Arc::clone(self.store.as_ref().expect("just created"))
+    }
+
+    fn store_key(&self, key: &TemplateKey) -> StoreKey {
+        StoreKey::new(self.tenant, key.clone())
+    }
+
+    /// Total templates saved for this client, whichever mode owns them.
+    /// Under [`StoreMode::Shared`] with an injected store this counts the
+    /// whole store (other clients' templates included) plus this client's
+    /// outstanding leases.
+    pub fn template_count(&self) -> usize {
+        match self.config.store_mode {
+            StoreMode::PerClient => self.cache.template_count(),
+            StoreMode::Shared => {
+                self.store.as_ref().map_or(0, |s| s.template_count()) + self.leases.len()
+            }
+        }
+    }
+
+    /// Distinct `(endpoint, structure)` keys with at least one saved
+    /// template, whichever mode owns them.
+    pub fn cached_keys(&self) -> usize {
+        match self.config.store_mode {
+            StoreMode::PerClient => self.cache.len(),
+            StoreMode::Shared => {
+                let in_store = self.store.as_ref().map_or(0, |s| s.len());
+                let leased_only = self
+                    .leases
+                    .keys()
+                    .filter(|k| {
+                        self.store
+                            .as_ref()
+                            .is_none_or(|s| !s.contains(&StoreKey::new(self.tenant, (*k).clone())))
+                    })
+                    .count();
+                in_store + leased_only
+            }
+        }
     }
 
     /// Attach an observability registry. Every subsequent call records its
@@ -145,6 +242,9 @@ impl Client {
     /// a per-tier send-latency observation covering diff + flush +
     /// transport. Templates built from now on inherit the registry.
     pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        if let Some(store) = &self.store {
+            store.set_metrics(Arc::clone(&metrics));
+        }
         self.metrics = Some(metrics);
     }
 
@@ -319,6 +419,22 @@ impl Client {
                     let elapsed = m.now_ns().saturating_sub(call_start.unwrap_or(0));
                     m.observe_ns(HistId::send(report.tier.obs()), elapsed);
                 }
+                // Charge the cached window fragment to the shared store's
+                // budget (reserved, non-evictable — it is the overlaid
+                // region's saved copy), reconciling as the peak moves.
+                if self.config.store_mode == StoreMode::Shared {
+                    let window_now = report.window_bytes as u64;
+                    let reserved = self.overlay_reserved.get(&key).copied().unwrap_or(0);
+                    if window_now != reserved {
+                        let store = self.store_handle();
+                        if window_now > reserved {
+                            store.reserve(self.tenant, window_now - reserved);
+                        } else {
+                            store.release(self.tenant, reserved - window_now);
+                        }
+                        self.overlay_reserved.insert(key.clone(), window_now);
+                    }
+                }
                 self.note_send_success(endpoint);
             }
             Err(EngineError::Io(_) | EngineError::DeadlineExceeded) => {
@@ -372,8 +488,16 @@ impl Client {
             // Stateless mode retains nothing: drop the saved template (and
             // any overlay window fragment) so a possibly
             // poisoned-by-the-peer diff state can't linger.
-            self.cache.remove(&TemplateKey::new(endpoint, op));
-            self.overlays.remove(&TemplateKey::new(endpoint, op));
+            let key = TemplateKey::new(endpoint, op);
+            self.cache.remove(&key);
+            self.leases.remove(&key);
+            if let Some(store) = &self.store {
+                store.purge(&StoreKey::new(self.tenant, key.clone()));
+                if let Some(bytes) = self.overlay_reserved.remove(&key) {
+                    store.release(self.tenant, bytes);
+                }
+            }
+            self.overlays.remove(&key);
             if let Some(m) = &self.metrics {
                 m.trace(TraceKind::Degraded { on: true });
             }
@@ -420,8 +544,38 @@ impl Client {
     }
 
     /// The four-tier differential path (the pre-fault-tolerance
-    /// [`Client::call_via`] body).
+    /// [`Client::call_via`] body), routed by [`StoreMode`]. Both routes
+    /// produce byte-identical wire output and identical engine counters;
+    /// only template *ownership* differs (plus the store's own
+    /// hit/miss/eviction accounting, which exists only under
+    /// [`StoreMode::Shared`]).
     fn call_tiered<F>(
+        &mut self,
+        endpoint: &str,
+        op: &OpDesc,
+        args: &[Value],
+        send: F,
+    ) -> Result<SendReport, EngineError>
+    where
+        F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
+    {
+        let call_start = self.metrics.as_ref().map(|m| m.now_ns());
+        let report = match self.config.store_mode {
+            StoreMode::PerClient => self.call_tiered_cache(endpoint, op, args, send)?,
+            StoreMode::Shared => self.call_tiered_store(endpoint, op, args, send)?,
+        };
+        self.stats.record(&report);
+        if let Some(m) = &self.metrics {
+            m.add(Counter::BytesSent, report.bytes as u64);
+            let elapsed = m.now_ns().saturating_sub(call_start.unwrap_or(0));
+            m.observe_ns(HistId::send(report.tier.obs()), elapsed);
+        }
+        Ok(report)
+    }
+
+    /// [`StoreMode::PerClient`]: the paper's ownership — templates live in
+    /// this client's own cache. Kept verbatim as the differential oracle.
+    fn call_tiered_cache<F>(
         &mut self,
         endpoint: &str,
         op: &OpDesc,
@@ -433,7 +587,7 @@ impl Client {
     {
         let key = TemplateKey::new(endpoint, op);
         let cap = self.templates_per_key;
-        let call_start = self.metrics.as_ref().map(|m| m.now_ns());
+        let config = self.config;
 
         // Can an existing template for this key serve the call? With a
         // multi-template set, a nonzero distance means a resize; prefer
@@ -445,30 +599,13 @@ impl Client {
             let mut send = Some(send);
             let (idx, _, _) = matched.expect("checked above");
             let metrics = self.metrics.clone();
-            let tpl = self.cache.set_mut(&key).promote(idx);
-            if let (Some(m), None) = (metrics, tpl.metrics()) {
-                // Template predates set_metrics: attach lazily.
-                tpl.set_metrics(m);
-            }
-            tpl.update_args(args)?;
-            // §5 break-even gate: price the differential send before any
-            // byte moves; `None` means patching would cost more than a
-            // rebuild and the template should be discarded.
-            let gated = if self.config.cost_fallback && self.config.flush_mode == FlushMode::Planned
-            {
-                let plan = tpl.plan()?;
-                let rebuild = tpl.rebuild_estimate() as f64;
-                if plan.cost().total() as f64 > self.config.fallback_ratio * rebuild {
-                    None
-                } else {
-                    let mut report = tpl.flush_planned(&plan)?;
-                    report.bytes = (send.take().expect("send unused"))(&tpl.io_slices())?;
-                    Some(report)
+            let gated = {
+                let tpl = self.cache.set_mut(&key).promote(idx);
+                if let (Some(m), None) = (metrics, tpl.metrics()) {
+                    // Template predates set_metrics: attach lazily.
+                    tpl.set_metrics(m);
                 }
-            } else {
-                let mut report = tpl.flush();
-                report.bytes = (send.take().expect("send unused"))(&tpl.io_slices())?;
-                Some(report)
+                diff_and_send(&config, tpl, args, &mut send)?
             };
             match gated {
                 Some(report) => report,
@@ -506,12 +643,94 @@ impl Client {
         } else {
             self.first_time(key, op, args, send)?
         };
-        self.stats.record(&report);
-        if let Some(m) = &self.metrics {
-            m.add(Counter::BytesSent, report.bytes as u64);
-            let elapsed = m.now_ns().saturating_sub(call_start.unwrap_or(0));
-            m.observe_ns(HistId::send(report.tier.obs()), elapsed);
+        Ok(report)
+    }
+
+    /// [`StoreMode::Shared`]: templates move through the shared store by
+    /// value — checkout (bytes leave the budget), diff + send, admit back
+    /// (budget re-charged, evicting if over). Every exit path after a hit
+    /// re-admits the template except the cost fallback, which discards it
+    /// — exactly the per-client semantics, with the freed bytes returned
+    /// to the budget at the `checkout` that removed them.
+    fn call_tiered_store<F>(
+        &mut self,
+        endpoint: &str,
+        op: &OpDesc,
+        args: &[Value],
+        send: F,
+    ) -> Result<SendReport, EngineError>
+    where
+        F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
+    {
+        let key = TemplateKey::new(endpoint, op);
+        let cap = self.templates_per_key;
+        let config = self.config;
+        let store = self.store_handle();
+        let skey = self.store_key(&key);
+
+        // Return any outstanding manual lease first so matching sees
+        // every variant.
+        if let Some(leased) = self.leases.remove(&key) {
+            store.admit(skey.clone(), leased, cap);
         }
+
+        let mut send = Some(send);
+        let report = match store.checkout(&skey, args, cap) {
+            Checkout::Hit(mut tpl) => {
+                if let (Some(m), None) = (self.metrics.clone(), tpl.metrics()) {
+                    // Template predates set_metrics: attach lazily.
+                    tpl.set_metrics(m);
+                }
+                match diff_and_send(&config, &mut tpl, args, &mut send) {
+                    Ok(Some(report)) => {
+                        store.admit(skey, tpl, cap);
+                        report
+                    }
+                    Ok(None) => {
+                        // Cost fallback: the checkout already returned the
+                        // template's bytes to the budget; the discard only
+                        // records the eviction.
+                        store.note_discard(&tpl);
+                        drop(tpl);
+                        if let Some(m) = &self.metrics {
+                            m.add(Counter::CostFallbacks, 1);
+                        }
+                        let send = send.take().expect("send unused");
+                        let mut report = self.first_time_store(&store, skey, op, args, send)?;
+                        report.fell_back = true;
+                        report
+                    }
+                    Err(e) => {
+                        // Semantic and transport errors alike leave the
+                        // template saved (the per-client path's behaviour).
+                        store.admit(skey, tpl, cap);
+                        return Err(e);
+                    }
+                }
+            }
+            Checkout::MissEmpty if self.share_across_endpoints => {
+                if let Some(mut tpl) = store.find_shareable(&skey) {
+                    // §6 sharing: clone the sibling's serialized bytes +
+                    // DUT and diff (tenant-scoped in the shared store).
+                    if let (Some(m), None) = (self.metrics.clone(), tpl.metrics()) {
+                        tpl.set_metrics(m);
+                    }
+                    tpl.update_args(args)?;
+                    let mut report = tpl.flush();
+                    report.bytes = (send.take().expect("send unused"))(&tpl.io_slices())?;
+                    self.stats.shared_clones += 1;
+                    store.admit(skey, tpl, cap);
+                    report
+                } else {
+                    let send = send.take().expect("send unused");
+                    self.first_time_store(&store, skey, op, args, send)?
+                }
+            }
+            Checkout::MissEmpty | Checkout::MissVariant => {
+                let send = send.take().expect("send unused");
+                self.first_time_store(&store, skey, op, args, send)?
+            }
+        };
         Ok(report)
     }
 
@@ -551,9 +770,47 @@ impl Client {
         Ok(report)
     }
 
+    /// First-Time Send under [`StoreMode::Shared`]: full serialization,
+    /// send, then admit the fresh template into the shared store.
+    fn first_time_store<F>(
+        &mut self,
+        store: &Arc<TemplateStore>,
+        skey: StoreKey,
+        op: &OpDesc,
+        args: &[Value],
+        send: F,
+    ) -> Result<SendReport, EngineError>
+    where
+        F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
+    {
+        let mut tpl = MessageTemplate::build(self.config, op, args)?;
+        if let Some(m) = &self.metrics {
+            tpl.set_metrics(Arc::clone(m));
+        }
+        let bytes = send(&tpl.io_slices())?;
+        let report = SendReport {
+            tier: SendTier::FirstTime,
+            bytes,
+            values_written: tpl.leaf_count(),
+            shifts: 0,
+            steals: 0,
+            splits: 0,
+            fell_back: false,
+        };
+        if let Some(m) = &self.metrics {
+            m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);
+            m.add(Counter::SimdKernelHits, bsoap_kernels::take_simd_hits());
+            m.add(Counter::ValuesWritten, report.values_written as u64);
+        }
+        store.admit(skey, tpl, self.templates_per_key);
+        Ok(report)
+    }
+
     /// Get (building if necessary) the template for `(endpoint, op)` — the
     /// manual fast path: mutate leaves directly with `set_*`, then
-    /// [`MessageTemplate::send`].
+    /// [`MessageTemplate::send`]. Under [`StoreMode::Shared`] the template
+    /// is leased out of the store (bytes leave the budget) until the next
+    /// tiered call on the same key returns it.
     ///
     /// Note: sends made directly on the returned template are counted in
     /// the template's own stats, not the client's.
@@ -564,26 +821,122 @@ impl Client {
         args: &[Value],
     ) -> Result<&mut MessageTemplate, EngineError> {
         let key = TemplateKey::new(endpoint, op);
-        if !self.cache.contains(&key) {
-            let mut tpl = MessageTemplate::build(self.config, op, args)?;
-            if let Some(m) = &self.metrics {
-                tpl.set_metrics(Arc::clone(m));
+        match self.config.store_mode {
+            StoreMode::PerClient => {
+                if !self.cache.contains(&key) {
+                    let mut tpl = MessageTemplate::build(self.config, op, args)?;
+                    if let Some(m) = &self.metrics {
+                        tpl.set_metrics(Arc::clone(m));
+                    }
+                    self.cache
+                        .insert_with_cap(key.clone(), tpl, self.templates_per_key);
+                }
+                Ok(self.cache.get_mut(&key).expect("just inserted"))
             }
-            self.cache
-                .insert_with_cap(key.clone(), tpl, self.templates_per_key);
+            StoreMode::Shared => {
+                if !self.leases.contains_key(&key) {
+                    let store = self.store_handle();
+                    let skey = self.store_key(&key);
+                    let tpl = match store.lease_front(&skey) {
+                        Some(t) => t,
+                        None => {
+                            let mut t = MessageTemplate::build(self.config, op, args)?;
+                            if let Some(m) = &self.metrics {
+                                t.set_metrics(Arc::clone(m));
+                            }
+                            t
+                        }
+                    };
+                    self.leases.insert(key.clone(), tpl);
+                }
+                Ok(self.leases.get_mut(&key).expect("just inserted"))
+            }
         }
-        Ok(self.cache.get_mut(&key).expect("just inserted"))
     }
 
     /// Look up an existing template without building (the most recently
-    /// used one, when several variants are kept).
+    /// used one, when several variants are kept). Under
+    /// [`StoreMode::Shared`] this leases the template out of the store;
+    /// the next tiered call on the same key returns it.
     pub fn template_mut(&mut self, endpoint: &str, op: &OpDesc) -> Option<&mut MessageTemplate> {
-        self.cache.get_mut(&TemplateKey::new(endpoint, op))
+        let key = TemplateKey::new(endpoint, op);
+        match self.config.store_mode {
+            StoreMode::PerClient => self.cache.get_mut(&key),
+            StoreMode::Shared => {
+                if !self.leases.contains_key(&key) {
+                    let store = self.store_handle();
+                    let skey = self.store_key(&key);
+                    if let Some(t) = store.lease_front(&skey) {
+                        self.leases.insert(key.clone(), t);
+                    }
+                }
+                self.leases.get_mut(&key)
+            }
+        }
     }
 
     /// Drop the saved template(s) for `(endpoint, op)` (memory
     /// reclamation).
     pub fn evict(&mut self, endpoint: &str, op: &OpDesc) -> bool {
-        self.cache.remove(&TemplateKey::new(endpoint, op)).is_some()
+        let key = TemplateKey::new(endpoint, op);
+        let leased = self.leases.remove(&key).is_some();
+        match self.config.store_mode {
+            StoreMode::PerClient => self.cache.remove(&key).is_some() || leased,
+            StoreMode::Shared => {
+                let purged = match &self.store {
+                    Some(store) => store.purge(&StoreKey::new(self.tenant, key)) > 0,
+                    None => false,
+                };
+                purged || leased
+            }
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        // Return overlay-window reservations to a shared store's budget;
+        // leased templates were uncharged at lease time, so dropping them
+        // with the client leaks no accounting.
+        if let Some(store) = &self.store {
+            for (_, bytes) in self.overlay_reserved.drain() {
+                store.release(self.tenant, bytes);
+            }
+        }
+    }
+}
+
+/// Diff a checked-out (or promoted-in-place) template against `args` and
+/// send: the tier-2/3/4 body shared by both [`StoreMode`] routes.
+/// `Ok(None)` means the §5 break-even gate priced the patch above
+/// `fallback_ratio ×` the rebuild estimate and the caller should discard
+/// the template and take the FirstTime path; errors propagate with the
+/// template intact (the caller decides where it lives).
+fn diff_and_send<F>(
+    config: &EngineConfig,
+    tpl: &mut MessageTemplate,
+    args: &[Value],
+    send: &mut Option<F>,
+) -> Result<Option<SendReport>, EngineError>
+where
+    F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
+{
+    tpl.update_args(args)?;
+    // §5 break-even gate: price the differential send before any byte
+    // moves; `None` means patching would cost more than a rebuild and the
+    // template should be discarded.
+    if config.cost_fallback && config.flush_mode == FlushMode::Planned {
+        let plan = tpl.plan()?;
+        let rebuild = tpl.rebuild_estimate() as f64;
+        if plan.cost().total() as f64 > config.fallback_ratio * rebuild {
+            return Ok(None);
+        }
+        let mut report = tpl.flush_planned(&plan)?;
+        report.bytes = (send.take().expect("send unused"))(&tpl.io_slices())?;
+        Ok(Some(report))
+    } else {
+        let mut report = tpl.flush();
+        report.bytes = (send.take().expect("send unused"))(&tpl.io_slices())?;
+        Ok(Some(report))
     }
 }

@@ -118,6 +118,48 @@ impl ServerCore {
     }
 }
 
+/// Who owns saved templates (§ DESIGN 3.14).
+///
+/// The paper keeps one saved template per client stub; a server fleet
+/// wants the inverse — one shared, budgeted store. Both live behind this
+/// knob so the per-client path stays available as a differential oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StoreMode {
+    /// Templates live in a sharded, byte-budgeted
+    /// [`crate::store::TemplateStore`] keyed by `(tenant, endpoint, op)`.
+    /// Clients without an injected store lazily create a private one, so
+    /// single-client behaviour is unchanged while multi-client processes
+    /// can share one store across cores.
+    Shared,
+    /// The paper's original ownership: each client keeps its own
+    /// [`crate::TemplateCache`] with no byte budget. Kept as the
+    /// differential oracle — wire bytes must match [`StoreMode::Shared`].
+    PerClient,
+}
+
+impl StoreMode {
+    /// Parse a mode name as accepted by the `BSOAP_STORE_MODE`
+    /// environment variable (case-insensitive, separators optional).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "shared" => Some(StoreMode::Shared),
+            "per_client" | "perclient" | "per-client" => Some(StoreMode::PerClient),
+            _ => None,
+        }
+    }
+
+    /// Process-wide default: `BSOAP_STORE_MODE` when set to a valid mode
+    /// name, otherwise [`StoreMode::Shared`]. Only
+    /// [`EngineConfig::paper_default`] consults this — an explicitly built
+    /// config is never overridden by the environment.
+    pub fn default_from_env() -> Self {
+        std::env::var("BSOAP_STORE_MODE")
+            .ok()
+            .and_then(|v| Self::from_name(&v))
+            .unwrap_or(StoreMode::Shared)
+    }
+}
+
 /// Full engine configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EngineConfig {
@@ -218,6 +260,18 @@ pub struct EngineConfig {
     /// template machinery (overlay framing costs more than it saves for
     /// small arrays). `0` streams every eligible call.
     pub overlay_threshold_bytes: usize,
+    /// Who owns saved templates: the shared budgeted store or the paper's
+    /// per-client cache (the differential oracle). Defaults from the
+    /// `BSOAP_STORE_MODE` environment variable (see
+    /// [`StoreMode::default_from_env`]).
+    pub store_mode: StoreMode,
+    /// Hard global byte budget for the shared template store (resident
+    /// template bytes plus reserved overlay-window bytes). Admitting past
+    /// it evicts the cheapest-to-rebuild templates first. `0` = unlimited.
+    pub store_budget_bytes: usize,
+    /// Per-tenant byte quota inside the shared store, so one hot tenant
+    /// cannot evict everyone else. `0` = unlimited.
+    pub tenant_quota_bytes: usize,
 }
 
 impl EngineConfig {
@@ -251,6 +305,9 @@ impl EngineConfig {
             kernel: KernelPolicy::Auto,
             window_elems: 0,
             overlay_threshold_bytes: 1 << 20,
+            store_mode: StoreMode::default_from_env(),
+            store_budget_bytes: 0,
+            tenant_quota_bytes: 0,
         }
     }
 
@@ -402,6 +459,24 @@ impl EngineConfig {
         self.overlay_threshold_bytes = bytes;
         self
     }
+
+    /// Builder-style template-ownership override.
+    pub fn with_store_mode(mut self, mode: StoreMode) -> Self {
+        self.store_mode = mode;
+        self
+    }
+
+    /// Builder-style shared-store global byte budget (`0` = unlimited).
+    pub fn with_store_budget(mut self, bytes: usize) -> Self {
+        self.store_budget_bytes = bytes;
+        self
+    }
+
+    /// Builder-style per-tenant byte quota (`0` = unlimited).
+    pub fn with_tenant_quota(mut self, bytes: usize) -> Self {
+        self.tenant_quota_bytes = bytes;
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -531,6 +606,34 @@ mod tests {
             assert_eq!(ServerCore::from_name(name), Some(ServerCore::WorkerPool));
         }
         assert_eq!(ServerCore::from_name("green_threads"), None);
+    }
+
+    #[test]
+    fn store_mode_knobs() {
+        let d = EngineConfig::paper_default();
+        // The default is env-derived (CI parameterizes the oracle leg via
+        // BSOAP_STORE_MODE), so compute the expectation the same way.
+        assert_eq!(d.store_mode, StoreMode::default_from_env());
+        assert_eq!(d.store_budget_bytes, 0, "budget unlimited by default");
+        assert_eq!(d.tenant_quota_bytes, 0, "quota unlimited by default");
+        let c = d
+            .with_store_mode(StoreMode::PerClient)
+            .with_store_budget(1 << 20)
+            .with_tenant_quota(64 << 10);
+        assert_eq!(c.store_mode, StoreMode::PerClient);
+        assert_eq!(c.store_budget_bytes, 1 << 20);
+        assert_eq!(c.tenant_quota_bytes, 64 << 10);
+    }
+
+    #[test]
+    fn store_mode_names_parse() {
+        for name in ["shared", "Shared", " SHARED "] {
+            assert_eq!(StoreMode::from_name(name), Some(StoreMode::Shared));
+        }
+        for name in ["per_client", "PerClient", "per-client"] {
+            assert_eq!(StoreMode::from_name(name), Some(StoreMode::PerClient));
+        }
+        assert_eq!(StoreMode::from_name("global"), None);
     }
 
     #[test]

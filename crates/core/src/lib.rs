@@ -43,13 +43,15 @@ pub mod plan;
 pub mod schema;
 pub mod sendv;
 pub mod soap;
+pub mod store;
 pub mod template;
 pub mod value;
 
 pub use cache::{TemplateCache, TemplateKey};
 pub use client::{Client, ClientStats, OverlaidOutcome};
 pub use config::{
-    EngineConfig, FloatFormatter, FlushMode, GrowthPolicy, KernelPolicy, ServerCore, WidthPolicy,
+    EngineConfig, FloatFormatter, FlushMode, GrowthPolicy, KernelPolicy, ServerCore, StoreMode,
+    WidthPolicy,
 };
 pub use dut::{DutEntry, DutTable};
 pub use error::EngineError;
@@ -57,5 +59,6 @@ pub use overlay::{OverlayReport, OverlaySender};
 pub use pipeline::{PipelineReport, PipelinedSender};
 pub use plan::{InjectedFault, OpKind, PlanCost, PlannedOp, SendPlan};
 pub use schema::{OpDesc, ParamDesc, TypeDesc};
+pub use store::{Checkout, StoreKey, TemplateStore};
 pub use template::{MessageTemplate, SendReport, SendTier};
 pub use value::{Scalar, Value};

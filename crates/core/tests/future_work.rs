@@ -68,7 +68,7 @@ fn multi_template_set_eliminates_resizes() {
             SendTier::ContentMatch
         );
     }
-    assert_eq!(client.cache().template_count(), 2);
+    assert_eq!(client.template_count(), 2);
 }
 
 #[test]
@@ -85,7 +85,7 @@ fn multi_template_set_builds_variants_until_cap() {
             SendTier::FirstTime
         );
     }
-    assert_eq!(client.cache().template_count(), 3);
+    assert_eq!(client.template_count(), 3);
     // …and all three now serve content matches.
     for n in [1usize, 50, 2000] {
         assert_eq!(
@@ -97,7 +97,7 @@ fn multi_template_set_builds_variants_until_cap() {
     // nearest variant (n=1 → n=3) in place.
     let r = client.call("ep", &op, &xs(3), &mut out).unwrap();
     assert_eq!(r.tier, SendTier::PartialStructural);
-    assert_eq!(client.cache().template_count(), 3);
+    assert_eq!(client.template_count(), 3);
 }
 
 #[test]
@@ -112,7 +112,7 @@ fn multi_template_full_set_resizes_nearest() {
     client.call("ep", &op, &xs(1000), &mut out).unwrap();
     let r = client.call("ep", &op, &xs(12), &mut out).unwrap();
     assert_eq!(r.tier, SendTier::PartialStructural);
-    assert_eq!(client.cache().template_count(), 2, "cap respected");
+    assert_eq!(client.template_count(), 2, "cap respected");
     // The resized variant (now n=12) serves n=12 directly.
     assert_eq!(
         client.call("ep", &op, &xs(12), &mut out).unwrap().tier,

@@ -32,7 +32,7 @@ mod prom;
 mod trace;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
-pub use counters::{MaxGauge, ShardedCounter};
+pub use counters::{LevelGauge, MaxGauge, ShardedCounter};
 pub use deadline::{Backoff, Deadline, DeadlineExpired};
 pub use hist::{bucket_upper_ns, max_trackable_ns, HistSnapshot, Histogram, BUCKETS};
 pub use prom::parse_value;
@@ -216,6 +216,14 @@ metric_enum! {
         /// idle timer (distinct from [`Counter::ServerTimeouts`], which
         /// counts mid-request stalls and budget exhaustion).
         ServerIdleReaped => "bsoap_server_idle_reaped_total",
+        /// Shared-store lookups that returned a usable saved template.
+        TemplateHits => "bsoap_template_hits_total",
+        /// Shared-store lookups that found nothing usable (no entry, or a
+        /// structural match below the promotion bar) and forced a rebuild.
+        TemplateMisses => "bsoap_template_misses_total",
+        /// Templates dropped by the shared store: budget/quota eviction,
+        /// per-key cap overflow, cost-fallback discard, degraded purge.
+        TemplateEvictions => "bsoap_template_evictions_total",
     }
 }
 
@@ -244,6 +252,15 @@ metric_enum! {
         /// Most connections the event-loop server core ever held open at
         /// once (the readiness loop's concurrency high-water mark).
         ConnectionsOpenPeak => "bsoap_connections_open_peak",
+    }
+}
+
+metric_enum! {
+    /// Settable up/down level gauges (current value, not a peak).
+    Level {
+        /// Template bytes currently resident in the shared store
+        /// (templates plus reserved overlay-window fragments).
+        TemplateBytesResident => "bsoap_template_bytes_resident",
     }
 }
 
@@ -306,6 +323,7 @@ pub struct Metrics {
     clock: Arc<dyn Clock>,
     counters: [ShardedCounter; Counter::COUNT],
     gauges: [MaxGauge; Gauge::COUNT],
+    levels: [LevelGauge; Level::COUNT],
     hists: [Histogram; HistId::COUNT],
     trace: TraceRing,
 }
@@ -329,6 +347,7 @@ impl Metrics {
             clock,
             counters: std::array::from_fn(|_| ShardedCounter::new()),
             gauges: std::array::from_fn(|_| MaxGauge::new()),
+            levels: std::array::from_fn(|_| LevelGauge::new()),
             hists: std::array::from_fn(|_| Histogram::new()),
             trace: TraceRing::new(DEFAULT_TRACE_CAPACITY),
         }
@@ -361,9 +380,23 @@ impl Metrics {
         EngineStats {
             counters: std::array::from_fn(|i| self.counters[i].get()),
             gauges: std::array::from_fn(|i| self.gauges[i].get()),
+            levels: std::array::from_fn(|i| self.levels[i].get()),
             hists: self.hists.iter().map(|h| h.snapshot()).collect(),
             trace_dropped,
         }
+    }
+
+    /// Overwrite a level gauge.
+    #[inline]
+    pub fn level_set(&self, l: Level, v: u64) {
+        if self.is_enabled() {
+            self.levels[l.index()].set(v);
+        }
+    }
+
+    /// The current value of a level gauge.
+    pub fn level_get(&self, l: Level) -> u64 {
+        self.levels[l.index()].get()
     }
 
     /// Render the current snapshot in Prometheus text exposition format.
@@ -448,6 +481,8 @@ pub struct EngineStats {
     counters: [u64; Counter::COUNT],
     /// All gauges, indexed by [`Gauge::index`].
     gauges: [u64; Gauge::COUNT],
+    /// All level gauges, indexed by [`Level::index`].
+    levels: [u64; Level::COUNT],
     /// All histograms, indexed by [`HistId::index`].
     hists: Vec<HistSnapshot>,
     /// Trace events evicted from the ring so far.
@@ -461,6 +496,7 @@ impl Default for EngineStats {
         EngineStats {
             counters: [0; Counter::COUNT],
             gauges: [0; Gauge::COUNT],
+            levels: [0; Level::COUNT],
             hists: Vec::new(),
             trace_dropped: 0,
         }
@@ -481,6 +517,11 @@ impl EngineStats {
     /// Value of a gauge.
     pub fn gauge(&self, g: Gauge) -> u64 {
         self.gauges[g.index()]
+    }
+
+    /// Value of a level gauge.
+    pub fn level(&self, l: Level) -> u64 {
+        self.levels[l.index()]
     }
 
     /// A histogram's snapshot.
@@ -529,6 +570,21 @@ mod tests {
         for (i, g) in Gauge::ALL.iter().enumerate() {
             assert_eq!(g.index(), i);
         }
+        for (i, l) in Level::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+        }
+    }
+
+    #[test]
+    fn level_gauge_moves_both_ways_in_snapshots() {
+        let m = Metrics::new();
+        m.level_set(Level::TemplateBytesResident, 4096);
+        assert_eq!(m.snapshot().level(Level::TemplateBytesResident), 4096);
+        m.level_set(Level::TemplateBytesResident, 128);
+        assert_eq!(m.snapshot().level(Level::TemplateBytesResident), 128);
+        m.set_enabled(false);
+        m.level_set(Level::TemplateBytesResident, 9);
+        assert_eq!(m.level_get(Level::TemplateBytesResident), 128);
     }
 
     #[test]

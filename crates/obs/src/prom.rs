@@ -5,7 +5,7 @@
 //! second boundaries (cumulative, ending in `+Inf`), which keeps the
 //! payload small while `_count`/`_sum` stay exact.
 
-use crate::{Counter, EngineStats, Gauge, HistId, HistSnapshot, Tier};
+use crate::{Counter, EngineStats, Gauge, HistId, HistSnapshot, Level, Tier};
 use std::fmt::Write;
 
 /// `le` boundaries for rendered histograms, in nanoseconds: 1 µs · 2^k for
@@ -72,6 +72,11 @@ pub fn render(s: &EngineStats) -> String {
     for &g in Gauge::ALL {
         let _ = writeln!(out, "# TYPE {} gauge", g.name());
         let _ = writeln!(out, "{} {}", g.name(), s.gauge(g));
+    }
+
+    for &l in Level::ALL {
+        let _ = writeln!(out, "# TYPE {} gauge", l.name());
+        let _ = writeln!(out, "{} {}", l.name(), s.level(l));
     }
 
     // Per-tier send latency: one histogram family, tier label.
@@ -144,6 +149,18 @@ mod tests {
         );
         // Cumulative buckets end at the exact total.
         assert!(text.contains("le=\"+Inf\"}"));
+    }
+
+    #[test]
+    fn render_contains_level_gauges() {
+        let m = Metrics::new();
+        m.level_set(Level::TemplateBytesResident, 12_345);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE bsoap_template_bytes_resident gauge"));
+        assert_eq!(
+            parse_value(&text, "bsoap_template_bytes_resident"),
+            Some(12_345.0)
+        );
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Operation registry and the per-message dispatch pipeline.
 
-use bsoap_core::{EngineConfig, MessageTemplate, OpDesc, SendTier, Value};
+use bsoap_core::{
+    Checkout, EngineConfig, MessageTemplate, OpDesc, SendTier, StoreKey, TemplateKey,
+    TemplateStore, Value,
+};
 use bsoap_deser::{DeserError, DiffDeserializer, DiffOutcome};
 use bsoap_obs::{Counter, Metrics, Recorder};
 use parking_lot::Mutex;
@@ -77,6 +80,12 @@ pub struct Service {
     ops: HashMap<String, Arc<Operation>>,
     stats: Mutex<ServiceStats>,
     metrics: Option<Arc<Metrics>>,
+    /// When set, response templates live in this shared store (keyed by
+    /// `(tenant, namespace, response op)`) instead of the per-op slot, so
+    /// multiple server cores — worker-pool and event-loop alike — reuse
+    /// one another's serialized responses under one byte budget.
+    store: Option<Arc<TemplateStore>>,
+    tenant: u64,
 }
 
 impl Service {
@@ -89,13 +98,35 @@ impl Service {
             ops: HashMap::new(),
             stats: Mutex::new(ServiceStats::default()),
             metrics: None,
+            store: None,
+            tenant: 0,
         }
+    }
+
+    /// Route response templates through `store` under `tenant` instead of
+    /// the per-op `Mutex` slot. Inject the same store into several
+    /// services (e.g. one per server core) to share response templates
+    /// across them under one byte budget.
+    pub fn set_template_store(&mut self, store: Arc<TemplateStore>, tenant: u64) {
+        if let Some(m) = &self.metrics {
+            store.set_metrics(Arc::clone(m));
+        }
+        self.store = Some(store);
+        self.tenant = tenant;
+    }
+
+    /// The injected shared template store, if any.
+    pub fn template_store(&self) -> Option<&Arc<TemplateStore>> {
+        self.store.as_ref()
     }
 
     /// Attach an observability registry: response templates record their
     /// send tier, shift/steal/split work and DUT fix-ups into it, and the
     /// first-time serialization of each operation's response is counted.
     pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        if let Some(store) = &self.store {
+            store.set_metrics(Arc::clone(&metrics));
+        }
         self.metrics = Some(metrics);
     }
 
@@ -198,29 +229,33 @@ impl Service {
         };
 
         // 2. Differential serialization of the response.
-        let mut tpl_slot = op.response_tpl.lock();
-        let (bytes, tier) = match tpl_slot.as_mut() {
-            Some(tpl) => {
-                if let (Some(m), None) = (&self.metrics, tpl.metrics()) {
-                    tpl.set_metrics(Arc::clone(m));
+        let (bytes, tier) = if let Some(store) = &self.store {
+            self.respond_via_store(store, op, &result)?
+        } else {
+            let mut tpl_slot = op.response_tpl.lock();
+            let out = match tpl_slot.as_mut() {
+                Some(tpl) => {
+                    if let (Some(m), None) = (&self.metrics, tpl.metrics()) {
+                        tpl.set_metrics(Arc::clone(m));
+                    }
+                    tpl.update_args(&result).map_err(HandlerError::Response)?;
+                    let report = tpl.flush();
+                    (tpl.to_bytes(), report.tier)
                 }
-                tpl.update_args(&result).map_err(HandlerError::Response)?;
-                let report = tpl.flush();
-                (tpl.to_bytes(), report.tier)
-            }
-            None => {
-                let mut tpl = MessageTemplate::build(self.config, &op.response, &result)
-                    .map_err(HandlerError::Response)?;
-                if let Some(m) = &self.metrics {
-                    tpl.set_metrics(Arc::clone(m));
-                    m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);
+                None => {
+                    let mut tpl = MessageTemplate::build(self.config, &op.response, &result)
+                        .map_err(HandlerError::Response)?;
+                    if let Some(m) = &self.metrics {
+                        tpl.set_metrics(Arc::clone(m));
+                        m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);
+                    }
+                    let bytes = tpl.to_bytes();
+                    *tpl_slot = Some(tpl);
+                    (bytes, SendTier::FirstTime)
                 }
-                let bytes = tpl.to_bytes();
-                *tpl_slot = Some(tpl);
-                (bytes, SendTier::FirstTime)
-            }
+            };
+            out
         };
-        drop(tpl_slot);
         {
             let mut stats = self.stats.lock();
             stats.requests += 1;
@@ -232,6 +267,50 @@ impl Service {
             }
         }
         Ok(bytes)
+    }
+
+    /// Response serialization through the shared store: checkout the
+    /// response template (a cross-core hit if another service serialized
+    /// this response last), diff it, admit it back. Cap 1 mirrors the
+    /// per-op slot: one response shape per operation, resized in place.
+    fn respond_via_store(
+        &self,
+        store: &Arc<TemplateStore>,
+        op: &Operation,
+        result: &[Value],
+    ) -> Result<(Vec<u8>, SendTier), HandlerError> {
+        let skey = StoreKey::new(self.tenant, TemplateKey::new(&self.namespace, &op.response));
+        match store.checkout(&skey, result, 1) {
+            Checkout::Hit(mut tpl) => {
+                if let (Some(m), None) = (&self.metrics, tpl.metrics()) {
+                    tpl.set_metrics(Arc::clone(m));
+                }
+                match tpl.update_args(result) {
+                    Ok(_) => {
+                        let report = tpl.flush();
+                        let bytes = tpl.to_bytes();
+                        store.admit(skey, tpl, 1);
+                        Ok((bytes, report.tier))
+                    }
+                    Err(e) => {
+                        // Keep the template resident, as the slot path does.
+                        store.admit(skey, tpl, 1);
+                        Err(HandlerError::Response(e))
+                    }
+                }
+            }
+            Checkout::MissEmpty | Checkout::MissVariant => {
+                let mut tpl = MessageTemplate::build(self.config, &op.response, result)
+                    .map_err(HandlerError::Response)?;
+                if let Some(m) = &self.metrics {
+                    tpl.set_metrics(Arc::clone(m));
+                    m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);
+                }
+                let bytes = tpl.to_bytes();
+                store.admit(skey, tpl, 1);
+                Ok((bytes, SendTier::FirstTime))
+            }
+        }
     }
 
     /// Render a minimal SOAP 1.1 fault envelope.

@@ -437,6 +437,47 @@ mod tests {
     }
 
     #[test]
+    fn shared_store_carries_templates_across_server_cores() {
+        // One TemplateStore injected into two hosts — a worker-pool core
+        // and (where available) an event-loop core. The first server pays
+        // the first-time serialization; the second server's very first
+        // response to the same query checks the shared store and goes out
+        // as a content match. Without the store each host would
+        // re-serialize from scratch.
+        use bsoap_core::TemplateStore;
+        let store = TemplateStore::shared(0, 0);
+        let body = request_bytes(&[8.0, 0.5]);
+
+        let mut first = sum_service_on(ServerCore::WorkerPool);
+        first.set_template_store(Arc::clone(&store), 7);
+        let server_a = HttpServer::spawn(first).unwrap();
+        let (status, reply_a) = post(server_a.addr(), "urn:sum#sum", &body);
+        assert_eq!(status, 200);
+        let stats_a = server_a.stop();
+        assert_eq!(stats_a.responses_first, 1);
+        assert_eq!(store.len(), 1, "response template resident after stop");
+
+        let second_core = if poller::supported() {
+            ServerCore::EventLoop
+        } else {
+            ServerCore::WorkerPool
+        };
+        let mut second = sum_service_on(second_core);
+        second.set_template_store(Arc::clone(&store), 7);
+        let server_b = HttpServer::spawn(second).unwrap();
+        let (status, reply_b) = post(server_b.addr(), "urn:sum#sum", &body);
+        assert_eq!(status, 200);
+        let stats_b = server_b.stop();
+        assert_eq!(
+            stats_b.responses_first, 0,
+            "second core must reuse the stored template"
+        );
+        assert_eq!(stats_b.responses_content, 1);
+        assert_eq!(reply_a, reply_b, "stored reuse must be byte-identical");
+        assert_eq!(store.tenant_resident_bytes(7), store.resident_bytes());
+    }
+
+    #[test]
     fn handler_fault_is_500_fault_envelope() {
         for core in cores() {
             let mut svc = Service::new(

@@ -227,7 +227,14 @@ pub struct Conn {
     body_remaining: usize,
     body_seen: usize,
     chunk: ChunkPhase,
+    /// Rendered HTTP head. The body is NOT copied in here: it stays in
+    /// `write_body` and the two are gathered into one `writev`, so a
+    /// response payload (often a resident template's bytes) crosses no
+    /// per-response scratch buffer.
     write_buf: Vec<u8>,
+    /// Response payload, moved (not copied) from the dispatch result.
+    write_body: Vec<u8>,
+    /// Drain position across the logical `head ++ body` byte stream.
     write_pos: usize,
     pending_response: Option<(u64, bool)>,
     close_after_write: Option<CloseReason>,
@@ -251,6 +258,7 @@ impl Conn {
             body_seen: 0,
             chunk: ChunkPhase::SizeLine,
             write_buf: Vec::new(),
+            write_body: Vec::new(),
             write_pos: 0,
             pending_response: None,
             close_after_write: None,
@@ -386,7 +394,7 @@ impl Conn {
         out.push(ConnAction::Cancel(TimerKind::ReadStall));
         out.push(ConnAction::Cancel(TimerKind::RequestBudget));
         out.push(ConnAction::Cancel(TimerKind::IdleReap));
-        self.render(&resp);
+        self.render(resp);
         self.close_after_write = Some(CloseReason::BadRequest);
         self.set_state(ConnState::Writing, rec);
         out.push(ConnAction::Interest {
@@ -635,12 +643,16 @@ impl Conn {
         if self.state != ConnState::Dispatching {
             return;
         }
-        self.render(&resp);
-        self.pending_response = Some((self.write_buf.len() as u64, resp.measure));
+        let measure = resp.measure;
+        self.render(resp);
+        self.pending_response = Some((
+            (self.write_buf.len() + self.write_body.len()) as u64,
+            measure,
+        ));
         self.set_state(ConnState::Writing, rec);
     }
 
-    fn render(&mut self, resp: &Response) {
+    fn render(&mut self, resp: Response) {
         render_response_head_typed(
             &mut self.write_buf,
             resp.status,
@@ -648,7 +660,9 @@ impl Conn {
             resp.content_type,
             resp.body.len(),
         );
-        self.write_buf.extend_from_slice(&resp.body);
+        // Move, don't copy: the payload drains from its own buffer,
+        // gathered with the head in one vectored write.
+        self.write_body = resp.body;
         self.write_pos = 0;
     }
 
@@ -662,8 +676,24 @@ impl Conn {
         if self.state != ConnState::Writing {
             return;
         }
-        while self.write_pos < self.write_buf.len() {
-            match io.write(&self.write_buf[self.write_pos..]) {
+        // `write_pos` walks the logical `head ++ body` stream. While still
+        // inside the head, gather head-remainder and body in one `writev`;
+        // once past it, drain the body tail with plain writes.
+        let total = self.write_buf.len() + self.write_body.len();
+        while self.write_pos < total {
+            let res = if self.write_pos < self.write_buf.len() {
+                if self.write_body.is_empty() {
+                    io.write(&self.write_buf[self.write_pos..])
+                } else {
+                    io.write_vectored(&[
+                        io::IoSlice::new(&self.write_buf[self.write_pos..]),
+                        io::IoSlice::new(&self.write_body),
+                    ])
+                }
+            } else {
+                io.write(&self.write_body[self.write_pos - self.write_buf.len()..])
+            };
+            match res {
                 Ok(0) => {
                     self.close(CloseReason::WriteFailed, rec, out);
                     return;
@@ -685,6 +715,7 @@ impl Conn {
         }
         // Response fully on the wire.
         self.write_buf.clear();
+        self.write_body.clear();
         self.write_pos = 0;
         if let Some((bytes, measure)) = self.pending_response.take() {
             out.push(ConnAction::Responded { bytes, measure });
@@ -981,6 +1012,123 @@ mod tests {
         let mut out = Vec::new();
         conn.set_draining(&rec, &mut out);
         assert_eq!(conn.state(), ConnState::Closing);
+    }
+
+    /// Writer that records each call: (was_vectored, slice_count, bytes
+    /// accepted). `cap` limits how many bytes any one call may take.
+    struct GatherProbe {
+        wire: Vec<u8>,
+        calls: Vec<(bool, usize, usize)>,
+        cap: usize,
+    }
+
+    impl GatherProbe {
+        fn new(cap: usize) -> GatherProbe {
+            GatherProbe {
+                wire: Vec::new(),
+                calls: Vec::new(),
+                cap,
+            }
+        }
+    }
+
+    impl Write for GatherProbe {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.wire.extend_from_slice(&buf[..n]);
+            self.calls.push((false, 1, n));
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+            let mut left = self.cap;
+            let mut took = 0;
+            for b in bufs {
+                let n = b.len().min(left);
+                self.wire.extend_from_slice(&b[..n]);
+                took += n;
+                left -= n;
+                if left == 0 {
+                    break;
+                }
+            }
+            self.calls.push((true, bufs.len(), took));
+            Ok(took)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn dispatch_one(conn: &mut Conn, rec: &dyn Recorder, out: &mut Vec<ConnAction>) {
+        let mut io = Script::new(vec![Ok(
+            b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nok".to_vec()
+        )]);
+        conn.on_readable(&mut io, rec, out);
+        assert_eq!(conn.state(), ConnState::Dispatching);
+    }
+
+    #[test]
+    fn response_goes_out_in_one_gather_write() {
+        let rec = NullRecorder;
+        let mut conn = Conn::new(1, ConnConfig::default());
+        let mut out = Vec::new();
+        dispatch_one(&mut conn, &rec, &mut out);
+        conn.on_dispatch_done(Response::xml(200, "OK", b"<sum>42</sum>".to_vec()), &rec);
+        let mut io = GatherProbe::new(usize::MAX);
+        conn.on_writable(&mut io, &rec, &mut out);
+        assert_eq!(conn.state(), ConnState::Idle);
+        // Head and body leave in a single vectored call: no scratch-buffer
+        // copy, no second syscall.
+        assert_eq!(io.calls.len(), 1);
+        assert_eq!(io.calls[0], (true, 2, io.wire.len()));
+        assert!(io.wire.starts_with(b"HTTP/1.1 200 OK\r\n"));
+        assert!(io.wire.ends_with(b"<sum>42</sum>"));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, ConnAction::Responded { bytes, .. }
+                if *bytes == io.wire.len() as u64)));
+    }
+
+    #[test]
+    fn short_gather_writes_resume_mid_head_and_mid_body() {
+        let rec = NullRecorder;
+        let mut conn = Conn::new(1, ConnConfig::default());
+        let mut out = Vec::new();
+        dispatch_one(&mut conn, &rec, &mut out);
+        let body = b"<r>differential</r>".to_vec();
+        conn.on_dispatch_done(Response::xml(200, "OK", body.clone()), &rec);
+        // 7 bytes per call: many calls land mid-head, then mid-body.
+        let mut io = GatherProbe::new(7);
+        conn.on_writable(&mut io, &rec, &mut out);
+        assert_eq!(conn.state(), ConnState::Idle);
+        assert!(io.wire.starts_with(b"HTTP/1.1 200 OK\r\n"));
+        assert!(io.wire.ends_with(&body[..]));
+        // Calls while inside the head gather both slices; calls past the
+        // head fall back to plain writes of the body tail.
+        let head_len = io.wire.len() - body.len();
+        let mut seen = 0;
+        for &(vectored, slices, n) in &io.calls {
+            if seen < head_len {
+                assert!(vectored && slices == 2, "in-head call must gather");
+            } else {
+                assert!(!vectored, "body tail drains with plain writes");
+            }
+            seen += n;
+        }
+        assert_eq!(seen, io.wire.len());
+    }
+
+    #[test]
+    fn empty_body_response_skips_vectored_path() {
+        let rec = NullRecorder;
+        let mut conn = Conn::new(1, ConnConfig::default());
+        let mut out = Vec::new();
+        dispatch_one(&mut conn, &rec, &mut out);
+        conn.on_dispatch_done(Response::xml(204, "No Content", Vec::new()), &rec);
+        let mut io = GatherProbe::new(usize::MAX);
+        conn.on_writable(&mut io, &rec, &mut out);
+        assert_eq!(io.calls.len(), 1);
+        assert!(!io.calls[0].0, "no body: plain write, no empty IoSlice");
     }
 
     #[test]

@@ -61,10 +61,10 @@
 pub mod rpc;
 
 pub use bsoap_core::{
-    soap, Client, ClientStats, DutEntry, DutTable, EngineConfig, EngineError, FloatFormatter,
-    FlushMode, GrowthPolicy, InjectedFault, KernelPolicy, MessageTemplate, OpDesc, OverlaidOutcome,
-    ParamDesc, PlanCost, Scalar, SendPlan, SendReport, SendTier, TemplateCache, TemplateKey,
-    TypeDesc, Value, WidthPolicy,
+    soap, Checkout, Client, ClientStats, DutEntry, DutTable, EngineConfig, EngineError,
+    FloatFormatter, FlushMode, GrowthPolicy, InjectedFault, KernelPolicy, MessageTemplate, OpDesc,
+    OverlaidOutcome, ParamDesc, PlanCost, Scalar, SendPlan, SendReport, SendTier, StoreKey,
+    StoreMode, TemplateCache, TemplateKey, TemplateStore, TypeDesc, Value, WidthPolicy,
 };
 
 /// Fault-tolerance surface: retry/breaker policy, per-call deadlines,

@@ -380,7 +380,7 @@ fn two_endpoints_get_independent_templates() {
         )
         .unwrap();
     assert_eq!(r.tier, SendTier::FirstTime);
-    assert_eq!(client.cache().len(), 2);
+    assert_eq!(client.cached_keys(), 2);
     // Back to endpoint A unchanged: content match survives interleaving.
     let r = client
         .call("http://a", &op, &[Value::DoubleArray(xs)], &mut sink_a)

@@ -1,0 +1,196 @@
+//! Shared-store theorems, workspace level.
+//!
+//! 1. **Concurrency safety**: N threads hammering M tenants through one
+//!    [`TemplateStore`] never corrupt the byte accounting — at quiescence
+//!    the resident gauge equals a from-scratch recount, the global budget
+//!    and per-tenant quotas hold, and the hit/miss counters reconcile
+//!    exactly with the number of lookups issued.
+//! 2. **Mode equivalence**: a client running `StoreMode::Shared` is
+//!    byte-for-byte and tier-for-tier indistinguishable from the
+//!    per-client oracle (`StoreMode::PerClient`) over any call schedule.
+
+use bsoap::convert::ScalarKind;
+use bsoap::obs::{Counter, EngineStats, Level, Metrics};
+use bsoap::{
+    Client, EngineConfig, MessageTemplate, OpDesc, StoreKey, StoreMode, TemplateKey, TemplateStore,
+    TypeDesc, Value,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arr_op() -> OpDesc {
+    OpDesc::single(
+        "send",
+        "urn:store",
+        "arr",
+        TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+    )
+}
+
+fn arr_tpl(n: usize) -> MessageTemplate {
+    MessageTemplate::build(
+        EngineConfig::paper_default(),
+        &arr_op(),
+        &[Value::DoubleArray(vec![0.5; n])],
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// N threads × M tenants × S steps of checkout/admit against one
+    /// store. Every thread counts its own lookups; the store's counters
+    /// must reconcile exactly, and every byte invariant must hold once
+    /// the threads join.
+    #[test]
+    fn concurrent_store_accounting_holds(
+        threads in 2usize..5,
+        tenants in 1u64..5,
+        steps in 4usize..24,
+        budget_kb in prop_oneof![Just(0usize), 2usize..16],
+        quota_kb in prop_oneof![Just(0usize), 1usize..8],
+    ) {
+        let budget = budget_kb * 1024;
+        let quota = quota_kb * 1024;
+        let store = TemplateStore::shared(budget, quota);
+        let metrics = Metrics::shared();
+        store.set_metrics(Arc::clone(&metrics));
+
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let mut lookups = 0u64;
+                    for step in 0..steps {
+                        // Deterministic per-thread schedule spread over
+                        // tenants, keys, and template sizes.
+                        let tenant = ((t + step) as u64) % tenants;
+                        let ep = format!("ep{}", (t * 7 + step * 3) % 3);
+                        let skey =
+                            StoreKey::new(tenant, TemplateKey::new(&ep, &arr_op()));
+                        let n = 4 + (t * 13 + step * 5) % 48;
+                        let args = [Value::DoubleArray(vec![0.5; n])];
+                        lookups += 1;
+                        match store.checkout(&skey, &args, 2).hit() {
+                            Some(tpl) if step % 5 == 4 => {
+                                // Simulate a cost-gate fallback: discard
+                                // the checked-out template, save a fresh
+                                // one. Bytes must not strand.
+                                store.note_discard(&tpl);
+                                drop(tpl);
+                                store.admit(skey, arr_tpl(n), 2);
+                            }
+                            Some(tpl) => {
+                                store.admit(skey, tpl, 2);
+                            }
+                            None => {
+                                store.admit(skey, arr_tpl(n), 2);
+                            }
+                        }
+                    }
+                    lookups
+                })
+            })
+            .collect();
+        let total_lookups: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+        // Byte accounting: gauge == recount, budget and quotas hold.
+        prop_assert_eq!(store.recount_bytes(), store.resident_bytes());
+        if budget > 0 {
+            prop_assert!(
+                store.resident_bytes() <= budget as u64,
+                "resident {} exceeds budget {}",
+                store.resident_bytes(),
+                budget
+            );
+        }
+        if quota > 0 {
+            for tenant in 0..tenants {
+                prop_assert!(
+                    store.tenant_resident_bytes(tenant) <= quota as u64,
+                    "tenant {} resident {} exceeds quota {}",
+                    tenant,
+                    store.tenant_resident_bytes(tenant),
+                    quota
+                );
+            }
+        }
+
+        // Exact reconciliation: each checkout ticked exactly one of
+        // hits/misses, and the resident gauge mirrors the byte count.
+        let s = EngineStats::snapshot(&metrics);
+        prop_assert_eq!(
+            s.get(Counter::TemplateHits) + s.get(Counter::TemplateMisses),
+            total_lookups
+        );
+        prop_assert_eq!(s.level(Level::TemplateBytesResident), store.resident_bytes());
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Step {
+    /// Set element `i % len` to `v`.
+    Set(usize, f64),
+    /// Resize the array to `n` elements.
+    Resize(usize),
+    /// Repeat the previous arguments verbatim (content-match bait).
+    Repeat,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0usize..64, -1e6f64..1e6).prop_map(|(i, v)| Step::Set(i, v)),
+        (1usize..48).prop_map(Step::Resize),
+        Just(Step::Repeat),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The shared store is a drop-in for the per-client cache: identical
+    /// call schedules produce identical wire bytes per call, the same
+    /// tier per call, and identical cumulative tier counters.
+    #[test]
+    fn shared_mode_matches_per_client_oracle(
+        initial in prop::collection::vec(-1e6f64..1e6, 1..32),
+        steps in prop::collection::vec(step_strategy(), 1..16),
+        endpoints in 1usize..3,
+    ) {
+        let op = arr_op();
+        let mut shared = Client::new(
+            EngineConfig::paper_default().with_store_mode(StoreMode::Shared),
+        );
+        let mut oracle = Client::new(
+            EngineConfig::paper_default().with_store_mode(StoreMode::PerClient),
+        );
+
+        let mut xs = initial;
+        for (i, step) in steps.iter().enumerate() {
+            match step {
+                Step::Set(i, v) => {
+                    let len = xs.len();
+                    xs[i % len] = *v;
+                }
+                Step::Resize(n) => xs.resize(*n, 0.25),
+                Step::Repeat => {}
+            }
+            let endpoint = format!("http://svc/{}", i % endpoints);
+            let args = [Value::DoubleArray(xs.clone())];
+
+            let mut wire_shared = Vec::new();
+            let mut wire_oracle = Vec::new();
+            let a = shared.call(&endpoint, &op, &args, &mut wire_shared).unwrap();
+            let b = oracle.call(&endpoint, &op, &args, &mut wire_oracle).unwrap();
+
+            prop_assert_eq!(
+                &wire_shared, &wire_oracle,
+                "wire bytes diverged at step {} ({:?})", i, step
+            );
+            prop_assert_eq!(a.tier, b.tier, "tier diverged at step {}", i);
+            prop_assert_eq!(a.fell_back, b.fell_back);
+        }
+        prop_assert_eq!(shared.stats(), oracle.stats());
+    }
+}
