@@ -21,26 +21,41 @@
 //!   ownership, and it amortizes the expensive conversion work the same
 //!   way shared chunks would).
 
+use crate::config::WireFormat;
 use crate::schema::OpDesc;
 use crate::template::MessageTemplate;
 use crate::value::Value;
 use std::collections::HashMap;
 
-/// Cache key: endpoint plus structural signature.
+/// Cache key: endpoint plus structural signature plus wire format.
+///
+/// The format is part of the identity because an XML template and a
+/// binary template of the same call share nothing byte-wise — a client
+/// that negotiates the binary lane for one endpoint must never patch an
+/// XML template saved for another lane.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TemplateKey {
     /// Endpoint identity (URL or logical service name).
     pub endpoint: String,
     /// Structural signature from [`OpDesc::signature`].
     pub signature: String,
+    /// Wire format the saved bytes are encoded in.
+    pub format: WireFormat,
 }
 
 impl TemplateKey {
-    /// Build the key for an operation on an endpoint.
+    /// Build the key for an operation on an endpoint (XML lane).
     pub fn new(endpoint: &str, op: &OpDesc) -> Self {
+        Self::for_format(endpoint, op, WireFormat::SoapXml)
+    }
+
+    /// Build the key for an operation on an endpoint in a specific wire
+    /// format.
+    pub fn for_format(endpoint: &str, op: &OpDesc, format: WireFormat) -> Self {
         TemplateKey {
             endpoint: endpoint.to_owned(),
             signature: op.signature(),
+            format,
         }
     }
 }
@@ -245,12 +260,14 @@ impl TemplateCache {
         Some((idx, dist, set.len()))
     }
 
-    /// Find a same-structure template saved for a *different* endpoint —
-    /// the §6 cross-endpoint sharing candidate.
+    /// Find a same-structure, same-format template saved for a *different*
+    /// endpoint — the §6 cross-endpoint sharing candidate.
     pub fn find_shareable(&self, key: &TemplateKey) -> Option<&MessageTemplate> {
         self.map
             .iter()
-            .filter(|(k, _)| k.signature == key.signature && k.endpoint != key.endpoint)
+            .filter(|(k, _)| {
+                k.signature == key.signature && k.format == key.format && k.endpoint != key.endpoint
+            })
             .find_map(|(_, set)| set.templates.first())
     }
 
@@ -303,6 +320,11 @@ mod tests {
         assert_ne!(k1, k2);
         assert_ne!(k1, k3);
         assert_eq!(k1, TemplateKey::new("http://a/svc", &op("f")));
+        // The wire format is part of the identity: a binary template can
+        // never be served where XML bytes are expected.
+        let k4 = TemplateKey::for_format("http://a/svc", &op("f"), WireFormat::CompactBinary);
+        assert_ne!(k1, k4);
+        assert_eq!(k1.format, WireFormat::SoapXml);
     }
 
     #[test]
@@ -379,6 +401,9 @@ mod tests {
         // Other structure: not shareable.
         let key_c = TemplateKey::new("http://b", &op("f"));
         assert!(cache.find_shareable(&key_c).is_none());
+        // Other wire format: not shareable (the bytes are a different lane).
+        let key_d = TemplateKey::for_format("http://b", &o, WireFormat::CompactBinary);
+        assert!(cache.find_shareable(&key_d).is_none());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!   and merely diff it, amortizing serialization across services.
 
 use crate::cache::{TemplateCache, TemplateKey};
-use crate::config::{EngineConfig, FlushMode, StoreMode};
+use crate::config::{EngineConfig, FlushMode, StoreMode, WireFormat};
 use crate::error::EngineError;
 use crate::overlay::{max_element_bytes, OverlayReport, OverlaySender};
 use crate::schema::{OpDesc, TypeDesc};
@@ -118,6 +118,10 @@ pub struct Client {
     /// Overlay-window bytes currently reserved against the shared store's
     /// budget, per key.
     overlay_reserved: HashMap<TemplateKey, u64>,
+    /// Per-endpoint negotiated wire format overrides (set by the
+    /// transport's negotiation layer once a peer advertises the binary
+    /// lane). Endpoints not present use the config's `wire_format`.
+    endpoint_formats: HashMap<String, WireFormat>,
 }
 
 impl Client {
@@ -136,6 +140,7 @@ impl Client {
             tenant: 0,
             leases: HashMap::new(),
             overlay_reserved: HashMap::new(),
+            endpoint_formats: HashMap::new(),
         }
     }
 
@@ -269,6 +274,34 @@ impl Client {
         self.share_across_endpoints = on;
     }
 
+    /// Pin the wire format used for `endpoint` — the hook the transport's
+    /// negotiation layer calls once the peer's `X-BSOAP-Accept` advert (or
+    /// its absence) settles the lane. Templates for the endpoint are keyed
+    /// by format, so switching lanes never patches bytes of the other lane;
+    /// templates already saved for the previous lane simply go cold.
+    pub fn set_endpoint_format(&mut self, endpoint: &str, format: WireFormat) {
+        self.endpoint_formats.insert(endpoint.to_owned(), format);
+    }
+
+    /// The wire format in force for `endpoint`: the negotiated override if
+    /// one was pinned, else the config's `wire_format`.
+    pub fn endpoint_format(&self, endpoint: &str) -> WireFormat {
+        self.endpoint_formats
+            .get(endpoint)
+            .copied()
+            .unwrap_or(self.config.wire_format)
+    }
+
+    /// The engine config with `endpoint`'s negotiated wire format applied.
+    fn effective_config(&self, endpoint: &str) -> EngineConfig {
+        self.config.with_wire_format(self.endpoint_format(endpoint))
+    }
+
+    /// Template key for `(endpoint, op)` under the endpoint's format.
+    fn key_for(&self, endpoint: &str, op: &OpDesc) -> TemplateKey {
+        TemplateKey::for_format(endpoint, op, self.endpoint_format(endpoint))
+    }
+
     /// Invoke `op` on `endpoint` with `args`, sending the message to
     /// `sink`. Selects the cheapest of the four matching tiers.
     pub fn call(
@@ -299,7 +332,7 @@ impl Client {
         F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
     {
         let out = if self.is_degraded(endpoint) {
-            self.degraded_call(op, args, send)
+            self.degraded_call(self.effective_config(endpoint), op, args, send)
         } else {
             self.call_tiered(endpoint, op, args, send)
         };
@@ -387,12 +420,17 @@ impl Client {
             });
         }
         let call_start = self.metrics.as_ref().map(|m| m.now_ns());
+        // The chunk-overlay pipeline streams the XML envelope around
+        // window fragments; it is not format-negotiated, so overlaid
+        // sends always take the XML lane regardless of the endpoint's
+        // negotiated format (buffered tiers carry the binary lane).
         let key = TemplateKey::new(endpoint, op);
         if !self.overlays.contains_key(&key) {
-            let sender = if self.config.window_elems == 0 {
-                OverlaySender::auto_window(self.config, op)?
+            let config = self.config.with_wire_format(WireFormat::SoapXml);
+            let sender = if config.window_elems == 0 {
+                OverlaySender::auto_window(config, op)?
             } else {
-                OverlaySender::new(self.config, op, self.config.window_elems)?
+                OverlaySender::new(config, op, config.window_elems)?
             };
             self.overlays.insert(key.clone(), sender);
         }
@@ -488,16 +526,19 @@ impl Client {
             // Stateless mode retains nothing: drop the saved template (and
             // any overlay window fragment) so a possibly
             // poisoned-by-the-peer diff state can't linger.
-            let key = TemplateKey::new(endpoint, op);
+            let key = self.key_for(endpoint, op);
             self.cache.remove(&key);
             self.leases.remove(&key);
+            // Overlay senders always live on the XML lane (streamed sends
+            // are not negotiated), so their bookkeeping is keyed XML.
+            let xml_key = TemplateKey::new(endpoint, op);
             if let Some(store) = &self.store {
                 store.purge(&StoreKey::new(self.tenant, key.clone()));
-                if let Some(bytes) = self.overlay_reserved.remove(&key) {
+                if let Some(bytes) = self.overlay_reserved.remove(&xml_key) {
                     store.release(self.tenant, bytes);
                 }
             }
-            self.overlays.remove(&key);
+            self.overlays.remove(&xml_key);
             if let Some(m) = &self.metrics {
                 m.trace(TraceKind::Degraded { on: true });
             }
@@ -509,6 +550,7 @@ impl Client {
     /// `DegradedSends`.
     fn degraded_call<F>(
         &mut self,
+        config: EngineConfig,
         op: &OpDesc,
         args: &[Value],
         send: F,
@@ -517,7 +559,7 @@ impl Client {
         F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
     {
         let call_start = self.metrics.as_ref().map(|m| m.now_ns());
-        let tpl = MessageTemplate::build(self.config, op, args)?;
+        let tpl = MessageTemplate::build(config, op, args)?;
         let bytes = send(&tpl.io_slices())?;
         let report = SendReport {
             tier: SendTier::FirstTime,
@@ -533,6 +575,7 @@ impl Client {
         self.stats.degraded_sends += 1;
         if let Some(m) = &self.metrics {
             m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);
+            m.add(format_counter(config.wire_format), 1);
             m.add(Counter::SimdKernelHits, bsoap_kernels::take_simd_hits());
             m.add(Counter::ValuesWritten, report.values_written as u64);
             m.add(Counter::DegradedSends, 1);
@@ -585,9 +628,9 @@ impl Client {
     where
         F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
     {
-        let key = TemplateKey::new(endpoint, op);
+        let key = self.key_for(endpoint, op);
         let cap = self.templates_per_key;
-        let config = self.config;
+        let config = self.config.with_wire_format(key.format);
 
         // Can an existing template for this key serve the call? With a
         // multi-template set, a nonzero distance means a resize; prefer
@@ -662,9 +705,9 @@ impl Client {
     where
         F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
     {
-        let key = TemplateKey::new(endpoint, op);
+        let key = self.key_for(endpoint, op);
         let cap = self.templates_per_key;
-        let config = self.config;
+        let config = self.config.with_wire_format(key.format);
         let store = self.store_handle();
         let skey = self.store_key(&key);
 
@@ -747,7 +790,8 @@ impl Client {
     where
         F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
     {
-        let mut tpl = MessageTemplate::build(self.config, op, args)?;
+        let config = self.config.with_wire_format(key.format);
+        let mut tpl = MessageTemplate::build(config, op, args)?;
         if let Some(m) = &self.metrics {
             tpl.set_metrics(Arc::clone(m));
         }
@@ -763,6 +807,7 @@ impl Client {
         };
         if let Some(m) = &self.metrics {
             m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);
+            m.add(format_counter(key.format), 1);
             m.add(Counter::SimdKernelHits, bsoap_kernels::take_simd_hits());
             m.add(Counter::ValuesWritten, report.values_written as u64);
         }
@@ -783,7 +828,8 @@ impl Client {
     where
         F: FnOnce(&[std::io::IoSlice<'_>]) -> std::io::Result<usize>,
     {
-        let mut tpl = MessageTemplate::build(self.config, op, args)?;
+        let config = self.config.with_wire_format(skey.key.format);
+        let mut tpl = MessageTemplate::build(config, op, args)?;
         if let Some(m) = &self.metrics {
             tpl.set_metrics(Arc::clone(m));
         }
@@ -799,6 +845,7 @@ impl Client {
         };
         if let Some(m) = &self.metrics {
             m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);
+            m.add(format_counter(skey.key.format), 1);
             m.add(Counter::SimdKernelHits, bsoap_kernels::take_simd_hits());
             m.add(Counter::ValuesWritten, report.values_written as u64);
         }
@@ -820,11 +867,12 @@ impl Client {
         op: &OpDesc,
         args: &[Value],
     ) -> Result<&mut MessageTemplate, EngineError> {
-        let key = TemplateKey::new(endpoint, op);
+        let key = self.key_for(endpoint, op);
+        let config = self.config.with_wire_format(key.format);
         match self.config.store_mode {
             StoreMode::PerClient => {
                 if !self.cache.contains(&key) {
-                    let mut tpl = MessageTemplate::build(self.config, op, args)?;
+                    let mut tpl = MessageTemplate::build(config, op, args)?;
                     if let Some(m) = &self.metrics {
                         tpl.set_metrics(Arc::clone(m));
                     }
@@ -840,7 +888,7 @@ impl Client {
                     let tpl = match store.lease_front(&skey) {
                         Some(t) => t,
                         None => {
-                            let mut t = MessageTemplate::build(self.config, op, args)?;
+                            let mut t = MessageTemplate::build(config, op, args)?;
                             if let Some(m) = &self.metrics {
                                 t.set_metrics(Arc::clone(m));
                             }
@@ -859,7 +907,7 @@ impl Client {
     /// [`StoreMode::Shared`] this leases the template out of the store;
     /// the next tiered call on the same key returns it.
     pub fn template_mut(&mut self, endpoint: &str, op: &OpDesc) -> Option<&mut MessageTemplate> {
-        let key = TemplateKey::new(endpoint, op);
+        let key = self.key_for(endpoint, op);
         match self.config.store_mode {
             StoreMode::PerClient => self.cache.get_mut(&key),
             StoreMode::Shared => {
@@ -878,7 +926,7 @@ impl Client {
     /// Drop the saved template(s) for `(endpoint, op)` (memory
     /// reclamation).
     pub fn evict(&mut self, endpoint: &str, op: &OpDesc) -> bool {
-        let key = TemplateKey::new(endpoint, op);
+        let key = self.key_for(endpoint, op);
         let leased = self.leases.remove(&key).is_some();
         match self.config.store_mode {
             StoreMode::PerClient => self.cache.remove(&key).is_some() || leased,
@@ -903,6 +951,14 @@ impl Drop for Client {
                 store.release(self.tenant, bytes);
             }
         }
+    }
+}
+
+/// The per-lane send counter for a wire format.
+fn format_counter(format: WireFormat) -> Counter {
+    match format {
+        WireFormat::SoapXml => Counter::SendsXml,
+        WireFormat::CompactBinary => Counter::SendsBinary,
     }
 }
 

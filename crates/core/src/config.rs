@@ -118,6 +118,62 @@ impl ServerCore {
     }
 }
 
+/// Which wire framing templates serialize into (§ DESIGN 3.15).
+///
+/// The DUT/tier machinery is format-agnostic — a template is bytes plus
+/// tracked value locations — so the same engine can speak the paper's
+/// SOAP XML or a Bebop-inspired compact binary framing. Binary leaves are
+/// fixed-width little-endian (ints/longs/doubles/bools never change
+/// serialized length), so `flush_dirty` degenerates to in-place
+/// overwrites and the planner never emits shifts or steals for numeric
+/// workloads: tier 3 collapses into tier 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WireFormat {
+    /// The paper's SOAP 1.1 XML envelope (lexical values, stuffing,
+    /// stealing, shifting — the full §3 machinery).
+    SoapXml,
+    /// Compact binary framing: magic + tagged fixed-width LE scalars,
+    /// length-prefixed strings, count-prefixed arrays. Negotiated
+    /// per-endpoint via `X-BSOAP-Accept`/`X-BSOAP-Format`.
+    CompactBinary,
+}
+
+impl WireFormat {
+    /// Parse a format name as accepted by the `BSOAP_WIRE_FORMAT`
+    /// environment variable (case-insensitive, separators optional).
+    /// `bin1` is the on-the-wire negotiation token and parses too.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "xml" | "soap_xml" | "soapxml" | "soap-xml" => Some(WireFormat::SoapXml),
+            "binary" | "bin" | "bin1" | "compact_binary" | "compactbinary" | "compact-binary" => {
+                Some(WireFormat::CompactBinary)
+            }
+            _ => None,
+        }
+    }
+
+    /// The canonical on-the-wire token for this format, as carried in
+    /// `X-BSOAP-Accept` / `X-BSOAP-Format` headers. Round-trips through
+    /// [`WireFormat::from_name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFormat::SoapXml => "xml",
+            WireFormat::CompactBinary => "bin1",
+        }
+    }
+
+    /// Process-wide default: `BSOAP_WIRE_FORMAT` when set to a valid
+    /// format name, otherwise [`WireFormat::SoapXml`]. Only
+    /// [`EngineConfig::paper_default`] consults this — an explicitly built
+    /// config is never overridden by the environment.
+    pub fn default_from_env() -> Self {
+        std::env::var("BSOAP_WIRE_FORMAT")
+            .ok()
+            .and_then(|v| Self::from_name(&v))
+            .unwrap_or(WireFormat::SoapXml)
+    }
+}
+
 /// Who owns saved templates (§ DESIGN 3.14).
 ///
 /// The paper keeps one saved template per client stub; a server fleet
@@ -272,6 +328,11 @@ pub struct EngineConfig {
     /// Per-tenant byte quota inside the shared store, so one hot tenant
     /// cannot evict everyone else. `0` = unlimited.
     pub tenant_quota_bytes: usize,
+    /// Which wire framing templates serialize into: the paper's SOAP XML
+    /// or the negotiated compact binary lane. Defaults from the
+    /// `BSOAP_WIRE_FORMAT` environment variable (see
+    /// [`WireFormat::default_from_env`]).
+    pub wire_format: WireFormat,
 }
 
 impl EngineConfig {
@@ -308,6 +369,7 @@ impl EngineConfig {
             store_mode: StoreMode::default_from_env(),
             store_budget_bytes: 0,
             tenant_quota_bytes: 0,
+            wire_format: WireFormat::default_from_env(),
         }
     }
 
@@ -477,6 +539,12 @@ impl EngineConfig {
         self.tenant_quota_bytes = bytes;
         self
     }
+
+    /// Builder-style wire-format override.
+    pub fn with_wire_format(mut self, format: WireFormat) -> Self {
+        self.wire_format = format;
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -634,6 +702,29 @@ mod tests {
             assert_eq!(StoreMode::from_name(name), Some(StoreMode::PerClient));
         }
         assert_eq!(StoreMode::from_name("global"), None);
+    }
+
+    #[test]
+    fn wire_format_knobs() {
+        let d = EngineConfig::paper_default();
+        // The default is env-derived (CI parameterizes the binary leg via
+        // BSOAP_WIRE_FORMAT), so compute the expectation the same way.
+        assert_eq!(d.wire_format, WireFormat::default_from_env());
+        let c = d.with_wire_format(WireFormat::CompactBinary);
+        assert_eq!(c.wire_format, WireFormat::CompactBinary);
+        let back = c.with_wire_format(WireFormat::SoapXml);
+        assert_eq!(back.wire_format, WireFormat::SoapXml);
+    }
+
+    #[test]
+    fn wire_format_names_parse() {
+        for name in ["xml", "soap_xml", "SoapXml", " SOAP-XML "] {
+            assert_eq!(WireFormat::from_name(name), Some(WireFormat::SoapXml));
+        }
+        for name in ["binary", "bin", "bin1", "compact_binary", "Compact-Binary"] {
+            assert_eq!(WireFormat::from_name(name), Some(WireFormat::CompactBinary));
+        }
+        assert_eq!(WireFormat::from_name("msgpack"), None);
     }
 
     #[test]

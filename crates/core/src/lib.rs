@@ -46,12 +46,13 @@ pub mod soap;
 pub mod store;
 pub mod template;
 pub mod value;
+pub mod wire;
 
 pub use cache::{TemplateCache, TemplateKey};
 pub use client::{Client, ClientStats, OverlaidOutcome};
 pub use config::{
     EngineConfig, FloatFormatter, FlushMode, GrowthPolicy, KernelPolicy, ServerCore, StoreMode,
-    WidthPolicy,
+    WidthPolicy, WireFormat,
 };
 pub use dut::{DutEntry, DutTable};
 pub use error::EngineError;

@@ -70,6 +70,11 @@ impl OverlaySender {
         op: &OpDesc,
         window_elems: usize,
     ) -> Result<Self, EngineError> {
+        // The overlay windows address the XML text layout of the array
+        // region; the fixed-slot binary lane (§3.15) has no equivalent
+        // streaming path yet, so overlaid sends always ride XML — even
+        // under a process-wide `BSOAP_WIRE_FORMAT=binary` default.
+        let config = config.with_wire_format(crate::config::WireFormat::SoapXml);
         if op.params.len() != 1 {
             return Err(EngineError::StructureMismatch {
                 why: "overlay requires a single-parameter operation".into(),

@@ -84,8 +84,8 @@ pub(crate) struct Builder {
     pub store: ChunkStore,
     pub dut: DutTable,
     pub arrays: Vec<ArrayInfo>,
-    scratch: Vec<u8>,
-    region: Vec<u8>,
+    pub(crate) scratch: Vec<u8>,
+    pub(crate) region: Vec<u8>,
 }
 
 impl Builder {
@@ -116,17 +116,34 @@ impl Builder {
         self.store.append_region(s.as_bytes());
     }
 
+    /// Append raw marker bytes (the binary lane's tag runs).
+    pub(crate) fn raw_bytes(&mut self, bytes: &[u8]) {
+        self.store.append_region(bytes);
+    }
+
     /// Append one DUT-tracked leaf region `[value][close_tag][pad]`.
     ///
     /// `width_override` forces a specific minimum width (the array-length
-    /// field stuffs to `INT_MAX_WIDTH` so resizes never shift).
+    /// field stuffs to `INT_MAX_WIDTH` so resizes never shift). On the
+    /// binary lane the width is always exactly the serialized length:
+    /// numeric records are fixed-width by construction, so stuffing buys
+    /// nothing, and string records carry their own length prefix.
     pub(crate) fn leaf(&mut self, value: Scalar, close_tag: &str, width_override: Option<usize>) {
         let kind = value.kind();
-        value.serialize_into_kern(&mut self.scratch, self.config.float, self.config.kernel);
+        value.serialize_wire(
+            &mut self.scratch,
+            self.config.float,
+            self.config.kernel,
+            self.config.wire_format,
+        );
         let ser_len = self.scratch.len();
-        let width = match width_override {
-            Some(w) => w.max(ser_len),
-            None => self.config.width.initial_width(kind, ser_len),
+        let width = if self.config.wire_format == crate::config::WireFormat::CompactBinary {
+            ser_len
+        } else {
+            match width_override {
+                Some(w) => w.max(ser_len),
+                None => self.config.width.initial_width(kind, ser_len),
+            }
         };
         self.region.clear();
         self.region.extend_from_slice(&self.scratch);
@@ -187,6 +204,9 @@ impl Builder {
         from: usize,
         to: usize,
     ) -> Result<(), EngineError> {
+        if self.config.wire_format == crate::config::WireFormat::CompactBinary {
+            return self.binary_elements(item_desc, value, from, to);
+        }
         match (value, item_desc) {
             (Value::DoubleArray(v), TypeDesc::Scalar(ScalarKind::Double)) => {
                 let open = soap::scalar_open(soap::ITEM_NAME, "xsd:double");
@@ -334,6 +354,9 @@ impl MessageTemplate {
         op.check_args(args)?;
         for p in &op.params {
             validate_param_type(&p.desc, true)?;
+        }
+        if config.wire_format == crate::config::WireFormat::CompactBinary {
+            return Self::build_binary(config, op, args);
         }
         let mut b = Builder::new(config);
         b.raw(soap::XML_DECL);

@@ -139,6 +139,13 @@ impl MessageTemplate {
         let simd_hits = bsoap_kernels::take_simd_hits();
         if let Some(m) = &self.metrics {
             m.add(Counter::send(tier.obs()), 1);
+            m.add(
+                match self.config.wire_format {
+                    crate::config::WireFormat::SoapXml => Counter::SendsXml,
+                    crate::config::WireFormat::CompactBinary => Counter::SendsBinary,
+                },
+                1,
+            );
             m.add(Counter::SimdKernelHits, simd_hits);
             m.add(Counter::ChunkGrows, churn.grows);
             m.add(Counter::ChunkMerges, churn.merges);
@@ -460,6 +467,7 @@ impl MessageTemplate {
         let mut scratch = std::mem::take(&mut self.scratch);
         let float = self.config.float;
         let kernel = self.config.kernel;
+        let format = self.config.wire_format;
         let n = self.dut.len();
         for i in 0..n {
             if !self.dut.entry(i).dirty {
@@ -468,7 +476,7 @@ impl MessageTemplate {
             self.dut
                 .entry(i)
                 .value
-                .serialize_into_kern(&mut scratch, float, kernel);
+                .serialize_wire(&mut scratch, float, kernel, format);
             self.patch_entry(i, &scratch, counters);
             self.dut.clear_dirty(i);
         }
@@ -511,6 +519,7 @@ impl MessageTemplate {
         let float = self.config.float;
         let steal = self.config.steal;
         let kernel = self.config.kernel;
+        let format = self.config.wire_format;
 
         // Split the borrow: each worker owns disjoint slices of the DUT
         // table and disjoint chunk buffers; `self` is untouched until they
@@ -569,7 +578,7 @@ impl MessageTemplate {
                                     deferred.push(start + i);
                                     continue;
                                 }
-                                e.value.serialize_into_kern(&mut scratch, float, kernel);
+                                e.value.serialize_wire(&mut scratch, float, kernel, format);
                                 if scratch.len() as u32 > e.width {
                                     deferred.push(start + i);
                                     prev_deferred = true;
@@ -606,11 +615,12 @@ impl MessageTemplate {
             let mut scratch = std::mem::take(&mut self.scratch);
             let float = self.config.float;
             let kernel = self.config.kernel;
+            let format = self.config.wire_format;
             for idx in deferred_all {
                 self.dut
                     .entry(idx)
                     .value
-                    .serialize_into_kern(&mut scratch, float, kernel);
+                    .serialize_wire(&mut scratch, float, kernel, format);
                 self.patch_entry(idx, &scratch, counters);
                 self.dut.clear_dirty(idx);
             }

@@ -79,6 +79,7 @@ impl MessageTemplate {
 
         let float = self.config.float;
         let kernel = self.config.kernel;
+        let format = self.config.wire_format;
         let growth = self.config.growth;
         let steal_on = self.config.steal;
         let entries = self.dut.entries();
@@ -94,7 +95,7 @@ impl MessageTemplate {
             if !e.dirty {
                 continue;
             }
-            e.value.serialize_into_kern(&mut scratch, float, kernel);
+            e.value.serialize_wire(&mut scratch, float, kernel, format);
             let new_len = scratch.len() as u32;
             let lo = plan.blob.len() as u32;
             plan.blob.extend_from_slice(&scratch);

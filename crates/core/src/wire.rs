@@ -1,0 +1,131 @@
+//! The compact binary wire framing (§ DESIGN 3.15).
+//!
+//! Layout of a binary envelope:
+//!
+//! ```text
+//! "BSB1"                                  magic
+//! [u16 LE op-name len][op-name bytes]     operation identity
+//! [u8 param count]
+//! per parameter, in schema order:
+//!   scalar   [tag][fixed-width LE payload]
+//!   struct   STRUCT_BEGIN fields... STRUCT_END
+//!   array    ARRAY_BEGIN [int leaf = element count] elements... ARRAY_END
+//! END
+//! ```
+//!
+//! Every scalar leaf is one tagged record. Numeric payloads are
+//! fixed-width little-endian — an int leaf is always exactly 5 bytes on
+//! the wire no matter its value — so a differential rewrite of a numeric
+//! leaf is always a same-length overwrite: no stuffing, no stealing, no
+//! shifting. Strings are length-prefixed (`[TAG_STR][u32 LE len][bytes]`)
+//! and may still shift on growth, exactly like XML strings.
+//!
+//! The DUT pad byte is the space (`0x20`), shared with the XML lane: when
+//! a string leaf shrinks inside its allocated width the patch machinery
+//! pads the region with spaces. No tag or marker byte is `0x20`, so a
+//! decoder that skips pad bytes wherever a tag is expected is
+//! unambiguous.
+
+/// Magic prefix of every binary envelope.
+pub const MAGIC: &[u8; 4] = b"BSB1";
+
+/// Leaf tags (one per [`bsoap_convert::ScalarKind`]).
+pub const TAG_INT: u8 = 0x01;
+/// `i64`, 8-byte LE payload.
+pub const TAG_LONG: u8 = 0x02;
+/// `f64` bit pattern, 8-byte LE payload.
+pub const TAG_DOUBLE: u8 = 0x03;
+/// 1-byte payload, `0` or `1`.
+pub const TAG_BOOL: u8 = 0x04;
+/// `[u32 LE len][len bytes]` payload (unescaped UTF-8).
+pub const TAG_STR: u8 = 0x05;
+
+/// Structural markers.
+pub const ARRAY_BEGIN: u8 = 0x06;
+/// Closes an [`ARRAY_BEGIN`].
+pub const ARRAY_END: u8 = 0x07;
+/// Opens a struct (top-level param or array element).
+pub const STRUCT_BEGIN: u8 = 0x08;
+/// Closes a [`STRUCT_BEGIN`].
+pub const STRUCT_END: u8 = 0x09;
+/// Terminates the envelope.
+pub const END: u8 = 0x0B;
+
+/// The DUT pad byte (shared with the XML lane's stuffing whitespace).
+/// Decoders skip any run of these wherever a tag byte is expected.
+pub const PAD: u8 = b' ';
+
+/// Serialized length of one leaf of `kind` holding `payload` bytes of
+/// string data (ignored for numerics). Numeric leaves are fixed-width.
+pub fn leaf_len(kind: bsoap_convert::ScalarKind, str_payload: usize) -> usize {
+    match kind {
+        bsoap_convert::ScalarKind::Int => 1 + 4,
+        bsoap_convert::ScalarKind::Long => 1 + 8,
+        bsoap_convert::ScalarKind::Double => 1 + 8,
+        bsoap_convert::ScalarKind::Bool => 1 + 1,
+        bsoap_convert::ScalarKind::Str => 1 + 4 + str_payload,
+    }
+}
+
+/// Append the envelope prologue (magic, op name, param count).
+pub fn write_prologue(out: &mut Vec<u8>, op_name: &str, params: usize) {
+    out.extend_from_slice(MAGIC);
+    let name = op_name.as_bytes();
+    debug_assert!(name.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name);
+    debug_assert!(params <= u8::MAX as usize);
+    out.push(params as u8);
+}
+
+/// Does `body` carry the binary magic? (Cheap format sniff used by
+/// dispatchers when no `X-BSOAP-Format` header arrived.)
+pub fn is_binary(body: &[u8]) -> bool {
+    body.len() >= MAGIC.len() && &body[..MAGIC.len()] == MAGIC
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsoap_convert::ScalarKind;
+
+    #[test]
+    fn no_marker_collides_with_pad() {
+        for b in [
+            TAG_INT,
+            TAG_LONG,
+            TAG_DOUBLE,
+            TAG_BOOL,
+            TAG_STR,
+            ARRAY_BEGIN,
+            ARRAY_END,
+            STRUCT_BEGIN,
+            STRUCT_END,
+            END,
+        ] {
+            assert_ne!(b, PAD, "pad-skip would be ambiguous");
+        }
+    }
+
+    #[test]
+    fn numeric_leaves_are_fixed_width() {
+        assert_eq!(leaf_len(ScalarKind::Int, 0), 5);
+        assert_eq!(leaf_len(ScalarKind::Long, 0), 9);
+        assert_eq!(leaf_len(ScalarKind::Double, 0), 9);
+        assert_eq!(leaf_len(ScalarKind::Bool, 0), 2);
+        assert_eq!(leaf_len(ScalarKind::Str, 7), 12);
+    }
+
+    #[test]
+    fn prologue_and_sniff() {
+        let mut out = Vec::new();
+        write_prologue(&mut out, "sum", 2);
+        assert!(is_binary(&out));
+        assert_eq!(&out[..4], MAGIC);
+        assert_eq!(out[4..6], 3u16.to_le_bytes());
+        assert_eq!(&out[6..9], b"sum");
+        assert_eq!(out[9], 2);
+        assert!(!is_binary(b"<?xml"));
+        assert!(!is_binary(b"BS"));
+    }
+}

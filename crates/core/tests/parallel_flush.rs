@@ -87,7 +87,9 @@ fn all_dirty_in_width_many_chunks() {
     // 100% dirty, all rewrites in-width (Max stuffing): the pure parallel
     // fast path, no deferred entries.
     let n = 400;
-    let base = EngineConfig::stuffed_max().with_chunk(small_chunks());
+    let base = EngineConfig::stuffed_max()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
+        .with_chunk(small_chunks());
     let rounds: Vec<Vec<f64>> = (0..4)
         .map(|r| {
             (0..n)
@@ -105,7 +107,9 @@ fn growth_mix_defers_and_replays() {
     // Mixed in-width rewrites and width-growing values (Exact widths):
     // exercises the deferred sequential replay with shifts and splits.
     let n = 300;
-    let base = EngineConfig::paper_default().with_chunk(small_chunks());
+    let base = EngineConfig::paper_default()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
+        .with_chunk(small_chunks());
     let rounds: Vec<Vec<f64>> = (0..3)
         .map(|r| {
             (0..n)
@@ -125,6 +129,7 @@ fn steal_contagion_adjacent_dirty_neighbors() {
     // exact pattern the contagion rule defends.
     let n = 200;
     let base = EngineConfig::paper_default()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
         .with_chunk(small_chunks())
         .with_width(WidthPolicy::Fixed {
             double: 18,
@@ -164,7 +169,9 @@ fn sparse_dirty_subset() {
     // Only a scattered subset dirty per round: runs of very different
     // sizes across chunks (exercises the greedy run assignment).
     let n = 500;
-    let base = EngineConfig::stuffed_max().with_chunk(small_chunks());
+    let base = EngineConfig::stuffed_max()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
+        .with_chunk(small_chunks());
     let rounds: Vec<Vec<f64>> = (0..5)
         .map(|r| {
             (0..n)
@@ -188,6 +195,7 @@ fn legacy_mode_scenarios_stay_covered() {
     // the two heaviest scenarios under it so the code stays exercised.
     let n = 300;
     let base = EngineConfig::paper_default()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
         .with_flush_mode(FlushMode::Legacy)
         .with_chunk(small_chunks());
     let rounds: Vec<Vec<f64>> = (0..3)
@@ -229,6 +237,7 @@ fn deferral_in_one_chunk_does_not_serialize_the_next() {
     let n = 120;
     for mode in [FlushMode::Legacy, FlushMode::Planned] {
         let base = EngineConfig::paper_default()
+            .with_wire_format(bsoap_core::WireFormat::SoapXml)
             .with_flush_mode(mode)
             .with_chunk(ChunkConfig {
                 initial_size: 256,
@@ -290,7 +299,7 @@ fn deferral_in_one_chunk_does_not_serialize_the_next() {
 fn single_chunk_falls_back_to_sequential() {
     // Everything in one chunk: the parallel path must decline (one run)
     // and behave exactly as sequential.
-    let base = EngineConfig::paper_default(); // 32 KiB chunks
+    let base = EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml); // 32 KiB chunks
     let rounds = vec![vec![3.25; 20], vec![1.0; 20]];
     assert_parallel_matches_sequential(base, 8, &rounds);
 }
@@ -299,7 +308,9 @@ fn single_chunk_falls_back_to_sequential() {
 fn workers_exceed_chunks() {
     // More workers than runs: worker count must clamp, not panic or idle.
     let n = 60;
-    let base = EngineConfig::stuffed_max().with_chunk(small_chunks());
+    let base = EngineConfig::stuffed_max()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
+        .with_chunk(small_chunks());
     let rounds = vec![(0..n).map(|i| i as f64 * 0.5 + 0.25).collect()];
     assert_parallel_matches_sequential(base, 64, &rounds);
 }
@@ -318,7 +329,7 @@ proptest! {
         workers in 2usize..6,
         rounds in 1usize..4,
     ) {
-        let base = EngineConfig::paper_default()
+        let base = EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml)
             .with_chunk(ChunkConfig { initial_size: 256, split_threshold: 512, reserve: 48 })
             .with_steal(steal)
             .with_growth(if to_max { GrowthPolicy::ToMax } else { GrowthPolicy::Exact });

@@ -89,7 +89,7 @@ proptest! {
         forced_simd in any::<bool>(),
     ) {
         let kernel = if forced_simd { KernelPolicy::ForcedSimd } else { KernelPolicy::Scalar };
-        let config = EngineConfig::stuffed_max().with_kernel(kernel);
+        let config = EngineConfig::stuffed_max().with_wire_format(bsoap_core::WireFormat::SoapXml).with_kernel(kernel);
         let op = doubles_op();
         let value = Value::DoubleArray((0..n).map(dval).collect());
         let (streamed, portions) = overlay_bytes(config, &op, window, &value);
@@ -107,7 +107,7 @@ proptest! {
         forced_simd in any::<bool>(),
     ) {
         let kernel = if forced_simd { KernelPolicy::ForcedSimd } else { KernelPolicy::Scalar };
-        let config = EngineConfig::paper_default().with_kernel(kernel);
+        let config = EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml).with_kernel(kernel);
         let op = doubles_op();
         let value = Value::DoubleArray((0..n).map(dval).collect());
         let (streamed, _) = overlay_bytes(config, &op, window, &value);
@@ -124,7 +124,7 @@ proptest! {
         forced_simd in any::<bool>(),
     ) {
         let kernel = if forced_simd { KernelPolicy::ForcedSimd } else { KernelPolicy::Scalar };
-        let config = EngineConfig::stuffed_max().with_kernel(kernel);
+        let config = EngineConfig::stuffed_max().with_wire_format(bsoap_core::WireFormat::SoapXml).with_kernel(kernel);
         let op = mios_op();
         let items: Vec<Value> = (0..n)
             .map(|i| bsoap_core::value::mio(i as i32, -(i as i32), dval(i)))
@@ -145,7 +145,7 @@ proptest! {
         forced_simd in any::<bool>(),
     ) {
         let kernel = if forced_simd { KernelPolicy::ForcedSimd } else { KernelPolicy::Scalar };
-        let config = EngineConfig::stuffed_max().with_kernel(kernel);
+        let config = EngineConfig::stuffed_max().with_wire_format(bsoap_core::WireFormat::SoapXml).with_kernel(kernel);
         let op = doubles_op();
         let mut sender = OverlaySender::new(config, &op, window).unwrap();
         for (round, n) in [n1, n2].into_iter().enumerate() {
@@ -163,7 +163,7 @@ fn non_dividing_tail_exact_boundaries() {
     // Deterministic spot-checks at the awkward boundaries: window larger
     // than array, window == array, off-by-one tails.
     let op = doubles_op();
-    let config = EngineConfig::stuffed_max();
+    let config = EngineConfig::stuffed_max().with_wire_format(bsoap_core::WireFormat::SoapXml);
     for (n, window) in [(1, 5), (5, 5), (6, 5), (9, 5), (10, 5), (11, 5), (0, 3)] {
         let value = Value::DoubleArray((0..n).map(dval).collect());
         let (streamed, portions) = overlay_bytes(config, &op, window, &value);

@@ -40,6 +40,7 @@ fn worst_case_expansion_all_values() {
         reserve: 64,
     };
     let config = EngineConfig::paper_default()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
         .with_chunk(tight)
         .with_steal(false);
     let min_vals = Value::DoubleArray(vec![1.0; n]); // "1": one char
@@ -71,7 +72,9 @@ fn worst_case_expansion_all_values() {
 fn stealing_avoids_tail_shifts() {
     // Neighbor fields stuffed to max have 23 spare chars; growing one value
     // should steal from the right neighbor instead of shifting.
-    let config = EngineConfig::stuffed_max().with_chunk(small_chunks());
+    let config = EngineConfig::stuffed_max()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
+        .with_chunk(small_chunks());
     let tpl = MessageTemplate::build(
         config,
         &doubles_op(),
@@ -84,6 +87,7 @@ fn stealing_avoids_tail_shifts() {
     drop(tpl);
 
     let config = EngineConfig::paper_default()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
         .with_chunk(small_chunks())
         .with_steal(true);
     // value0 short, value1 long (its field is wide), value2 short.
@@ -118,6 +122,7 @@ fn stealing_avoids_tail_shifts() {
 #[test]
 fn steal_disabled_forces_shift() {
     let config = EngineConfig::paper_default()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
         .with_chunk(small_chunks())
         .with_steal(false);
     let mut tpl = MessageTemplate::build(
@@ -140,6 +145,7 @@ fn steal_disabled_forces_shift() {
 #[test]
 fn growth_policy_to_max_prevents_second_shift() {
     let config = EngineConfig::paper_default()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
         .with_chunk(small_chunks())
         .with_growth(GrowthPolicy::ToMax)
         .with_steal(false);
@@ -163,6 +169,7 @@ fn growth_policy_to_max_prevents_second_shift() {
 #[test]
 fn growth_policy_exact_shifts_every_growth() {
     let config = EngineConfig::paper_default()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
         .with_chunk(small_chunks())
         .with_growth(GrowthPolicy::Exact)
         .with_steal(false);
@@ -181,7 +188,9 @@ fn growth_policy_exact_shifts_every_growth() {
 #[test]
 fn max_stuffing_never_shifts() {
     // Fig 10/11's operating point: all fields at max width.
-    let config = EngineConfig::stuffed_max().with_chunk(small_chunks());
+    let config = EngineConfig::stuffed_max()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
+        .with_chunk(small_chunks());
     let n = 100;
     let mut tpl =
         MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![1.0; n])]).unwrap();
@@ -212,7 +221,7 @@ fn full_closing_tag_shift_bytes_still_legal_xml() {
     // Fig 10/11 "Max Field Width: Full Closing Tag Shift": write the
     // smallest value over the largest. The closing tag moves 23 chars left
     // and whitespace fills the gap; the result must stay well-formed.
-    let config = EngineConfig::stuffed_max();
+    let config = EngineConfig::stuffed_max().with_wire_format(bsoap_core::WireFormat::SoapXml);
     let wide = -2.2250738585072014e-308;
     let mut tpl =
         MessageTemplate::build(config, &doubles_op(), &[Value::DoubleArray(vec![wide; 10])])
@@ -252,6 +261,7 @@ fn chunk_size_bounds_shift_cost() {
     let mut shifted = Vec::new();
     for chunk in [ChunkConfig::k8(), ChunkConfig::k32()] {
         let config = EngineConfig::paper_default()
+            .with_wire_format(bsoap_core::WireFormat::SoapXml)
             .with_chunk(chunk)
             .with_steal(false);
         let mut tpl =
@@ -272,7 +282,9 @@ fn chunk_size_bounds_shift_cost() {
 #[test]
 fn string_growth_and_shrink() {
     let op = OpDesc::single("tag", "urn:x", "s", TypeDesc::Scalar(ScalarKind::Str));
-    let config = EngineConfig::paper_default().with_chunk(small_chunks());
+    let config = EngineConfig::paper_default()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
+        .with_chunk(small_chunks());
     let mut tpl = MessageTemplate::build(config, &op, &[Value::Str("ab".into())]).unwrap();
 
     // Grow: strings have no max width; must shift by the exact delta.
@@ -305,6 +317,7 @@ fn intermediate_stuffing_absorbs_moderate_growth() {
     // Fig 8/9 shape: fields stuffed to 18 chars absorb values up to 18
     // chars without shifting; 24-char values force shifting.
     let config = EngineConfig::paper_default()
+        .with_wire_format(bsoap_core::WireFormat::SoapXml)
         .with_chunk(small_chunks())
         .with_width(WidthPolicy::Fixed {
             double: 18,

@@ -1,0 +1,437 @@
+//! Compact-binary envelope decoding (the receiving half of the
+//! negotiated binary lane, DESIGN §3.15).
+//!
+//! The decoder is schema-directed like [`crate::envelope`]: given the
+//! [`OpDesc`] a service expects, it walks the tagged records of a
+//! `BSB1` envelope into [`Value`]s. Wherever a tag or marker byte is
+//! expected it first skips any run of pad bytes (`0x20`) — the stuffing
+//! a shrunk string region leaves behind, exactly as inter-tag whitespace
+//! does on the XML lane. No tag byte collides with the pad, so the skip
+//! is unambiguous.
+//!
+//! Every malformed input — truncation, an unknown tag, a length prefix
+//! lying about the remaining bytes, trailing garbage — surfaces as a
+//! typed [`DeserError`]; the decoder never panics and never reads past
+//! the buffer (fuzzed in `tests/binary_fuzz.rs`).
+
+use crate::diff::DiffOutcome;
+use crate::error::DeserError;
+use bsoap_convert::ScalarKind;
+use bsoap_core::wire;
+use bsoap_core::{OpDesc, TypeDesc, Value};
+
+/// Parse a compact-binary envelope into the operation's argument values.
+pub fn parse_binary_envelope(bytes: &[u8], op: &OpDesc) -> Result<Vec<Value>, DeserError> {
+    let mut c = Cursor { buf: bytes, pos: 0 };
+    let magic = c.take(wire::MAGIC.len(), "magic")?;
+    if magic != wire::MAGIC {
+        return Err(DeserError::binary("missing BSB1 magic"));
+    }
+    let name_len = u16::from_le_bytes(c.take(2, "op-name length")?.try_into().unwrap()) as usize;
+    let name = c.take(name_len, "op name")?;
+    if name != op.name.as_bytes() {
+        return Err(DeserError::shape(format!(
+            "operation name mismatch: envelope says {:?}, expected {:?}",
+            String::from_utf8_lossy(name),
+            op.name
+        )));
+    }
+    let param_count = c.byte("param count")? as usize;
+    if param_count != op.params.len() {
+        return Err(DeserError::shape(format!(
+            "param count mismatch: envelope says {param_count}, schema has {}",
+            op.params.len()
+        )));
+    }
+    let mut args = Vec::with_capacity(op.params.len());
+    for param in &op.params {
+        args.push(parse_value(&mut c, &param.desc)?);
+    }
+    c.skip_pads();
+    if c.byte("END marker")? != wire::END {
+        return Err(DeserError::binary("expected END marker"));
+    }
+    c.skip_pads();
+    if c.pos != c.buf.len() {
+        return Err(DeserError::binary(format!(
+            "{} trailing bytes after END",
+            c.buf.len() - c.pos
+        )));
+    }
+    Ok(args)
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DeserError> {
+        if self.remaining() < n {
+            return Err(DeserError::binary(format!(
+                "truncated: {what} needs {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn byte(&mut self, what: &str) -> Result<u8, DeserError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Skip pad bytes; legal exactly where a tag or marker is expected.
+    fn skip_pads(&mut self) {
+        while self.pos < self.buf.len() && self.buf[self.pos] == wire::PAD {
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_value(c: &mut Cursor<'_>, desc: &TypeDesc) -> Result<Value, DeserError> {
+    match desc {
+        TypeDesc::Scalar(kind) => parse_leaf(c, *kind),
+        TypeDesc::Struct { fields, .. } => {
+            c.skip_pads();
+            if c.byte("STRUCT_BEGIN")? != wire::STRUCT_BEGIN {
+                return Err(DeserError::binary("expected STRUCT_BEGIN"));
+            }
+            let mut vals = Vec::with_capacity(fields.len());
+            for (_, fdesc) in fields {
+                vals.push(parse_value(c, fdesc)?);
+            }
+            c.skip_pads();
+            if c.byte("STRUCT_END")? != wire::STRUCT_END {
+                return Err(DeserError::binary("expected STRUCT_END"));
+            }
+            Ok(Value::Struct(vals))
+        }
+        TypeDesc::Array { item } => parse_array(c, item),
+    }
+}
+
+fn parse_array(c: &mut Cursor<'_>, item: &TypeDesc) -> Result<Value, DeserError> {
+    c.skip_pads();
+    if c.byte("ARRAY_BEGIN")? != wire::ARRAY_BEGIN {
+        return Err(DeserError::binary("expected ARRAY_BEGIN"));
+    }
+    let Value::Int(len) = parse_leaf(c, ScalarKind::Int)? else {
+        unreachable!("int leaf parses to Int");
+    };
+    if len < 0 {
+        return Err(DeserError::binary(format!("negative array length {len}")));
+    }
+    let len = len as usize;
+    // A length prefix cannot promise more elements than the remaining
+    // bytes could hold — each element costs at least one tag byte. This
+    // bounds allocation before the element loop touches anything.
+    if len > c.remaining() {
+        return Err(DeserError::binary(format!(
+            "array length {len} exceeds the {} bytes left in the message",
+            c.remaining()
+        )));
+    }
+    let value = match item {
+        TypeDesc::Scalar(ScalarKind::Double) => {
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                let Value::Double(x) = parse_leaf(c, ScalarKind::Double)? else {
+                    unreachable!("double leaf parses to Double");
+                };
+                v.push(x);
+            }
+            Value::DoubleArray(v)
+        }
+        TypeDesc::Scalar(ScalarKind::Int) => {
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                let Value::Int(x) = parse_leaf(c, ScalarKind::Int)? else {
+                    unreachable!("int leaf parses to Int");
+                };
+                v.push(x);
+            }
+            Value::IntArray(v)
+        }
+        _ => {
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(parse_value(c, item)?);
+            }
+            Value::Array(v)
+        }
+    };
+    c.skip_pads();
+    if c.byte("ARRAY_END")? != wire::ARRAY_END {
+        return Err(DeserError::binary("expected ARRAY_END"));
+    }
+    Ok(value)
+}
+
+fn parse_leaf(c: &mut Cursor<'_>, kind: ScalarKind) -> Result<Value, DeserError> {
+    c.skip_pads();
+    let tag = c.byte("leaf tag")?;
+    let expected = match kind {
+        ScalarKind::Int => wire::TAG_INT,
+        ScalarKind::Long => wire::TAG_LONG,
+        ScalarKind::Double => wire::TAG_DOUBLE,
+        ScalarKind::Bool => wire::TAG_BOOL,
+        ScalarKind::Str => wire::TAG_STR,
+    };
+    if tag != expected {
+        return Err(DeserError::binary(format!(
+            "leaf tag {tag:#04x} where {kind:?} ({expected:#04x}) was expected"
+        )));
+    }
+    Ok(match kind {
+        ScalarKind::Int => Value::Int(i32::from_le_bytes(
+            c.take(4, "int payload")?.try_into().unwrap(),
+        )),
+        ScalarKind::Long => Value::Long(i64::from_le_bytes(
+            c.take(8, "long payload")?.try_into().unwrap(),
+        )),
+        ScalarKind::Double => Value::Double(f64::from_bits(u64::from_le_bytes(
+            c.take(8, "double payload")?.try_into().unwrap(),
+        ))),
+        ScalarKind::Bool => match c.byte("bool payload")? {
+            0 => Value::Bool(false),
+            1 => Value::Bool(true),
+            b => return Err(DeserError::binary(format!("bool payload {b:#04x}"))),
+        },
+        ScalarKind::Str => {
+            let n = u32::from_le_bytes(c.take(4, "string length")?.try_into().unwrap()) as usize;
+            if n > c.remaining() {
+                return Err(DeserError::binary(format!(
+                    "string length {n} exceeds the {} bytes left in the message",
+                    c.remaining()
+                )));
+            }
+            let raw = c.take(n, "string payload")?;
+            let s = std::str::from_utf8(raw)
+                .map_err(|e| DeserError::binary(format!("string payload not UTF-8: {e}")))?;
+            Value::Str(s.to_owned())
+        }
+    })
+}
+
+/// Differential deserializer for the binary lane: the byte-identical
+/// fast path mirrors [`crate::DiffDeserializer`]'s content-match
+/// shortcut; anything else is a full decode. Binary decoding is already
+/// a single schema walk over fixed-width records — there is no per-leaf
+/// lexical parse worth skipping, so the leaf-level differential tier
+/// intentionally does not exist on this lane.
+#[derive(Debug)]
+pub struct BinaryDiffDeserializer {
+    op: OpDesc,
+    prev_bytes: Vec<u8>,
+    prev_args: Vec<Value>,
+    stats: crate::DeserStats,
+}
+
+impl BinaryDiffDeserializer {
+    /// Deserializer expecting binary envelopes for `op`.
+    pub fn new(op: OpDesc) -> Self {
+        BinaryDiffDeserializer {
+            op,
+            prev_bytes: Vec::new(),
+            prev_args: Vec::new(),
+            stats: crate::DeserStats::default(),
+        }
+    }
+
+    /// The operation this deserializer serves.
+    pub fn op(&self) -> &OpDesc {
+        &self.op
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> crate::DeserStats {
+        self.stats
+    }
+
+    /// Bytes retained as the reference message.
+    pub fn retained_bytes(&self) -> usize {
+        self.prev_bytes.len()
+    }
+
+    /// Decode `bytes`, short-circuiting when they are identical to the
+    /// previous message.
+    pub fn deserialize(&mut self, bytes: &[u8]) -> Result<(&[Value], DiffOutcome), DeserError> {
+        self.stats.messages += 1;
+        if !self.prev_bytes.is_empty() && self.prev_bytes == bytes {
+            self.stats.identical += 1;
+            return Ok((&self.prev_args, DiffOutcome::Identical));
+        }
+        let args = parse_binary_envelope(bytes, &self.op)?;
+        self.stats.full_parses += 1;
+        self.prev_bytes.clear();
+        self.prev_bytes.extend_from_slice(bytes);
+        self.prev_args = args;
+        Ok((&self.prev_args, DiffOutcome::FullParse))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsoap_core::value::mio;
+    use bsoap_core::{EngineConfig, MessageTemplate, WireFormat};
+
+    fn bin_cfg() -> EngineConfig {
+        EngineConfig::paper_default().with_wire_format(WireFormat::CompactBinary)
+    }
+
+    fn mios_op() -> OpDesc {
+        OpDesc::single(
+            "sendMios",
+            "urn:mesh",
+            "mios",
+            TypeDesc::array_of(TypeDesc::mio()),
+        )
+    }
+
+    #[test]
+    fn round_trips_every_scalar_kind() {
+        let op = OpDesc::new(
+            "kinds",
+            "urn:t",
+            vec![
+                bsoap_core::ParamDesc {
+                    name: "i".into(),
+                    desc: TypeDesc::Scalar(ScalarKind::Int),
+                },
+                bsoap_core::ParamDesc {
+                    name: "l".into(),
+                    desc: TypeDesc::Scalar(ScalarKind::Long),
+                },
+                bsoap_core::ParamDesc {
+                    name: "d".into(),
+                    desc: TypeDesc::Scalar(ScalarKind::Double),
+                },
+                bsoap_core::ParamDesc {
+                    name: "b".into(),
+                    desc: TypeDesc::Scalar(ScalarKind::Bool),
+                },
+                bsoap_core::ParamDesc {
+                    name: "s".into(),
+                    desc: TypeDesc::Scalar(ScalarKind::Str),
+                },
+            ],
+        );
+        let args = vec![
+            Value::Int(i32::MIN),
+            Value::Long(i64::MAX),
+            Value::Double(-0.0),
+            Value::Bool(true),
+            // Unescaped on the binary lane: markup characters survive.
+            Value::Str("a<b&c>\"d\"".to_owned()),
+        ];
+        let bytes = MessageTemplate::build(bin_cfg(), &op, &args)
+            .unwrap()
+            .to_bytes();
+        let got = parse_binary_envelope(&bytes, &op).unwrap();
+        assert_eq!(got, args);
+    }
+
+    #[test]
+    fn round_trips_struct_arrays_and_padded_strings() {
+        let op = mios_op();
+        let args = vec![Value::Array(vec![mio(1, 2, 0.5), mio(-3, 4, f64::NAN)])];
+        let mut tpl = MessageTemplate::build(bin_cfg(), &op, &args).unwrap();
+        let got = parse_binary_envelope(&tpl.to_bytes(), &op).unwrap();
+        // NaN != NaN under PartialEq; compare the bit pattern by hand.
+        let Value::Array(elems) = &got[0] else {
+            panic!()
+        };
+        assert_eq!(elems.len(), 2);
+        assert_eq!(elems[0], mio(1, 2, 0.5));
+
+        // A resize must stay decodable (length leaf rewritten in place).
+        tpl.update_args(&[Value::Array(vec![mio(9, 9, 9.0)])])
+            .unwrap();
+        tpl.flush();
+        let got = parse_binary_envelope(&tpl.to_bytes(), &op).unwrap();
+        assert_eq!(got[0], Value::Array(vec![mio(9, 9, 9.0)]));
+    }
+
+    #[test]
+    fn shrunk_string_pads_are_skipped() {
+        let op = OpDesc::single("tag", "urn:t", "s", TypeDesc::Scalar(ScalarKind::Str));
+        let mut tpl =
+            MessageTemplate::build(bin_cfg(), &op, &[Value::Str("abcdef".into())]).unwrap();
+        tpl.update_args(&[Value::Str("ab".into())]).unwrap();
+        tpl.flush();
+        let bytes = tpl.to_bytes();
+        // The shrunk region leaves a pad run before END.
+        assert!(bytes.windows(2).any(|w| w == [wire::PAD, wire::PAD]));
+        let got = parse_binary_envelope(&bytes, &op).unwrap();
+        assert_eq!(got, vec![Value::Str("ab".into())]);
+    }
+
+    #[test]
+    fn diff_wrapper_short_circuits_identical() {
+        let op = mios_op();
+        let mut tpl =
+            MessageTemplate::build(bin_cfg(), &op, &[Value::Array(vec![mio(1, 2, 3.0)])]).unwrap();
+        let mut d = BinaryDiffDeserializer::new(op);
+        let (_, o) = d.deserialize(&tpl.to_bytes()).unwrap();
+        assert_eq!(o, DiffOutcome::FullParse);
+        let (_, o) = d.deserialize(&tpl.to_bytes()).unwrap();
+        assert_eq!(o, DiffOutcome::Identical);
+        tpl.update_args(&[Value::Array(vec![mio(1, 2, 4.0)])])
+            .unwrap();
+        tpl.flush();
+        let (got, o) = d.deserialize(&tpl.to_bytes()).unwrap();
+        assert_eq!(o, DiffOutcome::FullParse);
+        assert_eq!(got, &[Value::Array(vec![mio(1, 2, 4.0)])]);
+        assert_eq!(d.stats().messages, 3);
+        assert!(d.retained_bytes() > 0);
+    }
+
+    #[test]
+    fn malformed_envelopes_are_typed_errors() {
+        let op = mios_op();
+        let bytes = MessageTemplate::build(bin_cfg(), &op, &[Value::Array(vec![mio(1, 2, 3.0)])])
+            .unwrap()
+            .to_bytes();
+
+        // Truncations at every prefix length: error, never panic.
+        for n in 0..bytes.len() {
+            assert!(parse_binary_envelope(&bytes[..n], &op).is_err(), "len {n}");
+        }
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            parse_binary_envelope(&bad, &op),
+            Err(DeserError::Binary { .. })
+        ));
+        // Length prefix lying about the element count.
+        let mut bad = bytes.clone();
+        let len_pos = bad.iter().position(|&b| b == wire::TAG_INT).unwrap() + 1;
+        bad[len_pos..len_pos + 4].copy_from_slice(&i32::MAX.to_le_bytes());
+        assert!(matches!(
+            parse_binary_envelope(&bad, &op),
+            Err(DeserError::Binary { .. })
+        ));
+        // Trailing garbage after END.
+        let mut bad = bytes.clone();
+        bad.push(0xFF);
+        assert!(matches!(
+            parse_binary_envelope(&bad, &op),
+            Err(DeserError::Binary { .. })
+        ));
+        // Wrong operation for the schema.
+        let other = OpDesc::single("other", "urn:t", "v", TypeDesc::Scalar(ScalarKind::Int));
+        assert!(matches!(
+            parse_binary_envelope(&bytes, &other),
+            Err(DeserError::Shape { .. })
+        ));
+    }
+}

@@ -224,9 +224,13 @@ mod tests {
     fn identical_message_short_circuits() {
         let op = doubles_op();
         let args = vec![Value::DoubleArray(vec![1.5, 2.5])];
-        let bytes = MessageTemplate::build(EngineConfig::paper_default(), &op, &args)
-            .unwrap()
-            .to_bytes();
+        let bytes = MessageTemplate::build(
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml),
+            &op,
+            &args,
+        )
+        .unwrap()
+        .to_bytes();
         let mut d = DiffDeserializer::new(op);
         let (got, o1) = d.deserialize(&bytes).unwrap();
         assert_eq!(o1, DiffOutcome::FullParse);
@@ -242,7 +246,8 @@ mod tests {
         // 1.5 -> 9.5: same serialized length, so the template's perfect
         // structural match leaves the skeleton untouched.
         let op = doubles_op();
-        let config = EngineConfig::paper_default();
+        let config =
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml);
         let mut tpl =
             MessageTemplate::build(config, &op, &[Value::DoubleArray(vec![1.5, 2.5])]).unwrap();
         let mut d = DiffDeserializer::new(op);
@@ -268,7 +273,9 @@ mod tests {
         // value with a different serialized length stays differential —
         // the answer to §6's stuffing-effect question.
         let op = doubles_op();
-        let config = EngineConfig::paper_default().with_width(WidthPolicy::Max);
+        let config = EngineConfig::paper_default()
+            .with_wire_format(bsoap_core::WireFormat::SoapXml)
+            .with_width(WidthPolicy::Max);
         let mut tpl =
             MessageTemplate::build(config, &op, &[Value::DoubleArray(vec![1.5, 2.5])]).unwrap();
         let mut d = DiffDeserializer::new(op);
@@ -295,7 +302,8 @@ mod tests {
         // differ, so the deserializer re-parses from scratch — and adopts
         // the new message as its reference.
         let op = doubles_op();
-        let config = EngineConfig::paper_default();
+        let config =
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml);
         let mut tpl =
             MessageTemplate::build(config, &op, &[Value::DoubleArray(vec![1.5, 2.5])]).unwrap();
         let mut d = DiffDeserializer::new(op);
@@ -314,7 +322,7 @@ mod tests {
     fn resize_falls_back_then_recovers() {
         let op = doubles_op();
         let mut tpl = MessageTemplate::build(
-            EngineConfig::paper_default(),
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml),
             &op,
             &[Value::DoubleArray(vec![1.5, 2.5])],
         )
@@ -348,7 +356,7 @@ mod tests {
     fn all_leaves_changed() {
         let op = doubles_op();
         let mut tpl = MessageTemplate::build(
-            EngineConfig::paper_default(),
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml),
             &op,
             &[Value::DoubleArray(vec![1.5, 2.5, 3.5, 4.5])],
         )
@@ -373,7 +381,7 @@ mod tests {
     fn corrupted_leaf_region_is_rejected_not_misparsed() {
         let op = doubles_op();
         let tpl = MessageTemplate::build(
-            EngineConfig::paper_default(),
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml),
             &op,
             &[Value::DoubleArray(vec![1.5, 2.5])],
         )
@@ -390,7 +398,7 @@ mod tests {
     fn stats_accumulate() {
         let op = doubles_op();
         let mut tpl = MessageTemplate::build(
-            EngineConfig::paper_default(),
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml),
             &op,
             &[Value::DoubleArray(vec![1.5, 2.5])],
         )

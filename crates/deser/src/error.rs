@@ -23,11 +23,22 @@ pub enum DeserError {
         /// Human-readable description of the mismatch.
         why: String,
     },
+    /// A compact-binary envelope was malformed: truncated, an unknown
+    /// tag byte where a record was expected, a length prefix pointing
+    /// past the end of the message, or trailing garbage after `END`.
+    Binary {
+        /// Human-readable description of the framing violation.
+        why: String,
+    },
 }
 
 impl DeserError {
     pub(crate) fn shape(why: impl Into<String>) -> Self {
         DeserError::Shape { why: why.into() }
+    }
+
+    pub(crate) fn binary(why: impl Into<String>) -> Self {
+        DeserError::Binary { why: why.into() }
     }
 }
 
@@ -38,6 +49,7 @@ impl fmt::Display for DeserError {
             DeserError::Lexical { at, err } => write!(f, "bad lexical value at {at}: {err:?}"),
             DeserError::Escape(e) => write!(f, "bad entity reference: {e:?}"),
             DeserError::Shape { why } => write!(f, "message shape mismatch: {why}"),
+            DeserError::Binary { why } => write!(f, "malformed binary envelope: {why}"),
         }
     }
 }

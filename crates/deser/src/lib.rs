@@ -27,7 +27,7 @@
 //! );
 //! // Stuffed sender: value changes never move tags, so the receiver's
 //! // differential path stays available.
-//! let config = EngineConfig::paper_default().with_width(WidthPolicy::Max);
+//! let config = EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml).with_width(WidthPolicy::Max);
 //! let mut tpl =
 //!     MessageTemplate::build(config, &op, &[Value::DoubleArray(vec![1.5, 2.5])]).unwrap();
 //!
@@ -42,11 +42,13 @@
 //! assert_eq!(args[0], Value::DoubleArray(vec![9.5, 2.5]));
 //! ```
 
+pub mod binary;
 pub mod diff;
 pub mod envelope;
 pub mod error;
 pub mod stream;
 
+pub use binary::{parse_binary_envelope, BinaryDiffDeserializer};
 pub use diff::{DeserStats, DiffDeserializer, DiffOutcome};
 pub use envelope::{parse_envelope, parse_envelope_mapped, LeafRegion, MappedMessage};
 pub use error::DeserError;

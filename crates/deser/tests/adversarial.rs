@@ -113,9 +113,9 @@ proptest! {
     ) {
         let op = doubles_op();
         let config = if stuffed {
-            EngineConfig::stuffed_max()
+            EngineConfig::stuffed_max().with_wire_format(bsoap_core::WireFormat::SoapXml)
         } else {
-            EngineConfig::paper_default()
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml)
         };
         let mut values = initial;
         let mut tpl =
@@ -186,9 +186,9 @@ proptest! {
     ) {
         let op = doubles_op();
         let config = if stuffed {
-            EngineConfig::stuffed_max()
+            EngineConfig::stuffed_max().with_wire_format(bsoap_core::WireFormat::SoapXml)
         } else {
-            EngineConfig::paper_default()
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml)
         };
         let tpl = MessageTemplate::build(config, &op, &[Value::DoubleArray(initial)]).unwrap();
         let mut bytes = tpl.to_bytes().to_vec();
@@ -218,7 +218,7 @@ proptest! {
         let _ = diff.deserialize(&bytes);
         // And it must still work afterwards.
         let tpl = MessageTemplate::build(
-            EngineConfig::paper_default(),
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml),
             &op,
             &[Value::DoubleArray(vec![1.5, 2.5])],
         )

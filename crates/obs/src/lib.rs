@@ -224,6 +224,10 @@ metric_enum! {
         /// Templates dropped by the shared store: budget/quota eviction,
         /// per-key cap overflow, cost-fallback discard, degraded purge.
         TemplateEvictions => "bsoap_template_evictions_total",
+        /// Sends that went out on the SOAP/XML wire lane.
+        SendsXml => "bsoap_sends_xml_total",
+        /// Sends that went out on the negotiated compact binary wire lane.
+        SendsBinary => "bsoap_sends_binary_total",
     }
 }
 

@@ -2,13 +2,14 @@
 
 use bsoap_core::{
     Checkout, EngineConfig, MessageTemplate, OpDesc, SendTier, StoreKey, TemplateKey,
-    TemplateStore, Value,
+    TemplateStore, Value, WireFormat,
 };
-use bsoap_deser::{DeserError, DiffDeserializer, DiffOutcome};
+use bsoap_deser::{BinaryDiffDeserializer, DeserError, DiffDeserializer, DiffOutcome};
 use bsoap_obs::{Counter, Metrics, Recorder};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Error produced by an operation handler or the dispatch pipeline.
@@ -22,6 +23,9 @@ pub enum HandlerError {
     Fault(String),
     /// Response serialization failed.
     Response(bsoap_core::EngineError),
+    /// The request used a wire format this service does not accept
+    /// (maps to HTTP 415; clients downgrade to XML and retry).
+    UnsupportedFormat(WireFormat),
 }
 
 impl fmt::Display for HandlerError {
@@ -31,6 +35,9 @@ impl fmt::Display for HandlerError {
             HandlerError::BadRequest(e) => write!(f, "bad request: {e}"),
             HandlerError::Fault(m) => write!(f, "fault: {m}"),
             HandlerError::Response(e) => write!(f, "response serialization: {e}"),
+            HandlerError::UnsupportedFormat(w) => {
+                write!(f, "unsupported wire format {}", w.name())
+            }
         }
     }
 }
@@ -45,9 +52,27 @@ struct Operation {
     response: OpDesc,
     handler: Box<Handler>,
     deser: Mutex<DiffDeserializer>,
+    /// Binary-lane twin of `deser`: requests negotiated onto the compact
+    /// binary format land here, keeping each lane's retained reference
+    /// message (and content-match fast path) independent.
+    deser_bin: Mutex<BinaryDiffDeserializer>,
     /// The shared response template (§3: one template serves "multiple
     /// separate clients").
     response_tpl: Mutex<Option<MessageTemplate>>,
+    /// Binary-lane response template. Never aliased with `response_tpl`:
+    /// the two lanes have different byte geometry, so each keeps its own
+    /// resident template (mirroring `TemplateKey::format` on the store
+    /// path).
+    response_tpl_bin: Mutex<Option<MessageTemplate>>,
+}
+
+impl Operation {
+    fn response_slot(&self, format: WireFormat) -> &Mutex<Option<MessageTemplate>> {
+        match format {
+            WireFormat::SoapXml => &self.response_tpl,
+            WireFormat::CompactBinary => &self.response_tpl_bin,
+        }
+    }
 }
 
 /// Cumulative service statistics.
@@ -86,6 +111,11 @@ pub struct Service {
     /// one another's serialized responses under one byte budget.
     store: Option<Arc<TemplateStore>>,
     tenant: u64,
+    /// Whether this service accepts (and adverts) the compact binary
+    /// lane. Flipping it off mid-flight makes in-flight binary requests
+    /// fail with [`HandlerError::UnsupportedFormat`] — the 415 that
+    /// drives a client's mid-keep-alive downgrade back to XML.
+    binary_enabled: AtomicBool,
 }
 
 impl Service {
@@ -100,7 +130,20 @@ impl Service {
             metrics: None,
             store: None,
             tenant: 0,
+            binary_enabled: AtomicBool::new(true),
         }
+    }
+
+    /// Toggle acceptance of the compact binary lane. Enabled by default;
+    /// when disabled the service stops advertising `bin1` and rejects
+    /// binary bodies with [`HandlerError::UnsupportedFormat`].
+    pub fn set_binary_enabled(&self, enabled: bool) {
+        self.binary_enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether the compact binary lane is currently accepted.
+    pub fn binary_enabled(&self) -> bool {
+        self.binary_enabled.load(Ordering::SeqCst)
     }
 
     /// Route response templates through `store` under `tenant` instead of
@@ -161,6 +204,7 @@ impl Service {
         );
         let name = request.name.clone();
         let deser = DiffDeserializer::new(request.clone());
+        let deser_bin = BinaryDiffDeserializer::new(request.clone());
         self.ops.insert(
             name,
             Arc::new(Operation {
@@ -168,7 +212,9 @@ impl Service {
                 response,
                 handler: Box::new(handler),
                 deser: Mutex::new(deser),
+                deser_bin: Mutex::new(deser_bin),
                 response_tpl: Mutex::new(None),
+                response_tpl_bin: Mutex::new(None),
             }),
         );
     }
@@ -195,22 +241,48 @@ impl Service {
         *self.stats.lock()
     }
 
-    /// Dispatch one request body addressed to `op_name`; returns the
-    /// serialized response envelope.
+    /// Dispatch one SOAP XML request body addressed to `op_name`; returns
+    /// the serialized response envelope. Thin wrapper over
+    /// [`Service::dispatch_formatted`] on the XML lane.
     pub fn dispatch(&self, op_name: &str, body: &[u8]) -> Result<Vec<u8>, HandlerError> {
+        self.dispatch_formatted(op_name, body, WireFormat::SoapXml)
+            .map(|(bytes, _)| bytes)
+    }
+
+    /// Dispatch one request body addressed to `op_name` on the given wire
+    /// lane; returns the serialized response envelope plus the format it
+    /// was serialized in (the response mirrors the request's format).
+    /// Binary requests are rejected with
+    /// [`HandlerError::UnsupportedFormat`] while the lane is disabled.
+    pub fn dispatch_formatted(
+        &self,
+        op_name: &str,
+        body: &[u8],
+        format: WireFormat,
+    ) -> Result<(Vec<u8>, WireFormat), HandlerError> {
+        if format == WireFormat::CompactBinary && !self.binary_enabled() {
+            return Err(HandlerError::UnsupportedFormat(format));
+        }
         let op = self
             .ops
             .get(op_name)
             .ok_or_else(|| HandlerError::UnknownOperation(op_name.to_owned()))?;
 
-        // 1. Differential deserialization of the request.
-        let (result, outcome) = {
-            let mut deser = op.deser.lock();
-            let (args, outcome) = deser.deserialize(body).map_err(HandlerError::BadRequest)?;
-            // Handler runs under the lock: args borrow the deserializer's
-            // retained state. Handlers are expected to be short.
-            let result = (op.handler)(args);
-            (result, outcome)
+        // 1. Differential deserialization of the request. Each lane keeps
+        //    its own retained reference message; the handler runs under
+        //    the lane's lock because args borrow the deserializer's
+        //    state. Handlers are expected to be short.
+        let (result, outcome) = match format {
+            WireFormat::SoapXml => {
+                let mut deser = op.deser.lock();
+                let (args, outcome) = deser.deserialize(body).map_err(HandlerError::BadRequest)?;
+                ((op.handler)(args), outcome)
+            }
+            WireFormat::CompactBinary => {
+                let mut deser = op.deser_bin.lock();
+                let (args, outcome) = deser.deserialize(body).map_err(HandlerError::BadRequest)?;
+                ((op.handler)(args), outcome)
+            }
         };
         {
             let mut stats = self.stats.lock();
@@ -228,11 +300,13 @@ impl Service {
             }
         };
 
-        // 2. Differential serialization of the response.
+        // 2. Differential serialization of the response, on the same
+        //    lane the request arrived on.
+        let config = self.config.with_wire_format(format);
         let (bytes, tier) = if let Some(store) = &self.store {
-            self.respond_via_store(store, op, &result)?
+            self.respond_via_store(store, op, &result, format, config)?
         } else {
-            let mut tpl_slot = op.response_tpl.lock();
+            let mut tpl_slot = op.response_slot(format).lock();
             let out = match tpl_slot.as_mut() {
                 Some(tpl) => {
                     if let (Some(m), None) = (&self.metrics, tpl.metrics()) {
@@ -243,11 +317,12 @@ impl Service {
                     (tpl.to_bytes(), report.tier)
                 }
                 None => {
-                    let mut tpl = MessageTemplate::build(self.config, &op.response, &result)
+                    let mut tpl = MessageTemplate::build(config, &op.response, &result)
                         .map_err(HandlerError::Response)?;
                     if let Some(m) = &self.metrics {
                         tpl.set_metrics(Arc::clone(m));
                         m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);
+                        m.add(format_counter(format), 1);
                     }
                     let bytes = tpl.to_bytes();
                     *tpl_slot = Some(tpl);
@@ -266,7 +341,7 @@ impl Service {
                 SendTier::PartialStructural => stats.responses_partial += 1,
             }
         }
-        Ok(bytes)
+        Ok((bytes, format))
     }
 
     /// Response serialization through the shared store: checkout the
@@ -278,8 +353,13 @@ impl Service {
         store: &Arc<TemplateStore>,
         op: &Operation,
         result: &[Value],
+        format: WireFormat,
+        config: EngineConfig,
     ) -> Result<(Vec<u8>, SendTier), HandlerError> {
-        let skey = StoreKey::new(self.tenant, TemplateKey::new(&self.namespace, &op.response));
+        let skey = StoreKey::new(
+            self.tenant,
+            TemplateKey::for_format(&self.namespace, &op.response, format),
+        );
         match store.checkout(&skey, result, 1) {
             Checkout::Hit(mut tpl) => {
                 if let (Some(m), None) = (&self.metrics, tpl.metrics()) {
@@ -300,11 +380,12 @@ impl Service {
                 }
             }
             Checkout::MissEmpty | Checkout::MissVariant => {
-                let mut tpl = MessageTemplate::build(self.config, &op.response, result)
+                let mut tpl = MessageTemplate::build(config, &op.response, result)
                     .map_err(HandlerError::Response)?;
                 if let Some(m) = &self.metrics {
                     tpl.set_metrics(Arc::clone(m));
                     m.add(Counter::send(bsoap_obs::Tier::FirstTime), 1);
+                    m.add(format_counter(format), 1);
                 }
                 let bytes = tpl.to_bytes();
                 store.admit(skey, tpl, 1);
@@ -329,6 +410,17 @@ impl Service {
     }
 }
 
+/// Per-lane first-time send counter. Tiers 2–4 tick theirs inside the
+/// template's own `finish_flush`; first-time builds happen before the
+/// metrics handle is attached to the template, so the build sites tick
+/// it directly.
+fn format_counter(format: WireFormat) -> Counter {
+    match format {
+        WireFormat::SoapXml => Counter::SendsXml,
+        WireFormat::CompactBinary => Counter::SendsBinary,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,7 +428,10 @@ mod tests {
     use bsoap_core::{ParamDesc, TypeDesc};
 
     fn echo_service() -> Service {
-        let mut svc = Service::new("urn:echo", EngineConfig::paper_default());
+        let mut svc = Service::new(
+            "urn:echo",
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml),
+        );
         let op = OpDesc::single(
             "echo",
             "urn:echo",
@@ -362,7 +457,7 @@ mod tests {
             TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
         );
         MessageTemplate::build(
-            EngineConfig::paper_default(),
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml),
             &op,
             &[Value::DoubleArray(xs.to_vec())],
         )
@@ -417,7 +512,10 @@ mod tests {
 
     #[test]
     fn handler_fault_counted() {
-        let mut svc = Service::new("urn:f", EngineConfig::paper_default());
+        let mut svc = Service::new(
+            "urn:f",
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml),
+        );
         let op = OpDesc::single("f", "urn:f", "v", TypeDesc::Scalar(ScalarKind::Int));
         svc.register(
             op.clone(),
@@ -427,9 +525,13 @@ mod tests {
             }],
             |_| Err("nope".to_owned()),
         );
-        let body = MessageTemplate::build(EngineConfig::paper_default(), &op, &[Value::Int(1)])
-            .unwrap()
-            .to_bytes();
+        let body = MessageTemplate::build(
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml),
+            &op,
+            &[Value::Int(1)],
+        )
+        .unwrap()
+        .to_bytes();
         assert!(matches!(
             svc.dispatch("f", &body),
             Err(HandlerError::Fault(_))
@@ -443,6 +545,116 @@ mod tests {
         let text = String::from_utf8(env).unwrap();
         assert!(text.contains("boom &lt;&amp;&gt;"));
         assert!(text.contains("<SOAP-ENV:Fault>"));
+    }
+
+    fn binary_request_bytes(xs: &[f64]) -> Vec<u8> {
+        let op = OpDesc::single(
+            "echo",
+            "urn:echo",
+            "xs",
+            TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+        );
+        MessageTemplate::build(
+            EngineConfig::paper_default().with_wire_format(WireFormat::CompactBinary),
+            &op,
+            &[Value::DoubleArray(xs.to_vec())],
+        )
+        .unwrap()
+        .to_bytes()
+    }
+
+    #[test]
+    fn binary_lane_round_trips_and_tiers_progress() {
+        let svc = echo_service();
+        let resp_op = svc.response_desc("echo").unwrap();
+        let (resp, fmt) = svc
+            .dispatch_formatted(
+                "echo",
+                &binary_request_bytes(&[1.5, 2.5]),
+                WireFormat::CompactBinary,
+            )
+            .unwrap();
+        assert_eq!(fmt, WireFormat::CompactBinary);
+        let parsed = bsoap_deser::parse_binary_envelope(&resp, &resp_op).unwrap();
+        assert_eq!(parsed, vec![Value::DoubleArray(vec![1.5, 2.5])]);
+
+        svc.dispatch_formatted(
+            "echo",
+            &binary_request_bytes(&[1.5, 2.5]),
+            WireFormat::CompactBinary,
+        )
+        .unwrap();
+        svc.dispatch_formatted(
+            "echo",
+            &binary_request_bytes(&[9.5, 2.5]),
+            WireFormat::CompactBinary,
+        )
+        .unwrap();
+        svc.dispatch_formatted(
+            "echo",
+            &binary_request_bytes(&[9.5, 2.5, 3.5]),
+            WireFormat::CompactBinary,
+        )
+        .unwrap();
+        let s = svc.stats();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.responses_first, 1);
+        assert_eq!(s.responses_content, 1);
+        assert_eq!(s.responses_perfect, 1);
+        assert_eq!(s.responses_partial, 1);
+        assert_eq!(s.requests_identical, 1);
+    }
+
+    #[test]
+    fn lanes_keep_independent_response_templates() {
+        // Same values through both lanes: each lane's second identical
+        // dispatch must content-match against its OWN retained template,
+        // never the other lane's bytes.
+        let svc = echo_service();
+        let xml = request_bytes(&[7.5]);
+        let bin = binary_request_bytes(&[7.5]);
+        let (rx1, _) = svc
+            .dispatch_formatted("echo", &xml, WireFormat::SoapXml)
+            .unwrap();
+        let (rb1, _) = svc
+            .dispatch_formatted("echo", &bin, WireFormat::CompactBinary)
+            .unwrap();
+        assert_ne!(rx1, rb1);
+        let (rx2, _) = svc
+            .dispatch_formatted("echo", &xml, WireFormat::SoapXml)
+            .unwrap();
+        let (rb2, _) = svc
+            .dispatch_formatted("echo", &bin, WireFormat::CompactBinary)
+            .unwrap();
+        assert_eq!(rx1, rx2);
+        assert_eq!(rb1, rb2);
+        let s = svc.stats();
+        assert_eq!(s.responses_first, 2); // one per lane
+        assert_eq!(s.responses_content, 2);
+    }
+
+    #[test]
+    fn disabled_binary_lane_rejects_with_unsupported_format() {
+        let svc = echo_service();
+        svc.set_binary_enabled(false);
+        assert!(!svc.binary_enabled());
+        assert!(matches!(
+            svc.dispatch_formatted(
+                "echo",
+                &binary_request_bytes(&[1.0]),
+                WireFormat::CompactBinary
+            ),
+            Err(HandlerError::UnsupportedFormat(WireFormat::CompactBinary))
+        ));
+        // XML keeps flowing.
+        svc.dispatch("echo", &request_bytes(&[1.0])).unwrap();
+        svc.set_binary_enabled(true);
+        svc.dispatch_formatted(
+            "echo",
+            &binary_request_bytes(&[1.0]),
+            WireFormat::CompactBinary,
+        )
+        .unwrap();
     }
 
     #[test]

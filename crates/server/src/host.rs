@@ -20,11 +20,13 @@
 //! no flattening), so the observable bytes are identical on either core.
 
 use crate::dispatch::{HandlerError, Service, ServiceStats};
+use bsoap_core::WireFormat;
 use bsoap_obs::{Counter, HistId, Metrics, Recorder, TraceKind};
 use bsoap_transport::accept::{serve_with_metrics, PoolOptions, WorkerPool};
 use bsoap_transport::http::{
-    render_response_head_typed, write_response_vectored, RequestHead, RequestReader,
+    render_response_head_extra, write_response_vectored, RequestHead, RequestReader,
 };
+use bsoap_transport::negotiate::{HDR_ACCEPT, HDR_FORMAT, HDR_FORMAT_LOWER, TOKEN_BINARY};
 use bsoap_transport::{
     poller, ConnConfig, EventLoopOptions, EventLoopServer, ReqBody, Response, ServeMode,
 };
@@ -127,6 +129,12 @@ impl HttpServer {
         self.service.stats()
     }
 
+    /// The hosted service — e.g. to toggle the binary lane on a running
+    /// server (`set_binary_enabled` takes `&self`).
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
     /// Stop accepting, drain in-flight requests, return final statistics.
     pub fn stop(mut self) -> ServiceStats {
         match &mut self.core {
@@ -142,6 +150,26 @@ impl HttpServer {
 fn operation_from_action(action: &str) -> Option<&str> {
     let unquoted = action.trim().trim_matches('"');
     unquoted.rsplit_once('#').map(|(_, op)| op)
+}
+
+/// The wire format a request body arrived in: the `X-BSOAP-Format`
+/// header when present (unknown tokens read as XML — an old server
+/// ignoring the header entirely behaves the same way), else a sniff of
+/// the 4-byte binary magic as fallback for header-less peers.
+fn request_format(head: &RequestHead, body: &[u8]) -> WireFormat {
+    match head.header(HDR_FORMAT_LOWER) {
+        Some(token) => WireFormat::from_name(token).unwrap_or(WireFormat::SoapXml),
+        None if bsoap_core::wire::is_binary(body) => WireFormat::CompactBinary,
+        None => WireFormat::SoapXml,
+    }
+}
+
+/// Body `Content-Type` per lane.
+fn content_type_for(format: WireFormat) -> &'static str {
+    match format {
+        WireFormat::SoapXml => "text/xml; charset=utf-8",
+        WireFormat::CompactBinary => "application/x-bsoap-binary",
+    }
 }
 
 /// One parsed request in, one response out — the dispatch shared by both
@@ -163,19 +191,24 @@ fn respond_to(service: &Service, head: &RequestHead, body: &[u8]) -> Response {
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body: text.into_bytes(),
             measure: false,
+            extra_headers: Vec::new(),
         };
     }
+    let req_format = request_format(head, body);
     let op_name = head
         .header("soapaction")
         .and_then(operation_from_action)
         .map(str::to_owned)
         .or_else(|| service.operation_names().first().cloned());
     let reply = match op_name {
-        Some(op) => service.dispatch(&op, body),
+        Some(op) => service.dispatch_formatted(&op, body, req_format),
         None => Err(HandlerError::UnknownOperation("<none>".to_owned())),
     };
-    let (status, reason, payload) = match reply {
-        Ok(bytes) => (200, "OK", bytes),
+    // Faults always go out as XML fault envelopes, whatever lane the
+    // request took: the fault path must stay decodable by a client that
+    // is about to abandon the lane.
+    let (status, reason, payload, resp_format) = match reply {
+        Ok((bytes, fmt)) => (200, "OK", bytes, fmt),
         Err(HandlerError::Fault(msg)) => {
             // Application faults are HTTP 500 with a Fault body per
             // SOAP 1.1 §6.2.
@@ -183,17 +216,29 @@ fn respond_to(service: &Service, head: &RequestHead, body: &[u8]) -> Response {
                 500,
                 "Internal Server Error",
                 Service::fault_envelope("SOAP-ENV:Server", &msg),
+                WireFormat::SoapXml,
             )
         }
         Err(HandlerError::UnknownOperation(op)) => (
             404,
             "Not Found",
             Service::fault_envelope("SOAP-ENV:Client", &format!("no operation {op}")),
+            WireFormat::SoapXml,
+        ),
+        Err(HandlerError::UnsupportedFormat(f)) => (
+            415,
+            "Unsupported Media Type",
+            Service::fault_envelope(
+                "SOAP-ENV:Client",
+                &format!("wire format {} not accepted", f.name()),
+            ),
+            WireFormat::SoapXml,
         ),
         Err(e) => (
             400,
             "Bad Request",
             Service::fault_envelope("SOAP-ENV:Client", &e.to_string()),
+            WireFormat::SoapXml,
         ),
     };
     // Count the request before its response leaves: a scrape racing
@@ -201,7 +246,17 @@ fn respond_to(service: &Service, head: &RequestHead, body: &[u8]) -> Response {
     if let Some(m) = service.metrics() {
         m.add(Counter::ServerRequests, 1);
     }
-    Response::xml(status, reason, payload)
+    let mut resp = Response::xml(status, reason, payload);
+    resp.content_type = content_type_for(resp_format);
+    // Echo the negotiation headers on every SOAP response: the format
+    // this body is in, plus the capability advert while the binary lane
+    // is accepting (its absence after a toggle-off tells offering
+    // clients to stop asking).
+    resp = resp.with_header(HDR_FORMAT, resp_format.name().to_owned());
+    if service.binary_enabled() {
+        resp = resp.with_header(HDR_ACCEPT, TOKEN_BINARY.to_owned());
+    }
+    resp
 }
 
 fn serve_connection(mut stream: TcpStream, service: &Service) {
@@ -251,12 +306,13 @@ fn serve_connection(mut stream: TcpStream, service: &Service) {
         };
         let start = service.metrics().map(|m| m.now_ns());
         let resp = respond_to(service, &head, &body);
-        render_response_head_typed(
+        render_response_head_extra(
             &mut head_scratch,
             resp.status,
             resp.reason,
             resp.content_type,
             resp.body.len(),
+            &resp.extra_headers,
         );
         let list = [IoSlice::new(&head_scratch), IoSlice::new(&resp.body)];
         let sent = match bsoap_transport::write_gather(&mut stream, &list).and_then(|n| {
@@ -303,7 +359,9 @@ mod tests {
     fn sum_service_on(core: ServerCore) -> Service {
         let mut svc = Service::new(
             "urn:sum",
-            EngineConfig::paper_default().with_server_core(core),
+            EngineConfig::paper_default()
+                .with_wire_format(bsoap_core::WireFormat::SoapXml)
+                .with_server_core(core),
         );
         let op = OpDesc::single(
             "sum",
@@ -335,7 +393,7 @@ mod tests {
             TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
         );
         MessageTemplate::build(
-            EngineConfig::paper_default(),
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml),
             &op,
             &[Value::DoubleArray(xs.to_vec())],
         )
@@ -350,6 +408,7 @@ mod tests {
             host: "localhost".into(),
             soap_action: action.into(),
             version: HttpVersion::Http11Length,
+            extra_headers: Vec::new(),
         };
         let mut scratch = Vec::new();
         post_gather(&mut c, &cfg, &[IoSlice::new(body)], &mut scratch).unwrap();
@@ -482,7 +541,9 @@ mod tests {
         for core in cores() {
             let mut svc = Service::new(
                 "urn:f",
-                EngineConfig::paper_default().with_server_core(core),
+                EngineConfig::paper_default()
+                    .with_wire_format(bsoap_core::WireFormat::SoapXml)
+                    .with_server_core(core),
             );
             let op = OpDesc::single("f", "urn:f", "v", TypeDesc::Scalar(ScalarKind::Int));
             svc.register(
@@ -494,9 +555,13 @@ mod tests {
                 |_| Err("deliberate".into()),
             );
             let server = HttpServer::spawn(svc).unwrap();
-            let body = MessageTemplate::build(EngineConfig::paper_default(), &op, &[Value::Int(1)])
-                .unwrap()
-                .to_bytes();
+            let body = MessageTemplate::build(
+                EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::SoapXml),
+                &op,
+                &[Value::Int(1)],
+            )
+            .unwrap()
+            .to_bytes();
             let (status, resp) = post(server.addr(), "urn:f#f", &body);
             assert_eq!(status, 500, "core {core:?}");
             assert!(String::from_utf8(resp).unwrap().contains("deliberate"));
@@ -586,6 +651,7 @@ mod tests {
     fn oversized_body_draws_400_under_cap() {
         for core in cores() {
             let cfg = EngineConfig::paper_default()
+                .with_wire_format(bsoap_core::WireFormat::SoapXml)
                 .with_http_caps(1 << 20, 64)
                 .with_server_core(core);
             let mut svc = Service::new("urn:sum", cfg);
@@ -613,6 +679,185 @@ mod tests {
                 status, 400,
                 "core {core:?}: body larger than the 64-byte cap is refused"
             );
+            server.stop();
+        }
+    }
+
+    fn binary_request_bytes(xs: &[f64]) -> Vec<u8> {
+        let op = OpDesc::single(
+            "sum",
+            "urn:sum",
+            "xs",
+            TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+        );
+        MessageTemplate::build(
+            EngineConfig::paper_default().with_wire_format(bsoap_core::WireFormat::CompactBinary),
+            &op,
+            &[Value::DoubleArray(xs.to_vec())],
+        )
+        .unwrap()
+        .to_bytes()
+    }
+
+    fn post_with_headers(
+        addr: std::net::SocketAddr,
+        action: &str,
+        body: &[u8],
+        extra: Vec<(String, String)>,
+    ) -> (u16, Vec<(String, String)>, Vec<u8>) {
+        let mut c = TcpStream::connect(addr).unwrap();
+        let cfg = RequestConfig {
+            path: "/svc".into(),
+            host: "localhost".into(),
+            soap_action: action.into(),
+            version: HttpVersion::Http11Length,
+            extra_headers: extra,
+        };
+        let mut scratch = Vec::new();
+        post_gather(&mut c, &cfg, &[IoSlice::new(body)], &mut scratch).unwrap();
+        bsoap_transport::http::read_response_headers_limited(&mut c, usize::MAX, usize::MAX)
+            .unwrap()
+    }
+
+    fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    #[test]
+    fn binary_round_trip_echoes_negotiation_headers() {
+        use bsoap_transport::negotiate::{HDR_ACCEPT_LOWER, HDR_FORMAT_LOWER};
+        for core in cores() {
+            let server = HttpServer::spawn(sum_service_on(core)).unwrap();
+            let (status, headers, resp) = post_with_headers(
+                server.addr(),
+                "urn:sum#sum",
+                &binary_request_bytes(&[1.5, 2.5, 3.0]),
+                vec![
+                    (HDR_FORMAT.into(), TOKEN_BINARY.into()),
+                    (HDR_ACCEPT.into(), TOKEN_BINARY.into()),
+                ],
+            );
+            assert_eq!(status, 200, "core {core:?}");
+            assert_eq!(header(&headers, HDR_FORMAT_LOWER), Some("bin1"));
+            assert_eq!(header(&headers, HDR_ACCEPT_LOWER), Some("bin1"));
+            assert_eq!(
+                header(&headers, "content-type"),
+                Some("application/x-bsoap-binary"),
+                "core {core:?}"
+            );
+            let resp_op = OpDesc::new(
+                "sumResponse",
+                "urn:sum",
+                vec![ParamDesc {
+                    name: "total".into(),
+                    desc: TypeDesc::Scalar(ScalarKind::Double),
+                }],
+            );
+            let parsed = bsoap_deser::parse_binary_envelope(&resp, &resp_op).unwrap();
+            assert_eq!(parsed, vec![Value::Double(7.0)], "core {core:?}");
+            server.stop();
+        }
+    }
+
+    #[test]
+    fn headerless_binary_body_is_sniffed() {
+        // A peer that frames binary bodies but never sends X-BSOAP-Format:
+        // the 4-byte magic carries the lane decision.
+        for core in cores() {
+            let server = HttpServer::spawn(sum_service_on(core)).unwrap();
+            let (status, headers, _) = post_with_headers(
+                server.addr(),
+                "urn:sum#sum",
+                &binary_request_bytes(&[4.0, 0.5]),
+                Vec::new(),
+            );
+            assert_eq!(status, 200, "core {core:?}");
+            assert_eq!(
+                header(&headers, bsoap_transport::negotiate::HDR_FORMAT_LOWER),
+                Some("bin1"),
+                "core {core:?}"
+            );
+            server.stop();
+        }
+    }
+
+    #[test]
+    fn xml_responses_advertise_the_binary_lane() {
+        for core in cores() {
+            let server = HttpServer::spawn(sum_service_on(core)).unwrap();
+            let (status, headers, _) = post_with_headers(
+                server.addr(),
+                "urn:sum#sum",
+                &request_bytes(&[1.0]),
+                Vec::new(),
+            );
+            assert_eq!(status, 200, "core {core:?}");
+            assert_eq!(
+                header(&headers, bsoap_transport::negotiate::HDR_ACCEPT_LOWER),
+                Some("bin1"),
+                "core {core:?}: enabled lane must advertise on XML traffic"
+            );
+            assert_eq!(
+                header(&headers, bsoap_transport::negotiate::HDR_FORMAT_LOWER),
+                Some("xml"),
+                "core {core:?}"
+            );
+            server.stop();
+        }
+    }
+
+    #[test]
+    fn unknown_format_token_lands_on_xml() {
+        // A peer declaring a format we don't know (future rev, typo):
+        // the body reads as XML — same behavior as an old server that
+        // never heard of the header — so nothing is lost.
+        for core in cores() {
+            let server = HttpServer::spawn(sum_service_on(core)).unwrap();
+            let (status, headers, _) = post_with_headers(
+                server.addr(),
+                "urn:sum#sum",
+                &request_bytes(&[2.0, 2.0]),
+                vec![(HDR_FORMAT.into(), "bin9".into())],
+            );
+            assert_eq!(status, 200, "core {core:?}");
+            assert_eq!(
+                header(&headers, bsoap_transport::negotiate::HDR_FORMAT_LOWER),
+                Some("xml"),
+                "core {core:?}"
+            );
+            server.stop();
+        }
+    }
+
+    #[test]
+    fn disabled_binary_lane_draws_415_without_advert() {
+        for core in cores() {
+            let svc = sum_service_on(core);
+            svc.set_binary_enabled(false);
+            let server = HttpServer::spawn(svc).unwrap();
+            let (status, headers, body) = post_with_headers(
+                server.addr(),
+                "urn:sum#sum",
+                &binary_request_bytes(&[1.0]),
+                vec![(HDR_FORMAT.into(), TOKEN_BINARY.into())],
+            );
+            assert_eq!(status, 415, "core {core:?}");
+            assert!(
+                header(&headers, bsoap_transport::negotiate::HDR_ACCEPT_LOWER).is_none(),
+                "core {core:?}: a disabled lane must not advertise"
+            );
+            assert!(String::from_utf8(body).unwrap().contains("SOAP-ENV:Fault"));
+            // XML still flows on the same server.
+            let (status, _, _) = post_with_headers(
+                server.addr(),
+                "urn:sum#sum",
+                &request_bytes(&[1.0]),
+                Vec::new(),
+            );
+            assert_eq!(status, 200, "core {core:?}");
             server.stop();
         }
     }

@@ -23,10 +23,7 @@
 //!   this knob is new with the event-loop core (the worker pool can only
 //!   conflate idle reaping with `read_timeout`).
 
-use crate::http::{
-    head_end, parse_hex, parse_request_head, render_response_head_typed, BodyFraming, HttpError,
-    RequestHead,
-};
+use crate::http::{head_end, parse_hex, parse_request_head, BodyFraming, HttpError, RequestHead};
 use crate::timer::TimerKind;
 use bsoap_obs::{Counter, Recorder, TraceKind};
 use std::io::{self, Read, Write};
@@ -146,6 +143,11 @@ pub struct Response {
     /// Whether this response counts toward throughput metrics
     /// (false for `/metrics` scrapes).
     pub measure: bool,
+    /// Extra response headers (name, value) appended verbatim after the
+    /// standard head — how wire-format negotiation echoes
+    /// `X-BSOAP-Accept` / `X-BSOAP-Format` back to the client. Empty for
+    /// plain responses.
+    pub extra_headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -157,7 +159,14 @@ impl Response {
             content_type: "text/xml; charset=utf-8",
             body,
             measure: true,
+            extra_headers: Vec::new(),
         }
+    }
+
+    /// Attach an extra response header (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.extra_headers.push((name, value));
+        self
     }
 }
 
@@ -390,6 +399,7 @@ impl Conn {
             content_type: "text/xml; charset=utf-8",
             body: ioe.to_string().into_bytes(),
             measure: false,
+            extra_headers: Vec::new(),
         };
         out.push(ConnAction::Cancel(TimerKind::ReadStall));
         out.push(ConnAction::Cancel(TimerKind::RequestBudget));
@@ -653,12 +663,13 @@ impl Conn {
     }
 
     fn render(&mut self, resp: Response) {
-        render_response_head_typed(
+        crate::http::render_response_head_extra(
             &mut self.write_buf,
             resp.status,
             resp.reason,
             resp.content_type,
             resp.body.len(),
+            &resp.extra_headers,
         );
         // Move, don't copy: the payload drains from its own buffer,
         // gathered with the head in one vectored write.

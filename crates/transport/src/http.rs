@@ -52,6 +52,10 @@ pub struct RequestConfig {
     pub soap_action: String,
     /// Framing strategy.
     pub version: HttpVersion,
+    /// Extra `(name, value)` request headers rendered after the standard
+    /// ones — the client's wire-format offer (`X-BSOAP-Accept`) and body
+    /// format declaration (`X-BSOAP-Format`) ride here. Empty by default.
+    pub extra_headers: Vec<(String, String)>,
 }
 
 impl RequestConfig {
@@ -62,6 +66,7 @@ impl RequestConfig {
             host: "localhost".to_owned(),
             soap_action: "urn:bench#send".to_owned(),
             version,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -79,6 +84,12 @@ impl RequestConfig {
         out.extend_from_slice(b"\r\nContent-Type: text/xml; charset=utf-8\r\nSOAPAction: \"");
         out.extend_from_slice(self.soap_action.as_bytes());
         out.extend_from_slice(b"\"\r\n");
+        for (name, value) in &self.extra_headers {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
         match (self.version, content_len) {
             (HttpVersion::Http11Chunked, _) => {
                 out.extend_from_slice(b"Transfer-Encoding: chunked\r\n");
@@ -525,6 +536,20 @@ pub fn render_response_head_typed(
     content_type: &str,
     content_len: usize,
 ) {
+    render_response_head_extra(out, status, reason, content_type, content_len, &[]);
+}
+
+/// [`render_response_head_typed`] plus extra `(name, value)` headers —
+/// the negotiation echo (`X-BSOAP-Accept` / `X-BSOAP-Format`) rides
+/// here on both server cores.
+pub fn render_response_head_extra(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    content_len: usize,
+    extra: &[(&str, String)],
+) {
     out.clear();
     out.extend_from_slice(b"HTTP/1.1 ");
     out.extend_from_slice(status.to_string().as_bytes());
@@ -534,7 +559,14 @@ pub fn render_response_head_typed(
     out.extend_from_slice(content_type.as_bytes());
     out.extend_from_slice(b"\r\nContent-Length: ");
     out.extend_from_slice(content_len.to_string().as_bytes());
-    out.extend_from_slice(b"\r\n\r\n");
+    out.extend_from_slice(b"\r\n");
+    for (name, value) in extra {
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
 }
 
 /// Render a bodiless `GET` request (keep-alive, HTTP/1.1) into `out`
@@ -600,6 +632,20 @@ pub fn read_response_limited(
     max_head: usize,
     max_body: usize,
 ) -> io::Result<(u16, Vec<u8>)> {
+    read_response_headers_limited(stream, max_head, max_body).map(|(s, _, b)| (s, b))
+}
+
+/// Status code, response headers (names lowercased), and body.
+pub type ResponseParts = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// [`read_response_limited`] that also returns the response headers
+/// (names lowercased) — how a negotiating client observes the server's
+/// `X-BSOAP-Accept` advert and `X-BSOAP-Format` echo.
+pub fn read_response_headers_limited(
+    stream: &mut impl Read,
+    max_head: usize,
+    max_body: usize,
+) -> io::Result<ResponseParts> {
     let mut reader = RequestReader::with_limits(stream, max_head, max_body);
     let head_end = loop {
         if let Some(e) = crate::http::head_end(&reader.buf[..reader.filled]) {
@@ -630,6 +676,7 @@ pub fn read_response_limited(
         .ok_or(HttpError::BadHead("bad status line"))?;
     let mut chunked = false;
     let mut cl: Option<usize> = None;
+    let mut headers = Vec::new();
     for l in text.lines().skip(1) {
         let Some((n, v)) = l.split_once(':') else {
             continue;
@@ -646,6 +693,7 @@ pub fn read_response_limited(
                     .map_err(|_| HttpError::BadFraming("non-numeric content-length"))?,
             );
         }
+        headers.push((n.to_ascii_lowercase(), v.to_owned()));
     }
     reader.consumed = head_end;
     let body = if chunked {
@@ -657,7 +705,7 @@ pub fn read_response_limited(
         }
         reader.read_exact_body(n)?
     };
-    Ok((status, body))
+    Ok((status, headers, body))
 }
 
 pub(crate) fn parse_hex(s: &[u8]) -> Option<usize> {

@@ -43,6 +43,7 @@ pub mod conn;
 pub mod event_loop;
 pub mod fault;
 pub mod http;
+pub mod negotiate;
 pub mod poller;
 pub mod pool;
 pub mod server;
@@ -56,6 +57,7 @@ pub use conn::{BodySink, Conn, ConnAction, ConnConfig, ConnState, ReqBody, Respo
 pub use event_loop::{EventLoopOptions, EventLoopServer, Handler, ServeMode};
 pub use fault::{AttemptFailure, CircuitBreaker, FaultPolicy, Resilience};
 pub use http::{render_get_request, HttpError, HttpVersion, PostScratch, RequestConfig};
+pub use negotiate::{NegotiationState, Negotiator};
 pub use pool::{ConnectionPool, HttpPoolClient, HttpReply, PoolConfig, PoolStats, PooledConn};
 pub use server::{
     CollectedRequest, ServerCore, ServerMode, ServerOptions, ServerStats, TestServer,

@@ -399,6 +399,7 @@ fn handle_one(
                     content_type: "text/plain; version=0.0.4; charset=utf-8",
                     body: m.render_prometheus().into_bytes(),
                     measure: false,
+                    extra_headers: Vec::new(),
                 }
             }
             None => Response {
@@ -407,6 +408,7 @@ fn handle_one(
                 content_type: "text/plain; version=0.0.4; charset=utf-8",
                 body: b"no metrics registry\n".to_vec(),
                 measure: false,
+                extra_headers: Vec::new(),
             },
         };
     }

@@ -71,6 +71,15 @@ impl TcpTransport {
         }
     }
 
+    /// Replace the extra request headers for subsequent HTTP-framed
+    /// sends (no-op for raw framing) — how the negotiation layer attaches
+    /// its `X-BSOAP-*` offer and format declaration per call.
+    pub fn set_extra_headers(&mut self, headers: Vec<(String, String)>) {
+        if let FramingState::Http { cfg, .. } = &mut self.framing {
+            cfg.extra_headers = headers;
+        }
+    }
+
     /// Half-close the write side so the server sees EOF.
     pub fn finish(&mut self) -> io::Result<()> {
         self.stream.shutdown(std::net::Shutdown::Write)

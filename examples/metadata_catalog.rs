@@ -60,6 +60,7 @@ fn main() {
         host: "localhost".into(),
         soap_action: "urn:mcs#addMetadata".into(),
         version: HttpVersion::Http11Length,
+        extra_headers: Vec::new(),
     };
     let mut transport = TcpTransport::connect(server.addr(), Framing::Http(cfg)).expect("connect");
 

@@ -79,6 +79,7 @@ fn main() {
                     host: "localhost".into(),
                     soap_action: "urn:search#query".into(),
                     version: HttpVersion::Http11Length,
+                    extra_headers: Vec::new(),
                 };
                 let mut conn = TcpStream::connect(addr).expect("connect");
                 let mut scratch = Vec::new();

@@ -50,6 +50,7 @@ fn main() {
         host: "localhost".into(),
         soap_action: svc.soap_action("pushSamples"),
         version: HttpVersion::Http11Length,
+        extra_headers: Vec::new(),
     };
     let mut transport = TcpTransport::connect(server.addr(), Framing::Http(cfg)).expect("connect");
     let mut client = Client::with_defaults();

@@ -6,12 +6,13 @@
 //! deserialization. Every request rides the cheapest matching tier; every
 //! response is parsed against the operation's `{name}Response` schema.
 
-use crate::deser::{parse_envelope, DeserError};
-use crate::transport::http::{read_response, HttpVersion, RequestConfig};
+use crate::deser::{parse_binary_envelope, parse_envelope, DeserError};
+use crate::transport::http::{read_response_headers_limited, HttpVersion, RequestConfig};
+use crate::transport::negotiate::{Negotiator, HDR_FORMAT_LOWER, TOKEN_BINARY};
 use crate::transport::tcp::{Framing, TcpTransport};
 use crate::transport::Transport;
 use crate::wsdl::ServiceDesc;
-use crate::{Client, EngineConfig, EngineError, OpDesc, ParamDesc, SendReport, Value};
+use crate::{Client, EngineConfig, EngineError, OpDesc, ParamDesc, SendReport, Value, WireFormat};
 use std::fmt;
 use std::net::SocketAddr;
 
@@ -53,11 +54,22 @@ pub struct RpcClient {
     /// this stack describes requests; responses follow the
     /// `{op}Response` convention and are registered explicitly).
     response_descs: Vec<OpDesc>,
+    /// Per-connection wire-format negotiation. Seeded from the config's
+    /// `wire_format`: an XML config never offers, a binary config starts
+    /// offering `bin1` and upgrades once the server adverts back.
+    negotiator: Negotiator,
 }
 
 impl RpcClient {
     /// Connect to `addr` and speak `service`'s operations over
     /// HTTP/1.1 (`Content-Length` framing, persistent connection).
+    ///
+    /// `config.wire_format` is the *desired* lane, not the opening one:
+    /// when it asks for compact binary the client still sends its first
+    /// request as XML with an `X-BSOAP-Accept: bin1` offer, switching to
+    /// binary bodies only after the server adverts the lane back — and
+    /// dropping back to XML (with one transparent resend) if the server
+    /// answers a binary body with HTTP 415.
     pub fn connect(
         service: ServiceDesc,
         addr: SocketAddr,
@@ -69,14 +81,24 @@ impl RpcClient {
             // Rewritten per call with the operation's action.
             soap_action: String::new(),
             version: HttpVersion::Http11Length,
+            extra_headers: Vec::new(),
         };
         let transport = TcpTransport::connect(addr, Framing::Http(cfg))?;
+        let offer_binary = config.wire_format == WireFormat::CompactBinary;
+        // The engine's base lane stays XML; the negotiator upgrades the
+        // endpoint via `set_endpoint_format` once the server agrees.
         Ok(RpcClient {
             service,
-            client: Client::new(config),
+            client: Client::new(config.with_wire_format(WireFormat::SoapXml)),
             transport,
             response_descs: Vec::new(),
+            negotiator: Negotiator::new(offer_binary),
         })
+    }
+
+    /// Where this endpoint's format negotiation currently stands.
+    pub fn negotiation_state(&self) -> crate::transport::NegotiationState {
+        self.negotiator.state()
     }
 
     /// Declare the response parameters of `op` so [`RpcClient::call`] can
@@ -113,24 +135,69 @@ impl RpcClient {
         op: &OpDesc,
         args: &[Value],
     ) -> Result<(Vec<Value>, SendReport), RpcError> {
-        let action = self.service.soap_action(&op.name);
-        let endpoint = self.service.endpoint.clone();
-        let transport = &mut self.transport;
-        transport.set_soap_action(&action);
-        let report = self
-            .client
-            .call_via(&endpoint, op, args, |slices| transport.send_message(slices))
-            .map_err(RpcError::Send)?;
-        let (status, body) = read_response(self.transport.stream()).map_err(RpcError::Io)?;
+        let (status, headers, body, report) = self.exchange(op, args)?;
+        let (status, headers, body, report) = if status == 415 && self.negotiator.on_unsupported() {
+            // The server disabled the binary lane mid-keep-alive: the
+            // negotiator is now settled on XML, so resend the same call
+            // on the XML lane — exactly once, and no request is lost.
+            self.client
+                .set_endpoint_format(&self.service.endpoint, WireFormat::SoapXml);
+            self.exchange(op, args)?
+        } else {
+            (status, headers, body, report)
+        };
+        self.negotiator.observe_response(&headers);
+        self.sync_endpoint_format();
         if status != 200 {
             return Err(RpcError::Status(status, body));
         }
         let resp_name = format!("{}Response", op.name);
+        let resp_binary = headers
+            .iter()
+            .any(|(n, v)| n == HDR_FORMAT_LOWER && v.eq_ignore_ascii_case(TOKEN_BINARY));
         let values = match self.response_descs.iter().find(|d| d.name == resp_name) {
+            Some(desc) if resp_binary => {
+                parse_binary_envelope(&body, desc).map_err(RpcError::Response)?
+            }
             Some(desc) => parse_envelope(&body, desc).map_err(RpcError::Response)?,
             None => Vec::new(),
         };
         Ok((values, report))
+    }
+
+    /// One request/response exchange on the lane the negotiator
+    /// currently prescribes.
+    #[allow(clippy::type_complexity)]
+    fn exchange(
+        &mut self,
+        op: &OpDesc,
+        args: &[Value],
+    ) -> Result<(u16, Vec<(String, String)>, Vec<u8>, SendReport), RpcError> {
+        self.sync_endpoint_format();
+        let action = self.service.soap_action(&op.name);
+        let endpoint = self.service.endpoint.clone();
+        let transport = &mut self.transport;
+        transport.set_soap_action(&action);
+        transport.set_extra_headers(self.negotiator.request_headers());
+        let report = self
+            .client
+            .call_via(&endpoint, op, args, |slices| transport.send_message(slices))
+            .map_err(RpcError::Send)?;
+        let (status, headers, body) =
+            read_response_headers_limited(self.transport.stream(), usize::MAX, usize::MAX)
+                .map_err(RpcError::Io)?;
+        Ok((status, headers, body, report))
+    }
+
+    /// Keep the engine's per-endpoint lane in lockstep with the
+    /// negotiator's verdict.
+    fn sync_endpoint_format(&mut self) {
+        let format = match self.negotiator.body_token() {
+            t if t == TOKEN_BINARY => WireFormat::CompactBinary,
+            _ => WireFormat::SoapXml,
+        };
+        self.client
+            .set_endpoint_format(&self.service.endpoint, format);
     }
 }
 
@@ -142,7 +209,24 @@ mod tests {
     use crate::wsdl::{parse_wsdl, write_wsdl};
     use crate::{SendTier, TypeDesc};
 
+    /// Server cores to exercise: both when the platform has epoll, else
+    /// just the worker pool.
+    fn cores() -> Vec<bsoap_core::ServerCore> {
+        if crate::transport::poller::supported() {
+            vec![
+                bsoap_core::ServerCore::WorkerPool,
+                bsoap_core::ServerCore::EventLoop,
+            ]
+        } else {
+            vec![bsoap_core::ServerCore::WorkerPool]
+        }
+    }
+
     fn scale_service() -> (ServiceDesc, Service) {
+        scale_service_on(bsoap_core::ServerCore::WorkerPool)
+    }
+
+    fn scale_service_on(core: bsoap_core::ServerCore) -> (ServiceDesc, Service) {
         let op = OpDesc::single(
             "scale",
             "urn:vec",
@@ -155,7 +239,10 @@ mod tests {
             endpoint: "http://svc/vec".into(),
             operations: vec![op.clone()],
         };
-        let mut svc = Service::new("urn:vec", EngineConfig::paper_default());
+        let mut svc = Service::new(
+            "urn:vec",
+            EngineConfig::paper_default().with_server_core(core),
+        );
         svc.register(
             op,
             vec![ParamDesc {
@@ -180,8 +267,15 @@ mod tests {
         let server = HttpServer::spawn(svc).unwrap();
         // The client side bootstraps from the published WSDL document.
         let parsed = parse_wsdl(write_wsdl(&desc).as_bytes()).unwrap();
-        let mut rpc =
-            RpcClient::connect(parsed, server.addr(), EngineConfig::paper_default()).unwrap();
+        // Pinned to the XML lane: the tier trajectory below narrates the
+        // non-negotiating flow (a binary-default client's second call is
+        // the lane upgrade, a FirstTime rebuild).
+        let mut rpc = RpcClient::connect(
+            parsed,
+            server.addr(),
+            EngineConfig::paper_default().with_wire_format(WireFormat::SoapXml),
+        )
+        .unwrap();
         rpc.declare_response(
             "scale",
             vec![ParamDesc {
@@ -208,6 +302,134 @@ mod tests {
         assert_eq!(stats.first_time, 1);
         assert_eq!(stats.content_match, 1);
         server.stop();
+    }
+
+    #[test]
+    fn negotiated_binary_upgrade_round_trip() {
+        use crate::transport::NegotiationState;
+        for core in cores() {
+            let (desc, svc) = scale_service_on(core);
+            let server = HttpServer::spawn(svc).unwrap();
+            let mut rpc = RpcClient::connect(
+                desc,
+                server.addr(),
+                EngineConfig::paper_default().with_wire_format(WireFormat::CompactBinary),
+            )
+            .unwrap();
+            rpc.declare_response(
+                "scale",
+                vec![ParamDesc {
+                    name: "ys".into(),
+                    desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+                }],
+            );
+            assert_eq!(rpc.negotiation_state(), NegotiationState::Undecided);
+
+            // Call 1 goes out as XML with the offer; the server's advert
+            // upgrades the endpoint.
+            let got = rpc
+                .call("scale", &[Value::DoubleArray(vec![1.5, 2.5])])
+                .unwrap();
+            assert_eq!(
+                got,
+                vec![Value::DoubleArray(vec![3.0, 5.0])],
+                "core {core:?}"
+            );
+            assert_eq!(rpc.negotiation_state(), NegotiationState::Binary);
+
+            // Call 2 is the binary lane's first-time build; call 3
+            // content-matches against the binary template. Values
+            // survive both hops.
+            let op = rpc.service().operation("scale").unwrap().clone();
+            let (got, report) = rpc
+                .call_op(&op, &[Value::DoubleArray(vec![4.0, 0.5])])
+                .unwrap();
+            assert_eq!(
+                got,
+                vec![Value::DoubleArray(vec![8.0, 1.0])],
+                "core {core:?}"
+            );
+            assert_eq!(report.tier, SendTier::FirstTime, "core {core:?}");
+            let (got, report) = rpc
+                .call_op(&op, &[Value::DoubleArray(vec![4.0, 0.5])])
+                .unwrap();
+            assert_eq!(
+                got,
+                vec![Value::DoubleArray(vec![8.0, 1.0])],
+                "core {core:?}"
+            );
+            assert_eq!(report.tier, SendTier::ContentMatch, "core {core:?}");
+            server.stop();
+        }
+    }
+
+    #[test]
+    fn xml_config_never_offers_binary() {
+        use crate::transport::NegotiationState;
+        let (desc, svc) = scale_service();
+        let server = HttpServer::spawn(svc).unwrap();
+        let mut rpc = RpcClient::connect(
+            desc,
+            server.addr(),
+            EngineConfig::paper_default().with_wire_format(WireFormat::SoapXml),
+        )
+        .unwrap();
+        rpc.call("scale", &[Value::DoubleArray(vec![1.0])]).unwrap();
+        // The server adverts bin1, but a client that never offered
+        // stays on XML.
+        assert_eq!(rpc.negotiation_state(), NegotiationState::Xml);
+        server.stop();
+    }
+
+    #[test]
+    fn mid_keepalive_downgrade_loses_no_request() {
+        use crate::transport::NegotiationState;
+        for core in cores() {
+            let (desc, svc) = scale_service_on(core);
+            let server = HttpServer::spawn(svc).unwrap();
+            let mut rpc = RpcClient::connect(
+                desc,
+                server.addr(),
+                EngineConfig::paper_default().with_wire_format(WireFormat::CompactBinary),
+            )
+            .unwrap();
+            rpc.declare_response(
+                "scale",
+                vec![ParamDesc {
+                    name: "ys".into(),
+                    desc: TypeDesc::array_of(TypeDesc::Scalar(ScalarKind::Double)),
+                }],
+            );
+            // Upgrade, then send one binary call so the lane is live.
+            rpc.call("scale", &[Value::DoubleArray(vec![1.0])]).unwrap();
+            rpc.call("scale", &[Value::DoubleArray(vec![2.0])]).unwrap();
+            assert_eq!(rpc.negotiation_state(), NegotiationState::Binary);
+
+            // The server turns the lane off mid-keep-alive. The next
+            // binary body draws a 415; the client must downgrade and
+            // transparently resend the SAME request as XML — the caller
+            // just sees values.
+            server.service().set_binary_enabled(false);
+            let got = rpc
+                .call("scale", &[Value::DoubleArray(vec![5.0, 6.0])])
+                .unwrap();
+            assert_eq!(
+                got,
+                vec![Value::DoubleArray(vec![10.0, 12.0])],
+                "core {core:?}"
+            );
+            assert_eq!(rpc.negotiation_state(), NegotiationState::Xml);
+
+            // Settled: later calls stay on XML and keep answering.
+            let got = rpc.call("scale", &[Value::DoubleArray(vec![7.0])]).unwrap();
+            assert_eq!(got, vec![Value::DoubleArray(vec![14.0])], "core {core:?}");
+            assert_eq!(rpc.negotiation_state(), NegotiationState::Xml);
+            let stats = server.stop();
+            assert_eq!(
+                stats.requests, 4,
+                "core {core:?}: four successful dispatches (the bounced binary body is not one)"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,15 @@
 //!
 //! Everything runs on a [`VirtualClock`]: stalls "past the deadline"
 //! advance virtual time, so the whole suite performs zero real sleeps.
+//!
+//! Every schedule runs on both wire lanes (DESIGN §3.15). The XML lane
+//! proves fidelity against the gSOAP-style full-serialization oracle;
+//! the compact-binary lane — whose frames the pad-stripping oracle
+//! cannot read — proves it by *decoding* the captured wire with
+//! [`parse_binary_envelope`] and demanding bit-exact argument recovery.
+//! Fault taxonomy, typed errors, the degraded ladder, and the counter
+//! model are format-blind; only the fidelity oracle and the
+//! `SendsXml`/`SendsBinary` lane counters switch.
 
 use std::io::{self, IoSlice, Write};
 use std::sync::Arc;
@@ -35,11 +44,12 @@ use std::time::Duration;
 
 use bsoap::baseline::GSoapLike;
 use bsoap::convert::ScalarKind;
+use bsoap::deser::parse_binary_envelope;
 use bsoap::obs::{Clock, Counter, EngineStats, HistId, Metrics, Tier, TraceKind, VirtualClock};
 use bsoap::xml::strip_pad;
 use bsoap::{
     write_all_vectored, AttemptFailure, Client, EngineConfig, EngineError, FaultPolicy, OpDesc,
-    Resilience, SendTier, TypeDesc, Value, WidthPolicy,
+    Resilience, SendTier, TypeDesc, Value, WidthPolicy, WireFormat,
 };
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
@@ -260,6 +270,11 @@ struct ChaosModel {
     plans: u64,
     /// Differential flushes (each emits one `SendSpan` trace).
     diff_flushes: u64,
+    /// Sends landed on the negotiated lane's `SendsXml`/`SendsBinary`
+    /// counter. Diff-tier sends tick at flush time (before the wire
+    /// write, so a failed wire still counts); first-time and degraded
+    /// sends tick only after a successful send.
+    format_sends: u64,
     deadlines: u64,
     degraded_sends: u64,
     demotions: u64,
@@ -282,6 +297,7 @@ impl ChaosModel {
             bytes_sent: 0,
             plans: 0,
             diff_flushes: 0,
+            format_sends: 0,
             deadlines: 0,
             degraded_sends: 0,
             demotions: 0,
@@ -341,6 +357,7 @@ impl ChaosModel {
                     self.values_written += first_time_leaves;
                     self.bytes_sent += wire;
                     self.degraded_sends += 1;
+                    self.format_sends += 1;
                     self.on_success_health();
                     Some(SendTier::FirstTime)
                 }
@@ -359,6 +376,7 @@ impl ChaosModel {
                     self.values_written += first_time_leaves;
                     self.bytes_sent += wire;
                     self.saved = Some(bits);
+                    self.format_sends += 1;
                     self.on_success_health();
                     Some(SendTier::FirstTime)
                 }
@@ -374,6 +392,7 @@ impl ChaosModel {
                 // template now holds the new bytes.
                 self.plans += 1;
                 self.diff_flushes += 1;
+                self.format_sends += 1;
                 let changed = old.iter().zip(&bits).filter(|(o, n)| *o != *n).count() as u64;
                 let (tier, written) = if old.len() != bits.len() {
                     (SendTier::PartialStructural, changed + 1)
@@ -402,7 +421,7 @@ impl ChaosModel {
     }
 
     /// Assert a registry snapshot agrees with the model exactly.
-    fn check(&self, snap: &EngineStats) -> Result<(), TestCaseError> {
+    fn check(&self, snap: &EngineStats, format: WireFormat) -> Result<(), TestCaseError> {
         prop_assert_eq!(snap.tier_counts(), self.tiers, "tier counters");
         prop_assert_eq!(
             snap.total_sends(),
@@ -427,10 +446,20 @@ impl ChaosModel {
             self.degraded_sends,
             "degraded sends"
         );
-        // Max-width stuffing: growth never shifts, steals, or splits.
+        // Zero shift/steal/split work on both lanes — via Max-width
+        // stuffing on XML, and intrinsically on binary, whose
+        // fixed-width numeric slots can never outgrow their region.
         prop_assert_eq!(snap.get(Counter::Shifts), 0u64);
         prop_assert_eq!(snap.get(Counter::Steals), 0u64);
         prop_assert_eq!(snap.get(Counter::Splits), 0u64);
+        // Every send lands on the negotiated lane's counter and never
+        // the other lane's.
+        let (own, other) = match format {
+            WireFormat::SoapXml => (Counter::SendsXml, Counter::SendsBinary),
+            WireFormat::CompactBinary => (Counter::SendsBinary, Counter::SendsXml),
+        };
+        prop_assert_eq!(snap.get(own), self.format_sends, "own-lane sends");
+        prop_assert_eq!(snap.get(other), 0u64, "wrong-lane sends");
         // Latency observations exist only for sends that reached the
         // wire — a failed differential send counts its tier but never
         // observes a latency.
@@ -486,12 +515,14 @@ fn run_schedule(
     init: Vec<f64>,
     steps: &[(Update, Fault)],
     degrade_after: u32,
+    format: WireFormat,
 ) -> Result<(), TestCaseError> {
     let op = doubles_op();
     let clock = Arc::new(VirtualClock::new());
     let metrics = Arc::new(Metrics::with_clock(Arc::clone(&clock) as Arc<dyn Clock>));
     let cfg = EngineConfig::paper_default()
         .with_width(WidthPolicy::Max)
+        .with_wire_format(format)
         .with_degraded(degrade_after, 2);
     let mut client = Client::new(cfg);
     client.set_metrics(Arc::clone(&metrics));
@@ -553,12 +584,49 @@ fn run_schedule(
                     i
                 );
                 let full = oracle.serialize(&op, &args).unwrap().to_vec();
-                prop_assert_eq!(
-                    strip_pad(&faulty.wire),
-                    strip_pad(&full),
-                    "step {}: wire bytes diverge from full serialization",
-                    i
-                );
+                match format {
+                    WireFormat::SoapXml => {
+                        prop_assert_eq!(
+                            strip_pad(&faulty.wire),
+                            strip_pad(&full),
+                            "step {}: wire bytes diverge from full serialization",
+                            i
+                        );
+                    }
+                    WireFormat::CompactBinary => {
+                        // The pad-stripping oracle can't read binary
+                        // frames; fidelity means the wire *decodes* back
+                        // to the arguments, bit-exactly.
+                        let decoded = parse_binary_envelope(&faulty.wire, &op).map_err(|e| {
+                            TestCaseError::Fail(format!(
+                                "step {i}: binary wire does not decode: {e}"
+                            ))
+                        })?;
+                        prop_assert_eq!(decoded.len(), 1, "step {}: param count", i);
+                        let Value::DoubleArray(ds) = &decoded[0] else {
+                            return Err(TestCaseError::Fail(format!(
+                                "step {i}: decoded param is not a double array"
+                            )));
+                        };
+                        let got: Vec<u64> = ds.iter().map(|x| x.to_bits()).collect();
+                        let want: Vec<u64> = xs.iter().map(|x| x.to_bits()).collect();
+                        prop_assert_eq!(
+                            got,
+                            want,
+                            "step {}: decoded doubles diverge from the arguments",
+                            i
+                        );
+                        // The compact frame always undercuts the XML
+                        // envelope the same send would have cost.
+                        prop_assert!(
+                            faulty.wire.len() < full.len(),
+                            "step {}: binary frame ({}B) not smaller than XML ({}B)",
+                            i,
+                            faulty.wire.len(),
+                            full.len()
+                        );
+                    }
+                }
                 Outcome::Success {
                     wire: report.bytes as u64,
                 }
@@ -616,7 +684,7 @@ fn run_schedule(
             i
         );
 
-        model.check(&metrics.snapshot())?;
+        model.check(&metrics.snapshot(), format)?;
     }
 
     // Trace-event reconciliation: deadline expiries, degraded-mode
@@ -711,8 +779,10 @@ proptest! {
     fn chaos_schedules_default_policy(
         init in prop::collection::vec(small_f64(), 0..12),
         steps in prop::collection::vec((update_strategy(), fault_strategy()), 1..16),
+        binary in any::<bool>(),
     ) {
-        run_schedule(init, &steps, 0)?;
+        let format = if binary { WireFormat::CompactBinary } else { WireFormat::SoapXml };
+        run_schedule(init, &steps, 0, format)?;
     }
 }
 
@@ -727,13 +797,16 @@ proptest! {
         init in prop::collection::vec(small_f64(), 0..12),
         steps in prop::collection::vec((update_strategy(), fault_strategy()), 1..16),
         degrade_after in 1u32..4,
+        binary in any::<bool>(),
     ) {
-        run_schedule(init, &steps, degrade_after)?;
+        let format = if binary { WireFormat::CompactBinary } else { WireFormat::SoapXml };
+        run_schedule(init, &steps, degrade_after, format)?;
     }
 }
 
-/// Fixed-seed smoke schedule visiting every fault kind, run with the
-/// ladder both armed and off — the deterministic anchor for CI.
+/// Fixed-seed smoke schedule visiting every fault kind, run on both
+/// wire lanes with the ladder both armed and off — the deterministic
+/// anchor for CI.
 #[test]
 fn chaos_smoke_fixed_schedule() {
     let steps = vec![
@@ -766,9 +839,12 @@ fn chaos_smoke_fixed_schedule() {
         (Update::Resend, Fault::Clean),
         (Update::Resend, Fault::Clean),
     ];
-    for degrade_after in [0, 2] {
-        run_schedule(vec![1.5, 2.5, 3.5, 4.5], &steps, degrade_after)
-            .unwrap_or_else(|e| panic!("degrade_after {degrade_after}: {e:?}"));
+    for format in [WireFormat::SoapXml, WireFormat::CompactBinary] {
+        for degrade_after in [0, 2] {
+            run_schedule(vec![1.5, 2.5, 3.5, 4.5], &steps, degrade_after, format).unwrap_or_else(
+                |e| panic!("{} degrade_after {degrade_after}: {e:?}", format.name()),
+            );
+        }
     }
 }
 
@@ -821,7 +897,10 @@ fn fragmented_chaos_sends_round_trip_on_both_cores() {
         }
     }
 
-    for core in cores() {
+    for (core, format) in cores()
+        .into_iter()
+        .flat_map(|c| [WireFormat::SoapXml, WireFormat::CompactBinary].map(move |f| (c, f)))
+    {
         let server = TestServer::spawn_with(
             ServerMode::Collect,
             ServerOptions {
@@ -834,7 +913,11 @@ fn fragmented_chaos_sends_round_trip_on_both_cores() {
         let mut read_half = stream.try_clone().unwrap();
         let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
         let op = doubles_op();
-        let mut client = Client::new(EngineConfig::paper_default().with_width(WidthPolicy::Max));
+        let mut client = Client::new(
+            EngineConfig::paper_default()
+                .with_width(WidthPolicy::Max)
+                .with_wire_format(format),
+        );
         let mut xs: Vec<f64> = (0..24).map(|i| i as f64 * 0.25).collect();
         let mut sent: Vec<Vec<f64>> = Vec::new();
 
@@ -876,15 +959,35 @@ fn fragmented_chaos_sends_round_trip_on_both_cores() {
         assert_eq!(requests.len(), sent.len(), "core {core:?}");
         let mut oracle = GSoapLike::new();
         for (req, xs) in requests.iter().zip(&sent) {
-            let full = oracle
-                .serialize(&op, &[Value::DoubleArray(xs.clone())])
-                .unwrap()
-                .to_vec();
-            assert_eq!(
-                strip_pad(&req.body),
-                strip_pad(&full),
-                "core {core:?}: reassembled body diverges from full serialization"
-            );
+            match format {
+                WireFormat::SoapXml => {
+                    let full = oracle
+                        .serialize(&op, &[Value::DoubleArray(xs.clone())])
+                        .unwrap()
+                        .to_vec();
+                    assert_eq!(
+                        strip_pad(&req.body),
+                        strip_pad(&full),
+                        "core {core:?}: reassembled body diverges from full serialization"
+                    );
+                }
+                WireFormat::CompactBinary => {
+                    // Binary frames carry arbitrary bytes (raw double
+                    // bits), the harshest payload for fragmented
+                    // reassembly; fidelity is decode-exactness.
+                    let decoded = parse_binary_envelope(&req.body, &op)
+                        .unwrap_or_else(|e| panic!("core {core:?}: body does not decode: {e}"));
+                    let Value::DoubleArray(ds) = &decoded[0] else {
+                        panic!("core {core:?}: decoded param is not a double array");
+                    };
+                    let got: Vec<u64> = ds.iter().map(|x| x.to_bits()).collect();
+                    let want: Vec<u64> = xs.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(
+                        got, want,
+                        "core {core:?}: reassembled binary body diverges from the arguments"
+                    );
+                }
+            }
         }
     }
 }

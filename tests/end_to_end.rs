@@ -84,7 +84,8 @@ fn http_collect_round_trip_all_tiers() {
         let cfg = RequestConfig::loopback(HttpVersion::Http11Length);
         let mut t = TcpTransport::connect(server.addr(), Framing::Http(cfg)).unwrap();
         let op = doubles_op();
-        let mut client = Client::with_defaults();
+        let mut client =
+            Client::new(EngineConfig::paper_default().with_wire_format(bsoap::WireFormat::SoapXml));
 
         let sequences: Vec<Vec<f64>> = vec![
             vec![1.5, 2.5, 3.5],      // first-time
@@ -131,11 +132,13 @@ fn chunked_http_streams_multi_chunk_templates() {
         let server = TestServer::spawn_with(ServerMode::Collect, opts_on(core)).unwrap();
         let cfg = RequestConfig::loopback(HttpVersion::Http11Chunked);
         let mut t = TcpTransport::connect(server.addr(), Framing::Http(cfg)).unwrap();
-        let config = EngineConfig::paper_default().with_chunk(bsoap::ChunkConfig {
-            initial_size: 1024,
-            split_threshold: 2048,
-            reserve: 64,
-        });
+        let config = EngineConfig::paper_default()
+            .with_wire_format(bsoap::WireFormat::SoapXml)
+            .with_chunk(bsoap::ChunkConfig {
+                initial_size: 1024,
+                split_threshold: 2048,
+                reserve: 64,
+            });
         let op = doubles_op();
         let mut client = Client::new(config);
 
@@ -171,7 +174,11 @@ fn client_server_differential_deserialization_pipeline() {
         let cfg = RequestConfig::loopback(HttpVersion::Http10);
         let mut t = TcpTransport::connect(server.addr(), Framing::Http(cfg)).unwrap();
         let op = OpDesc::single("m", "urn:x", "a", TypeDesc::array_of(TypeDesc::mio()));
-        let mut client = Client::new(EngineConfig::paper_default().with_width(WidthPolicy::Max));
+        let mut client = Client::new(
+            EngineConfig::paper_default()
+                .with_wire_format(bsoap::WireFormat::SoapXml)
+                .with_width(WidthPolicy::Max),
+        );
 
         let mut elems: Vec<(i32, i32, f64)> = (0..50).map(|i| (i, -i, i as f64 * 0.5)).collect();
         let as_value =
@@ -215,7 +222,7 @@ fn client_server_differential_deserialization_pipeline() {
 fn overlay_wire_bytes_equal_template_bytes() {
     use bsoap::OverlaySender;
     let op = doubles_op();
-    let config = EngineConfig::paper_default();
+    let config = EngineConfig::paper_default().with_wire_format(bsoap::WireFormat::SoapXml);
     let xs: Vec<f64> = (0..5000).map(|i| (i as f64).sin()).collect();
     let value = Value::DoubleArray(xs);
 

@@ -67,7 +67,8 @@ impl Write for FlakyWriter {
 #[test]
 fn send_error_surfaces_and_template_survives() {
     let op = doubles_op();
-    let mut client = Client::with_defaults();
+    let mut client =
+        Client::new(EngineConfig::paper_default().with_wire_format(bsoap::WireFormat::SoapXml));
     let xs = vec![Value::DoubleArray(vec![1.5; 100])];
 
     // First send into a writer that dies mid-message.
@@ -96,7 +97,8 @@ fn send_error_surfaces_and_template_survives() {
 #[test]
 fn failure_during_differential_send_keeps_bytes_consistent() {
     let op = doubles_op();
-    let mut client = Client::with_defaults();
+    let mut client =
+        Client::new(EngineConfig::paper_default().with_wire_format(bsoap::WireFormat::SoapXml));
     let mut ok = Vec::new();
     let mut xs = vec![1.5; 50];
     client
@@ -134,7 +136,8 @@ fn failure_during_differential_send_keeps_bytes_consistent() {
 #[test]
 fn failure_during_resize_send_keeps_template_coherent() {
     let op = doubles_op();
-    let mut client = Client::with_defaults();
+    let mut client =
+        Client::new(EngineConfig::paper_default().with_wire_format(bsoap::WireFormat::SoapXml));
     let mut ok = Vec::new();
     client
         .call("ep", &op, &[Value::DoubleArray(vec![1.5; 10])], &mut ok)
@@ -171,7 +174,7 @@ fn zero_byte_writer_reports_write_zero() {
     }
     let op = doubles_op();
     let mut tpl = MessageTemplate::build(
-        bsoap::EngineConfig::paper_default(),
+        bsoap::EngineConfig::paper_default().with_wire_format(bsoap::WireFormat::SoapXml),
         &op,
         &[Value::DoubleArray(vec![1.5])],
     )
@@ -206,7 +209,7 @@ fn interleaved_failures_across_endpoints_stay_isolated() {
 fn planner_error_leaves_template_bytes_untouched() {
     let op = doubles_op();
     let mut tpl = MessageTemplate::build(
-        EngineConfig::paper_default(),
+        EngineConfig::paper_default().with_wire_format(bsoap::WireFormat::SoapXml),
         &op,
         &[Value::DoubleArray(vec![1.5; 40])],
     )
@@ -246,7 +249,7 @@ fn executor_panic_leaves_template_bytes_untouched() {
     // pre-send bytes must survive the unwind intact.
     let op = doubles_op();
     let mut tpl = MessageTemplate::build(
-        EngineConfig::paper_default(),
+        EngineConfig::paper_default().with_wire_format(bsoap::WireFormat::SoapXml),
         &op,
         &[Value::DoubleArray(vec![1.5; 40])],
     )
@@ -290,7 +293,7 @@ fn executor_panic_leaves_template_bytes_untouched() {
 fn stale_plan_is_rejected_without_mutation() {
     let op = doubles_op();
     let mut tpl = MessageTemplate::build(
-        EngineConfig::paper_default(),
+        EngineConfig::paper_default().with_wire_format(bsoap::WireFormat::SoapXml),
         &op,
         &[Value::DoubleArray(vec![1.5; 20])],
     )

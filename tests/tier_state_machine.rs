@@ -10,7 +10,9 @@ use std::sync::Arc;
 use bsoap::convert::ScalarKind;
 use bsoap::obs::{Counter, EngineStats, HistId, Metrics, Tier, VirtualClock};
 use bsoap::transport::SinkTransport;
-use bsoap::{mio, Client, EngineConfig, OpDesc, SendTier, TypeDesc, Value, WidthPolicy};
+use bsoap::{
+    mio, Client, EngineConfig, OpDesc, SendTier, TypeDesc, Value, WidthPolicy, WireFormat,
+};
 
 fn doubles_op() -> OpDesc {
     OpDesc::single(
@@ -182,7 +184,9 @@ fn mio_partial_dirty_percentages() {
 fn shift_and_steal_counters_surface() {
     // Exact widths + growing values: expansion must happen and be counted.
     let op = doubles_op();
-    let config = EngineConfig::paper_default().with_width(WidthPolicy::Exact);
+    let config = EngineConfig::paper_default()
+        .with_width(WidthPolicy::Exact)
+        .with_wire_format(WireFormat::SoapXml);
     let mut client = Client::new(config);
     let mut sink = SinkTransport::new();
 
@@ -229,7 +233,22 @@ fn evicting_forgets_the_template() {
 /// Reference model of the four-tier hierarchy (paper §3) plus the
 /// counters the obs layer must accumulate for a doubles-array operation.
 /// The DUT compares bit patterns, so the model tracks `f64::to_bits`.
+///
+/// The model carries the wire format because the counters are per-lane:
+/// every send must land on its own format's counter and never the
+/// other's — and because the collapse prediction differs. On the XML
+/// lane, zero shift work requires `WidthPolicy::Max` stuffing; on the
+/// binary lane the same prediction holds under *exact* widths, since
+/// fixed-width numerics cannot grow (tier-3 machinery collapses into
+/// tier-2 overwrites, DESIGN §3.15).
 struct TierModel {
+    /// The lane the modeled client sends on.
+    format: WireFormat,
+    /// Sends expected on this lane's per-format counter. Differential
+    /// flushes count at flush time (even if the wire write then fails);
+    /// first-time and degraded builds count only after a successful
+    /// write.
+    format_sends: u64,
     /// Bit patterns of the last-sent array; `None` = no template saved.
     saved: Option<Vec<u64>>,
     tiers: [u64; 4],
@@ -254,8 +273,10 @@ struct TierModel {
 }
 
 impl TierModel {
-    fn new() -> Self {
+    fn new(format: WireFormat) -> Self {
         TierModel {
+            format,
+            format_sends: 0,
             saved: None,
             tiers: [0; 4],
             hist: [0; 4],
@@ -298,6 +319,7 @@ impl TierModel {
         self.hist[tier.obs().index()] += 1;
         self.values_written += written;
         self.sends += 1;
+        self.format_sends += 1;
         (tier, written)
     }
 
@@ -324,6 +346,7 @@ impl TierModel {
             self.tiers[tier.obs().index()] += 1;
             self.values_written += written;
             self.sends += 1;
+            self.format_sends += 1;
             // The flush already applied the new values.
             self.saved = Some(bits);
         }
@@ -336,6 +359,7 @@ impl TierModel {
         self.hist[Tier::FirstTime.index()] += 1;
         self.values_written += xs.len() as u64 + 1;
         self.sends += 1;
+        self.format_sends += 1;
         self.degraded_sends += 1;
         self.saved = None;
     }
@@ -348,14 +372,23 @@ impl TierModel {
     fn check(&self, snap: &EngineStats) {
         assert_eq!(snap.tier_counts(), self.tiers, "tier counters");
         assert_eq!(snap.total_sends(), self.sends, "total sends");
+        // Every send lands on its own lane's counter, never the other's.
+        let (own, other) = match self.format {
+            WireFormat::SoapXml => (Counter::SendsXml, Counter::SendsBinary),
+            WireFormat::CompactBinary => (Counter::SendsBinary, Counter::SendsXml),
+        };
+        assert_eq!(snap.get(own), self.format_sends, "own-lane sends");
+        assert_eq!(snap.get(other), 0, "wrong-lane sends");
         assert_eq!(
             snap.get(Counter::ValuesWritten),
             self.values_written,
             "values written"
         );
         assert_eq!(snap.get(Counter::BytesSent), self.bytes_sent, "bytes sent");
-        // Max-width stuffing leaves room for any double: nothing ever
-        // shifts, steals, or splits.
+        // Nothing ever shifts, steals, or splits: on the XML lane
+        // because max-width stuffing leaves room for any double, on the
+        // binary lane because fixed-width numerics cannot grow even at
+        // exact widths — the tier-3 collapse.
         assert_eq!(snap.get(Counter::Shifts), 0);
         assert_eq!(snap.get(Counter::Steals), 0);
         assert_eq!(snap.get(Counter::Splits), 0);
@@ -395,12 +428,31 @@ impl TierModel {
 
 #[test]
 fn metrics_snapshot_matches_reference_model() {
+    // XML lane: shift-free only because max-width stuffing absorbs any
+    // double's lexical growth.
+    run_reference_model_walk(WireFormat::SoapXml, WidthPolicy::Max);
+}
+
+#[test]
+fn binary_lane_matches_reference_model_at_exact_widths() {
+    // Binary lane, *exact* widths: the model predicts the identical tier
+    // trajectory AND the same zero-shift counters — the prediction that
+    // would be false on the XML lane without stuffing. Tier-3 patch work
+    // collapses into tier-2 in the format itself, not in a width policy.
+    run_reference_model_walk(WireFormat::CompactBinary, WidthPolicy::Exact);
+}
+
+fn run_reference_model_walk(format: WireFormat, width: WidthPolicy) {
     let op = doubles_op();
     let metrics = Arc::new(Metrics::with_clock(Arc::new(VirtualClock::new())));
-    let mut client = Client::new(EngineConfig::paper_default().with_width(WidthPolicy::Max));
+    let mut client = Client::new(
+        EngineConfig::paper_default()
+            .with_width(width)
+            .with_wire_format(format),
+    );
     client.set_metrics(Arc::clone(&metrics));
     let mut sink = SinkTransport::new();
-    let mut model = TierModel::new();
+    let mut model = TierModel::new(format);
 
     let mut send = |client: &mut Client, model: &mut TierModel, xs: &[f64]| {
         let (want_tier, want_written) = model.step(xs);
@@ -474,7 +526,11 @@ fn shift_counters_match_reports_exactly() {
     // counters must agree with the per-send reports, send after send.
     let op = doubles_op();
     let metrics = Arc::new(Metrics::new());
-    let mut client = Client::new(EngineConfig::paper_default().with_width(WidthPolicy::Exact));
+    let mut client = Client::new(
+        EngineConfig::paper_default()
+            .with_width(WidthPolicy::Exact)
+            .with_wire_format(WireFormat::SoapXml),
+    );
     client.set_metrics(Arc::clone(&metrics));
     let mut sink = SinkTransport::new();
 
@@ -615,11 +671,12 @@ fn degraded_ladder_walk_matches_reference_model() {
     let mut client = Client::new(
         EngineConfig::paper_default()
             .with_width(WidthPolicy::Max)
+            .with_wire_format(WireFormat::SoapXml)
             .with_degraded(2, 2),
     );
     client.set_metrics(Arc::clone(&metrics));
     let mut sink = SinkTransport::new();
-    let mut model = TierModel::new();
+    let mut model = TierModel::new(WireFormat::SoapXml);
     let args = |xs: &[f64]| vec![Value::DoubleArray(xs.to_vec())];
 
     // Healthy opening: first time, then a content match.
